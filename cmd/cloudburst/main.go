@@ -1,0 +1,217 @@
+// Command cloudburst regenerates the paper's evaluation tables and figures
+// from the calibrated hybrid-cluster model and the real processing engines.
+//
+// Usage:
+//
+//	cloudburst fig1                     API comparison (Figure 1), real engines
+//	cloudburst fig3  [-app knn]         execution-time decomposition (Figure 3)
+//	cloudburst table1 [-app knn]        job assignment (Table I)
+//	cloudburst table2 [-app knn]        slowdown decomposition (Table II)
+//	cloudburst fig4  [-app knn]         scalability (Figure 4)
+//	cloudburst headline                 the paper's summary numbers
+//	cloudburst ablations                design-choice ablation studies
+//	cloudburst all                      everything above
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/costmodel"
+	"repro/internal/experiments"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	appFlag := fs.String("app", "", "application: knn, kmeans, pagerank (default: all)")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	apps := experiments.Apps
+	if *appFlag != "" {
+		apps = []experiments.App{experiments.App(*appFlag)}
+	}
+
+	var err error
+	switch cmd {
+	case "fig1":
+		err = runFig1()
+	case "fig3":
+		err = forEachApp(apps, func(app experiments.App) error {
+			r, err := experiments.RunFig3(app)
+			if err != nil {
+				return err
+			}
+			fmt.Println(r.FormatFig3())
+			return nil
+		})
+	case "table1":
+		err = forEachApp(apps, func(app experiments.App) error {
+			r, err := experiments.RunFig3(app)
+			if err != nil {
+				return err
+			}
+			fmt.Println(r.FormatTable1())
+			return nil
+		})
+	case "table2":
+		err = forEachApp(apps, func(app experiments.App) error {
+			r, err := experiments.RunFig3(app)
+			if err != nil {
+				return err
+			}
+			fmt.Println(r.FormatTable2())
+			return nil
+		})
+	case "fig4":
+		err = forEachApp(apps, func(app experiments.App) error {
+			r, err := experiments.RunFig4(app)
+			if err != nil {
+				return err
+			}
+			fmt.Println(r.FormatFig4())
+			return nil
+		})
+	case "headline":
+		err = runHeadline()
+	case "ablations":
+		err = runAblations()
+	case "estimate":
+		err = forEachApp(apps, func(app experiments.App) error {
+			rows, err := experiments.RunEstimateValidation(app)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.FormatEstimateTable(rows))
+			return nil
+		})
+	case "cost":
+		err = forEachApp(apps, func(app experiments.App) error {
+			rows, err := experiments.RunCostTable(app, costmodel.DefaultPricing2011())
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.FormatCostTable(rows))
+			return nil
+		})
+	case "provision":
+		err = forEachApp(apps, func(app experiments.App) error {
+			const deadline = 150 * time.Second
+			plan, err := experiments.RunProvisioning(app, costmodel.DefaultPricing2011(), deadline)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%s: %s\n", app, plan.Format(deadline))
+			return nil
+		})
+	case "all":
+		if err = runFig1(); err != nil {
+			break
+		}
+		if err = forEachApp(apps, func(app experiments.App) error {
+			r, err := experiments.RunFig3(app)
+			if err != nil {
+				return err
+			}
+			fmt.Println(r.FormatFig3())
+			fmt.Println(r.FormatTable1())
+			fmt.Println(r.FormatTable2())
+			f4, err := experiments.RunFig4(app)
+			if err != nil {
+				return err
+			}
+			fmt.Println(f4.FormatFig4())
+			return nil
+		}); err != nil {
+			break
+		}
+		if err = runHeadline(); err != nil {
+			break
+		}
+		if err = runAblations(); err != nil {
+			break
+		}
+		err = forEachApp(apps, func(app experiments.App) error {
+			rows, err := experiments.RunEstimateValidation(app)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.FormatEstimateTable(rows))
+			costs, err := experiments.RunCostTable(app, costmodel.DefaultPricing2011())
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.FormatCostTable(costs))
+			return nil
+		})
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cloudburst:", err)
+		os.Exit(1)
+	}
+}
+
+func forEachApp(apps []experiments.App, f func(experiments.App) error) error {
+	for _, app := range apps {
+		if err := f(app); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runHeadline() error {
+	h, fig3s, fig4s, err := experiments.RunHeadline()
+	if err != nil {
+		return err
+	}
+	fmt.Println("Headline numbers (paper: 15.55% avg slowdown, 81% avg scaling)")
+	fmt.Printf("  average hybrid slowdown over %d app×env cells: %.2f%%\n",
+		len(fig3s)*len(experiments.HybridEnvs), h.AvgSlowdownPct)
+	fmt.Printf("  average per-doubling scaling efficiency:       %.1f%%\n", h.AvgEfficiencyPct)
+	for i, f3 := range fig3s {
+		fmt.Printf("  %-8s slowdowns:", experiments.Apps[i])
+		for _, env := range experiments.HybridEnvs {
+			fmt.Printf(" %s=%+.1f%%", env, 100*f3.Slowdown(env))
+		}
+		eff := fig4s[i].Efficiency()
+		fmt.Printf("  efficiencies:")
+		for _, e := range eff {
+			fmt.Printf(" %.1f%%", 100*e)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func runFig1() error {
+	r, err := experiments.RunFig1(experiments.DefaultFig1Config())
+	if err != nil {
+		return err
+	}
+	fmt.Println(r.Format())
+	return nil
+}
+
+func runAblations() error {
+	out, err := experiments.RunAblations()
+	if err != nil {
+		return err
+	}
+	fmt.Println(out)
+	return nil
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: cloudburst <fig1|fig3|table1|table2|fig4|headline|ablations|estimate|cost|provision|all> [-app knn|kmeans|pagerank]`)
+}

@@ -1,0 +1,106 @@
+// Command datagen materializes a synthetic dataset (points or a web graph)
+// plus its chunk index, either into a directory (a storage node) or into a
+// running object-store daemon (cmd/s3d).
+//
+// Examples:
+//
+//	datagen -kind points -units 1000000 -dim 8 -out /data/points
+//	datagen -kind clustered -units 500000 -dim 8 -k 10 -out /data/blobs
+//	datagen -kind graph -units 2000000 -nodes 100000 -store localhost:9444
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/chunk"
+	"repro/internal/objstore"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		kind       = flag.String("kind", "points", "dataset kind: points, clustered, graph")
+		units      = flag.Int64("units", 1_000_000, "total data units (points or edges)")
+		dim        = flag.Int("dim", 8, "point dimensionality (points/clustered)")
+		k          = flag.Int("k", 10, "number of blobs (clustered)")
+		spread     = flag.Float64("spread", 0.02, "blob standard deviation (clustered)")
+		nodes      = flag.Int("nodes", 10_000, "graph node count (graph)")
+		seed       = flag.Uint64("seed", 42, "generator seed")
+		fileUnits  = flag.Int("file-units", 0, "units per file (default units/32)")
+		chunkUnits = flag.Int("chunk-units", 0, "units per chunk (default file-units/30)")
+		out        = flag.String("out", "", "output directory for data + index")
+		store      = flag.String("store", "", "object-store address to upload to instead of -out")
+		indexName  = flag.String("index", "index.grix", "index file name / object key")
+	)
+	flag.Parse()
+
+	var gen workload.Generator
+	switch *kind {
+	case "points":
+		gen = workload.UniformPoints{Seed: *seed, Dim: *dim}
+	case "clustered":
+		gen = workload.ClusteredPoints{Seed: *seed, Dim: *dim, K: *k, Spread: *spread}
+	case "graph":
+		gen = &workload.PowerLawGraph{Seed: *seed, Nodes: *nodes, Edges: *units}
+	default:
+		log.Fatalf("datagen: unknown kind %q", *kind)
+	}
+
+	fu := *fileUnits
+	if fu <= 0 {
+		fu = int(*units/32) + 1
+	}
+	cu := *chunkUnits
+	if cu <= 0 {
+		cu = fu/30 + 1
+	}
+	ix, err := chunk.Layout("part", *units, gen.UnitSize(), fu, cu)
+	if err != nil {
+		log.Fatalf("datagen: layout: %v", err)
+	}
+
+	switch {
+	case *store != "":
+		client := objstore.Dial("tcp", *store, 8)
+		defer client.Close()
+		tmp := chunk.NewMemSource(ix)
+		if err := workload.Build(ix, gen, tmp); err != nil {
+			log.Fatalf("datagen: generate: %v", err)
+		}
+		if err := ix.ComputeChecksums(tmp); err != nil {
+			log.Fatalf("datagen: checksums: %v", err)
+		}
+		if err := objstore.Upload(client, ix, tmp, *indexName); err != nil {
+			log.Fatalf("datagen: upload: %v", err)
+		}
+		fmt.Printf("uploaded %d files (%d chunks, %.1f MiB) to %s\n",
+			len(ix.Files), ix.NumChunks(), float64(ix.TotalBytes())/(1<<20), *store)
+	case *out != "":
+		if err := workload.Build(ix, gen, chunk.DirSink{Dir: *out}); err != nil {
+			log.Fatalf("datagen: generate: %v", err)
+		}
+		disk := chunk.NewDirSource(*out, ix)
+		if err := ix.ComputeChecksums(disk); err != nil {
+			log.Fatalf("datagen: checksums: %v", err)
+		}
+		_ = disk.Close()
+		f, err := os.Create(filepath.Join(*out, *indexName))
+		if err != nil {
+			log.Fatalf("datagen: index: %v", err)
+		}
+		if _, err := ix.WriteTo(f); err != nil {
+			log.Fatalf("datagen: index: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("datagen: index: %v", err)
+		}
+		fmt.Printf("wrote %d files (%d chunks, %.1f MiB) + %s to %s\n",
+			len(ix.Files), ix.NumChunks(), float64(ix.TotalBytes())/(1<<20), *indexName, *out)
+	default:
+		log.Fatal("datagen: one of -out or -store is required")
+	}
+}

@@ -1,0 +1,59 @@
+// Command s3d runs the object-store daemon — the repository's Amazon S3
+// stand-in. It serves byte-range GETs over the framework transport, backed
+// by a directory or by memory, with optional netem shaping to emulate a
+// constrained WAN path.
+//
+// Example:
+//
+//	s3d -listen :9444 -root /srv/objects -bandwidth 32 -latency 40ms
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+
+	"repro/internal/netem"
+	"repro/internal/objstore"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", ":9444", "listen address")
+		root      = flag.String("root", "", "directory backend root (empty = in-memory)")
+		bandwidth = flag.Float64("bandwidth", 0, "egress cap in MiB/s (0 = unlimited)")
+		latency   = flag.Duration("latency", 0, "one-way latency to add per burst")
+	)
+	flag.Parse()
+
+	var backend objstore.Backend
+	if *root != "" {
+		backend = objstore.DirBackend{Root: *root}
+	} else {
+		backend = objstore.NewMemBackend()
+	}
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("s3d: listen: %v", err)
+	}
+	if *bandwidth > 0 || *latency > 0 {
+		shaper := netem.NewShaper(netem.Link{
+			BytesPerSec: *bandwidth * (1 << 20),
+			Latency:     *latency,
+		})
+		l = netem.Listener{Listener: l, Shaper: shaper}
+		log.Printf("s3d: shaping egress at %.1f MiB/s, +%v latency", *bandwidth, *latency)
+	}
+	log.Printf("s3d: serving %s on %s", describe(*root), l.Addr())
+	srv := objstore.NewServer(backend)
+	if err := srv.Serve(l); err != nil {
+		log.Fatalf("s3d: %v", err)
+	}
+}
+
+func describe(root string) string {
+	if root == "" {
+		return "in-memory store"
+	}
+	return root
+}

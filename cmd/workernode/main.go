@@ -1,0 +1,84 @@
+// Command workernode runs one cluster's worker process: the master (which
+// requests job groups from the head on demand) plus the slave retrieval and
+// processing threads. Data hosted at the cluster's own site is read from a
+// local directory; remote-site data is fetched from the object-store daemon
+// with multiple retrieval threads.
+//
+// Example (the "local" cluster, site 0):
+//
+//	workernode -head localhost:9400 -site 0 -name local -cores 8 \
+//	           -data /data/points -s3 localhost:9444
+//
+// and the "cloud" cluster, site 1, whose data lives in the object store:
+//
+//	workernode -head localhost:9400 -site 1 -name cloud -cores 8 \
+//	           -s3 localhost:9444
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	_ "repro/internal/apps" // register the built-in application reducers
+	"repro/internal/chunk"
+	"repro/internal/cluster"
+	"repro/internal/objstore"
+)
+
+func main() {
+	var (
+		headAddr  = flag.String("head", "localhost:9400", "head node address")
+		site      = flag.Int("site", 0, "storage site co-located with this cluster")
+		name      = flag.String("name", "cluster", "cluster name for logs and reports")
+		cores     = flag.Int("cores", 4, "processing threads")
+		retrieval = flag.Int("retrieval", 4, "retrieval threads")
+		dataDir   = flag.String("data", "", "directory with site-0 data files (local storage node)")
+		s3Addr    = flag.String("s3", "", "object-store daemon address (site-1 data)")
+		s3Threads = flag.Int("s3-threads", 2, "parallel range fetches per remote chunk")
+	)
+	flag.Parse()
+	if *dataDir == "" && *s3Addr == "" {
+		log.Fatal("workernode: at least one of -data or -s3 is required")
+	}
+
+	hc, err := cluster.DialHead("tcp", *headAddr)
+	if err != nil {
+		log.Fatalf("workernode: %v", err)
+	}
+	defer hc.Close()
+
+	var osc *objstore.Client
+	if *s3Addr != "" {
+		osc = objstore.Dial("tcp", *s3Addr, *retrieval**s3Threads)
+		defer osc.Close()
+	}
+
+	report, err := cluster.Run(cluster.Config{
+		Site:             *site,
+		Name:             *name,
+		Cores:            *cores,
+		RetrievalThreads: *retrieval,
+		Head:             hc,
+		SourceBuilder: func(ix *chunk.Index) (map[int]chunk.Source, error) {
+			sources := make(map[int]chunk.Source)
+			if *dataDir != "" {
+				sources[0] = chunk.NewDirSource(*dataDir, ix)
+			}
+			if osc != nil {
+				sources[1] = &objstore.Source{Client: osc, Index: ix, Threads: *s3Threads}
+			}
+			return sources, nil
+		},
+		SourceLabels: map[int]string{0: "local", 1: "s3"},
+		Logf:         log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("workernode: %v", err)
+	}
+	fmt.Printf("cluster %s done: %v\n", report.Name, report.Breakdown)
+	fmt.Printf("  jobs: %d local + %d stolen\n", report.Jobs.Local, report.Jobs.Stolen)
+	for src, n := range report.Bytes {
+		fmt.Printf("  retrieved %.1f MiB from %s\n", float64(n)/(1<<20), src)
+	}
+}

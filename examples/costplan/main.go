@@ -1,0 +1,49 @@
+// Cost planning: price cloud-bursting configurations and provision cloud
+// cores for a deadline — the time/cost-sensitive extension of the
+// framework.
+//
+// The example prices the paper's five kNN environments under 2011 AWS
+// rates, then answers the operational question behind cloud bursting:
+// "my local 16 cores are busy and I need this kmeans job done in N
+// seconds — how many cloud cores should I rent, and what will it cost?"
+//
+// Run with:
+//
+//	go run ./examples/costplan
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/costmodel"
+	"repro/internal/experiments"
+)
+
+func main() {
+	pricing := costmodel.DefaultPricing2011()
+
+	fmt.Println("== Pricing the paper's kNN environments ==")
+	rows, err := experiments.RunCostTable(experiments.KNN, pricing)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(experiments.FormatCostTable(rows))
+
+	fmt.Println("== Provisioning kmeans for deadlines ==")
+	for _, deadline := range []time.Duration{240 * time.Second, 150 * time.Second, 100 * time.Second} {
+		plan, err := experiments.RunProvisioning(experiments.KMeans, pricing, deadline)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(plan.Format(deadline))
+		if plan.Chosen != nil {
+			fmt.Printf("→ rent %d cloud cores: finishes in %v for %s\n\n",
+				plan.Chosen.CloudCores, plan.Chosen.Makespan.Round(time.Second), plan.Chosen.Cost)
+		} else {
+			fmt.Println("→ no allocation meets this deadline; the local data path is the bottleneck")
+			fmt.Println()
+		}
+	}
+}

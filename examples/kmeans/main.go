@@ -1,0 +1,108 @@
+// Distributed k-means: iterative clustering where every Lloyd iteration is
+// one generalized-reduction job over a two-cluster hybrid deployment,
+// driven by the framework's iterative-job driver.
+//
+// Between iterations only the tiny reduction object (per-cluster sums and
+// counts) moves — never the data — which is exactly why the model suits
+// cloud bursting: the dataset stays where it is; kilobytes cross the WAN.
+//
+// Run with:
+//
+//	go run ./examples/kmeans
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/apps"
+	"repro/internal/chunk"
+	"repro/internal/core"
+	"repro/internal/driver"
+	"repro/internal/jobs"
+	"repro/internal/workload"
+)
+
+const (
+	dim    = 4
+	k      = 5
+	points = 300_000
+	iters  = 12
+)
+
+func main() {
+	// Dataset: points drawn from k Gaussian blobs, half on each "site".
+	gen := workload.ClusteredPoints{Seed: 99, Dim: dim, K: k, Spread: 0.02}
+	ix, err := chunk.Layout("pts", points, gen.UnitSize(), points/8, points/64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	src := chunk.NewMemSource(ix)
+	if err := workload.Build(ix, gen, src); err != nil {
+		log.Fatal(err)
+	}
+
+	// A reusable hybrid deployment: two clusters, 50/50 data placement.
+	sources := map[int]chunk.Source{0: src, 1: src}
+	dep := &driver.Deployment{
+		Index:     ix,
+		Placement: jobs.SplitByFraction(len(ix.Files), 0.5, 0, 1),
+		Clusters: []driver.ClusterSpec{
+			{Site: 0, Name: "local", Cores: 2, Sources: sources},
+			{Site: 1, Name: "cloud", Cores: 2, Sources: sources},
+		},
+	}
+
+	centers, err := apps.SeedCenters(ix, src, k, dim)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var lastSSE float64
+	obj, rounds, err := dep.Iterate(iters, func(round int, prev core.Object) (*driver.Step, error) {
+		if prev != nil {
+			acc := prev.(*apps.KMeansObject)
+			centers = apps.NextCenters(acc, centers)
+			fmt.Printf("iteration %d: SSE = %.2f\n", round, acc.SSE)
+			if round > 1 && lastSSE-acc.SSE < 1e-6*lastSSE {
+				fmt.Println("converged")
+				return nil, nil
+			}
+			lastSSE = acc.SSE
+		}
+		p := apps.KMeansParams{K: k, Dim: dim, Centers: centers}
+		params, err := apps.EncodeKMeansParams(p)
+		if err != nil {
+			return nil, err
+		}
+		r, err := apps.NewKMeansReducer(p)
+		if err != nil {
+			return nil, err
+		}
+		return &driver.Step{App: apps.KMeansReducerName, Params: params, Reducer: r}, nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	centers = apps.NextCenters(obj.(*apps.KMeansObject), centers)
+
+	fmt.Printf("\n%d distributed rounds; final centers vs. true blob centers:\n", len(rounds))
+	for c := 0; c < k; c++ {
+		fmt.Printf("  learned %v\n", round3(centers[c]))
+	}
+	for c := 0; c < k; c++ {
+		fmt.Printf("  true    %v\n", round3(gen.TrueCenter(c)))
+	}
+	last := rounds[len(rounds)-1]
+	fmt.Println("\nlast round per-cluster work:")
+	for _, r := range last.Reports {
+		fmt.Printf("  %-6s jobs local=%d stolen=%d  %v\n", r.Cluster, r.Jobs.Local, r.Jobs.Stolen, r.Breakdown)
+	}
+}
+
+func round3(v []float64) []float64 {
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = float64(int(x*1000+0.5)) / 1000
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+// Package appcfg builds application job specifications from textual
+// configuration — the glue between command-line flags (cmd/headnode) or
+// config files and the typed application parameters in internal/apps.
+package appcfg
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+)
+
+// Spec is the parsed textual configuration of an application run.
+type Spec struct {
+	App string // knn, kmeans, pagerank, histogram
+
+	// knn / kmeans / histogram
+	Dim int
+	// knn
+	K     int
+	Query string // comma-separated coordinates
+	// kmeans
+	Centers string // semicolon-separated centers, comma-separated coords
+	// pagerank
+	Nodes   int
+	Damping float64
+	// histogram
+	Bins int
+}
+
+// Build returns the encoded parameters, a head-side reducer, and the
+// dataset unit size the application expects.
+func Build(s Spec) (params []byte, r core.Reducer, unitSize int, err error) {
+	switch s.App {
+	case apps.KNNReducerName:
+		q, err := ParseFloats(s.Query)
+		if err != nil || len(q) != s.Dim {
+			return nil, nil, 0, fmt.Errorf("appcfg: knn query must have %d comma-separated coordinates", s.Dim)
+		}
+		p := apps.KNNParams{K: s.K, Dim: s.Dim, Query: q}
+		enc, err := apps.EncodeKNNParams(p)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		red, err := apps.NewKNNReducer(p)
+		return enc, red, 4 * s.Dim, err
+
+	case apps.KMeansReducerName:
+		cs, err := ParseCenters(s.Centers, s.Dim)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		p := apps.KMeansParams{K: len(cs), Dim: s.Dim, Centers: cs}
+		enc, err := apps.EncodeKMeansParams(p)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		red, err := apps.NewKMeansReducer(p)
+		return enc, red, 4 * s.Dim, err
+
+	case apps.PageRankReducerName:
+		if s.Nodes <= 0 {
+			return nil, nil, 0, fmt.Errorf("appcfg: pagerank requires a positive node count")
+		}
+		damping := s.Damping
+		if damping == 0 {
+			damping = 0.85
+		}
+		p := apps.PageRankParams{Nodes: s.Nodes, Damping: damping}
+		enc, err := apps.EncodePageRankParams(p)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		red, err := apps.NewPageRankReducer(p)
+		return enc, red, 16, err
+
+	case apps.HistogramReducerName:
+		p := apps.HistogramParams{Bins: s.Bins, Dim: s.Dim}
+		enc, err := apps.EncodeHistogramParams(p)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		red, err := apps.NewHistogramReducer(p)
+		return enc, red, 4 * s.Dim, err
+
+	default:
+		return nil, nil, 0, fmt.Errorf("appcfg: unknown app %q (registered: %v)",
+			s.App, core.RegisteredReducers())
+	}
+}
+
+// ParseFloats parses a comma-separated float vector.
+func ParseFloats(s string) ([]float64, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("appcfg: empty vector")
+	}
+	parts := strings.Split(s, ",")
+	out := make([]float64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("appcfg: coordinate %d: %w", i, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// ParseCenters parses semicolon-separated centers of dim coordinates each.
+func ParseCenters(s string, dim int) ([][]float64, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("appcfg: kmeans requires centers (\"x,y;x,y;…\")")
+	}
+	var out [][]float64
+	for _, part := range strings.Split(s, ";") {
+		c, err := ParseFloats(part)
+		if err != nil {
+			return nil, err
+		}
+		if len(c) != dim {
+			return nil, fmt.Errorf("appcfg: center %q has %d coordinates, want %d", part, len(c), dim)
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}

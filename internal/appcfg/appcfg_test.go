@@ -1,0 +1,118 @@
+package appcfg
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+)
+
+func TestBuildKNN(t *testing.T) {
+	params, r, unit, err := Build(Spec{App: "knn", Dim: 3, K: 5, Query: "0.1, 0.2, 0.3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unit != 12 {
+		t.Errorf("unit = %d, want 12", unit)
+	}
+	if r.(*apps.KNNReducer).Params.K != 5 {
+		t.Errorf("reducer params = %+v", r.(*apps.KNNReducer).Params)
+	}
+	// The encoded params round-trip through the registry.
+	back, err := core.NewReducer("knn", params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.(*apps.KNNReducer).Params.Query[2] != 0.3 {
+		t.Errorf("registry params = %+v", back.(*apps.KNNReducer).Params)
+	}
+	if _, _, _, err := Build(Spec{App: "knn", Dim: 3, K: 5, Query: "0.1,0.2"}); err == nil {
+		t.Error("short query accepted")
+	}
+	if _, _, _, err := Build(Spec{App: "knn", Dim: 3, K: 5, Query: "a,b,c"}); err == nil {
+		t.Error("non-numeric query accepted")
+	}
+}
+
+func TestBuildKMeans(t *testing.T) {
+	_, r, unit, err := Build(Spec{App: "kmeans", Dim: 2, Centers: "0,0; 1,1; 0.5,0.5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unit != 8 {
+		t.Errorf("unit = %d", unit)
+	}
+	if got := r.(*apps.KMeansReducer).Params.K; got != 3 {
+		t.Errorf("K inferred = %d, want 3", got)
+	}
+	if _, _, _, err := Build(Spec{App: "kmeans", Dim: 2, Centers: ""}); err == nil {
+		t.Error("missing centers accepted")
+	}
+	if _, _, _, err := Build(Spec{App: "kmeans", Dim: 2, Centers: "0,0,0"}); err == nil {
+		t.Error("wrong-dim center accepted")
+	}
+}
+
+func TestBuildPageRank(t *testing.T) {
+	_, r, unit, err := Build(Spec{App: "pagerank", Nodes: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unit != 16 {
+		t.Errorf("unit = %d, want edge record size 16", unit)
+	}
+	if got := r.(*apps.PageRankReducer).Params.Damping; got != 0.85 {
+		t.Errorf("default damping = %v", got)
+	}
+	if _, _, _, err := Build(Spec{App: "pagerank"}); err == nil {
+		t.Error("zero nodes accepted")
+	}
+}
+
+func TestBuildHistogram(t *testing.T) {
+	_, r, unit, err := Build(Spec{App: "histogram", Dim: 4, Bins: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unit != 16 {
+		t.Errorf("unit = %d, want 16", unit)
+	}
+	if got := r.(*apps.HistogramReducer).Params.Bins; got != 32 {
+		t.Errorf("bins = %d", got)
+	}
+	if _, _, _, err := Build(Spec{App: "histogram", Dim: 4}); err == nil {
+		t.Error("zero bins accepted")
+	}
+}
+
+func TestBuildUnknownApp(t *testing.T) {
+	if _, _, _, err := Build(Spec{App: "teleport"}); err == nil {
+		t.Error("unknown app accepted")
+	}
+}
+
+func TestParseFloats(t *testing.T) {
+	got, err := ParseFloats(" 1.5 ,-2, 3e-1")
+	if err != nil || len(got) != 3 || got[0] != 1.5 || got[1] != -2 || got[2] != 0.3 {
+		t.Errorf("ParseFloats = %v, %v", got, err)
+	}
+	if _, err := ParseFloats(""); err == nil {
+		t.Error("empty accepted")
+	}
+	if _, err := ParseFloats("1,,2"); err == nil {
+		t.Error("blank coordinate accepted")
+	}
+}
+
+func TestParseCenters(t *testing.T) {
+	got, err := ParseCenters("0,1;2,3", 2)
+	if err != nil || len(got) != 2 || got[1][0] != 2 {
+		t.Errorf("ParseCenters = %v, %v", got, err)
+	}
+	if _, err := ParseCenters("0,1;2", 2); err == nil {
+		t.Error("ragged centers accepted")
+	}
+	if _, err := ParseCenters("", 2); err == nil {
+		t.Error("empty centers accepted")
+	}
+}

@@ -1,0 +1,149 @@
+package apps
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/mapreduce"
+	"repro/internal/workload"
+)
+
+func TestHistogramMatchesReference(t *testing.T) {
+	gen := workload.UniformPoints{Seed: 44, Dim: 3}
+	ix, src, pts := buildPoints(t, gen, 3, 800)
+	p := HistogramParams{Bins: 16, Dim: 3}
+	r, err := NewHistogramReducer(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := core.Run(core.EngineConfig{Reducer: r, Workers: 4, UnitSize: ix.UnitSize}, ix, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := obj.(*HistogramObject)
+	want := ReferenceHistogram(pts, p.Bins)
+	for b := range want {
+		if got.Counts[b] != want[b] {
+			t.Errorf("bin %d = %d, want %d", b, got.Counts[b], want[b])
+		}
+	}
+	if got.Total() != int64(len(pts)) {
+		t.Errorf("Total = %d, want %d", got.Total(), len(pts))
+	}
+}
+
+func TestHistogramMRMatchesGR(t *testing.T) {
+	gen := workload.UniformPoints{Seed: 45, Dim: 2}
+	ix, src, pts := buildPoints(t, gen, 2, 500)
+	p := HistogramParams{Bins: 8, Dim: 2}
+	want := ReferenceHistogram(pts, p.Bins)
+	for _, combine := range []bool{false, true} {
+		job, err := HistogramMRJob(p, combine)
+		if err != nil {
+			t.Fatal(err)
+		}
+		job.Workers = 2
+		res, err := mapreduce.Run(job, ix, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		obj, err := HistogramFromMR(res.Output, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for b := range want {
+			if obj.Counts[b] != want[b] {
+				t.Errorf("combine=%v bin %d = %d, want %d", combine, b, obj.Counts[b], want[b])
+			}
+		}
+	}
+}
+
+func TestHistogramCodecRoundTrip(t *testing.T) {
+	p := HistogramParams{Bins: 4, Dim: 2}
+	r, _ := NewHistogramReducer(p)
+	obj := r.NewObject().(*HistogramObject)
+	obj.Counts[2] = 99
+	enc, err := r.Encode(obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := r.Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.(*HistogramObject).Counts[2] != 99 {
+		t.Errorf("round trip = %+v", back)
+	}
+	if _, err := r.Decode(enc[:7]); err == nil {
+		t.Error("truncated object accepted")
+	}
+}
+
+func TestHistogramValidationAndRegistry(t *testing.T) {
+	for _, p := range []HistogramParams{{Bins: 0, Dim: 2}, {Bins: 4, Dim: 0}} {
+		if _, err := NewHistogramReducer(p); err == nil {
+			t.Errorf("params %+v accepted", p)
+		}
+	}
+	enc, err := EncodeHistogramParams(HistogramParams{Bins: 10, Dim: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := core.NewReducer(HistogramReducerName, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.(*HistogramReducer).Params.Bins != 10 {
+		t.Errorf("registry params = %+v", r.(*HistogramReducer).Params)
+	}
+}
+
+// TestHistogramMergeProperty: merging any split of the data equals folding
+// it all into one object — the GlobalReduce contract, property-tested.
+func TestHistogramMergeProperty(t *testing.T) {
+	p := HistogramParams{Bins: 8, Dim: 1}
+	r, _ := NewHistogramReducer(p)
+	f := func(values []float32, cut uint8) bool {
+		units := make([][]byte, len(values))
+		for i, v := range values {
+			if v < 0 {
+				v = -v
+			}
+			for v >= 1 {
+				v /= 2
+			}
+			units[i] = core.AppendFloat32(nil, v)
+		}
+		whole := r.NewObject()
+		for _, u := range units {
+			if err := r.LocalReduce(whole, u); err != nil {
+				return false
+			}
+		}
+		a, b := r.NewObject(), r.NewObject()
+		c := 0
+		if len(units) > 0 {
+			c = int(cut) % (len(units) + 1)
+		}
+		for _, u := range units[:c] {
+			_ = r.LocalReduce(a, u)
+		}
+		for _, u := range units[c:] {
+			_ = r.LocalReduce(b, u)
+		}
+		if err := r.GlobalReduce(a, b); err != nil {
+			return false
+		}
+		for i := range whole.(*HistogramObject).Counts {
+			if whole.(*HistogramObject).Counts[i] != a.(*HistogramObject).Counts[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

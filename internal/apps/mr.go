@@ -1,0 +1,192 @@
+package apps
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/mapreduce"
+	"repro/internal/workload"
+)
+
+// This file expresses the three applications as Map-Reduce jobs (with and
+// without the Combine function) for the processing-structure comparison of
+// Figure 1. The map functions emit the intermediate (key, value) pairs a
+// conventional Map-Reduce implementation must buffer, group and shuffle;
+// Generalized Reduction produces the same answers without that state.
+
+// KNNMRJob builds the Map-Reduce formulation of kNN: every point becomes a
+// candidate pair under a single key, reduced to the k-best list. Values are
+// []Neighbor so Combine output feeds Reduce unchanged.
+func KNNMRJob(p KNNParams, withCombine bool) (mapreduce.Job, error) {
+	r, err := NewKNNReducer(p)
+	if err != nil {
+		return mapreduce.Job{}, err
+	}
+	mergeK := func(values []any) ([]Neighbor, error) {
+		obj := &KNNObject{K: p.K}
+		for _, v := range values {
+			list, ok := v.([]Neighbor)
+			if !ok {
+				return nil, fmt.Errorf("apps: knn MR value is %T", v)
+			}
+			for _, n := range list {
+				obj.insert(n)
+			}
+		}
+		return obj.Best, nil
+	}
+	job := mapreduce.Job{
+		UnitSize: 4 * p.Dim,
+		Map: func(unit []byte, emit mapreduce.Emit) error {
+			dist := r.Distance(unit)
+			pt := make([]float64, p.Dim)
+			workload.DecodePoint(unit, pt)
+			emit("knn", []Neighbor{{Dist: dist, Point: pt}})
+			return nil
+		},
+		Reduce: func(key string, values []any) (any, error) {
+			best, err := mergeK(values)
+			return best, err
+		},
+	}
+	if withCombine {
+		job.Combine = func(key string, values []any) (any, error) {
+			best, err := mergeK(values)
+			return best, err
+		}
+	}
+	return job, nil
+}
+
+// pointAccum is the kmeans MR value: a partial per-cluster sum.
+type pointAccum struct {
+	Sum   []float64
+	Count int64
+}
+
+// KMeansMRJob builds the Map-Reduce formulation of one k-means iteration:
+// map assigns each point to its nearest center and emits (cluster, accum);
+// reduce (and optionally combine) sums the accumulators.
+func KMeansMRJob(p KMeansParams, withCombine bool) (mapreduce.Job, error) {
+	r, err := NewKMeansReducer(p)
+	if err != nil {
+		return mapreduce.Job{}, err
+	}
+	sum := func(values []any) (pointAccum, error) {
+		acc := pointAccum{Sum: make([]float64, p.Dim)}
+		for _, v := range values {
+			pa, ok := v.(pointAccum)
+			if !ok {
+				return acc, fmt.Errorf("apps: kmeans MR value is %T", v)
+			}
+			for i, s := range pa.Sum {
+				acc.Sum[i] += s
+			}
+			acc.Count += pa.Count
+		}
+		return acc, nil
+	}
+	job := mapreduce.Job{
+		UnitSize: 4 * p.Dim,
+		Map: func(unit []byte, emit mapreduce.Emit) error {
+			k, _ := r.Assign(unit)
+			pt := make([]float64, p.Dim)
+			workload.DecodePoint(unit, pt)
+			emit(strconv.Itoa(k), pointAccum{Sum: pt, Count: 1})
+			return nil
+		},
+		Reduce: func(key string, values []any) (any, error) {
+			acc, err := sum(values)
+			return acc, err
+		},
+	}
+	if withCombine {
+		job.Combine = func(key string, values []any) (any, error) {
+			acc, err := sum(values)
+			return acc, err
+		}
+	}
+	return job, nil
+}
+
+// KMeansFromMR converts a kmeans MR output back into a KMeansObject so the
+// same NextCenters driver works for both APIs.
+func KMeansFromMR(output map[string]any, p KMeansParams) (*KMeansObject, error) {
+	obj := &KMeansObject{Sums: make([][]float64, p.K), Counts: make([]int64, p.K)}
+	for k := range obj.Sums {
+		obj.Sums[k] = make([]float64, p.Dim)
+	}
+	for key, v := range output {
+		k, err := strconv.Atoi(key)
+		if err != nil || k < 0 || k >= p.K {
+			return nil, fmt.Errorf("apps: kmeans MR key %q", key)
+		}
+		acc, ok := v.(pointAccum)
+		if !ok {
+			return nil, fmt.Errorf("apps: kmeans MR output value is %T", v)
+		}
+		copy(obj.Sums[k], acc.Sum)
+		obj.Counts[k] = acc.Count
+	}
+	return obj, nil
+}
+
+// PageRankMRJob builds the Map-Reduce formulation of one PageRank
+// iteration: map emits (dst, contribution) per edge — one pair per edge,
+// the intermediate-volume worst case — and reduce sums contributions.
+func PageRankMRJob(p PageRankParams, withCombine bool) (mapreduce.Job, error) {
+	r, err := NewPageRankReducer(p)
+	if err != nil {
+		return mapreduce.Job{}, err
+	}
+	sum := func(values []any) (float64, error) {
+		var total float64
+		for _, v := range values {
+			f, ok := v.(float64)
+			if !ok {
+				return 0, fmt.Errorf("apps: pagerank MR value is %T", v)
+			}
+			total += f
+		}
+		return total, nil
+	}
+	job := mapreduce.Job{
+		UnitSize: workload.EdgeUnitSize,
+		Map: func(unit []byte, emit mapreduce.Emit) error {
+			e := workload.DecodeEdge(unit)
+			if int(e.Src) >= p.Nodes || int(e.Dst) >= p.Nodes || e.SrcOutDeg == 0 {
+				return fmt.Errorf("apps: bad edge %v", e)
+			}
+			emit(strconv.Itoa(int(e.Dst)), r.prev[e.Src]/float64(e.SrcOutDeg))
+			return nil
+		},
+		Reduce: func(key string, values []any) (any, error) {
+			total, err := sum(values)
+			return total, err
+		},
+	}
+	if withCombine {
+		job.Combine = func(key string, values []any) (any, error) {
+			total, err := sum(values)
+			return total, err
+		}
+	}
+	return job, nil
+}
+
+// PageRankFromMR converts a pagerank MR output into a PageRankObject.
+func PageRankFromMR(output map[string]any, p PageRankParams) (*PageRankObject, error) {
+	obj := &PageRankObject{Incoming: make([]float64, p.Nodes)}
+	for key, v := range output {
+		dst, err := strconv.Atoi(key)
+		if err != nil || dst < 0 || dst >= p.Nodes {
+			return nil, fmt.Errorf("apps: pagerank MR key %q", key)
+		}
+		f, ok := v.(float64)
+		if !ok {
+			return nil, fmt.Errorf("apps: pagerank MR output value is %T", v)
+		}
+		obj.Incoming[dst] = f
+	}
+	return obj, nil
+}

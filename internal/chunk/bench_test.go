@@ -1,0 +1,86 @@
+package chunk
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Data-organization micro-benchmarks: the index sits on the head's startup
+// path, UnitGroups on every chunk's processing path, checksums on every
+// verified retrieval.
+
+func benchIndex(b *testing.B) *Index {
+	b.Helper()
+	ix, err := Layout("bench", 96_000*32, 4096, 96_000, 3200) // 32 files, 960 chunks
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ix
+}
+
+func BenchmarkIndexWrite(b *testing.B) {
+	ix := benchIndex(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if _, err := ix.WriteTo(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIndexRead(b *testing.B) {
+	ix := benchIndex(b)
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadIndex(bytes.NewReader(raw)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUnitGroups(b *testing.B) {
+	data := make([]byte, 12<<20) // one paper-sized chunk
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		groups := UnitGroups(data, 4096, 256<<10)
+		if len(groups) == 0 {
+			b.Fatal("no groups")
+		}
+	}
+}
+
+func BenchmarkChecksum(b *testing.B) {
+	data := make([]byte, 12<<20)
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		if Checksum(data) == 1 {
+			b.Fatal("unexpected")
+		}
+	}
+}
+
+func BenchmarkMemSourceReadChunk(b *testing.B) {
+	ix, err := Layout("m", 64*1024, 1024, 64*1024, 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := NewMemSource(ix)
+	if err := src.WriteFile(ix.Files[0].Name, make([]byte, ix.Files[0].Size)); err != nil {
+		b.Fatal(err)
+	}
+	ref := ix.Files[0].Chunks[0]
+	b.SetBytes(ref.Size)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := src.ReadChunk(ref); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

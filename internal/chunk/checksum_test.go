@@ -1,0 +1,174 @@
+package chunk
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func checksummedDataset(t *testing.T) (*Index, *MemSource) {
+	t.Helper()
+	ix, err := Layout("sum", 64, 8, 32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := NewMemSource(ix)
+	for fi, f := range ix.Files {
+		data := make([]byte, f.Size)
+		for i := range data {
+			data[i] = byte(fi*31 + i)
+		}
+		if err := src.WriteFile(f.Name, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ix.ComputeChecksums(src); err != nil {
+		t.Fatal(err)
+	}
+	return ix, src
+}
+
+func TestComputeAndVerifyChecksums(t *testing.T) {
+	ix, src := checksummedDataset(t)
+	if !ix.HasChecksums() {
+		t.Fatal("HasChecksums = false after ComputeChecksums")
+	}
+	vs := VerifyingSource{Source: src, Index: ix}
+	for _, ref := range ix.AllRefs() {
+		if _, err := vs.ReadChunk(ref); err != nil {
+			t.Fatalf("verified read of %v: %v", ref, err)
+		}
+	}
+}
+
+func TestVerifyingSourceDetectsCorruption(t *testing.T) {
+	ix, src := checksummedDataset(t)
+	// Corrupt one byte of file 1's backing data.
+	corrupted := NewMemSource(ix)
+	for fi, f := range ix.Files {
+		data := make([]byte, f.Size)
+		for i := range data {
+			data[i] = byte(fi*31 + i)
+		}
+		if fi == 1 {
+			data[11] ^= 0xff
+		}
+		if err := corrupted.WriteFile(f.Name, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = src
+	vs := VerifyingSource{Source: corrupted, Index: ix}
+	ref := ix.Files[1].Chunks[0] // bytes 0..64 contain the corrupted byte 11
+	_, err := vs.ReadChunk(ref)
+	var ce *ErrChecksum
+	if !errors.As(err, &ce) {
+		t.Fatalf("corrupted read returned %v, want ErrChecksum", err)
+	}
+	if ce.Ref != ref || ce.Want == ce.Got {
+		t.Errorf("ErrChecksum = %+v", ce)
+	}
+	// Other chunks still verify.
+	if _, err := vs.ReadChunk(ix.Files[0].Chunks[0]); err != nil {
+		t.Errorf("clean chunk rejected: %v", err)
+	}
+}
+
+func TestChecksumsSurviveSerialization(t *testing.T) {
+	ix, src := checksummedDataset(t)
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.HasChecksums() {
+		t.Fatal("checksums lost in round trip")
+	}
+	for fi := range ix.Files {
+		for ci := range ix.Files[fi].Checksums {
+			if back.Files[fi].Checksums[ci] != ix.Files[fi].Checksums[ci] {
+				t.Errorf("file %d chunk %d checksum mismatch", fi, ci)
+			}
+		}
+	}
+	// The round-tripped index verifies real data.
+	vs := VerifyingSource{Source: src, Index: back}
+	if _, err := vs.ReadChunk(back.Files[0].Chunks[0]); err != nil {
+		t.Errorf("round-tripped index rejected clean data: %v", err)
+	}
+}
+
+func TestIndexWithoutChecksumsStillWorks(t *testing.T) {
+	ix, err := Layout("plain", 32, 8, 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.HasChecksums() {
+		t.Error("fresh layout claims checksums")
+	}
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.HasChecksums() {
+		t.Error("checksums appeared from nowhere")
+	}
+	// VerifyingSource passes everything through when no checksums exist.
+	src := NewMemSource(back)
+	if err := src.WriteFile(back.Files[0].Name, make([]byte, back.Files[0].Size)); err != nil {
+		t.Fatal(err)
+	}
+	vs := VerifyingSource{Source: src, Index: back}
+	if _, err := vs.ReadChunk(back.Files[0].Chunks[0]); err != nil {
+		t.Errorf("pass-through read failed: %v", err)
+	}
+}
+
+func TestReadIndexVersion1Compat(t *testing.T) {
+	// Hand-encode a version-1 index (no flags word): one file, one chunk of
+	// 2 units × 4 bytes.
+	var buf bytes.Buffer
+	buf.WriteString("GRIX")
+	le := func(v uint32) { buf.Write([]byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)}) }
+	le64 := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf.WriteByte(byte(v >> (8 * i)))
+		}
+	}
+	le(1) // version 1
+	le(4) // unit size
+	le(1) // one file
+	le(5) // name length
+	buf.WriteString("f.dat")
+	le64(8) // file size
+	le(1)   // one chunk
+	le64(0) // offset
+	le64(8) // size
+	le(2)   // units
+	ix, err := ReadIndex(&buf)
+	if err != nil {
+		t.Fatalf("v1 index rejected: %v", err)
+	}
+	if ix.UnitSize != 4 || ix.NumChunks() != 1 || ix.HasChecksums() {
+		t.Errorf("v1 index decoded as %+v", ix)
+	}
+}
+
+func TestChecksumDeterministic(t *testing.T) {
+	a := Checksum([]byte("hello"))
+	b := Checksum([]byte("hello"))
+	c := Checksum([]byte("hellp"))
+	if a != b {
+		t.Error("checksum not deterministic")
+	}
+	if a == c {
+		t.Error("checksum collision on single-byte change")
+	}
+}

@@ -1,0 +1,293 @@
+package chunk
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func TestLayoutBasic(t *testing.T) {
+	ix, err := Layout("data", 1000, 8, 300, 100)
+	if err != nil {
+		t.Fatalf("Layout: %v", err)
+	}
+	if got, want := len(ix.Files), 4; got != want {
+		t.Errorf("files = %d, want %d", got, want)
+	}
+	if got, want := ix.TotalUnits(), int64(1000); got != want {
+		t.Errorf("TotalUnits = %d, want %d", got, want)
+	}
+	if got, want := ix.TotalBytes(), int64(8000); got != want {
+		t.Errorf("TotalBytes = %d, want %d", got, want)
+	}
+	// 3 full files of 300 units (3 chunks each) + 1 file of 100 units.
+	if got, want := ix.NumChunks(), 10; got != want {
+		t.Errorf("NumChunks = %d, want %d", got, want)
+	}
+	if ix.Files[3].Size != 100*8 {
+		t.Errorf("last file size = %d, want %d", ix.Files[3].Size, 100*8)
+	}
+}
+
+func TestLayoutShortTail(t *testing.T) {
+	ix, err := Layout("d", 7, 4, 5, 2)
+	if err != nil {
+		t.Fatalf("Layout: %v", err)
+	}
+	// file0: 5 units (chunks 2,2,1); file1: 2 units (chunk 2).
+	if got := len(ix.Files[0].Chunks); got != 3 {
+		t.Errorf("file0 chunks = %d, want 3", got)
+	}
+	if got := ix.Files[0].Chunks[2].Units; got != 1 {
+		t.Errorf("tail chunk units = %d, want 1", got)
+	}
+}
+
+func TestLayoutInvalid(t *testing.T) {
+	for _, tc := range [][4]int64{{0, 8, 10, 5}, {10, 0, 10, 5}, {10, 8, 0, 5}, {10, 8, 10, 0}} {
+		if _, err := Layout("x", tc[0], int(tc[1]), int(tc[2]), int(tc[3])); err == nil {
+			t.Errorf("Layout(%v) succeeded, want error", tc)
+		}
+	}
+}
+
+// TestLayoutProperty checks, over random parameters, that layouts always
+// validate and conserve units.
+func TestLayoutProperty(t *testing.T) {
+	f := func(units uint16, unitSize, fileUnits, chunkUnits uint8) bool {
+		tu := int64(units%5000) + 1
+		us := int(unitSize%64) + 1
+		fu := int(fileUnits%200) + 1
+		cu := int(chunkUnits%50) + 1
+		ix, err := Layout("p", tu, us, fu, cu)
+		if err != nil {
+			return false
+		}
+		return ix.TotalUnits() == tu && ix.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIndexRoundTrip(t *testing.T) {
+	ix, err := Layout("round", 12345, 16, 1000, 128)
+	if err != nil {
+		t.Fatalf("Layout: %v", err)
+	}
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	got, err := ReadIndex(&buf)
+	if err != nil {
+		t.Fatalf("ReadIndex: %v", err)
+	}
+	if got.UnitSize != ix.UnitSize || len(got.Files) != len(ix.Files) {
+		t.Fatalf("header mismatch: %+v vs %+v", got, ix)
+	}
+	for fi := range ix.Files {
+		if got.Files[fi].Name != ix.Files[fi].Name || got.Files[fi].Size != ix.Files[fi].Size {
+			t.Errorf("file %d meta mismatch", fi)
+		}
+		if len(got.Files[fi].Chunks) != len(ix.Files[fi].Chunks) {
+			t.Fatalf("file %d chunk count mismatch", fi)
+		}
+		for ci := range ix.Files[fi].Chunks {
+			if got.Files[fi].Chunks[ci] != ix.Files[fi].Chunks[ci] {
+				t.Errorf("file %d chunk %d: %v vs %v", fi, ci,
+					got.Files[fi].Chunks[ci], ix.Files[fi].Chunks[ci])
+			}
+		}
+	}
+}
+
+// TestIndexRoundTripProperty: any valid layout survives serialization.
+func TestIndexRoundTripProperty(t *testing.T) {
+	f := func(units uint16, unitSize, fileUnits, chunkUnits uint8) bool {
+		tu := int64(units%3000) + 1
+		us := int(unitSize%32) + 1
+		fu := int(fileUnits%100) + 1
+		cu := int(chunkUnits%40) + 1
+		ix, err := Layout("q", tu, us, fu, cu)
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if _, err := ix.WriteTo(&buf); err != nil {
+			return false
+		}
+		got, err := ReadIndex(&buf)
+		if err != nil {
+			return false
+		}
+		return got.NumChunks() == ix.NumChunks() && got.TotalBytes() == ix.TotalBytes()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadIndexRejectsGarbage(t *testing.T) {
+	if _, err := ReadIndex(bytes.NewReader([]byte("NOPE....."))); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("bad magic: got %v, want ErrBadMagic", err)
+	}
+	ix, _ := Layout("g", 10, 4, 10, 5)
+	var buf bytes.Buffer
+	_, _ = ix.WriteTo(&buf)
+	b := buf.Bytes()
+	b[4] = 99 // version
+	if _, err := ReadIndex(bytes.NewReader(b)); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("bad version: got %v, want ErrBadVersion", err)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	mk := func() *Index {
+		ix, _ := Layout("v", 100, 4, 50, 10)
+		return ix
+	}
+	ix := mk()
+	ix.Files[0].Chunks[1].Offset += 4
+	if ix.Validate() == nil {
+		t.Error("offset corruption not caught")
+	}
+	ix = mk()
+	ix.Files[0].Chunks[0].Units++
+	if ix.Validate() == nil {
+		t.Error("unit-count corruption not caught")
+	}
+	ix = mk()
+	ix.UnitSize = 0
+	if ix.Validate() == nil {
+		t.Error("zero unit size not caught")
+	}
+	ix = mk()
+	ix.Files[1].Size++
+	if ix.Validate() == nil {
+		t.Error("file size mismatch not caught")
+	}
+}
+
+func TestUnitGroups(t *testing.T) {
+	data := make([]byte, 100*8)
+	groups := UnitGroups(data, 8, 64) // 8 units per group
+	if len(groups) != 13 {            // 12 full + 1 of 4 units
+		t.Fatalf("groups = %d, want 13", len(groups))
+	}
+	total := 0
+	for i, g := range groups {
+		if len(g)%8 != 0 {
+			t.Errorf("group %d size %d not unit-aligned", i, len(g))
+		}
+		total += len(g)
+	}
+	if total != len(data) {
+		t.Errorf("groups cover %d bytes, want %d", total, len(data))
+	}
+	// Group budget smaller than one unit still yields one unit per group.
+	gs := UnitGroups(data[:16], 8, 3)
+	if len(gs) != 2 || len(gs[0]) != 8 {
+		t.Errorf("tiny budget: got %d groups of %d", len(gs), len(gs[0]))
+	}
+}
+
+func TestUnitGroupsPanicsOnMisalignment(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on misaligned payload")
+		}
+	}()
+	UnitGroups(make([]byte, 10), 4, 64)
+}
+
+func TestMemSource(t *testing.T) {
+	ix, _ := Layout("mem", 20, 4, 10, 5)
+	src := NewMemSource(ix)
+	data0 := bytes.Repeat([]byte{1, 2, 3, 4}, 10)
+	if err := src.WriteFile(ix.Files[0].Name, data0); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := src.ReadChunk(ix.Files[0].Chunks[1])
+	if err != nil {
+		t.Fatalf("ReadChunk: %v", err)
+	}
+	if !bytes.Equal(got, data0[20:40]) {
+		t.Errorf("chunk payload mismatch")
+	}
+	if _, err := src.ReadChunk(ix.Files[1].Chunks[0]); err == nil {
+		t.Error("reading unloaded file succeeded")
+	}
+	if err := src.WriteFile("nosuch.dat", data0); err == nil {
+		t.Error("writing unknown file succeeded")
+	}
+	if err := src.WriteFile(ix.Files[1].Name, data0[:8]); err == nil {
+		t.Error("size-mismatched write succeeded")
+	}
+}
+
+func TestDirSourceAndSink(t *testing.T) {
+	dir := t.TempDir()
+	ix, _ := Layout("disk", 64, 8, 32, 8)
+	sink := DirSink{Dir: dir}
+	var start byte
+	for _, f := range ix.Files {
+		data := make([]byte, f.Size)
+		for i := range data {
+			data[i] = start + byte(i)
+		}
+		if err := sink.WriteFile(f.Name, data); err != nil {
+			t.Fatalf("WriteFile: %v", err)
+		}
+		start += 100
+	}
+	src := NewDirSource(dir, ix)
+	defer src.Close()
+	ref := ix.Files[1].Chunks[2]
+	got, err := src.ReadChunk(ref)
+	if err != nil {
+		t.Fatalf("ReadChunk: %v", err)
+	}
+	want := make([]byte, ref.Size)
+	for i := range want {
+		want[i] = 100 + byte(int64(i)+ref.Offset)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("disk chunk payload mismatch")
+	}
+	if _, err := src.ReadChunk(Ref{File: 99}); !errors.Is(err, ErrBounds) {
+		t.Errorf("out-of-range file: got %v", err)
+	}
+	// Index on disk round-trips through files too.
+	ipath := filepath.Join(dir, "index.grix")
+	f, err := os.Create(ipath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.WriteTo(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	f, err = os.Open(ipath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	back, err := ReadIndex(f)
+	if err != nil {
+		t.Fatalf("ReadIndex(file): %v", err)
+	}
+	if back.NumChunks() != ix.NumChunks() {
+		t.Error("file round-trip chunk count mismatch")
+	}
+}
+
+func TestRefString(t *testing.T) {
+	r := Ref{File: 3, Seq: 12, Offset: 4096, Size: 65536, Units: 128}
+	if got, want := r.String(), "file3/chunk12@4096+65536(128u)"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}

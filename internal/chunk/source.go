@@ -1,0 +1,147 @@
+package chunk
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Source provides read access to a dataset's chunk payloads. Implementations
+// include DirSource (a local storage node's file system), MemSource (tests
+// and in-process experiments), and the object-store client in
+// internal/objstore (the S3 stand-in).
+type Source interface {
+	// ReadChunk returns the payload bytes of the chunk identified by ref.
+	// The returned slice is owned by the caller.
+	ReadChunk(ref Ref) ([]byte, error)
+}
+
+// Sink receives dataset files as they are produced by a generator.
+type Sink interface {
+	// WriteFile stores a complete data file under the given name.
+	WriteFile(name string, data []byte) error
+}
+
+// DirSource reads chunks from dataset files in a directory, as a cluster's
+// storage node does. It keeps open file handles cached for sequential reads.
+type DirSource struct {
+	Dir   string
+	Index *Index
+
+	mu    sync.Mutex
+	files map[int]*os.File
+}
+
+// NewDirSource returns a DirSource rooted at dir for the given index.
+func NewDirSource(dir string, ix *Index) *DirSource {
+	return &DirSource{Dir: dir, Index: ix, files: make(map[int]*os.File)}
+}
+
+// ReadChunk implements Source by reading the byte range from the data file.
+func (s *DirSource) ReadChunk(ref Ref) ([]byte, error) {
+	if ref.File < 0 || ref.File >= len(s.Index.Files) {
+		return nil, fmt.Errorf("%w: file %d of %d", ErrBounds, ref.File, len(s.Index.Files))
+	}
+	f, err := s.open(ref.File)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, ref.Size)
+	if _, err := f.ReadAt(buf, ref.Offset); err != nil {
+		return nil, fmt.Errorf("chunk: read %v: %w", ref, err)
+	}
+	return buf, nil
+}
+
+func (s *DirSource) open(file int) (*os.File, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f, ok := s.files[file]; ok {
+		return f, nil
+	}
+	f, err := os.Open(filepath.Join(s.Dir, s.Index.Files[file].Name))
+	if err != nil {
+		return nil, err
+	}
+	s.files[file] = f
+	return f, nil
+}
+
+// Close releases all cached file handles.
+func (s *DirSource) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for _, f := range s.files {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.files = make(map[int]*os.File)
+	return first
+}
+
+// DirSink writes dataset files into a directory, creating it if needed.
+type DirSink struct{ Dir string }
+
+// WriteFile implements Sink.
+func (s DirSink) WriteFile(name string, data []byte) error {
+	if err := os.MkdirAll(s.Dir, 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(s.Dir, name), data, 0o644)
+}
+
+// MemSource holds a dataset entirely in memory, keyed by file index. It is
+// both a Source and, via its MemSink view, a Sink. Safe for concurrent use.
+type MemSource struct {
+	Index *Index
+
+	mu    sync.RWMutex
+	files map[int][]byte
+}
+
+// NewMemSource returns an empty in-memory dataset for the given index.
+func NewMemSource(ix *Index) *MemSource {
+	return &MemSource{Index: ix, files: make(map[int][]byte)}
+}
+
+// ReadChunk implements Source.
+func (s *MemSource) ReadChunk(ref Ref) ([]byte, error) {
+	s.mu.RLock()
+	data, ok := s.files[ref.File]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: file %d not loaded", ErrBounds, ref.File)
+	}
+	if ref.Offset < 0 || ref.Offset+ref.Size > int64(len(data)) {
+		return nil, fmt.Errorf("%w: %v beyond file of %d bytes", ErrBounds, ref, len(data))
+	}
+	out := make([]byte, ref.Size)
+	copy(out, data[ref.Offset:ref.Offset+ref.Size])
+	return out, nil
+}
+
+// WriteFile stores a data file by resolving its name against the index.
+func (s *MemSource) WriteFile(name string, data []byte) error {
+	for fi, f := range s.Index.Files {
+		if f.Name == name {
+			if int64(len(data)) != f.Size {
+				return fmt.Errorf("chunk: file %q is %d bytes, index says %d", name, len(data), f.Size)
+			}
+			s.mu.Lock()
+			s.files[fi] = data
+			s.mu.Unlock()
+			return nil
+		}
+	}
+	return fmt.Errorf("chunk: file %q not in index", name)
+}
+
+var (
+	_ Source = (*DirSource)(nil)
+	_ Source = (*MemSource)(nil)
+	_ Sink   = DirSink{}
+	_ Sink   = (*MemSource)(nil)
+)

@@ -1,0 +1,130 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/head"
+	"repro/internal/jobs"
+	"repro/internal/protocol"
+	"repro/internal/transport"
+)
+
+// InProc adapts a head.Head running in the same process to the HeadClient
+// interface — used by single-process deployments, examples and tests.
+type InProc struct{ Head *head.Head }
+
+// Register implements HeadClient.
+func (c InProc) Register(hello protocol.Hello) (protocol.JobSpec, error) {
+	return c.Head.Register(hello)
+}
+
+// RequestJobs implements HeadClient.
+func (c InProc) RequestJobs(site, n int) ([]jobs.Job, error) {
+	return c.Head.RequestJobs(site, n), nil
+}
+
+// CompleteJobs implements HeadClient.
+func (c InProc) CompleteJobs(site int, js []jobs.Job) error {
+	return c.Head.CompleteJobs(site, js)
+}
+
+// SubmitResult implements HeadClient.
+func (c InProc) SubmitResult(res protocol.ReductionResult) ([]byte, error) {
+	return c.Head.SubmitResult(res)
+}
+
+// Remote speaks the head protocol over one transport connection. The master
+// is the only requester on the connection, and every request that expects a
+// reply is serialized under a mutex, so replies correlate by ordering.
+// JobsDone is fire-and-forget (no reply), matching the head's handler.
+type Remote struct {
+	mu   sync.Mutex
+	conn *transport.Conn
+}
+
+// NewRemote wraps an established connection to the head node.
+func NewRemote(conn *transport.Conn) *Remote { return &Remote{conn: conn} }
+
+// DialHead connects to the head node at addr.
+func DialHead(network, addr string) (*Remote, error) {
+	conn, err := transport.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewRemote(conn), nil
+}
+
+// Close closes the underlying connection.
+func (r *Remote) Close() error { return r.conn.Close() }
+
+func (r *Remote) roundTrip(req protocol.Message) (protocol.Message, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.conn.Send(req); err != nil {
+		return nil, err
+	}
+	return r.conn.Recv()
+}
+
+// Register implements HeadClient.
+func (r *Remote) Register(hello protocol.Hello) (protocol.JobSpec, error) {
+	reply, err := r.roundTrip(hello)
+	if err != nil {
+		return protocol.JobSpec{}, err
+	}
+	switch m := reply.(type) {
+	case protocol.JobSpec:
+		return m, nil
+	case protocol.ErrorReply:
+		return protocol.JobSpec{}, errors.New(m.Err)
+	default:
+		return protocol.JobSpec{}, fmt.Errorf("cluster: unexpected reply %T to Hello", reply)
+	}
+}
+
+// RequestJobs implements HeadClient.
+func (r *Remote) RequestJobs(site, n int) ([]jobs.Job, error) {
+	reply, err := r.roundTrip(protocol.JobRequest{Site: site, N: n})
+	if err != nil {
+		return nil, err
+	}
+	switch m := reply.(type) {
+	case protocol.JobGrant:
+		return m.Jobs, nil
+	case protocol.ErrorReply:
+		return nil, errors.New(m.Err)
+	default:
+		return nil, fmt.Errorf("cluster: unexpected reply %T to JobRequest", reply)
+	}
+}
+
+// CompleteJobs implements HeadClient. No reply is expected.
+func (r *Remote) CompleteJobs(site int, js []jobs.Job) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.conn.Send(protocol.JobsDone{Site: site, Jobs: js})
+}
+
+// SubmitResult implements HeadClient; blocks until the head broadcasts
+// Finished.
+func (r *Remote) SubmitResult(res protocol.ReductionResult) ([]byte, error) {
+	reply, err := r.roundTrip(res)
+	if err != nil {
+		return nil, err
+	}
+	switch m := reply.(type) {
+	case protocol.Finished:
+		return m.Object, nil
+	case protocol.ErrorReply:
+		return nil, errors.New(m.Err)
+	default:
+		return nil, fmt.Errorf("cluster: unexpected reply %T to ReductionResult", reply)
+	}
+}
+
+var (
+	_ HeadClient = InProc{}
+	_ HeadClient = (*Remote)(nil)
+)

@@ -1,0 +1,333 @@
+// Package cluster implements one cluster's runtime: a MASTER that keeps the
+// cluster-local job pool fed by on-demand group requests to the head node,
+// and SLAVE workers that retrieve assigned chunks (with multiple retrieval
+// threads) and fold them through the Generalized Reduction engine. When the
+// global pool is exhausted the cluster performs its local merge, ships its
+// reduction object to the head, and waits (sync time) for the global
+// reduction to finish.
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/chunk"
+	"repro/internal/core"
+	"repro/internal/jobs"
+	"repro/internal/protocol"
+	"repro/internal/stats"
+)
+
+// HeadClient is the master's view of the head node. Implementations:
+// Remote (sockets, in this package) and head.Head itself via InProc.
+type HeadClient interface {
+	// Register announces the cluster and retrieves the job specification.
+	Register(hello protocol.Hello) (protocol.JobSpec, error)
+	// RequestJobs asks for up to n jobs; empty means the pool is exhausted.
+	RequestJobs(site, n int) ([]jobs.Job, error)
+	// CompleteJobs reports finished jobs (feeds the contention heuristic).
+	CompleteJobs(site int, js []jobs.Job) error
+	// SubmitResult delivers the cluster's reduction object and blocks until
+	// the head finishes the global reduction, returning the final object.
+	SubmitResult(res protocol.ReductionResult) ([]byte, error)
+}
+
+// Config parameterizes one cluster worker process.
+type Config struct {
+	// Site is the storage site co-located with this cluster; jobs whose
+	// data lives elsewhere count as stolen.
+	Site int
+	// Name labels the cluster in logs and reports ("local", "cloud").
+	Name string
+	// Cores is the number of processing threads. Required.
+	Cores int
+	// RetrievalThreads is the number of concurrent chunk retrievals
+	// (each slave uses multiple retrieval threads). Defaults to 2.
+	RetrievalThreads int
+	// Sources maps each site id to the Source this cluster uses to read
+	// data hosted there (its own storage node, the object store client, …).
+	// Either Sources or SourceBuilder is required.
+	Sources map[int]chunk.Source
+	// SourceBuilder constructs the site sources once the dataset index is
+	// known — how daemon deployments, which learn the index from the head's
+	// job spec, wire up their object-store clients.
+	SourceBuilder func(ix *chunk.Index) (map[int]chunk.Source, error)
+	// SourceLabels names sources for byte accounting; optional.
+	SourceLabels map[int]string
+	// Head connects to the head node. Required.
+	Head HeadClient
+	// RequestBatch is the job-group size per head request; defaults to
+	// max(Cores, 4).
+	RequestBatch int
+	// GroupBytes overrides the spec's unit-group budget when > 0.
+	GroupBytes int
+	// Retry controls fault tolerance for transient retrieval failures
+	// (dropped object-store connections, storage-node hiccups).
+	Retry Retry
+	// Logf receives diagnostics; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+// Retry is the retrieval fault-tolerance policy: each chunk fetch is
+// attempted up to Attempts times, sleeping Backoff, 2×Backoff, … between
+// tries. The zero value means 3 attempts with a 50 ms base backoff.
+type Retry struct {
+	Attempts int
+	Backoff  time.Duration
+}
+
+func (r Retry) attempts() int {
+	if r.Attempts <= 0 {
+		return 3
+	}
+	return r.Attempts
+}
+
+func (r Retry) backoff() time.Duration {
+	if r.Backoff <= 0 {
+		return 50 * time.Millisecond
+	}
+	return r.Backoff
+}
+
+// Report summarizes the cluster's run.
+type Report struct {
+	Site      int
+	Name      string
+	Cores     int
+	Breakdown stats.Breakdown
+	Jobs      stats.JobAccounting
+	Bytes     map[string]int64 // bytes retrieved per source label
+	Final     []byte           // encoded final (post-global-reduction) object
+}
+
+func (c *Config) applyDefaults() error {
+	if c.Cores <= 0 {
+		return fmt.Errorf("cluster: Cores must be positive, got %d", c.Cores)
+	}
+	if c.Head == nil {
+		return errors.New("cluster: Head client is required")
+	}
+	if len(c.Sources) == 0 && c.SourceBuilder == nil {
+		return errors.New("cluster: Sources or SourceBuilder is required")
+	}
+	if c.RetrievalThreads <= 0 {
+		c.RetrievalThreads = 2
+	}
+	if c.RequestBatch <= 0 {
+		c.RequestBatch = c.Cores
+		if c.RequestBatch < 4 {
+			c.RequestBatch = 4
+		}
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return nil
+}
+
+// Run executes the cluster's share of one job: register, process jobs until
+// the global pool is dry, then local-merge, submit, and wait for the final
+// result. It blocks until the whole run (all clusters) completes.
+func Run(cfg Config) (*Report, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	spec, err := cfg.Head.Register(protocol.Hello{Site: cfg.Site, Cluster: cfg.Name, Cores: cfg.Cores})
+	if err != nil {
+		return nil, fmt.Errorf("cluster %s: register: %w", cfg.Name, err)
+	}
+	ix, err := chunk.ReadIndex(bytes.NewReader(spec.Index))
+	if err != nil {
+		return nil, fmt.Errorf("cluster %s: bad index in job spec: %w", cfg.Name, err)
+	}
+	if len(cfg.Sources) == 0 {
+		if cfg.Sources, err = cfg.SourceBuilder(ix); err != nil {
+			return nil, fmt.Errorf("cluster %s: building sources: %w", cfg.Name, err)
+		}
+	}
+	if ix.HasChecksums() {
+		// The index carries per-chunk CRCs: verify every retrieval
+		// transparently, whatever the source.
+		verified := make(map[int]chunk.Source, len(cfg.Sources))
+		for site, src := range cfg.Sources {
+			verified[site] = chunk.VerifyingSource{Source: src, Index: ix}
+		}
+		cfg.Sources = verified
+	}
+	reducer, err := core.NewReducer(spec.App, spec.Params)
+	if err != nil {
+		return nil, fmt.Errorf("cluster %s: %w", cfg.Name, err)
+	}
+	groupBytes := spec.GroupBytes
+	if cfg.GroupBytes > 0 {
+		groupBytes = cfg.GroupBytes
+	}
+	batch := cfg.RequestBatch
+	if spec.GroupSize > 0 {
+		batch = spec.GroupSize
+	}
+
+	collector := &stats.Collector{}
+	engine, err := core.NewEngine(core.EngineConfig{
+		Reducer:    reducer,
+		Workers:    cfg.Cores,
+		UnitSize:   spec.UnitSize,
+		GroupBytes: groupBytes,
+		Collector:  collector,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cluster %s: %w", cfg.Name, err)
+	}
+
+	// Master: feed the cluster-local pool with on-demand group requests.
+	// The buffered channel is the local job pool; requesting the next group
+	// only when there is room implements "whenever a cluster's job pool is
+	// diminishing, its master interacts with the head to request more".
+	jobCh := make(chan jobs.Job, batch)
+	feedErr := make(chan error, 1)
+	go func() {
+		defer close(jobCh)
+		for {
+			granted, err := cfg.Head.RequestJobs(cfg.Site, batch)
+			if err != nil {
+				feedErr <- fmt.Errorf("cluster %s: job request: %w", cfg.Name, err)
+				return
+			}
+			if len(granted) == 0 {
+				feedErr <- nil
+				return
+			}
+			for _, j := range granted {
+				jobCh <- j
+			}
+		}
+	}()
+
+	// Slaves: retrieval threads pull jobs, fetch chunk payloads, and push
+	// them into the reduction engine (which applies back-pressure).
+	var (
+		wg       sync.WaitGroup
+		slaveMu  sync.Mutex
+		slaveErr error
+	)
+	fail := func(err error) {
+		slaveMu.Lock()
+		if slaveErr == nil {
+			slaveErr = err
+		}
+		slaveMu.Unlock()
+	}
+	for t := 0; t < cfg.RetrievalThreads; t++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobCh {
+				src, ok := cfg.Sources[j.Site]
+				if !ok {
+					fail(fmt.Errorf("cluster %s: no source for site %d", cfg.Name, j.Site))
+					continue
+				}
+				start := time.Now()
+				data, err := retrieveWithRetry(&cfg, src, j)
+				if err != nil {
+					fail(fmt.Errorf("cluster %s: retrieving %v: %w", cfg.Name, j.Ref, err))
+					continue
+				}
+				collector.AddRetrieval(cfg.sourceLabel(j.Site), time.Since(start), int64(len(data)))
+				if err := engine.Submit(data); err != nil {
+					fail(err)
+					continue
+				}
+				collector.CountJob(j.Site != cfg.Site)
+				if err := cfg.Head.CompleteJobs(cfg.Site, []jobs.Job{j}); err != nil {
+					fail(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := <-feedErr; err != nil {
+		_, _ = engine.Finish()
+		return nil, err
+	}
+	slaveMu.Lock()
+	err = slaveErr
+	slaveMu.Unlock()
+	if err != nil {
+		_, _ = engine.Finish()
+		return nil, err
+	}
+
+	// Local (intra-cluster) merge of the per-core reduction objects.
+	mergeStart := time.Now()
+	obj, err := engine.Finish()
+	if err != nil {
+		return nil, fmt.Errorf("cluster %s: local reduction: %w", cfg.Name, err)
+	}
+	encoded, err := reducer.Encode(obj)
+	if err != nil {
+		return nil, fmt.Errorf("cluster %s: encoding reduction object: %w", cfg.Name, err)
+	}
+	collector.AddSync(time.Since(mergeStart))
+
+	// Global reduction: ship the object, then idle until everyone is done.
+	// This blocked interval is the cluster's sync time.
+	b := collector.Breakdown()
+	jacct := collector.Jobs()
+	syncStart := time.Now()
+	final, err := cfg.Head.SubmitResult(protocol.ReductionResult{
+		Site:       cfg.Site,
+		Object:     encoded,
+		Processing: int64(b.Processing),
+		Retrieval:  int64(b.Retrieval),
+		Sync:       int64(b.Sync),
+		LocalJobs:  jacct.Local,
+		StolenJobs: jacct.Stolen,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cluster %s: submitting result: %w", cfg.Name, err)
+	}
+	collector.AddSync(time.Since(syncStart))
+	cfg.Logf("cluster %s: done (%v)", cfg.Name, collector.Breakdown())
+
+	return &Report{
+		Site:      cfg.Site,
+		Name:      cfg.Name,
+		Cores:     cfg.Cores,
+		Breakdown: collector.Breakdown(),
+		Jobs:      jacct,
+		Bytes:     collector.BytesRetrieved(),
+		Final:     final,
+	}, nil
+}
+
+// retrieveWithRetry fetches one chunk under the cluster's retry policy.
+func retrieveWithRetry(cfg *Config, src chunk.Source, j jobs.Job) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; attempt < cfg.Retry.attempts(); attempt++ {
+		if attempt > 0 {
+			time.Sleep(cfg.Retry.backoff() << (attempt - 1))
+			cfg.Logf("cluster %s: retrying %v (attempt %d): %v", cfg.Name, j.Ref, attempt+1, lastErr)
+		}
+		data, err := src.ReadChunk(j.Ref)
+		if err == nil {
+			return data, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("after %d attempts: %w", cfg.Retry.attempts(), lastErr)
+}
+
+func (c *Config) sourceLabel(site int) string {
+	if l, ok := c.SourceLabels[site]; ok {
+		return l
+	}
+	if site == c.Site {
+		return "local"
+	}
+	return fmt.Sprintf("site%d", site)
+}

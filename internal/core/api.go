@@ -1,0 +1,194 @@
+// Package core implements the paper's primary contribution: the Generalized
+// Reduction API and its execution engine.
+//
+// Generalized Reduction collapses Map-Reduce's map, combine and reduce into
+// a single step: each data element is processed and folded into a per-worker
+// REDUCTION OBJECT immediately, before the next element is touched, so no
+// intermediate (key, value) pairs are materialized, sorted, grouped or
+// shuffled. After all elements are processed, a GLOBAL REDUCTION merges the
+// reduction objects from all workers (and, across clusters, from all
+// clusters) into the final result. Avoiding intermediate state is what makes
+// the model attractive for cloud bursting: the only inter-cluster data
+// exchange is one reduction object per cluster.
+//
+// Application developers provide:
+//
+//   - Reduction Object — any Go value; allocation is owned by the framework
+//     via Reducer.NewObject.
+//   - Local Reduction — Reducer.LocalReduce folds one data unit into the
+//     object. The result must be independent of the order in which units
+//     are processed on each processor; the runtime chooses the order.
+//   - Global Reduction — Reducer.GlobalReduce merges two objects. Common
+//     combination functions (aggregation, concatenation, element-wise sums)
+//     are provided in this package.
+//   - Encode/Decode — serialize objects for inter-cluster transfer.
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Object is an application-defined reduction object. The framework treats
+// it as opaque; only the owning Reducer interprets it.
+type Object any
+
+// Reducer is the application contract of the Generalized Reduction API.
+// Implementations must allow concurrent use: the engine calls LocalReduce
+// from many workers, but never concurrently on the same Object.
+type Reducer interface {
+	// NewObject allocates a fresh reduction object in its identity state:
+	// merging it into any object must leave the other object's value
+	// unchanged.
+	NewObject() Object
+
+	// LocalReduce folds one data unit (a fixed-size element in the dataset's
+	// binary layout) into obj. The outcome must not depend on unit order.
+	LocalReduce(obj Object, unit []byte) error
+
+	// GlobalReduce merges src into dst. It must be associative, and
+	// commutative up to equivalent final results, so that cluster-level and
+	// head-level merges may happen in any order.
+	GlobalReduce(dst, src Object) error
+
+	// Encode serializes obj for transfer between masters and the head node.
+	Encode(obj Object) ([]byte, error)
+
+	// Decode reverses Encode.
+	Decode(data []byte) (Object, error)
+}
+
+// GroupReducer is an optional fast path: a Reducer that can fold an entire
+// unit group (a cache-sized run of whole units) in one call, avoiding
+// per-unit dispatch overhead. The engine uses it when available.
+type GroupReducer interface {
+	Reducer
+	// LocalReduceGroup folds every unit in group (len(group) is a multiple
+	// of unitSize) into obj.
+	LocalReduceGroup(obj Object, group []byte, unitSize int) error
+}
+
+// Errors returned by the engine and registry.
+var (
+	ErrFinished   = errors.New("core: engine already finished")
+	ErrNoReducer  = errors.New("core: no reducer registered under that name")
+	ErrBadPayload = errors.New("core: malformed payload")
+)
+
+// ---------------------------------------------------------------------------
+// Reducer registry — lets daemons instantiate application reducers by name
+// from a job specification received over the wire.
+
+// Factory constructs a reducer from application-specific parameters.
+type Factory func(params []byte) (Reducer, error)
+
+var (
+	registryMu sync.RWMutex
+	registry   = make(map[string]Factory)
+)
+
+// Register makes a reducer factory available under name. It panics if the
+// name is already taken; registration happens in package init functions.
+func Register(name string, f Factory) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("core: duplicate reducer registration %q", name))
+	}
+	registry[name] = f
+}
+
+// NewReducer instantiates the reducer registered under name.
+func NewReducer(name string, params []byte) (Reducer, error) {
+	registryMu.RLock()
+	f, ok := registry[name]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoReducer, name)
+	}
+	return f(params)
+}
+
+// RegisteredReducers returns the sorted names of all registered reducers.
+func RegisteredReducers() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ---------------------------------------------------------------------------
+// Common combination functions. These cover the "several common combination
+// functions already implemented in the generalized reduction system library"
+// that users may pick for their GlobalReduce.
+
+// SumFloat64s adds src into dst element-wise; the slices must have equal
+// length.
+func SumFloat64s(dst, src []float64) error {
+	if len(dst) != len(src) {
+		return fmt.Errorf("core: length mismatch %d vs %d", len(dst), len(src))
+	}
+	for i, v := range src {
+		dst[i] += v
+	}
+	return nil
+}
+
+// SumInt64s adds src into dst element-wise; the slices must have equal length.
+func SumInt64s(dst, src []int64) error {
+	if len(dst) != len(src) {
+		return fmt.Errorf("core: length mismatch %d vs %d", len(dst), len(src))
+	}
+	for i, v := range src {
+		dst[i] += v
+	}
+	return nil
+}
+
+// MergeCounts adds every count in src into dst.
+func MergeCounts[K comparable](dst, src map[K]int64) {
+	for k, v := range src {
+		dst[k] += v
+	}
+}
+
+// MergeSums adds every value in src into dst.
+func MergeSums[K comparable](dst, src map[K]float64) {
+	for k, v := range src {
+		dst[k] += v
+	}
+}
+
+// Concat appends src to dst and returns the extended slice.
+func Concat[T any](dst, src []T) []T { return append(dst, src...) }
+
+// ---------------------------------------------------------------------------
+// Float encoding helpers shared by the built-in applications' codecs.
+
+// AppendFloat64 appends the little-endian IEEE-754 encoding of v to b.
+func AppendFloat64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+// Float64At decodes the float64 at offset off in b.
+func Float64At(b []byte, off int) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(b[off:]))
+}
+
+// AppendFloat32 appends the little-endian IEEE-754 encoding of v to b.
+func AppendFloat32(b []byte, v float32) []byte {
+	return binary.LittleEndian.AppendUint32(b, math.Float32bits(v))
+}
+
+// Float32At decodes the float32 at offset off in b.
+func Float32At(b []byte, off int) float32 {
+	return math.Float32frombits(binary.LittleEndian.Uint32(b[off:]))
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// Engine micro-benchmarks: local-reduction throughput per worker count and
+// dispatch mode (per-unit vs unit-group fast path).
+
+func benchPayload(n int) []byte {
+	buf := make([]byte, 4*n)
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint32(buf[4*i:], uint32(i%1000))
+	}
+	return buf
+}
+
+func benchmarkEngine(b *testing.B, r Reducer, workers int) {
+	payload := benchPayload(1 << 16) // 256 KiB chunk
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := NewEngine(EngineConfig{Reducer: r, Workers: workers, UnitSize: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := e.Submit(payload); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.Finish(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngine_PerUnit_1Worker(b *testing.B)  { benchmarkEngine(b, sumReducer{}, 1) }
+func BenchmarkEngine_PerUnit_4Workers(b *testing.B) { benchmarkEngine(b, sumReducer{}, 4) }
+func BenchmarkEngine_GroupFastPath_1Worker(b *testing.B) {
+	benchmarkEngine(b, groupSumReducer{}, 1)
+}
+func BenchmarkEngine_GroupFastPath_4Workers(b *testing.B) {
+	benchmarkEngine(b, groupSumReducer{}, 4)
+}
+
+func BenchmarkEngineSubmitPipeline(b *testing.B) {
+	// Steady-state Submit throughput with a warm engine.
+	payload := benchPayload(1 << 12)
+	e, err := NewEngine(EngineConfig{Reducer: groupSumReducer{}, Workers: 2, UnitSize: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Submit(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if _, err := e.Finish(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkGlobalReduceMerge(b *testing.B) {
+	r := sumReducer{}
+	dst := r.NewObject()
+	src := r.NewObject()
+	src.(*sumObj).total = 42
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := r.GlobalReduce(dst, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSumFloat64s(b *testing.B) {
+	dst := make([]float64, 4096)
+	src := make([]float64, 4096)
+	for i := range src {
+		src[i] = float64(i)
+	}
+	b.SetBytes(8 * 4096)
+	for i := 0; i < b.N; i++ {
+		if err := SumFloat64s(dst, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,331 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/chunk"
+	"repro/internal/stats"
+)
+
+// sumReducer sums uint32 units — the simplest associative+commutative
+// reduction, used to validate the engine machinery.
+type sumReducer struct{}
+
+type sumObj struct{ total uint64 }
+
+func (sumReducer) NewObject() Object { return &sumObj{} }
+
+func (sumReducer) LocalReduce(obj Object, unit []byte) error {
+	obj.(*sumObj).total += uint64(binary.LittleEndian.Uint32(unit))
+	return nil
+}
+
+func (sumReducer) GlobalReduce(dst, src Object) error {
+	dst.(*sumObj).total += src.(*sumObj).total
+	return nil
+}
+
+func (sumReducer) Encode(obj Object) ([]byte, error) {
+	return binary.LittleEndian.AppendUint64(nil, obj.(*sumObj).total), nil
+}
+
+func (sumReducer) Decode(data []byte) (Object, error) {
+	if len(data) != 8 {
+		return nil, fmt.Errorf("want 8 bytes, got %d", len(data))
+	}
+	return &sumObj{total: binary.LittleEndian.Uint64(data)}, nil
+}
+
+// groupSumReducer additionally implements the GroupReducer fast path.
+type groupSumReducer struct{ sumReducer }
+
+func (groupSumReducer) LocalReduceGroup(obj Object, group []byte, unitSize int) error {
+	o := obj.(*sumObj)
+	for off := 0; off < len(group); off += unitSize {
+		o.total += uint64(binary.LittleEndian.Uint32(group[off:]))
+	}
+	return nil
+}
+
+// failingReducer errors after a set number of units.
+type failingReducer struct {
+	sumReducer
+	after int
+	seen  int
+}
+
+func (r *failingReducer) LocalReduce(obj Object, unit []byte) error {
+	r.seen++
+	if r.seen > r.after {
+		return errors.New("synthetic failure")
+	}
+	return r.sumReducer.LocalReduce(obj, unit)
+}
+
+func makePayload(n int, seed int64) ([]byte, uint64) {
+	rng := rand.New(rand.NewSource(seed))
+	buf := make([]byte, 4*n)
+	var want uint64
+	for i := 0; i < n; i++ {
+		v := rng.Uint32() % 1000
+		binary.LittleEndian.PutUint32(buf[4*i:], v)
+		want += uint64(v)
+	}
+	return buf, want
+}
+
+func TestEngineSum(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		e, err := NewEngine(EngineConfig{Reducer: sumReducer{}, Workers: workers, UnitSize: 4})
+		if err != nil {
+			t.Fatalf("NewEngine: %v", err)
+		}
+		var want uint64
+		for c := 0; c < 10; c++ {
+			buf, sum := makePayload(500, int64(c))
+			want += sum
+			if err := e.Submit(buf); err != nil {
+				t.Fatalf("Submit: %v", err)
+			}
+		}
+		obj, err := e.Finish()
+		if err != nil {
+			t.Fatalf("Finish: %v", err)
+		}
+		if got := obj.(*sumObj).total; got != want {
+			t.Errorf("workers=%d: sum = %d, want %d", workers, got, want)
+		}
+	}
+}
+
+func TestEngineGroupFastPath(t *testing.T) {
+	buf, want := makePayload(4096, 7)
+	e, err := NewEngine(EngineConfig{Reducer: groupSumReducer{}, Workers: 3, UnitSize: 4, GroupBytes: 256})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	if err := e.Submit(buf); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	obj, err := e.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	if got := obj.(*sumObj).total; got != want {
+		t.Errorf("group path sum = %d, want %d", got, want)
+	}
+}
+
+// TestEngineOrderIndependence is the core API contract: the result must not
+// depend on the order in which chunks are submitted or which worker handles
+// them.
+func TestEngineOrderIndependence(t *testing.T) {
+	chunks := make([][]byte, 8)
+	var want uint64
+	for i := range chunks {
+		var s uint64
+		chunks[i], s = makePayload(100+i*13, int64(i))
+		want += s
+	}
+	f := func(permSeed int64, workers uint8) bool {
+		w := int(workers%6) + 1
+		rng := rand.New(rand.NewSource(permSeed))
+		order := rng.Perm(len(chunks))
+		e, err := NewEngine(EngineConfig{Reducer: sumReducer{}, Workers: w, UnitSize: 4})
+		if err != nil {
+			return false
+		}
+		for _, i := range order {
+			if err := e.Submit(chunks[i]); err != nil {
+				return false
+			}
+		}
+		obj, err := e.Finish()
+		if err != nil {
+			return false
+		}
+		return obj.(*sumObj).total == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEngineRejectsMisalignedPayload(t *testing.T) {
+	e, _ := NewEngine(EngineConfig{Reducer: sumReducer{}, Workers: 1, UnitSize: 4})
+	if err := e.Submit(make([]byte, 7)); !errors.Is(err, ErrBadPayload) {
+		t.Errorf("misaligned submit: got %v, want ErrBadPayload", err)
+	}
+	if _, err := e.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+}
+
+func TestEngineUseAfterFinish(t *testing.T) {
+	e, _ := NewEngine(EngineConfig{Reducer: sumReducer{}, Workers: 1, UnitSize: 4})
+	if _, err := e.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	if err := e.Submit(make([]byte, 4)); !errors.Is(err, ErrFinished) {
+		t.Errorf("Submit after Finish: got %v, want ErrFinished", err)
+	}
+	if _, err := e.Finish(); !errors.Is(err, ErrFinished) {
+		t.Errorf("double Finish: got %v, want ErrFinished", err)
+	}
+}
+
+func TestEnginePropagatesReducerError(t *testing.T) {
+	e, err := NewEngine(EngineConfig{Reducer: &failingReducer{after: 10}, Workers: 1, UnitSize: 4})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	buf, _ := makePayload(100, 1)
+	if err := e.Submit(buf); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if _, err := e.Finish(); err == nil {
+		t.Error("reducer error was swallowed")
+	}
+}
+
+func TestEngineConfigValidation(t *testing.T) {
+	if _, err := NewEngine(EngineConfig{UnitSize: 4}); err == nil {
+		t.Error("nil reducer accepted")
+	}
+	if _, err := NewEngine(EngineConfig{Reducer: sumReducer{}}); err == nil {
+		t.Error("zero unit size accepted")
+	}
+}
+
+func TestEngineCollector(t *testing.T) {
+	var c stats.Collector
+	e, err := NewEngine(EngineConfig{Reducer: sumReducer{}, Workers: 2, UnitSize: 4, Collector: &c})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	buf, _ := makePayload(20000, 3)
+	for i := 0; i < 4; i++ {
+		if err := e.Submit(buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := e.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Breakdown().Processing <= 0 {
+		t.Error("collector recorded no processing time")
+	}
+}
+
+func TestRun(t *testing.T) {
+	ix, err := chunk.Layout("run", 1000, 4, 400, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := chunk.NewMemSource(ix)
+	var want uint64
+	var unit int64
+	for _, f := range ix.Files {
+		buf := make([]byte, f.Size)
+		for i := 0; i < int(f.Size/4); i++ {
+			v := uint32(unit % 97)
+			binary.LittleEndian.PutUint32(buf[4*i:], v)
+			want += uint64(v)
+			unit++
+		}
+		if err := src.WriteFile(f.Name, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	obj, err := Run(EngineConfig{Reducer: sumReducer{}, Workers: 4, UnitSize: 4}, ix, src)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := obj.(*sumObj).total; got != want {
+		t.Errorf("Run sum = %d, want %d", got, want)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	Register("core-test-sum", func(params []byte) (Reducer, error) {
+		if string(params) == "fail" {
+			return nil, errors.New("bad params")
+		}
+		return sumReducer{}, nil
+	})
+	r, err := NewReducer("core-test-sum", nil)
+	if err != nil || r == nil {
+		t.Fatalf("NewReducer: %v", err)
+	}
+	if _, err := NewReducer("core-test-sum", []byte("fail")); err == nil {
+		t.Error("factory error swallowed")
+	}
+	if _, err := NewReducer("nope", nil); !errors.Is(err, ErrNoReducer) {
+		t.Errorf("unknown reducer: got %v", err)
+	}
+	found := false
+	for _, n := range RegisteredReducers() {
+		if n == "core-test-sum" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("registered name not listed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	Register("core-test-sum", func([]byte) (Reducer, error) { return sumReducer{}, nil })
+}
+
+func TestCombiners(t *testing.T) {
+	a := []float64{1, 2, 3}
+	if err := SumFloat64s(a, []float64{10, 20, 30}); err != nil {
+		t.Fatal(err)
+	}
+	if a[2] != 33 {
+		t.Errorf("SumFloat64s: %v", a)
+	}
+	if err := SumFloat64s(a, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	b := []int64{5, 5}
+	if err := SumInt64s(b, []int64{1, 2}); err != nil || b[1] != 7 {
+		t.Errorf("SumInt64s: %v %v", b, err)
+	}
+	if err := SumInt64s(b, []int64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	m := map[string]int64{"a": 1}
+	MergeCounts(m, map[string]int64{"a": 2, "b": 3})
+	if m["a"] != 3 || m["b"] != 3 {
+		t.Errorf("MergeCounts: %v", m)
+	}
+	s := map[string]float64{"x": 0.5}
+	MergeSums(s, map[string]float64{"x": 0.25})
+	if s["x"] != 0.75 {
+		t.Errorf("MergeSums: %v", s)
+	}
+	c := Concat([]int{1}, []int{2, 3})
+	if len(c) != 3 || c[2] != 3 {
+		t.Errorf("Concat: %v", c)
+	}
+}
+
+func TestFloatCodecs(t *testing.T) {
+	b := AppendFloat64(nil, 3.25)
+	b = AppendFloat32(b, -1.5)
+	if got := Float64At(b, 0); got != 3.25 {
+		t.Errorf("Float64At = %v", got)
+	}
+	if got := Float32At(b, 8); got != -1.5 {
+		t.Errorf("Float32At = %v", got)
+	}
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/chunk"
+	"repro/internal/stats"
+)
+
+// EngineConfig configures a local-reduction engine.
+type EngineConfig struct {
+	// Reducer is the application contract. Required.
+	Reducer Reducer
+	// Workers is the number of processing threads (compute cores used on
+	// this node). Defaults to GOMAXPROCS.
+	Workers int
+	// UnitSize is the dataset's bytes-per-unit. Required.
+	UnitSize int
+	// GroupBytes caps the size of a unit group handed to one LocalReduce
+	// batch — the cache-utilization knob from the paper's data organization.
+	// Defaults to 256 KiB.
+	GroupBytes int
+	// QueueDepth bounds the number of retrieved chunks waiting for
+	// processing (the memory the slave dedicates to in-flight jobs).
+	// Defaults to 2×Workers.
+	QueueDepth int
+	// Collector, when non-nil, receives processing-time measurements.
+	Collector *stats.Collector
+}
+
+func (c *EngineConfig) applyDefaults() error {
+	if c.Reducer == nil {
+		return fmt.Errorf("core: EngineConfig.Reducer is required")
+	}
+	if c.UnitSize <= 0 {
+		return fmt.Errorf("core: EngineConfig.UnitSize must be positive, got %d", c.UnitSize)
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.GroupBytes <= 0 {
+		c.GroupBytes = 256 << 10
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 2 * c.Workers
+	}
+	return nil
+}
+
+// Engine executes the local-reduction phase on one node: retrieved chunks
+// are submitted to a bounded queue, worker goroutines split them into
+// cache-sized unit groups and fold every unit into a per-worker reduction
+// object (no locks, no intermediate pairs), and Finish merges the worker
+// objects into the node's reduction object.
+type Engine struct {
+	cfg     EngineConfig
+	queue   chan []byte
+	wg      sync.WaitGroup
+	objs    []Object
+	errOnce sync.Once
+	err     error
+	done    bool
+}
+
+// NewEngine starts the worker goroutines and returns a running engine.
+func NewEngine(cfg EngineConfig) (*Engine, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:   cfg,
+		queue: make(chan []byte, cfg.QueueDepth),
+		objs:  make([]Object, cfg.Workers),
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		e.objs[w] = cfg.Reducer.NewObject()
+		e.wg.Add(1)
+		go e.worker(w)
+	}
+	return e, nil
+}
+
+func (e *Engine) worker(id int) {
+	defer e.wg.Done()
+	r := e.cfg.Reducer
+	group, isGroup := r.(GroupReducer)
+	obj := e.objs[id]
+	for data := range e.queue {
+		start := time.Now()
+		var err error
+		if isGroup {
+			for _, g := range chunk.UnitGroups(data, e.cfg.UnitSize, e.cfg.GroupBytes) {
+				if err = group.LocalReduceGroup(obj, g, e.cfg.UnitSize); err != nil {
+					break
+				}
+			}
+		} else {
+			err = e.reduceUnits(obj, data)
+		}
+		if e.cfg.Collector != nil {
+			e.cfg.Collector.AddProcessing(time.Since(start))
+		}
+		if err != nil {
+			e.fail(err)
+			// Keep draining so Submit never blocks forever after a failure.
+		}
+	}
+}
+
+func (e *Engine) reduceUnits(obj Object, data []byte) error {
+	r := e.cfg.Reducer
+	us := e.cfg.UnitSize
+	for _, g := range chunk.UnitGroups(data, us, e.cfg.GroupBytes) {
+		for off := 0; off < len(g); off += us {
+			if err := r.LocalReduce(obj, g[off:off+us]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (e *Engine) fail(err error) {
+	e.errOnce.Do(func() { e.err = err })
+}
+
+// Submit queues one retrieved chunk payload for processing. The payload's
+// length must be a multiple of the unit size. Submit blocks when the queue
+// is full, providing back-pressure against retrieval threads.
+func (e *Engine) Submit(data []byte) error {
+	if e.done {
+		return ErrFinished
+	}
+	if len(data)%e.cfg.UnitSize != 0 {
+		return fmt.Errorf("%w: %d bytes, unit size %d", ErrBadPayload, len(data), e.cfg.UnitSize)
+	}
+	e.queue <- data
+	return nil
+}
+
+// Finish closes the queue, waits for the workers to drain it, and merges all
+// per-worker reduction objects into one. It returns the node-level reduction
+// object, or the first error encountered by any worker.
+func (e *Engine) Finish() (Object, error) {
+	if e.done {
+		return nil, ErrFinished
+	}
+	e.done = true
+	close(e.queue)
+	e.wg.Wait()
+	if e.err != nil {
+		return nil, e.err
+	}
+	result := e.objs[0]
+	for _, obj := range e.objs[1:] {
+		if err := e.cfg.Reducer.GlobalReduce(result, obj); err != nil {
+			return nil, err
+		}
+	}
+	return result, nil
+}
+
+// Workers reports the number of processing threads.
+func (e *Engine) Workers() int { return e.cfg.Workers }
+
+// ---------------------------------------------------------------------------
+
+// Run is the one-shot convenience entry point of the public API: it applies
+// reducer to every chunk obtainable from src (as listed in ix) using the
+// configured number of workers, and returns the final reduction object.
+// It is what the quickstart example and in-process tests use; distributed
+// deployments drive the same Engine through the cluster runtime instead.
+func Run(cfg EngineConfig, ix *chunk.Index, src chunk.Source) (Object, error) {
+	e, err := NewEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, ref := range ix.AllRefs() {
+		data, err := src.ReadChunk(ref)
+		if err != nil {
+			_, _ = e.Finish()
+			return nil, fmt.Errorf("core: retrieving %v: %w", ref, err)
+		}
+		if err := e.Submit(data); err != nil {
+			_, _ = e.Finish()
+			return nil, err
+		}
+	}
+	return e.Finish()
+}

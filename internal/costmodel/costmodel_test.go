@@ -1,0 +1,196 @@
+package costmodel
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/chunk"
+	"repro/internal/hybridsim"
+	"repro/internal/jobs"
+)
+
+func TestPricingValidate(t *testing.T) {
+	p := DefaultPricing2011()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p.CoresPerInstance = 0
+	if err := p.Validate(); err == nil {
+		t.Error("zero cores/instance accepted")
+	}
+	p = DefaultPricing2011()
+	p.TransferOutPerGB = -1
+	if err := p.Validate(); err == nil {
+		t.Error("negative rate accepted")
+	}
+}
+
+func TestPriceArithmetic(t *testing.T) {
+	p := Pricing{
+		InstancePerHour:   1.0,
+		CoresPerInstance:  2,
+		BillingQuantum:    time.Hour,
+		TransferOutPerGB:  0.10,
+		TransferInPerGB:   0.05,
+		RequestPer10K:     0.01,
+		StoragePerGBMonth: 0.0, // isolate the other items
+	}
+	u := Usage{
+		CloudCores: 5, // ⇒ 3 instances
+		Makespan:   90 * time.Minute,
+		BytesOut:   2 << 30, // 2 GiB out → $0.20
+		BytesIn:    4 << 30, // 4 GiB in  → $0.20
+		Requests:   20_000,  // → $0.02
+	}
+	c, err := p.Price(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 instances × 2 billed hours × $1 = $6.
+	if c.Instances != 6 {
+		t.Errorf("Instances = %v, want 6", c.Instances)
+	}
+	if diff := c.Transfer - 0.40; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("Transfer = %v, want 0.40", c.Transfer)
+	}
+	if diff := c.Requests - 0.02; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("Requests = %v, want 0.02", c.Requests)
+	}
+	if got, want := c.Total(), 6.42; got < want-1e-9 || got > want+1e-9 {
+		t.Errorf("Total = %v, want %v", got, want)
+	}
+	if !strings.Contains(c.String(), "$6.4200") {
+		t.Errorf("String = %q", c.String())
+	}
+}
+
+func TestBillingQuantumRoundsUp(t *testing.T) {
+	p := DefaultPricing2011()
+	u := Usage{CloudCores: 2, Makespan: time.Minute}
+	c, err := p.Price(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One instance, one minute of work, billed a whole hour.
+	if got, want := c.Instances, 0.34; got < want-1e-9 || got > want+1e-9 {
+		t.Errorf("Instances = %v, want %v", got, want)
+	}
+	// No quantum: exact duration.
+	p.BillingQuantum = 0
+	c, err = p.Price(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := c.Instances, 0.34/60; got < want-1e-9 || got > want+1e-9 {
+		t.Errorf("unquantized Instances = %v, want %v", got, want)
+	}
+}
+
+// simSetup builds a small two-cluster config for usage/provisioning tests.
+func simSetup(t *testing.T, cloudCores int) hybridsim.Config {
+	t.Helper()
+	ix, err := chunk.Layout("c", 32*1024, 1024, 4*1024, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hybridsim.Config{
+		Index:     ix,
+		Placement: jobs.SplitByFraction(len(ix.Files), 0.5, 0, 1),
+		App: hybridsim.AppModel{
+			Name:               "t",
+			ComputeBytesPerSec: 1 << 20,
+			RobjBytes:          1 << 20,
+			MergeBytesPerSec:   1 << 30,
+		},
+		Topology: hybridsim.Topology{
+			Clusters: []hybridsim.ClusterModel{
+				{Name: "local", Site: 0, Cores: 2, RetrievalThreads: 2},
+				{Name: "cloud", Site: 1, Cores: cloudCores, RetrievalThreads: 2},
+			},
+			SourceEgress:          map[int]float64{0: 100 << 20, 1: 100 << 20},
+			InterClusterBandwidth: 10 << 20,
+			HeadCluster:           0,
+		},
+	}
+}
+
+func TestUsageFromSim(t *testing.T) {
+	cfg := simSetup(t, 2)
+	res, err := hybridsim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := UsageFromSim(res, cfg, 1, 1)
+	if u.CloudCores != 2 {
+		t.Errorf("CloudCores = %d", u.CloudCores)
+	}
+	if u.Makespan != res.Total {
+		t.Errorf("Makespan = %v, want %v", u.Makespan, res.Total)
+	}
+	// The cloud cluster ships its robj out (head is cluster 0).
+	if u.BytesOut < cfg.App.RobjBytes {
+		t.Errorf("BytesOut = %d, want ≥ robj %d", u.BytesOut, cfg.App.RobjBytes)
+	}
+	// Half the dataset is stored in the cloud.
+	if u.StoredBytes != cfg.Index.TotalBytes()/2 {
+		t.Errorf("StoredBytes = %d, want %d", u.StoredBytes, cfg.Index.TotalBytes()/2)
+	}
+}
+
+func TestProvisionPicksCheapestFeasible(t *testing.T) {
+	p := DefaultPricing2011()
+	p.BillingQuantum = 0 // linear cost in time for a clean ordering
+	// Establish per-option makespans first.
+	makespan := func(cores int) time.Duration {
+		res, err := hybridsim.Run(simSetup(t, cores))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Total
+	}
+	m2, m8 := makespan(2), makespan(8)
+	if m8 >= m2 {
+		t.Fatalf("more cores not faster: %v vs %v", m8, m2)
+	}
+	deadline := (m2 + m8) / 2 // only the bigger options qualify
+	plan, err := Provision(p, deadline, []int{2, 4, 8, 16},
+		func(c int) hybridsim.Config { return simSetup(t, c) }, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Candidates) != 4 {
+		t.Fatalf("candidates = %d", len(plan.Candidates))
+	}
+	if plan.Chosen == nil {
+		t.Fatal("no feasible candidate found")
+	}
+	if plan.Chosen.Makespan > deadline {
+		t.Errorf("chosen misses deadline: %v > %v", plan.Chosen.Makespan, deadline)
+	}
+	for _, c := range plan.Candidates {
+		if c.Makespan <= deadline && c.Cost.Total() < plan.Chosen.Cost.Total() {
+			t.Errorf("cheaper feasible candidate skipped: %+v vs chosen %+v", c, plan.Chosen)
+		}
+	}
+	if got := plan.Format(deadline); !strings.Contains(got, "chosen") {
+		t.Errorf("Format = %q", got)
+	}
+}
+
+func TestProvisionInfeasible(t *testing.T) {
+	plan, err := Provision(DefaultPricing2011(), time.Nanosecond, []int{2},
+		func(c int) hybridsim.Config { return simSetup(t, c) }, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Chosen != nil {
+		t.Errorf("impossible deadline produced a plan: %+v", plan.Chosen)
+	}
+	if !strings.Contains(plan.Format(time.Nanosecond), "no candidate") {
+		t.Error("Format missing infeasibility notice")
+	}
+	if _, err := Provision(DefaultPricing2011(), time.Second, nil, nil, 1); err == nil {
+		t.Error("empty options accepted")
+	}
+}

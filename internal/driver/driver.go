@@ -1,0 +1,189 @@
+// Package driver runs iterative generalized-reduction jobs (k-means lloyd
+// rounds, PageRank power iterations) over a hybrid deployment. Each round
+// is one full framework run — job pool, on-demand assignment, stealing,
+// local and global reduction — and between rounds only the application
+// parameters (derived from the previous round's reduction object) change.
+// The data never moves.
+//
+// The driver deploys clusters in-process against any chunk.Source wiring
+// (local memory, directories, object-store clients behind emulated WANs);
+// multi-process deployments script the same loop with the cmd/headnode and
+// cmd/workernode daemons.
+package driver
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/chunk"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/head"
+	"repro/internal/jobs"
+	"repro/internal/protocol"
+)
+
+// ClusterSpec describes one participating cluster.
+type ClusterSpec struct {
+	Site             int
+	Name             string
+	Cores            int
+	RetrievalThreads int
+	// Sources maps site → source for this cluster's data paths. Required.
+	Sources map[int]chunk.Source
+	// SourceLabels names sources for byte accounting; optional.
+	SourceLabels map[int]string
+	// Retry is the retrieval fault-tolerance policy.
+	Retry cluster.Retry
+}
+
+// Deployment is a reusable hybrid deployment: dataset layout, placement and
+// cluster wiring that stay fixed across rounds.
+type Deployment struct {
+	Index      *chunk.Index
+	Placement  jobs.Placement
+	Clusters   []ClusterSpec
+	PoolOpts   jobs.Options
+	GroupBytes int
+	// Logf receives diagnostics; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+// Step is one round's job: the registered application and its parameters,
+// plus the head-side reducer used for decoding and the global reduction.
+type Step struct {
+	App     string
+	Params  []byte
+	Reducer core.Reducer
+}
+
+// RoundReport is what one round produced.
+type RoundReport struct {
+	Round   int
+	Object  core.Object
+	Reports []head.ClusterReport
+}
+
+func (d *Deployment) validate() error {
+	if d.Index == nil {
+		return errors.New("driver: Index is required")
+	}
+	if len(d.Clusters) == 0 {
+		return errors.New("driver: at least one cluster is required")
+	}
+	if err := d.Placement.Validate(d.Index); err != nil {
+		return err
+	}
+	for i, c := range d.Clusters {
+		if c.Cores <= 0 {
+			return fmt.Errorf("driver: cluster %d (%s) has %d cores", i, c.Name, c.Cores)
+		}
+		if len(c.Sources) == 0 {
+			return fmt.Errorf("driver: cluster %d (%s) has no sources", i, c.Name)
+		}
+	}
+	return nil
+}
+
+// RunOnce executes a single round and returns the merged reduction object
+// with the per-cluster reports.
+func (d *Deployment) RunOnce(s Step) (core.Object, []head.ClusterReport, error) {
+	if err := d.validate(); err != nil {
+		return nil, nil, err
+	}
+	if s.Reducer == nil {
+		return nil, nil, errors.New("driver: Step.Reducer is required")
+	}
+	pool, err := jobs.NewPool(d.Index, d.Placement, d.PoolOpts)
+	if err != nil {
+		return nil, nil, err
+	}
+	spec := protocol.JobSpec{
+		App:        s.App,
+		Params:     s.Params,
+		UnitSize:   d.Index.UnitSize,
+		GroupBytes: d.GroupBytes,
+	}
+	if err := head.EncodeIndexSpec(&spec, d.Index); err != nil {
+		return nil, nil, err
+	}
+	logf := d.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	h, err := head.New(head.Config{
+		Pool:           pool,
+		Reducer:        s.Reducer,
+		Spec:           spec,
+		ExpectClusters: len(d.Clusters),
+		Logf:           logf,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(d.Clusters))
+	for i, cs := range d.Clusters {
+		wg.Add(1)
+		go func(i int, cs ClusterSpec) {
+			defer wg.Done()
+			_, errs[i] = cluster.Run(cluster.Config{
+				Site:             cs.Site,
+				Name:             cs.Name,
+				Cores:            cs.Cores,
+				RetrievalThreads: cs.RetrievalThreads,
+				Sources:          cs.Sources,
+				SourceLabels:     cs.SourceLabels,
+				Head:             cluster.InProc{Head: h},
+				GroupBytes:       d.GroupBytes,
+				Retry:            cs.Retry,
+				Logf:             logf,
+			})
+		}(i, cs)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, nil, fmt.Errorf("driver: cluster %d (%s): %w", i, d.Clusters[i].Name, err)
+		}
+	}
+	obj, reports, _, err := h.Result()
+	if err != nil {
+		return nil, nil, err
+	}
+	return obj, reports, nil
+}
+
+// Iterate runs rounds until next returns a nil Step or maxRounds is
+// reached. next receives the previous round's reduction object (nil on the
+// first round) and derives the next round's parameters. It returns the last
+// object, the per-round reports, and the number of rounds executed.
+func (d *Deployment) Iterate(maxRounds int, next func(round int, prev core.Object) (*Step, error)) (core.Object, []RoundReport, error) {
+	if maxRounds <= 0 {
+		return nil, nil, fmt.Errorf("driver: maxRounds must be positive, got %d", maxRounds)
+	}
+	var (
+		prev    core.Object
+		reports []RoundReport
+	)
+	for round := 0; round < maxRounds; round++ {
+		step, err := next(round, prev)
+		if err != nil {
+			return nil, reports, err
+		}
+		if step == nil {
+			break
+		}
+		obj, clusterReports, err := d.RunOnce(*step)
+		if err != nil {
+			return nil, reports, fmt.Errorf("driver: round %d: %w", round, err)
+		}
+		prev = obj
+		reports = append(reports, RoundReport{Round: round, Object: obj, Reports: clusterReports})
+	}
+	if prev == nil {
+		return nil, nil, errors.New("driver: no rounds executed")
+	}
+	return prev, reports, nil
+}

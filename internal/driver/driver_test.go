@@ -1,0 +1,321 @@
+package driver
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/chunk"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/jobs"
+	"repro/internal/workload"
+)
+
+// buildPointDeployment creates a two-cluster deployment over clustered
+// points with a 50/50 placement.
+func buildPointDeployment(t *testing.T, gen workload.ClusteredPoints, units int64) (*Deployment, *chunk.MemSource) {
+	t.Helper()
+	ix, err := chunk.Layout("drv", units, gen.UnitSize(), 250, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := chunk.NewMemSource(ix)
+	if err := workload.Build(ix, gen, src); err != nil {
+		t.Fatal(err)
+	}
+	sources := map[int]chunk.Source{0: src, 1: src}
+	return &Deployment{
+		Index:     ix,
+		Placement: jobs.SplitByFraction(len(ix.Files), 0.5, 0, 1),
+		Clusters: []ClusterSpec{
+			{Site: 0, Name: "local", Cores: 2, Sources: sources},
+			{Site: 1, Name: "cloud", Cores: 2, Sources: sources},
+		},
+		Logf: t.Logf,
+	}, src
+}
+
+func TestIterateKMeansConverges(t *testing.T) {
+	gen := workload.ClusteredPoints{Seed: 17, Dim: 2, K: 3, Spread: 0.01}
+	d, src := buildPointDeployment(t, gen, 1500)
+	centers, err := apps.SeedCenters(d.Index, src, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastSSE float64
+	obj, rounds, err := d.Iterate(20, func(round int, prev core.Object) (*Step, error) {
+		if prev != nil {
+			acc := prev.(*apps.KMeansObject)
+			centers = apps.NextCenters(acc, centers)
+			if round > 1 && lastSSE-acc.SSE < 1e-9*lastSSE {
+				return nil, nil // converged
+			}
+			lastSSE = acc.SSE
+		}
+		p := apps.KMeansParams{K: 3, Dim: 2, Centers: centers}
+		params, err := apps.EncodeKMeansParams(p)
+		if err != nil {
+			return nil, err
+		}
+		r, err := apps.NewKMeansReducer(p)
+		if err != nil {
+			return nil, err
+		}
+		return &Step{App: apps.KMeansReducerName, Params: params, Reducer: r}, nil
+	})
+	if err != nil {
+		t.Fatalf("Iterate: %v", err)
+	}
+	if len(rounds) < 2 || len(rounds) > 20 {
+		t.Errorf("rounds = %d", len(rounds))
+	}
+	acc := obj.(*apps.KMeansObject)
+	var total int64
+	for _, c := range acc.Counts {
+		total += c
+	}
+	if total != d.Index.TotalUnits() {
+		t.Errorf("points accounted = %d, want %d", total, d.Index.TotalUnits())
+	}
+	// Learned centers near true blob centers.
+	final := apps.NextCenters(acc, centers)
+	for ci, c := range final {
+		best := math.MaxFloat64
+		for k := 0; k < 3; k++ {
+			tc := gen.TrueCenter(k)
+			dist := 0.0
+			for i := range c {
+				dist += (c[i] - tc[i]) * (c[i] - tc[i])
+			}
+			if dist < best {
+				best = dist
+			}
+		}
+		if best > 0.02 {
+			t.Errorf("center %d is %v² from every true center", ci, best)
+		}
+	}
+	// Each round used both clusters.
+	for _, rr := range rounds {
+		if len(rr.Reports) != 2 {
+			t.Errorf("round %d reports = %d", rr.Round, len(rr.Reports))
+		}
+	}
+}
+
+func TestIteratePageRank(t *testing.T) {
+	const nodes = 30
+	gen := &workload.PowerLawGraph{Seed: 3, Nodes: nodes, Edges: 900}
+	ix, err := chunk.Layout("g", 900, workload.EdgeUnitSize, 300, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := chunk.NewMemSource(ix)
+	if err := workload.Build(ix, gen, src); err != nil {
+		t.Fatal(err)
+	}
+	sources := map[int]chunk.Source{0: src, 1: src}
+	d := &Deployment{
+		Index:     ix,
+		Placement: jobs.SplitByFraction(len(ix.Files), 1.0/3.0, 0, 1),
+		Clusters: []ClusterSpec{
+			{Site: 0, Name: "local", Cores: 2, Sources: sources},
+			{Site: 1, Name: "cloud", Cores: 2, Sources: sources},
+		},
+	}
+	var ranks []float64
+	obj, rounds, err := d.Iterate(5, func(round int, prev core.Object) (*Step, error) {
+		if prev != nil {
+			ranks = apps.NextRanks(prev.(*apps.PageRankObject), 0.85)
+		}
+		p := apps.PageRankParams{Nodes: nodes, Damping: 0.85, Ranks: ranks}
+		params, err := apps.EncodePageRankParams(p)
+		if err != nil {
+			return nil, err
+		}
+		r, err := apps.NewPageRankReducer(p)
+		if err != nil {
+			return nil, err
+		}
+		return &Step{App: apps.PageRankReducerName, Params: params, Reducer: r}, nil
+	})
+	if err != nil {
+		t.Fatalf("Iterate: %v", err)
+	}
+	if len(rounds) != 5 {
+		t.Errorf("rounds = %d, want 5", len(rounds))
+	}
+	final := apps.NextRanks(obj.(*apps.PageRankObject), 0.85)
+	var sum float64
+	for _, v := range final {
+		if v <= 0 {
+			t.Errorf("non-positive rank %v", v)
+		}
+		sum += v
+	}
+	if sum < 0.5 || sum > 1.01 {
+		t.Errorf("rank mass = %v", sum)
+	}
+}
+
+func TestDeploymentValidation(t *testing.T) {
+	if _, _, err := (&Deployment{}).RunOnce(Step{}); err == nil {
+		t.Error("empty deployment accepted")
+	}
+	gen := workload.ClusteredPoints{Seed: 1, Dim: 2, K: 2, Spread: 0.1}
+	d, _ := buildPointDeployment(t, gen, 500)
+	if _, _, err := d.RunOnce(Step{App: "x"}); err == nil {
+		t.Error("nil reducer accepted")
+	}
+	bad := *d
+	bad.Clusters = []ClusterSpec{{Site: 0, Name: "x", Cores: 0, Sources: d.Clusters[0].Sources}}
+	if _, _, err := bad.RunOnce(Step{}); err == nil {
+		t.Error("zero-core cluster accepted")
+	}
+	bad = *d
+	bad.Placement = jobs.Placement{0}
+	if _, _, err := bad.RunOnce(Step{}); err == nil {
+		t.Error("short placement accepted")
+	}
+	if _, _, err := d.Iterate(0, nil); err == nil {
+		t.Error("zero rounds accepted")
+	}
+}
+
+func TestIterateStepError(t *testing.T) {
+	gen := workload.ClusteredPoints{Seed: 1, Dim: 2, K: 2, Spread: 0.1}
+	d, _ := buildPointDeployment(t, gen, 500)
+	boom := errors.New("boom")
+	if _, _, err := d.Iterate(3, func(int, core.Object) (*Step, error) {
+		return nil, boom
+	}); !errors.Is(err, boom) {
+		t.Errorf("err = %v, want boom", err)
+	}
+	// Immediate stop without any round is an error.
+	if _, _, err := d.Iterate(3, func(int, core.Object) (*Step, error) {
+		return nil, nil
+	}); err == nil {
+		t.Error("zero executed rounds accepted")
+	}
+}
+
+// TestThreeClusterDeployment: the driver (and head/cluster runtime under
+// it) handles more than two clusters — the paper's multi-provider claim.
+func TestThreeClusterDeployment(t *testing.T) {
+	gen := workload.ClusteredPoints{Seed: 8, Dim: 2, K: 2, Spread: 0.05}
+	ix, err := chunk.Layout("mc", 900, gen.UnitSize(), 150, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := chunk.NewMemSource(ix)
+	if err := workload.Build(ix, gen, src); err != nil {
+		t.Fatal(err)
+	}
+	sources := map[int]chunk.Source{0: src, 1: src, 2: src}
+	placement := make(jobs.Placement, len(ix.Files))
+	for i := range placement {
+		placement[i] = i % 3
+	}
+	d := &Deployment{
+		Index:     ix,
+		Placement: placement,
+		Clusters: []ClusterSpec{
+			{Site: 0, Name: "local", Cores: 2, Sources: sources},
+			{Site: 1, Name: "cloudA", Cores: 2, Sources: sources},
+			{Site: 2, Name: "cloudB", Cores: 1, Sources: sources},
+		},
+	}
+	p := apps.HistogramParams{Bins: 8, Dim: 2}
+	params, err := apps.EncodeHistogramParams(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := apps.NewHistogramReducer(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, reports, err := d.RunOnce(Step{App: apps.HistogramReducerName, Params: params, Reducer: r})
+	if err != nil {
+		t.Fatalf("RunOnce: %v", err)
+	}
+	if got := obj.(*apps.HistogramObject).Total(); got != ix.TotalUnits() {
+		t.Errorf("histogram total = %d, want %d", got, ix.TotalUnits())
+	}
+	if len(reports) != 3 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	jobsTotal := 0
+	for _, rr := range reports {
+		jobsTotal += rr.Jobs.Total()
+	}
+	if jobsTotal != ix.NumChunks() {
+		t.Errorf("jobs = %d, want %d", jobsTotal, ix.NumChunks())
+	}
+}
+
+// TestIterateWithFlakySources: the retry policy composes with the driver —
+// transient per-chunk failures across rounds stay invisible.
+func TestIterateWithFlakySources(t *testing.T) {
+	gen := workload.ClusteredPoints{Seed: 6, Dim: 2, K: 2, Spread: 0.05}
+	ix, err := chunk.Layout("fl", 600, gen.UnitSize(), 200, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := chunk.NewMemSource(ix)
+	if err := workload.Build(ix, gen, src); err != nil {
+		t.Fatal(err)
+	}
+	flaky := &onceFlaky{inner: src, failed: map[chunk.Ref]bool{}}
+	sources := map[int]chunk.Source{0: flaky, 1: flaky}
+	d := &Deployment{
+		Index:     ix,
+		Placement: jobs.SplitByFraction(len(ix.Files), 0.5, 0, 1),
+		Clusters: []ClusterSpec{
+			{Site: 0, Name: "a", Cores: 2, Sources: sources,
+				Retry: cluster.Retry{Attempts: 3, Backoff: time.Millisecond}},
+			{Site: 1, Name: "b", Cores: 2, Sources: sources,
+				Retry: cluster.Retry{Attempts: 3, Backoff: time.Millisecond}},
+		},
+	}
+	p := apps.HistogramParams{Bins: 4, Dim: 2}
+	params, err := apps.EncodeHistogramParams(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		r, err := apps.NewHistogramReducer(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		obj, _, err := d.RunOnce(Step{App: apps.HistogramReducerName, Params: params, Reducer: r})
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if got := obj.(*apps.HistogramObject).Total(); got != ix.TotalUnits() {
+			t.Errorf("round %d total = %d, want %d", round, got, ix.TotalUnits())
+		}
+	}
+}
+
+// onceFlaky fails each chunk's first-ever read.
+type onceFlaky struct {
+	inner chunk.Source
+
+	mu     sync.Mutex
+	failed map[chunk.Ref]bool
+}
+
+func (f *onceFlaky) ReadChunk(ref chunk.Ref) ([]byte, error) {
+	f.mu.Lock()
+	first := !f.failed[ref]
+	f.failed[ref] = true
+	f.mu.Unlock()
+	if first {
+		return nil, errors.New("transient")
+	}
+	return f.inner.ReadChunk(ref)
+}

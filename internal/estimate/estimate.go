@@ -1,0 +1,310 @@
+// Package estimate predicts a hybrid run's makespan analytically, without
+// simulation — the planner's fast path for provisioning decisions.
+//
+// The model treats the run as a fluid transportation problem: data hosted
+// at each storage site must flow to clusters, where flow is limited by
+//
+//   - per-(cluster, site) path capacity: retrieval streams × per-stream
+//     bandwidth, capped by the shared path pipe,
+//   - per-cluster compute capacity: cores × speed × app rate,
+//   - per-site egress capacity (disk / object-store service rate).
+//
+// The smallest horizon T for which a feasible flow drains every site's
+// data is found by binary search, with feasibility decided by max-flow on
+// the site→cluster bipartite graph. A global-reduction tail (reduction-
+// object transfer + serial merges) is added on top.
+//
+// The estimator is deliberately optimistic — it ignores job granularity,
+// end-game imbalance and control latency — so it is a lower bound that
+// tracks the simulator within tens of percent (see the validation tests).
+package estimate
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/hybridsim"
+)
+
+// Estimate is the analytic prediction for one configuration.
+type Estimate struct {
+	// Processing is the pure drain time: the smallest feasible horizon T.
+	Processing time.Duration
+	// GlobalReduction is the reduction-object tail.
+	GlobalReduction time.Duration
+}
+
+// Total returns the predicted makespan.
+func (e Estimate) Total() time.Duration { return e.Processing + e.GlobalReduction }
+
+// Makespan predicts the makespan of cfg.
+func Makespan(cfg hybridsim.Config) (Estimate, error) {
+	if cfg.Index == nil || len(cfg.Topology.Clusters) == 0 {
+		return Estimate{}, fmt.Errorf("estimate: incomplete config")
+	}
+	if cfg.App.ComputeBytesPerSec <= 0 {
+		return Estimate{}, fmt.Errorf("estimate: App.ComputeBytesPerSec must be positive")
+	}
+	// Bytes hosted per site.
+	demand := map[int]float64{}
+	for fi, site := range cfg.Placement {
+		demand[site] += float64(cfg.Index.Files[fi].Size)
+	}
+	m := buildModel(cfg)
+
+	// Binary search the horizon. Upper bound: serve everything through the
+	// single slowest positive capacity.
+	var total float64
+	for _, d := range demand {
+		total += d
+	}
+	if total == 0 {
+		return Estimate{GlobalReduction: grTail(cfg)}, nil
+	}
+	slowest := math.Inf(1)
+	for _, e := range m.edges {
+		if e.cap > 0 && e.cap < slowest {
+			slowest = e.cap
+		}
+	}
+	for _, comp := range m.clusters {
+		if comp > 0 && comp < slowest {
+			slowest = comp
+		}
+	}
+	for _, eg := range m.egress {
+		if eg > 0 && eg < slowest {
+			slowest = eg
+		}
+	}
+	if math.IsInf(slowest, 1) {
+		return Estimate{}, fmt.Errorf("estimate: no constrained path")
+	}
+	lo, hi := 0.0, total/slowest*4+1
+	if !m.feasible(demand, hi) {
+		return Estimate{}, fmt.Errorf("estimate: no feasible flow drains the dataset (disconnected topology?)")
+	}
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if m.feasible(demand, mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return Estimate{
+		Processing:      time.Duration(hi * float64(time.Second)),
+		GlobalReduction: grTail(cfg),
+	}, nil
+}
+
+// grTail estimates the global-reduction tail: non-head clusters' reduction
+// objects cross the shared inter-cluster pipe (concurrently, so the pipe is
+// split), then the head merges all objects serially.
+func grTail(cfg hybridsim.Config) time.Duration {
+	t := cfg.Topology
+	payers := 0
+	for i := range t.Clusters {
+		if i != t.HeadCluster {
+			payers++
+		}
+	}
+	var tail time.Duration
+	if payers > 0 {
+		tail += t.InterClusterLatency
+		if t.InterClusterBandwidth > 0 {
+			totalBytes := float64(cfg.App.RobjBytes) * float64(payers)
+			tail += time.Duration(totalBytes / t.InterClusterBandwidth * float64(time.Second))
+		}
+	}
+	if cfg.App.MergeBytesPerSec > 0 {
+		merge := float64(cfg.App.RobjBytes) / cfg.App.MergeBytesPerSec
+		tail += time.Duration(merge * float64(len(t.Clusters)) * float64(time.Second))
+	}
+	tail += t.ControlLatency
+	return tail
+}
+
+// ---------------------------------------------------------------------------
+// Transportation feasibility via max-flow.
+
+type edge struct {
+	cluster int
+	site    int
+	cap     float64 // bytes/sec; Inf = unconstrained
+}
+
+type model struct {
+	clusters []float64 // compute capacity per cluster (bytes/sec)
+	egress   map[int]float64
+	edges    []edge
+}
+
+func buildModel(cfg hybridsim.Config) *model {
+	m := &model{egress: map[int]float64{}}
+	for site, cap := range cfg.Topology.SourceEgress {
+		if cap > 0 {
+			m.egress[site] = cap
+		}
+	}
+	sites := map[int]bool{}
+	for _, site := range cfg.Placement {
+		sites[site] = true
+	}
+	for ci, c := range cfg.Topology.Clusters {
+		speed := c.CoreSpeed
+		if speed <= 0 {
+			speed = 1
+		}
+		m.clusters = append(m.clusters, float64(c.Cores)*speed*cfg.App.ComputeBytesPerSec)
+		threads := c.RetrievalThreads
+		if threads <= 0 {
+			threads = 2
+		}
+		for site := range sites {
+			cap := math.Inf(1)
+			if pm, ok := cfg.Topology.Paths[[2]int{ci, site}]; ok {
+				if pm.PerStream > 0 {
+					cap = pm.PerStream * float64(threads)
+				}
+				if pm.Bandwidth > 0 && pm.Bandwidth < cap {
+					cap = pm.Bandwidth
+				}
+			}
+			m.edges = append(m.edges, edge{cluster: ci, site: site, cap: cap})
+		}
+	}
+	return m
+}
+
+// feasible reports whether demand (bytes per site) can be drained within
+// horizon seconds: max-flow from sites to clusters must move all bytes.
+// Node layout: 0 = source, 1..S = sites, S+1..S+C = clusters, S+C+1 = sink.
+func (m *model) feasible(demand map[int]float64, horizon float64) bool {
+	if horizon <= 0 {
+		return false
+	}
+	siteIDs := make([]int, 0, len(demand))
+	for s := range demand {
+		siteIDs = append(siteIDs, s)
+	}
+	// Deterministic order.
+	for i := 0; i < len(siteIDs); i++ {
+		for j := i + 1; j < len(siteIDs); j++ {
+			if siteIDs[j] < siteIDs[i] {
+				siteIDs[i], siteIDs[j] = siteIDs[j], siteIDs[i]
+			}
+		}
+	}
+	siteNode := map[int]int{}
+	for i, s := range siteIDs {
+		siteNode[s] = 1 + i
+	}
+	S, C := len(siteIDs), len(m.clusters)
+	n := S + C + 2
+	sink := n - 1
+	g := newFlowGraph(n)
+
+	var want float64
+	for _, s := range siteIDs {
+		// Source → site: the bytes that must leave the site. Cap the rate
+		// by the site's egress × horizon.
+		amount := demand[s]
+		want += amount
+		cap := amount
+		if eg, ok := m.egress[s]; ok {
+			if lim := eg * horizon; lim < cap {
+				cap = lim
+			}
+		}
+		g.addEdge(0, siteNode[s], cap)
+	}
+	for _, e := range m.edges {
+		sn, ok := siteNode[e.site]
+		if !ok {
+			continue
+		}
+		cap := math.Inf(1)
+		if !math.IsInf(e.cap, 1) {
+			cap = e.cap * horizon
+		}
+		g.addEdge(sn, 1+S+e.cluster, cap)
+	}
+	for ci, comp := range m.clusters {
+		g.addEdge(1+S+ci, sink, comp*horizon)
+	}
+	const slack = 1e-6
+	return g.maxFlow(0, sink) >= want*(1-slack)
+}
+
+// flowGraph is a small capacity-scaling-free Ford-Fulkerson (BFS augmenting
+// paths), ample for the handful of nodes involved.
+type flowGraph struct {
+	n    int
+	head [][]int // adjacency: node → arc indices
+	to   []int
+	cap  []float64
+}
+
+func newFlowGraph(n int) *flowGraph {
+	return &flowGraph{n: n, head: make([][]int, n)}
+}
+
+func (g *flowGraph) addEdge(u, v int, cap float64) {
+	g.head[u] = append(g.head[u], len(g.to))
+	g.to = append(g.to, v)
+	g.cap = append(g.cap, cap)
+	g.head[v] = append(g.head[v], len(g.to))
+	g.to = append(g.to, u)
+	g.cap = append(g.cap, 0)
+}
+
+func (g *flowGraph) maxFlow(s, t int) float64 {
+	var total float64
+	for {
+		// BFS for an augmenting path.
+		parentArc := make([]int, g.n)
+		for i := range parentArc {
+			parentArc[i] = -1
+		}
+		visited := make([]bool, g.n)
+		visited[s] = true
+		queue := []int{s}
+		for len(queue) > 0 && !visited[t] {
+			u := queue[0]
+			queue = queue[1:]
+			for _, ai := range g.head[u] {
+				v := g.to[ai]
+				if !visited[v] && g.cap[ai] > 1e-12 {
+					visited[v] = true
+					parentArc[v] = ai
+					queue = append(queue, v)
+				}
+			}
+		}
+		if !visited[t] {
+			return total
+		}
+		// Bottleneck along the path.
+		aug := math.Inf(1)
+		for v := t; v != s; {
+			ai := parentArc[v]
+			if g.cap[ai] < aug {
+				aug = g.cap[ai]
+			}
+			v = g.to[ai^1]
+		}
+		if math.IsInf(aug, 1) {
+			// An unconstrained source→sink path means infinite throughput.
+			return math.Inf(1)
+		}
+		for v := t; v != s; {
+			ai := parentArc[v]
+			g.cap[ai] -= aug
+			g.cap[ai^1] += aug
+			v = g.to[ai^1]
+		}
+		total += aug
+	}
+}

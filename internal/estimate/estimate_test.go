@@ -1,0 +1,146 @@
+package estimate
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/chunk"
+	"repro/internal/hybridsim"
+	"repro/internal/jobs"
+)
+
+// simpleConfig builds a single-cluster config with one clean bottleneck.
+func simpleConfig(t *testing.T, computeBps, perStream, egress float64) hybridsim.Config {
+	t.Helper()
+	ix, err := chunk.Layout("e", 64*1024, 1024, 16*1024, 1024) // 64 MiB
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hybridsim.Config{
+		Index:     ix,
+		Placement: jobs.SplitByFraction(len(ix.Files), 1, 0, 1),
+		App: hybridsim.AppModel{
+			Name:               "t",
+			ComputeBytesPerSec: computeBps,
+			MergeBytesPerSec:   1 << 40,
+		},
+		Topology: hybridsim.Topology{
+			Clusters: []hybridsim.ClusterModel{
+				{Name: "c", Site: 0, Cores: 4, RetrievalThreads: 4},
+			},
+			SourceEgress: map[int]float64{0: egress},
+			Paths: map[[2]int]hybridsim.PathModel{
+				{0, 0}: {PerStream: perStream},
+			},
+		},
+	}
+}
+
+func TestComputeBoundExact(t *testing.T) {
+	// 64 MiB at 4 cores × 1 MiB/s, retrieval ample: T = 16 s.
+	cfg := simpleConfig(t, 1<<20, 100<<20, 1<<30)
+	e, err := Makespan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := e.Processing.Seconds(), 16.0; math.Abs(got-want) > 0.01 {
+		t.Errorf("compute-bound T = %.3f s, want %.3f", got, want)
+	}
+}
+
+func TestRetrievalBoundExact(t *testing.T) {
+	// 64 MiB through 4 streams × 2 MiB/s = 8 MiB/s: T = 8 s.
+	cfg := simpleConfig(t, 1<<30, 2<<20, 1<<30)
+	e, err := Makespan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := e.Processing.Seconds(), 8.0; math.Abs(got-want) > 0.01 {
+		t.Errorf("retrieval-bound T = %.3f s, want %.3f", got, want)
+	}
+}
+
+func TestEgressBoundExact(t *testing.T) {
+	// 64 MiB through a 4 MiB/s disk: T = 16 s.
+	cfg := simpleConfig(t, 1<<30, 100<<20, 4<<20)
+	e, err := Makespan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := e.Processing.Seconds(), 16.0; math.Abs(got-want) > 0.01 {
+		t.Errorf("egress-bound T = %.3f s, want %.3f", got, want)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Makespan(hybridsim.Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	cfg := simpleConfig(t, 0, 1, 1)
+	if _, err := Makespan(cfg); err == nil {
+		t.Error("zero compute rate accepted")
+	}
+}
+
+func TestGlobalReductionTail(t *testing.T) {
+	cfg := simpleConfig(t, 1<<20, 100<<20, 1<<30)
+	cfg.Topology.Clusters = append(cfg.Topology.Clusters, hybridsim.ClusterModel{
+		Name: "cloud", Site: 1, Cores: 4, RetrievalThreads: 4,
+	})
+	cfg.Topology.Paths[[2]int{1, 0}] = hybridsim.PathModel{PerStream: 100 << 20}
+	cfg.App.RobjBytes = 100 << 20
+	cfg.App.MergeBytesPerSec = 1 << 30
+	cfg.Topology.InterClusterBandwidth = 10 << 20
+	cfg.Topology.InterClusterLatency = 100 * time.Millisecond
+
+	e, err := Makespan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One payer: 100 MiB at 10 MiB/s = 10 s + latency + 2 merges ≈ 0.2 s.
+	if e.GlobalReduction < 10*time.Second || e.GlobalReduction > 11*time.Second {
+		t.Errorf("GR tail = %v, want ≈10.3s", e.GlobalReduction)
+	}
+}
+
+func TestMaxFlowBasics(t *testing.T) {
+	g := newFlowGraph(4)
+	g.addEdge(0, 1, 3)
+	g.addEdge(0, 2, 2)
+	g.addEdge(1, 3, 2)
+	g.addEdge(2, 3, 3)
+	g.addEdge(1, 2, 5)
+	// Source cut is 5 and reachable: 2 via 1→3, 2 via 2→3, 1 via 1→2→3.
+	if got := g.maxFlow(0, 3); math.Abs(got-5) > 1e-9 {
+		t.Errorf("maxflow = %v, want 5", got)
+	}
+	// Tighten the sink side: min cut becomes 4.
+	g2 := newFlowGraph(4)
+	g2.addEdge(0, 1, 3)
+	g2.addEdge(0, 2, 2)
+	g2.addEdge(1, 3, 2)
+	g2.addEdge(2, 3, 2)
+	g2.addEdge(1, 2, 5)
+	if got := g2.maxFlow(0, 3); math.Abs(got-4) > 1e-9 {
+		t.Errorf("maxflow = %v, want 4", got)
+	}
+}
+
+func TestMaxFlowDisconnected(t *testing.T) {
+	g := newFlowGraph(4)
+	g.addEdge(0, 1, 3)
+	g.addEdge(2, 3, 3)
+	if got := g.maxFlow(0, 3); got != 0 {
+		t.Errorf("disconnected maxflow = %v", got)
+	}
+}
+
+func TestMaxFlowInfinitePath(t *testing.T) {
+	g := newFlowGraph(3)
+	g.addEdge(0, 1, math.Inf(1))
+	g.addEdge(1, 2, math.Inf(1))
+	if got := g.maxFlow(0, 2); !math.IsInf(got, 1) {
+		t.Errorf("unconstrained maxflow = %v, want +Inf", got)
+	}
+}

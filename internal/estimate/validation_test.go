@@ -1,0 +1,136 @@
+package estimate_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/chunk"
+	"repro/internal/estimate"
+	"repro/internal/experiments"
+	"repro/internal/hybridsim"
+	"repro/internal/jobs"
+)
+
+// TestTracksSimulatorOnPaperCells validates the estimator against the
+// discrete-event simulator over every Figure-3 cell: the analytic lower
+// bound must stay below the simulated makespan but within 45 %.
+func TestTracksSimulatorOnPaperCells(t *testing.T) {
+	for _, app := range experiments.Apps {
+		for _, env := range experiments.Envs {
+			cfg := experiments.Config(app, env, experiments.SimOptions{})
+			sim, err := hybridsim.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s/%s: sim: %v", app, env, err)
+			}
+			est, err := estimate.Makespan(cfg)
+			if err != nil {
+				t.Fatalf("%s/%s: estimate: %v", app, env, err)
+			}
+			ratio := sim.Total.Seconds() / est.Total().Seconds()
+			if ratio < 0.97 {
+				t.Errorf("%s/%s: estimate %.1fs above sim %.1fs (ratio %.2f) — not a lower bound",
+					app, env, est.Total().Seconds(), sim.Total.Seconds(), ratio)
+			}
+			if ratio > 1.45 {
+				t.Errorf("%s/%s: estimate %.1fs too loose vs sim %.1fs (ratio %.2f)",
+					app, env, est.Total().Seconds(), sim.Total.Seconds(), ratio)
+			}
+		}
+	}
+}
+
+// TestTracksSimulatorOnScaling does the same over the Figure-4 sweep.
+func TestTracksSimulatorOnScaling(t *testing.T) {
+	for _, app := range experiments.Apps {
+		for _, m := range experiments.ScalePoints {
+			cfg := experiments.ScaleConfig(app, m, experiments.SimOptions{})
+			sim, err := hybridsim.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			est, err := estimate.Makespan(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ratio := sim.Total.Seconds() / est.Total().Seconds()
+			if ratio < 0.97 || ratio > 1.6 {
+				t.Errorf("%s (%d,%d): ratio sim/est = %.2f (sim %.1fs, est %.1fs)",
+					app, m, m, ratio, sim.Total.Seconds(), est.Total().Seconds())
+			}
+		}
+	}
+}
+
+// TestRandomConfigsLowerBound cross-validates the two independent models on
+// randomized topologies: the analytic estimate must never exceed the
+// simulated makespan (it ignores granularity, latency and end-game
+// effects). The upper slack is loose (6x) because the estimate is the
+// OPTIMAL flow while the middleware's demand-driven stealing is greedy:
+// with a very slow WAN, the local cluster still grabs remote jobs it then
+// drains slowly, stretching the end-game well beyond the optimum — a real
+// property of the paper's policy, not an estimator bug.
+func TestRandomConfigsLowerBound(t *testing.T) {
+	f := func(seed uint64, computeRaw, streamRaw, wanRaw uint8, fracRaw uint8) bool {
+		mib := float64(1 << 20)
+		compute := (1 + float64(computeRaw%64)) * mib  // 1-64 MiB/s per core
+		perStream := (2 + float64(streamRaw%30)) * mib // 2-31 MiB/s
+		wan := (1 + float64(wanRaw%16)) * mib          // 1-16 MiB/s per stream
+		frac := float64(fracRaw%101) / 100             // 0-1 local fraction
+		cfg := randomConfig(t, seed, compute, perStream, wan, frac)
+		sim, err := hybridsim.Run(cfg)
+		if err != nil {
+			t.Logf("sim error: %v", err)
+			return false
+		}
+		est, err := estimate.Makespan(cfg)
+		if err != nil {
+			t.Logf("estimate error: %v", err)
+			return false
+		}
+		ratio := sim.Total.Seconds() / est.Total().Seconds()
+		if ratio < 0.99 || ratio > 6.0 {
+			t.Logf("ratio %.3f (sim %.2fs est %.2fs) for compute=%.0f stream=%.0f wan=%.0f frac=%.2f",
+				ratio, sim.Total.Seconds(), est.Total().Seconds(),
+				compute/mib, perStream/mib, wan/mib, frac)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomConfig(t *testing.T, seed uint64, compute, perStream, wan, frac float64) hybridsim.Config {
+	t.Helper()
+	ix, err := chunk.Layout("r", 16*8*1024, 1024, 8*1024, 1024) // 128 MiB
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hybridsim.Config{
+		Index:     ix,
+		Placement: jobs.SplitByFraction(len(ix.Files), frac, 0, 1),
+		App: hybridsim.AppModel{
+			Name:               "rand",
+			ComputeBytesPerSec: compute,
+			RobjBytes:          1 << 20,
+			MergeBytesPerSec:   1 << 30,
+		},
+		Topology: hybridsim.Topology{
+			Clusters: []hybridsim.ClusterModel{
+				{Name: "local", Site: 0, Cores: 4, RetrievalThreads: 4},
+				{Name: "cloud", Site: 1, Cores: 4, RetrievalThreads: 4},
+			},
+			SourceEgress: map[int]float64{0: 200 << 20, 1: 200 << 20},
+			Paths: map[[2]int]hybridsim.PathModel{
+				{0, 0}: {PerStream: perStream},
+				{1, 1}: {PerStream: perStream},
+				{0, 1}: {PerStream: wan, Bandwidth: 8 * wan},
+				{1, 0}: {PerStream: wan, Bandwidth: 8 * wan},
+			},
+			InterClusterBandwidth: 50 << 20,
+			HeadCluster:           0,
+		},
+		Seed: seed,
+	}
+}

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/hybridsim"
+	"repro/internal/jobs"
+)
+
+// Ablation studies for the design choices the paper calls out:
+//
+//  1. pooling-based dynamic load balancing with stealing vs a static
+//     partition of the jobs by data placement (the central claim:
+//     "our middleware is able to effectively balance the amount of
+//     computation at both ends, even if the initial data distribution is
+//     not even");
+//  2. consecutive-job grouping (sequential reads) vs scattered assignment;
+//  3. the min-contention stolen-job heuristic vs round-robin stealing;
+//  4. multi-threaded retrieval vs a single retrieval stream.
+//
+// Each ablation re-runs a calibrated configuration with one policy knob
+// flipped and reports the makespan delta. The remaining design choices —
+// unit-group (cache-aware) batching and GR's avoided intermediate memory —
+// are measured on the real engines in bench_test.go and Figure 1.
+
+// AblationRow is one (study, setting) measurement.
+type AblationRow struct {
+	Study    string
+	Setting  string
+	App      App
+	Env      Env
+	TotalSec float64
+	Seeks    int     // non-sequential fetches (file contention)
+	DeltaPct float64 // vs. the paper's default policy
+}
+
+// RunAblationRows executes the simulator-based ablations.
+func RunAblationRows() ([]AblationRow, error) {
+	var rows []AblationRow
+	run := func(app App, env Env, opts SimOptions) (float64, int, error) {
+		cfg := Config(app, env, opts)
+		res, err := hybridsim.Run(cfg)
+		if err != nil {
+			return 0, 0, err
+		}
+		return res.Total.Seconds(), res.Seeks, nil
+	}
+
+	type study struct {
+		name    string
+		app     App
+		env     Env
+		base    SimOptions
+		alt     SimOptions
+		baseTag string
+		altTag  string
+	}
+	studies := []study{
+		{
+			name: "dynamic-balancing", app: KMeans, env: Env1783,
+			base: SimOptions{}, baseTag: "pooling+stealing (paper)",
+			alt: SimOptions{Pool: jobs.Options{DisableStealing: true}}, altTag: "static partition",
+		},
+		{
+			name: "dynamic-balancing", app: KNN, env: Env1783,
+			base: SimOptions{}, baseTag: "pooling+stealing (paper)",
+			alt: SimOptions{Pool: jobs.Options{DisableStealing: true}}, altTag: "static partition",
+		},
+		{
+			name: "consecutive-jobs", app: KNN, env: EnvLocal,
+			base: SimOptions{}, baseTag: "consecutive (paper)",
+			alt: SimOptions{Pool: jobs.Options{ScatterGroups: true}}, altTag: "scattered",
+		},
+		{
+			name: "steal-heuristic", app: KNN, env: Env1783,
+			base: SimOptions{}, baseTag: "min-contention (paper)",
+			alt: SimOptions{Pool: jobs.Options{Steal: jobs.StealRoundRobin}}, altTag: "round-robin",
+		},
+		{
+			name: "retrieval-threads", app: KNN, env: EnvCloud,
+			base: SimOptions{}, baseTag: "1 stream/core (paper)",
+			alt: SimOptions{RetrievalThreadsPerCore: 0.25}, altTag: "1 stream / 4 cores",
+		},
+		{
+			name: "retrieval-threads", app: PageRank, env: EnvCloud,
+			base: SimOptions{}, baseTag: "1 stream/core (paper)",
+			alt: SimOptions{RetrievalThreadsPerCore: 0.25}, altTag: "1 stream / 4 cores",
+		},
+	}
+	for _, s := range studies {
+		baseSec, baseSeeks, err := run(s.app, s.env, s.base)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: ablation %s base: %w", s.name, err)
+		}
+		altSec, altSeeks, err := run(s.app, s.env, s.alt)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: ablation %s alt: %w", s.name, err)
+		}
+		rows = append(rows,
+			AblationRow{Study: s.name, Setting: s.baseTag, App: s.app, Env: s.env, TotalSec: baseSec, Seeks: baseSeeks},
+			AblationRow{Study: s.name, Setting: s.altTag, App: s.app, Env: s.env, TotalSec: altSec, Seeks: altSeeks,
+				DeltaPct: 100 * (altSec - baseSec) / baseSec},
+		)
+	}
+	return rows, nil
+}
+
+// RunAblations renders the ablation table.
+func RunAblations() (string, error) {
+	rows, err := RunAblationRows()
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintln(&b, "Ablations — design choices (simulated, paper-scale)")
+	fmt.Fprintf(&b, "%-18s %-24s %-8s %-10s %10s %7s %8s\n",
+		"study", "setting", "app", "env", "total(s)", "seeks", "delta")
+	for _, r := range rows {
+		delta := ""
+		if r.DeltaPct != 0 {
+			delta = fmt.Sprintf("%+.1f%%", r.DeltaPct)
+		}
+		fmt.Fprintf(&b, "%-18s %-24s %-8s %-10s %10.1f %7d %8s\n",
+			r.Study, r.Setting, r.App, r.Env, r.TotalSec, r.Seeks, delta)
+	}
+	return b.String(), nil
+}

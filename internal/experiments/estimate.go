@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/estimate"
+	"repro/internal/hybridsim"
+)
+
+// EstimateRow compares the analytic makespan model against the simulator
+// for one configuration — the validation behind using the fast estimator
+// for provisioning decisions.
+type EstimateRow struct {
+	Label     string
+	Simulated time.Duration
+	Estimated time.Duration
+}
+
+// Ratio returns simulated / estimated (≥1 when the estimate is a bound).
+func (r EstimateRow) Ratio() float64 {
+	if r.Estimated <= 0 {
+		return 0
+	}
+	return r.Simulated.Seconds() / r.Estimated.Seconds()
+}
+
+// RunEstimateValidation runs every Figure-3 cell for app through both the
+// simulator and the analytic model.
+func RunEstimateValidation(app App) ([]EstimateRow, error) {
+	var rows []EstimateRow
+	for _, env := range Envs {
+		cfg := Config(app, env, SimOptions{})
+		sim, err := hybridsim.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: estimate %s/%s: %w", app, env, err)
+		}
+		est, err := estimate.Makespan(cfg)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, EstimateRow{
+			Label:     fmt.Sprintf("%s/%s", app, strings.TrimPrefix(string(env), "env-")),
+			Simulated: sim.Total,
+			Estimated: est.Total(),
+		})
+	}
+	return rows, nil
+}
+
+// FormatEstimateTable renders the validation table.
+func FormatEstimateTable(rows []EstimateRow) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Analytic model vs simulator (makespan)")
+	fmt.Fprintf(&b, "%-20s %12s %12s %8s\n", "config", "simulated", "analytic", "ratio")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-20s %11.1fs %11.1fs %8.2f\n",
+			r.Label, r.Simulated.Seconds(), r.Estimated.Seconds(), r.Ratio())
+	}
+	return b.String()
+}

@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/chunk"
+	"repro/internal/core"
+	"repro/internal/mapreduce"
+	"repro/internal/workload"
+)
+
+// Figure 1 contrasts the three processing structures — Map-Reduce,
+// Map-Reduce with Combine, and Generalized Reduction — by running the REAL
+// engines on the same in-memory datasets and measuring execution time and
+// intermediate state. The paper's claim: GR avoids the memory and
+// sorting/grouping/shuffling overheads that the (key, value) pipeline
+// incurs, and Combine only reduces communication, not generation.
+
+// Fig1Config sizes the in-memory comparison datasets.
+type Fig1Config struct {
+	Points  int64 // knn / kmeans points
+	Dim     int
+	K       int // kmeans clusters / knn neighbors
+	Edges   int64
+	Nodes   int
+	Workers int
+}
+
+// DefaultFig1Config returns a laptop-scale configuration (a few MB per
+// dataset; the contrast in intermediate volume is scale-free).
+func DefaultFig1Config() Fig1Config {
+	return Fig1Config{
+		Points:  100_000,
+		Dim:     8,
+		K:       10,
+		Edges:   200_000,
+		Nodes:   2_000,
+		Workers: runtime.GOMAXPROCS(0),
+	}
+}
+
+// Fig1Row is one (application, structure) measurement.
+type Fig1Row struct {
+	App           App
+	Structure     string // "map-reduce", "mr+combine", "generalized-reduction"
+	Elapsed       time.Duration
+	PairsEmitted  int64
+	PairsShuffled int64
+	PeakBuffered  int64
+}
+
+// Fig1Result is the full comparison.
+type Fig1Result struct {
+	Config Fig1Config
+	Rows   []Fig1Row
+}
+
+// RunFig1 executes the processing-structure comparison.
+func RunFig1(cfg Fig1Config) (*Fig1Result, error) {
+	res := &Fig1Result{Config: cfg}
+
+	// ---- datasets ----
+	pointGen := workload.ClusteredPoints{Seed: 7, Dim: cfg.Dim, K: cfg.K, Spread: 0.05}
+	pixIdx, err := chunk.Layout("f1pts", cfg.Points, pointGen.UnitSize(), 20000, 2000)
+	if err != nil {
+		return nil, err
+	}
+	pointSrc := chunk.NewMemSource(pixIdx)
+	if err := workload.Build(pixIdx, pointGen, pointSrc); err != nil {
+		return nil, err
+	}
+
+	graphGen := &workload.PowerLawGraph{Seed: 9, Nodes: cfg.Nodes, Edges: cfg.Edges}
+	gixIdx, err := chunk.Layout("f1graph", cfg.Edges, workload.EdgeUnitSize, 40000, 4000)
+	if err != nil {
+		return nil, err
+	}
+	graphSrc := chunk.NewMemSource(gixIdx)
+	if err := workload.Build(gixIdx, graphGen, graphSrc); err != nil {
+		return nil, err
+	}
+
+	// ---- application parameter sets ----
+	query := make([]float64, cfg.Dim)
+	for i := range query {
+		query[i] = 0.5
+	}
+	knnP := apps.KNNParams{K: cfg.K, Dim: cfg.Dim, Query: query}
+
+	centers := make([][]float64, cfg.K)
+	for k := range centers {
+		centers[k] = pointGen.TrueCenter(k)
+	}
+	kmP := apps.KMeansParams{K: cfg.K, Dim: cfg.Dim, Centers: centers}
+
+	prP := apps.PageRankParams{Nodes: cfg.Nodes, Damping: 0.85}
+
+	type variant struct {
+		app     App
+		ix      *chunk.Index
+		src     chunk.Source
+		reducer core.Reducer
+		mrJob   func(withCombine bool) (mapreduce.Job, error)
+	}
+	knnR, err := apps.NewKNNReducer(knnP)
+	if err != nil {
+		return nil, err
+	}
+	kmR, err := apps.NewKMeansReducer(kmP)
+	if err != nil {
+		return nil, err
+	}
+	prR, err := apps.NewPageRankReducer(prP)
+	if err != nil {
+		return nil, err
+	}
+	variants := []variant{
+		{KNN, pixIdx, pointSrc, knnR, func(c bool) (mapreduce.Job, error) { return apps.KNNMRJob(knnP, c) }},
+		{KMeans, pixIdx, pointSrc, kmR, func(c bool) (mapreduce.Job, error) { return apps.KMeansMRJob(kmP, c) }},
+		{PageRank, gixIdx, graphSrc, prR, func(c bool) (mapreduce.Job, error) { return apps.PageRankMRJob(prP, c) }},
+	}
+
+	for _, v := range variants {
+		// Plain Map-Reduce and Map-Reduce with Combine.
+		for _, withCombine := range []bool{false, true} {
+			job, err := v.mrJob(withCombine)
+			if err != nil {
+				return nil, err
+			}
+			job.Workers = cfg.Workers
+			start := time.Now()
+			out, err := mapreduce.Run(job, v.ix, v.src)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: fig1 %s MR(combine=%v): %w", v.app, withCombine, err)
+			}
+			name := "map-reduce"
+			if withCombine {
+				name = "mr+combine"
+			}
+			res.Rows = append(res.Rows, Fig1Row{
+				App: v.app, Structure: name, Elapsed: time.Since(start),
+				PairsEmitted:  out.Metrics.PairsEmitted,
+				PairsShuffled: out.Metrics.PairsShuffled,
+				PeakBuffered:  out.Metrics.PeakBufferedPairs,
+			})
+		}
+		// Generalized Reduction: no intermediate pairs by construction.
+		start := time.Now()
+		if _, err := core.Run(core.EngineConfig{
+			Reducer:  v.reducer,
+			Workers:  cfg.Workers,
+			UnitSize: v.ix.UnitSize,
+		}, v.ix, v.src); err != nil {
+			return nil, fmt.Errorf("experiments: fig1 %s GR: %w", v.app, err)
+		}
+		res.Rows = append(res.Rows, Fig1Row{
+			App: v.app, Structure: "generalized-reduction", Elapsed: time.Since(start),
+		})
+	}
+	return res, nil
+}
+
+// Format renders the comparison table.
+func (r *Fig1Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 1 — processing structures (real engines, %d workers)\n", r.Config.Workers)
+	fmt.Fprintf(&b, "%-10s %-22s %10s %14s %14s %14s\n",
+		"app", "structure", "time", "pairs emitted", "pairs shuffled", "peak buffered")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-10s %-22s %10s %14d %14d %14d\n",
+			row.App, row.Structure, row.Elapsed.Round(time.Millisecond),
+			row.PairsEmitted, row.PairsShuffled, row.PeakBuffered)
+	}
+	return b.String()
+}

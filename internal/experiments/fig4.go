@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/hybridsim"
+)
+
+// ScalePoints are the Figure-4 core counts: (m, m) cores with the whole
+// dataset in S3.
+var ScalePoints = []int{4, 8, 16, 32}
+
+// ScaleResult is one Figure-4 point.
+type ScaleResult struct {
+	M   int // cores per side
+	Sim *hybridsim.Result
+}
+
+// Fig4Result is one application's scalability curve.
+type Fig4Result struct {
+	App    App
+	Points []ScaleResult
+}
+
+// RunFig4 executes the scalability sweep for one application.
+func RunFig4(app App) (*Fig4Result, error) {
+	res := &Fig4Result{App: app}
+	for _, m := range ScalePoints {
+		sim, err := hybridsim.Run(ScaleConfig(app, m, SimOptions{}))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s scale (%d,%d): %w", app, m, m, err)
+		}
+		res.Points = append(res.Points, ScaleResult{M: m, Sim: sim})
+	}
+	return res, nil
+}
+
+// Efficiency returns the per-doubling scaling efficiencies: entry i is
+// T(m_i) / (2 × T(m_{i+1})) — 1.0 means perfect linear scaling, the
+// paper's "system scales with an average of 81%" metric.
+func (r *Fig4Result) Efficiency() []float64 {
+	var out []float64
+	for i := 0; i+1 < len(r.Points); i++ {
+		a := r.Points[i].Sim.Total.Seconds()
+		b := r.Points[i+1].Sim.Total.Seconds()
+		if b <= 0 {
+			out = append(out, 0)
+			continue
+		}
+		out = append(out, a/(2*b))
+	}
+	return out
+}
+
+// SyncOverheadPct returns each point's sync share of total time (the
+// percentage ranges §IV-C quotes per application), using the
+// worst cluster's sync.
+func (r *Fig4Result) SyncOverheadPct() []float64 {
+	var out []float64
+	for _, p := range r.Points {
+		var worst float64
+		for _, c := range p.Sim.Clusters {
+			if s := c.Breakdown.Sync.Seconds(); s > worst {
+				worst = s
+			}
+		}
+		out = append(out, 100*worst/p.Sim.Total.Seconds())
+	}
+	return out
+}
+
+// FormatFig4 renders the application's Figure-4 panel.
+func (r *Fig4Result) FormatFig4() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 4 — %s: scalability, all data in S3 (seconds)\n", r.App)
+	fmt.Fprintf(&b, "%-10s %-8s %8s %10s %10s %8s %12s\n",
+		"(m,n)", "cluster", "proc", "retrieval", "sync", "total", "efficiency")
+	eff := r.Efficiency()
+	for i, p := range r.Points {
+		label := fmt.Sprintf("(%d,%d)", p.M, p.M)
+		effStr := "-"
+		if i > 0 {
+			effStr = fmt.Sprintf("%.1f%%", 100*eff[i-1])
+		}
+		for ci, c := range p.Sim.Clusters {
+			l, e := label, effStr
+			if ci > 0 {
+				l, e = "", ""
+			}
+			fmt.Fprintf(&b, "%-10s %-8s %8.1f %10.1f %10.1f %8.1f %12s\n",
+				l, c.Name,
+				seconds(c.Breakdown.Processing),
+				seconds(c.Breakdown.Retrieval),
+				seconds(c.Breakdown.Sync),
+				seconds(p.Sim.Total), e)
+		}
+	}
+	sync := r.SyncOverheadPct()
+	fmt.Fprintf(&b, "sync overhead: ")
+	for i, s := range sync {
+		if i > 0 {
+			fmt.Fprintf(&b, ", ")
+		}
+		fmt.Fprintf(&b, "(%d,%d)=%.1f%%", r.Points[i].M, r.Points[i].M, s)
+	}
+	fmt.Fprintln(&b)
+	return b.String()
+}
+
+// Headline aggregates the paper's two summary numbers across applications:
+// the average hybrid slowdown over all apps × hybrid envs (paper: 15.55 %),
+// and the average per-doubling scaling efficiency (paper: 81 %).
+type Headline struct {
+	AvgSlowdownPct   float64
+	AvgEfficiencyPct float64
+}
+
+// RunHeadline computes the headline aggregates from fresh runs.
+func RunHeadline() (*Headline, []*Fig3Result, []*Fig4Result, error) {
+	var (
+		slowSum, slowN float64
+		effSum, effN   float64
+		fig3s          []*Fig3Result
+		fig4s          []*Fig4Result
+	)
+	for _, app := range Apps {
+		f3, err := RunFig3(app)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		fig3s = append(fig3s, f3)
+		for _, env := range HybridEnvs {
+			slowSum += 100 * f3.Slowdown(env)
+			slowN++
+		}
+		f4, err := RunFig4(app)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		fig4s = append(fig4s, f4)
+		for _, e := range f4.Efficiency() {
+			effSum += 100 * e
+			effN++
+		}
+	}
+	return &Headline{
+		AvgSlowdownPct:   slowSum / slowN,
+		AvgEfficiencyPct: effSum / effN,
+	}, fig3s, fig4s, nil
+}

@@ -1,0 +1,338 @@
+// Package head implements the framework's head node. The head owns the
+// global job pool generated from the dataset index, assigns job groups to
+// requesting cluster masters (local jobs first, then stolen remote jobs),
+// and — once every cluster has processed its share — collects the
+// per-cluster reduction objects and combines them into the final result
+// (the global reduction phase).
+package head
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/chunk"
+	"repro/internal/core"
+	"repro/internal/jobs"
+	"repro/internal/protocol"
+	"repro/internal/stats"
+	"repro/internal/transport"
+)
+
+// ClusterReport is what the head learns about one cluster's run: its
+// measured time decomposition and job accounting, as delivered with the
+// cluster's reduction object.
+type ClusterReport struct {
+	Site      int
+	Cluster   string
+	Cores     int
+	Breakdown stats.Breakdown
+	Jobs      stats.JobAccounting
+}
+
+// Config parameterizes a head node.
+type Config struct {
+	// Pool is the global job pool (index × placement). Required.
+	Pool *jobs.Pool
+	// Reducer performs the final global reduction and decodes cluster
+	// objects. Required.
+	Reducer core.Reducer
+	// Spec is pushed to each master after registration. Required fields:
+	// App, UnitSize, Index.
+	Spec protocol.JobSpec
+	// ExpectClusters is how many masters must register and report before
+	// the run completes. Required.
+	ExpectClusters int
+	// Logf receives diagnostics; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+// Head coordinates one run. Create with New, expose it to masters either
+// over sockets (Serve) or in-process (the Register/RequestJobs/... methods),
+// then call Result.
+type Head struct {
+	cfg Config
+
+	mu        sync.Mutex
+	clusters  map[int]string // site -> cluster name (registered)
+	reports   []ClusterReport
+	finalObj  core.Object
+	grTime    time.Duration // time spent merging reduction objects
+	collected int
+	encoded   []byte
+	waiters   []chan struct{}
+	finishErr error
+	finished  bool
+
+	done chan struct{}
+
+	lnMu     sync.Mutex
+	listener net.Listener
+	closed   bool
+	connWG   sync.WaitGroup
+}
+
+// New validates cfg and returns a head node ready to serve masters.
+func New(cfg Config) (*Head, error) {
+	if cfg.Pool == nil {
+		return nil, errors.New("head: Config.Pool is required")
+	}
+	if cfg.Reducer == nil {
+		return nil, errors.New("head: Config.Reducer is required")
+	}
+	if cfg.ExpectClusters <= 0 {
+		return nil, fmt.Errorf("head: ExpectClusters must be positive, got %d", cfg.ExpectClusters)
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &Head{
+		cfg:      cfg,
+		clusters: make(map[int]string),
+		done:     make(chan struct{}),
+	}, nil
+}
+
+// Register records a master's Hello and returns the job specification.
+func (h *Head) Register(hello protocol.Hello) (protocol.JobSpec, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.clusters) >= h.cfg.ExpectClusters {
+		return protocol.JobSpec{}, fmt.Errorf("head: already have %d clusters", h.cfg.ExpectClusters)
+	}
+	h.clusters[hello.Site] = hello.Cluster
+	h.cfg.Logf("head: cluster %q registered (site %d, %d cores)", hello.Cluster, hello.Site, hello.Cores)
+	return h.cfg.Spec, nil
+}
+
+// RequestJobs assigns up to n jobs to the requesting site, local first then
+// stolen. An empty result means the global pool is exhausted.
+func (h *Head) RequestJobs(site, n int) []jobs.Job {
+	js := h.cfg.Pool.Assign(site, n)
+	if len(js) > 0 {
+		h.cfg.Logf("head: granted %d jobs to site %d (first %v)", len(js), site, js[0].Ref)
+	}
+	return js
+}
+
+// CompleteJobs releases finished jobs' contention bookkeeping.
+func (h *Head) CompleteJobs(site int, js []jobs.Job) error {
+	for _, j := range js {
+		if err := h.cfg.Pool.Complete(j); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SubmitResult accepts one cluster's encoded reduction object, merges it
+// into the global result, and blocks until every expected cluster has
+// reported; it then returns the final encoded object. The caller's blocked
+// time here is exactly the cluster's end-of-run sync time.
+func (h *Head) SubmitResult(res protocol.ReductionResult) ([]byte, error) {
+	obj, err := h.cfg.Reducer.Decode(res.Object)
+	if err != nil {
+		h.fail(fmt.Errorf("head: decoding reduction object from site %d: %w", res.Site, err))
+		return nil, err
+	}
+
+	h.mu.Lock()
+	if h.finished {
+		err := h.finishErr
+		enc := h.encoded
+		h.mu.Unlock()
+		return enc, err
+	}
+	start := time.Now()
+	if h.finalObj == nil {
+		h.finalObj = obj
+	} else if err := h.cfg.Reducer.GlobalReduce(h.finalObj, obj); err != nil {
+		h.mu.Unlock()
+		h.fail(fmt.Errorf("head: global reduction: %w", err))
+		return nil, err
+	}
+	h.grTime += time.Since(start)
+	h.collected++
+	h.reports = append(h.reports, ClusterReport{
+		Site:    res.Site,
+		Cluster: h.clusters[res.Site],
+		Breakdown: stats.Breakdown{
+			Processing: time.Duration(res.Processing),
+			Retrieval:  time.Duration(res.Retrieval),
+			Sync:       time.Duration(res.Sync),
+		},
+		Jobs: stats.JobAccounting{Local: res.LocalJobs, Stolen: res.StolenJobs},
+	})
+	if h.collected < h.cfg.ExpectClusters {
+		ch := make(chan struct{})
+		h.waiters = append(h.waiters, ch)
+		h.mu.Unlock()
+		select {
+		case <-ch:
+		case <-h.done:
+		}
+		h.mu.Lock()
+		enc, err := h.encoded, h.finishErr
+		h.mu.Unlock()
+		return enc, err
+	}
+	// Last cluster in: finalize.
+	enc, err := h.cfg.Reducer.Encode(h.finalObj)
+	h.encoded, h.finishErr = enc, err
+	h.finished = true
+	for _, ch := range h.waiters {
+		close(ch)
+	}
+	h.waiters = nil
+	h.mu.Unlock()
+	close(h.done)
+	h.cfg.Logf("head: global reduction complete (%d clusters)", h.cfg.ExpectClusters)
+	return enc, err
+}
+
+// fail aborts the run with err, releasing all waiters.
+func (h *Head) fail(err error) {
+	h.mu.Lock()
+	if h.finished {
+		h.mu.Unlock()
+		return
+	}
+	h.finished = true
+	h.finishErr = err
+	for _, ch := range h.waiters {
+		close(ch)
+	}
+	h.waiters = nil
+	h.mu.Unlock()
+	close(h.done)
+}
+
+// Result blocks until the run completes and returns the final reduction
+// object, the per-cluster reports, and the head's own global-reduction time.
+func (h *Head) Result() (core.Object, []ClusterReport, time.Duration, error) {
+	<-h.done
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.finishErr != nil {
+		return nil, nil, 0, h.finishErr
+	}
+	return h.finalObj, h.reports, h.grTime, nil
+}
+
+// ---------------------------------------------------------------------------
+// Socket service.
+
+// Serve accepts master connections on l until the run completes or Close is
+// called. It blocks; run it in a goroutine alongside Result.
+func (h *Head) Serve(l net.Listener) error {
+	h.lnMu.Lock()
+	if h.closed {
+		h.lnMu.Unlock()
+		return errors.New("head: closed")
+	}
+	h.listener = l
+	h.lnMu.Unlock()
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			h.lnMu.Lock()
+			closed := h.closed
+			h.lnMu.Unlock()
+			if closed {
+				return nil
+			}
+			select {
+			case <-h.done:
+				return nil
+			default:
+			}
+			return err
+		}
+		h.connWG.Add(1)
+		go func() {
+			defer h.connWG.Done()
+			h.HandleConn(transport.New(c))
+		}()
+	}
+}
+
+// Close stops the listener and waits for connection handlers.
+func (h *Head) Close() error {
+	h.lnMu.Lock()
+	h.closed = true
+	l := h.listener
+	h.lnMu.Unlock()
+	var err error
+	if l != nil {
+		err = l.Close()
+	}
+	h.connWG.Wait()
+	return err
+}
+
+// HandleConn speaks the master protocol on one connection: Hello → JobSpec,
+// then JobRequest/JobsDone until ReductionResult, answered with Finished
+// after the global reduction. Exported so in-process deployments can drive
+// a head over transport.Pipe.
+func (h *Head) HandleConn(c *transport.Conn) {
+	defer c.Close()
+	site := -1
+	for {
+		msg, err := c.Recv()
+		if err != nil {
+			if site >= 0 {
+				select {
+				case <-h.done: // normal teardown after Finished
+				default:
+					h.fail(fmt.Errorf("head: lost master for site %d: %w", site, err))
+				}
+			}
+			return
+		}
+		switch m := msg.(type) {
+		case protocol.Hello:
+			site = m.Site
+			spec, err := h.Register(m)
+			if err != nil {
+				_ = c.Send(protocol.ErrorReply{Err: err.Error()})
+				return
+			}
+			if err := c.Send(spec); err != nil {
+				return
+			}
+		case protocol.JobRequest:
+			if err := c.Send(protocol.JobGrant{Jobs: h.RequestJobs(m.Site, m.N)}); err != nil {
+				return
+			}
+		case protocol.JobsDone:
+			if err := h.CompleteJobs(m.Site, m.Jobs); err != nil {
+				h.cfg.Logf("head: completion error from site %d: %v", m.Site, err)
+			}
+		case protocol.ReductionResult:
+			final, err := h.SubmitResult(m)
+			if err != nil {
+				_ = c.Send(protocol.ErrorReply{Err: err.Error()})
+				return
+			}
+			_ = c.Send(protocol.Finished{Object: final})
+			return
+		default:
+			_ = c.Send(protocol.ErrorReply{Err: fmt.Sprintf("head: unexpected message %T", msg)})
+			return
+		}
+	}
+}
+
+// EncodeIndexSpec is a helper for building a Config.Spec: it serializes ix
+// into spec.Index.
+func EncodeIndexSpec(spec *protocol.JobSpec, ix *chunk.Index) error {
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		return err
+	}
+	spec.Index = buf.Bytes()
+	return nil
+}

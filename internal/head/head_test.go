@@ -1,0 +1,342 @@
+package head
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/chunk"
+	"repro/internal/core"
+	"repro/internal/jobs"
+	"repro/internal/protocol"
+	"repro/internal/transport"
+)
+
+// sumReducer sums little-endian uint32 units; Decode rejects wrong sizes.
+type sumReducer struct{}
+
+type sumObj struct{ total uint64 }
+
+func (sumReducer) NewObject() core.Object { return &sumObj{} }
+func (sumReducer) LocalReduce(obj core.Object, unit []byte) error {
+	obj.(*sumObj).total += uint64(binary.LittleEndian.Uint32(unit))
+	return nil
+}
+func (sumReducer) GlobalReduce(dst, src core.Object) error {
+	dst.(*sumObj).total += src.(*sumObj).total
+	return nil
+}
+func (sumReducer) Encode(obj core.Object) ([]byte, error) {
+	return binary.LittleEndian.AppendUint64(nil, obj.(*sumObj).total), nil
+}
+func (sumReducer) Decode(data []byte) (core.Object, error) {
+	if len(data) != 8 {
+		return nil, fmt.Errorf("want 8 bytes, got %d", len(data))
+	}
+	return &sumObj{total: binary.LittleEndian.Uint64(data)}, nil
+}
+
+func encodeSum(v uint64) []byte { return binary.LittleEndian.AppendUint64(nil, v) }
+
+func testHead(t *testing.T, clusters int) *Head {
+	t.Helper()
+	ix, err := chunk.Layout("h", 100, 4, 50, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := jobs.NewPool(ix, jobs.Placement{0, 1}, jobs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := protocol.JobSpec{App: "sum", UnitSize: 4}
+	if err := EncodeIndexSpec(&spec, ix); err != nil {
+		t.Fatal(err)
+	}
+	h, err := New(Config{Pool: pool, Reducer: sumReducer{}, Spec: spec, ExpectClusters: clusters, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestNewValidation(t *testing.T) {
+	ix, _ := chunk.Layout("h", 10, 4, 10, 5)
+	pool, _ := jobs.NewPool(ix, jobs.Placement{0}, jobs.Options{})
+	if _, err := New(Config{Reducer: sumReducer{}, ExpectClusters: 1}); err == nil {
+		t.Error("nil pool accepted")
+	}
+	if _, err := New(Config{Pool: pool, ExpectClusters: 1}); err == nil {
+		t.Error("nil reducer accepted")
+	}
+	if _, err := New(Config{Pool: pool, Reducer: sumReducer{}}); err == nil {
+		t.Error("zero ExpectClusters accepted")
+	}
+}
+
+func TestRegisterSpecAndLimit(t *testing.T) {
+	h := testHead(t, 1)
+	spec, err := h.Register(protocol.Hello{Site: 0, Cluster: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.App != "sum" || len(spec.Index) == 0 {
+		t.Errorf("spec = %+v", spec)
+	}
+	if _, err := h.Register(protocol.Hello{Site: 1, Cluster: "b"}); err == nil {
+		t.Error("over-registration accepted")
+	}
+}
+
+func TestSubmitResultBlocksUntilAll(t *testing.T) {
+	h := testHead(t, 2)
+	h.Register(protocol.Hello{Site: 0, Cluster: "a"})
+	h.Register(protocol.Hello{Site: 1, Cluster: "b"})
+
+	first := make(chan []byte, 1)
+	go func() {
+		final, err := h.SubmitResult(protocol.ReductionResult{Site: 0, Object: encodeSum(40)})
+		if err != nil {
+			t.Errorf("first submit: %v", err)
+		}
+		first <- final
+	}()
+	select {
+	case <-first:
+		t.Fatal("first submitter returned before second cluster reported")
+	case <-time.After(20 * time.Millisecond):
+	}
+	final2, err := h.SubmitResult(protocol.ReductionResult{Site: 1, Object: encodeSum(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final1 := <-first
+	obj, reports, grTime, err := h.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := obj.(*sumObj).total; got != 42 {
+		t.Errorf("final = %d, want 42", got)
+	}
+	if string(final1) != string(final2) || string(final1) != string(encodeSum(42)) {
+		t.Errorf("encoded finals differ: %v vs %v", final1, final2)
+	}
+	if len(reports) != 2 {
+		t.Errorf("reports = %d", len(reports))
+	}
+	if grTime < 0 {
+		t.Errorf("grTime = %v", grTime)
+	}
+}
+
+func TestSubmitResultDecodeErrorFailsRun(t *testing.T) {
+	h := testHead(t, 2)
+	h.Register(protocol.Hello{Site: 0, Cluster: "a"})
+	h.Register(protocol.Hello{Site: 1, Cluster: "b"})
+	done := make(chan error, 1)
+	go func() {
+		_, err := h.SubmitResult(protocol.ReductionResult{Site: 0, Object: encodeSum(1)})
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	if _, err := h.SubmitResult(protocol.ReductionResult{Site: 1, Object: []byte("bad")}); err == nil {
+		t.Error("bad object accepted")
+	}
+	if err := <-done; err == nil {
+		t.Error("waiter not released with error")
+	}
+	if _, _, _, err := h.Result(); err == nil {
+		t.Error("Result did not surface failure")
+	}
+}
+
+func TestRequestAndCompleteJobs(t *testing.T) {
+	h := testHead(t, 1)
+	js := h.RequestJobs(0, 3)
+	if len(js) != 3 {
+		t.Fatalf("granted %d", len(js))
+	}
+	if err := h.CompleteJobs(0, js); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.CompleteJobs(0, js); err == nil {
+		t.Error("double completion accepted")
+	}
+}
+
+// TestHandleConnProtocol drives a full master session over an in-process
+// pipe.
+func TestHandleConnProtocol(t *testing.T) {
+	h := testHead(t, 1)
+	a, b := transport.Pipe()
+	go h.HandleConn(b)
+	defer a.Close()
+
+	if err := a.Send(protocol.Hello{Site: 0, Cluster: "pipe", Cores: 2}); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := a.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, ok := reply.(protocol.JobSpec)
+	if !ok {
+		t.Fatalf("reply = %T", reply)
+	}
+	if spec.App != "sum" {
+		t.Errorf("spec = %+v", spec)
+	}
+	// Drain the pool.
+	granted := 0
+	for {
+		if err := a.Send(protocol.JobRequest{Site: 0, N: 4}); err != nil {
+			t.Fatal(err)
+		}
+		reply, err := a.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := reply.(protocol.JobGrant)
+		if len(g.Jobs) == 0 {
+			break
+		}
+		granted += len(g.Jobs)
+		if err := a.Send(protocol.JobsDone{Site: 0, Jobs: g.Jobs}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if granted != 10 {
+		t.Errorf("granted %d jobs, want 10", granted)
+	}
+	if err := a.Send(protocol.ReductionResult{Site: 0, Object: encodeSum(7)}); err != nil {
+		t.Fatal(err)
+	}
+	reply, err = a.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin, ok := reply.(protocol.Finished)
+	if !ok {
+		t.Fatalf("reply = %T", reply)
+	}
+	if string(fin.Object) != string(encodeSum(7)) {
+		t.Errorf("final = %v", fin.Object)
+	}
+	obj, _, _, err := h.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.(*sumObj).total != 7 {
+		t.Errorf("total = %d", obj.(*sumObj).total)
+	}
+}
+
+func TestHandleConnUnexpectedMessage(t *testing.T) {
+	h := testHead(t, 1)
+	a, b := transport.Pipe()
+	done := make(chan struct{})
+	go func() { h.HandleConn(b); close(done) }()
+	defer a.Close()
+	if err := a.Send(protocol.GetReq{Key: "nope"}); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := a.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := reply.(protocol.ErrorReply); !ok {
+		t.Errorf("reply = %T, want ErrorReply", reply)
+	}
+	<-done // handler must close the session
+}
+
+func TestLostMasterFailsRun(t *testing.T) {
+	h := testHead(t, 2)
+	a, b := transport.Pipe()
+	go h.HandleConn(b)
+	if err := a.Send(protocol.Hello{Site: 0, Cluster: "doomed"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	a.Close() // master dies mid-run
+	if _, _, _, err := h.Result(); err == nil {
+		t.Error("run did not fail after losing a registered master")
+	}
+}
+
+func TestServeOverTCP(t *testing.T) {
+	h := testHead(t, 2)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go h.Serve(l)
+	defer h.Close()
+
+	runMaster := func(site int, amount uint64) error {
+		c, err := transport.Dial("tcp", l.Addr().String())
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		if err := c.Send(protocol.Hello{Site: site, Cluster: fmt.Sprint(site)}); err != nil {
+			return err
+		}
+		if _, err := c.Recv(); err != nil {
+			return err
+		}
+		for {
+			if err := c.Send(protocol.JobRequest{Site: site, N: 2}); err != nil {
+				return err
+			}
+			reply, err := c.Recv()
+			if err != nil {
+				return err
+			}
+			g := reply.(protocol.JobGrant)
+			if len(g.Jobs) == 0 {
+				break
+			}
+			if err := c.Send(protocol.JobsDone{Site: site, Jobs: g.Jobs}); err != nil {
+				return err
+			}
+		}
+		if err := c.Send(protocol.ReductionResult{Site: site, Object: encodeSum(amount)}); err != nil {
+			return err
+		}
+		reply, err := c.Recv()
+		if err != nil {
+			return err
+		}
+		if _, ok := reply.(protocol.Finished); !ok {
+			return fmt.Errorf("reply = %T", reply)
+		}
+		return nil
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = runMaster(i, uint64(10*(i+1)))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("master %d: %v", i, err)
+		}
+	}
+	obj, _, _, err := h.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.(*sumObj).total != 30 {
+		t.Errorf("total = %d, want 30", obj.(*sumObj).total)
+	}
+}

@@ -1,0 +1,165 @@
+// Package hybridsim is the discrete-event model of the paper's testbed:
+// a local cluster (cores + storage node) and a cloud cluster (instances +
+// object store) joined by constrained wide-area paths. It executes the REAL
+// scheduling policies — the jobs.Pool with consecutive-group assignment and
+// min-contention stealing — against modelled cores, disks and links, so
+// paper-scale experiments (12 GB, 64 cores) run deterministically in
+// milliseconds.
+package hybridsim
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+// Resource is a capacity-constrained element of the data path: a storage
+// node's disk, an object store's service capacity, or a WAN link. Active
+// transfers through a resource share its capacity equally.
+type Resource struct {
+	Name     string
+	Capacity float64 // bytes per second; ≤ 0 means unlimited
+	active   int
+}
+
+// Network advances a set of concurrent transfers under fair sharing: each
+// transfer's rate is the minimum, over the resources it traverses, of
+// capacity divided by the number of transfers currently using that
+// resource. Whenever the active set changes, progress is banked and rates
+// recomputed — the classic fluid-flow transfer model.
+type Network struct {
+	clock       *simtime.Clock
+	transfers   []*transfer // insertion order, for determinism
+	lastAdvance time.Duration
+	cancelNext  func()
+}
+
+type transfer struct {
+	remaining float64 // bytes
+	resources []*Resource
+	rateCap   float64 // per-stream ceiling; ≤0 means none
+	rate      float64 // bytes/sec, refreshed on every recompute
+	done      func()
+}
+
+// NewNetwork returns a network bound to the simulation clock.
+func NewNetwork(clock *simtime.Clock) *Network {
+	return &Network{clock: clock}
+}
+
+// Start begins a transfer of the given size after the path latency and
+// calls done when the last byte arrives. rateCap, when positive, bounds the
+// transfer's individual rate regardless of resource shares — the per-stream
+// bandwidth of a single connection (one S3 GET stream, one WAN socket),
+// which is what makes aggregate retrieval bandwidth scale with the number
+// of retrieval threads.
+func (n *Network) Start(bytes int64, latency time.Duration, rateCap float64, resources []*Resource, done func()) {
+	begin := func() {
+		if bytes <= 0 {
+			done()
+			return
+		}
+		n.advance()
+		t := &transfer{remaining: float64(bytes), resources: resources, rateCap: rateCap, done: done}
+		for _, r := range t.resources {
+			r.active++
+		}
+		n.transfers = append(n.transfers, t)
+		n.recompute()
+	}
+	if latency > 0 {
+		n.clock.After(latency, begin)
+	} else {
+		begin()
+	}
+}
+
+// InFlight reports the number of active transfers.
+func (n *Network) InFlight() int { return len(n.transfers) }
+
+// advance banks each transfer's progress up to the current instant.
+func (n *Network) advance() {
+	now := n.clock.Now()
+	dt := (now - n.lastAdvance).Seconds()
+	n.lastAdvance = now
+	if dt <= 0 {
+		return
+	}
+	for _, t := range n.transfers {
+		t.remaining -= t.rate * dt
+		if t.remaining < 0 {
+			t.remaining = 0
+		}
+	}
+}
+
+const epsilonBytes = 1e-6
+
+// recompute refreshes rates, fires any completed transfers, and schedules
+// the next completion instant.
+func (n *Network) recompute() {
+	// Complete transfers that have drained, preserving insertion order.
+	var finished []*transfer
+	live := n.transfers[:0]
+	for _, t := range n.transfers {
+		if t.remaining <= epsilonBytes {
+			finished = append(finished, t)
+			for _, r := range t.resources {
+				r.active--
+			}
+		} else {
+			live = append(live, t)
+		}
+	}
+	n.transfers = live
+	// Refresh rates under the new active set.
+	for _, t := range n.transfers {
+		rate := math.Inf(1)
+		for _, r := range t.resources {
+			if r.Capacity <= 0 {
+				continue
+			}
+			share := r.Capacity / float64(r.active)
+			if share < rate {
+				rate = share
+			}
+		}
+		if t.rateCap > 0 && t.rateCap < rate {
+			rate = t.rateCap
+		}
+		if math.IsInf(rate, 1) {
+			// A path with no constrained resource and no cap drains
+			// "instantly": model it as very fast rather than dividing by zero.
+			rate = 1e18
+		}
+		t.rate = rate
+	}
+	// Schedule the earliest next completion.
+	if n.cancelNext != nil {
+		n.cancelNext()
+		n.cancelNext = nil
+	}
+	next := time.Duration(-1)
+	for _, t := range n.transfers {
+		eta := time.Duration(t.remaining / t.rate * float64(time.Second))
+		if eta < time.Nanosecond {
+			eta = time.Nanosecond
+		}
+		if next < 0 || eta < next {
+			next = eta
+		}
+	}
+	if next >= 0 {
+		n.cancelNext = n.clock.After(next, func() {
+			n.cancelNext = nil
+			n.advance()
+			n.recompute()
+		})
+	}
+	// Deliver completions after bookkeeping so callbacks can start new
+	// transfers reentrantly.
+	for _, t := range finished {
+		t.done()
+	}
+}

@@ -1,0 +1,523 @@
+package hybridsim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/chunk"
+	"repro/internal/jobs"
+	"repro/internal/simtime"
+	"repro/internal/stats"
+)
+
+// AppModel captures an application's cost shape — the only thing the
+// simulator needs to know about knn, kmeans or pagerank.
+type AppModel struct {
+	Name string
+	// ComputeBytesPerSec is one reference core's processing throughput for
+	// this application (how compute-bound it is).
+	ComputeBytesPerSec float64
+	// RobjBytes is the size of the cluster-level reduction object that must
+	// cross the inter-cluster link during global reduction.
+	RobjBytes int64
+	// MergeBytesPerSec is the head node's rate for merging two reduction
+	// objects (dominates global reduction for large objects).
+	MergeBytesPerSec float64
+}
+
+// ClusterModel describes one compute cluster.
+type ClusterModel struct {
+	Name string
+	// Site is the storage site co-located with this cluster.
+	Site int
+	// Cores is the number of processing threads.
+	Cores int
+	// CoreSpeed scales ComputeBytesPerSec (cloud instances vs. local Xeons).
+	CoreSpeed float64
+	// RetrievalThreads is the number of concurrent chunk fetches.
+	RetrievalThreads int
+	// Jitter is the ± fractional per-job compute-speed variation
+	// (virtualization noise on EC2; near zero on dedicated hardware).
+	Jitter float64
+	// QueueDepth bounds retrieved-but-unprocessed chunks (slave memory).
+	// Defaults to 2×Cores.
+	QueueDepth int
+}
+
+// PathModel is the network path from a cluster to a storage site.
+type PathModel struct {
+	// Bandwidth is the shared capacity of the whole path (a WAN pipe);
+	// ≤0 means unlimited.
+	Bandwidth float64
+	// PerStream caps a single retrieval connection's rate (one S3 GET, one
+	// socket); aggregate path throughput therefore scales with the number
+	// of retrieval threads until Bandwidth or the source egress binds.
+	PerStream float64
+	// Latency is the one-way delay charged at the start of each fetch.
+	Latency time.Duration
+}
+
+// Topology wires clusters to storage sites.
+type Topology struct {
+	Clusters []ClusterModel
+	// SourceEgress is each storage site's total service capacity
+	// (the storage node's disk, the object store's aggregate egress).
+	SourceEgress map[int]float64
+	// SeekPenalty is the extra per-fetch delay a site charges when a chunk
+	// is NOT the sequential successor of the previous chunk fetched from
+	// the same file (disk seeks; cold random GETs). This is what the
+	// consecutive-job assignment and the min-contention stealing heuristic
+	// exist to avoid: interleaved readers break sequentiality.
+	SeekPenalty map[int]time.Duration
+	// Paths gives the network path from cluster index c to storage site s.
+	// Missing entries mean an unconstrained path (co-located).
+	Paths map[[2]int]PathModel
+	// ControlLatency is the one-way head↔master message delay.
+	ControlLatency time.Duration
+	// InterClusterBandwidth carries reduction objects to the head during
+	// global reduction; ≤0 means unlimited.
+	InterClusterBandwidth float64
+	// InterClusterLatency is the one-way delay for that exchange.
+	InterClusterLatency time.Duration
+	// HeadCluster is the index of the cluster co-located with the head
+	// node; that cluster's reduction object does not cross the
+	// inter-cluster link (the paper runs the head inside the local
+	// cluster, so only the cloud pays the WAN exchange).
+	HeadCluster int
+}
+
+// Config is a full simulated experiment.
+type Config struct {
+	Index     *chunk.Index
+	Placement jobs.Placement
+	PoolOpts  jobs.Options
+	App       AppModel
+	Topology  Topology
+	// RequestBatch is the job-group size masters request; defaults to the
+	// cluster's core count (min 4).
+	RequestBatch int
+	// Seed drives the deterministic jitter stream.
+	Seed uint64
+}
+
+// ClusterResult reports one cluster's simulated run.
+type ClusterResult struct {
+	Name      string
+	Site      int
+	Cores     int
+	Breakdown stats.Breakdown
+	Jobs      stats.JobAccounting
+	// BytesBySite counts retrieved bytes per source site.
+	BytesBySite map[int]int64
+	// RetrievalBusy is the total time retrieval threads spent transferring
+	// (diagnostic; the Breakdown's Retrieval is the non-overlapped stall).
+	RetrievalBusy time.Duration
+	// LocalDone is when the cluster finished processing all its jobs.
+	LocalDone time.Duration
+}
+
+// Result reports the whole experiment.
+type Result struct {
+	// Total is the virtual makespan: until the head finishes the final
+	// global reduction.
+	Total time.Duration
+	// Clusters holds per-cluster results in Topology order.
+	Clusters []ClusterResult
+	// GlobalReduction is the tail after the LAST cluster finished
+	// processing: final reduction-object transfer + merge (Table II).
+	GlobalReduction time.Duration
+	// IdleTime is how long the earliest-finishing cluster waited for the
+	// last one (Table II's idle column).
+	IdleTime time.Duration
+	// Seeks counts non-sequential fetches (file switches or sequence
+	// breaks) across all sites — the contention the consecutive-job and
+	// min-contention policies minimize.
+	Seeks int
+}
+
+// splitmix64 is the deterministic jitter stream.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// simCluster is the per-cluster state machine: a master feeding a queue and
+// retrieval/processing units draining it.
+type simCluster struct {
+	sim   *sim
+	model ClusterModel
+	index int
+
+	queue      jobs.LocalQueue
+	requesting bool
+	exhausted  bool
+
+	idleRetrievers int // retrieval threads with nothing to fetch
+	inFlight       int // transfers in progress
+	ready          []queuedChunk
+	idleCores      []int // core ids with nothing to process
+	busyCores      int
+
+	coreBusy    time.Duration
+	bytesBySite map[int]int64
+	jobsAcct    stats.JobAccounting
+	retrTime    time.Duration
+
+	localDone time.Duration
+	finished  bool
+}
+
+type queuedChunk struct {
+	job   jobs.Job
+	bytes int64
+}
+
+// sim owns the whole run.
+type sim struct {
+	cfg      Config
+	clock    *simtime.Clock
+	net      *Network
+	pool     *jobs.Pool
+	egress   map[int]*Resource
+	paths    map[[2]int]*Resource
+	interRes *Resource // shared inter-cluster pipe for reduction objects
+	clusters []*simCluster
+	// nextSeq tracks, per file, the chunk sequence number that would
+	// continue a sequential read; lastFile tracks, per site, the file the
+	// site served last. A fetch that switches files or breaks a file's
+	// sequence pays the site's seek penalty (disk head movement / cold GET).
+	nextSeq  map[int]int
+	lastFile map[int]int
+	seeks    int
+
+	unfinished int
+	results    []ClusterResult
+	grStart    time.Duration // when the last cluster finished processing
+	finishAt   time.Duration
+	headBusyAt time.Duration // head merge pipeline availability
+	merged     int
+	err        error
+}
+
+// Run executes the simulated experiment.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Index == nil {
+		return nil, fmt.Errorf("hybridsim: Index is required")
+	}
+	if len(cfg.Topology.Clusters) == 0 {
+		return nil, fmt.Errorf("hybridsim: at least one cluster is required")
+	}
+	if cfg.App.ComputeBytesPerSec <= 0 {
+		return nil, fmt.Errorf("hybridsim: App.ComputeBytesPerSec must be positive")
+	}
+	pool, err := jobs.NewPool(cfg.Index, cfg.Placement, cfg.PoolOpts)
+	if err != nil {
+		return nil, err
+	}
+	clock := &simtime.Clock{}
+	s := &sim{
+		cfg:        cfg,
+		clock:      clock,
+		net:        NewNetwork(clock),
+		pool:       pool,
+		egress:     make(map[int]*Resource),
+		paths:      make(map[[2]int]*Resource),
+		unfinished: len(cfg.Topology.Clusters),
+		results:    make([]ClusterResult, len(cfg.Topology.Clusters)),
+		nextSeq:    make(map[int]int),
+		lastFile:   make(map[int]int),
+	}
+	for site := range cfg.Topology.SeekPenalty {
+		s.lastFile[site] = -1
+	}
+	for site, cap := range cfg.Topology.SourceEgress {
+		s.egress[site] = &Resource{Name: fmt.Sprintf("egress-site%d", site), Capacity: cap}
+	}
+	if cfg.Topology.InterClusterBandwidth > 0 {
+		s.interRes = &Resource{Name: "inter-cluster", Capacity: cfg.Topology.InterClusterBandwidth}
+	}
+	for key, p := range cfg.Topology.Paths {
+		s.paths[key] = &Resource{Name: fmt.Sprintf("path-c%d-s%d", key[0], key[1]), Capacity: p.Bandwidth}
+	}
+	for i, cm := range cfg.Topology.Clusters {
+		if cm.Cores <= 0 {
+			return nil, fmt.Errorf("hybridsim: cluster %q has %d cores", cm.Name, cm.Cores)
+		}
+		if cm.CoreSpeed <= 0 {
+			cm.CoreSpeed = 1
+		}
+		if cm.RetrievalThreads <= 0 {
+			cm.RetrievalThreads = 2
+		}
+		if cm.QueueDepth <= 0 {
+			cm.QueueDepth = 2 * cm.Cores
+		}
+		c := &simCluster{
+			sim:            s,
+			model:          cm,
+			index:          i,
+			idleRetrievers: cm.RetrievalThreads,
+			bytesBySite:    make(map[int]int64),
+		}
+		for id := 0; id < cm.Cores; id++ {
+			c.idleCores = append(c.idleCores, id)
+		}
+		s.clusters = append(s.clusters, c)
+	}
+	// Kick every master at t=0.
+	for _, c := range s.clusters {
+		c.ensureJobs()
+	}
+	clock.Run()
+	if s.err != nil {
+		return nil, s.err
+	}
+	if s.unfinished > 0 || s.merged != len(s.clusters) {
+		return nil, fmt.Errorf("hybridsim: simulation stalled (%d clusters unfinished, %d merged)", s.unfinished, s.merged)
+	}
+
+	res := &Result{Total: s.finishAt, Clusters: s.results, Seeks: s.seeks}
+	minDone, maxDone := time.Duration(1<<62), time.Duration(0)
+	for i := range s.results {
+		// Sync = everything after the cluster stopped processing.
+		s.results[i].Breakdown.Sync = s.finishAt - s.results[i].LocalDone
+		d := s.results[i].LocalDone
+		if d < minDone {
+			minDone = d
+		}
+		if d > maxDone {
+			maxDone = d
+		}
+	}
+	res.IdleTime = maxDone - minDone
+	res.GlobalReduction = s.finishAt - maxDone
+	return res, nil
+}
+
+// batch is the master's request size: one job per retrieval thread by
+// default — big enough to keep every stream busy and reads sequential,
+// small enough that a slow cluster does not hoard jobs a faster cluster
+// could have stolen near the end of the run.
+func (c *simCluster) batch() int {
+	if c.sim.cfg.RequestBatch > 0 {
+		return c.sim.cfg.RequestBatch
+	}
+	b := c.model.RetrievalThreads / 2
+	if b < 4 {
+		b = 4
+	}
+	return b
+}
+
+// ensureJobs is the master: request a group from the head when the local
+// pool is diminishing.
+func (c *simCluster) ensureJobs() {
+	if c.requesting || c.exhausted || c.finished {
+		return
+	}
+	if c.queue.Len() >= c.batch() {
+		return
+	}
+	c.requesting = true
+	s := c.sim
+	rtt := 2 * s.cfg.Topology.ControlLatency
+	s.clock.After(rtt, func() {
+		granted := s.pool.Assign(c.model.Site, c.batch())
+		c.requesting = false
+		if len(granted) == 0 {
+			c.exhausted = true
+			c.maybeFinish()
+			return
+		}
+		c.queue.Push(granted)
+		c.kickRetrievers()
+	})
+}
+
+// kickRetrievers puts idle retrieval threads to work.
+func (c *simCluster) kickRetrievers() {
+	for c.idleRetrievers > 0 && c.startFetch() {
+		c.idleRetrievers--
+	}
+}
+
+// startFetch begins one chunk transfer if a job and a buffer slot are
+// available. Returns false when the thread should stay idle.
+func (c *simCluster) startFetch() bool {
+	if len(c.ready)+c.inFlight >= c.model.QueueDepth {
+		return false // back-pressure: slave memory full
+	}
+	j, ok := c.queue.Pop()
+	if !ok {
+		c.ensureJobs()
+		return false
+	}
+	c.ensureJobs() // queue diminished; maybe request more
+	s := c.sim
+	var resources []*Resource
+	if r, ok := s.egress[j.Site]; ok && r.Capacity > 0 {
+		resources = append(resources, r)
+	}
+	var latency time.Duration
+	var perStream float64
+	if pm, ok := s.cfg.Topology.Paths[[2]int{c.index, j.Site}]; ok {
+		if r := s.paths[[2]int{c.index, j.Site}]; r != nil && r.Capacity > 0 {
+			resources = append(resources, r)
+		}
+		latency = pm.Latency
+		perStream = pm.PerStream
+	}
+	if pen, ok := s.cfg.Topology.SeekPenalty[j.Site]; ok && pen > 0 {
+		if s.lastFile[j.Site] != j.Ref.File || s.nextSeq[j.Ref.File] != j.Ref.Seq {
+			latency += pen
+			s.seeks++
+		}
+		s.lastFile[j.Site] = j.Ref.File
+		s.nextSeq[j.Ref.File] = j.Ref.Seq + 1
+	}
+	start := s.clock.Now()
+	c.inFlight++
+	s.net.Start(j.Ref.Size, latency, perStream, resources, func() {
+		c.inFlight--
+		c.retrTime += s.clock.Now() - start
+		c.bytesBySite[j.Site] += j.Ref.Size
+		c.ready = append(c.ready, queuedChunk{job: j, bytes: j.Ref.Size})
+		c.kickCores()
+		// This retrieval thread immediately looks for the next job.
+		if c.startFetch() {
+			return
+		}
+		c.idleRetrievers++
+	})
+	return true
+}
+
+// kickCores puts idle cores to work on retrieved chunks.
+func (c *simCluster) kickCores() {
+	for len(c.idleCores) > 0 && len(c.ready) > 0 {
+		core := c.idleCores[len(c.idleCores)-1]
+		c.idleCores = c.idleCores[:len(c.idleCores)-1]
+		qc := c.ready[0]
+		c.ready = c.ready[1:]
+		c.busyCores++
+		// A buffer slot freed: retrieval threads may resume.
+		c.kickRetrievers()
+		c.process(core, qc)
+	}
+}
+
+// jitterFactor derives the deterministic per-(cluster, job) compute-speed
+// multiplier in [1-J, 1+J].
+func (c *simCluster) jitterFactor(jobID int) float64 {
+	if c.model.Jitter <= 0 {
+		return 1
+	}
+	h := splitmix64(c.sim.cfg.Seed ^ uint64(c.index)<<32 ^ uint64(jobID))
+	u := float64(h>>11) / float64(1<<53) // [0,1)
+	return 1 - c.model.Jitter + 2*c.model.Jitter*u
+}
+
+// process models one core crunching one chunk.
+func (c *simCluster) process(core int, qc queuedChunk) {
+	s := c.sim
+	rate := s.cfg.App.ComputeBytesPerSec * c.model.CoreSpeed * c.jitterFactor(qc.job.ID)
+	d := time.Duration(float64(qc.bytes) / rate * float64(time.Second))
+	s.clock.After(d, func() {
+		c.coreBusy += d
+		c.busyCores--
+		c.idleCores = append(c.idleCores, core)
+		if c.sim.err == nil {
+			if err := s.pool.Complete(qc.job); err != nil {
+				s.err = err
+			}
+		}
+		c.jobsAcct = accumulate(c.jobsAcct, qc.job.Site != c.model.Site)
+		c.kickCores()
+		c.kickRetrievers()
+		c.maybeFinish()
+	})
+}
+
+func accumulate(a stats.JobAccounting, stolen bool) stats.JobAccounting {
+	if stolen {
+		a.Stolen++
+	} else {
+		a.Local++
+	}
+	return a
+}
+
+// maybeFinish detects end of the cluster's processing and starts its part
+// of the global reduction.
+func (c *simCluster) maybeFinish() {
+	if c.finished || !c.exhausted {
+		return
+	}
+	if c.queue.Len() > 0 || c.inFlight > 0 || len(c.ready) > 0 || c.busyCores > 0 {
+		return
+	}
+	c.finished = true
+	s := c.sim
+	c.localDone = s.clock.Now()
+	procAvg := c.coreBusy / time.Duration(c.model.Cores)
+	c.sim.results[c.index] = ClusterResult{
+		Name:  c.model.Name,
+		Site:  c.model.Site,
+		Cores: c.model.Cores,
+		Breakdown: stats.Breakdown{
+			Processing: procAvg,
+			// The retrieval bar is the non-overlapped part: elapsed time the
+			// cluster spent beyond its average per-core compute — data
+			// stalls plus pipeline fill. Sync is filled in at the end.
+			Retrieval: c.localDone - procAvg,
+		},
+		Jobs:          c.jobsAcct,
+		BytesBySite:   c.bytesBySite,
+		RetrievalBusy: c.retrTime,
+		LocalDone:     c.localDone,
+	}
+	if c.sim.results[c.index].Breakdown.Retrieval < 0 {
+		c.sim.results[c.index].Breakdown.Retrieval = 0
+	}
+	s.unfinished--
+	if s.unfinished == 0 {
+		s.grStart = s.clock.Now()
+	}
+	// Ship the reduction object to the head: an inter-cluster transfer over
+	// the SHARED WAN pipe (waived for the cluster hosting the head node),
+	// then a merge that the head performs serially per arriving object.
+	t := s.cfg.Topology
+	if c.index == t.HeadCluster {
+		s.robjArrived()
+		return
+	}
+	var res []*Resource
+	if s.interRes != nil {
+		res = append(res, s.interRes)
+	}
+	s.net.Start(s.cfg.App.RobjBytes, t.InterClusterLatency, 0, res, s.robjArrived)
+}
+
+// robjArrived schedules the head's serial merge of one reduction object and
+// finishes the run when the last merge lands.
+func (s *sim) robjArrived() {
+	mergeStart := s.clock.Now()
+	if mergeStart < s.headBusyAt {
+		mergeStart = s.headBusyAt
+	}
+	merge := time.Duration(0)
+	if s.cfg.App.MergeBytesPerSec > 0 {
+		merge = time.Duration(float64(s.cfg.App.RobjBytes) / s.cfg.App.MergeBytesPerSec * float64(time.Second))
+	}
+	s.headBusyAt = mergeStart + merge
+	s.clock.At(s.headBusyAt, func() {
+		s.merged++
+		if s.merged == len(s.clusters) {
+			// Broadcast of Finished reaches masters one control hop later.
+			s.finishAt = s.clock.Now() + s.cfg.Topology.ControlLatency
+			s.clock.At(s.finishAt, func() {})
+		}
+	})
+}

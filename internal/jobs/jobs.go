@@ -1,0 +1,348 @@
+// Package jobs implements the head node's pooling-based job distribution:
+// a global job pool generated from the dataset index, on-demand assignment
+// of consecutive-job groups to requesting clusters, and the inter-cluster
+// work-stealing policy used when a cluster has exhausted its locally-hosted
+// jobs.
+//
+// The policies here are exactly the ones the paper describes:
+//
+//   - Each job corresponds to one chunk of the data set.
+//   - When a cluster's job pool is diminishing, its master requests more
+//     jobs from the head. If jobs hosted at that cluster remain, the head
+//     assigns a group of CONSECUTIVE jobs from one file, so compute units
+//     read sequentially and input utilization stays high.
+//   - Once all of a cluster's own jobs are handed out, remaining remote jobs
+//     are assigned (job stealing). Remote jobs are chosen from the file that
+//     the MINIMUM number of nodes is currently processing, which minimizes
+//     file contention between clusters.
+//
+// The same Pool drives the live middleware (internal/head) and the
+// discrete-event simulator (internal/hybridsim), so the experiments exercise
+// the real scheduling code.
+package jobs
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/chunk"
+)
+
+// Job is one unit of cluster-level work: process one chunk.
+type Job struct {
+	ID   int       // global job id: position in the index's canonical order
+	Ref  chunk.Ref // the chunk to retrieve and process
+	Site int       // site hosting the chunk's file (index into the placement)
+}
+
+// Placement maps each file of a dataset to the site (cluster-attached
+// storage or cloud store) hosting it. Site IDs are small dense integers;
+// by convention in the experiments, site 0 is the local cluster's storage
+// node and site 1 is the cloud object store.
+type Placement []int
+
+// SplitByFraction builds a placement for nFiles files where the first
+// fraction (rounded to whole files) live on siteA and the rest on siteB.
+// fraction is the share of files on siteA in [0,1].
+func SplitByFraction(nFiles int, fraction float64, siteA, siteB int) Placement {
+	if fraction < 0 {
+		fraction = 0
+	}
+	if fraction > 1 {
+		fraction = 1
+	}
+	cut := int(fraction*float64(nFiles) + 0.5)
+	p := make(Placement, nFiles)
+	for i := range p {
+		if i < cut {
+			p[i] = siteA
+		} else {
+			p[i] = siteB
+		}
+	}
+	return p
+}
+
+// Validate checks that the placement covers ix's files with non-negative
+// site IDs.
+func (p Placement) Validate(ix *chunk.Index) error {
+	if len(p) != len(ix.Files) {
+		return fmt.Errorf("jobs: placement covers %d files, index has %d", len(p), len(ix.Files))
+	}
+	for i, s := range p {
+		if s < 0 {
+			return fmt.Errorf("jobs: file %d assigned to negative site %d", i, s)
+		}
+	}
+	return nil
+}
+
+// StealPolicy selects how the head picks the source file for stolen jobs.
+type StealPolicy int
+
+const (
+	// StealMinContention picks the pending remote file with the fewest
+	// active readers (the paper's heuristic).
+	StealMinContention StealPolicy = iota
+	// StealRoundRobin cycles over remote files regardless of contention
+	// (ablation baseline).
+	StealRoundRobin
+)
+
+// Options tune the assignment policies; zero value = the paper's behaviour.
+type Options struct {
+	// ScatterGroups, when true, disables the consecutive-job optimization
+	// and strides assignments across files (ablation baseline).
+	ScatterGroups bool
+	// Steal selects the stolen-job source heuristic.
+	Steal StealPolicy
+	// DisableStealing statically partitions the work: each cluster only
+	// ever receives jobs hosted at its own site (ablation baseline for the
+	// paper's central load-balancing claim — without stealing, skewed data
+	// placement translates directly into compute imbalance).
+	DisableStealing bool
+}
+
+// fileState tracks assignment progress within one file.
+type fileState struct {
+	site    int
+	pending []Job // jobs not yet assigned, in offset order
+	readers int   // clusters/nodes currently holding unfinished jobs of this file
+}
+
+// Pool is the head node's global job pool. Safe for concurrent use.
+type Pool struct {
+	mu    sync.Mutex
+	opts  Options
+	files []fileState
+	// perSite[s] lists file indices hosted at site s, in canonical order.
+	perSite map[int][]int
+	// cursor[s] is the next file to drain for site-local assignment.
+	cursor map[int]int
+	// rrCursor advances the round-robin steal ablation.
+	rrCursor  int
+	remaining int
+	assigned  map[int]Job // outstanding jobs by ID, for Complete validation
+}
+
+// NewPool builds the global pool from a dataset index and a placement.
+func NewPool(ix *chunk.Index, placement Placement, opts Options) (*Pool, error) {
+	if err := placement.Validate(ix); err != nil {
+		return nil, err
+	}
+	p := &Pool{
+		opts:     opts,
+		files:    make([]fileState, len(ix.Files)),
+		perSite:  make(map[int][]int),
+		cursor:   make(map[int]int),
+		assigned: make(map[int]Job),
+	}
+	id := 0
+	for fi, f := range ix.Files {
+		site := placement[fi]
+		fs := fileState{site: site, pending: make([]Job, 0, len(f.Chunks))}
+		for _, ref := range f.Chunks {
+			fs.pending = append(fs.pending, Job{ID: id, Ref: ref, Site: site})
+			id++
+		}
+		p.files[fi] = fs
+		p.perSite[site] = append(p.perSite[site], fi)
+		p.remaining += len(f.Chunks)
+	}
+	return p, nil
+}
+
+// Remaining reports the number of jobs not yet assigned.
+func (p *Pool) Remaining() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.remaining
+}
+
+// Outstanding reports the number of assigned-but-uncompleted jobs.
+func (p *Pool) Outstanding() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.assigned)
+}
+
+// Drained reports whether every job has been assigned and completed.
+func (p *Pool) Drained() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.remaining == 0 && len(p.assigned) == 0
+}
+
+// Assign hands out up to n jobs to the requesting site. Site-local jobs are
+// preferred and delivered as consecutive runs from a single file; once the
+// site's own jobs are gone, remote jobs are stolen per the configured
+// policy. It returns nil when no jobs remain anywhere.
+func (p *Pool) Assign(site, n int) []Job {
+	if n <= 0 {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.remaining == 0 {
+		return nil
+	}
+	var out []Job
+	if p.opts.ScatterGroups {
+		out = p.assignScattered(site, n)
+	} else {
+		out = p.assignConsecutive(site, n)
+	}
+	for !p.opts.DisableStealing && len(out) < n && p.remaining > 0 {
+		stolen := p.steal(site, n-len(out))
+		if len(stolen) == 0 {
+			break
+		}
+		out = append(out, stolen...)
+	}
+	for _, j := range out {
+		p.assigned[j.ID] = j
+	}
+	return out
+}
+
+// assignConsecutive takes up to n consecutive jobs from the requesting
+// site's files, draining one file at a time.
+func (p *Pool) assignConsecutive(site, n int) []Job {
+	var out []Job
+	local := p.perSite[site]
+	for len(out) < n {
+		cur := p.cursor[site]
+		// Advance past drained files.
+		for cur < len(local) && len(p.files[local[cur]].pending) == 0 {
+			cur++
+		}
+		p.cursor[site] = cur
+		if cur >= len(local) {
+			break
+		}
+		fi := local[cur]
+		out = append(out, p.takeFrom(fi, n-len(out))...)
+	}
+	return out
+}
+
+// assignScattered (ablation) strides across the site's files, defeating
+// sequential reads.
+func (p *Pool) assignScattered(site, n int) []Job {
+	var out []Job
+	local := p.perSite[site]
+	for len(out) < n {
+		took := false
+		for _, fi := range local {
+			if len(out) >= n {
+				break
+			}
+			if len(p.files[fi].pending) > 0 {
+				out = append(out, p.takeFrom(fi, 1)...)
+				took = true
+			}
+		}
+		if !took {
+			break
+		}
+	}
+	return out
+}
+
+// steal picks remote jobs for the requesting site. Under the paper's policy
+// the source is the pending remote file with the fewest active readers.
+func (p *Pool) steal(site, n int) []Job {
+	switch p.opts.Steal {
+	case StealRoundRobin:
+		for probes := 0; probes < len(p.files); probes++ {
+			fi := p.rrCursor % len(p.files)
+			p.rrCursor++
+			fs := &p.files[fi]
+			if fs.site != site && len(fs.pending) > 0 {
+				return p.takeFrom(fi, n)
+			}
+		}
+		return nil
+	default: // StealMinContention
+		best := -1
+		for fi := range p.files {
+			fs := &p.files[fi]
+			if fs.site == site || len(fs.pending) == 0 {
+				continue
+			}
+			if best == -1 || fs.readers < p.files[best].readers {
+				best = fi
+			}
+		}
+		if best == -1 {
+			return nil
+		}
+		return p.takeFrom(best, n)
+	}
+}
+
+// takeFrom removes up to n consecutive pending jobs from file fi and bumps
+// its reader count.
+func (p *Pool) takeFrom(fi, n int) []Job {
+	fs := &p.files[fi]
+	if n > len(fs.pending) {
+		n = len(fs.pending)
+	}
+	out := make([]Job, n)
+	copy(out, fs.pending[:n])
+	fs.pending = fs.pending[n:]
+	fs.readers += n
+	p.remaining -= n
+	return out
+}
+
+// Complete records that a previously assigned job finished, releasing its
+// contribution to the source file's contention counter. Completing a job
+// that was never assigned (or completing one twice) is an error — the
+// conservation property the tests verify.
+func (p *Pool) Complete(j Job) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.assigned[j.ID]; !ok {
+		return fmt.Errorf("jobs: completing job %d that is not outstanding", j.ID)
+	}
+	delete(p.assigned, j.ID)
+	p.files[j.Ref.File].readers--
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+
+// LocalQueue is a master node's cluster-local pool: jobs received in groups
+// from the head, handed out one at a time to requesting slaves. Safe for
+// concurrent use.
+type LocalQueue struct {
+	mu   sync.Mutex
+	jobs []Job
+}
+
+// Push appends a group of jobs received from the head.
+func (q *LocalQueue) Push(js []Job) {
+	q.mu.Lock()
+	q.jobs = append(q.jobs, js...)
+	q.mu.Unlock()
+}
+
+// Pop removes and returns the next job; ok is false when the queue is empty.
+func (q *LocalQueue) Pop() (j Job, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.jobs) == 0 {
+		return Job{}, false
+	}
+	j = q.jobs[0]
+	q.jobs = q.jobs[1:]
+	return j, true
+}
+
+// Len reports the number of queued jobs.
+func (q *LocalQueue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.jobs)
+}

@@ -1,0 +1,281 @@
+// Package mapreduce is the baseline the paper compares Generalized
+// Reduction against (Figure 1): a faithful in-process Map-Reduce engine
+// with the full map → shuffle → reduce pipeline, hash partitioning, and an
+// optional Combine function applied when map-side buffers flush.
+//
+// The engine instruments exactly what the comparison is about: the volume
+// of intermediate (key, value) pairs that must be buffered, grouped and
+// communicated. With Combine the communication shrinks but pairs are still
+// generated and buffered on every map worker; Generalized Reduction avoids
+// the intermediate state entirely.
+package mapreduce
+
+import (
+	"errors"
+	"fmt"
+	"hash/maphash"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/chunk"
+)
+
+// Emit delivers one intermediate pair from a Map function.
+type Emit func(key string, value any)
+
+// Job describes one Map-Reduce computation.
+type Job struct {
+	// Map processes one data unit, emitting intermediate pairs. Required.
+	Map func(unit []byte, emit Emit) error
+	// Combine optionally pre-reduces a key's buffered values on the map
+	// side whenever a worker's buffer flushes. It must be semantically
+	// compatible with Reduce (associative pre-aggregation).
+	Combine func(key string, values []any) (any, error)
+	// Reduce merges all values for a key into the final value. Required.
+	Reduce func(key string, values []any) (any, error)
+
+	// Workers is the number of map workers (defaults to 1).
+	Workers int
+	// Reducers is the number of reduce partitions (defaults to Workers).
+	Reducers int
+	// UnitSize is the dataset's bytes per unit. Required.
+	UnitSize int
+	// FlushThreshold is the number of buffered pairs per map worker that
+	// triggers a combine flush (ignored without Combine). Defaults to 4096.
+	FlushThreshold int
+}
+
+// Metrics reports where the time and memory went.
+type Metrics struct {
+	MapTime     time.Duration
+	ShuffleTime time.Duration
+	ReduceTime  time.Duration
+	// PairsEmitted counts intermediate pairs produced by Map.
+	PairsEmitted int64
+	// PairsShuffled counts pairs that crossed from map to reduce workers
+	// (after combining, if enabled).
+	PairsShuffled int64
+	// PeakBufferedPairs is the high-water mark of pairs resident in map-side
+	// buffers across all workers — the intermediate memory requirement that
+	// Generalized Reduction is designed to avoid.
+	PeakBufferedPairs int64
+}
+
+// Result holds the final key → value map and the run's metrics.
+type Result struct {
+	Output  map[string]any
+	Metrics Metrics
+}
+
+var hashSeed = maphash.MakeSeed()
+
+func partition(key string, n int) int {
+	return int(maphash.String(hashSeed, key) % uint64(n))
+}
+
+// pair is one buffered intermediate record.
+type pair struct {
+	key   string
+	value any
+}
+
+// mapWorker accumulates pairs partitioned for the reducers.
+type mapWorker struct {
+	job      *Job
+	buffers  [][]pair // one per reduce partition
+	buffered int
+	flushAt  int // adaptive combine trigger (≥ job.FlushThreshold)
+	emitted  int64
+	shuffled int64
+	onPeak   func(delta int)
+}
+
+func (w *mapWorker) emit(key string, value any) {
+	p := partition(key, len(w.buffers))
+	w.buffers[p] = append(w.buffers[p], pair{key, value})
+	w.buffered++
+	w.emitted++
+	w.onPeak(+1)
+	if w.job.Combine != nil && w.buffered >= w.flushAt {
+		w.flush()
+		// When the key cardinality exceeds the configured threshold a flush
+		// cannot shrink the buffer below it; back off so combining stays
+		// amortized O(1) per emit instead of re-grouping on every pair.
+		w.flushAt = w.buffered * 2
+		if w.flushAt < w.job.FlushThreshold {
+			w.flushAt = w.job.FlushThreshold
+		}
+	}
+}
+
+// flush groups each partition's buffer by key and applies Combine,
+// replacing the buffered pairs with one pair per key.
+func (w *mapWorker) flush() {
+	for p, buf := range w.buffers {
+		if len(buf) == 0 {
+			continue
+		}
+		grouped := make(map[string][]any, len(buf))
+		for _, kv := range buf {
+			grouped[kv.key] = append(grouped[kv.key], kv.value)
+		}
+		nw := buf[:0]
+		for k, vs := range grouped {
+			v, err := w.job.Combine(k, vs)
+			if err != nil {
+				// Combine failures surface at Run via the worker error; keep
+				// the raw pairs so correctness is preserved.
+				nw = buf
+				break
+			}
+			nw = append(nw, pair{k, v})
+		}
+		w.onPeak(len(nw) - len(buf))
+		w.buffered += len(nw) - len(buf)
+		w.buffers[p] = nw
+	}
+}
+
+// Run executes the job over every chunk of ix readable from src.
+func Run(job Job, ix *chunk.Index, src chunk.Source) (*Result, error) {
+	if job.Map == nil || job.Reduce == nil {
+		return nil, errors.New("mapreduce: Map and Reduce are required")
+	}
+	if job.UnitSize <= 0 {
+		return nil, fmt.Errorf("mapreduce: UnitSize must be positive, got %d", job.UnitSize)
+	}
+	if job.Workers <= 0 {
+		job.Workers = 1
+	}
+	if job.Reducers <= 0 {
+		job.Reducers = job.Workers
+	}
+	if job.FlushThreshold <= 0 {
+		job.FlushThreshold = 4096
+	}
+
+	var metrics Metrics
+	var peakMu sync.Mutex
+	var buffered, peak int64
+	onPeak := func(delta int) {
+		peakMu.Lock()
+		buffered += int64(delta)
+		if buffered > peak {
+			peak = buffered
+		}
+		peakMu.Unlock()
+	}
+
+	// ----- Map phase -----
+	mapStart := time.Now()
+	chunks := make(chan []byte, job.Workers)
+	workers := make([]*mapWorker, job.Workers)
+	errCh := make(chan error, job.Workers+1)
+	var wg sync.WaitGroup
+	for i := 0; i < job.Workers; i++ {
+		w := &mapWorker{job: &job, buffers: make([][]pair, job.Reducers), flushAt: job.FlushThreshold, onPeak: onPeak}
+		workers[i] = w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for data := range chunks {
+				for off := 0; off < len(data); off += job.UnitSize {
+					if err := job.Map(data[off:off+job.UnitSize], w.emit); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}
+			if job.Combine != nil {
+				w.flush() // final combine before shuffle
+			}
+		}()
+	}
+	go func() {
+		defer close(chunks)
+		for _, ref := range ix.AllRefs() {
+			data, err := src.ReadChunk(ref)
+			if err != nil {
+				errCh <- fmt.Errorf("mapreduce: retrieving %v: %w", ref, err)
+				return
+			}
+			if len(data)%job.UnitSize != 0 {
+				errCh <- fmt.Errorf("mapreduce: chunk %v not unit-aligned", ref)
+				return
+			}
+			chunks <- data
+		}
+	}()
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
+	metrics.MapTime = time.Since(mapStart)
+	for _, w := range workers {
+		metrics.PairsEmitted += w.emitted
+	}
+
+	// ----- Shuffle phase: route each partition's pairs to its reducer and
+	// group by key (the sort/group/communicate work GR avoids). -----
+	shuffleStart := time.Now()
+	partitions := make([]map[string][]any, job.Reducers)
+	for p := range partitions {
+		partitions[p] = make(map[string][]any)
+	}
+	for _, w := range workers {
+		for p, buf := range w.buffers {
+			for _, kv := range buf {
+				partitions[p][kv.key] = append(partitions[p][kv.key], kv.value)
+				metrics.PairsShuffled++
+			}
+			w.onPeak(-len(buf))
+			w.buffers[p] = nil
+		}
+	}
+	metrics.ShuffleTime = time.Since(shuffleStart)
+
+	// ----- Reduce phase -----
+	reduceStart := time.Now()
+	outputs := make([]map[string]any, job.Reducers)
+	var rwg sync.WaitGroup
+	for p := 0; p < job.Reducers; p++ {
+		rwg.Add(1)
+		go func(p int) {
+			defer rwg.Done()
+			out := make(map[string]any, len(partitions[p]))
+			keys := make([]string, 0, len(partitions[p]))
+			for k := range partitions[p] {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys) // reducers see keys in sorted order
+			for _, k := range keys {
+				v, err := job.Reduce(k, partitions[p][k])
+				if err != nil {
+					errCh <- err
+					return
+				}
+				out[k] = v
+			}
+			outputs[p] = out
+		}(p)
+	}
+	rwg.Wait()
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
+	metrics.ReduceTime = time.Since(reduceStart)
+	metrics.PeakBufferedPairs = peak
+
+	final := make(map[string]any)
+	for _, out := range outputs {
+		for k, v := range out {
+			final[k] = v
+		}
+	}
+	return &Result{Output: final, Metrics: metrics}, nil
+}

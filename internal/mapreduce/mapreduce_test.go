@@ -1,0 +1,203 @@
+package mapreduce
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/chunk"
+)
+
+// buildWordDataset creates units of 4 bytes, each a "word id" in [0,vocab).
+func buildWordDataset(t testing.TB, units int64, vocab uint32) (*chunk.Index, *chunk.MemSource, map[string]int64) {
+	t.Helper()
+	ix, err := chunk.Layout("wc", units, 4, 256, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := chunk.NewMemSource(ix)
+	want := make(map[string]int64)
+	var unit int64
+	for _, f := range ix.Files {
+		buf := make([]byte, f.Size)
+		for i := 0; i < int(f.Size/4); i++ {
+			w := uint32(unit*unit%int64(vocab)) % vocab // skewed distribution
+			binary.LittleEndian.PutUint32(buf[4*i:], w)
+			want[fmt.Sprint(w)]++
+			unit++
+		}
+		if err := src.WriteFile(f.Name, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ix, src, want
+}
+
+func wordCountJob(workers int, combine bool) Job {
+	job := Job{
+		UnitSize: 4,
+		Workers:  workers,
+		Map: func(unit []byte, emit Emit) error {
+			emit(fmt.Sprint(binary.LittleEndian.Uint32(unit)), int64(1))
+			return nil
+		},
+		Reduce: func(key string, values []any) (any, error) {
+			var n int64
+			for _, v := range values {
+				n += v.(int64)
+			}
+			return n, nil
+		},
+	}
+	if combine {
+		job.Combine = func(key string, values []any) (any, error) {
+			var n int64
+			for _, v := range values {
+				n += v.(int64)
+			}
+			return n, nil
+		}
+		job.FlushThreshold = 128
+	}
+	return job
+}
+
+func TestWordCount(t *testing.T) {
+	ix, src, want := buildWordDataset(t, 2000, 37)
+	for _, combine := range []bool{false, true} {
+		for _, workers := range []int{1, 4} {
+			res, err := Run(wordCountJob(workers, combine), ix, src)
+			if err != nil {
+				t.Fatalf("combine=%v workers=%d: %v", combine, workers, err)
+			}
+			if len(res.Output) != len(want) {
+				t.Fatalf("combine=%v: %d keys, want %d", combine, len(res.Output), len(want))
+			}
+			for k, w := range want {
+				if got := res.Output[k].(int64); got != w {
+					t.Errorf("combine=%v workers=%d: count[%s] = %d, want %d", combine, workers, k, got, w)
+				}
+			}
+			if res.Metrics.PairsEmitted != 2000 {
+				t.Errorf("PairsEmitted = %d, want 2000", res.Metrics.PairsEmitted)
+			}
+		}
+	}
+}
+
+// TestCombineShrinksShuffleAndMemory is the quantitative claim behind the
+// paper's Figure 1 discussion: Combine reduces communication (shuffled
+// pairs) and buffering, but pairs are still generated on every map worker.
+func TestCombineShrinksShuffleAndMemory(t *testing.T) {
+	ix, src, _ := buildWordDataset(t, 4000, 13)
+	plain, err := Run(wordCountJob(2, false), ix, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	combined, err := Run(wordCountJob(2, true), ix, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if combined.Metrics.PairsShuffled >= plain.Metrics.PairsShuffled {
+		t.Errorf("combine did not shrink shuffle: %d vs %d",
+			combined.Metrics.PairsShuffled, plain.Metrics.PairsShuffled)
+	}
+	if combined.Metrics.PeakBufferedPairs >= plain.Metrics.PeakBufferedPairs {
+		t.Errorf("combine did not shrink peak buffering: %d vs %d",
+			combined.Metrics.PeakBufferedPairs, plain.Metrics.PeakBufferedPairs)
+	}
+	// But map-side emission is unchanged: pairs are still generated.
+	if combined.Metrics.PairsEmitted != plain.Metrics.PairsEmitted {
+		t.Errorf("combine changed emission count: %d vs %d",
+			combined.Metrics.PairsEmitted, plain.Metrics.PairsEmitted)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	ix, src, _ := buildWordDataset(t, 10, 5)
+	if _, err := Run(Job{UnitSize: 4}, ix, src); err == nil {
+		t.Error("missing Map/Reduce accepted")
+	}
+	job := wordCountJob(1, false)
+	job.UnitSize = 0
+	if _, err := Run(job, ix, src); err == nil {
+		t.Error("zero unit size accepted")
+	}
+}
+
+func TestMapErrorPropagates(t *testing.T) {
+	ix, src, _ := buildWordDataset(t, 100, 5)
+	job := wordCountJob(2, false)
+	job.Map = func(unit []byte, emit Emit) error { return errors.New("map boom") }
+	if _, err := Run(job, ix, src); err == nil || err.Error() != "map boom" {
+		t.Errorf("map error: %v", err)
+	}
+}
+
+func TestReduceErrorPropagates(t *testing.T) {
+	ix, src, _ := buildWordDataset(t, 100, 5)
+	job := wordCountJob(2, false)
+	job.Reduce = func(key string, values []any) (any, error) { return nil, errors.New("reduce boom") }
+	if _, err := Run(job, ix, src); err == nil {
+		t.Error("reduce error swallowed")
+	}
+}
+
+func TestRetrievalErrorPropagates(t *testing.T) {
+	ix, _, _ := buildWordDataset(t, 100, 5)
+	empty := chunk.NewMemSource(ix) // no files loaded
+	if _, err := Run(wordCountJob(1, false), ix, empty); err == nil {
+		t.Error("retrieval error swallowed")
+	}
+}
+
+func TestPartitionStable(t *testing.T) {
+	for _, key := range []string{"", "a", "hello", "12345"} {
+		p1 := partition(key, 7)
+		p2 := partition(key, 7)
+		if p1 != p2 {
+			t.Errorf("partition(%q) unstable: %d vs %d", key, p1, p2)
+		}
+		if p1 < 0 || p1 >= 7 {
+			t.Errorf("partition(%q) = %d out of range", key, p1)
+		}
+	}
+}
+
+// TestCombineHighCardinality guards the adaptive flush threshold: when the
+// number of distinct keys exceeds FlushThreshold, combining must stay
+// amortized (a fixed threshold would re-group the whole buffer on every
+// emit — quadratic time).
+func TestCombineHighCardinality(t *testing.T) {
+	const vocab = 5000 // ≫ FlushThreshold of 128
+	ix, src, want := buildWordDataset(t, 20000, vocab)
+	job := wordCountJob(2, true)
+	done := make(chan *Result, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		res, err := Run(job, ix, src)
+		if err != nil {
+			errCh <- err
+			return
+		}
+		done <- res
+	}()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	case res := <-done:
+		for k, w := range want {
+			if got := res.Output[k].(int64); got != w {
+				t.Fatalf("count[%s] = %d, want %d", k, got, w)
+			}
+		}
+		// Combining still bounded the shuffle volume near the cardinality.
+		if res.Metrics.PairsShuffled > 4*int64(len(want)) {
+			t.Errorf("shuffled %d pairs for %d keys", res.Metrics.PairsShuffled, len(want))
+		}
+	case <-time.After(20 * time.Second): // generous; the fixed code takes ms
+		t.Fatal("high-cardinality combine did not finish in time (quadratic flush?)")
+	}
+}

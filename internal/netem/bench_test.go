@@ -1,0 +1,41 @@
+package netem
+
+import "testing"
+
+// Token-bucket overhead: Wait sits on every shaped Write, so its fast path
+// (tokens available) must be cheap.
+
+func BenchmarkBucketFastPath(b *testing.B) {
+	bucket := NewBucket(1e12, 1e12) // never blocks
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bucket.Wait(1500)
+	}
+}
+
+func BenchmarkBucketContended(b *testing.B) {
+	bucket := NewBucket(1e12, 1e12)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			bucket.Wait(1500)
+		}
+	})
+}
+
+func BenchmarkShaperWrapOverhead(b *testing.B) {
+	s := NewShaper(Link{}) // no constraints: measures wrapper cost only
+	c := s.Wrap(discardConn{})
+	buf := make([]byte, 4096)
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Write(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// discardConn is a net.Conn whose writes vanish.
+type discardConn struct{ nopConn }
+
+func (discardConn) Write(p []byte) (int, error) { return len(p), nil }

@@ -1,0 +1,18 @@
+package netem
+
+import (
+	"net"
+	"time"
+)
+
+// nopConn is a minimal net.Conn for wrapper tests and benchmarks.
+type nopConn struct{}
+
+func (nopConn) Read(p []byte) (int, error)         { return 0, nil }
+func (nopConn) Write(p []byte) (int, error)        { return len(p), nil }
+func (nopConn) Close() error                       { return nil }
+func (nopConn) LocalAddr() net.Addr                { return &net.TCPAddr{} }
+func (nopConn) RemoteAddr() net.Addr               { return &net.TCPAddr{} }
+func (nopConn) SetDeadline(t time.Time) error      { return nil }
+func (nopConn) SetReadDeadline(t time.Time) error  { return nil }
+func (nopConn) SetWriteDeadline(t time.Time) error { return nil }

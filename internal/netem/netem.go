@@ -1,0 +1,172 @@
+// Package netem emulates wide-area network conditions on top of real
+// connections: propagation latency and bandwidth limits, so a single-host
+// deployment exhibits the cluster↔cloud asymmetry the paper's testbed had
+// (Infiniband inside the cluster, a constrained WAN path to S3 and between
+// clusters).
+//
+// The model is sender-side: each Write is delayed by the one-way latency
+// (once per burst) and paced by a token bucket at the link rate. For the
+// request/response traffic the middleware generates, sender-side delay is
+// indistinguishable from in-flight delay when measuring elapsed time, which
+// is what the experiments report.
+package netem
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// Bucket is a token bucket: Wait(n) blocks until n tokens (bytes) are
+// available at the configured rate. Safe for concurrent use; concurrent
+// waiters share the link fairly in FIFO order of lock acquisition.
+type Bucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64 // bucket capacity
+	tokens float64
+	last   time.Time
+	// now/sleep are indirected for tests.
+	now   func() time.Time
+	sleep func(time.Duration)
+}
+
+// NewBucket returns a bucket producing rate tokens/second with the given
+// burst capacity. A rate ≤ 0 means unlimited.
+func NewBucket(rate float64, burst float64) *Bucket {
+	if burst <= 0 {
+		burst = rate / 10
+	}
+	if burst <= 0 {
+		burst = 1
+	}
+	b := &Bucket{rate: rate, burst: burst, tokens: burst, now: time.Now, sleep: time.Sleep}
+	b.last = b.now()
+	return b
+}
+
+// Wait blocks until n tokens are available and consumes them. Requests
+// larger than the burst size are admitted in burst-sized installments so a
+// huge write cannot deadlock.
+func (b *Bucket) Wait(n int) {
+	if b == nil || b.rate <= 0 || n <= 0 {
+		return
+	}
+	remaining := float64(n)
+	for remaining > 0 {
+		take := remaining
+		if take > b.burst {
+			take = b.burst
+		}
+		b.waitFor(take)
+		remaining -= take
+	}
+}
+
+func (b *Bucket) waitFor(n float64) {
+	for {
+		b.mu.Lock()
+		now := b.now()
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		b.last = now
+		if b.tokens >= n {
+			b.tokens -= n
+			b.mu.Unlock()
+			return
+		}
+		need := (n - b.tokens) / b.rate
+		b.mu.Unlock()
+		b.sleep(time.Duration(need * float64(time.Second)))
+	}
+}
+
+// Rate reports the configured token rate.
+func (b *Bucket) Rate() float64 { return b.rate }
+
+// Link describes one emulated network path.
+type Link struct {
+	// Latency is the one-way propagation delay added to each write burst.
+	Latency time.Duration
+	// BytesPerSec caps throughput; 0 means unlimited.
+	BytesPerSec float64
+	// Burst is the token-bucket capacity in bytes; 0 picks a default.
+	Burst float64
+}
+
+// Shaper applies a Link's constraints to connections. All connections
+// wrapped by the same Shaper share one token bucket, modelling a shared
+// physical path (e.g. the site's WAN uplink carrying all retrieval threads).
+type Shaper struct {
+	link   Link
+	bucket *Bucket
+}
+
+// NewShaper builds a shaper for the link.
+func NewShaper(link Link) *Shaper {
+	var b *Bucket
+	if link.BytesPerSec > 0 {
+		b = NewBucket(link.BytesPerSec, link.Burst)
+	}
+	return &Shaper{link: link, bucket: b}
+}
+
+// Wrap returns a net.Conn whose writes are subject to the link's latency
+// and bandwidth.
+func (s *Shaper) Wrap(c net.Conn) net.Conn {
+	if s == nil {
+		return c
+	}
+	return &shapedConn{Conn: c, shaper: s}
+}
+
+// Link returns the shaper's configuration.
+func (s *Shaper) Link() Link { return s.link }
+
+type shapedConn struct {
+	net.Conn
+	shaper *Shaper
+
+	mu        sync.Mutex
+	lastWrite time.Time
+}
+
+// Write paces p through the shared bucket, charging the one-way latency
+// when the connection has been idle (a new burst), matching how an RTT is
+// paid once per request rather than once per segment.
+func (c *shapedConn) Write(p []byte) (int, error) {
+	s := c.shaper
+	if s.link.Latency > 0 {
+		c.mu.Lock()
+		idle := c.lastWrite.IsZero() || time.Since(c.lastWrite) > s.link.Latency
+		c.mu.Unlock()
+		if idle {
+			time.Sleep(s.link.Latency)
+		}
+	}
+	s.bucket.Wait(len(p))
+	n, err := c.Conn.Write(p)
+	if s.link.Latency > 0 {
+		c.mu.Lock()
+		c.lastWrite = time.Now()
+		c.mu.Unlock()
+	}
+	return n, err
+}
+
+// Listener wraps every accepted connection with the shaper.
+type Listener struct {
+	net.Listener
+	Shaper *Shaper
+}
+
+// Accept waits for the next connection and shapes it.
+func (l Listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.Shaper.Wrap(c), nil
+}

@@ -1,0 +1,191 @@
+package netem
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock drives a Bucket deterministically.
+type fakeClock struct {
+	mu  sync.Mutex
+	t   time.Time
+	nap time.Duration // total requested sleep
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) sleep(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.nap += d
+	c.mu.Unlock()
+}
+
+func newTestBucket(rate, burst float64) (*Bucket, *fakeClock) {
+	b := NewBucket(rate, burst)
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b.now = clk.now
+	b.sleep = clk.sleep
+	b.last = clk.t
+	return b, clk
+}
+
+func TestBucketPacesToRate(t *testing.T) {
+	b, clk := newTestBucket(1000, 100) // 1000 B/s, 100 B burst
+	b.Wait(100)                        // consumes the initial burst instantly
+	if clk.nap != 0 {
+		t.Fatalf("burst should be free, slept %v", clk.nap)
+	}
+	b.Wait(500) // needs 0.5 s at 1000 B/s
+	if got, want := clk.nap, 500*time.Millisecond; got < want || got > want+50*time.Millisecond {
+		t.Errorf("slept %v, want ≈%v", got, want)
+	}
+}
+
+func TestBucketLargeRequestInstallments(t *testing.T) {
+	b, clk := newTestBucket(1000, 10)
+	b.Wait(1000) // 100× burst; must not deadlock
+	if clk.nap < 900*time.Millisecond {
+		t.Errorf("1000 bytes at 1000 B/s slept only %v", clk.nap)
+	}
+}
+
+func TestBucketUnlimited(t *testing.T) {
+	var b *Bucket
+	b.Wait(1 << 30) // nil bucket: no-op
+	b2 := NewBucket(0, 0)
+	done := make(chan struct{})
+	go func() { b2.Wait(1 << 30); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("zero-rate bucket blocked")
+	}
+}
+
+func TestBucketRefillCap(t *testing.T) {
+	b, clk := newTestBucket(1000, 50)
+	clk.sleep(10 * time.Second) // long idle must not bank >burst tokens
+	clk.nap = 0
+	b.Wait(50)
+	if clk.nap != 0 {
+		t.Errorf("burst after idle slept %v", clk.nap)
+	}
+	b.Wait(50)
+	if clk.nap < 40*time.Millisecond {
+		t.Errorf("second burst slept only %v; bucket over-banked", clk.nap)
+	}
+}
+
+func TestShaperThrottlesConnection(t *testing.T) {
+	// 64 KiB through a 256 KiB/s link should take ≈250 ms.
+	s := NewShaper(Link{BytesPerSec: 256 << 10, Burst: 4 << 10})
+	client, server := net.Pipe()
+	shaped := s.Wrap(client)
+	const n = 64 << 10
+	done := make(chan time.Duration, 1)
+	go func() {
+		start := time.Now()
+		buf := make([]byte, 8<<10)
+		sent := 0
+		for sent < n {
+			m, err := shaped.Write(buf)
+			if err != nil {
+				t.Errorf("write: %v", err)
+				break
+			}
+			sent += m
+		}
+		done <- time.Since(start)
+	}()
+	buf := make([]byte, 8<<10)
+	got := 0
+	for got < n {
+		m, err := server.Read(buf)
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		got += m
+	}
+	elapsed := <-done
+	if elapsed < 150*time.Millisecond {
+		t.Errorf("64KiB over 256KiB/s link took %v, want ≥150ms", elapsed)
+	}
+	shaped.Close()
+	server.Close()
+}
+
+func TestShaperLatency(t *testing.T) {
+	s := NewShaper(Link{Latency: 30 * time.Millisecond})
+	client, server := net.Pipe()
+	shaped := s.Wrap(client)
+	go func() {
+		buf := make([]byte, 16)
+		for {
+			if _, err := server.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	start := time.Now()
+	if _, err := shaped.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Errorf("first write took %v, want ≥25ms latency", elapsed)
+	}
+	// An immediately-following write is part of the same burst: no new delay.
+	start = time.Now()
+	if _, err := shaped.Write([]byte("pong")); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 20*time.Millisecond {
+		t.Errorf("burst-continuation write took %v, want ≈0", elapsed)
+	}
+	shaped.Close()
+	server.Close()
+}
+
+func TestNilShaperPassThrough(t *testing.T) {
+	var s *Shaper
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	if got := s.Wrap(client); got != client {
+		t.Error("nil shaper should return the conn unchanged")
+	}
+}
+
+func TestListener(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := Listener{Listener: inner, Shaper: NewShaper(Link{})}
+	defer l.Close()
+	go func() {
+		c, err := net.Dial("tcp", inner.Addr().String())
+		if err == nil {
+			c.Write([]byte("hi"))
+			c.Close()
+		}
+	}()
+	c, err := l.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	buf := make([]byte, 2)
+	if _, err := c.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "hi" {
+		t.Errorf("read %q", buf)
+	}
+}

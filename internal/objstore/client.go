@@ -1,0 +1,252 @@
+package objstore
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/chunk"
+	"repro/internal/protocol"
+	"repro/internal/transport"
+)
+
+// Client talks to an object-store server over a pool of connections, one
+// per retrieval thread, so concurrent range fetches proceed in parallel —
+// the paper's multi-threaded data retrieval, which is what lets compute
+// instances saturate the available bandwidth to S3.
+type Client struct {
+	network, addr string
+
+	mu    sync.Mutex
+	idle  []*transport.Conn
+	total int
+	max   int
+}
+
+// Dial returns a client for the server at addr with at most maxConns pooled
+// connections (≤0 defaults to 8).
+func Dial(network, addr string, maxConns int) *Client {
+	if maxConns <= 0 {
+		maxConns = 8
+	}
+	return &Client{network: network, addr: addr, max: maxConns}
+}
+
+func (c *Client) acquire() (*transport.Conn, error) {
+	c.mu.Lock()
+	if n := len(c.idle); n > 0 {
+		conn := c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		return conn, nil
+	}
+	c.total++
+	c.mu.Unlock()
+	conn, err := transport.Dial(c.network, c.addr)
+	if err != nil {
+		c.mu.Lock()
+		c.total--
+		c.mu.Unlock()
+	}
+	return conn, err
+}
+
+func (c *Client) release(conn *transport.Conn, broken bool) {
+	if broken {
+		conn.Close()
+		c.mu.Lock()
+		c.total--
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Lock()
+	if len(c.idle) < c.max {
+		c.idle = append(c.idle, conn)
+		c.mu.Unlock()
+		return
+	}
+	c.total--
+	c.mu.Unlock()
+	conn.Close()
+}
+
+// roundTrip sends req and returns the reply on a pooled connection.
+func (c *Client) roundTrip(req protocol.Message) (protocol.Message, error) {
+	conn, err := c.acquire()
+	if err != nil {
+		return nil, err
+	}
+	if err := conn.Send(req); err != nil {
+		c.release(conn, true)
+		return nil, err
+	}
+	reply, err := conn.Recv()
+	c.release(conn, err != nil)
+	return reply, err
+}
+
+// Close drops all pooled connections.
+func (c *Client) Close() {
+	c.mu.Lock()
+	idle := c.idle
+	c.idle = nil
+	c.mu.Unlock()
+	for _, conn := range idle {
+		conn.Close()
+	}
+}
+
+// Put stores an object.
+func (c *Client) Put(key string, data []byte) error {
+	reply, err := c.roundTrip(protocol.PutReq{Key: key, Data: data})
+	if err != nil {
+		return err
+	}
+	resp, ok := reply.(protocol.PutResp)
+	if !ok {
+		return fmt.Errorf("objstore: unexpected reply %T to Put", reply)
+	}
+	if resp.Err != "" {
+		return errors.New(resp.Err)
+	}
+	return nil
+}
+
+// GetRange fetches length bytes of key starting at off (length < 0 = rest).
+func (c *Client) GetRange(key string, off, length int64) ([]byte, error) {
+	reply, err := c.roundTrip(protocol.GetReq{Key: key, Off: off, Len: length})
+	if err != nil {
+		return nil, err
+	}
+	resp, ok := reply.(protocol.GetResp)
+	if !ok {
+		return nil, fmt.Errorf("objstore: unexpected reply %T to Get", reply)
+	}
+	if resp.Err != "" {
+		return nil, errors.New(resp.Err)
+	}
+	return resp.Data, nil
+}
+
+// Stat returns an object's size.
+func (c *Client) Stat(key string) (int64, error) {
+	reply, err := c.roundTrip(protocol.StatReq{Key: key})
+	if err != nil {
+		return 0, err
+	}
+	resp, ok := reply.(protocol.StatResp)
+	if !ok {
+		return 0, fmt.Errorf("objstore: unexpected reply %T to Stat", reply)
+	}
+	if resp.Err != "" {
+		return 0, errors.New(resp.Err)
+	}
+	return resp.Size, nil
+}
+
+// List returns keys matching prefix.
+func (c *Client) List(prefix string) ([]string, error) {
+	reply, err := c.roundTrip(protocol.ListReq{Prefix: prefix})
+	if err != nil {
+		return nil, err
+	}
+	switch resp := reply.(type) {
+	case protocol.ListResp:
+		return resp.Keys, nil
+	case protocol.ErrorReply:
+		return nil, errors.New(resp.Err)
+	default:
+		return nil, fmt.Errorf("objstore: unexpected reply %T to List", reply)
+	}
+}
+
+// Source adapts the client to chunk.Source for a dataset whose files are
+// stored under their index names. Retrieval of one chunk is split across
+// Threads parallel range fetches — the multi-threaded retrieval the paper
+// uses to exploit fast interconnects.
+type Source struct {
+	Client  *Client
+	Index   *chunk.Index
+	Threads int // parallel sub-range fetches per chunk (≤0 ⇒ 1)
+}
+
+// ReadChunk implements chunk.Source.
+func (s *Source) ReadChunk(ref chunk.Ref) ([]byte, error) {
+	if ref.File < 0 || ref.File >= len(s.Index.Files) {
+		return nil, fmt.Errorf("%w: file %d", chunk.ErrBounds, ref.File)
+	}
+	key := s.Index.Files[ref.File].Name
+	threads := s.Threads
+	if threads <= 1 || ref.Size < int64(threads) {
+		return s.Client.GetRange(key, ref.Offset, ref.Size)
+	}
+	buf := make([]byte, ref.Size)
+	part := (ref.Size + int64(threads) - 1) / int64(threads)
+	var wg sync.WaitGroup
+	errs := make([]error, threads)
+	for t := 0; t < threads; t++ {
+		start := int64(t) * part
+		if start >= ref.Size {
+			break
+		}
+		end := start + part
+		if end > ref.Size {
+			end = ref.Size
+		}
+		wg.Add(1)
+		go func(t int, start, end int64) {
+			defer wg.Done()
+			data, err := s.Client.GetRange(key, ref.Offset+start, end-start)
+			if err != nil {
+				errs[t] = err
+				return
+			}
+			copy(buf[start:end], data)
+		}(t, start, end)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("objstore: chunk %v: %w", ref, err)
+		}
+	}
+	return buf, nil
+}
+
+var _ chunk.Source = (*Source)(nil)
+
+// Upload pushes every file of a materialized dataset from src into the
+// store, plus the serialized index under indexKey if non-empty.
+func Upload(c *Client, ix *chunk.Index, src chunk.Source, indexKey string) error {
+	for _, f := range ix.Files {
+		// Read the whole file as one chunk-spanning sequence.
+		data := make([]byte, 0, f.Size)
+		for _, ref := range f.Chunks {
+			part, err := src.ReadChunk(ref)
+			if err != nil {
+				return fmt.Errorf("objstore: reading %s: %w", f.Name, err)
+			}
+			data = append(data, part...)
+		}
+		if err := c.Put(f.Name, data); err != nil {
+			return fmt.Errorf("objstore: uploading %s: %w", f.Name, err)
+		}
+	}
+	if indexKey != "" {
+		var buf indexBuffer
+		if _, err := ix.WriteTo(&buf); err != nil {
+			return err
+		}
+		if err := c.Put(indexKey, buf.b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type indexBuffer struct{ b []byte }
+
+func (w *indexBuffer) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}

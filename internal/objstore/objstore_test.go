@@ -1,0 +1,225 @@
+package objstore
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/chunk"
+	"repro/internal/workload"
+)
+
+func testBackends(t *testing.T) map[string]Backend {
+	return map[string]Backend{
+		"mem": NewMemBackend(),
+		"dir": DirBackend{Root: t.TempDir()},
+	}
+}
+
+func TestBackendBasics(t *testing.T) {
+	for name, b := range testBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			data := []byte("hello object store world")
+			if err := b.Put("a/b.dat", data); err != nil {
+				t.Fatalf("Put: %v", err)
+			}
+			got, err := b.Get("a/b.dat", 0, -1)
+			if err != nil || !bytes.Equal(got, data) {
+				t.Fatalf("Get all = %q, %v", got, err)
+			}
+			got, err = b.Get("a/b.dat", 6, 6)
+			if err != nil || string(got) != "object" {
+				t.Fatalf("Get range = %q, %v", got, err)
+			}
+			size, err := b.Stat("a/b.dat")
+			if err != nil || size != int64(len(data)) {
+				t.Fatalf("Stat = %d, %v", size, err)
+			}
+			if _, err := b.Get("missing", 0, -1); !errors.Is(err, ErrNotFound) {
+				t.Errorf("Get missing: %v", err)
+			}
+			if _, err := b.Stat("missing"); !errors.Is(err, ErrNotFound) {
+				t.Errorf("Stat missing: %v", err)
+			}
+			if err := b.Put("a/c.dat", []byte("x")); err != nil {
+				t.Fatal(err)
+			}
+			keys, err := b.List("a/")
+			if err != nil || len(keys) != 2 || keys[0] != "a/b.dat" {
+				t.Errorf("List = %v, %v", keys, err)
+			}
+		})
+	}
+}
+
+func TestMemBackendRangeErrors(t *testing.T) {
+	b := NewMemBackend()
+	if err := b.Put("k", []byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Get("k", -1, 2); err == nil {
+		t.Error("negative offset accepted")
+	}
+	if _, err := b.Get("k", 5, 100); err == nil {
+		t.Error("overlong range accepted")
+	}
+	if got, _ := b.Get("k", 10, 0); len(got) != 0 {
+		t.Errorf("empty tail range = %q", got)
+	}
+}
+
+func TestMemBackendCopiesData(t *testing.T) {
+	b := NewMemBackend()
+	data := []byte("mutable")
+	if err := b.Put("k", data); err != nil {
+		t.Fatal(err)
+	}
+	data[0] = 'X'
+	got, _ := b.Get("k", 0, -1)
+	if string(got) != "mutable" {
+		t.Error("backend aliased caller's buffer")
+	}
+	got[0] = 'Y'
+	again, _ := b.Get("k", 0, -1)
+	if string(again) != "mutable" {
+		t.Error("backend returned aliased buffer")
+	}
+}
+
+// startServer brings up a server on loopback and returns its address.
+func startServer(t *testing.T, backend Backend) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(backend)
+	srv.Logf = t.Logf
+	go srv.Serve(l)
+	t.Cleanup(func() { srv.Close() })
+	return l.Addr().String()
+}
+
+func TestClientServer(t *testing.T) {
+	addr := startServer(t, NewMemBackend())
+	c := Dial("tcp", addr, 4)
+	defer c.Close()
+
+	if err := c.Put("obj", []byte("abcdefghij")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, err := c.GetRange("obj", 2, 3)
+	if err != nil || string(got) != "cde" {
+		t.Fatalf("GetRange = %q, %v", got, err)
+	}
+	size, err := c.Stat("obj")
+	if err != nil || size != 10 {
+		t.Fatalf("Stat = %d, %v", size, err)
+	}
+	keys, err := c.List("")
+	if err != nil || len(keys) != 1 {
+		t.Fatalf("List = %v, %v", keys, err)
+	}
+	if _, err := c.GetRange("missing", 0, -1); err == nil {
+		t.Error("missing key fetch succeeded")
+	}
+	if _, err := c.Stat("missing"); err == nil {
+		t.Error("missing key stat succeeded")
+	}
+}
+
+func TestClientConcurrentFetches(t *testing.T) {
+	backend := NewMemBackend()
+	payload := make([]byte, 1<<16)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	if err := backend.Put("big", payload); err != nil {
+		t.Fatal(err)
+	}
+	addr := startServer(t, backend)
+	c := Dial("tcp", addr, 8)
+	defer c.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			off := int64(i * 1024)
+			got, err := c.GetRange("big", off, 1024)
+			if err != nil {
+				t.Errorf("fetch %d: %v", i, err)
+				return
+			}
+			if !bytes.Equal(got, payload[off:off+1024]) {
+				t.Errorf("fetch %d: payload mismatch", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestSourceReadsChunks(t *testing.T) {
+	gen := workload.UniformPoints{Seed: 3, Dim: 2}
+	ix, err := chunk.Layout("s3", 512, gen.UnitSize(), 256, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := chunk.NewMemSource(ix)
+	if err := workload.Build(ix, gen, mem); err != nil {
+		t.Fatal(err)
+	}
+	addr := startServer(t, NewMemBackend())
+	c := Dial("tcp", addr, 8)
+	defer c.Close()
+	if err := Upload(c, ix, mem, "index.grix"); err != nil {
+		t.Fatalf("Upload: %v", err)
+	}
+	if _, err := c.Stat("index.grix"); err != nil {
+		t.Errorf("index not uploaded: %v", err)
+	}
+	for _, threads := range []int{1, 4} {
+		src := &Source{Client: c, Index: ix, Threads: threads}
+		for _, ref := range ix.AllRefs() {
+			want, err := mem.ReadChunk(ref)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := src.ReadChunk(ref)
+			if err != nil {
+				t.Fatalf("threads=%d ReadChunk(%v): %v", threads, ref, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("threads=%d chunk %v mismatch", threads, ref)
+			}
+		}
+	}
+	src := &Source{Client: c, Index: ix, Threads: 2}
+	if _, err := src.ReadChunk(chunk.Ref{File: 42}); err == nil {
+		t.Error("out-of-range file read succeeded")
+	}
+}
+
+func TestDirBackendKeyTraversal(t *testing.T) {
+	root := t.TempDir()
+	b := DirBackend{Root: root}
+	// A hostile key must not escape the root.
+	if err := b.Put("../../escape.txt", []byte("x")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "..", "..", "escape.txt")); err == nil {
+		t.Fatal("key escaped the backend root")
+	}
+	// The object is still retrievable under its sanitized key.
+	if _, err := b.Get("../../escape.txt", 0, -1); err != nil {
+		t.Errorf("sanitized key not readable back: %v", err)
+	}
+	keys, err := b.List("")
+	if err != nil || len(keys) != 1 {
+		t.Errorf("List = %v, %v", keys, err)
+	}
+}

@@ -1,0 +1,308 @@
+// Package objstore is the repository's stand-in for Amazon S3: a simple
+// object store holding a dataset's files, addressable by key with byte-range
+// GETs, served over the framework transport. Combined with internal/netem
+// shaping it reproduces the bandwidth-constrained remote-retrieval path that
+// dominates the paper's data-intensive experiments.
+package objstore
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/protocol"
+	"repro/internal/transport"
+)
+
+// ErrNotFound reports a missing key.
+var ErrNotFound = errors.New("objstore: key not found")
+
+// Backend stores object bytes. Implementations must be safe for concurrent
+// use.
+type Backend interface {
+	Put(key string, data []byte) error
+	// Get returns length bytes starting at off; length < 0 means to the end.
+	Get(key string, off, length int64) ([]byte, error)
+	Stat(key string) (int64, error)
+	List(prefix string) ([]string, error)
+}
+
+// MemBackend keeps objects in memory.
+type MemBackend struct {
+	mu   sync.RWMutex
+	objs map[string][]byte
+}
+
+// NewMemBackend returns an empty in-memory backend.
+func NewMemBackend() *MemBackend {
+	return &MemBackend{objs: make(map[string][]byte)}
+}
+
+// Put implements Backend.
+func (b *MemBackend) Put(key string, data []byte) error {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	b.mu.Lock()
+	b.objs[key] = cp
+	b.mu.Unlock()
+	return nil
+}
+
+// Get implements Backend.
+func (b *MemBackend) Get(key string, off, length int64) ([]byte, error) {
+	b.mu.RLock()
+	data, ok := b.objs[key]
+	b.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	return slice(data, off, length, key)
+}
+
+// Stat implements Backend.
+func (b *MemBackend) Stat(key string) (int64, error) {
+	b.mu.RLock()
+	data, ok := b.objs[key]
+	b.mu.RUnlock()
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	return int64(len(data)), nil
+}
+
+// List implements Backend.
+func (b *MemBackend) List(prefix string) ([]string, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	var keys []string
+	for k := range b.objs {
+		if strings.HasPrefix(k, prefix) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+func slice(data []byte, off, length int64, key string) ([]byte, error) {
+	if off < 0 || off > int64(len(data)) {
+		return nil, fmt.Errorf("objstore: offset %d out of range for %q (%d bytes)", off, key, len(data))
+	}
+	end := int64(len(data))
+	if length >= 0 {
+		end = off + length
+		if end > int64(len(data)) {
+			return nil, fmt.Errorf("objstore: range %d+%d beyond %q (%d bytes)", off, length, key, len(data))
+		}
+	}
+	out := make([]byte, end-off)
+	copy(out, data[off:end])
+	return out, nil
+}
+
+// DirBackend stores each object as a file under a root directory. Keys may
+// not escape the root.
+type DirBackend struct{ Root string }
+
+func (b DirBackend) path(key string) (string, error) {
+	clean := filepath.Clean("/" + key)
+	return filepath.Join(b.Root, clean), nil
+}
+
+// Put implements Backend.
+func (b DirBackend) Put(key string, data []byte) error {
+	p, err := b.path(key)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(p, data, 0o644)
+}
+
+// Get implements Backend.
+func (b DirBackend) Get(key string, off, length int64) ([]byte, error) {
+	p, err := b.path(key)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(p)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+		}
+		return nil, err
+	}
+	defer f.Close()
+	if length < 0 {
+		fi, err := f.Stat()
+		if err != nil {
+			return nil, err
+		}
+		length = fi.Size() - off
+	}
+	buf := make([]byte, length)
+	if _, err := f.ReadAt(buf, off); err != nil && err != io.EOF {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// Stat implements Backend.
+func (b DirBackend) Stat(key string) (int64, error) {
+	p, err := b.path(key)
+	if err != nil {
+		return 0, err
+	}
+	fi, err := os.Stat(p)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, fmt.Errorf("%w: %q", ErrNotFound, key)
+		}
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+// List implements Backend.
+func (b DirBackend) List(prefix string) ([]string, error) {
+	var keys []string
+	err := filepath.Walk(b.Root, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		rel, err := filepath.Rel(b.Root, path)
+		if err != nil {
+			return err
+		}
+		key := filepath.ToSlash(rel)
+		if strings.HasPrefix(key, prefix) {
+			keys = append(keys, key)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// ---------------------------------------------------------------------------
+// Server.
+
+// Server serves a Backend over the framework transport.
+type Server struct {
+	backend Backend
+	// Logf, when set, receives diagnostic messages; defaults to log.Printf.
+	Logf func(format string, args ...any)
+
+	mu       sync.Mutex
+	listener net.Listener
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer returns a server for backend.
+func NewServer(backend Backend) *Server {
+	return &Server{backend: backend, Logf: log.Printf}
+}
+
+// Serve accepts connections on l until Close. It blocks.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("objstore: server closed")
+	}
+	s.listener = l
+	s.mu.Unlock()
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(transport.New(c))
+		}()
+	}
+}
+
+// Close stops accepting and waits for in-flight handlers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	l := s.listener
+	s.mu.Unlock()
+	var err error
+	if l != nil {
+		err = l.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) handle(c *transport.Conn) {
+	defer c.Close()
+	for {
+		msg, err := c.Recv()
+		if err != nil {
+			return // connection closed
+		}
+		var reply protocol.Message
+		switch m := msg.(type) {
+		case protocol.PutReq:
+			errStr := ""
+			if err := s.backend.Put(m.Key, m.Data); err != nil {
+				errStr = err.Error()
+			}
+			reply = protocol.PutResp{Err: errStr}
+		case protocol.GetReq:
+			data, err := s.backend.Get(m.Key, m.Off, m.Len)
+			resp := protocol.GetResp{Data: data}
+			if err != nil {
+				resp.Err = err.Error()
+				resp.Data = nil
+			}
+			reply = resp
+		case protocol.StatReq:
+			size, err := s.backend.Stat(m.Key)
+			resp := protocol.StatResp{Size: size}
+			if err != nil {
+				resp.Err = err.Error()
+			}
+			reply = resp
+		case protocol.ListReq:
+			keys, err := s.backend.List(m.Prefix)
+			if err != nil {
+				reply = protocol.ErrorReply{Err: err.Error()}
+			} else {
+				reply = protocol.ListResp{Keys: keys}
+			}
+		default:
+			reply = protocol.ErrorReply{Err: fmt.Sprintf("objstore: unexpected message %T", msg)}
+		}
+		if err := c.Send(reply); err != nil {
+			if s.Logf != nil {
+				s.Logf("objstore: reply failed: %v", err)
+			}
+			return
+		}
+	}
+}

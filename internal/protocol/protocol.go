@@ -1,0 +1,164 @@
+// Package protocol defines the messages exchanged between the framework's
+// node types: the HEAD node (global job assignment and final global
+// reduction), the per-cluster MASTER nodes (cluster-local job pools), and
+// the object-store daemons. Messages are gob-encoded and carried by
+// internal/transport.
+package protocol
+
+import (
+	"encoding/gob"
+
+	"repro/internal/jobs"
+)
+
+// Message is the marker interface for every wire message.
+type Message interface{ protoMsg() }
+
+// ---------------------------------------------------------------------------
+// Head ↔ Master.
+
+// Hello registers a master with the head node.
+type Hello struct {
+	Site    int    // site id of the cluster's storage (matches the placement)
+	Cluster string // human-readable cluster name ("local", "cloud", …)
+	Cores   int    // processing threads the cluster contributes
+}
+
+// JobSpec is the head's response to Hello: everything a cluster needs to
+// start processing.
+type JobSpec struct {
+	App        string // registered reducer name
+	Params     []byte // application parameters for the reducer factory
+	UnitSize   int    // dataset unit size in bytes
+	GroupBytes int    // cache-sized unit-group budget
+	Index      []byte // serialized chunk.Index
+	GroupSize  int    // jobs per master request (0 = master's choice)
+}
+
+// JobRequest asks the head for up to N more jobs for the requesting cluster.
+type JobRequest struct {
+	Site int
+	N    int
+}
+
+// JobGrant carries a group of jobs. An empty Jobs slice means the global
+// pool is exhausted and the cluster should finish its local reduction.
+type JobGrant struct {
+	Jobs []jobs.Job
+}
+
+// JobsDone reports completed jobs back to the head so it can maintain the
+// per-file contention counters that drive the stealing heuristic.
+type JobsDone struct {
+	Site int
+	Jobs []jobs.Job
+}
+
+// ReductionResult delivers a cluster's encoded reduction object to the head
+// once the cluster has processed all its assigned jobs, together with the
+// cluster's measured time decomposition (for the experiment reports).
+type ReductionResult struct {
+	Site       int
+	Object     []byte
+	Processing int64 // nanoseconds
+	Retrieval  int64
+	Sync       int64
+	LocalJobs  int
+	StolenJobs int
+}
+
+// Finished is the head's broadcast after the final global reduction: the
+// run is complete. Masters measure their idle (sync) time up to this point.
+type Finished struct {
+	Object []byte // final encoded reduction object
+}
+
+// ErrorReply reports a failure for the preceding request.
+type ErrorReply struct {
+	Err string
+}
+
+// ---------------------------------------------------------------------------
+// Object store (S3 stand-in).
+
+// PutReq stores an object.
+type PutReq struct {
+	Key  string
+	Data []byte
+}
+
+// PutResp acknowledges a PutReq.
+type PutResp struct {
+	Err string
+}
+
+// GetReq fetches Len bytes of an object starting at Off. Len < 0 means
+// "to the end".
+type GetReq struct {
+	Key string
+	Off int64
+	Len int64
+}
+
+// GetResp returns the requested range.
+type GetResp struct {
+	Data []byte
+	Err  string
+}
+
+// StatReq asks for an object's size.
+type StatReq struct {
+	Key string
+}
+
+// StatResp returns an object's size, or an error.
+type StatResp struct {
+	Size int64
+	Err  string
+}
+
+// ListReq asks for all keys with the given prefix.
+type ListReq struct {
+	Prefix string
+}
+
+// ListResp returns matching keys in sorted order.
+type ListResp struct {
+	Keys []string
+}
+
+func (Hello) protoMsg()           {}
+func (JobSpec) protoMsg()         {}
+func (JobRequest) protoMsg()      {}
+func (JobGrant) protoMsg()        {}
+func (JobsDone) protoMsg()        {}
+func (ReductionResult) protoMsg() {}
+func (Finished) protoMsg()        {}
+func (ErrorReply) protoMsg()      {}
+func (PutReq) protoMsg()          {}
+func (PutResp) protoMsg()         {}
+func (GetReq) protoMsg()          {}
+func (GetResp) protoMsg()         {}
+func (StatReq) protoMsg()         {}
+func (StatResp) protoMsg()        {}
+func (ListReq) protoMsg()         {}
+func (ListResp) protoMsg()        {}
+
+func init() {
+	gob.Register(Hello{})
+	gob.Register(JobSpec{})
+	gob.Register(JobRequest{})
+	gob.Register(JobGrant{})
+	gob.Register(JobsDone{})
+	gob.Register(ReductionResult{})
+	gob.Register(Finished{})
+	gob.Register(ErrorReply{})
+	gob.Register(PutReq{})
+	gob.Register(PutResp{})
+	gob.Register(GetReq{})
+	gob.Register(GetResp{})
+	gob.Register(StatReq{})
+	gob.Register(StatResp{})
+	gob.Register(ListReq{})
+	gob.Register(ListResp{})
+}

@@ -1,0 +1,107 @@
+// Package simtime is a deterministic discrete-event simulation clock:
+// events are callbacks scheduled at virtual instants and executed in
+// (time, insertion) order. A full paper-scale experiment (12 GB of data,
+// 64 cores, thousands of jobs) runs in milliseconds of real time, and two
+// runs with the same inputs produce byte-identical results.
+package simtime
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Clock owns virtual time and the pending-event queue. The zero value is
+// ready to use. Clock is single-threaded by design: callbacks run on the
+// goroutine that calls Run and may schedule further events.
+type Clock struct {
+	now    time.Duration
+	seq    int
+	events eventHeap
+}
+
+type event struct {
+	at     time.Duration
+	seq    int // FIFO tie-break for simultaneous events
+	fn     func()
+	cancel *bool
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() time.Duration { return c.now }
+
+// At schedules fn at virtual instant t (which must not be in the past) and
+// returns a cancel function.
+func (c *Clock) At(t time.Duration, fn func()) (cancel func()) {
+	if t < c.now {
+		t = c.now
+	}
+	cancelled := false
+	heap.Push(&c.events, &event{at: t, seq: c.seq, fn: fn, cancel: &cancelled})
+	c.seq++
+	return func() { cancelled = true }
+}
+
+// After schedules fn d after the current instant.
+func (c *Clock) After(d time.Duration, fn func()) (cancel func()) {
+	return c.At(c.now+d, fn)
+}
+
+// Step executes the next pending event, if any, advancing virtual time.
+// It reports whether an event ran.
+func (c *Clock) Step() bool {
+	for c.events.Len() > 0 {
+		ev := heap.Pop(&c.events).(*event)
+		if *ev.cancel {
+			continue
+		}
+		c.now = ev.at
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until none remain.
+func (c *Clock) Run() {
+	for c.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps ≤ deadline, then sets the clock
+// to deadline if it is later than the last event.
+func (c *Clock) RunUntil(deadline time.Duration) {
+	for c.events.Len() > 0 {
+		if c.peek().at > deadline {
+			break
+		}
+		c.Step()
+	}
+	if c.now < deadline {
+		c.now = deadline
+	}
+}
+
+// Pending reports the number of scheduled (possibly cancelled) events.
+func (c *Clock) Pending() int { return c.events.Len() }
+
+func (c *Clock) peek() *event { return c.events[0] }
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,100 @@
+package simtime
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEventOrdering(t *testing.T) {
+	var c Clock
+	var order []int
+	c.At(30*time.Millisecond, func() { order = append(order, 3) })
+	c.At(10*time.Millisecond, func() { order = append(order, 1) })
+	c.At(20*time.Millisecond, func() { order = append(order, 2) })
+	c.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if c.Now() != 30*time.Millisecond {
+		t.Errorf("Now = %v", c.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	var c Clock
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		c.At(time.Second, func() { order = append(order, i) })
+	}
+	c.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestAfterAndNesting(t *testing.T) {
+	var c Clock
+	var fired []time.Duration
+	c.After(time.Second, func() {
+		fired = append(fired, c.Now())
+		c.After(2*time.Second, func() { fired = append(fired, c.Now()) })
+	})
+	c.Run()
+	if len(fired) != 2 || fired[0] != time.Second || fired[1] != 3*time.Second {
+		t.Errorf("fired = %v", fired)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	var c Clock
+	ran := false
+	cancel := c.After(time.Second, func() { ran = true })
+	cancel()
+	c.Run()
+	if ran {
+		t.Error("cancelled event ran")
+	}
+	if c.Pending() != 0 {
+		t.Errorf("Pending = %d", c.Pending())
+	}
+}
+
+func TestPastEventClamps(t *testing.T) {
+	var c Clock
+	c.After(time.Second, func() {
+		c.At(0, func() {
+			if c.Now() != time.Second {
+				t.Errorf("past event ran at %v", c.Now())
+			}
+		})
+	})
+	c.Run()
+}
+
+func TestRunUntil(t *testing.T) {
+	var c Clock
+	var fired int
+	c.At(time.Second, func() { fired++ })
+	c.At(3*time.Second, func() { fired++ })
+	c.RunUntil(2 * time.Second)
+	if fired != 1 {
+		t.Errorf("fired = %d, want 1", fired)
+	}
+	if c.Now() != 2*time.Second {
+		t.Errorf("Now = %v, want 2s", c.Now())
+	}
+	c.Run()
+	if fired != 2 {
+		t.Errorf("fired = %d, want 2", fired)
+	}
+}
+
+func TestStepOnEmpty(t *testing.T) {
+	var c Clock
+	if c.Step() {
+		t.Error("Step on empty clock returned true")
+	}
+}

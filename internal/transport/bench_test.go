@@ -1,0 +1,75 @@
+package transport
+
+import (
+	"testing"
+
+	"repro/internal/protocol"
+)
+
+// Message-path benchmarks: the head↔master control channel carries small
+// structured messages; the object-store data path carries large GetResp
+// payloads. Both shapes matter.
+
+func benchRoundTrip(b *testing.B, req, expectEcho protocol.Message) {
+	a, peer := Pipe()
+	defer a.Close()
+	defer peer.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			m, err := peer.Recv()
+			if err != nil {
+				return
+			}
+			if err := peer.Send(m); err != nil {
+				return
+			}
+		}
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.Send(req); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := a.Recv(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	a.Close()
+	<-done
+	_ = expectEcho
+}
+
+func BenchmarkRoundTripControl(b *testing.B) {
+	benchRoundTrip(b, protocol.JobRequest{Site: 1, N: 8}, nil)
+}
+
+func BenchmarkRoundTripChunkPayload(b *testing.B) {
+	payload := make([]byte, 1<<20)
+	b.SetBytes(int64(len(payload)))
+	benchRoundTrip(b, protocol.GetResp{Data: payload}, nil)
+}
+
+func BenchmarkSendOnly(b *testing.B) {
+	a, peer := Pipe()
+	defer a.Close()
+	defer peer.Close()
+	go func() {
+		for {
+			if _, err := peer.Recv(); err != nil {
+				return
+			}
+		}
+	}()
+	msg := protocol.JobsDone{Site: 0}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.Send(msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+// Package transport carries protocol messages over any net.Conn: real TCP
+// sockets between machines, loopback sockets in single-host deployments, or
+// net.Pipe pairs in tests. Frames are gob streams wrapped in an envelope so
+// any registered message type can travel on one connection.
+package transport
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/protocol"
+)
+
+// envelope lets gob carry the Message interface.
+type envelope struct {
+	M protocol.Message
+}
+
+// Conn is a message-oriented connection. Send and Recv are individually
+// goroutine-safe (one lock each), supporting a reader goroutine concurrent
+// with writers.
+type Conn struct {
+	raw net.Conn
+
+	sendMu sync.Mutex
+	bw     *bufio.Writer
+	enc    *gob.Encoder
+
+	recvMu sync.Mutex
+	dec    *gob.Decoder
+}
+
+// New wraps a net.Conn in a message connection.
+func New(c net.Conn) *Conn {
+	bw := bufio.NewWriter(c)
+	return &Conn{
+		raw: c,
+		bw:  bw,
+		enc: gob.NewEncoder(bw),
+		dec: gob.NewDecoder(bufio.NewReader(c)),
+	}
+}
+
+// Dial connects to a listening peer and wraps the socket.
+func Dial(network, addr string) (*Conn, error) {
+	c, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return New(c), nil
+}
+
+// Send encodes and flushes one message.
+func (c *Conn) Send(m protocol.Message) error {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	if err := c.enc.Encode(envelope{M: m}); err != nil {
+		return fmt.Errorf("transport: send: %w", err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		return fmt.Errorf("transport: flush: %w", err)
+	}
+	return nil
+}
+
+// Recv blocks for the next message.
+func (c *Conn) Recv() (protocol.Message, error) {
+	c.recvMu.Lock()
+	defer c.recvMu.Unlock()
+	var env envelope
+	if err := c.dec.Decode(&env); err != nil {
+		return nil, err
+	}
+	return env.M, nil
+}
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.raw.Close() }
+
+// RemoteAddr reports the peer address.
+func (c *Conn) RemoteAddr() net.Addr { return c.raw.RemoteAddr() }
+
+// Pipe returns a connected in-process pair, for tests and single-process
+// deployments.
+func Pipe() (*Conn, *Conn) {
+	a, b := net.Pipe()
+	return New(a), New(b)
+}

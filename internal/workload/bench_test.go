@@ -1,0 +1,53 @@
+package workload
+
+import "testing"
+
+// Generator throughput: dataset materialization must not be the bottleneck
+// when building multi-GB inputs for live runs.
+
+func BenchmarkUniformPointsFill(b *testing.B) {
+	g := UniformPoints{Seed: 1, Dim: 8}
+	buf := make([]byte, 1<<20)
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Fill(int64(i)*int64(len(buf)/g.UnitSize()), buf)
+	}
+}
+
+func BenchmarkClusteredPointsFill(b *testing.B) {
+	g := ClusteredPoints{Seed: 1, Dim: 8, K: 10, Spread: 0.02}
+	buf := make([]byte, 1<<20)
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Fill(int64(i)*int64(len(buf)/g.UnitSize()), buf)
+	}
+}
+
+func BenchmarkPowerLawGraphFill(b *testing.B) {
+	g := &PowerLawGraph{Seed: 1, Nodes: 100_000, Edges: 1 << 24}
+	g.init() // exclude one-time degree derivation
+	buf := make([]byte, 1<<20)
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Fill(int64(i)*int64(len(buf)/EdgeUnitSize), buf)
+	}
+}
+
+func BenchmarkDecodeEdge(b *testing.B) {
+	g := &PowerLawGraph{Seed: 1, Nodes: 1000, Edges: 1 << 16}
+	buf := make([]byte, 4096*EdgeUnitSize)
+	g.Fill(0, buf)
+	b.SetBytes(int64(len(buf)))
+	for i := 0; i < b.N; i++ {
+		for off := 0; off < len(buf); off += EdgeUnitSize {
+			e := DecodeEdge(buf[off:])
+			if e.SrcOutDeg == 0 && e.Src != 0 {
+				_ = e
+			}
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/chunk"
+)
+
+func TestUniformPointsDeterministic(t *testing.T) {
+	g := UniformPoints{Seed: 42, Dim: 3}
+	a := make([]byte, 10*g.UnitSize())
+	b := make([]byte, 10*g.UnitSize())
+	g.Fill(100, a)
+	g.Fill(100, b)
+	if !bytes.Equal(a, b) {
+		t.Error("same (seed, offset) produced different bytes")
+	}
+	g.Fill(101, b)
+	if bytes.Equal(a, b) {
+		t.Error("different offsets produced identical bytes")
+	}
+}
+
+// TestFillOffsetConsistency: filling [0,n) in one call equals filling it in
+// two arbitrary pieces — the property that makes per-file generation valid.
+func TestFillOffsetConsistency(t *testing.T) {
+	f := func(seed uint64, cutRaw uint8) bool {
+		g := UniformPoints{Seed: seed, Dim: 2}
+		const n = 64
+		us := g.UnitSize()
+		whole := make([]byte, n*us)
+		g.Fill(0, whole)
+		cut := int(cutRaw) % n
+		head := make([]byte, cut*us)
+		tail := make([]byte, (n-cut)*us)
+		g.Fill(0, head)
+		g.Fill(int64(cut), tail)
+		return bytes.Equal(whole, append(head, tail...))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPointsInRange(t *testing.T) {
+	g := UniformPoints{Seed: 7, Dim: 4}
+	buf := make([]byte, 100*g.UnitSize())
+	g.Fill(0, buf)
+	pt := make([]float64, 4)
+	for off := 0; off < len(buf); off += g.UnitSize() {
+		DecodePoint(buf[off:off+g.UnitSize()], pt)
+		for d, v := range pt {
+			if v < 0 || v >= 1 {
+				t.Fatalf("coordinate [%d]=%v out of [0,1)", d, v)
+			}
+		}
+	}
+}
+
+func TestClusteredPointsNearCenters(t *testing.T) {
+	g := ClusteredPoints{Seed: 11, Dim: 3, K: 4, Spread: 0.01}
+	buf := make([]byte, 500*g.UnitSize())
+	g.Fill(0, buf)
+	centers := make([][]float64, g.K)
+	for k := range centers {
+		centers[k] = g.TrueCenter(k)
+	}
+	pt := make([]float64, g.Dim)
+	for off := 0; off < len(buf); off += g.UnitSize() {
+		DecodePoint(buf[off:off+g.UnitSize()], pt)
+		best := 1e18
+		for _, c := range centers {
+			d := 0.0
+			for i := range pt {
+				d += (pt[i] - c[i]) * (pt[i] - c[i])
+			}
+			if d < best {
+				best = d
+			}
+		}
+		if best > 0.01 { // 0.1 in distance, 10 sigma
+			t.Fatalf("point at offset %d is %v away from every center", off, best)
+		}
+	}
+}
+
+func TestPowerLawGraph(t *testing.T) {
+	g := &PowerLawGraph{Seed: 5, Nodes: 50, Edges: 2000}
+	buf := make([]byte, int(g.Edges)*EdgeUnitSize)
+	g.Fill(0, buf)
+	counted := make([]uint32, g.Nodes)
+	for off := 0; off < len(buf); off += EdgeUnitSize {
+		e := DecodeEdge(buf[off:])
+		if int(e.Src) >= g.Nodes || int(e.Dst) >= g.Nodes {
+			t.Fatalf("edge %v out of node range", e)
+		}
+		counted[e.Src]++
+		if e.SrcOutDeg != g.OutDegree(int(e.Src)) {
+			t.Fatalf("edge carries outdeg %d, generator says %d", e.SrcOutDeg, g.OutDegree(int(e.Src)))
+		}
+	}
+	var total uint32
+	for n, c := range counted {
+		if c != g.OutDegree(n) {
+			t.Errorf("node %d: counted %d edges, OutDegree says %d", n, c, g.OutDegree(n))
+		}
+		total += c
+	}
+	if int64(total) != g.Edges {
+		t.Errorf("total edges %d, want %d", total, g.Edges)
+	}
+	// Power-law shape: node 0 should out-rank the median node heavily.
+	if counted[0] <= counted[g.Nodes/2] {
+		t.Errorf("no skew: deg(0)=%d deg(mid)=%d", counted[0], counted[g.Nodes/2])
+	}
+}
+
+func TestBuild(t *testing.T) {
+	g := UniformPoints{Seed: 9, Dim: 2}
+	ix, err := chunk.Layout("pts", 100, g.UnitSize(), 40, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := chunk.NewMemSource(ix)
+	if err := Build(ix, g, src); err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	// The chunk at global unit offset 40 (file 1, chunk 0) must equal a
+	// direct Fill at that offset.
+	ref := ix.Files[1].Chunks[0]
+	got, err := src.ReadChunk(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]byte, ref.Size)
+	g.Fill(40, want)
+	if !bytes.Equal(got, want) {
+		t.Error("built file content diverges from direct generation")
+	}
+	// Unit-size mismatch is rejected.
+	bad := UniformPoints{Seed: 9, Dim: 3}
+	if err := Build(ix, bad, src); err == nil {
+		t.Error("unit-size mismatch accepted")
+	}
+}
+
+func TestRNGUniformish(t *testing.T) {
+	r := rng{seed: 123}
+	var sum float64
+	const n = 10000
+	for i := 0; i < n; i++ {
+		sum += r.float01(uint64(i))
+	}
+	mean := sum / n
+	if mean < 0.45 || mean > 0.55 {
+		t.Errorf("float01 mean = %v, want ≈0.5", mean)
+	}
+}
