@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test vet race check bench-obs
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# The CI gate: static checks plus the full suite under the race detector.
+check: vet race
+
+# Guard the near-free-when-disabled observability promise: compare the
+# baseline Fig 3 benchmark against the same run with an Obs attached
+# (tracer disabled). The disabled delta must stay under 2%.
+bench-obs:
+	$(GO) test -run=NONE -bench 'BenchmarkFig3_KNN$$|BenchmarkFig3_KNN_Obs' -benchtime 50x -count 5 .

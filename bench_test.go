@@ -25,6 +25,7 @@ import (
 	"repro/internal/hybridsim"
 	"repro/internal/jobs"
 	"repro/internal/mapreduce"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -197,6 +198,37 @@ func benchFig3(b *testing.B, app experiments.App) {
 func BenchmarkFig3_KNN(b *testing.B)      { benchFig3(b, experiments.KNN) }
 func BenchmarkFig3_KMeans(b *testing.B)   { benchFig3(b, experiments.KMeans) }
 func BenchmarkFig3_PageRank(b *testing.B) { benchFig3(b, experiments.PageRank) }
+
+// ----------------------------------------------------- Observability overhead
+
+// benchFig3Obs reruns the Figure-3 sweep with an Obs bundle attached.
+func benchFig3Obs(b *testing.B, trace bool) {
+	for i := 0; i < b.N; i++ {
+		// Fresh bundle per iteration so an enabled tracer doesn't accumulate
+		// events across iterations.
+		o := obs.New(nil)
+		if trace {
+			o.Tracer.Enable()
+		}
+		for _, env := range experiments.Envs {
+			if _, err := hybridsim.Run(experiments.Config(experiments.KNN, env,
+				experiments.SimOptions{Obs: o})); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFig3_KNN_ObsDisabled is the tentpole's overhead guard: the full
+// Figure-3 sweep with metrics attached and the tracer DISABLED must stay
+// within 2% of BenchmarkFig3_KNN (which runs with no Obs at all). Compare:
+//
+//	go test -run=NONE -bench 'Fig3_KNN$|Fig3_KNN_ObsDisabled' -benchtime 5x .
+func BenchmarkFig3_KNN_ObsDisabled(b *testing.B) { benchFig3Obs(b, false) }
+
+// BenchmarkFig3_KNN_ObsTracing measures the fully-enabled path (per-job
+// event recording) for comparison; this one is allowed to cost more.
+func BenchmarkFig3_KNN_ObsTracing(b *testing.B) { benchFig3Obs(b, true) }
 
 // ----------------------------------------------------------------- Table I
 

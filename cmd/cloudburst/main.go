@@ -8,6 +8,7 @@
 //	cloudburst table1 [-app knn]        job assignment (Table I)
 //	cloudburst table2 [-app knn]        slowdown decomposition (Table II)
 //	cloudburst fig4  [-app knn]         scalability (Figure 4)
+//	cloudburst trace fig3 [-app knn]    per-job event traces (Chrome/Perfetto JSON)
 //	cloudburst headline                 the paper's summary numbers
 //	cloudburst ablations                design-choice ablation studies
 //	cloudburst all                      everything above
@@ -17,6 +18,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"slices"
+	"strings"
 	"time"
 
 	"repro/internal/costmodel"
@@ -29,14 +32,26 @@ func main() {
 		os.Exit(2)
 	}
 	cmd, args := os.Args[1], os.Args[2:]
+	// `cloudburst trace <fig3|fig4> [flags]`: peel the figure selector off
+	// before flag parsing.
+	traceFigure := "fig3"
+	if cmd == "trace" && len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		traceFigure, args = args[0], args[1:]
+	}
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	appFlag := fs.String("app", "", "application: knn, kmeans, pagerank (default: all)")
+	outFlag := fs.String("out", "trace", "trace: output file prefix")
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
 	}
 	apps := experiments.Apps
 	if *appFlag != "" {
-		apps = []experiments.App{experiments.App(*appFlag)}
+		app := experiments.App(*appFlag)
+		if !slices.Contains(experiments.Apps, app) {
+			fmt.Fprintf(os.Stderr, "cloudburst: unknown app %q (want knn, kmeans, or pagerank)\n", *appFlag)
+			os.Exit(2)
+		}
+		apps = []experiments.App{app}
 	}
 
 	var err error
@@ -78,6 +93,10 @@ func main() {
 			}
 			fmt.Println(r.FormatFig4())
 			return nil
+		})
+	case "trace":
+		err = forEachApp(apps, func(app experiments.App) error {
+			return runTrace(traceFigure, app, *outFlag)
 		})
 	case "headline":
 		err = runHeadline()
@@ -212,6 +231,60 @@ func runAblations() error {
 	return nil
 }
 
+// runTrace executes one figure's runs for app with per-job event tracing
+// enabled, writing one Chrome-trace JSON and one metrics snapshot per run,
+// and printing a verification line comparing the trace's phase-summary
+// spans against the run's stats.Breakdown.
+func runTrace(figure string, app experiments.App, outPrefix string) error {
+	var (
+		runs []experiments.TracedRun
+		err  error
+	)
+	switch figure {
+	case "fig3":
+		runs, err = experiments.RunFig3Traced(app)
+	case "fig4":
+		runs, err = experiments.RunFig4Traced(app)
+	default:
+		return fmt.Errorf("trace: unknown figure %q (want fig3 or fig4)", figure)
+	}
+	if err != nil {
+		return err
+	}
+	for _, run := range runs {
+		tracePath := fmt.Sprintf("%s-%s.trace.json", outPrefix, run.Label)
+		metricsPath := fmt.Sprintf("%s-%s.metrics.txt", outPrefix, run.Label)
+		tf, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := run.Obs.Tracer.WriteJSON(tf); err != nil {
+			tf.Close()
+			return err
+		}
+		if err := tf.Close(); err != nil {
+			return err
+		}
+		mf, err := os.Create(metricsPath)
+		if err != nil {
+			return err
+		}
+		if err := run.Obs.Registry.WriteText(mf); err != nil {
+			mf.Close()
+			return err
+		}
+		if err := mf.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("%-22s total=%8.1fs  events=%6d  phase-drift=%.4f%%  -> %s\n",
+			run.Label, run.Sim.Total.Seconds(), run.Obs.Tracer.Len(),
+			100*run.PhaseDrift(), tracePath)
+	}
+	fmt.Println("load the .trace.json files at https://ui.perfetto.dev (or chrome://tracing)")
+	return nil
+}
+
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: cloudburst <fig1|fig3|table1|table2|fig4|headline|ablations|estimate|cost|provision|all> [-app knn|kmeans|pagerank]`)
+	fmt.Fprintln(os.Stderr, `usage: cloudburst <fig1|fig3|table1|table2|fig4|trace|headline|ablations|estimate|cost|provision|all> [-app knn|kmeans|pagerank]
+       cloudburst trace <fig3|fig4> [-app knn] [-out prefix]   write Chrome/Perfetto trace JSON per environment`)
 }

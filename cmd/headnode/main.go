@@ -17,9 +17,11 @@ import (
 	"log"
 	"net"
 	"os"
+	"time"
 
 	"repro/internal/appcfg"
 	"repro/internal/chunk"
+	"repro/internal/daemon"
 	"repro/internal/head"
 	"repro/internal/jobs"
 	"repro/internal/protocol"
@@ -45,6 +47,8 @@ func main() {
 		nodes   = flag.Int("nodes", 0, "pagerank: node count")
 		damping = flag.Float64("damping", 0.85, "pagerank: damping factor")
 	)
+	var df daemon.Flags
+	df.Register(flag.CommandLine)
 	flag.Parse()
 	if *indexPath == "" {
 		log.Fatal("headnode: -index is required")
@@ -73,10 +77,20 @@ func main() {
 		log.Fatalf("headnode: index unit size %d does not match %s's %d", ix.UnitSize, *app, unitSize)
 	}
 
-	placement := jobs.SplitByFraction(len(ix.Files), float64(*localFiles)/float64(len(ix.Files)), 0, 1)
-	pool, err := jobs.NewPool(ix, placement, jobs.Options{})
+	rt, err := daemon.Start("headnode", df, log.Printf)
 	if err != nil {
 		log.Fatalf("headnode: %v", err)
+	}
+	fail := func(format string, args ...any) {
+		log.Printf(format, args...)
+		_ = rt.Close()
+		os.Exit(1)
+	}
+
+	placement := jobs.SplitByFraction(len(ix.Files), float64(*localFiles)/float64(len(ix.Files)), 0, 1)
+	pool, err := jobs.NewPool(ix, placement, jobs.Options{Metrics: rt.Obs.Registry})
+	if err != nil {
+		fail("headnode: %v", err)
 	}
 	spec := protocol.JobSpec{
 		App:        *app,
@@ -86,7 +100,7 @@ func main() {
 		GroupSize:  *groupSize,
 	}
 	if err := head.EncodeIndexSpec(&spec, ix); err != nil {
-		log.Fatalf("headnode: %v", err)
+		fail("headnode: %v", err)
 	}
 	h, err := head.New(head.Config{
 		Pool:           pool,
@@ -94,30 +108,52 @@ func main() {
 		Spec:           spec,
 		ExpectClusters: *clusters,
 		Logf:           log.Printf,
+		Obs:            rt.Obs,
 	})
 	if err != nil {
-		log.Fatalf("headnode: %v", err)
+		fail("headnode: %v", err)
 	}
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
-		log.Fatalf("headnode: %v", err)
+		fail("headnode: %v", err)
 	}
 	log.Printf("headnode: %s over %d jobs (%d files, %d local) on %s, expecting %d clusters",
 		*app, ix.NumChunks(), len(ix.Files), *localFiles, l.Addr(), *clusters)
 	go func() {
 		if err := h.Serve(l); err != nil {
-			log.Fatalf("headnode: serve: %v", err)
+			fail("headnode: serve: %v", err)
 		}
 	}()
-	obj, reports, grTime, err := h.Result()
-	_ = obj
-	if err != nil {
-		log.Fatalf("headnode: run failed: %v", err)
+
+	type outcome struct {
+		reports []head.ClusterReport
+		grTime  time.Duration
+		err     error
 	}
-	fmt.Printf("run complete; global reduction took %v\n", grTime)
-	for _, r := range reports {
-		fmt.Printf("  cluster %-8s site %d: %v  jobs local=%d stolen=%d\n",
-			r.Cluster, r.Site, r.Breakdown, r.Jobs.Local, r.Jobs.Stolen)
+	resCh := make(chan outcome, 1)
+	go func() {
+		_, reports, grTime, err := h.Result()
+		resCh <- outcome{reports, grTime, err}
+	}()
+	select {
+	case <-rt.Context().Done():
+		// SIGINT/SIGTERM: close the listener and in-flight connections,
+		// then flush trace/metrics before exiting.
+		log.Printf("headnode: shutdown signal; closing listener")
+		_ = h.Close()
+		_ = rt.Close()
+		return
+	case out := <-resCh:
+		if out.err != nil {
+			_ = h.Close()
+			fail("headnode: run failed: %v", out.err)
+		}
+		fmt.Printf("run complete; global reduction took %v\n", out.grTime)
+		for _, r := range out.reports {
+			fmt.Printf("  cluster %-8s site %d: %v  jobs local=%d stolen=%d\n",
+				r.Cluster, r.Site, r.Breakdown, r.Jobs.Local, r.Jobs.Stolen)
+		}
 	}
 	_ = h.Close()
+	_ = rt.Close()
 }

@@ -12,7 +12,9 @@ import (
 	"flag"
 	"log"
 	"net"
+	"os"
 
+	"repro/internal/daemon"
 	"repro/internal/netem"
 	"repro/internal/objstore"
 )
@@ -24,7 +26,19 @@ func main() {
 		bandwidth = flag.Float64("bandwidth", 0, "egress cap in MiB/s (0 = unlimited)")
 		latency   = flag.Duration("latency", 0, "one-way latency to add per burst")
 	)
+	var df daemon.Flags
+	df.Register(flag.CommandLine)
 	flag.Parse()
+
+	rt, err := daemon.Start("s3d", df, log.Printf)
+	if err != nil {
+		log.Fatalf("s3d: %v", err)
+	}
+	fail := func(format string, args ...any) {
+		log.Printf(format, args...)
+		_ = rt.Close()
+		os.Exit(1)
+	}
 
 	var backend objstore.Backend
 	if *root != "" {
@@ -34,7 +48,7 @@ func main() {
 	}
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
-		log.Fatalf("s3d: listen: %v", err)
+		fail("s3d: listen: %v", err)
 	}
 	if *bandwidth > 0 || *latency > 0 {
 		shaper := netem.NewShaper(netem.Link{
@@ -46,9 +60,18 @@ func main() {
 	}
 	log.Printf("s3d: serving %s on %s", describe(*root), l.Addr())
 	srv := objstore.NewServer(backend)
+	srv.Obs = rt.Obs
+	go func() {
+		// SIGINT/SIGTERM: stop accepting and drain in-flight handlers, then
+		// Serve returns cleanly and the runtime flushes trace/metrics.
+		<-rt.Context().Done()
+		log.Printf("s3d: shutdown signal; closing listener")
+		_ = srv.Close()
+	}()
 	if err := srv.Serve(l); err != nil {
-		log.Fatalf("s3d: %v", err)
+		fail("s3d: %v", err)
 	}
+	_ = rt.Close()
 }
 
 func describe(root string) string {

@@ -19,10 +19,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	_ "repro/internal/apps" // register the built-in application reducers
 	"repro/internal/chunk"
 	"repro/internal/cluster"
+	"repro/internal/daemon"
 	"repro/internal/objstore"
 )
 
@@ -37,14 +39,26 @@ func main() {
 		s3Addr    = flag.String("s3", "", "object-store daemon address (site-1 data)")
 		s3Threads = flag.Int("s3-threads", 2, "parallel range fetches per remote chunk")
 	)
+	var df daemon.Flags
+	df.Register(flag.CommandLine)
 	flag.Parse()
 	if *dataDir == "" && *s3Addr == "" {
 		log.Fatal("workernode: at least one of -data or -s3 is required")
 	}
 
-	hc, err := cluster.DialHead("tcp", *headAddr)
+	rt, err := daemon.Start("workernode", df, log.Printf)
 	if err != nil {
 		log.Fatalf("workernode: %v", err)
+	}
+	fail := func(format string, args ...any) {
+		log.Printf(format, args...)
+		_ = rt.Close()
+		os.Exit(1)
+	}
+
+	hc, err := cluster.DialHead("tcp", *headAddr)
+	if err != nil {
+		fail("workernode: %v", err)
 	}
 	defer hc.Close()
 
@@ -53,6 +67,17 @@ func main() {
 		osc = objstore.Dial("tcp", *s3Addr, *retrieval**s3Threads)
 		defer osc.Close()
 	}
+
+	// Graceful shutdown: cluster.Run has no cancellation hook, so a signal
+	// closes the head and object-store connections, which errors the run
+	// out promptly; the deferred runtime close still flushes trace/metrics.
+	go func() {
+		<-rt.Context().Done()
+		hc.Close()
+		if osc != nil {
+			osc.Close()
+		}
+	}()
 
 	report, err := cluster.Run(cluster.Config{
 		Site:             *site,
@@ -72,13 +97,15 @@ func main() {
 		},
 		SourceLabels: map[int]string{0: "local", 1: "s3"},
 		Logf:         log.Printf,
+		Obs:          rt.Obs,
 	})
 	if err != nil {
-		log.Fatalf("workernode: %v", err)
+		fail("workernode: %v", err)
 	}
 	fmt.Printf("cluster %s done: %v\n", report.Name, report.Breakdown)
 	fmt.Printf("  jobs: %d local + %d stolen\n", report.Jobs.Local, report.Jobs.Stolen)
 	for src, n := range report.Bytes {
 		fmt.Printf("  retrieved %.1f MiB from %s\n", float64(n)/(1<<20), src)
 	}
+	_ = rt.Close()
 }

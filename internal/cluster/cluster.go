@@ -17,6 +17,7 @@ import (
 	"repro/internal/chunk"
 	"repro/internal/core"
 	"repro/internal/jobs"
+	"repro/internal/obs"
 	"repro/internal/protocol"
 	"repro/internal/stats"
 )
@@ -69,6 +70,13 @@ type Config struct {
 	Retry Retry
 	// Logf receives diagnostics; nil silences them.
 	Logf func(format string, args ...any)
+	// Obs, when non-nil, collects cluster-side metrics (job counters,
+	// per-source retrieval latency histograms, in-flight gauge) and — when
+	// its tracer is enabled — per-job retrieval spans plus merge/sync spans.
+	// Trace events use process id Site+1 with one thread lane per retrieval
+	// thread, matching the simulator's pid/tid layout, so live and simulated
+	// traces render identically in Perfetto.
+	Obs *obs.Obs
 }
 
 // Retry is the retrieval fault-tolerance policy: each chunk fetch is
@@ -171,6 +179,20 @@ func Run(cfg Config) (*Report, error) {
 		batch = spec.GroupSize
 	}
 
+	clk := cfg.Obs.ClockOrWall()
+	tr := cfg.Obs.Trace()
+	reg := cfg.Obs.Metrics()
+	pid := cfg.Site + 1
+	tr.NameProcess(pid, fmt.Sprintf("cluster-%s", cfg.Name))
+	tr.NameThread(pid, 0, "master")
+	for t := 0; t < cfg.RetrievalThreads; t++ {
+		tr.NameThread(pid, 1+t, fmt.Sprintf("retr-%d", t+1))
+	}
+	mLocal := reg.Counter("cluster_jobs_local_total")
+	mStolen := reg.Counter("cluster_jobs_stolen_total")
+	mRetries := reg.Counter("cluster_retrieval_retries_total")
+	gInflight := reg.Gauge("cluster_retrievals_inflight")
+
 	collector := &stats.Collector{}
 	engine, err := core.NewEngine(core.EngineConfig{
 		Reducer:    reducer,
@@ -223,7 +245,7 @@ func Run(cfg Config) (*Report, error) {
 	}
 	for t := 0; t < cfg.RetrievalThreads; t++ {
 		wg.Add(1)
-		go func() {
+		go func(lane int) {
 			defer wg.Done()
 			for j := range jobCh {
 				src, ok := cfg.Sources[j.Site]
@@ -231,23 +253,38 @@ func Run(cfg Config) (*Report, error) {
 					fail(fmt.Errorf("cluster %s: no source for site %d", cfg.Name, j.Site))
 					continue
 				}
-				start := time.Now()
-				data, err := retrieveWithRetry(&cfg, src, j)
+				label := cfg.sourceLabel(j.Site)
+				gInflight.Add(1)
+				start := clk.Now()
+				data, err := retrieveWithRetry(&cfg, src, j, mRetries)
+				elapsed := clk.Now() - start
+				gInflight.Add(-1)
 				if err != nil {
 					fail(fmt.Errorf("cluster %s: retrieving %v: %w", cfg.Name, j.Ref, err))
 					continue
 				}
-				collector.AddRetrieval(cfg.sourceLabel(j.Site), time.Since(start), int64(len(data)))
+				collector.AddRetrieval(label, elapsed, int64(len(data)))
+				reg.Histogram("cluster_retrieval_seconds_"+label, nil).Observe(elapsed)
+				if tr.Enabled() {
+					tr.Complete(pid, lane, "retrieval", fmt.Sprintf("job %d", j.ID), start, start+elapsed,
+						obs.Args{"file": j.Ref.File, "seq": j.Ref.Seq, "site": j.Site,
+							"bytes": len(data), "stolen": j.Site != cfg.Site})
+				}
 				if err := engine.Submit(data); err != nil {
 					fail(err)
 					continue
 				}
 				collector.CountJob(j.Site != cfg.Site)
+				if j.Site != cfg.Site {
+					mStolen.Inc()
+				} else {
+					mLocal.Inc()
+				}
 				if err := cfg.Head.CompleteJobs(cfg.Site, []jobs.Job{j}); err != nil {
 					fail(err)
 				}
 			}
-		}()
+		}(1 + t)
 	}
 	wg.Wait()
 	if err := <-feedErr; err != nil {
@@ -263,7 +300,8 @@ func Run(cfg Config) (*Report, error) {
 	}
 
 	// Local (intra-cluster) merge of the per-core reduction objects.
-	mergeStart := time.Now()
+	mergeSpan := tr.Begin(pid, 0, "sync", "local-merge")
+	mergeTimer := stats.StartTimerOn(clk, collector.AddSync)
 	obj, err := engine.Finish()
 	if err != nil {
 		return nil, fmt.Errorf("cluster %s: local reduction: %w", cfg.Name, err)
@@ -272,13 +310,15 @@ func Run(cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cluster %s: encoding reduction object: %w", cfg.Name, err)
 	}
-	collector.AddSync(time.Since(mergeStart))
+	mergeTimer.Stop()
+	mergeSpan.End(obs.Args{"bytes": len(encoded)})
 
 	// Global reduction: ship the object, then idle until everyone is done.
 	// This blocked interval is the cluster's sync time.
 	b := collector.Breakdown()
 	jacct := collector.Jobs()
-	syncStart := time.Now()
+	waitSpan := tr.Begin(pid, 0, "sync", "global-reduction-wait")
+	syncTimer := stats.StartTimerOn(clk, collector.AddSync)
 	final, err := cfg.Head.SubmitResult(protocol.ReductionResult{
 		Site:       cfg.Site,
 		Object:     encoded,
@@ -291,7 +331,8 @@ func Run(cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cluster %s: submitting result: %w", cfg.Name, err)
 	}
-	collector.AddSync(time.Since(syncStart))
+	syncTimer.Stop()
+	waitSpan.End(nil)
 	cfg.Logf("cluster %s: done (%v)", cfg.Name, collector.Breakdown())
 
 	return &Report{
@@ -306,10 +347,11 @@ func Run(cfg Config) (*Report, error) {
 }
 
 // retrieveWithRetry fetches one chunk under the cluster's retry policy.
-func retrieveWithRetry(cfg *Config, src chunk.Source, j jobs.Job) ([]byte, error) {
+func retrieveWithRetry(cfg *Config, src chunk.Source, j jobs.Job, retries *obs.Counter) ([]byte, error) {
 	var lastErr error
 	for attempt := 0; attempt < cfg.Retry.attempts(); attempt++ {
 		if attempt > 0 {
+			retries.Inc()
 			time.Sleep(cfg.Retry.backoff() << (attempt - 1))
 			cfg.Logf("cluster %s: retrying %v (attempt %d): %v", cfg.Name, j.Ref, attempt+1, lastErr)
 		}

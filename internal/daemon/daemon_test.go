@@ -1,0 +1,117 @@
+package daemon
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestStartCloseFlushes: a runtime with trace and metrics paths configured
+// must leave a valid Chrome trace and a metrics snapshot behind on Close.
+func TestStartCloseFlushes(t *testing.T) {
+	dir := t.TempDir()
+	f := Flags{
+		TracePath:   filepath.Join(dir, "out.trace.json"),
+		MetricsPath: filepath.Join(dir, "out.metrics.txt"),
+	}
+	rt, err := Start("testd", f, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rt.Obs.Tracer.Enabled() {
+		t.Error("trace path set but tracer not enabled")
+	}
+	rt.Obs.Metrics().Counter("testd_requests_total").Add(7)
+	rt.Obs.Tracer.Instant(0, 0, "lifecycle", "boot", nil)
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-rt.Context().Done():
+	default:
+		t.Error("Close did not cancel the runtime context")
+	}
+
+	raw, err := os.ReadFile(f.TracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("invalid trace JSON: %v", err)
+	}
+	found := false
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "boot" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("trace file missing the recorded event")
+	}
+	metrics, err := os.ReadFile(f.MetricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(metrics), "counter testd_requests_total 7") {
+		t.Errorf("metrics snapshot missing counter:\n%s", metrics)
+	}
+}
+
+// TestNoTracePathKeepsTracerDisabled: without -trace the tracer must stay
+// disabled (the near-free default), and Close must not create files.
+func TestNoTracePathKeepsTracerDisabled(t *testing.T) {
+	rt, err := Start("testd", Flags{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Obs.Tracer.Enabled() {
+		t.Error("tracer enabled without a trace path")
+	}
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDebugEndpoint: -debug-addr serves metrics over HTTP.
+func TestDebugEndpoint(t *testing.T) {
+	rt, err := Start("testd", Flags{DebugAddr: "127.0.0.1:0"}, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	rt.Obs.Metrics().Gauge("testd_up").Set(1)
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", rt.DebugAddr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "testd_up 1") {
+		t.Errorf("GET /metrics = %d %q", resp.StatusCode, body)
+	}
+}
+
+// TestFormatConfig renders resolved flag values.
+func TestFormatConfig(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	fs.String("listen", ":9400", "")
+	fs.Int("cores", 4, "")
+	if err := fs.Parse([]string{"-cores", "8"}); err != nil {
+		t.Fatal(err)
+	}
+	got := FormatConfig(fs)
+	if !strings.Contains(got, "-cores=8") || !strings.Contains(got, "-listen=:9400") {
+		t.Errorf("FormatConfig = %q", got)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"repro/internal/chunk"
 	"repro/internal/hybridsim"
 	"repro/internal/jobs"
+	"repro/internal/obs"
 )
 
 // App identifies one of the paper's evaluation applications.
@@ -202,6 +203,9 @@ type SimOptions struct {
 	// RetrievalThreadsPerCore overrides the one-stream-per-core default
 	// (0 keeps the default; the multi-threaded-retrieval ablation sets it).
 	RetrievalThreadsPerCore float64
+	// Obs attaches an observability bundle to the simulated run: metrics
+	// always, per-job trace events when its tracer is enabled.
+	Obs *obs.Obs
 }
 
 // Config builds the simulator configuration for an (app, env) cell of the
@@ -271,6 +275,7 @@ func ConfigWithCores(app App, env Env, localCores, cloudCores int, opts SimOptio
 		Index:     ix,
 		Placement: placement,
 		PoolOpts:  opts.Pool,
+		Obs:       opts.Obs,
 		App:       appModel(app),
 		Topology: hybridsim.Topology{
 			Clusters: clusters,

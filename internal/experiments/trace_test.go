@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestRunFig3Traced: every environment gets its own Obs, the trace's
+// phase-summary spans agree with the Breakdown within the 1% acceptance
+// bound, and each trace serializes to valid Chrome-trace JSON.
+func TestRunFig3Traced(t *testing.T) {
+	runs, err := RunFig3Traced(KNN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != len(Envs) {
+		t.Fatalf("got %d runs, want %d", len(runs), len(Envs))
+	}
+	seen := make(map[string]bool)
+	for _, run := range runs {
+		if seen[run.Label] {
+			t.Errorf("duplicate label %q", run.Label)
+		}
+		seen[run.Label] = true
+		if run.Obs == nil || run.Obs.Tracer.Len() == 0 {
+			t.Errorf("%s: empty trace", run.Label)
+			continue
+		}
+		if drift := run.PhaseDrift(); drift > 0.01 {
+			t.Errorf("%s: phase drift %.4f exceeds 1%%", run.Label, drift)
+		}
+		var buf bytes.Buffer
+		if err := run.Obs.Tracer.WriteJSON(&buf); err != nil {
+			t.Fatalf("%s: %v", run.Label, err)
+		}
+		var doc struct {
+			TraceEvents []json.RawMessage `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+			t.Fatalf("%s: invalid trace JSON: %v", run.Label, err)
+		}
+		if len(doc.TraceEvents) != run.Obs.Tracer.Len()+metadataEvents(run) {
+			// Sanity only: every recorded event plus metadata made it out.
+			t.Errorf("%s: %d JSON events vs %d recorded",
+				run.Label, len(doc.TraceEvents), run.Obs.Tracer.Len())
+		}
+	}
+	// Traced runs must not perturb results: compare against the plain path.
+	plain, err := RunEnv(KNN, Env3367)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, run := range runs {
+		if run.Label == envLabel(KNN, Env3367) {
+			if run.Sim.Total != plain.Sim.Total {
+				t.Errorf("traced makespan %v != plain %v", run.Sim.Total, plain.Sim.Total)
+			}
+		}
+	}
+}
+
+// metadataEvents counts the trace's M-phase records (process/thread names),
+// which WriteJSON emits in addition to Tracer.Len() data events. Tracer.Len()
+// counts only data events, so the count comes from the serialized form.
+func metadataEvents(run TracedRun) int {
+	n := 0
+	var buf bytes.Buffer
+	if err := run.Obs.Tracer.WriteJSON(&buf); err != nil {
+		return 0
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		return 0
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" {
+			n++
+		}
+	}
+	return n
+}
+
+// TestRunFig4Traced covers the scalability sweep's traced variant.
+func TestRunFig4Traced(t *testing.T) {
+	runs, err := RunFig4Traced(KNN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != len(ScalePoints) {
+		t.Fatalf("got %d runs, want %d", len(runs), len(ScalePoints))
+	}
+	for _, run := range runs {
+		if drift := run.PhaseDrift(); drift > 0.01 {
+			t.Errorf("%s: phase drift %.4f exceeds 1%%", run.Label, drift)
+		}
+	}
+}

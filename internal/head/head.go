@@ -17,6 +17,7 @@ import (
 	"repro/internal/chunk"
 	"repro/internal/core"
 	"repro/internal/jobs"
+	"repro/internal/obs"
 	"repro/internal/protocol"
 	"repro/internal/stats"
 	"repro/internal/transport"
@@ -48,6 +49,11 @@ type Config struct {
 	ExpectClusters int
 	// Logf receives diagnostics; nil silences them.
 	Logf func(format string, args ...any)
+	// Obs, when non-nil, receives head-side metrics (grant/steal counters,
+	// global-reduction latency) and — if its tracer is enabled — lifecycle
+	// events on trace pid 0. The head also reads its Clock for grTime, so a
+	// simulator-supplied virtual clock keeps all reported times consistent.
+	Obs *obs.Obs
 }
 
 // Head coordinates one run. Create with New, expose it to masters either
@@ -73,6 +79,15 @@ type Head struct {
 	listener net.Listener
 	closed   bool
 	connWG   sync.WaitGroup
+
+	// Observability handles (nil-safe no-ops when cfg.Obs is nil).
+	clk          obs.Clock
+	tr           *obs.Tracer
+	mGrants      *obs.Counter
+	mJobsGranted *obs.Counter
+	mExhausted   *obs.Counter
+	mResults     *obs.Counter
+	hGlobalRed   *obs.Histogram
 }
 
 // New validates cfg and returns a head node ready to serve masters.
@@ -89,11 +104,22 @@ func New(cfg Config) (*Head, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
-	return &Head{
-		cfg:      cfg,
-		clusters: make(map[int]string),
-		done:     make(chan struct{}),
-	}, nil
+	reg := cfg.Obs.Metrics()
+	h := &Head{
+		cfg:          cfg,
+		clusters:     make(map[int]string),
+		done:         make(chan struct{}),
+		clk:          cfg.Obs.ClockOrWall(),
+		tr:           cfg.Obs.Trace(),
+		mGrants:      reg.Counter("head_job_grants_total"),
+		mJobsGranted: reg.Counter("head_jobs_granted_total"),
+		mExhausted:   reg.Counter("head_pool_exhausted_total"),
+		mResults:     reg.Counter("head_results_total"),
+		hGlobalRed:   reg.Histogram("head_global_reduce_seconds", nil),
+	}
+	h.tr.NameProcess(0, "head")
+	h.tr.NameThread(0, 0, "global-reduction")
+	return h, nil
 }
 
 // Register records a master's Hello and returns the job specification.
@@ -105,15 +131,26 @@ func (h *Head) Register(hello protocol.Hello) (protocol.JobSpec, error) {
 	}
 	h.clusters[hello.Site] = hello.Cluster
 	h.cfg.Logf("head: cluster %q registered (site %d, %d cores)", hello.Cluster, hello.Site, hello.Cores)
+	h.cfg.Obs.Metrics().Gauge("head_clusters_registered").Set(int64(len(h.clusters)))
+	if h.tr.Enabled() {
+		h.tr.Instant(0, 0, "lifecycle", fmt.Sprintf("register %s", hello.Cluster),
+			obs.Args{"site": hello.Site, "cores": hello.Cores})
+	}
 	return h.cfg.Spec, nil
 }
 
 // RequestJobs assigns up to n jobs to the requesting site, local first then
 // stolen. An empty result means the global pool is exhausted.
 func (h *Head) RequestJobs(site, n int) []jobs.Job {
+	sp := h.tr.Begin(0, 0, "scheduling", "request-jobs")
 	js := h.cfg.Pool.Assign(site, n)
+	sp.End(obs.Args{"site": site, "asked": n, "granted": len(js)})
 	if len(js) > 0 {
+		h.mGrants.Inc()
+		h.mJobsGranted.Add(int64(len(js)))
 		h.cfg.Logf("head: granted %d jobs to site %d (first %v)", len(js), site, js[0].Ref)
+	} else {
+		h.mExhausted.Inc()
 	}
 	return js
 }
@@ -146,7 +183,8 @@ func (h *Head) SubmitResult(res protocol.ReductionResult) ([]byte, error) {
 		h.mu.Unlock()
 		return enc, err
 	}
-	start := time.Now()
+	sp := h.tr.Begin(0, 0, "sync", "merge-robj")
+	start := h.clk.Now()
 	if h.finalObj == nil {
 		h.finalObj = obj
 	} else if err := h.cfg.Reducer.GlobalReduce(h.finalObj, obj); err != nil {
@@ -154,7 +192,11 @@ func (h *Head) SubmitResult(res protocol.ReductionResult) ([]byte, error) {
 		h.fail(fmt.Errorf("head: global reduction: %w", err))
 		return nil, err
 	}
-	h.grTime += time.Since(start)
+	merge := h.clk.Now() - start
+	h.grTime += merge
+	sp.End(obs.Args{"site": res.Site})
+	h.hGlobalRed.Observe(merge)
+	h.mResults.Inc()
 	h.collected++
 	h.reports = append(h.reports, ClusterReport{
 		Site:    res.Site,

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/chunk"
 	"repro/internal/jobs"
+	"repro/internal/obs"
 	"repro/internal/simtime"
 	"repro/internal/stats"
 )
@@ -98,6 +99,12 @@ type Config struct {
 	RequestBatch int
 	// Seed drives the deterministic jitter stream.
 	Seed uint64
+	// Obs, when non-nil, receives the run's metrics and — if its tracer is
+	// enabled — the full per-job event trace on VIRTUAL time (pid 0 is the
+	// head, pid i+1 is cluster i). Instrumentation never alters the
+	// simulated schedule: a traced run and an untraced run with the same
+	// seed produce identical Results.
+	Obs *obs.Obs
 }
 
 // ClusterResult reports one cluster's simulated run.
@@ -154,11 +161,11 @@ type simCluster struct {
 	requesting bool
 	exhausted  bool
 
-	idleRetrievers int // retrieval threads with nothing to fetch
-	inFlight       int // transfers in progress
-	ready          []queuedChunk
-	idleCores      []int // core ids with nothing to process
-	busyCores      int
+	freeLanes []int // retrieval lanes (thread ids) with nothing to fetch
+	inFlight  int   // transfers in progress
+	ready     []queuedChunk
+	idleCores []int // core ids with nothing to process
+	busyCores int
 
 	coreBusy    time.Duration
 	bytesBySite map[int]int64
@@ -199,6 +206,25 @@ type sim struct {
 	headBusyAt time.Duration // head merge pipeline availability
 	merged     int
 	err        error
+
+	// Observability (all nil-safe; see Config.Obs). The event loop is
+	// single-threaded, so per-fetch latencies accumulate in an unsynchronized
+	// local histogram and every counter is derived from the per-cluster
+	// accumulators once at the end of Run — an attached-but-idle Obs costs
+	// the hot path nothing but a nil check.
+	tr         *obs.Tracer
+	hRetrieval *obs.LocalHistogram
+}
+
+// Trace pid/tid layout: pid 0 is the head node; pid i+1 is cluster i.
+// Within a cluster, tid 0 is the master, tids 1..R the retrieval lanes,
+// tids R+1..R+cores the processing cores, and tidBreakdown the synthetic
+// per-cluster phase-summary track.
+const tidBreakdown = 999
+
+func (c *simCluster) pid() int { return c.index + 1 }
+func (c *simCluster) coreTid(id int) int {
+	return 1 + c.model.RetrievalThreads + id
 }
 
 // Run executes the simulated experiment.
@@ -212,11 +238,15 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.App.ComputeBytesPerSec <= 0 {
 		return nil, fmt.Errorf("hybridsim: App.ComputeBytesPerSec must be positive")
 	}
+	clock := &simtime.Clock{}
+	reg := cfg.Obs.Metrics()
+	if cfg.PoolOpts.Metrics == nil {
+		cfg.PoolOpts.Metrics = reg
+	}
 	pool, err := jobs.NewPool(cfg.Index, cfg.Placement, cfg.PoolOpts)
 	if err != nil {
 		return nil, err
 	}
-	clock := &simtime.Clock{}
 	s := &sim{
 		cfg:        cfg,
 		clock:      clock,
@@ -228,7 +258,20 @@ func Run(cfg Config) (*Result, error) {
 		results:    make([]ClusterResult, len(cfg.Topology.Clusters)),
 		nextSeq:    make(map[int]int),
 		lastFile:   make(map[int]int),
+
+		tr: cfg.Obs.Trace(),
 	}
+	if reg != nil {
+		s.hRetrieval = obs.NewLocalHistogram(nil)
+	}
+	// Point the shared tracer at virtual time so clock-driven helpers (and
+	// any stats.Timer running on cfg.Obs.Clock) agree with explicit spans.
+	s.tr.SetClock(obs.ClockFunc(clock.Now))
+	if cfg.Obs != nil {
+		cfg.Obs.Clock = obs.ClockFunc(clock.Now)
+	}
+	s.tr.NameProcess(0, "head")
+	s.tr.NameThread(0, 0, "global-reduction")
 	for site := range cfg.Topology.SeekPenalty {
 		s.lastFile[site] = -1
 	}
@@ -255,16 +298,28 @@ func Run(cfg Config) (*Result, error) {
 			cm.QueueDepth = 2 * cm.Cores
 		}
 		c := &simCluster{
-			sim:            s,
-			model:          cm,
-			index:          i,
-			idleRetrievers: cm.RetrievalThreads,
-			bytesBySite:    make(map[int]int64),
+			sim:         s,
+			model:       cm,
+			index:       i,
+			bytesBySite: make(map[int]int64),
+		}
+		// Stack the lanes so the first pop is lane 1, matching thread ids.
+		for lane := cm.RetrievalThreads; lane >= 1; lane-- {
+			c.freeLanes = append(c.freeLanes, lane)
 		}
 		for id := 0; id < cm.Cores; id++ {
 			c.idleCores = append(c.idleCores, id)
 		}
 		s.clusters = append(s.clusters, c)
+		s.tr.NameProcess(c.pid(), fmt.Sprintf("cluster %s (site %d)", cm.Name, cm.Site))
+		s.tr.NameThread(c.pid(), 0, "master")
+		for lane := 1; lane <= cm.RetrievalThreads; lane++ {
+			s.tr.NameThread(c.pid(), lane, fmt.Sprintf("retr-%d", lane))
+		}
+		for id := 0; id < cm.Cores; id++ {
+			s.tr.NameThread(c.pid(), c.coreTid(id), fmt.Sprintf("core-%d", id))
+		}
+		s.tr.NameThread(c.pid(), tidBreakdown, "breakdown")
 	}
 	// Kick every master at t=0.
 	for _, c := range s.clusters {
@@ -293,6 +348,45 @@ func Run(cfg Config) (*Result, error) {
 	}
 	res.IdleTime = maxDone - minDone
 	res.GlobalReduction = s.finishAt - maxDone
+	// Flush metrics once from the per-cluster accumulators the simulator
+	// keeps anyway — cheaper than atomics per simulated event, and exactly
+	// consistent with the returned Result by construction.
+	if reg != nil {
+		var local, stolen int64
+		bySite := make(map[int]int64)
+		for i := range s.results {
+			local += int64(s.results[i].Jobs.Local)
+			stolen += int64(s.results[i].Jobs.Stolen)
+			for site, n := range s.results[i].BytesBySite {
+				bySite[site] += n
+			}
+		}
+		reg.Counter("sim_jobs_local_total").Add(local)
+		reg.Counter("sim_jobs_stolen_total").Add(stolen)
+		for site, n := range bySite {
+			reg.Counter(fmt.Sprintf("sim_retrieved_bytes_site%d", site)).Add(n)
+		}
+		reg.Counter("sim_seeks_total").Add(int64(s.seeks))
+		reg.Histogram("sim_retrieval_seconds", nil).Merge(s.hRetrieval)
+	}
+	if s.tr.Enabled() {
+		s.tr.InstantAt(0, 0, "run", "finished", s.finishAt, obs.Args{"total_s": s.finishAt.Seconds()})
+		// Per-cluster phase summary: one back-to-back span per Breakdown
+		// component, so the trace carries the exact Figure-3 decomposition
+		// (the trace subcommand and tests cross-check these sums).
+		for i := range s.results {
+			b := s.results[i].Breakdown
+			pid := i + 1
+			t0 := time.Duration(0)
+			for _, ph := range []struct {
+				name string
+				d    time.Duration
+			}{{"processing", b.Processing}, {"retrieval", b.Retrieval}, {"sync", b.Sync}} {
+				s.tr.Complete(pid, tidBreakdown, "phase", ph.name, t0, t0+ph.d, nil)
+				t0 += ph.d
+			}
+		}
+	}
 	return res, nil
 }
 
@@ -323,13 +417,31 @@ func (c *simCluster) ensureJobs() {
 	c.requesting = true
 	s := c.sim
 	rtt := 2 * s.cfg.Topology.ControlLatency
+	reqStart := s.clock.Now()
 	s.clock.After(rtt, func() {
 		granted := s.pool.Assign(c.model.Site, c.batch())
 		c.requesting = false
 		if len(granted) == 0 {
 			c.exhausted = true
+			if s.tr.Enabled() {
+				s.tr.InstantAt(c.pid(), 0, "assign", "pool-exhausted", s.clock.Now(), nil)
+			}
 			c.maybeFinish()
 			return
+		}
+		if s.tr.Enabled() {
+			stolen := 0
+			for _, j := range granted {
+				if j.Site != c.model.Site {
+					stolen++
+				}
+			}
+			s.tr.Complete(c.pid(), 0, "assign", "request-jobs", reqStart, s.clock.Now(),
+				obs.Args{"granted": len(granted), "stolen": stolen, "first_job": granted[0].ID})
+			for _, j := range granted {
+				s.tr.InstantAt(c.pid(), 0, "assign", fmt.Sprintf("job %d", j.ID), s.clock.Now(),
+					obs.Args{"file": j.Ref.File, "seq": j.Ref.Seq, "site": j.Site, "stolen": j.Site != c.model.Site})
+			}
 		}
 		c.queue.Push(granted)
 		c.kickRetrievers()
@@ -338,14 +450,19 @@ func (c *simCluster) ensureJobs() {
 
 // kickRetrievers puts idle retrieval threads to work.
 func (c *simCluster) kickRetrievers() {
-	for c.idleRetrievers > 0 && c.startFetch() {
-		c.idleRetrievers--
+	for len(c.freeLanes) > 0 {
+		lane := c.freeLanes[len(c.freeLanes)-1]
+		if !c.startFetch(lane) {
+			break
+		}
+		c.freeLanes = c.freeLanes[:len(c.freeLanes)-1]
 	}
 }
 
-// startFetch begins one chunk transfer if a job and a buffer slot are
-// available. Returns false when the thread should stay idle.
-func (c *simCluster) startFetch() bool {
+// startFetch begins one chunk transfer on the given retrieval lane if a job
+// and a buffer slot are available. Returns false when the thread should
+// stay idle.
+func (c *simCluster) startFetch(lane int) bool {
 	if len(c.ready)+c.inFlight >= c.model.QueueDepth {
 		return false // back-pressure: slave memory full
 	}
@@ -381,15 +498,22 @@ func (c *simCluster) startFetch() bool {
 	c.inFlight++
 	s.net.Start(j.Ref.Size, latency, perStream, resources, func() {
 		c.inFlight--
-		c.retrTime += s.clock.Now() - start
+		end := s.clock.Now()
+		c.retrTime += end - start
 		c.bytesBySite[j.Site] += j.Ref.Size
+		s.hRetrieval.Observe(end - start)
+		if s.tr.Enabled() {
+			s.tr.Complete(c.pid(), lane, "retrieval", fmt.Sprintf("job %d", j.ID), start, end,
+				obs.Args{"file": j.Ref.File, "seq": j.Ref.Seq, "site": j.Site,
+					"bytes": j.Ref.Size, "stolen": j.Site != c.model.Site})
+		}
 		c.ready = append(c.ready, queuedChunk{job: j, bytes: j.Ref.Size})
 		c.kickCores()
 		// This retrieval thread immediately looks for the next job.
-		if c.startFetch() {
+		if c.startFetch(lane) {
 			return
 		}
-		c.idleRetrievers++
+		c.freeLanes = append(c.freeLanes, lane)
 	})
 	return true
 }
@@ -424,6 +548,7 @@ func (c *simCluster) process(core int, qc queuedChunk) {
 	s := c.sim
 	rate := s.cfg.App.ComputeBytesPerSec * c.model.CoreSpeed * c.jitterFactor(qc.job.ID)
 	d := time.Duration(float64(qc.bytes) / rate * float64(time.Second))
+	start := s.clock.Now()
 	s.clock.After(d, func() {
 		c.coreBusy += d
 		c.busyCores--
@@ -433,7 +558,12 @@ func (c *simCluster) process(core int, qc queuedChunk) {
 				s.err = err
 			}
 		}
-		c.jobsAcct = accumulate(c.jobsAcct, qc.job.Site != c.model.Site)
+		stolen := qc.job.Site != c.model.Site
+		c.jobsAcct = accumulate(c.jobsAcct, stolen)
+		if s.tr.Enabled() {
+			s.tr.Complete(c.pid(), c.coreTid(core), "processing", fmt.Sprintf("job %d", qc.job.ID),
+				start, s.clock.Now(), obs.Args{"bytes": qc.bytes, "stolen": stolen})
+		}
 		c.kickCores()
 		c.kickRetrievers()
 		c.maybeFinish()
@@ -482,8 +612,15 @@ func (c *simCluster) maybeFinish() {
 		c.sim.results[c.index].Breakdown.Retrieval = 0
 	}
 	s.unfinished--
+	if s.tr.Enabled() {
+		s.tr.InstantAt(c.pid(), 0, "barrier", "local-done", c.localDone,
+			obs.Args{"jobs_local": c.jobsAcct.Local, "jobs_stolen": c.jobsAcct.Stolen})
+	}
 	if s.unfinished == 0 {
 		s.grStart = s.clock.Now()
+		if s.tr.Enabled() {
+			s.tr.InstantAt(0, 0, "barrier", "all-clusters-done", s.grStart, nil)
+		}
 	}
 	// Ship the reduction object to the head: an inter-cluster transfer over
 	// the SHARED WAN pipe (waived for the cluster hosting the head node),
@@ -497,7 +634,14 @@ func (c *simCluster) maybeFinish() {
 	if s.interRes != nil {
 		res = append(res, s.interRes)
 	}
-	s.net.Start(s.cfg.App.RobjBytes, t.InterClusterLatency, 0, res, s.robjArrived)
+	sendStart := s.clock.Now()
+	s.net.Start(s.cfg.App.RobjBytes, t.InterClusterLatency, 0, res, func() {
+		if s.tr.Enabled() {
+			s.tr.Complete(c.pid(), 0, "global-reduction", "robj-transfer", sendStart, s.clock.Now(),
+				obs.Args{"bytes": s.cfg.App.RobjBytes})
+		}
+		s.robjArrived()
+	})
 }
 
 // robjArrived schedules the head's serial merge of one reduction object and
@@ -512,6 +656,10 @@ func (s *sim) robjArrived() {
 		merge = time.Duration(float64(s.cfg.App.RobjBytes) / s.cfg.App.MergeBytesPerSec * float64(time.Second))
 	}
 	s.headBusyAt = mergeStart + merge
+	if s.tr.Enabled() && merge > 0 {
+		s.tr.Complete(0, 0, "global-reduction", "merge-robj", mergeStart, s.headBusyAt,
+			obs.Args{"bytes": s.cfg.App.RobjBytes})
+	}
 	s.clock.At(s.headBusyAt, func() {
 		s.merged++
 		if s.merged == len(s.clusters) {

@@ -26,6 +26,7 @@ import (
 	"sync"
 
 	"repro/internal/chunk"
+	"repro/internal/obs"
 )
 
 // Job is one unit of cluster-level work: process one chunk.
@@ -101,6 +102,10 @@ type Options struct {
 	// paper's central load-balancing claim — without stealing, skewed data
 	// placement translates directly into compute imbalance).
 	DisableStealing bool
+	// Metrics, when non-nil, receives the pool's scheduling accounting:
+	// pool_jobs_assigned_local_total / pool_jobs_assigned_stolen_total
+	// counters and pool_jobs_remaining / pool_jobs_outstanding gauges.
+	Metrics *obs.Registry
 }
 
 // fileState tracks assignment progress within one file.
@@ -123,6 +128,10 @@ type Pool struct {
 	rrCursor  int
 	remaining int
 	assigned  map[int]Job // outstanding jobs by ID, for Complete validation
+
+	// Pre-resolved metric handles (nil no-ops when Options.Metrics is nil).
+	mLocal, mStolen          *obs.Counter
+	gRemaining, gOutstanding *obs.Gauge
 }
 
 // NewPool builds the global pool from a dataset index and a placement.
@@ -149,6 +158,12 @@ func NewPool(ix *chunk.Index, placement Placement, opts Options) (*Pool, error) 
 		p.perSite[site] = append(p.perSite[site], fi)
 		p.remaining += len(f.Chunks)
 	}
+	reg := opts.Metrics
+	p.mLocal = reg.Counter("pool_jobs_assigned_local_total")
+	p.mStolen = reg.Counter("pool_jobs_assigned_stolen_total")
+	p.gRemaining = reg.Gauge("pool_jobs_remaining")
+	p.gOutstanding = reg.Gauge("pool_jobs_outstanding")
+	p.gRemaining.Set(int64(p.remaining))
 	return p, nil
 }
 
@@ -201,7 +216,14 @@ func (p *Pool) Assign(site, n int) []Job {
 	}
 	for _, j := range out {
 		p.assigned[j.ID] = j
+		if j.Site == site {
+			p.mLocal.Inc()
+		} else {
+			p.mStolen.Inc()
+		}
 	}
+	p.gRemaining.Set(int64(p.remaining))
+	p.gOutstanding.Set(int64(len(p.assigned)))
 	return out
 }
 
@@ -308,6 +330,7 @@ func (p *Pool) Complete(j Job) error {
 	}
 	delete(p.assigned, j.ID)
 	p.files[j.Ref.File].readers--
+	p.gOutstanding.Set(int64(len(p.assigned)))
 	return nil
 }
 

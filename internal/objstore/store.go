@@ -17,6 +17,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/protocol"
 	"repro/internal/transport"
 )
@@ -204,6 +205,10 @@ type Server struct {
 	backend Backend
 	// Logf, when set, receives diagnostic messages; defaults to log.Printf.
 	Logf func(format string, args ...any)
+	// Obs, when non-nil, records request counters (objstore_get_total,
+	// objstore_put_total, …), served-byte counters, per-request latency
+	// histograms, and an error counter. Set before Serve.
+	Obs *obs.Obs
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -214,6 +219,34 @@ type Server struct {
 // NewServer returns a server for backend.
 func NewServer(backend Backend) *Server {
 	return &Server{backend: backend, Logf: log.Printf}
+}
+
+// metrics bundles the server's pre-resolved handles; all fields are nil-safe
+// no-ops when s.Obs is nil.
+type serverMetrics struct {
+	clk               obs.Clock
+	gets, puts, stats *obs.Counter
+	lists, errs       *obs.Counter
+	bytesOut, bytesIn *obs.Counter
+	hGet, hPut        *obs.Histogram
+	gConns            *obs.Gauge
+}
+
+func (s *Server) metrics() serverMetrics {
+	reg := s.Obs.Metrics()
+	return serverMetrics{
+		clk:      s.Obs.ClockOrWall(),
+		gets:     reg.Counter("objstore_get_total"),
+		puts:     reg.Counter("objstore_put_total"),
+		stats:    reg.Counter("objstore_stat_total"),
+		lists:    reg.Counter("objstore_list_total"),
+		errs:     reg.Counter("objstore_errors_total"),
+		bytesOut: reg.Counter("objstore_bytes_served_total"),
+		bytesIn:  reg.Counter("objstore_bytes_stored_total"),
+		hGet:     reg.Histogram("objstore_get_seconds", nil),
+		hPut:     reg.Histogram("objstore_put_seconds", nil),
+		gConns:   reg.Gauge("objstore_open_conns"),
+	}
 }
 
 // Serve accepts connections on l until Close. It blocks.
@@ -260,6 +293,9 @@ func (s *Server) Close() error {
 
 func (s *Server) handle(c *transport.Conn) {
 	defer c.Close()
+	m0 := s.metrics()
+	m0.gConns.Add(1)
+	defer m0.gConns.Add(-1)
 	for {
 		msg, err := c.Recv()
 		if err != nil {
@@ -268,33 +304,49 @@ func (s *Server) handle(c *transport.Conn) {
 		var reply protocol.Message
 		switch m := msg.(type) {
 		case protocol.PutReq:
+			start := m0.clk.Now()
 			errStr := ""
 			if err := s.backend.Put(m.Key, m.Data); err != nil {
 				errStr = err.Error()
+				m0.errs.Inc()
+			} else {
+				m0.bytesIn.Add(int64(len(m.Data)))
 			}
+			m0.puts.Inc()
+			m0.hPut.Observe(m0.clk.Now() - start)
 			reply = protocol.PutResp{Err: errStr}
 		case protocol.GetReq:
+			start := m0.clk.Now()
 			data, err := s.backend.Get(m.Key, m.Off, m.Len)
 			resp := protocol.GetResp{Data: data}
 			if err != nil {
 				resp.Err = err.Error()
 				resp.Data = nil
+				m0.errs.Inc()
+			} else {
+				m0.bytesOut.Add(int64(len(data)))
 			}
+			m0.gets.Inc()
+			m0.hGet.Observe(m0.clk.Now() - start)
 			reply = resp
 		case protocol.StatReq:
 			size, err := s.backend.Stat(m.Key)
 			resp := protocol.StatResp{Size: size}
 			if err != nil {
 				resp.Err = err.Error()
+				m0.errs.Inc()
 			}
+			m0.stats.Inc()
 			reply = resp
 		case protocol.ListReq:
 			keys, err := s.backend.List(m.Prefix)
 			if err != nil {
+				m0.errs.Inc()
 				reply = protocol.ErrorReply{Err: err.Error()}
 			} else {
 				reply = protocol.ListResp{Keys: keys}
 			}
+			m0.lists.Inc()
 		default:
 			reply = protocol.ErrorReply{Err: fmt.Sprintf("objstore: unexpected message %T", msg)}
 		}

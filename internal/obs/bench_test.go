@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// The disabled paths are what every hot loop in the middleware and the
+// simulator pays when observability is off — they must stay in the
+// fraction-of-a-nanosecond-to-few-nanoseconds range.
+
+func BenchmarkTracerDisabled_Complete(b *testing.B) {
+	tr := NewTracer(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Complete(1, 2, "retrieval", "job", 0, time.Millisecond, nil)
+	}
+}
+
+func BenchmarkTracerNil_Complete(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Complete(1, 2, "retrieval", "job", 0, time.Millisecond, nil)
+	}
+}
+
+func BenchmarkTracerDisabled_BeginEnd(b *testing.B) {
+	tr := NewTracer(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Begin(1, 2, "retrieval", "job").End(nil)
+	}
+}
+
+func BenchmarkCounterNil_Add(b *testing.B) {
+	var c *Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkCounter_Add(b *testing.B) {
+	var c Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkHistogram_Observe(b *testing.B) {
+	h := NewHistogram(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i%1000) * time.Millisecond)
+	}
+}
+
+func BenchmarkLocalHistogram_Observe(b *testing.B) {
+	h := NewLocalHistogram(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i%1000) * time.Millisecond)
+	}
+}
+
+func BenchmarkTracerEnabled_Complete(b *testing.B) {
+	tr := NewTracer(nil)
+	tr.Enable()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Complete(1, 2, "retrieval", "job", 0, time.Millisecond, nil)
+	}
+	b.StopTimer()
+	tr.Reset()
+}

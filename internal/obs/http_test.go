@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestDebugMux(t *testing.T) {
+	o := New(nil)
+	o.Tracer.Enable()
+	o.Registry.Counter("jobs_total").Add(42)
+	o.Registry.Histogram("retrieval_seconds", nil).Observe(12 * time.Millisecond)
+	o.Tracer.Complete(1, 0, "phase", "processing", 0, time.Second, nil)
+
+	srv := httptest.NewServer(NewDebugMux(o.Registry, o.Tracer))
+	defer srv.Close()
+
+	if code, body := get(t, srv, "/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+	code, body := get(t, srv, "/metrics")
+	if code != 200 || !strings.Contains(body, "counter jobs_total 42") {
+		t.Errorf("/metrics = %d %q", code, body)
+	}
+	if !strings.Contains(body, "hist retrieval_seconds count=1") {
+		t.Errorf("/metrics missing histogram: %q", body)
+	}
+
+	code, body = get(t, srv, "/debug/vars")
+	var vars map[string]int64
+	if code != 200 || json.Unmarshal([]byte(body), &vars) != nil {
+		t.Fatalf("/debug/vars = %d %q", code, body)
+	}
+	if vars["jobs_total"] != 42 || vars["retrieval_seconds.count"] != 1 {
+		t.Errorf("/debug/vars = %v", vars)
+	}
+
+	code, body = get(t, srv, "/debug/trace")
+	if code != 200 || !json.Valid([]byte(body)) {
+		t.Fatalf("/debug/trace = %d %q", code, body)
+	}
+	if !strings.Contains(body, `"processing"`) {
+		t.Errorf("/debug/trace missing recorded span: %q", body)
+	}
+
+	if code, _ := get(t, srv, "/debug/pprof/cmdline"); code != 200 {
+		t.Errorf("/debug/pprof/cmdline = %d", code)
+	}
+}
+
+func TestServeDebugAndShutdown(t *testing.T) {
+	o := New(nil)
+	srv, addr, err := ServeDebug("127.0.0.1:0", o.Registry, o.Tracer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr.String() + "/healthz")
+	if err != nil {
+		t.Fatalf("GET healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("healthz = %d", resp.StatusCode)
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+}

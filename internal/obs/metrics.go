@@ -1,0 +1,407 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric. The zero value is ready to
+// use; all methods are safe on a nil receiver (no-ops / zero reads), which
+// is how disabled instrumentation stays free of conditionals at call sites.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (zero for nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a value that can go up and down (queue depth, in-flight
+// retrievals). Nil-safe like Counter.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores n.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add adjusts the gauge by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current value (zero for nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// DefaultLatencyBuckets covers 1 ms … 60 s in roughly 1-2-5 steps — wide
+// enough for both local-disk fetches and WAN-shaped S3 retrievals.
+var DefaultLatencyBuckets = []time.Duration{
+	1 * time.Millisecond, 2 * time.Millisecond, 5 * time.Millisecond,
+	10 * time.Millisecond, 20 * time.Millisecond, 50 * time.Millisecond,
+	100 * time.Millisecond, 200 * time.Millisecond, 500 * time.Millisecond,
+	1 * time.Second, 2 * time.Second, 5 * time.Second,
+	10 * time.Second, 30 * time.Second, 60 * time.Second,
+}
+
+// Histogram accumulates durations into fixed buckets: observations are a
+// single atomic add per event, with no allocation and no lock. Buckets hold
+// counts of observations ≤ the corresponding upper bound; observations
+// beyond the last bound land in an implicit +Inf bucket.
+type Histogram struct {
+	bounds []time.Duration
+	counts []atomic.Int64 // len(bounds)+1, last is +Inf
+	sum    atomic.Int64   // nanoseconds
+	n      atomic.Int64
+	max    atomic.Int64 // nanoseconds, grows monotonically
+}
+
+// NewHistogram builds a histogram with the given ascending upper bounds
+// (DefaultLatencyBuckets when bounds is empty).
+func NewHistogram(bounds []time.Duration) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultLatencyBuckets
+	}
+	cp := make([]time.Duration, len(bounds))
+	copy(cp, bounds)
+	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	return &Histogram{bounds: cp, counts: make([]atomic.Int64, len(cp)+1)}
+}
+
+// Observe records one duration. Nil-safe.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return d <= h.bounds[i] })
+	h.counts[i].Add(1)
+	h.sum.Add(int64(d))
+	h.n.Add(1)
+	for {
+		cur := h.max.Load()
+		if int64(d) <= cur || h.max.CompareAndSwap(cur, int64(d)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.n.Load()
+}
+
+// Sum returns the total observed duration.
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sum.Load())
+}
+
+// Max returns the largest observation seen.
+func (h *Histogram) Max() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.max.Load())
+}
+
+// Quantile returns an upper-bound estimate of the q-quantile (0 < q ≤ 1):
+// the upper bound of the bucket where the cumulative count crosses q·n.
+// Observations beyond the last bound report Max.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h == nil {
+		return 0
+	}
+	n := h.n.Load()
+	if n == 0 {
+		return 0
+	}
+	rank := int64(q*float64(n) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := range h.bounds {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			return h.bounds[i]
+		}
+	}
+	return h.Max()
+}
+
+// LocalHistogram is an unsynchronized histogram for a single-threaded
+// producer. The simulator's event loop observes thousands of durations per
+// run, and even an uncontended atomic per observation is measurable against
+// the disabled-observability overhead budget — so hot loops accumulate here
+// (a plain array increment) and fold the result into the shared registry
+// once, via Histogram.Merge, when the run ends.
+type LocalHistogram struct {
+	bounds []time.Duration
+	counts []int64 // len(bounds)+1, last is +Inf
+	sum    int64   // nanoseconds
+	n      int64
+	max    int64 // nanoseconds
+}
+
+// NewLocalHistogram builds a local histogram with the given ascending upper
+// bounds (DefaultLatencyBuckets when bounds is empty).
+func NewLocalHistogram(bounds []time.Duration) *LocalHistogram {
+	if len(bounds) == 0 {
+		bounds = DefaultLatencyBuckets
+	}
+	cp := make([]time.Duration, len(bounds))
+	copy(cp, bounds)
+	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	return &LocalHistogram{bounds: cp, counts: make([]int64, len(cp)+1)}
+}
+
+// Observe records one duration. Nil-safe; not safe for concurrent use.
+func (h *LocalHistogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return d <= h.bounds[i] })
+	h.counts[i]++
+	h.sum += int64(d)
+	h.n++
+	if int64(d) > h.max {
+		h.max = int64(d)
+	}
+}
+
+// Count returns the number of observations (zero for nil).
+func (h *LocalHistogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.n
+}
+
+// Sum returns the total observed duration (zero for nil).
+func (h *LocalHistogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sum)
+}
+
+// Merge folds src's accumulated observations into h. Each source bucket is
+// re-filed by its upper bound, so merging is exact when both histograms were
+// built from the same bounds and conservative (counts land in the enclosing
+// bucket) when they were not. Nil-safe on both sides.
+func (h *Histogram) Merge(src *LocalHistogram) {
+	if h == nil || src == nil || src.n == 0 {
+		return
+	}
+	for i, n := range src.counts {
+		if n == 0 {
+			continue
+		}
+		j := len(h.counts) - 1 // src's +Inf bucket stays +Inf
+		if i < len(src.bounds) {
+			b := src.bounds[i]
+			j = sort.Search(len(h.bounds), func(k int) bool { return b <= h.bounds[k] })
+		}
+		h.counts[j].Add(n)
+	}
+	h.sum.Add(src.sum)
+	h.n.Add(src.n)
+	for {
+		cur := h.max.Load()
+		if src.max <= cur || h.max.CompareAndSwap(cur, src.max) {
+			break
+		}
+	}
+}
+
+// Registry is a named collection of metrics. Lookups get-or-create under a
+// mutex; the returned handles are cached by callers and updated with plain
+// atomics, so the steady-state hot path never touches the lock. All lookup
+// methods are nil-safe and return nil handles (whose methods are no-ops).
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with bounds on first
+// use (DefaultLatencyBuckets when bounds is empty). Later calls ignore
+// bounds.
+func (r *Registry) Histogram(name string, bounds []time.Duration) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// WriteText renders a plain-text snapshot of every metric, sorted by kind
+// then name — the payload of the /metrics endpoint and of the metrics file
+// the trace subcommand writes.
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		_, err := fmt.Fprintln(w, "# no metrics registry")
+		return err
+	}
+	type hsnap struct {
+		name string
+		h    *Histogram
+	}
+	r.mu.Lock()
+	counters := make(map[string]int64, len(r.counters))
+	for name, c := range r.counters {
+		counters[name] = c.Value()
+	}
+	gauges := make(map[string]int64, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges[name] = g.Value()
+	}
+	hists := make([]hsnap, 0, len(r.hists))
+	for name, h := range r.hists {
+		hists = append(hists, hsnap{name, h})
+	}
+	r.mu.Unlock()
+
+	for _, name := range sortedKeys(counters) {
+		if _, err := fmt.Fprintf(w, "counter %s %d\n", name, counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(gauges) {
+		if _, err := fmt.Fprintf(w, "gauge %s %d\n", name, gauges[name]); err != nil {
+			return err
+		}
+	}
+	sort.Slice(hists, func(i, j int) bool { return hists[i].name < hists[j].name })
+	for _, hs := range hists {
+		h := hs.h
+		_, err := fmt.Fprintf(w, "hist %s count=%d sum=%.6fs avg=%.6fs p50=%v p90=%v p99=%v max=%v\n",
+			hs.name, h.Count(), h.Sum().Seconds(), avgSeconds(h),
+			h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99), h.Max())
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Snapshot returns every scalar metric by name (histograms contribute
+// name.count and name.sum_ns entries) — the payload of /debug/vars.
+func (r *Registry) Snapshot() map[string]int64 {
+	out := make(map[string]int64)
+	if r == nil {
+		return out
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		out[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		out[name+".count"] = h.Count()
+		out[name+".sum_ns"] = int64(h.Sum())
+	}
+	return out
+}
+
+func avgSeconds(h *Histogram) float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum().Seconds() / float64(n)
+}
+
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,314 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a settable test clock.
+type fakeClock struct{ now time.Duration }
+
+func (f *fakeClock) Now() time.Duration { return f.now }
+
+func TestNilSafety(t *testing.T) {
+	// Everything must be callable through nil handles: this is the
+	// "observability off" configuration every component supports.
+	var o *Obs
+	o.Trace().Instant(0, 0, "c", "n", nil)
+	o.Trace().Complete(0, 0, "c", "n", 0, 1, nil)
+	o.Trace().Begin(0, 0, "c", "n").End(nil)
+	o.Trace().Enable()
+	if o.Trace().Enabled() {
+		t.Error("nil tracer reports enabled")
+	}
+	o.Metrics().Counter("x").Inc()
+	o.Metrics().Gauge("x").Set(5)
+	o.Metrics().Histogram("x", nil).Observe(time.Second)
+	if got := o.Metrics().Counter("x").Value(); got != 0 {
+		t.Errorf("nil counter value = %d", got)
+	}
+	if o.Now() < 0 {
+		t.Error("nil Obs clock went backwards")
+	}
+	var buf bytes.Buffer
+	if err := o.Trace().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("nil tracer JSON invalid: %v", err)
+	}
+}
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs")
+	c.Add(3)
+	c.Inc()
+	if c.Value() != 4 {
+		t.Errorf("counter = %d, want 4", c.Value())
+	}
+	if r.Counter("jobs") != c {
+		t.Error("Counter not idempotent")
+	}
+	g := r.Gauge("depth")
+	g.Set(10)
+	g.Add(-3)
+	if g.Value() != 7 {
+		t.Errorf("gauge = %d, want 7", g.Value())
+	}
+	h := r.Histogram("lat", []time.Duration{time.Millisecond, 10 * time.Millisecond, 100 * time.Millisecond})
+	for _, d := range []time.Duration{
+		500 * time.Microsecond, 2 * time.Millisecond, 5 * time.Millisecond,
+		50 * time.Millisecond, 2 * time.Second,
+	} {
+		h.Observe(d)
+	}
+	if h.Count() != 5 {
+		t.Errorf("hist count = %d", h.Count())
+	}
+	if h.Max() != 2*time.Second {
+		t.Errorf("hist max = %v", h.Max())
+	}
+	if q := h.Quantile(0.5); q != 10*time.Millisecond {
+		t.Errorf("p50 = %v, want 10ms", q)
+	}
+	if q := h.Quantile(1); q != 2*time.Second {
+		t.Errorf("p100 = %v, want 2s (beyond last bound → max)", q)
+	}
+	want := 500*time.Microsecond + 2*time.Millisecond + 5*time.Millisecond + 50*time.Millisecond + 2*time.Second
+	if h.Sum() != want {
+		t.Errorf("hist sum = %v, want %v", h.Sum(), want)
+	}
+}
+
+// TestLocalHistogramMerge: a LocalHistogram merged into a shared Histogram
+// with the same bounds must be indistinguishable from observing directly,
+// and merging across different layouts must preserve count/sum/max.
+func TestLocalHistogramMerge(t *testing.T) {
+	bounds := []time.Duration{time.Millisecond, 10 * time.Millisecond, 100 * time.Millisecond}
+	samples := []time.Duration{
+		500 * time.Microsecond, 2 * time.Millisecond, 5 * time.Millisecond,
+		50 * time.Millisecond, 2 * time.Second,
+	}
+	lh := NewLocalHistogram(bounds)
+	direct := NewHistogram(bounds)
+	for _, d := range samples {
+		lh.Observe(d)
+		direct.Observe(d)
+	}
+	merged := NewHistogram(bounds)
+	merged.Merge(lh)
+	if merged.Count() != direct.Count() || merged.Sum() != direct.Sum() || merged.Max() != direct.Max() {
+		t.Errorf("merged count/sum/max = %d/%v/%v, want %d/%v/%v",
+			merged.Count(), merged.Sum(), merged.Max(), direct.Count(), direct.Sum(), direct.Max())
+	}
+	for _, q := range []float64{0.5, 0.9, 1} {
+		if merged.Quantile(q) != direct.Quantile(q) {
+			t.Errorf("q%.1f: merged %v, direct %v", q, merged.Quantile(q), direct.Quantile(q))
+		}
+	}
+	// Merge is additive on top of existing observations.
+	merged.Merge(lh)
+	if merged.Count() != 2*direct.Count() {
+		t.Errorf("double merge count = %d, want %d", merged.Count(), 2*direct.Count())
+	}
+	// Different layout: buckets re-file conservatively, aggregates are exact.
+	coarse := NewHistogram([]time.Duration{time.Second})
+	coarse.Merge(lh)
+	if coarse.Count() != lh.Count() || coarse.Sum() != lh.Sum() || coarse.Max() != 2*time.Second {
+		t.Errorf("coarse merge count/sum/max = %d/%v/%v", coarse.Count(), coarse.Sum(), coarse.Max())
+	}
+	// Nil-safety on both sides.
+	var nilLH *LocalHistogram
+	nilLH.Observe(time.Second)
+	if nilLH.Count() != 0 || nilLH.Sum() != 0 {
+		t.Error("nil LocalHistogram not inert")
+	}
+	direct.Merge(nilLH)
+	var nilH *Histogram
+	nilH.Merge(lh)
+}
+
+func TestRegistryText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total").Add(2)
+	r.Counter("a_total").Add(1)
+	r.Gauge("depth").Set(3)
+	r.Histogram("lat", nil).Observe(5 * time.Millisecond)
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	ia, ib := strings.Index(out, "a_total"), strings.Index(out, "b_total")
+	if ia < 0 || ib < 0 || ia > ib {
+		t.Errorf("counters missing or unsorted:\n%s", out)
+	}
+	for _, want := range []string{"counter a_total 1", "gauge depth 3", "hist lat count=1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	snap := r.Snapshot()
+	if snap["a_total"] != 1 || snap["lat.count"] != 1 {
+		t.Errorf("snapshot = %v", snap)
+	}
+}
+
+func TestTracerDisabledRecordsNothing(t *testing.T) {
+	clk := &fakeClock{}
+	tr := NewTracer(clk)
+	tr.Instant(1, 2, "cat", "ev", nil)
+	tr.Complete(1, 2, "cat", "ev", 0, time.Second, nil)
+	tr.Begin(1, 2, "cat", "ev").End(nil)
+	if tr.Len() != 0 {
+		t.Errorf("disabled tracer recorded %d events", tr.Len())
+	}
+	tr.Enable()
+	tr.Instant(1, 2, "cat", "ev", nil)
+	if tr.Len() != 1 {
+		t.Errorf("enabled tracer recorded %d events, want 1", tr.Len())
+	}
+	tr.Disable()
+	tr.Instant(1, 2, "cat", "ev", nil)
+	if tr.Len() != 1 {
+		t.Error("disable did not stop recording")
+	}
+}
+
+func TestTracerSpansAndJSON(t *testing.T) {
+	clk := &fakeClock{}
+	tr := NewTracer(clk)
+	tr.Enable()
+	tr.NameProcess(1, "cluster local")
+	tr.NameThread(1, 3, "retr-2")
+
+	sp := tr.Begin(1, 3, "retrieval", "job 7")
+	clk.now = 40 * time.Millisecond
+	sp.End(Args{"bytes": 1024, "stolen": true})
+	tr.Complete(1, 9, "phase", "processing", 0, 100*time.Millisecond, nil)
+	tr.InstantAt(1, 0, "steal", "job 7", 5*time.Millisecond, nil)
+
+	evs := tr.Events()
+	if len(evs) != 3 {
+		t.Fatalf("events = %d, want 3", len(evs))
+	}
+	if evs[0].Dur != 40*time.Millisecond || evs[0].Phase != 'X' {
+		t.Errorf("span event = %+v", evs[0])
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace JSON invalid: %v\n%s", err, buf.String())
+	}
+	// 2 metadata + 3 events.
+	if len(doc.TraceEvents) != 5 {
+		t.Fatalf("traceEvents = %d, want 5", len(doc.TraceEvents))
+	}
+	if doc.TraceEvents[0]["ph"] != "M" || doc.TraceEvents[0]["name"] != "process_name" {
+		t.Errorf("first event should be process metadata: %v", doc.TraceEvents[0])
+	}
+	// The span: ts in microseconds.
+	var span map[string]any
+	for _, ev := range doc.TraceEvents {
+		if ev["ph"] == "X" && ev["name"] == "job 7" {
+			span = ev
+		}
+	}
+	if span == nil {
+		t.Fatal("span event missing from JSON")
+	}
+	if span["dur"] != 40000.0 {
+		t.Errorf("span dur = %v µs, want 40000", span["dur"])
+	}
+
+	totals := tr.PhaseTotals()
+	if totals[1]["processing"] != 100*time.Millisecond {
+		t.Errorf("PhaseTotals = %v", totals)
+	}
+}
+
+func TestTracerDeterministicJSON(t *testing.T) {
+	render := func() string {
+		clk := &fakeClock{}
+		tr := NewTracer(clk)
+		tr.Enable()
+		tr.NameProcess(2, "b")
+		tr.NameProcess(1, "a")
+		for i := 0; i < 50; i++ {
+			tr.Complete(1, i%4, "retrieval", "job", time.Duration(i)*time.Millisecond,
+				time.Duration(i+3)*time.Millisecond, Args{"z": i, "a": "x", "m": true})
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if a, b := render(), render(); a != b {
+		t.Error("identical tracers serialized differently")
+	}
+}
+
+// TestConcurrentUse exercises the registry and tracer from many goroutines;
+// run under -race this is the concurrency guarantee of the package.
+func TestConcurrentUse(t *testing.T) {
+	o := New(nil)
+	o.Tracer.Enable()
+	c := o.Registry.Counter("n")
+	h := o.Registry.Histogram("lat", nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				c.Inc()
+				o.Registry.Gauge("depth").Add(1)
+				h.Observe(time.Duration(i) * time.Microsecond)
+				sp := o.Tracer.Begin(g, i%3, "work", "item")
+				sp.End(Args{"i": i})
+				o.Tracer.Instant(g, 0, "tick", "t", nil)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Value() != 1600 {
+		t.Errorf("counter = %d, want 1600", c.Value())
+	}
+	if o.Tracer.Len() != 8*200*2 {
+		t.Errorf("events = %d, want %d", o.Tracer.Len(), 8*200*2)
+	}
+	var buf bytes.Buffer
+	if err := o.Tracer.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Error("concurrent trace JSON invalid")
+	}
+}
+
+func TestObsBundle(t *testing.T) {
+	clk := &fakeClock{now: 7 * time.Second}
+	o := New(clk)
+	if o.Now() != 7*time.Second {
+		t.Errorf("Now = %v", o.Now())
+	}
+	if o.Trace() != o.Tracer || o.Metrics() != o.Registry {
+		t.Error("accessors do not return the bundled components")
+	}
+	if o.Trace().Enabled() {
+		t.Error("fresh tracer should be disabled (tracing is opt-in)")
+	}
+}

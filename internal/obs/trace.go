@@ -1,0 +1,347 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Args carries optional key/value annotations on an event. Values must be
+// JSON-encodable; encoding sorts keys, so traces stay deterministic.
+type Args map[string]any
+
+// Event is one structured trace record. Phases follow the Chrome
+// trace_event format: 'X' complete (span with duration), 'i' instant,
+// 'M' metadata.
+type Event struct {
+	Name  string
+	Cat   string
+	Phase byte
+	// TS is the event instant (span start for 'X') on the tracer's clock.
+	TS time.Duration
+	// Dur is the span length for 'X' events.
+	Dur  time.Duration
+	PID  int
+	TID  int
+	Args Args
+}
+
+// Tracer records lifecycle events. Recording is opt-in: a fresh tracer is
+// disabled, and every method is nil-safe and gated by one atomic load, so
+// instrumented code is measurably near-free when tracing is off.
+//
+// Live code uses the clock-driven helpers (Begin/End, Instant); the
+// simulator, which knows its own virtual instants, uses the explicit-
+// timestamp forms (Complete, InstantAt). Both append to one ordered buffer,
+// so single-threaded (simulated) runs produce byte-identical traces.
+type Tracer struct {
+	enabled atomic.Bool
+
+	mu     sync.Mutex
+	clock  Clock
+	events []Event
+	pnames map[int]string
+	tnames map[[2]int]string
+}
+
+// NewTracer returns a disabled tracer on clk (Wall when nil). Call Enable
+// to start recording.
+func NewTracer(clk Clock) *Tracer {
+	if clk == nil {
+		clk = Wall
+	}
+	return &Tracer{
+		clock:  clk,
+		pnames: make(map[int]string),
+		tnames: make(map[[2]int]string),
+	}
+}
+
+// Enable turns recording on.
+func (t *Tracer) Enable() {
+	if t != nil {
+		t.enabled.Store(true)
+	}
+}
+
+// Disable turns recording off; already-recorded events are kept.
+func (t *Tracer) Disable() {
+	if t != nil {
+		t.enabled.Store(false)
+	}
+}
+
+// Enabled reports whether events are being recorded.
+func (t *Tracer) Enabled() bool { return t != nil && t.enabled.Load() }
+
+// SetClock repoints the tracer at clk — how a simulator attaches the same
+// tracer to virtual time before a run.
+func (t *Tracer) SetClock(clk Clock) {
+	if t == nil || clk == nil {
+		return
+	}
+	t.mu.Lock()
+	t.clock = clk
+	t.mu.Unlock()
+}
+
+// NameProcess labels pid in trace viewers ("head", "cluster local").
+// Names are recorded even while disabled: they are setup, not events.
+func (t *Tracer) NameProcess(pid int, name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.pnames[pid] = name
+	t.mu.Unlock()
+}
+
+// NameThread labels (pid, tid) in trace viewers ("retr-3", "core-7").
+func (t *Tracer) NameThread(pid, tid int, name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.tnames[[2]int{pid, tid}] = name
+	t.mu.Unlock()
+}
+
+// Complete records a span with explicit endpoints — the simulator's entry
+// point, where start and end are virtual instants.
+func (t *Tracer) Complete(pid, tid int, cat, name string, start, end time.Duration, args Args) {
+	if !t.Enabled() {
+		return
+	}
+	if end < start {
+		end = start
+	}
+	t.append(Event{Name: name, Cat: cat, Phase: 'X', TS: start, Dur: end - start, PID: pid, TID: tid, Args: args})
+}
+
+// InstantAt records a point event at an explicit instant.
+func (t *Tracer) InstantAt(pid, tid int, cat, name string, ts time.Duration, args Args) {
+	if !t.Enabled() {
+		return
+	}
+	t.append(Event{Name: name, Cat: cat, Phase: 'i', TS: ts, PID: pid, TID: tid, Args: args})
+}
+
+// Instant records a point event at the tracer clock's current instant.
+func (t *Tracer) Instant(pid, tid int, cat, name string, args Args) {
+	if !t.Enabled() {
+		return
+	}
+	t.mu.Lock()
+	ts := t.clock.Now()
+	t.events = append(t.events, Event{Name: name, Cat: cat, Phase: 'i', TS: ts, PID: pid, TID: tid, Args: args})
+	t.mu.Unlock()
+}
+
+// Span is an in-progress interval started by Begin. The zero Span (from a
+// nil or disabled tracer) is valid and End on it is a no-op.
+type Span struct {
+	t        *Tracer
+	pid, tid int
+	cat      string
+	name     string
+	start    time.Duration
+}
+
+// Begin opens a span at the clock's current instant. If the tracer is nil
+// or disabled the returned span is inert.
+func (t *Tracer) Begin(pid, tid int, cat, name string) Span {
+	if !t.Enabled() {
+		return Span{}
+	}
+	t.mu.Lock()
+	start := t.clock.Now()
+	t.mu.Unlock()
+	return Span{t: t, pid: pid, tid: tid, cat: cat, name: name, start: start}
+}
+
+// End closes the span, recording an 'X' event.
+func (s Span) End(args Args) {
+	if s.t == nil || !s.t.Enabled() {
+		return
+	}
+	s.t.mu.Lock()
+	end := s.t.clock.Now()
+	if end < s.start {
+		end = s.start
+	}
+	s.t.events = append(s.t.events, Event{
+		Name: s.name, Cat: s.cat, Phase: 'X',
+		TS: s.start, Dur: end - s.start, PID: s.pid, TID: s.tid, Args: args,
+	})
+	s.t.mu.Unlock()
+}
+
+func (t *Tracer) append(ev Event) {
+	t.mu.Lock()
+	t.events = append(t.events, ev)
+	t.mu.Unlock()
+}
+
+// Len reports the number of recorded events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Events returns a snapshot of the recorded events in record order.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, len(t.events))
+	copy(out, t.events)
+	return out
+}
+
+// Reset discards recorded events (names are kept).
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.events = nil
+	t.mu.Unlock()
+}
+
+// PhaseTotals sums the durations of cat="phase" spans per process — the
+// per-cluster processing/retrieval/sync summary the experiments emit, keyed
+// [pid][phase name]. Used to cross-check a trace against stats.Breakdown.
+func (t *Tracer) PhaseTotals() map[int]map[string]time.Duration {
+	out := make(map[int]map[string]time.Duration)
+	for _, ev := range t.Events() {
+		if ev.Phase != 'X' || ev.Cat != "phase" {
+			continue
+		}
+		m := out[ev.PID]
+		if m == nil {
+			m = make(map[string]time.Duration)
+			out[ev.PID] = m
+		}
+		m[ev.Name] += ev.Dur
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace_event export.
+
+// jsonEvent is the trace_event wire form. Field order is fixed by the
+// struct, map args are key-sorted by encoding/json, and timestamps are
+// derived from the deterministic clock — so identical runs serialize to
+// identical bytes.
+type jsonEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   *float64       `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+func micros(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+
+// WriteJSON writes the recorded events as Chrome trace_event JSON
+// (loadable in chrome://tracing and Perfetto). Metadata (process/thread
+// names) comes first in pid/tid order, then events in record order.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[]}`)
+		return err
+	}
+	t.mu.Lock()
+	events := make([]Event, len(t.events))
+	copy(events, t.events)
+	pnames := make(map[int]string, len(t.pnames))
+	for k, v := range t.pnames {
+		pnames[k] = v
+	}
+	tnames := make(map[[2]int]string, len(t.tnames))
+	for k, v := range t.tnames {
+		tnames[k] = v
+	}
+	t.mu.Unlock()
+
+	out := make([]jsonEvent, 0, len(events)+len(pnames)+len(tnames))
+	pids := make([]int, 0, len(pnames))
+	for pid := range pnames {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	for _, pid := range pids {
+		out = append(out, jsonEvent{
+			Name: "process_name", Phase: "M", PID: pid,
+			Args: map[string]any{"name": pnames[pid]},
+		})
+	}
+	tkeys := make([][2]int, 0, len(tnames))
+	for k := range tnames {
+		tkeys = append(tkeys, k)
+	}
+	sort.Slice(tkeys, func(i, j int) bool {
+		if tkeys[i][0] != tkeys[j][0] {
+			return tkeys[i][0] < tkeys[j][0]
+		}
+		return tkeys[i][1] < tkeys[j][1]
+	})
+	for _, k := range tkeys {
+		out = append(out, jsonEvent{
+			Name: "thread_name", Phase: "M", PID: k[0], TID: k[1],
+			Args: map[string]any{"name": tnames[k]},
+		})
+	}
+	for _, ev := range events {
+		je := jsonEvent{
+			Name: ev.Name, Cat: ev.Cat, Phase: string(ev.Phase),
+			TS: micros(ev.TS), PID: ev.PID, TID: ev.TID,
+		}
+		if len(ev.Args) > 0 {
+			je.Args = map[string]any(ev.Args)
+		}
+		switch ev.Phase {
+		case 'X':
+			d := micros(ev.Dur)
+			je.Dur = &d
+		case 'i':
+			je.Scope = "t"
+		}
+		out = append(out, je)
+	}
+
+	if _, err := io.WriteString(w, `{"displayTimeUnit":"ms","traceEvents":[`); err != nil {
+		return err
+	}
+	for i, je := range out {
+		if i > 0 {
+			if _, err := io.WriteString(w, ",\n"); err != nil {
+				return err
+			}
+		}
+		b, err := json.Marshal(je)
+		if err != nil {
+			return fmt.Errorf("obs: encoding trace event %d: %w", i, err)
+		}
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "]}\n")
+	return err
+}

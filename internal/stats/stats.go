@@ -13,6 +13,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Breakdown is the per-cluster (or per-run) decomposition of wall time into
@@ -164,20 +166,40 @@ func (c *Collector) Sources() []string {
 }
 
 // Timer measures an interval and reports it to a callback on Stop. It keeps
-// worker code free of explicit time arithmetic.
+// worker code free of explicit time arithmetic. Timers read a pluggable
+// obs.Clock, so simulator-driven code measures virtual time without ever
+// calling time.Now; the nil Timer and repeated Stops are safe no-ops
+// (Stop reports exactly once, however many times it runs).
 type Timer struct {
-	start  time.Time
-	report func(time.Duration)
+	clk     obs.Clock
+	start   time.Duration
+	report  func(time.Duration)
+	stopped bool
 }
 
-// StartTimer begins timing; report receives the elapsed duration at Stop.
-func StartTimer(report func(time.Duration)) Timer {
-	return Timer{start: time.Now(), report: report}
+// StartTimer begins timing on the wall clock; report receives the elapsed
+// duration at the first Stop.
+func StartTimer(report func(time.Duration)) *Timer {
+	return StartTimerOn(nil, report)
 }
 
-// Stop ends the interval and delivers it to the report callback.
-func (t Timer) Stop() {
+// StartTimerOn begins timing on clk (the wall clock when nil).
+func StartTimerOn(clk obs.Clock, report func(time.Duration)) *Timer {
+	if clk == nil {
+		clk = obs.Wall
+	}
+	return &Timer{clk: clk, start: clk.Now(), report: report}
+}
+
+// Stop ends the interval and delivers it to the report callback. Only the
+// first Stop reports; later calls are no-ops, so a deferred Stop cannot
+// double-count an interval that was also stopped explicitly.
+func (t *Timer) Stop() {
+	if t == nil || t.stopped {
+		return
+	}
+	t.stopped = true
 	if t.report != nil {
-		t.report(time.Since(t.start))
+		t.report(t.clk.Now() - t.start)
 	}
 }

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 func TestBreakdownArithmetic(t *testing.T) {
@@ -72,6 +74,40 @@ func TestTimer(t *testing.T) {
 	if got < time.Millisecond {
 		t.Errorf("timer reported %v", got)
 	}
-	// Zero-value timer is a no-op.
-	Timer{}.Stop()
+	// Zero-value and nil timers are no-ops.
+	(&Timer{}).Stop()
+	(*Timer)(nil).Stop()
+}
+
+// TestTimerStopIdempotent guards against double-reporting: the common
+// defer-Stop-plus-explicit-Stop pattern must deliver the interval once.
+func TestTimerStopIdempotent(t *testing.T) {
+	calls := 0
+	var got time.Duration
+	tm := StartTimer(func(d time.Duration) { calls++; got = d })
+	tm.Stop()
+	first := got
+	time.Sleep(2 * time.Millisecond)
+	tm.Stop()
+	tm.Stop()
+	if calls != 1 {
+		t.Errorf("report called %d times, want 1", calls)
+	}
+	if got != first {
+		t.Errorf("second Stop changed the reported interval: %v -> %v", first, got)
+	}
+}
+
+// TestTimerOnClock verifies Timer measures a pluggable obs.Clock — the
+// route simulator-driven code takes instead of time.Now.
+func TestTimerOnClock(t *testing.T) {
+	now := 10 * time.Second
+	clk := obs.ClockFunc(func() time.Duration { return now })
+	var got time.Duration
+	tm := StartTimerOn(clk, func(d time.Duration) { got = d })
+	now += 3 * time.Second
+	tm.Stop()
+	if got != 3*time.Second {
+		t.Errorf("virtual interval = %v, want 3s", got)
+	}
 }
