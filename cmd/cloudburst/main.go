@@ -11,6 +11,7 @@
 //	cloudburst trace fig3 [-app knn]    per-job event traces (Chrome/Perfetto JSON)
 //	cloudburst headline                 the paper's summary numbers
 //	cloudburst ablations                design-choice ablation studies
+//	cloudburst faults [-app knn]        fault tolerance: makespan vs checkpoint interval
 //	cloudburst all                      everything above
 package main
 
@@ -102,6 +103,15 @@ func main() {
 		err = runHeadline()
 	case "ablations":
 		err = runAblations()
+	case "faults":
+		err = forEachApp(apps, func(app experiments.App) error {
+			rows, err := experiments.RunFaultTable(app)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.FormatFaultTable(rows))
+			return nil
+		})
 	case "estimate":
 		err = forEachApp(apps, func(app experiments.App) error {
 			rows, err := experiments.RunEstimateValidation(app)
@@ -170,8 +180,11 @@ func main() {
 			fmt.Println(experiments.FormatCostTable(costs))
 			return nil
 		})
-	default:
+	case "help", "-h", "--help":
 		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "cloudburst: unknown subcommand %q (run 'cloudburst help' for the list)\n", cmd)
 		os.Exit(2)
 	}
 	if err != nil {
@@ -285,6 +298,23 @@ func runTrace(figure string, app experiments.App, outPrefix string) error {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: cloudburst <fig1|fig3|table1|table2|fig4|trace|headline|ablations|estimate|cost|provision|all> [-app knn|kmeans|pagerank]
-       cloudburst trace <fig3|fig4> [-app knn] [-out prefix]   write Chrome/Perfetto trace JSON per environment`)
+	fmt.Fprintln(os.Stderr, `usage: cloudburst <subcommand> [-app knn|kmeans|pagerank]
+
+subcommands:
+  fig1        API comparison (Figure 1), real engines
+  fig3        execution-time decomposition (Figure 3)
+  table1      job assignment (Table I)
+  table2      slowdown decomposition (Table II)
+  fig4        scalability (Figure 4)
+  trace       per-job event traces: cloudburst trace <fig3|fig4> [-app knn] [-out prefix]
+  headline    the paper's summary numbers
+  ablations   design-choice ablation studies
+  faults      fault tolerance: makespan vs checkpoint interval at 0/1/4 failures
+  estimate    performance-estimate validation
+  cost        cloud cost table
+  provision   deadline-driven provisioning plan
+  all         everything above
+  help        this message
+
+apps (-app): knn, kmeans, pagerank (default: all)`)
 }

@@ -21,13 +21,25 @@ func (c InProc) Register(hello protocol.Hello) (protocol.JobSpec, error) {
 }
 
 // RequestJobs implements HeadClient.
-func (c InProc) RequestJobs(site, n int) ([]jobs.Job, error) {
-	return c.Head.RequestJobs(site, n), nil
+func (c InProc) RequestJobs(site, n int) ([]jobs.Job, bool, error) {
+	js, wait := c.Head.RequestJobs(site, n)
+	return js, wait, nil
 }
 
 // CompleteJobs implements HeadClient.
-func (c InProc) CompleteJobs(site int, js []jobs.Job) error {
+func (c InProc) CompleteJobs(site int, js []jobs.Job) ([]int, error) {
 	return c.Head.CompleteJobs(site, js)
+}
+
+// Heartbeat implements HeadClient.
+func (c InProc) Heartbeat(site int) error {
+	c.Head.Heartbeat(site)
+	return nil
+}
+
+// Checkpoint implements HeadClient.
+func (c InProc) Checkpoint(cs protocol.CheckpointSave) error {
+	return c.Head.CheckpointSave(cs)
 }
 
 // SubmitResult implements HeadClient.
@@ -38,7 +50,7 @@ func (c InProc) SubmitResult(res protocol.ReductionResult) ([]byte, error) {
 // Remote speaks the head protocol over one transport connection. The master
 // is the only requester on the connection, and every request that expects a
 // reply is serialized under a mutex, so replies correlate by ordering.
-// JobsDone is fire-and-forget (no reply), matching the head's handler.
+// Heartbeats are fire-and-forget (no reply), matching the head's handler.
 type Remote struct {
 	mu   sync.Mutex
 	conn *transport.Conn
@@ -85,26 +97,65 @@ func (r *Remote) Register(hello protocol.Hello) (protocol.JobSpec, error) {
 }
 
 // RequestJobs implements HeadClient.
-func (r *Remote) RequestJobs(site, n int) ([]jobs.Job, error) {
+func (r *Remote) RequestJobs(site, n int) ([]jobs.Job, bool, error) {
 	reply, err := r.roundTrip(protocol.JobRequest{Site: site, N: n})
+	if err != nil {
+		return nil, false, err
+	}
+	switch m := reply.(type) {
+	case protocol.JobGrant:
+		return m.Jobs, m.Wait, nil
+	case protocol.ErrorReply:
+		return nil, false, errors.New(m.Err)
+	default:
+		return nil, false, fmt.Errorf("cluster: unexpected reply %T to JobRequest", reply)
+	}
+}
+
+// CompleteJobs implements HeadClient. The ack carries the IDs the head
+// deduplicated; their contribution must not be folded.
+func (r *Remote) CompleteJobs(site int, js []jobs.Job) ([]int, error) {
+	reply, err := r.roundTrip(protocol.JobsDone{Site: site, Jobs: js})
 	if err != nil {
 		return nil, err
 	}
 	switch m := reply.(type) {
-	case protocol.JobGrant:
-		return m.Jobs, nil
+	case protocol.JobsDoneAck:
+		if m.Err != "" {
+			return m.Dup, errors.New(m.Err)
+		}
+		return m.Dup, nil
 	case protocol.ErrorReply:
 		return nil, errors.New(m.Err)
 	default:
-		return nil, fmt.Errorf("cluster: unexpected reply %T to JobRequest", reply)
+		return nil, fmt.Errorf("cluster: unexpected reply %T to JobsDone", reply)
 	}
 }
 
-// CompleteJobs implements HeadClient. No reply is expected.
-func (r *Remote) CompleteJobs(site int, js []jobs.Job) error {
+// Heartbeat implements HeadClient. No reply is expected.
+func (r *Remote) Heartbeat(site int) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.conn.Send(protocol.JobsDone{Site: site, Jobs: js})
+	return r.conn.Send(protocol.Heartbeat{Site: site})
+}
+
+// Checkpoint implements HeadClient.
+func (r *Remote) Checkpoint(cs protocol.CheckpointSave) error {
+	reply, err := r.roundTrip(cs)
+	if err != nil {
+		return err
+	}
+	switch m := reply.(type) {
+	case protocol.CheckpointAck:
+		if m.Err != "" {
+			return errors.New(m.Err)
+		}
+		return nil
+	case protocol.ErrorReply:
+		return errors.New(m.Err)
+	default:
+		return fmt.Errorf("cluster: unexpected reply %T to CheckpointSave", reply)
+	}
 }
 
 // SubmitResult implements HeadClient; blocks until the head broadcasts

@@ -5,17 +5,26 @@
 // global pool is exhausted the cluster performs its local merge, ships its
 // reduction object to the head, and waits (sync time) for the global
 // reduction to finish.
+//
+// With fault tolerance enabled on the head, the runtime additionally renews
+// its liveness lease with heartbeats, commits every job to the head BEFORE
+// folding it (so the head can deduplicate speculative and recovered
+// re-executions), ships periodic reduction-object checkpoints, and resumes
+// from the checkpoint the head hands back after a crash-restart.
 package cluster
 
 import (
 	"bytes"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/chunk"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/jobs"
 	"repro/internal/obs"
 	"repro/internal/protocol"
@@ -27,14 +36,25 @@ import (
 type HeadClient interface {
 	// Register announces the cluster and retrieves the job specification.
 	Register(hello protocol.Hello) (protocol.JobSpec, error)
-	// RequestJobs asks for up to n jobs; empty means the pool is exhausted.
-	RequestJobs(site, n int) ([]jobs.Job, error)
-	// CompleteJobs reports finished jobs (feeds the contention heuristic).
-	CompleteJobs(site int, js []jobs.Job) error
+	// RequestJobs asks for up to n jobs. An empty grant with wait=false
+	// means the pool is exhausted for good; wait=true means recovery or
+	// speculation may yet produce work, so poll again.
+	RequestJobs(site, n int) (js []jobs.Job, wait bool, err error)
+	// CompleteJobs commits finished jobs and returns the IDs the head
+	// deduplicated; their contribution must not be folded.
+	CompleteJobs(site int, js []jobs.Job) ([]int, error)
+	// Heartbeat renews the site's liveness lease (fire-and-forget).
+	Heartbeat(site int) error
+	// Checkpoint persists a reduction-object checkpoint at the head.
+	Checkpoint(cs protocol.CheckpointSave) error
 	// SubmitResult delivers the cluster's reduction object and blocks until
 	// the head finishes the global reduction, returning the final object.
 	SubmitResult(res protocol.ReductionResult) ([]byte, error)
 }
+
+// waitPoll is how long the master sleeps before re-polling the head after an
+// empty-but-not-final job grant (stragglers or failures may requeue work).
+const waitPoll = 20 * time.Millisecond
 
 // Config parameterizes one cluster worker process.
 type Config struct {
@@ -68,6 +88,11 @@ type Config struct {
 	// Retry controls fault tolerance for transient retrieval failures
 	// (dropped object-store connections, storage-node hiccups).
 	Retry Retry
+	// CheckpointEveryJobs, when > 0, snapshots the reduction engine and
+	// ships a checkpoint (merged reduction object + completed-job list) to
+	// the head every that many folded jobs, bounding recomputation after a
+	// crash to at most that many jobs.
+	CheckpointEveryJobs int
 	// Logf receives diagnostics; nil silences them.
 	Logf func(format string, args ...any)
 	// Obs, when non-nil, collects cluster-side metrics (job counters,
@@ -80,11 +105,23 @@ type Config struct {
 }
 
 // Retry is the retrieval fault-tolerance policy: each chunk fetch is
-// attempted up to Attempts times, sleeping Backoff, 2×Backoff, … between
-// tries. The zero value means 3 attempts with a 50 ms base backoff.
+// attempted up to Attempts times, sleeping a capped exponential backoff with
+// deterministic jitter between tries (base, 2×base, 4×base, … up to Cap,
+// each halved plus a seeded-random half — "equal jitter").
+//
+// The zero value means 3 attempts, a 50 ms base backoff, a 2 s delay cap,
+// and jitter seed 0; two clusters running the same Seed sleep the same
+// sequence of delays, keeping fault drills reproducible.
+//
+// Permanent failures — a missing object, an out-of-range read, anything
+// satisfying fault.PermanentError, or a chunk.ErrBounds — are not retried;
+// transient failures (dropped connections, short reads, checksum mismatches
+// from a garbled transfer) are.
 type Retry struct {
 	Attempts int
 	Backoff  time.Duration
+	Cap      time.Duration
+	Seed     uint64
 }
 
 func (r Retry) attempts() int {
@@ -191,6 +228,8 @@ func Run(cfg Config) (*Report, error) {
 	mLocal := reg.Counter("cluster_jobs_local_total")
 	mStolen := reg.Counter("cluster_jobs_stolen_total")
 	mRetries := reg.Counter("cluster_retrieval_retries_total")
+	mDups := reg.Counter("cluster_dup_jobs_total")
+	mCkpts := reg.Counter("cluster_checkpoints_total")
 	gInflight := reg.Gauge("cluster_retrievals_inflight")
 
 	collector := &stats.Collector{}
@@ -205,32 +244,152 @@ func Run(cfg Config) (*Report, error) {
 		return nil, fmt.Errorf("cluster %s: %w", cfg.Name, err)
 	}
 
+	// Checkpoint/recovery state. resumeObj is the reduction object recovered
+	// from the head after a crash-restart; it is NEVER mutated — each
+	// checkpoint and the final merge fold it into a fresh engine snapshot,
+	// because engine.Snapshot is cumulative.
+	var (
+		resumeObj core.Object
+		ckptMu    sync.RWMutex // folds hold RLock; a checkpoint holds Lock
+		idsMu     sync.Mutex
+		folded    []int // job IDs committed AND folded, cumulative
+		ckptSeq   int
+		foldedN   atomic.Int64 // jobs folded this incarnation (ckpt trigger)
+	)
+	if len(spec.Checkpoint) > 0 {
+		ck, err := fault.DecodeCheckpoint(spec.Checkpoint)
+		if err != nil {
+			return nil, fmt.Errorf("cluster %s: bad checkpoint in job spec: %w", cfg.Name, err)
+		}
+		if resumeObj, err = reducer.Decode(ck.Object); err != nil {
+			return nil, fmt.Errorf("cluster %s: decoding checkpoint object: %w", cfg.Name, err)
+		}
+		ckptSeq = ck.Seq
+		folded = append(folded, ck.Completed...)
+		cfg.Logf("cluster %s: resuming from checkpoint seq %d (%d jobs covered)",
+			cfg.Name, ck.Seq, len(ck.Completed))
+	}
+
+	// checkpoint quiesces the engine, merges the snapshot with the resumed
+	// object, and ships the result (plus the covered job IDs) to the head.
+	checkpoint := func() error {
+		ckptMu.Lock()
+		snap, err := engine.Snapshot()
+		if err == nil && resumeObj != nil {
+			err = reducer.GlobalReduce(snap, resumeObj)
+		}
+		var enc []byte
+		if err == nil {
+			enc, err = reducer.Encode(snap)
+		}
+		if err != nil {
+			ckptMu.Unlock()
+			return err
+		}
+		idsMu.Lock()
+		ids := make([]int, len(folded))
+		copy(ids, folded)
+		idsMu.Unlock()
+		sort.Ints(ids)
+		ckptSeq++
+		seq := ckptSeq
+		ckptMu.Unlock()
+		data := fault.Checkpoint{Site: cfg.Site, Seq: seq, Object: enc, Completed: ids}.Encode()
+		if err := cfg.Head.Checkpoint(protocol.CheckpointSave{Site: cfg.Site, Seq: seq, Data: data}); err != nil {
+			return err
+		}
+		mCkpts.Inc()
+		if tr.Enabled() {
+			tr.Instant(pid, 0, "fault", fmt.Sprintf("checkpoint %d", seq),
+				obs.Args{"seq": seq, "jobs": len(ids), "bytes": len(data)})
+		}
+		cfg.Logf("cluster %s: checkpoint %d shipped (%d jobs, %d bytes)", cfg.Name, seq, len(ids), len(data))
+		return nil
+	}
+
+	// Heartbeats renew the cluster's liveness lease at the head. They stop
+	// before SubmitResult: the head releases the lease when the result
+	// arrives, and the remote connection is busy with the blocking wait.
+	stopHB := make(chan struct{})
+	var hbWG sync.WaitGroup
+	if hb := time.Duration(spec.HeartbeatEvery); hb > 0 {
+		hbWG.Add(1)
+		go func() {
+			defer hbWG.Done()
+			t := time.NewTicker(hb)
+			defer t.Stop()
+			for {
+				select {
+				case <-stopHB:
+					return
+				case <-t.C:
+					_ = cfg.Head.Heartbeat(cfg.Site)
+				}
+			}
+		}()
+	}
+	stopHeartbeats := func() {
+		select {
+		case <-stopHB:
+		default:
+			close(stopHB)
+		}
+		hbWG.Wait()
+	}
+	defer stopHeartbeats()
+
 	// Master: feed the cluster-local pool with on-demand group requests.
 	// The buffered channel is the local job pool; requesting the next group
 	// only when there is room implements "whenever a cluster's job pool is
 	// diminishing, its master interacts with the head to request more".
+	// stopFeed aborts the loop when a slave hits an unrecoverable error, so
+	// an empty-but-undrained pool (wait=true) cannot spin forever.
 	jobCh := make(chan jobs.Job, batch)
 	feedErr := make(chan error, 1)
+	stopFeed := make(chan struct{})
+	var stopOnce sync.Once
+	abortFeed := func() { stopOnce.Do(func() { close(stopFeed) }) }
 	go func() {
 		defer close(jobCh)
 		for {
-			granted, err := cfg.Head.RequestJobs(cfg.Site, batch)
+			select {
+			case <-stopFeed:
+				feedErr <- nil
+				return
+			default:
+			}
+			granted, wait, err := cfg.Head.RequestJobs(cfg.Site, batch)
 			if err != nil {
 				feedErr <- fmt.Errorf("cluster %s: job request: %w", cfg.Name, err)
 				return
 			}
 			if len(granted) == 0 {
-				feedErr <- nil
-				return
+				if !wait {
+					feedErr <- nil
+					return
+				}
+				select {
+				case <-stopFeed:
+					feedErr <- nil
+					return
+				case <-time.After(waitPoll):
+				}
+				continue
 			}
 			for _, j := range granted {
-				jobCh <- j
+				select {
+				case jobCh <- j:
+				case <-stopFeed:
+					feedErr <- nil
+					return
+				}
 			}
 		}
 	}()
 
-	// Slaves: retrieval threads pull jobs, fetch chunk payloads, and push
-	// them into the reduction engine (which applies back-pressure).
+	// Slaves: retrieval threads pull jobs, fetch chunk payloads, commit them
+	// to the head (which deduplicates re-executions), and push non-duplicates
+	// into the reduction engine (which applies back-pressure).
 	var (
 		wg       sync.WaitGroup
 		slaveMu  sync.Mutex
@@ -242,6 +401,7 @@ func Run(cfg Config) (*Report, error) {
 			slaveErr = err
 		}
 		slaveMu.Unlock()
+		abortFeed()
 	}
 	for t := 0; t < cfg.RetrievalThreads; t++ {
 		wg.Add(1)
@@ -270,7 +430,28 @@ func Run(cfg Config) (*Report, error) {
 						obs.Args{"file": j.Ref.File, "seq": j.Ref.Seq, "site": j.Site,
 							"bytes": len(data), "stolen": j.Site != cfg.Site})
 				}
-				if err := engine.Submit(data); err != nil {
+				// Commit BEFORE folding: if the head says the job is a
+				// duplicate (a speculative copy or a recovered re-execution
+				// already supplied it), its payload must not be folded —
+				// exactly-once reduction is enforced here.
+				dups, err := cfg.Head.CompleteJobs(cfg.Site, []jobs.Job{j})
+				if err != nil {
+					fail(err)
+					continue
+				}
+				if len(dups) > 0 {
+					mDups.Inc()
+					continue
+				}
+				ckptMu.RLock()
+				err = engine.Submit(data)
+				if err == nil {
+					idsMu.Lock()
+					folded = append(folded, j.ID)
+					idsMu.Unlock()
+				}
+				ckptMu.RUnlock()
+				if err != nil {
 					fail(err)
 					continue
 				}
@@ -280,8 +461,14 @@ func Run(cfg Config) (*Report, error) {
 				} else {
 					mLocal.Inc()
 				}
-				if err := cfg.Head.CompleteJobs(cfg.Site, []jobs.Job{j}); err != nil {
-					fail(err)
+				if every := cfg.CheckpointEveryJobs; every > 0 {
+					if n := foldedN.Add(1); n%int64(every) == 0 {
+						if err := checkpoint(); err != nil {
+							// Checkpointing is best-effort: a failed write
+							// just means more recomputation after a crash.
+							cfg.Logf("cluster %s: checkpoint failed: %v", cfg.Name, err)
+						}
+					}
 				}
 			}
 		}(1 + t)
@@ -299,12 +486,18 @@ func Run(cfg Config) (*Report, error) {
 		return nil, err
 	}
 
-	// Local (intra-cluster) merge of the per-core reduction objects.
+	// Local (intra-cluster) merge of the per-core reduction objects, folding
+	// in the resumed checkpoint object if this incarnation restarted.
 	mergeSpan := tr.Begin(pid, 0, "sync", "local-merge")
 	mergeTimer := stats.StartTimerOn(clk, collector.AddSync)
 	obj, err := engine.Finish()
 	if err != nil {
 		return nil, fmt.Errorf("cluster %s: local reduction: %w", cfg.Name, err)
+	}
+	if resumeObj != nil {
+		if err := reducer.GlobalReduce(obj, resumeObj); err != nil {
+			return nil, fmt.Errorf("cluster %s: merging recovered checkpoint: %w", cfg.Name, err)
+		}
 	}
 	encoded, err := reducer.Encode(obj)
 	if err != nil {
@@ -314,7 +507,9 @@ func Run(cfg Config) (*Report, error) {
 	mergeSpan.End(obs.Args{"bytes": len(encoded)})
 
 	// Global reduction: ship the object, then idle until everyone is done.
-	// This blocked interval is the cluster's sync time.
+	// This blocked interval is the cluster's sync time. The head releases
+	// the cluster's lease on receipt, so heartbeats stop here.
+	stopHeartbeats()
 	b := collector.Breakdown()
 	jacct := collector.Jobs()
 	waitSpan := tr.Begin(pid, 0, "sync", "global-reduction-wait")
@@ -346,22 +541,29 @@ func Run(cfg Config) (*Report, error) {
 	}, nil
 }
 
-// retrieveWithRetry fetches one chunk under the cluster's retry policy.
+// retrieveWithRetry fetches one chunk under the cluster's retry policy:
+// capped exponential backoff with deterministic jitter between attempts,
+// bailing out immediately on permanently-failing requests.
 func retrieveWithRetry(cfg *Config, src chunk.Source, j jobs.Job, retries *obs.Counter) ([]byte, error) {
+	bo := fault.Backoff{Base: cfg.Retry.backoff(), Cap: cfg.Retry.Cap, Seed: cfg.Retry.Seed}
+	attempts := cfg.Retry.attempts()
 	var lastErr error
-	for attempt := 0; attempt < cfg.Retry.attempts(); attempt++ {
-		if attempt > 0 {
+	for attempt := 1; attempt <= attempts; attempt++ {
+		if attempt > 1 {
 			retries.Inc()
-			time.Sleep(cfg.Retry.backoff() << (attempt - 1))
-			cfg.Logf("cluster %s: retrying %v (attempt %d): %v", cfg.Name, j.Ref, attempt+1, lastErr)
+			time.Sleep(bo.Delay(attempt - 1))
+			cfg.Logf("cluster %s: retrying %v (attempt %d): %v", cfg.Name, j.Ref, attempt, lastErr)
 		}
 		data, err := src.ReadChunk(j.Ref)
 		if err == nil {
 			return data, nil
 		}
 		lastErr = err
+		if fault.IsPermanent(err) || errors.Is(err, chunk.ErrBounds) {
+			return nil, fmt.Errorf("permanent failure (no retry): %w", err)
+		}
 	}
-	return nil, fmt.Errorf("after %d attempts: %w", cfg.Retry.attempts(), lastErr)
+	return nil, fmt.Errorf("after %d attempts: %w", attempts, lastErr)
 }
 
 func (c *Config) sourceLabel(site int) string {

@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/chunk"
+	"repro/internal/fault"
+	"repro/internal/head"
+	"repro/internal/jobs"
+	"repro/internal/protocol"
+)
+
+// newFaultHead is newHead plus a fault configuration.
+func newFaultHead(t *testing.T, ix *chunk.Index, placement jobs.Placement, clusters int, fc head.FaultConfig) *head.Head {
+	t.Helper()
+	pool, err := jobs.NewPool(ix, placement, jobs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := protocol.JobSpec{App: "cluster-test-sum", UnitSize: 4, GroupBytes: 1 << 10}
+	if err := head.EncodeIndexSpec(&spec, ix); err != nil {
+		t.Fatal(err)
+	}
+	h, err := head.New(head.Config{
+		Pool:           pool,
+		Reducer:        sumReducer{},
+		Spec:           spec,
+		ExpectClusters: clusters,
+		Logf:           t.Logf,
+		Fault:          fc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// TestWorkerCrashRecoveryByteIdentical is the live-mode end-to-end recovery
+// drill: a worker is killed mid-run after shipping reduction-object
+// checkpoints, a replacement re-registers, resumes from the last checkpoint,
+// and the final reduction object is byte-for-byte identical to a
+// failure-free run's.
+func TestWorkerCrashRecoveryByteIdentical(t *testing.T) {
+	ix, src, want := buildDataset(t, 4000, 1000, 100) // 4 files × 10 chunks = 40 jobs
+	placement := jobs.SplitByFraction(len(ix.Files), 1, 0, 1)
+
+	// Reference: failure-free run.
+	refHead := newHead(t, ix, placement, 1)
+	refRep, err := Run(Config{
+		Site: 0, Name: "ref", Cores: 2,
+		Sources: map[int]chunk.Source{0: src},
+		Head:    InProc{Head: refHead},
+	})
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+
+	// Faulty run: the data path dies after 12 successful chunk reads.
+	h := newFaultHead(t, ix, placement, 1, head.FaultConfig{Store: fault.NewMemStore()})
+	inj := &fault.Injector{Source: src, KillAfter: 12}
+	cfg := Config{
+		Site: 0, Name: "doomed", Cores: 2,
+		Sources:             map[int]chunk.Source{0: inj},
+		Head:                InProc{Head: h},
+		CheckpointEveryJobs: 5,
+		Retry:               Retry{Attempts: 2, Backoff: time.Millisecond},
+		Logf:                t.Logf,
+	}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("killed worker's run succeeded")
+	}
+
+	// The replacement worker: fresh data path, same site. Registration hands
+	// it the last checkpoint; it must not re-fold covered jobs.
+	inj.Arm()
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("restarted run: %v", err)
+	}
+	if !bytes.Equal(rep.Final, refRep.Final) {
+		t.Errorf("final object differs after recovery: %x vs %x", rep.Final, refRep.Final)
+	}
+	// At least two checkpoints (after folds 5 and 10) were shipped before
+	// the crash, so the replacement processes at most 30 of the 40 jobs.
+	if rep.Jobs.Total() > 30 {
+		t.Errorf("replacement processed %d jobs; checkpoint resume should cap it at 30", rep.Jobs.Total())
+	}
+	obj, _, _, err := h.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := obj.(*sumObj).total; got != want {
+		t.Errorf("recovered sum = %d, want %d", got, want)
+	}
+}
+
+// TestLeaseExpiryWithTwoClusters kills one of two clusters and lets lease
+// expiry hand its unfinished jobs to the survivor; the restarted cluster
+// then rejoins to contribute its (checkpointed) share and the final object
+// matches the failure-free answer.
+func TestCrashRestartWithTwoClusters(t *testing.T) {
+	ix, src, want := buildDataset(t, 8000, 1000, 100) // 8 files × 10 chunks
+	placement := jobs.SplitByFraction(len(ix.Files), 0.5, 0, 1)
+
+	h := newFaultHead(t, ix, placement, 2, head.FaultConfig{
+		Store:    fault.NewMemStore(),
+		LeaseTTL: 200 * time.Millisecond,
+	})
+	sources := map[int]chunk.Source{0: src, 1: src}
+	inj := &fault.Injector{Source: src, KillAfter: 8}
+	doomed := Config{
+		Site: 0, Name: "doomed", Cores: 2,
+		Sources:             map[int]chunk.Source{0: inj, 1: inj},
+		Head:                InProc{Head: h},
+		CheckpointEveryJobs: 4,
+		Retry:               Retry{Attempts: 2, Backoff: time.Millisecond},
+	}
+	healthy := Config{
+		Site: 1, Name: "healthy", Cores: 2,
+		Sources: sources,
+		Head:    InProc{Head: h},
+	}
+
+	healthyDone := make(chan error, 1)
+	go func() {
+		_, err := Run(healthy)
+		healthyDone <- err
+	}()
+
+	// First incarnation dies, replacement resumes from its checkpoint.
+	if _, err := Run(doomed); err == nil {
+		t.Fatal("killed cluster's run succeeded")
+	}
+	inj.Arm()
+	if _, err := Run(doomed); err != nil {
+		t.Fatalf("restarted cluster: %v", err)
+	}
+	if err := <-healthyDone; err != nil {
+		t.Fatalf("healthy cluster: %v", err)
+	}
+	obj, _, _, err := h.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := obj.(*sumObj).total; got != want {
+		t.Errorf("sum = %d, want %d", got, want)
+	}
+}

@@ -63,6 +63,14 @@ type Engine struct {
 	errOnce sync.Once
 	err     error
 	done    bool
+
+	// Snapshot quiescence protocol: pending counts submitted-but-unfolded
+	// payloads; snapshotting pauses new submissions while a checkpoint
+	// merges the per-worker objects.
+	qmu          sync.Mutex
+	qcond        *sync.Cond
+	pending      int
+	snapshotting bool
 }
 
 // NewEngine starts the worker goroutines and returns a running engine.
@@ -75,6 +83,7 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 		queue: make(chan []byte, cfg.QueueDepth),
 		objs:  make([]Object, cfg.Workers),
 	}
+	e.qcond = sync.NewCond(&e.qmu)
 	for w := 0; w < cfg.Workers; w++ {
 		e.objs[w] = cfg.Reducer.NewObject()
 		e.wg.Add(1)
@@ -107,6 +116,12 @@ func (e *Engine) worker(id int) {
 			e.fail(err)
 			// Keep draining so Submit never blocks forever after a failure.
 		}
+		e.qmu.Lock()
+		e.pending--
+		if e.pending == 0 {
+			e.qcond.Broadcast()
+		}
+		e.qmu.Unlock()
 	}
 }
 
@@ -137,8 +152,54 @@ func (e *Engine) Submit(data []byte) error {
 	if len(data)%e.cfg.UnitSize != 0 {
 		return fmt.Errorf("%w: %d bytes, unit size %d", ErrBadPayload, len(data), e.cfg.UnitSize)
 	}
+	e.qmu.Lock()
+	for e.snapshotting {
+		e.qcond.Wait()
+	}
+	e.pending++
+	e.qmu.Unlock()
 	e.queue <- data
 	return nil
+}
+
+// Snapshot pauses new submissions, waits for every already-submitted
+// payload to fold, and returns a fresh reduction object holding the merge
+// of all per-worker objects so far — the engine's contribution to a
+// reduction-object checkpoint. The workers' own objects are untouched, so
+// processing resumes where it left off; GlobalReduce associativity makes
+// the snapshot equal to what Finish would return if the input stopped here.
+// Submissions racing Snapshot block until the snapshot completes.
+func (e *Engine) Snapshot() (Object, error) {
+	if e.done {
+		return nil, ErrFinished
+	}
+	e.qmu.Lock()
+	defer e.qmu.Unlock()
+	for e.snapshotting { // one snapshot at a time
+		e.qcond.Wait()
+	}
+	e.snapshotting = true
+	for e.pending > 0 {
+		e.qcond.Wait()
+	}
+	// Quiesced: the queue is empty and every worker is idle, so the worker
+	// objects are stable.
+	snap := e.cfg.Reducer.NewObject()
+	var err error
+	for _, obj := range e.objs {
+		if err = e.cfg.Reducer.GlobalReduce(snap, obj); err != nil {
+			break
+		}
+	}
+	e.snapshotting = false
+	e.qcond.Broadcast()
+	if err == nil && e.err != nil {
+		err = e.err
+	}
+	if err != nil {
+		return nil, err
+	}
+	return snap, nil
 }
 
 // Finish closes the queue, waits for the workers to drain it, and merges all

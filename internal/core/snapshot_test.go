@@ -1,0 +1,103 @@
+package core
+
+import (
+	"encoding/binary"
+	"sync"
+	"testing"
+)
+
+func payload(vals ...uint32) []byte {
+	out := make([]byte, 0, 4*len(vals))
+	for _, v := range vals {
+		out = binary.LittleEndian.AppendUint32(out, v)
+	}
+	return out
+}
+
+func TestSnapshotMidStream(t *testing.T) {
+	e, err := NewEngine(EngineConfig{Reducer: sumReducer{}, Workers: 4, UnitSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want uint64
+	for i := uint32(1); i <= 100; i++ {
+		want += uint64(i)
+		if err := e.Submit(payload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := e.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.(*sumObj).total; got != want {
+		t.Fatalf("snapshot total = %d, want %d (snapshot must cover every submitted payload)", got, want)
+	}
+	// Processing continues after the snapshot; Finish sees everything.
+	for i := uint32(101); i <= 200; i++ {
+		want += uint64(i)
+		if err := e.Submit(payload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	obj, err := e.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := obj.(*sumObj).total; got != want {
+		t.Fatalf("final total = %d, want %d", got, want)
+	}
+}
+
+func TestSnapshotConcurrentWithSubmits(t *testing.T) {
+	e, err := NewEngine(EngineConfig{Reducer: sumReducer{}, Workers: 4, UnitSize: 4, QueueDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 500
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := uint32(1); i <= n; i++ {
+			if err := e.Submit(payload(i)); err != nil {
+				t.Errorf("submit: %v", err)
+				return
+			}
+		}
+	}()
+	var prev uint64
+	for k := 0; k < 10; k++ {
+		snap, err := e.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Snapshots observe a monotonically growing prefix of the stream.
+		if got := snap.(*sumObj).total; got < prev {
+			t.Fatalf("snapshot %d total %d < previous %d", k, got, prev)
+		} else {
+			prev = got
+		}
+	}
+	wg.Wait()
+	obj, err := e.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := obj.(*sumObj).total, uint64(n)*(n+1)/2; got != want {
+		t.Fatalf("final total = %d, want %d", got, want)
+	}
+}
+
+func TestSnapshotAfterFinish(t *testing.T) {
+	e, err := NewEngine(EngineConfig{Reducer: sumReducer{}, Workers: 1, UnitSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Snapshot(); err != ErrFinished {
+		t.Fatalf("Snapshot after Finish = %v, want ErrFinished", err)
+	}
+}

@@ -1,0 +1,68 @@
+package fault
+
+import "time"
+
+// Backoff computes capped exponential retry delays with deterministic,
+// seedable "equal jitter": attempt k (1-based) sleeps
+//
+//	d = min(Base << (k-1), Cap);  sleep = d/2 + jitter·d/2
+//
+// where jitter ∈ [0, 1) comes from a splitmix64 stream keyed by (Seed,
+// attempt), so two runs with the same seed back off identically — the
+// property the simulator and the deterministic e2e tests rely on — while
+// different seeds decorrelate retry storms across workers.
+//
+// The zero value is usable and gives the package defaults: Base 50 ms,
+// Cap 2 s, Seed 0.
+type Backoff struct {
+	// Base is the first attempt's full delay; 0 means 50 ms.
+	Base time.Duration
+	// Cap bounds the exponential growth; 0 means 2 s.
+	Cap time.Duration
+	// Seed keys the jitter stream; the zero seed is a valid stream.
+	Seed uint64
+}
+
+// Defaults for the zero value.
+const (
+	DefaultBackoffBase = 50 * time.Millisecond
+	DefaultBackoffCap  = 2 * time.Second
+)
+
+func (b Backoff) base() time.Duration {
+	if b.Base > 0 {
+		return b.Base
+	}
+	return DefaultBackoffBase
+}
+
+func (b Backoff) cap() time.Duration {
+	if b.Cap > 0 {
+		return b.Cap
+	}
+	return DefaultBackoffCap
+}
+
+// Delay returns the sleep before retry number attempt (1-based). Attempts
+// below 1 are treated as 1.
+func (b Backoff) Delay(attempt int) time.Duration {
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := b.base()
+	cap := b.cap()
+	for i := 1; i < attempt; i++ {
+		d <<= 1
+		if d >= cap || d <= 0 { // d <= 0 guards shift overflow
+			d = cap
+			break
+		}
+	}
+	if d > cap {
+		d = cap
+	}
+	h := splitmix64(b.Seed ^ uint64(attempt)*0x9e3779b97f4a7c15)
+	jitter := float64(h>>11) / float64(1<<53) // [0, 1)
+	half := d / 2
+	return half + time.Duration(jitter*float64(half))
+}

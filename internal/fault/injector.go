@@ -1,0 +1,66 @@
+package fault
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"repro/internal/chunk"
+)
+
+// ErrInjected is the sentinel every injected failure wraps, so tests can
+// tell a planned fault from a real one.
+var ErrInjected = errors.New("fault: injected failure")
+
+// Injector wraps a chunk.Source and fails reads on a deterministic
+// schedule — the live-mode analogue of the simulator's crash events, used
+// by the e2e recovery tests and fault drills.
+//
+// Two modes compose:
+//
+//   - KillAfter n: the n+1'th read (and every later one) fails, simulating
+//     a worker whose data path died mid-run. Arm() re-opens the source,
+//     simulating the restarted replacement.
+//   - FailEvery n: every n'th read fails once (transient flakiness); the
+//     retry layer should absorb these invisibly.
+type Injector struct {
+	// Source is the wrapped real source.
+	Source chunk.Source
+	// KillAfter kills the source permanently after this many successful
+	// reads; 0 disables.
+	KillAfter int64
+	// FailEvery fails every n'th read with a transient error; 0 disables.
+	FailEvery int64
+
+	reads  atomic.Int64
+	killed atomic.Bool
+}
+
+// ReadChunk implements chunk.Source.
+func (i *Injector) ReadChunk(ref chunk.Ref) ([]byte, error) {
+	if i.killed.Load() {
+		return nil, ErrInjected
+	}
+	n := i.reads.Add(1)
+	if i.KillAfter > 0 && n > i.KillAfter {
+		i.killed.Store(true)
+		return nil, ErrInjected
+	}
+	if i.FailEvery > 0 && n%i.FailEvery == 0 {
+		return nil, ErrInjected
+	}
+	return i.Source.ReadChunk(ref)
+}
+
+// Kill fails all subsequent reads until Arm.
+func (i *Injector) Kill() { i.killed.Store(true) }
+
+// Arm revives a killed injector and resets the read counter — the restarted
+// worker's fresh data path.
+func (i *Injector) Arm() {
+	i.reads.Store(0)
+	i.killed.Store(false)
+	i.KillAfter = 0
+}
+
+// Reads returns the number of reads attempted since the last Arm.
+func (i *Injector) Reads() int64 { return i.reads.Load() }

@@ -1,0 +1,61 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/chunk"
+)
+
+func injectorSource(t *testing.T) (*chunk.Index, *chunk.MemSource) {
+	t.Helper()
+	ix, err := chunk.Layout("data", 8, 1, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := chunk.NewMemSource(ix)
+	for f := range ix.Files {
+		if err := src.WriteFile(ix.Files[f].Name, []byte{0, 1, 2, 3}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ix, src
+}
+
+func TestInjectorKillAfter(t *testing.T) {
+	ix, src := injectorSource(t)
+	inj := &Injector{Source: src, KillAfter: 2}
+	ref := ix.Files[0].Chunks[0]
+	for i := 0; i < 2; i++ {
+		if _, err := inj.ReadChunk(ref); err != nil {
+			t.Fatalf("read %d before kill: %v", i, err)
+		}
+	}
+	if _, err := inj.ReadChunk(ref); !errors.Is(err, ErrInjected) {
+		t.Fatalf("read after kill = %v, want ErrInjected", err)
+	}
+	// Stays dead.
+	if _, err := inj.ReadChunk(ref); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second read after kill = %v, want ErrInjected", err)
+	}
+	inj.Arm()
+	if _, err := inj.ReadChunk(ref); err != nil {
+		t.Fatalf("read after Arm: %v", err)
+	}
+}
+
+func TestInjectorFailEvery(t *testing.T) {
+	ix, src := injectorSource(t)
+	inj := &Injector{Source: src, FailEvery: 3}
+	var fails int
+	for i := 0; i < 9; i++ {
+		if _, err := inj.ReadChunk(ix.Files[0].Chunks[0]); errors.Is(err, ErrInjected) {
+			fails++
+		} else if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fails != 3 {
+		t.Fatalf("fails = %d, want 3", fails)
+	}
+}

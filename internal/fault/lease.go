@@ -1,0 +1,104 @@
+package fault
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Leases tracks per-site liveness leases. A site's lease is renewed by every
+// heartbeat (and by any other message from the site); a site whose lease
+// stays unrenewed for longer than the TTL is expired and its in-flight work
+// is recovered. Time is passed in explicitly as a duration-since-start so
+// the same code runs against the wall clock (live head) and the virtual
+// clock (simulator) and is unit-testable without sleeping.
+//
+// The zero value is not usable; use NewLeases.
+type Leases struct {
+	ttl time.Duration
+
+	mu      sync.Mutex
+	renewed map[int]time.Duration // site -> last renewal instant
+	dead    map[int]bool          // site -> declared failed (until Revive)
+}
+
+// NewLeases returns a lease table with the given TTL. A non-positive TTL
+// disables expiry: Expired always returns nil.
+func NewLeases(ttl time.Duration) *Leases {
+	return &Leases{
+		ttl:     ttl,
+		renewed: make(map[int]time.Duration),
+		dead:    make(map[int]bool),
+	}
+}
+
+// TTL returns the lease duration.
+func (l *Leases) TTL() time.Duration { return l.ttl }
+
+// Renew records a liveness signal from site at instant now. Renewing a dead
+// site's lease does not revive it — recovery must go through Revive so the
+// head can hand the site its checkpoint first.
+func (l *Leases) Renew(site int, now time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.dead[site] {
+		l.renewed[site] = now
+	}
+}
+
+// Expired returns the sites whose leases have lapsed as of now (sorted),
+// without marking them dead; callers decide what expiry means.
+func (l *Leases) Expired(now time.Duration) []int {
+	if l.ttl <= 0 {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []int
+	for site, at := range l.renewed {
+		if !l.dead[site] && now-at > l.ttl {
+			out = append(out, site)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// MarkDead declares site failed; its lease stops counting until Revive.
+// Returns false if the site was already dead (so detection runs once).
+func (l *Leases) MarkDead(site int) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.dead[site] {
+		return false
+	}
+	l.dead[site] = true
+	delete(l.renewed, site)
+	return true
+}
+
+// Release stops tracking site's lease without marking it failed — called
+// when a site has delivered its final result, so a long global-reduction
+// wait (during which the site has nothing left to say) cannot be mistaken
+// for a failure.
+func (l *Leases) Release(site int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delete(l.renewed, site)
+}
+
+// Dead reports whether site is currently marked failed.
+func (l *Leases) Dead(site int) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dead[site]
+}
+
+// Revive clears site's dead mark and starts a fresh lease at now — called
+// when a restarted/replacement worker re-registers.
+func (l *Leases) Revive(site int, now time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delete(l.dead, site)
+	l.renewed[site] = now
+}

@@ -1,0 +1,252 @@
+package head
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/jobs"
+	"repro/internal/obs"
+	"repro/internal/protocol"
+)
+
+// FaultConfig enables the head's fault-tolerance machinery. The zero value
+// disables everything, preserving the original fail-fast behaviour (any
+// lost master aborts the run).
+type FaultConfig struct {
+	// LeaseTTL is each site's liveness lease: a site silent for longer is
+	// declared failed, its in-flight jobs are requeued, and its
+	// un-checkpointed completions are reissued. 0 disables lease expiry.
+	LeaseTTL time.Duration
+	// HeartbeatEvery is pushed to clusters in the JobSpec so they renew
+	// their leases; defaults to LeaseTTL/3 when leases are enabled.
+	HeartbeatEvery time.Duration
+	// Store persists reduction-object checkpoints (the objstore client in
+	// deployments, fault.MemStore in tests). nil disables checkpointing.
+	Store fault.Store
+	// CheckpointPrefix namespaces checkpoint keys in Store ("ckpt" if "").
+	CheckpointPrefix string
+	// SpeculateAfter re-adds stragglers' outstanding jobs to the pool once
+	// the pool has been empty-but-undrained for this long. 0 disables
+	// speculative re-execution.
+	SpeculateAfter time.Duration
+}
+
+// enabled reports whether any fault machinery is on; it switches the head
+// from fail-fast to recover-and-continue on lost masters.
+func (f FaultConfig) enabled() bool {
+	return f.LeaseTTL > 0 || f.Store != nil || f.SpeculateAfter > 0
+}
+
+func (f FaultConfig) heartbeatEvery() time.Duration {
+	if f.HeartbeatEvery > 0 {
+		return f.HeartbeatEvery
+	}
+	if f.LeaseTTL > 0 {
+		return f.LeaseTTL / 3
+	}
+	return 0
+}
+
+// faultState is the head's recovery bookkeeping.
+type faultState struct {
+	leases *fault.Leases
+	// sinceCkpt[site] lists jobs the site committed after its last
+	// persisted checkpoint: exactly the contributions that die with the
+	// site's memory and must be reissued on failure.
+	sinceCkpt map[int][]jobs.Job
+	// ckptSeq[site] is the last accepted checkpoint sequence number, so a
+	// stale checkpoint racing a restart cannot roll state back.
+	ckptSeq map[int]int
+	// emptySince marks when the pool first went empty-but-undrained, for
+	// straggler speculation; zero means not currently empty.
+	emptySince time.Duration
+	speculated bool // speculation already fired for this empty episode
+
+	mFailures    *obs.Counter
+	mRecoveries  *obs.Counter
+	mCheckpoints *obs.Counter
+	mHeartbeats  *obs.Counter
+	hCkptBytes   *obs.Histogram
+}
+
+// checkpointSizeBounds bucket checkpoint sizes; the histogram's Duration
+// axis is repurposed as bytes (1 "ns" = 1 byte), documented in docs/FAULTS.md.
+var checkpointSizeBounds = []time.Duration{
+	1 << 10, 16 << 10, 256 << 10, 1 << 20, 16 << 20, 256 << 20,
+}
+
+func (h *Head) initFault() {
+	if !h.cfg.Fault.enabled() {
+		return
+	}
+	reg := h.cfg.Obs.Metrics()
+	h.fs = &faultState{
+		leases:       fault.NewLeases(h.cfg.Fault.LeaseTTL),
+		sinceCkpt:    make(map[int][]jobs.Job),
+		ckptSeq:      make(map[int]int),
+		mFailures:    reg.Counter("head_site_failures_total"),
+		mRecoveries:  reg.Counter("head_site_recoveries_total"),
+		mCheckpoints: reg.Counter("head_checkpoints_total"),
+		mHeartbeats:  reg.Counter("head_heartbeats_total"),
+		hCkptBytes:   reg.Histogram("head_checkpoint_bytes", checkpointSizeBounds),
+	}
+	if h.cfg.Fault.LeaseTTL > 0 || h.cfg.Fault.SpeculateAfter > 0 {
+		go h.monitor()
+	}
+}
+
+// monitor is the head's wall-clock failure detector and straggler watchdog.
+func (h *Head) monitor() {
+	tick := h.cfg.Fault.LeaseTTL / 4
+	if tick <= 0 || (h.cfg.Fault.SpeculateAfter > 0 && h.cfg.Fault.SpeculateAfter/4 < tick) {
+		if h.cfg.Fault.SpeculateAfter > 0 {
+			tick = h.cfg.Fault.SpeculateAfter / 4
+		}
+	}
+	if tick <= 0 {
+		tick = 50 * time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-h.done:
+			return
+		case <-t.C:
+		}
+		now := h.clk.Now()
+		for _, site := range h.fs.leases.Expired(now) {
+			h.cfg.Logf("head: lease expired for site %d", site)
+			h.FailSite(site)
+		}
+		h.checkStragglers(now)
+	}
+}
+
+// checkStragglers fires speculative re-execution when the pool has been
+// empty but undrained for longer than SpeculateAfter.
+func (h *Head) checkStragglers(now time.Duration) {
+	if h.cfg.Fault.SpeculateAfter <= 0 {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.finished {
+		return
+	}
+	pool := h.cfg.Pool
+	if pool.Remaining() > 0 || pool.Outstanding() == 0 {
+		h.fs.emptySince = 0
+		h.fs.speculated = false
+		return
+	}
+	if h.fs.emptySince == 0 {
+		h.fs.emptySince = now
+		return
+	}
+	if h.fs.speculated || now-h.fs.emptySince < h.cfg.Fault.SpeculateAfter {
+		return
+	}
+	spec := pool.SpeculateOutstanding()
+	h.fs.speculated = true
+	if len(spec) > 0 {
+		h.cfg.Logf("head: speculating %d straggler jobs", len(spec))
+		if h.tr.Enabled() {
+			h.tr.Instant(0, 0, "fault", "speculate", obs.Args{"jobs": len(spec)})
+		}
+	}
+}
+
+// Heartbeat renews site's liveness lease.
+func (h *Head) Heartbeat(site int) {
+	if h.fs == nil {
+		return
+	}
+	h.fs.mHeartbeats.Inc()
+	h.fs.leases.Renew(site, h.clk.Now())
+}
+
+// FailSite declares site failed: its lease is revoked, its in-flight jobs
+// return to the pool, and completions not covered by its last persisted
+// checkpoint are reissued for recomputation. Idempotent per failure episode
+// (a site already marked dead is skipped until it revives).
+func (h *Head) FailSite(site int) {
+	if h.fs == nil {
+		return
+	}
+	if !h.fs.leases.MarkDead(site) {
+		return // already handled
+	}
+	h.fs.mFailures.Inc()
+	if h.tr.Enabled() {
+		h.tr.Instant(0, 0, "fault", fmt.Sprintf("detect-failure site %d", site), obs.Args{"site": site})
+	}
+	requeued := h.cfg.Pool.FailSite(site)
+	h.mu.Lock()
+	lost := h.fs.sinceCkpt[site]
+	h.fs.sinceCkpt[site] = nil
+	h.mu.Unlock()
+	reissued := h.cfg.Pool.Reissue(lost)
+	h.cfg.Logf("head: site %d failed: requeued %d in-flight, reissued %d un-checkpointed jobs",
+		site, len(requeued), reissued)
+	if h.tr.Enabled() {
+		h.tr.Instant(0, 0, "fault", fmt.Sprintf("reassign site %d", site),
+			obs.Args{"requeued": len(requeued), "reissued": reissued})
+	}
+}
+
+// CheckpointSave persists a cluster's reduction-object checkpoint and
+// advances the reissue boundary: jobs covered by the checkpoint no longer
+// need recomputation if the site dies.
+func (h *Head) CheckpointSave(cs protocol.CheckpointSave) error {
+	if h.fs == nil || h.cfg.Fault.Store == nil {
+		return fmt.Errorf("head: checkpointing not enabled")
+	}
+	ck, err := fault.DecodeCheckpoint(cs.Data)
+	if err != nil {
+		return fmt.Errorf("head: rejecting checkpoint from site %d: %w", cs.Site, err)
+	}
+	h.mu.Lock()
+	if cs.Seq <= h.fs.ckptSeq[cs.Site] && h.fs.ckptSeq[cs.Site] != 0 {
+		h.mu.Unlock()
+		return fmt.Errorf("head: stale checkpoint seq %d for site %d (have %d)",
+			cs.Seq, cs.Site, h.fs.ckptSeq[cs.Site])
+	}
+	h.mu.Unlock()
+	key := fault.Key(h.cfg.Fault.CheckpointPrefix, cs.Site)
+	if err := h.cfg.Fault.Store.Put(key, cs.Data); err != nil {
+		return fmt.Errorf("head: persisting checkpoint for site %d: %w", cs.Site, err)
+	}
+	covered := make(map[int]bool, len(ck.Completed))
+	for _, id := range ck.Completed {
+		covered[id] = true
+	}
+	h.mu.Lock()
+	h.fs.ckptSeq[cs.Site] = cs.Seq
+	kept := h.fs.sinceCkpt[cs.Site][:0]
+	for _, j := range h.fs.sinceCkpt[cs.Site] {
+		if !covered[j.ID] {
+			kept = append(kept, j)
+		}
+	}
+	h.fs.sinceCkpt[cs.Site] = kept
+	h.mu.Unlock()
+	h.fs.mCheckpoints.Inc()
+	h.fs.hCkptBytes.Observe(time.Duration(len(cs.Data)))
+	h.cfg.Logf("head: checkpoint %d from site %d (%d jobs, %d bytes)",
+		cs.Seq, cs.Site, len(ck.Completed), len(cs.Data))
+	return nil
+}
+
+// recoverSpec loads site's last checkpoint for a re-registering cluster.
+func (h *Head) recoverSpec(site int) []byte {
+	if h.fs == nil || h.cfg.Fault.Store == nil {
+		return nil
+	}
+	data, err := h.cfg.Fault.Store.Get(fault.Key(h.cfg.Fault.CheckpointPrefix, site))
+	if err != nil {
+		return nil // no checkpoint yet: resume from scratch
+	}
+	return data
+}

@@ -1,0 +1,246 @@
+package head
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/chunk"
+	"repro/internal/fault"
+	"repro/internal/jobs"
+	"repro/internal/protocol"
+)
+
+func testFaultHead(t *testing.T, clusters int, fc FaultConfig) (*Head, *jobs.Pool) {
+	t.Helper()
+	ix, err := chunk.Layout("h", 100, 4, 50, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := jobs.NewPool(ix, jobs.Placement{0, 1}, jobs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := protocol.JobSpec{App: "sum", UnitSize: 4}
+	if err := EncodeIndexSpec(&spec, ix); err != nil {
+		t.Fatal(err)
+	}
+	h, err := New(Config{
+		Pool: pool, Reducer: sumReducer{}, Spec: spec,
+		ExpectClusters: clusters, Logf: t.Logf, Fault: fc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h, pool
+}
+
+// waitFor polls cond for up to 2s.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestLeaseExpiryRequeuesInFlight(t *testing.T) {
+	h, pool := testFaultHead(t, 2, FaultConfig{LeaseTTL: 40 * time.Millisecond})
+	if _, err := h.Register(protocol.Hello{Site: 0, Cluster: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Register(protocol.Hello{Site: 1, Cluster: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	js, _ := h.RequestJobs(0, 3)
+	if len(js) != 3 {
+		t.Fatalf("granted %d", len(js))
+	}
+	if pool.Remaining() != 7 {
+		t.Fatalf("remaining = %d", pool.Remaining())
+	}
+	// Site 1 keeps heartbeating; site 0 goes silent and must be failed.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		tick := time.NewTicker(5 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				h.Heartbeat(1)
+			}
+		}
+	}()
+	waitFor(t, "site 0 lease expiry", func() bool {
+		return pool.Remaining() == 10 && pool.Outstanding() == 0
+	})
+}
+
+func TestHeartbeatKeepsLeaseAlive(t *testing.T) {
+	h, pool := testFaultHead(t, 1, FaultConfig{LeaseTTL: 60 * time.Millisecond})
+	if _, err := h.Register(protocol.Hello{Site: 0, Cluster: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	js, _ := h.RequestJobs(0, 2)
+	if len(js) != 2 {
+		t.Fatalf("granted %d", len(js))
+	}
+	for i := 0; i < 20; i++ {
+		h.Heartbeat(0)
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := pool.Outstanding(); got != 2 {
+		t.Fatalf("outstanding = %d after heartbeats, want 2 (lease must not expire)", got)
+	}
+}
+
+func TestCheckpointSaveAndPrune(t *testing.T) {
+	store := fault.NewMemStore()
+	h, pool := testFaultHead(t, 1, FaultConfig{Store: store})
+	if _, err := h.Register(protocol.Hello{Site: 0, Cluster: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	js, _ := h.RequestJobs(0, 4)
+	if len(js) != 4 {
+		t.Fatalf("granted %d", len(js))
+	}
+	if _, err := h.CompleteJobs(0, js); err != nil {
+		t.Fatal(err)
+	}
+
+	// Checkpoint covering the first two completions.
+	ck := fault.Checkpoint{
+		Site: 0, Seq: 1, Object: encodeSum(5),
+		Completed: []int{js[0].ID, js[1].ID},
+	}
+	data := ck.Encode()
+	if err := h.CheckpointSave(protocol.CheckpointSave{Site: 0, Seq: 1, Data: data}); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := store.Get(fault.Key("", 0)); err != nil || len(got) != len(data) {
+		t.Fatalf("stored checkpoint = %d bytes, %v", len(got), err)
+	}
+
+	// A stale or replayed sequence number must be rejected.
+	if err := h.CheckpointSave(protocol.CheckpointSave{Site: 0, Seq: 1, Data: data}); err == nil {
+		t.Error("stale checkpoint seq accepted")
+	}
+	// Garbage must be rejected before touching the store.
+	if err := h.CheckpointSave(protocol.CheckpointSave{Site: 0, Seq: 2, Data: []byte("junk")}); err == nil {
+		t.Error("corrupt checkpoint accepted")
+	}
+
+	// On failure only the two un-checkpointed completions are reissued.
+	before := pool.Remaining() // 6: 10 - 4 completed
+	h.FailSite(0)
+	if got := pool.Remaining(); got != before+2 {
+		t.Errorf("remaining after failure = %d, want %d (2 un-checkpointed jobs reissued)", got, before+2)
+	}
+}
+
+func TestCheckpointWithoutStoreRejected(t *testing.T) {
+	h, _ := testFaultHead(t, 1, FaultConfig{LeaseTTL: time.Hour})
+	if err := h.CheckpointSave(protocol.CheckpointSave{Site: 0, Seq: 1}); err == nil {
+		t.Error("checkpoint accepted with no store configured")
+	}
+}
+
+func TestReregistrationRecoversFromCheckpoint(t *testing.T) {
+	store := fault.NewMemStore()
+	h, pool := testFaultHead(t, 1, FaultConfig{Store: store, LeaseTTL: time.Hour})
+	if _, err := h.Register(protocol.Hello{Site: 0, Cluster: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	js, _ := h.RequestJobs(0, 4)
+	if _, err := h.CompleteJobs(0, js); err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]int, len(js))
+	for i, j := range js {
+		ids[i] = j.ID
+	}
+	ck := fault.Checkpoint{Site: 0, Seq: 1, Object: encodeSum(9), Completed: ids}
+	data := ck.Encode()
+	if err := h.CheckpointSave(protocol.CheckpointSave{Site: 0, Seq: 1, Data: data}); err != nil {
+		t.Fatal(err)
+	}
+	// Site 0 is still holding two more jobs when it crashes and restarts.
+	more, _ := h.RequestJobs(0, 2)
+	if len(more) != 2 {
+		t.Fatalf("granted %d", len(more))
+	}
+	spec, err := h.Register(protocol.Hello{Site: 0, Cluster: "a"})
+	if err != nil {
+		t.Fatalf("re-registration rejected: %v", err)
+	}
+	if string(spec.Checkpoint) != string(data) {
+		t.Errorf("recovered checkpoint = %d bytes, want %d", len(spec.Checkpoint), len(data))
+	}
+	// The crashed incarnation's in-flight jobs went back to the pool; the
+	// checkpointed completions did not.
+	if got := pool.Remaining(); got != 10-4 {
+		t.Errorf("remaining = %d, want %d", got, 10-4)
+	}
+	if got := pool.Outstanding(); got != 0 {
+		t.Errorf("outstanding = %d, want 0", got)
+	}
+}
+
+func TestFreshRegistrationStillLimited(t *testing.T) {
+	h, _ := testFaultHead(t, 1, FaultConfig{LeaseTTL: time.Hour})
+	if _, err := h.Register(protocol.Hello{Site: 0, Cluster: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	// A different site over capacity is still rejected even with faults on.
+	if _, err := h.Register(protocol.Hello{Site: 1, Cluster: "b"}); err == nil {
+		t.Error("over-registration accepted with fault tolerance enabled")
+	}
+}
+
+func TestSpeculationDuplicatesStragglers(t *testing.T) {
+	h, pool := testFaultHead(t, 2, FaultConfig{SpeculateAfter: 30 * time.Millisecond})
+	if _, err := h.Register(protocol.Hello{Site: 0, Cluster: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Register(protocol.Hello{Site: 1, Cluster: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	// Site 0 takes the entire pool and then stalls on its last 2 jobs.
+	js, _ := h.RequestJobs(0, 10)
+	if len(js) != 10 {
+		t.Fatalf("granted %d", len(js))
+	}
+	if dups, err := h.CompleteJobs(0, js[:8]); err != nil || len(dups) != 0 {
+		t.Fatalf("completing head of pool: dups=%v err=%v", dups, err)
+	}
+	// An empty grant while stragglers are outstanding must say "poll again".
+	if got, wait := h.RequestJobs(1, 4); len(got) != 0 || !wait {
+		t.Fatalf("grant = %d jobs, wait = %v; want empty+wait", len(got), wait)
+	}
+	// The watchdog speculates the 2 stragglers back into the pool.
+	var spec []jobs.Job
+	waitFor(t, "speculative copies", func() bool {
+		spec, _ = h.RequestJobs(1, 4)
+		return len(spec) == 2
+	})
+	// Site 1's copies land first; the original site's commits become dups.
+	if dups, err := h.CompleteJobs(1, spec); err != nil || len(dups) != 0 {
+		t.Fatalf("speculative commit: dups=%v err=%v", dups, err)
+	}
+	dups, err := h.CompleteJobs(0, js[8:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dups) != 2 {
+		t.Errorf("straggler commits: %d dups, want 2", len(dups))
+	}
+	if !pool.Drained() {
+		t.Error("pool not drained after speculation resolved")
+	}
+}

@@ -54,6 +54,10 @@ type Config struct {
 	// events on trace pid 0. The head also reads its Clock for grTime, so a
 	// simulator-supplied virtual clock keeps all reported times consistent.
 	Obs *obs.Obs
+	// Fault enables lease-based failure recovery, checkpoint intake, and
+	// speculative re-execution; the zero value keeps the original
+	// fail-fast behaviour.
+	Fault FaultConfig
 }
 
 // Head coordinates one run. Create with New, expose it to masters either
@@ -74,6 +78,9 @@ type Head struct {
 	finished  bool
 
 	done chan struct{}
+
+	// fs is the fault-recovery state; nil when Config.Fault is disabled.
+	fs *faultState
 
 	lnMu     sync.Mutex
 	listener net.Listener
@@ -119,50 +126,105 @@ func New(cfg Config) (*Head, error) {
 	}
 	h.tr.NameProcess(0, "head")
 	h.tr.NameThread(0, 0, "global-reduction")
+	h.initFault()
 	return h, nil
 }
 
 // Register records a master's Hello and returns the job specification.
+// With fault tolerance enabled, a site re-registering after a failure is a
+// RECOVERY: the head requeues whatever the dead incarnation still held
+// (if lease expiry hadn't already), revives the lease, and hands the new
+// incarnation its last persisted checkpoint to resume from.
 func (h *Head) Register(hello protocol.Hello) (protocol.JobSpec, error) {
 	h.mu.Lock()
-	defer h.mu.Unlock()
-	if len(h.clusters) >= h.cfg.ExpectClusters {
+	_, known := h.clusters[hello.Site]
+	if !known && len(h.clusters) >= h.cfg.ExpectClusters {
+		h.mu.Unlock()
 		return protocol.JobSpec{}, fmt.Errorf("head: already have %d clusters", h.cfg.ExpectClusters)
 	}
+	if known && h.fs == nil {
+		h.mu.Unlock()
+		return protocol.JobSpec{}, fmt.Errorf("head: site %d already registered", hello.Site)
+	}
 	h.clusters[hello.Site] = hello.Cluster
+	nClusters := len(h.clusters)
+	h.mu.Unlock()
+
+	spec := h.cfg.Spec
+	spec.HeartbeatEvery = int64(h.cfg.Fault.heartbeatEvery())
+	if known {
+		// Re-registration: make sure the dead incarnation's work went back
+		// to the pool (a restart can beat the failure detector), then
+		// resume the new incarnation from the last checkpoint.
+		h.FailSite(hello.Site)
+		spec.Checkpoint = h.recoverSpec(hello.Site)
+		h.fs.leases.Revive(hello.Site, h.clk.Now())
+		h.fs.mRecoveries.Inc()
+		h.cfg.Logf("head: cluster %q re-registered (site %d, checkpoint %d bytes)",
+			hello.Cluster, hello.Site, len(spec.Checkpoint))
+		if h.tr.Enabled() {
+			h.tr.Instant(0, 0, "fault", fmt.Sprintf("recover site %d", hello.Site),
+				obs.Args{"site": hello.Site, "checkpoint_bytes": len(spec.Checkpoint)})
+		}
+		return spec, nil
+	}
+	if h.fs != nil {
+		h.fs.leases.Renew(hello.Site, h.clk.Now())
+	}
 	h.cfg.Logf("head: cluster %q registered (site %d, %d cores)", hello.Cluster, hello.Site, hello.Cores)
-	h.cfg.Obs.Metrics().Gauge("head_clusters_registered").Set(int64(len(h.clusters)))
+	h.cfg.Obs.Metrics().Gauge("head_clusters_registered").Set(int64(nClusters))
 	if h.tr.Enabled() {
 		h.tr.Instant(0, 0, "lifecycle", fmt.Sprintf("register %s", hello.Cluster),
 			obs.Args{"site": hello.Site, "cores": hello.Cores})
 	}
-	return h.cfg.Spec, nil
+	return spec, nil
 }
 
 // RequestJobs assigns up to n jobs to the requesting site, local first then
-// stolen. An empty result means the global pool is exhausted.
-func (h *Head) RequestJobs(site, n int) []jobs.Job {
+// stolen. An empty result with wait=false means the global pool is
+// exhausted for good; wait=true means recovery or speculation may yet
+// produce work, so the master should poll again instead of finishing.
+func (h *Head) RequestJobs(site, n int) (js []jobs.Job, wait bool) {
+	h.Heartbeat(site)
 	sp := h.tr.Begin(0, 0, "scheduling", "request-jobs")
-	js := h.cfg.Pool.Assign(site, n)
+	js = h.cfg.Pool.Assign(site, n)
 	sp.End(obs.Args{"site": site, "asked": n, "granted": len(js)})
 	if len(js) > 0 {
 		h.mGrants.Inc()
 		h.mJobsGranted.Add(int64(len(js)))
 		h.cfg.Logf("head: granted %d jobs to site %d (first %v)", len(js), site, js[0].Ref)
-	} else {
-		h.mExhausted.Inc()
+		return js, false
 	}
-	return js
+	h.mExhausted.Inc()
+	// With fault tolerance on, an empty grant is only final once every
+	// outstanding job has committed: until then a failure could requeue
+	// work this site must be able to pick up.
+	return nil, h.fs != nil && !h.cfg.Pool.Drained()
 }
 
-// CompleteJobs releases finished jobs' contention bookkeeping.
-func (h *Head) CompleteJobs(site int, js []jobs.Job) error {
+// CompleteJobs commits finished jobs, releasing their contention
+// bookkeeping. It returns the IDs of duplicate completions — jobs whose
+// contribution another copy already supplied; the caller must not fold
+// those chunks into its reduction object.
+func (h *Head) CompleteJobs(site int, js []jobs.Job) ([]int, error) {
+	h.Heartbeat(site)
+	var dups []int
 	for _, j := range js {
-		if err := h.cfg.Pool.Complete(j); err != nil {
-			return err
+		dup, err := h.cfg.Pool.Commit(site, j)
+		if err != nil {
+			return dups, err
+		}
+		if dup {
+			dups = append(dups, j.ID)
+			continue
+		}
+		if h.fs != nil {
+			h.mu.Lock()
+			h.fs.sinceCkpt[site] = append(h.fs.sinceCkpt[site], j)
+			h.mu.Unlock()
 		}
 	}
-	return nil
+	return dups, nil
 }
 
 // SubmitResult accepts one cluster's encoded reduction object, merges it
@@ -170,6 +232,16 @@ func (h *Head) CompleteJobs(site int, js []jobs.Job) error {
 // reported; it then returns the final encoded object. The caller's blocked
 // time here is exactly the cluster's end-of-run sync time.
 func (h *Head) SubmitResult(res protocol.ReductionResult) ([]byte, error) {
+	if h.fs != nil {
+		// The submitted object carries every contribution this site made, so
+		// from here on its failure is harmless: release the lease (the site
+		// goes silent during the global-reduction wait) and drop its reissue
+		// bookkeeping.
+		h.fs.leases.Release(res.Site)
+		h.mu.Lock()
+		h.fs.sinceCkpt[res.Site] = nil
+		h.mu.Unlock()
+	}
 	obj, err := h.cfg.Reducer.Decode(res.Object)
 	if err != nil {
 		h.fail(fmt.Errorf("head: decoding reduction object from site %d: %w", res.Site, err))
@@ -329,7 +401,14 @@ func (h *Head) HandleConn(c *transport.Conn) {
 				select {
 				case <-h.done: // normal teardown after Finished
 				default:
-					h.fail(fmt.Errorf("head: lost master for site %d: %w", site, err))
+					if h.fs != nil {
+						// Recoverable: requeue the site's work and keep the
+						// run alive for its restarted replacement.
+						h.cfg.Logf("head: lost master for site %d: %v", site, err)
+						h.FailSite(site)
+					} else {
+						h.fail(fmt.Errorf("head: lost master for site %d: %w", site, err))
+					}
 				}
 			}
 			return
@@ -346,12 +425,29 @@ func (h *Head) HandleConn(c *transport.Conn) {
 				return
 			}
 		case protocol.JobRequest:
-			if err := c.Send(protocol.JobGrant{Jobs: h.RequestJobs(m.Site, m.N)}); err != nil {
+			js, wait := h.RequestJobs(m.Site, m.N)
+			if err := c.Send(protocol.JobGrant{Jobs: js, Wait: wait}); err != nil {
 				return
 			}
 		case protocol.JobsDone:
-			if err := h.CompleteJobs(m.Site, m.Jobs); err != nil {
+			dups, err := h.CompleteJobs(m.Site, m.Jobs)
+			ack := protocol.JobsDoneAck{Dup: dups}
+			if err != nil {
 				h.cfg.Logf("head: completion error from site %d: %v", m.Site, err)
+				ack.Err = err.Error()
+			}
+			if err := c.Send(ack); err != nil {
+				return
+			}
+		case protocol.Heartbeat:
+			h.Heartbeat(m.Site) // fire-and-forget: no reply
+		case protocol.CheckpointSave:
+			ack := protocol.CheckpointAck{}
+			if err := h.CheckpointSave(m); err != nil {
+				ack.Err = err.Error()
+			}
+			if err := c.Send(ack); err != nil {
+				return
 			}
 		case protocol.ReductionResult:
 			final, err := h.SubmitResult(m)

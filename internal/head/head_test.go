@@ -154,15 +154,28 @@ func TestSubmitResultDecodeErrorFailsRun(t *testing.T) {
 
 func TestRequestAndCompleteJobs(t *testing.T) {
 	h := testHead(t, 1)
-	js := h.RequestJobs(0, 3)
+	js, wait := h.RequestJobs(0, 3)
 	if len(js) != 3 {
 		t.Fatalf("granted %d", len(js))
 	}
-	if err := h.CompleteJobs(0, js); err != nil {
+	if wait {
+		t.Error("wait = true on a non-empty grant")
+	}
+	dups, err := h.CompleteJobs(0, js)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := h.CompleteJobs(0, js); err == nil {
-		t.Error("double completion accepted")
+	if len(dups) != 0 {
+		t.Errorf("first completion flagged dups %v", dups)
+	}
+	// A second completion of the same jobs is deduplicated, not an error:
+	// that is how speculative copies are absorbed.
+	dups, err = h.CompleteJobs(0, js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dups) != len(js) {
+		t.Errorf("double completion: %d dups, want %d", len(dups), len(js))
 	}
 }
 
@@ -205,6 +218,17 @@ func TestHandleConnProtocol(t *testing.T) {
 		granted += len(g.Jobs)
 		if err := a.Send(protocol.JobsDone{Site: 0, Jobs: g.Jobs}); err != nil {
 			t.Fatal(err)
+		}
+		reply, err = a.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ack, ok := reply.(protocol.JobsDoneAck)
+		if !ok {
+			t.Fatalf("JobsDone reply = %T", reply)
+		}
+		if ack.Err != "" || len(ack.Dup) != 0 {
+			t.Fatalf("ack = %+v", ack)
 		}
 	}
 	if granted != 10 {
@@ -303,6 +327,13 @@ func TestServeOverTCP(t *testing.T) {
 			}
 			if err := c.Send(protocol.JobsDone{Site: site, Jobs: g.Jobs}); err != nil {
 				return err
+			}
+			reply, err = c.Recv()
+			if err != nil {
+				return err
+			}
+			if ack, ok := reply.(protocol.JobsDoneAck); !ok || ack.Err != "" {
+				return fmt.Errorf("JobsDone reply = %#v", reply)
 			}
 		}
 		if err := c.Send(protocol.ReductionResult{Site: site, Object: encodeSum(amount)}); err != nil {

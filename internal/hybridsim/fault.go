@@ -1,0 +1,371 @@
+package hybridsim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/obs"
+)
+
+// This file drives a fault.Plan on the simulator's virtual clock. It mirrors
+// the live stack piece for piece so the same plan exercises both:
+//
+//   - crash        → internal/fault.Injector killing a worker's data path
+//   - detect       → the head's lease monitor (FailSite + Reissue)
+//   - checkpoint   → the cluster runtime's periodic reduction-object ship
+//   - restart      → a replacement worker re-registering and resuming from
+//                    the last checkpoint
+//   - partition    → deferred commits, lease fencing when the outage outlives
+//                    the TTL
+//   - slowdown     → a straggler; speculation re-adds its outstanding jobs
+//
+// Everything runs single-threaded on simtime.Clock, so runs with the same
+// plan and seed are byte-identical. The conservation invariant the live pool
+// enforces holds here too: summing every cluster's job accounting at the end
+// of a faulty run yields exactly one credit per dataset chunk, no matter how
+// many copies were executed.
+
+// FaultStats summarizes fault activity during a simulated run.
+type FaultStats struct {
+	// Crashes, Partitions and Slowdowns count injected events that landed on
+	// a live cluster (events targeting a dead or finished cluster are no-ops).
+	Crashes, Partitions, Slowdowns int
+	// Recoveries counts restarts that rejoined the run — after a crash, or
+	// after a partition that outlived the lease and fenced the site.
+	Recoveries int
+	// Checkpoints and CheckpointBytes count durable reduction-object
+	// checkpoints shipped to the head.
+	Checkpoints     int
+	CheckpointBytes int64
+	// Requeued counts in-flight jobs returned to the pool by failure
+	// detection; Reissued counts committed-but-un-checkpointed jobs whose
+	// contribution was revoked for re-execution.
+	Requeued, Reissued int
+	// DupCommits counts completions the pool deduplicated (speculative or
+	// post-partition duplicates); Speculated counts speculative copies issued
+	// against stragglers.
+	DupCommits, Speculated int
+}
+
+// pollEvery is the virtual-time retry interval a master uses after an
+// empty-but-undrained grant.
+func (s *sim) pollEvery() time.Duration {
+	p := 4 * s.cfg.Topology.ControlLatency
+	if p < 20*time.Millisecond {
+		p = 20 * time.Millisecond
+	}
+	return p
+}
+
+// scheduleFaults validates the plan and books every event plus the periodic
+// checkpoint ticks on the virtual clock.
+func (s *sim) scheduleFaults() error {
+	plan := s.cfg.Faults
+	if err := plan.Validate(); err != nil {
+		return err
+	}
+	bySite := make(map[int][]*simCluster)
+	for _, c := range s.clusters {
+		bySite[c.model.Site] = append(bySite[c.model.Site], c)
+	}
+	for _, ev := range plan.Events {
+		targets := bySite[ev.Site]
+		if len(targets) == 0 {
+			return fmt.Errorf("hybridsim: fault event %q targets site %d, which has no cluster", ev.String(), ev.Site)
+		}
+		ev := ev
+		for _, c := range targets {
+			c := c
+			s.clock.At(ev.At, func() { s.applyEvent(c, ev) })
+		}
+	}
+	if plan.CheckpointEvery > 0 {
+		for _, c := range s.clusters {
+			c := c
+			s.clock.After(plan.CheckpointEvery, c.checkpointTick)
+		}
+	}
+	return nil
+}
+
+func (s *sim) applyEvent(c *simCluster, ev fault.Event) {
+	switch ev.Kind {
+	case fault.Crash:
+		s.crash(c)
+	case fault.Partition:
+		s.partition(c)
+	case fault.Slowdown:
+		if c.down || c.finished {
+			return
+		}
+		c.slowFactor = ev.Factor
+		s.fstats.Slowdowns++
+		if s.tr.Enabled() {
+			s.tr.InstantAt(c.pid(), 0, "fault", "slowdown", s.clock.Now(), obs.Args{"factor": ev.Factor})
+		}
+	case fault.Recover:
+		s.recoverCluster(c)
+	}
+}
+
+// crash kills a cluster: local state dies with the incarnation, the head
+// detects the failure after the lease TTL (immediately with no leases), and
+// a replacement boots after Plan.Restart().
+func (s *sim) crash(c *simCluster) {
+	if c.down || c.finished {
+		return // already dead, or its contribution is already merged
+	}
+	c.resetIncarnation()
+	c.down = true
+	s.fstats.Crashes++
+	if s.tr.Enabled() {
+		s.tr.InstantAt(c.pid(), 0, "fault", "crash", s.clock.Now(), nil)
+	}
+	plan := s.cfg.Faults
+	epoch := c.epoch
+	if ttl := plan.LeaseTTL; ttl > 0 {
+		s.clock.After(ttl, func() {
+			if c.epoch == epoch && c.down {
+				s.detect(c)
+			}
+		})
+	} else {
+		s.detect(c)
+	}
+	s.clock.After(plan.Restart(), func() { s.restart(c) })
+}
+
+// resetIncarnation wipes the cluster's volatile state: queued jobs, buffered
+// chunks, in-flight transfers and busy cores all die with the machine. The
+// epoch bump makes every callback the old incarnation scheduled a no-op.
+func (c *simCluster) resetIncarnation() {
+	c.epoch++
+	for {
+		if _, ok := c.queue.Pop(); !ok {
+			break
+		}
+	}
+	c.ready = nil
+	c.inFlight = 0
+	c.busyCores = 0
+	c.idleCores = c.idleCores[:0]
+	for id := 0; id < c.model.Cores; id++ {
+		c.idleCores = append(c.idleCores, id)
+	}
+	c.freeLanes = c.freeLanes[:0]
+	for lane := c.model.RetrievalThreads; lane >= 1; lane-- {
+		c.freeLanes = append(c.freeLanes, lane)
+	}
+	c.requesting = false
+	c.exhausted = false
+	c.checkpointing = false
+	c.partitioned = false
+	c.fenced = false
+	c.slowFactor = 1
+	c.deferred = nil
+}
+
+// detect is the head noticing the failed site — lease expiry in live mode.
+// In-flight jobs return to the pool, and committed-but-un-checkpointed
+// contributions are reissued: their credit is revoked here and granted to
+// whichever cluster recommits them.
+func (s *sim) detect(c *simCluster) {
+	if c.detectedEpoch == c.epoch {
+		return // this incarnation's failure was already handled
+	}
+	c.detectedEpoch = c.epoch
+	requeued := s.pool.FailSite(c.model.Site)
+	reissued := s.pool.Reissue(c.sinceCkpt)
+	s.fstats.Requeued += len(requeued)
+	s.fstats.Reissued += reissued
+	for _, j := range c.sinceCkpt {
+		if j.Site == c.model.Site {
+			c.jobsAcct.Local--
+		} else {
+			c.jobsAcct.Stolen--
+		}
+	}
+	c.sinceCkpt = nil
+	if s.tr.Enabled() {
+		s.tr.InstantAt(0, 0, "fault", fmt.Sprintf("detect site %d", c.model.Site), s.clock.Now(),
+			obs.Args{"requeued": len(requeued), "reissued": reissued})
+	}
+}
+
+// restart boots the replacement: reconcile with the head (a restart can beat
+// the lease detector, exactly like live re-registration), reload the last
+// checkpoint, and resume requesting jobs.
+func (s *sim) restart(c *simCluster) {
+	s.detect(c)
+	c.down = false
+	s.fstats.Recoveries++
+	if s.tr.Enabled() {
+		s.tr.InstantAt(c.pid(), 0, "fault", "restart", s.clock.Now(), obs.Args{"checkpoint": c.hasCkpt})
+	}
+	resume := func() {
+		c.exhausted = false
+		c.ensureJobs()
+	}
+	if !c.hasCkpt {
+		resume()
+		return
+	}
+	// Fetch the checkpointed reduction object back from the head before
+	// processing resumes.
+	epoch := c.epoch
+	s.net.Start(s.cfg.App.RobjBytes, s.robjLatency(c), 0, s.robjResources(c), func() {
+		if c.epoch == epoch && !c.down {
+			resume()
+		}
+	})
+}
+
+// partition cuts the cluster off from the head and the storage sites until
+// the matching Recover event. Chunks already buffered keep processing;
+// completions are deferred. If the outage outlives the lease TTL the head
+// declares the site failed and fences it.
+func (s *sim) partition(c *simCluster) {
+	if c.down || c.finished || c.partitioned {
+		return
+	}
+	c.partitioned = true
+	s.fstats.Partitions++
+	if s.tr.Enabled() {
+		s.tr.InstantAt(c.pid(), 0, "fault", "partition", s.clock.Now(), nil)
+	}
+	if ttl := s.cfg.Faults.LeaseTTL; ttl > 0 {
+		epoch := c.epoch
+		s.clock.After(ttl, func() {
+			if c.epoch == epoch && c.partitioned && !c.down {
+				c.fenced = true
+				s.detect(c)
+			}
+		})
+	}
+}
+
+// recoverCluster ends an active slowdown and/or partition.
+func (s *sim) recoverCluster(c *simCluster) {
+	if c.down || c.finished {
+		return
+	}
+	c.slowFactor = 1
+	if !c.partitioned {
+		return
+	}
+	c.partitioned = false
+	if c.fenced {
+		// The head already declared this site failed and handed its work
+		// out; the stale master's deferred commits would be refused
+		// (fencing), so it restarts from the last checkpoint like a crash.
+		c.resetIncarnation()
+		c.down = true
+		s.clock.After(s.cfg.Faults.Restart(), func() { s.restart(c) })
+		return
+	}
+	// Healed before the lease expired: flush deferred completions — the pool
+	// deduplicates any the head re-assigned meanwhile — and resume.
+	deferred := c.deferred
+	c.deferred = nil
+	for _, j := range deferred {
+		c.commit(j)
+	}
+	if s.tr.Enabled() {
+		s.tr.InstantAt(c.pid(), 0, "fault", "partition-healed", s.clock.Now(),
+			obs.Args{"flushed": len(deferred)})
+	}
+	c.ensureJobs()
+	c.kickRetrievers()
+	c.kickCores()
+	c.maybeFinish()
+}
+
+// noteEmptyGrant starts (at most one) straggler watchdog per
+// empty-but-undrained episode; if the pool stays starved for
+// Plan.SpeculateAfter, outstanding jobs are re-added as speculative copies.
+func (s *sim) noteEmptyGrant() {
+	after := s.cfg.Faults.SpeculateAfter
+	if after <= 0 || s.emptySince >= 0 {
+		return
+	}
+	s.emptySince = s.clock.Now()
+	s.clock.After(after, func() {
+		if s.emptySince < 0 || s.pool.Drained() {
+			return
+		}
+		js := s.pool.SpeculateOutstanding()
+		s.fstats.Speculated += len(js)
+		if s.tr.Enabled() && len(js) > 0 {
+			s.tr.InstantAt(0, 0, "fault", "speculate", s.clock.Now(), obs.Args{"jobs": len(js)})
+		}
+	})
+}
+
+// checkpointTick fires every Plan.CheckpointEvery per cluster and starts a
+// checkpoint when there is anything new to cover.
+func (c *simCluster) checkpointTick() {
+	s := c.sim
+	if c.finished || s.merged == len(s.clusters) {
+		return // nothing left to protect; stop the ticker
+	}
+	s.clock.After(s.cfg.Faults.CheckpointEvery, c.checkpointTick)
+	if c.down || c.partitioned || c.checkpointing || len(c.sinceCkpt) == 0 {
+		return
+	}
+	c.beginCheckpoint()
+}
+
+// beginCheckpoint models the live checkpoint pipeline: quiesce and merge the
+// worker objects (new folds stall for the merge), then ship the object to
+// the head in the background. The covered job set becomes durable only when
+// the transfer lands — a crash mid-ship loses the checkpoint, not jobs.
+func (c *simCluster) beginCheckpoint() {
+	s := c.sim
+	c.checkpointing = true
+	covered := len(c.sinceCkpt)
+	epoch := c.epoch
+	start := s.clock.Now()
+	merge := time.Duration(0)
+	if s.cfg.App.MergeBytesPerSec > 0 {
+		merge = time.Duration(float64(s.cfg.App.RobjBytes) / s.cfg.App.MergeBytesPerSec * float64(time.Second))
+	}
+	s.clock.After(merge, func() {
+		if c.epoch != epoch {
+			return
+		}
+		c.checkpointing = false
+		c.kickCores()
+		s.net.Start(s.cfg.App.RobjBytes, s.robjLatency(c), 0, s.robjResources(c), func() {
+			if c.epoch != epoch {
+				return
+			}
+			c.sinceCkpt = append(c.sinceCkpt[:0:0], c.sinceCkpt[covered:]...)
+			c.hasCkpt = true
+			c.ckptSeq++
+			s.fstats.Checkpoints++
+			s.fstats.CheckpointBytes += s.cfg.App.RobjBytes
+			if s.tr.Enabled() {
+				s.tr.Complete(c.pid(), 0, "fault", "checkpoint", start, s.clock.Now(),
+					obs.Args{"seq": c.ckptSeq, "jobs": covered, "bytes": s.cfg.App.RobjBytes})
+			}
+		})
+	})
+}
+
+// robjResources and robjLatency pick the transfer cost of moving a reduction
+// object between a cluster and the head: the shared inter-cluster pipe,
+// waived for the cluster co-located with the head node.
+func (s *sim) robjResources(c *simCluster) []*Resource {
+	if c.index == s.cfg.Topology.HeadCluster || s.interRes == nil {
+		return nil
+	}
+	return []*Resource{s.interRes}
+}
+
+func (s *sim) robjLatency(c *simCluster) time.Duration {
+	if c.index == s.cfg.Topology.HeadCluster {
+		return s.cfg.Topology.ControlLatency
+	}
+	return s.cfg.Topology.InterClusterLatency
+}

@@ -1,0 +1,191 @@
+package hybridsim
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+)
+
+// creditTotal sums the per-cluster job accounting — with an active fault
+// plan, exactly one credit per dataset chunk must survive no matter how many
+// copies were executed (the pool-conservation invariant).
+func creditTotal(res *Result) int {
+	n := 0
+	for _, c := range res.Clusters {
+		n += c.Jobs.Total()
+	}
+	return n
+}
+
+func mustRun(t *testing.T, cfg Config) *Result {
+	t.Helper()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestSimCrashRecoveryMatchesFailureFree is the simulated half of the
+// end-to-end recovery drill: a cluster crashes mid-run after shipping
+// checkpoints, restarts, and the run still credits every job exactly once —
+// the simulator's analogue of a byte-identical final reduction object.
+func TestSimCrashRecoveryMatchesFailureFree(t *testing.T) {
+	cfg := testConfig(t, 16, 8, 0.5) // 128 jobs
+	base := mustRun(t, cfg)
+
+	cfg.Faults = fault.Plan{
+		Events:          []fault.Event{{At: base.Total / 3, Site: 1, Kind: fault.Crash}},
+		CheckpointEvery: base.Total / 8,
+		LeaseTTL:        200 * time.Millisecond,
+		RestartAfter:    500 * time.Millisecond,
+	}
+	res := mustRun(t, cfg)
+
+	if got, want := creditTotal(res), cfg.Index.NumChunks(); got != want {
+		t.Errorf("faulty run credited %d jobs, dataset has %d", got, want)
+	}
+	if res.Faults.Crashes != 1 || res.Faults.Recoveries != 1 {
+		t.Errorf("Faults = %+v, want 1 crash and 1 recovery", res.Faults)
+	}
+	if res.Faults.Checkpoints == 0 {
+		t.Error("no checkpoints were taken before the crash")
+	}
+	if res.Total <= base.Total {
+		t.Errorf("crash run finished in %v, faster than failure-free %v", res.Total, base.Total)
+	}
+	// A checkpoint protected the pre-crash work: the requeued+reissued tail
+	// must be smaller than everything the cluster had committed.
+	if res.Faults.Reissued == 0 && res.Faults.Requeued == 0 {
+		t.Error("crash recovered no work at all — detection never ran")
+	}
+}
+
+// TestSimFaultDeterminism repeats a faulty run and requires byte-identical
+// results — the property that makes fault plans replayable.
+func TestSimFaultDeterminism(t *testing.T) {
+	mk := func() Config {
+		cfg := testConfig(t, 12, 6, 0.4)
+		cfg.Topology.Clusters[1].Jitter = 0.1
+		cfg.Faults = fault.Plan{
+			Events: []fault.Event{
+				{At: 400 * time.Millisecond, Site: 1, Kind: fault.Crash},
+				{At: 700 * time.Millisecond, Site: 0, Kind: fault.Slowdown, Factor: 3},
+				{At: 1200 * time.Millisecond, Site: 0, Kind: fault.Recover},
+			},
+			CheckpointEvery: 300 * time.Millisecond,
+			LeaseTTL:        250 * time.Millisecond,
+			RestartAfter:    600 * time.Millisecond,
+			SpeculateAfter:  300 * time.Millisecond,
+		}
+		return cfg
+	}
+	a := mustRun(t, mk())
+	b := mustRun(t, mk())
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("fault runs differ:\n%+v\nvs\n%+v", a, b)
+	}
+	if got, want := creditTotal(a), 12*6; got != want {
+		t.Errorf("credited %d jobs, want %d", got, want)
+	}
+}
+
+// TestSimPartitionHealsAndFlushes cuts a cluster off briefly (shorter than
+// the lease TTL): deferred completions flush at heal time and nothing is
+// recomputed.
+func TestSimPartitionHealsAndFlushes(t *testing.T) {
+	cfg := testConfig(t, 8, 4, 0.5)
+	cfg.Faults = fault.Plan{
+		Events: []fault.Event{
+			{At: 200 * time.Millisecond, Site: 1, Kind: fault.Partition},
+			{At: 500 * time.Millisecond, Site: 1, Kind: fault.Recover},
+		},
+		LeaseTTL: 2 * time.Second,
+	}
+	res := mustRun(t, cfg)
+	if got, want := creditTotal(res), cfg.Index.NumChunks(); got != want {
+		t.Errorf("credited %d jobs, want %d", got, want)
+	}
+	if res.Faults.Partitions != 1 {
+		t.Errorf("Partitions = %d, want 1", res.Faults.Partitions)
+	}
+	if res.Faults.Recoveries != 0 || res.Faults.Reissued != 0 {
+		t.Errorf("short partition triggered recovery machinery: %+v", res.Faults)
+	}
+}
+
+// TestSimPartitionFencedRestarts lets a partition outlive the lease: the
+// head declares the site failed, hands its work out, and the stale master is
+// fenced into a checkpoint restart when connectivity returns.
+func TestSimPartitionFencedRestarts(t *testing.T) {
+	cfg := testConfig(t, 12, 6, 0.5)
+	cfg.Faults = fault.Plan{
+		Events: []fault.Event{
+			{At: 300 * time.Millisecond, Site: 1, Kind: fault.Partition},
+			{At: 1500 * time.Millisecond, Site: 1, Kind: fault.Recover},
+		},
+		CheckpointEvery: 200 * time.Millisecond,
+		LeaseTTL:        400 * time.Millisecond,
+		RestartAfter:    300 * time.Millisecond,
+	}
+	res := mustRun(t, cfg)
+	if got, want := creditTotal(res), cfg.Index.NumChunks(); got != want {
+		t.Errorf("credited %d jobs, want %d", got, want)
+	}
+	if res.Faults.Partitions != 1 || res.Faults.Recoveries != 1 {
+		t.Errorf("Faults = %+v, want 1 partition ending in 1 fenced recovery", res.Faults)
+	}
+}
+
+// TestSimSpeculationDuplicatesStraggler slows one cluster down hard; the
+// speculation watchdog re-adds its outstanding jobs and the healthy cluster
+// finishes them, with duplicates deduplicated at commit.
+func TestSimSpeculationDuplicatesStraggler(t *testing.T) {
+	cfg := testConfig(t, 8, 4, 0.5)
+	cfg.Faults = fault.Plan{
+		Events:         []fault.Event{{At: 100 * time.Millisecond, Site: 1, Kind: fault.Slowdown, Factor: 50}},
+		SpeculateAfter: 200 * time.Millisecond,
+	}
+	res := mustRun(t, cfg)
+	if got, want := creditTotal(res), cfg.Index.NumChunks(); got != want {
+		t.Errorf("credited %d jobs, want %d", got, want)
+	}
+	if res.Faults.Slowdowns != 1 {
+		t.Errorf("Slowdowns = %d, want 1", res.Faults.Slowdowns)
+	}
+	if res.Faults.Speculated == 0 {
+		t.Error("watchdog never speculated the straggler's outstanding jobs")
+	}
+}
+
+// TestSimCheckpointOnlyOverheadSmall is the no-failure cost bound: running
+// with checkpointing enabled but no fault events must stay within 5% of the
+// failure-free makespan.
+func TestSimCheckpointOnlyOverheadSmall(t *testing.T) {
+	cfg := testConfig(t, 16, 8, 0.5)
+	base := mustRun(t, cfg)
+
+	cfg.Faults = fault.Plan{CheckpointEvery: base.Total / 10}
+	res := mustRun(t, cfg)
+	if res.Faults.Checkpoints == 0 {
+		t.Fatal("no checkpoints were taken")
+	}
+	if limit := base.Total + base.Total/20; res.Total > limit {
+		t.Errorf("checkpointed makespan %v exceeds failure-free %v by more than 5%%", res.Total, base.Total)
+	}
+	if got, want := creditTotal(res), cfg.Index.NumChunks(); got != want {
+		t.Errorf("credited %d jobs, want %d", got, want)
+	}
+}
+
+// TestSimFaultUnknownSiteRejected catches plans that target a site no
+// cluster serves.
+func TestSimFaultUnknownSiteRejected(t *testing.T) {
+	cfg := testConfig(t, 4, 2, 0.5)
+	cfg.Faults = fault.Plan{Events: []fault.Event{{At: time.Second, Site: 9, Kind: fault.Crash}}}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("plan targeting an unknown site was accepted")
+	}
+}

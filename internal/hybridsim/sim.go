@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/chunk"
+	"repro/internal/fault"
 	"repro/internal/jobs"
 	"repro/internal/obs"
 	"repro/internal/simtime"
@@ -99,6 +100,13 @@ type Config struct {
 	RequestBatch int
 	// Seed drives the deterministic jitter stream.
 	Seed uint64
+	// Faults is the deterministic fault-injection schedule plus the recovery
+	// machinery it enables (checkpointing, leases, speculation). The zero
+	// plan leaves the simulator's failure-free behavior untouched; an active
+	// plan switches job completion to the deduplicating commit path and
+	// drives crash/partition/slowdown events on the virtual clock. Runs with
+	// the same plan and seed are byte-identical.
+	Faults fault.Plan
 	// Obs, when non-nil, receives the run's metrics and — if its tracer is
 	// enabled — the full per-job event trace on VIRTUAL time (pid 0 is the
 	// head, pid i+1 is cluster i). Instrumentation never alters the
@@ -140,6 +148,8 @@ type Result struct {
 	// breaks) across all sites — the contention the consecutive-job and
 	// min-contention policies minimize.
 	Seeks int
+	// Faults summarizes fault-plan activity (zero when no plan was active).
+	Faults FaultStats
 }
 
 // splitmix64 is the deterministic jitter stream.
@@ -174,6 +184,23 @@ type simCluster struct {
 
 	localDone time.Duration
 	finished  bool
+
+	// Fault-plan state (see fault.go; all idle when the plan is inactive).
+	// epoch counts incarnations: every callback scheduled by an incarnation
+	// captures the epoch and no-ops if the cluster has since crashed, so
+	// in-flight transfers, busy cores and pending job requests die with the
+	// machine instead of leaking into its replacement.
+	epoch         int
+	detectedEpoch int  // last incarnation the head declared failed
+	down          bool // crashed, waiting for restart
+	partitioned   bool // cut off from head and storage
+	fenced        bool // lease expired mid-partition; commits will be refused
+	checkpointing bool // quiescing cores for a checkpoint merge
+	slowFactor    float64
+	deferred      []jobs.Job // completions awaiting a partition heal
+	sinceCkpt     []jobs.Job // committed but not yet durably checkpointed
+	hasCkpt       bool
+	ckptSeq       int
 }
 
 type queuedChunk struct {
@@ -206,6 +233,11 @@ type sim struct {
 	headBusyAt time.Duration // head merge pipeline availability
 	merged     int
 	err        error
+
+	// Fault-plan state (see fault.go).
+	factive    bool
+	fstats     FaultStats
+	emptySince time.Duration // start of the current empty-but-undrained episode; -1 when none
 
 	// Observability (all nil-safe; see Config.Obs). The event loop is
 	// single-threaded, so per-fetch latencies accumulate in an unsynchronized
@@ -298,10 +330,12 @@ func Run(cfg Config) (*Result, error) {
 			cm.QueueDepth = 2 * cm.Cores
 		}
 		c := &simCluster{
-			sim:         s,
-			model:       cm,
-			index:       i,
-			bytesBySite: make(map[int]int64),
+			sim:           s,
+			model:         cm,
+			index:         i,
+			bytesBySite:   make(map[int]int64),
+			slowFactor:    1,
+			detectedEpoch: -1,
 		}
 		// Stack the lanes so the first pop is lane 1, matching thread ids.
 		for lane := cm.RetrievalThreads; lane >= 1; lane-- {
@@ -321,6 +355,13 @@ func Run(cfg Config) (*Result, error) {
 		}
 		s.tr.NameThread(c.pid(), tidBreakdown, "breakdown")
 	}
+	s.emptySince = -1
+	if cfg.Faults.Active() {
+		s.factive = true
+		if err := s.scheduleFaults(); err != nil {
+			return nil, err
+		}
+	}
 	// Kick every master at t=0.
 	for _, c := range s.clusters {
 		c.ensureJobs()
@@ -333,7 +374,7 @@ func Run(cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("hybridsim: simulation stalled (%d clusters unfinished, %d merged)", s.unfinished, s.merged)
 	}
 
-	res := &Result{Total: s.finishAt, Clusters: s.results, Seeks: s.seeks}
+	res := &Result{Total: s.finishAt, Clusters: s.results, Seeks: s.seeks, Faults: s.fstats}
 	minDone, maxDone := time.Duration(1<<62), time.Duration(0)
 	for i := range s.results {
 		// Sync = everything after the cluster stopped processing.
@@ -368,6 +409,13 @@ func Run(cfg Config) (*Result, error) {
 		}
 		reg.Counter("sim_seeks_total").Add(int64(s.seeks))
 		reg.Histogram("sim_retrieval_seconds", nil).Merge(s.hRetrieval)
+		if s.factive {
+			reg.Counter("sim_fault_crashes_total").Add(int64(s.fstats.Crashes))
+			reg.Counter("sim_fault_recoveries_total").Add(int64(s.fstats.Recoveries))
+			reg.Counter("sim_fault_reissued_total").Add(int64(s.fstats.Reissued))
+			reg.Counter("sim_checkpoints_total").Add(int64(s.fstats.Checkpoints))
+			reg.Counter("sim_dup_commits_total").Add(int64(s.fstats.DupCommits))
+		}
 	}
 	if s.tr.Enabled() {
 		s.tr.InstantAt(0, 0, "run", "finished", s.finishAt, obs.Args{"total_s": s.finishAt.Seconds()})
@@ -411,6 +459,9 @@ func (c *simCluster) ensureJobs() {
 	if c.requesting || c.exhausted || c.finished {
 		return
 	}
+	if c.sim.factive && (c.down || c.partitioned) {
+		return // no control channel to the head
+	}
 	if c.queue.Len() >= c.batch() {
 		return
 	}
@@ -418,16 +469,38 @@ func (c *simCluster) ensureJobs() {
 	s := c.sim
 	rtt := 2 * s.cfg.Topology.ControlLatency
 	reqStart := s.clock.Now()
+	epoch := c.epoch
 	s.clock.After(rtt, func() {
-		granted := s.pool.Assign(c.model.Site, c.batch())
+		if s.factive && (c.epoch != epoch || c.down) {
+			return // the request died with the crashed incarnation
+		}
 		c.requesting = false
+		if s.factive && c.partitioned {
+			return // reply cut off; re-request after the partition heals
+		}
+		granted := s.pool.Assign(c.model.Site, c.batch())
 		if len(granted) == 0 {
+			if s.factive && !s.pool.Drained() {
+				// Empty but undrained: jobs are still outstanding on other
+				// (possibly failed or slow) clusters, so poll again instead
+				// of leaving the run — the live master's wait-flagged grant.
+				s.noteEmptyGrant()
+				s.clock.After(s.pollEvery(), func() {
+					if c.epoch == epoch && !c.down && !c.partitioned {
+						c.ensureJobs()
+					}
+				})
+				return
+			}
 			c.exhausted = true
 			if s.tr.Enabled() {
 				s.tr.InstantAt(c.pid(), 0, "assign", "pool-exhausted", s.clock.Now(), nil)
 			}
 			c.maybeFinish()
 			return
+		}
+		if s.factive {
+			s.emptySince = -1 // a grant landed; the straggler episode is over
 		}
 		if s.tr.Enabled() {
 			stolen := 0
@@ -463,6 +536,9 @@ func (c *simCluster) kickRetrievers() {
 // and a buffer slot are available. Returns false when the thread should
 // stay idle.
 func (c *simCluster) startFetch(lane int) bool {
+	if c.sim.factive && (c.down || c.partitioned) {
+		return false // no path to any storage site
+	}
 	if len(c.ready)+c.inFlight >= c.model.QueueDepth {
 		return false // back-pressure: slave memory full
 	}
@@ -496,7 +572,11 @@ func (c *simCluster) startFetch(lane int) bool {
 	}
 	start := s.clock.Now()
 	c.inFlight++
+	epoch := c.epoch
 	s.net.Start(j.Ref.Size, latency, perStream, resources, func() {
+		if s.factive && c.epoch != epoch {
+			return // the transfer's destination crashed; bytes discarded
+		}
 		c.inFlight--
 		end := s.clock.Now()
 		c.retrTime += end - start
@@ -520,6 +600,9 @@ func (c *simCluster) startFetch(lane int) bool {
 
 // kickCores puts idle cores to work on retrieved chunks.
 func (c *simCluster) kickCores() {
+	if c.sim.factive && c.checkpointing {
+		return // quiescing: no new folds until the checkpoint merge is done
+	}
 	for len(c.idleCores) > 0 && len(c.ready) > 0 {
 		core := c.idleCores[len(c.idleCores)-1]
 		c.idleCores = c.idleCores[:len(c.idleCores)-1]
@@ -547,19 +630,21 @@ func (c *simCluster) jitterFactor(jobID int) float64 {
 func (c *simCluster) process(core int, qc queuedChunk) {
 	s := c.sim
 	rate := s.cfg.App.ComputeBytesPerSec * c.model.CoreSpeed * c.jitterFactor(qc.job.ID)
+	if s.factive && c.slowFactor > 1 {
+		rate /= c.slowFactor // an active straggler event
+	}
 	d := time.Duration(float64(qc.bytes) / rate * float64(time.Second))
 	start := s.clock.Now()
+	epoch := c.epoch
 	s.clock.After(d, func() {
+		if s.factive && c.epoch != epoch {
+			return // the core died mid-chunk; its work is gone
+		}
 		c.coreBusy += d
 		c.busyCores--
 		c.idleCores = append(c.idleCores, core)
-		if c.sim.err == nil {
-			if err := s.pool.Complete(qc.job); err != nil {
-				s.err = err
-			}
-		}
+		c.complete(qc.job)
 		stolen := qc.job.Site != c.model.Site
-		c.jobsAcct = accumulate(c.jobsAcct, stolen)
 		if s.tr.Enabled() {
 			s.tr.Complete(c.pid(), c.coreTid(core), "processing", fmt.Sprintf("job %d", qc.job.ID),
 				start, s.clock.Now(), obs.Args{"bytes": qc.bytes, "stolen": stolen})
@@ -579,10 +664,55 @@ func accumulate(a stats.JobAccounting, stolen bool) stats.JobAccounting {
 	return a
 }
 
+// complete records one processed chunk. Without an active fault plan this is
+// the original exactly-once bookkeeping; with one, completions go through
+// the pool's deduplicating commit (and are deferred while partitioned).
+func (c *simCluster) complete(j jobs.Job) {
+	s := c.sim
+	if !s.factive {
+		if s.err == nil {
+			if err := s.pool.Complete(j); err != nil {
+				s.err = err
+			}
+		}
+		c.jobsAcct = accumulate(c.jobsAcct, j.Site != c.model.Site)
+		return
+	}
+	if c.partitioned {
+		c.deferred = append(c.deferred, j)
+		return
+	}
+	c.commit(j)
+}
+
+// commit registers one completion with the head, deduplicating re-executed
+// copies by job ID; only first commits are credited to the cluster's job
+// accounting and become checkpoint obligations.
+func (c *simCluster) commit(j jobs.Job) {
+	s := c.sim
+	if s.err != nil {
+		return
+	}
+	dup, err := s.pool.Commit(c.model.Site, j)
+	if err != nil {
+		s.err = err
+		return
+	}
+	if dup {
+		s.fstats.DupCommits++
+		return
+	}
+	c.jobsAcct = accumulate(c.jobsAcct, j.Site != c.model.Site)
+	c.sinceCkpt = append(c.sinceCkpt, j)
+}
+
 // maybeFinish detects end of the cluster's processing and starts its part
 // of the global reduction.
 func (c *simCluster) maybeFinish() {
 	if c.finished || !c.exhausted {
+		return
+	}
+	if c.sim.factive && c.down {
 		return
 	}
 	if c.queue.Len() > 0 || c.inFlight > 0 || len(c.ready) > 0 || c.busyCores > 0 {

@@ -23,6 +23,7 @@ package jobs
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/chunk"
@@ -115,6 +116,22 @@ type fileState struct {
 	readers int   // clusters/nodes currently holding unfinished jobs of this file
 }
 
+// assignment tracks one outstanding job: which sites currently hold copies
+// of it. Under speculative re-execution a job can be in flight at several
+// sites at once; the first commit wins and the rest are deduplicated.
+type assignment struct {
+	job    Job
+	copies map[int]int // requesting site -> outstanding copies there
+}
+
+func (a *assignment) total() int {
+	n := 0
+	for _, c := range a.copies {
+		n += c
+	}
+	return n
+}
+
 // Pool is the head node's global job pool. Safe for concurrent use.
 type Pool struct {
 	mu    sync.Mutex
@@ -125,12 +142,17 @@ type Pool struct {
 	// cursor[s] is the next file to drain for site-local assignment.
 	cursor map[int]int
 	// rrCursor advances the round-robin steal ablation.
-	rrCursor  int
-	remaining int
-	assigned  map[int]Job // outstanding jobs by ID, for Complete validation
+	rrCursor     int
+	remaining    int
+	assigned     map[int]*assignment // outstanding jobs by ID
+	completed    map[int]bool        // committed job IDs, for duplicate detection
+	inPending    map[int]bool        // job IDs currently sitting in some pending list
+	everAssigned map[int]bool        // job IDs handed out at least once
 
 	// Pre-resolved metric handles (nil no-ops when Options.Metrics is nil).
 	mLocal, mStolen          *obs.Counter
+	mRequeued, mReissued     *obs.Counter
+	mSpeculated, mDupCommits *obs.Counter
 	gRemaining, gOutstanding *obs.Gauge
 }
 
@@ -140,11 +162,14 @@ func NewPool(ix *chunk.Index, placement Placement, opts Options) (*Pool, error) 
 		return nil, err
 	}
 	p := &Pool{
-		opts:     opts,
-		files:    make([]fileState, len(ix.Files)),
-		perSite:  make(map[int][]int),
-		cursor:   make(map[int]int),
-		assigned: make(map[int]Job),
+		opts:         opts,
+		files:        make([]fileState, len(ix.Files)),
+		perSite:      make(map[int][]int),
+		cursor:       make(map[int]int),
+		assigned:     make(map[int]*assignment),
+		completed:    make(map[int]bool),
+		inPending:    make(map[int]bool),
+		everAssigned: make(map[int]bool),
 	}
 	id := 0
 	for fi, f := range ix.Files {
@@ -152,6 +177,7 @@ func NewPool(ix *chunk.Index, placement Placement, opts Options) (*Pool, error) 
 		fs := fileState{site: site, pending: make([]Job, 0, len(f.Chunks))}
 		for _, ref := range f.Chunks {
 			fs.pending = append(fs.pending, Job{ID: id, Ref: ref, Site: site})
+			p.inPending[id] = true
 			id++
 		}
 		p.files[fi] = fs
@@ -161,6 +187,10 @@ func NewPool(ix *chunk.Index, placement Placement, opts Options) (*Pool, error) 
 	reg := opts.Metrics
 	p.mLocal = reg.Counter("pool_jobs_assigned_local_total")
 	p.mStolen = reg.Counter("pool_jobs_assigned_stolen_total")
+	p.mRequeued = reg.Counter("pool_jobs_requeued_total")
+	p.mReissued = reg.Counter("pool_jobs_reissued_total")
+	p.mSpeculated = reg.Counter("pool_jobs_speculated_total")
+	p.mDupCommits = reg.Counter("pool_dup_commits_total")
 	p.gRemaining = reg.Gauge("pool_jobs_remaining")
 	p.gOutstanding = reg.Gauge("pool_jobs_outstanding")
 	p.gRemaining.Set(int64(p.remaining))
@@ -215,7 +245,13 @@ func (p *Pool) Assign(site, n int) []Job {
 		out = append(out, stolen...)
 	}
 	for _, j := range out {
-		p.assigned[j.ID] = j
+		a := p.assigned[j.ID]
+		if a == nil {
+			a = &assignment{job: j, copies: make(map[int]int, 1)}
+			p.assigned[j.ID] = a
+		}
+		a.copies[site]++
+		p.everAssigned[j.ID] = true
 		if j.Site == site {
 			p.mLocal.Inc()
 		} else {
@@ -315,23 +351,240 @@ func (p *Pool) takeFrom(fi, n int) []Job {
 	fs.pending = fs.pending[n:]
 	fs.readers += n
 	p.remaining -= n
+	for _, j := range out {
+		delete(p.inPending, j.ID)
+	}
 	return out
 }
 
 // Complete records that a previously assigned job finished, releasing its
 // contribution to the source file's contention counter. Completing a job
 // that was never assigned (or completing one twice) is an error — the
-// conservation property the tests verify.
+// conservation property the tests verify. Fault-aware callers use Commit,
+// which deduplicates instead of erroring.
 func (p *Pool) Complete(j Job) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if _, ok := p.assigned[j.ID]; !ok {
+	a, ok := p.assigned[j.ID]
+	if !ok {
 		return fmt.Errorf("jobs: completing job %d that is not outstanding", j.ID)
 	}
-	delete(p.assigned, j.ID)
-	p.files[j.Ref.File].readers--
-	p.gOutstanding.Set(int64(len(p.assigned)))
+	// Release one copy (the lowest-numbered holding site, for determinism).
+	site := -1
+	for s, c := range a.copies {
+		if c > 0 && (site == -1 || s < site) {
+			site = s
+		}
+	}
+	p.commitLocked(site, j)
 	return nil
+}
+
+// Commit records that site finished job j, deduplicating speculative and
+// recovered re-executions: the first commit of a job ID wins (dup=false)
+// and every later one reports dup=true so the caller discards the
+// duplicate's contribution. Committing a job that was never assigned and
+// never completed is still an error.
+func (p *Pool) Commit(site int, j Job) (dup bool, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.completed[j.ID] {
+		// A duplicate from a speculative or re-assigned copy: release this
+		// site's copy if it holds one.
+		if a := p.assigned[j.ID]; a != nil && a.copies[site] > 0 {
+			p.releaseCopyLocked(a, site, j)
+		}
+		p.mDupCommits.Inc()
+		return true, nil
+	}
+	a := p.assigned[j.ID]
+	switch {
+	case a != nil && a.copies[site] > 0:
+		// The normal path.
+		p.commitLocked(site, j)
+	case a != nil:
+		// The committing site no longer holds a copy (it was declared failed
+		// and its copy requeued or reassigned) but the work is real: accept
+		// it; the other copies become duplicates.
+		p.completed[j.ID] = true
+		p.dropPendingLocked(j)
+	case p.inPending[j.ID] && p.everAssigned[j.ID]:
+		// The job went back to the pool (lease expiry during a partition)
+		// before the original holder's completion arrived: accept the late
+		// completion and withdraw the requeued copy.
+		p.completed[j.ID] = true
+		p.dropPendingLocked(j)
+	default:
+		return false, fmt.Errorf("jobs: completing job %d that is not outstanding", j.ID)
+	}
+	p.gRemaining.Set(int64(p.remaining))
+	p.gOutstanding.Set(int64(len(p.assigned)))
+	return false, nil
+}
+
+// commitLocked marks j completed and releases one of site's copies.
+func (p *Pool) commitLocked(site int, j Job) {
+	a := p.assigned[j.ID]
+	p.completed[j.ID] = true
+	p.releaseCopyLocked(a, site, j)
+	p.dropPendingLocked(j)
+	p.gOutstanding.Set(int64(len(p.assigned)))
+}
+
+// releaseCopyLocked decrements site's copy of a and the file reader count,
+// deleting the assignment when no copies remain anywhere.
+func (p *Pool) releaseCopyLocked(a *assignment, site int, j Job) {
+	a.copies[site]--
+	if a.copies[site] <= 0 {
+		delete(a.copies, site)
+	}
+	p.files[j.Ref.File].readers--
+	if a.total() == 0 {
+		delete(p.assigned, j.ID)
+	}
+	p.gOutstanding.Set(int64(len(p.assigned)))
+}
+
+// dropPendingLocked withdraws a pending copy of j (left behind by
+// speculation or requeue) so completed work is never handed out again.
+func (p *Pool) dropPendingLocked(j Job) {
+	if !p.inPending[j.ID] {
+		return
+	}
+	fs := &p.files[j.Ref.File]
+	for i, pj := range fs.pending {
+		if pj.ID == j.ID {
+			fs.pending = append(fs.pending[:i], fs.pending[i+1:]...)
+			break
+		}
+	}
+	delete(p.inPending, j.ID)
+	p.remaining--
+	p.gRemaining.Set(int64(p.remaining))
+}
+
+// insertPendingLocked returns j to its file's pending list in offset order
+// and resets the host site's assignment cursor so the revived file is
+// visible to site-local assignment again.
+func (p *Pool) insertPendingLocked(j Job) {
+	if p.inPending[j.ID] {
+		return
+	}
+	fs := &p.files[j.Ref.File]
+	i := sort.Search(len(fs.pending), func(i int) bool {
+		return fs.pending[i].Ref.Seq >= j.Ref.Seq
+	})
+	fs.pending = append(fs.pending, Job{})
+	copy(fs.pending[i+1:], fs.pending[i:])
+	fs.pending[i] = j
+	p.inPending[j.ID] = true
+	p.remaining++
+	p.cursor[fs.site] = 0
+	p.gRemaining.Set(int64(p.remaining))
+}
+
+// FailSite declares the cluster at site failed: every copy it holds is
+// withdrawn, and jobs with no surviving copy elsewhere return to the pool
+// for reassignment. It returns the requeued jobs sorted by ID. Completed
+// jobs are unaffected — use Reissue for completions whose contribution was
+// lost with the site's memory.
+func (p *Pool) FailSite(site int) []Job {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var requeued []Job
+	ids := make([]int, 0, len(p.assigned))
+	for id := range p.assigned {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		a := p.assigned[id]
+		n := a.copies[site]
+		if n == 0 {
+			continue
+		}
+		delete(a.copies, site)
+		p.files[a.job.Ref.File].readers -= n
+		if a.total() == 0 {
+			delete(p.assigned, id)
+			if !p.completed[id] {
+				p.insertPendingLocked(a.job)
+				p.mRequeued.Inc()
+				requeued = append(requeued, a.job)
+			}
+		}
+	}
+	p.gRemaining.Set(int64(p.remaining))
+	p.gOutstanding.Set(int64(len(p.assigned)))
+	return requeued
+}
+
+// Reissue returns previously committed jobs to the pool: the head calls it
+// when a site dies after committing work that was not yet covered by a
+// persisted checkpoint, so the lost contributions are recomputed. Jobs
+// currently outstanding elsewhere (a surviving speculative copy) are left
+// outstanding rather than requeued — that copy's commit will supply the
+// contribution. Returns the number of jobs actually reissued to the pool.
+func (p *Pool) Reissue(js []Job) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	sorted := make([]Job, len(js))
+	copy(sorted, js)
+	sort.Slice(sorted, func(i, k int) bool { return sorted[i].ID < sorted[k].ID })
+	n := 0
+	for _, j := range sorted {
+		if !p.completed[j.ID] {
+			continue // never committed, or already reissued
+		}
+		delete(p.completed, j.ID)
+		p.mReissued.Inc()
+		n++
+		if p.assigned[j.ID] != nil {
+			continue // a live speculative copy will re-commit it
+		}
+		p.insertPendingLocked(j)
+	}
+	p.gRemaining.Set(int64(p.remaining))
+	return n
+}
+
+// SpeculateOutstanding re-adds every outstanding job to the pool as a
+// speculative copy, so idle clusters can duplicate a straggler's in-flight
+// work; the pool deduplicates whichever copy commits second. Returns the
+// speculated jobs sorted by ID.
+func (p *Pool) SpeculateOutstanding() []Job {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ids := make([]int, 0, len(p.assigned))
+	for id := range p.assigned {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var out []Job
+	for _, id := range ids {
+		if p.completed[id] || p.inPending[id] {
+			continue
+		}
+		j := p.assigned[id].job
+		p.insertPendingLocked(j)
+		p.mSpeculated.Inc()
+		out = append(out, j)
+	}
+	p.gRemaining.Set(int64(p.remaining))
+	return out
+}
+
+// OutstandingJobs returns the currently outstanding jobs sorted by ID (a
+// snapshot, for diagnostics and straggler detection).
+func (p *Pool) OutstandingJobs() []Job {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]Job, 0, len(p.assigned))
+	for _, a := range p.assigned {
+		out = append(out, a.job)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
 }
 
 // ---------------------------------------------------------------------------

@@ -1,7 +1,6 @@
 package objstore
 
 import (
-	"errors"
 	"fmt"
 	"sync"
 
@@ -96,67 +95,82 @@ func (c *Client) Close() {
 	}
 }
 
-// Put stores an object.
+// Put stores an object. Failures are *OpError values classifying the cause.
 func (c *Client) Put(key string, data []byte) error {
 	reply, err := c.roundTrip(protocol.PutReq{Key: key, Data: data})
 	if err != nil {
-		return err
+		return transportError("put", key, err)
 	}
 	resp, ok := reply.(protocol.PutResp)
 	if !ok {
-		return fmt.Errorf("objstore: unexpected reply %T to Put", reply)
+		return transportError("put", key, fmt.Errorf("unexpected reply %T", reply))
 	}
 	if resp.Err != "" {
-		return errors.New(resp.Err)
+		return opError("put", key, resp.Err, resp.Code)
 	}
 	return nil
 }
 
 // GetRange fetches length bytes of key starting at off (length < 0 = rest).
+// Failures are *OpError values: a dropped connection or a short range read
+// is transient (retryable), a missing object or out-of-range request is
+// permanent.
 func (c *Client) GetRange(key string, off, length int64) ([]byte, error) {
 	reply, err := c.roundTrip(protocol.GetReq{Key: key, Off: off, Len: length})
 	if err != nil {
-		return nil, err
+		return nil, transportError("get", key, err)
 	}
 	resp, ok := reply.(protocol.GetResp)
 	if !ok {
-		return nil, fmt.Errorf("objstore: unexpected reply %T to Get", reply)
+		return nil, transportError("get", key, fmt.Errorf("unexpected reply %T", reply))
 	}
 	if resp.Err != "" {
-		return nil, errors.New(resp.Err)
+		return nil, opError("get", key, resp.Err, resp.Code)
+	}
+	if length >= 0 && int64(len(resp.Data)) != length {
+		// A short range read: the server accepted the range, so the bytes
+		// exist — a retry should succeed.
+		return nil, &OpError{Op: "get", Key: key, Code: protocol.CodeTransient,
+			Msg: fmt.Sprintf("short range read: %d of %d bytes", len(resp.Data), length)}
 	}
 	return resp.Data, nil
 }
 
-// Stat returns an object's size.
+// Get fetches a whole object (the fault.Store interface used for
+// reduction-object checkpoints).
+func (c *Client) Get(key string) ([]byte, error) {
+	return c.GetRange(key, 0, -1)
+}
+
+// Stat returns an object's size. Failures are *OpError values.
 func (c *Client) Stat(key string) (int64, error) {
 	reply, err := c.roundTrip(protocol.StatReq{Key: key})
 	if err != nil {
-		return 0, err
+		return 0, transportError("stat", key, err)
 	}
 	resp, ok := reply.(protocol.StatResp)
 	if !ok {
-		return 0, fmt.Errorf("objstore: unexpected reply %T to Stat", reply)
+		return 0, transportError("stat", key, fmt.Errorf("unexpected reply %T", reply))
 	}
 	if resp.Err != "" {
-		return 0, errors.New(resp.Err)
+		return 0, opError("stat", key, resp.Err, resp.Code)
 	}
 	return resp.Size, nil
 }
 
-// List returns keys matching prefix.
+// List returns keys matching prefix. Failures are *OpError values.
 func (c *Client) List(prefix string) ([]string, error) {
 	reply, err := c.roundTrip(protocol.ListReq{Prefix: prefix})
 	if err != nil {
-		return nil, err
+		return nil, transportError("list", prefix, err)
 	}
 	switch resp := reply.(type) {
 	case protocol.ListResp:
 		return resp.Keys, nil
 	case protocol.ErrorReply:
-		return nil, errors.New(resp.Err)
+		return nil, opError("list", prefix, resp.Err, protocol.CodeTransient)
 	default:
-		return nil, fmt.Errorf("objstore: unexpected reply %T to List", reply)
+		return nil, transportError("list", prefix, fmt.Errorf("unexpected reply %T", reply))
 	}
 }
 

@@ -1,0 +1,116 @@
+package objstore
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/protocol"
+)
+
+func TestClientErrorClassification(t *testing.T) {
+	backend := NewMemBackend()
+	if err := backend.Put("obj", []byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	addr := startServer(t, backend)
+	c := Dial("tcp", addr, 2)
+	defer c.Close()
+
+	t.Run("not found is permanent", func(t *testing.T) {
+		_, err := c.GetRange("missing", 0, -1)
+		var oe *OpError
+		if !errors.As(err, &oe) {
+			t.Fatalf("error %T, want *OpError", err)
+		}
+		if oe.Code != protocol.CodeNotFound || !oe.Permanent() {
+			t.Fatalf("code=%d permanent=%v, want not-found/permanent", oe.Code, oe.Permanent())
+		}
+		if !errors.Is(err, ErrNotFound) {
+			t.Fatal("errors.Is(err, ErrNotFound) = false across the wire")
+		}
+		if !fault.IsPermanent(err) {
+			t.Fatal("fault.IsPermanent = false for missing object")
+		}
+	})
+
+	t.Run("bad range is permanent", func(t *testing.T) {
+		_, err := c.GetRange("obj", 5, 100)
+		var oe *OpError
+		if !errors.As(err, &oe) {
+			t.Fatalf("error %T, want *OpError", err)
+		}
+		if oe.Code != protocol.CodeBadRange || !oe.Permanent() {
+			t.Fatalf("code=%d permanent=%v, want bad-range/permanent", oe.Code, oe.Permanent())
+		}
+		if !errors.Is(err, ErrBadRange) {
+			t.Fatal("errors.Is(err, ErrBadRange) = false across the wire")
+		}
+		if !fault.IsPermanent(err) {
+			t.Fatal("fault.IsPermanent = false for bad range")
+		}
+	})
+
+	t.Run("stat missing is permanent", func(t *testing.T) {
+		_, err := c.Stat("missing")
+		if !fault.IsPermanent(err) {
+			t.Fatalf("Stat error not permanent: %v", err)
+		}
+	})
+
+	t.Run("dropped connection is transient", func(t *testing.T) {
+		dead := Dial("tcp", "127.0.0.1:1", 1) // nothing listens here
+		defer dead.Close()
+		_, err := dead.GetRange("obj", 0, -1)
+		var oe *OpError
+		if !errors.As(err, &oe) {
+			t.Fatalf("error %T, want *OpError", err)
+		}
+		if oe.Code != protocol.CodeTransient || oe.Permanent() {
+			t.Fatalf("code=%d permanent=%v, want transient", oe.Code, oe.Permanent())
+		}
+		if fault.IsPermanent(err) {
+			t.Fatal("fault.IsPermanent = true for connection failure")
+		}
+	})
+
+	t.Run("get helper fetches whole object", func(t *testing.T) {
+		data, err := c.Get("obj")
+		if err != nil || string(data) != "0123456789" {
+			t.Fatalf("Get = %q, %v", data, err)
+		}
+	})
+}
+
+// shortBackend returns fewer bytes than requested, simulating a truncated
+// range response.
+type shortBackend struct{ Backend }
+
+func (b shortBackend) Get(key string, off, length int64) ([]byte, error) {
+	data, err := b.Backend.Get(key, off, length)
+	if err != nil || len(data) == 0 {
+		return data, err
+	}
+	return data[:len(data)-1], nil
+}
+
+func TestShortRangeReadIsTransient(t *testing.T) {
+	backend := NewMemBackend()
+	if err := backend.Put("obj", []byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	addr := startServer(t, shortBackend{backend})
+	c := Dial("tcp", addr, 1)
+	defer c.Close()
+	_, err := c.GetRange("obj", 0, 10)
+	var oe *OpError
+	if !errors.As(err, &oe) {
+		t.Fatalf("error %T (%v), want *OpError", err, err)
+	}
+	if oe.Code != protocol.CodeTransient || oe.Permanent() {
+		t.Fatalf("short read: code=%d permanent=%v, want transient", oe.Code, oe.Permanent())
+	}
+}
+
+// fault.Store compatibility: the objstore client persists checkpoints.
+var _ fault.Store = (*Client)(nil)

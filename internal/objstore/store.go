@@ -94,13 +94,13 @@ func (b *MemBackend) List(prefix string) ([]string, error) {
 
 func slice(data []byte, off, length int64, key string) ([]byte, error) {
 	if off < 0 || off > int64(len(data)) {
-		return nil, fmt.Errorf("objstore: offset %d out of range for %q (%d bytes)", off, key, len(data))
+		return nil, fmt.Errorf("%w: offset %d for %q (%d bytes)", ErrBadRange, off, key, len(data))
 	}
 	end := int64(len(data))
 	if length >= 0 {
 		end = off + length
 		if end > int64(len(data)) {
-			return nil, fmt.Errorf("objstore: range %d+%d beyond %q (%d bytes)", off, length, key, len(data))
+			return nil, fmt.Errorf("%w: %d+%d beyond %q (%d bytes)", ErrBadRange, off, length, key, len(data))
 		}
 	}
 	out := make([]byte, end-off)
@@ -305,22 +305,24 @@ func (s *Server) handle(c *transport.Conn) {
 		switch m := msg.(type) {
 		case protocol.PutReq:
 			start := m0.clk.Now()
-			errStr := ""
+			resp := protocol.PutResp{}
 			if err := s.backend.Put(m.Key, m.Data); err != nil {
-				errStr = err.Error()
+				resp.Err = err.Error()
+				resp.Code = classify(err)
 				m0.errs.Inc()
 			} else {
 				m0.bytesIn.Add(int64(len(m.Data)))
 			}
 			m0.puts.Inc()
 			m0.hPut.Observe(m0.clk.Now() - start)
-			reply = protocol.PutResp{Err: errStr}
+			reply = resp
 		case protocol.GetReq:
 			start := m0.clk.Now()
 			data, err := s.backend.Get(m.Key, m.Off, m.Len)
 			resp := protocol.GetResp{Data: data}
 			if err != nil {
 				resp.Err = err.Error()
+				resp.Code = classify(err)
 				resp.Data = nil
 				m0.errs.Inc()
 			} else {
@@ -334,6 +336,7 @@ func (s *Server) handle(c *transport.Conn) {
 			resp := protocol.StatResp{Size: size}
 			if err != nil {
 				resp.Err = err.Error()
+				resp.Code = classify(err)
 				m0.errs.Inc()
 			}
 			m0.stats.Inc()

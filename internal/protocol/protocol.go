@@ -33,6 +33,13 @@ type JobSpec struct {
 	GroupBytes int    // cache-sized unit-group budget
 	Index      []byte // serialized chunk.Index
 	GroupSize  int    // jobs per master request (0 = master's choice)
+	// Checkpoint, when non-empty, is the encoded fault.Checkpoint a
+	// re-registering cluster resumes from (its last persisted reduction
+	// object plus the job IDs that object covers).
+	Checkpoint []byte
+	// Fault carries the head's recovery parameters so the cluster runtime
+	// can enable heartbeats and checkpointing without local configuration.
+	HeartbeatEvery int64 // nanoseconds between heartbeats; 0 disables
 }
 
 // JobRequest asks the head for up to N more jobs for the requesting cluster.
@@ -41,10 +48,13 @@ type JobRequest struct {
 	N    int
 }
 
-// JobGrant carries a group of jobs. An empty Jobs slice means the global
-// pool is exhausted and the cluster should finish its local reduction.
+// JobGrant carries a group of jobs. An empty Jobs slice with Wait false
+// means the global pool is exhausted and the cluster should finish its
+// local reduction; Wait true means the pool is momentarily empty but
+// recovery or speculation may still produce work — poll again.
 type JobGrant struct {
 	Jobs []jobs.Job
+	Wait bool
 }
 
 // JobsDone reports completed jobs back to the head so it can maintain the
@@ -52,6 +62,33 @@ type JobGrant struct {
 type JobsDone struct {
 	Site int
 	Jobs []jobs.Job
+}
+
+// JobsDoneAck is the head's commit response: Dup lists the job IDs (from
+// the JobsDone batch) whose contributions were already supplied by another
+// copy — the cluster must NOT fold those chunks.
+type JobsDoneAck struct {
+	Dup []int
+	Err string
+}
+
+// Heartbeat renews a cluster's liveness lease. Fire-and-forget; the head
+// never replies.
+type Heartbeat struct {
+	Site int
+}
+
+// CheckpointSave asks the head to persist a cluster's reduction-object
+// checkpoint (an encoded fault.Checkpoint) in the configured store.
+type CheckpointSave struct {
+	Site int
+	Seq  int
+	Data []byte
+}
+
+// CheckpointAck acknowledges a CheckpointSave.
+type CheckpointAck struct {
+	Err string
 }
 
 // ReductionResult delivers a cluster's encoded reduction object to the head
@@ -81,6 +118,16 @@ type ErrorReply struct {
 // ---------------------------------------------------------------------------
 // Object store (S3 stand-in).
 
+// Error codes classifying object-store failures for retry policies. The
+// zero value (CodeOK) keeps old servers' responses (no Code field on the
+// wire) reading as success-or-unclassified.
+const (
+	CodeOK        = 0 // no error
+	CodeTransient = 1 // retryable: connection trouble, transient backend error
+	CodeNotFound  = 2 // permanent: no such object
+	CodeBadRange  = 3 // permanent: byte range outside the object
+)
+
 // PutReq stores an object.
 type PutReq struct {
 	Key  string
@@ -89,7 +136,8 @@ type PutReq struct {
 
 // PutResp acknowledges a PutReq.
 type PutResp struct {
-	Err string
+	Err  string
+	Code int // error classification (CodeOK, CodeTransient, …)
 }
 
 // GetReq fetches Len bytes of an object starting at Off. Len < 0 means
@@ -104,6 +152,7 @@ type GetReq struct {
 type GetResp struct {
 	Data []byte
 	Err  string
+	Code int // error classification (CodeOK, CodeTransient, …)
 }
 
 // StatReq asks for an object's size.
@@ -115,6 +164,7 @@ type StatReq struct {
 type StatResp struct {
 	Size int64
 	Err  string
+	Code int // error classification (CodeOK, CodeTransient, …)
 }
 
 // ListReq asks for all keys with the given prefix.
@@ -132,6 +182,10 @@ func (JobSpec) protoMsg()         {}
 func (JobRequest) protoMsg()      {}
 func (JobGrant) protoMsg()        {}
 func (JobsDone) protoMsg()        {}
+func (JobsDoneAck) protoMsg()     {}
+func (Heartbeat) protoMsg()       {}
+func (CheckpointSave) protoMsg()  {}
+func (CheckpointAck) protoMsg()   {}
 func (ReductionResult) protoMsg() {}
 func (Finished) protoMsg()        {}
 func (ErrorReply) protoMsg()      {}
@@ -150,6 +204,10 @@ func init() {
 	gob.Register(JobRequest{})
 	gob.Register(JobGrant{})
 	gob.Register(JobsDone{})
+	gob.Register(JobsDoneAck{})
+	gob.Register(Heartbeat{})
+	gob.Register(CheckpointSave{})
+	gob.Register(CheckpointAck{})
 	gob.Register(ReductionResult{})
 	gob.Register(Finished{})
 	gob.Register(ErrorReply{})
