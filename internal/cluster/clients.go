@@ -22,8 +22,7 @@ func (c InProc) Register(hello protocol.Hello) (protocol.JobSpec, error) {
 
 // RequestJobs implements HeadClient.
 func (c InProc) RequestJobs(site, n int) ([]jobs.Job, bool, error) {
-	js, wait := c.Head.RequestJobs(site, n)
-	return js, wait, nil
+	return c.Head.RequestJobs(site, n)
 }
 
 // CompleteJobs implements HeadClient.

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bytes"
+	"sync"
 	"testing"
 	"time"
 
@@ -93,6 +94,78 @@ func TestWorkerCrashRecoveryByteIdentical(t *testing.T) {
 	}
 	if got := obj.(*sumObj).total; got != want {
 		t.Errorf("recovered sum = %d, want %d", got, want)
+	}
+}
+
+// fencingSource triggers fence() around the nth chunk read — the test's
+// deterministic stand-in for a lease expiring under a still-alive master.
+type fencingSource struct {
+	chunk.Source
+	mu    sync.Mutex
+	n     int
+	after int
+	fence func()
+}
+
+func (f *fencingSource) ReadChunk(ref chunk.Ref) ([]byte, error) {
+	f.mu.Lock()
+	f.n++
+	if f.n == f.after {
+		f.fence()
+	}
+	f.mu.Unlock()
+	return f.Source.ReadChunk(ref)
+}
+
+// TestFencedMasterFailsFastAndRejoins declares a site failed while its
+// master is alive and mid-run. The fenced incarnation must abort with a
+// fencing error instead of hanging on wait=true polls or silently
+// double-counting, and a restarted incarnation must re-register and produce
+// the exact failure-free result.
+func TestFencedMasterFailsFastAndRejoins(t *testing.T) {
+	ix, src, want := buildDataset(t, 4000, 1000, 100) // 40 jobs
+	placement := jobs.SplitByFraction(len(ix.Files), 1, 0, 1)
+	h := newFaultHead(t, ix, placement, 1, head.FaultConfig{
+		Store:    fault.NewMemStore(),
+		LeaseTTL: time.Hour, // expiry never fires on its own; the test fences explicitly
+	})
+	fsrc := &fencingSource{Source: src, after: 12, fence: func() { h.FailSite(0) }}
+	cfg := Config{
+		Site: 0, Name: "straggler", Cores: 2,
+		Sources:             map[int]chunk.Source{0: fsrc},
+		Head:                InProc{Head: h},
+		CheckpointEveryJobs: 5,
+		Logf:                t.Logf,
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := Run(cfg)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !fault.IsFenced(err) {
+			t.Fatalf("fenced master returned %v, want a fencing error", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("fenced master hung instead of failing fast")
+	}
+
+	// The replacement re-registers, resumes from the last accepted
+	// checkpoint, and finishes the run with the failure-free answer.
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("rejoined run: %v", err)
+	}
+	obj, _, _, err := h.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := obj.(*sumObj).total; got != want {
+		t.Errorf("sum after fencing = %d, want %d", got, want)
+	}
+	if bytes.Equal(rep.Final, nil) {
+		t.Error("no final object returned")
 	}
 }
 

@@ -323,6 +323,25 @@ func RandomPlan(seed uint64, n int, horizon time.Duration, sites []int) Plan {
 // ---------------------------------------------------------------------------
 // Error classification.
 
+// fencedMarker is the substring IsFenced matches on. It must appear in every
+// fencing rejection so the classification survives transports that flatten
+// errors to strings (protocol.ErrorReply).
+const fencedMarker = "site fenced"
+
+// ErrFenced is returned by the head to an incarnation it has declared failed
+// (lease expiry, connection loss): its job requests, commits, checkpoints and
+// result submissions are refused so a dead-marked-but-alive straggler cannot
+// double-count contributions the head already reissued elsewhere. The fenced
+// master must re-register (Hello) to revive its lease and resume from its
+// last checkpoint.
+var ErrFenced = errors.New(fencedMarker + ": lease revoked; re-register to resume from the last checkpoint")
+
+// IsFenced reports whether err is a fencing rejection, either directly
+// (errors.Is) or after a transport round-trip reduced it to its message.
+func IsFenced(err error) bool {
+	return err != nil && (errors.Is(err, ErrFenced) || strings.Contains(err.Error(), fencedMarker))
+}
+
 // PermanentError marks errors that retrying cannot fix (missing objects,
 // out-of-range reads, malformed requests). Retry loops consult IsPermanent
 // to stop burning attempts on hopeless fetches.

@@ -2,6 +2,7 @@ package head
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/fault"
@@ -17,6 +18,14 @@ type FaultConfig struct {
 	// LeaseTTL is each site's liveness lease: a site silent for longer is
 	// declared failed, its in-flight jobs are requeued, and its
 	// un-checkpointed completions are reissued. 0 disables lease expiry.
+	//
+	// Size LeaseTTL above the worst-case checkpoint round-trip: a master's
+	// control connection serializes heartbeats behind the in-flight
+	// checkpoint ship, so while a large reduction object is on the wire no
+	// explicit heartbeat can arrive. The head renews the lease the moment
+	// the CheckpointSave message lands (like any other message from the
+	// site), but a transfer longer than the TTL still reads as silence and
+	// fences a healthy site.
 	LeaseTTL time.Duration
 	// HeartbeatEvery is pushed to clusters in the JobSpec so they renew
 	// their leases; defaults to LeaseTTL/3 when leases are enabled.
@@ -58,6 +67,12 @@ type faultState struct {
 	// ckptSeq[site] is the last accepted checkpoint sequence number, so a
 	// stale checkpoint racing a restart cannot roll state back.
 	ckptSeq map[int]int
+	// ckptLocks[site] serializes a site's checkpoint persistence (stale-seq
+	// check + Store.Put + reissue-boundary trim) against concurrent saves
+	// and against FailSite's reissue, so the persisted blob and the reissue
+	// boundary can never disagree. Guarded by Head.mu for map access only;
+	// the per-site mutex itself is held across the store write.
+	ckptLocks map[int]*sync.Mutex
 	// emptySince marks when the pool first went empty-but-undrained, for
 	// straggler speculation; zero means not currently empty.
 	emptySince time.Duration
@@ -85,6 +100,7 @@ func (h *Head) initFault() {
 		leases:       fault.NewLeases(h.cfg.Fault.LeaseTTL),
 		sinceCkpt:    make(map[int][]jobs.Job),
 		ckptSeq:      make(map[int]int),
+		ckptLocks:    make(map[int]*sync.Mutex),
 		mFailures:    reg.Counter("head_site_failures_total"),
 		mRecoveries:  reg.Counter("head_site_recoveries_total"),
 		mCheckpoints: reg.Counter("head_checkpoints_total"),
@@ -167,10 +183,27 @@ func (h *Head) Heartbeat(site int) {
 	h.fs.leases.Renew(site, h.clk.Now())
 }
 
+// siteCkptLock returns site's checkpoint-persistence mutex, creating it on
+// first use.
+func (h *Head) siteCkptLock(site int) *sync.Mutex {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	m := h.fs.ckptLocks[site]
+	if m == nil {
+		m = &sync.Mutex{}
+		h.fs.ckptLocks[site] = m
+	}
+	return m
+}
+
 // FailSite declares site failed: its lease is revoked, its in-flight jobs
 // return to the pool, and completions not covered by its last persisted
-// checkpoint are reissued for recomputation. Idempotent per failure episode
-// (a site already marked dead is skipped until it revives).
+// checkpoint are reissued for recomputation. From the MarkDead onwards the
+// site is FENCED: RequestJobs, CompleteJobs, CheckpointSave and
+// SubmitResult all refuse its traffic until it re-registers, so a
+// dead-marked-but-alive straggler cannot double-count work handed out for
+// recomputation here. Idempotent per failure episode (a site already marked
+// dead is skipped until it revives).
 func (h *Head) FailSite(site int) {
 	if h.fs == nil {
 		return
@@ -183,11 +216,19 @@ func (h *Head) FailSite(site int) {
 		h.tr.Instant(0, 0, "fault", fmt.Sprintf("detect-failure site %d", site), obs.Args{"site": site})
 	}
 	requeued := h.cfg.Pool.FailSite(site)
+	// The per-site checkpoint lock orders this reissue against an in-flight
+	// CheckpointSave: either the save finished (its covered jobs are already
+	// trimmed from sinceCkpt and stay credited to the persisted checkpoint)
+	// or it will be rejected as fenced — the reissue boundary and the stored
+	// blob always agree.
+	ckl := h.siteCkptLock(site)
+	ckl.Lock()
 	h.mu.Lock()
 	lost := h.fs.sinceCkpt[site]
 	h.fs.sinceCkpt[site] = nil
 	h.mu.Unlock()
 	reissued := h.cfg.Pool.Reissue(lost)
+	ckl.Unlock()
 	h.cfg.Logf("head: site %d failed: requeued %d in-flight, reissued %d un-checkpointed jobs",
 		site, len(requeued), reissued)
 	if h.tr.Enabled() {
@@ -198,14 +239,29 @@ func (h *Head) FailSite(site int) {
 
 // CheckpointSave persists a cluster's reduction-object checkpoint and
 // advances the reissue boundary: jobs covered by the checkpoint no longer
-// need recomputation if the site dies.
+// need recomputation if the site dies. Receipt renews the site's lease —
+// the master's control connection is busy shipping the (possibly large)
+// object, so this message IS its heartbeat for the duration. The whole
+// stale-check → Store.Put → boundary-trim sequence runs under a per-site
+// mutex, ordered against FailSite's reissue, so two racing saves (or a save
+// racing failure detection) cannot leave the stored blob and the reissue
+// boundary disagreeing.
 func (h *Head) CheckpointSave(cs protocol.CheckpointSave) error {
 	if h.fs == nil || h.cfg.Fault.Store == nil {
 		return fmt.Errorf("head: checkpointing not enabled")
 	}
+	h.Heartbeat(cs.Site)
 	ck, err := fault.DecodeCheckpoint(cs.Data)
 	if err != nil {
 		return fmt.Errorf("head: rejecting checkpoint from site %d: %w", cs.Site, err)
+	}
+	ckl := h.siteCkptLock(cs.Site)
+	ckl.Lock()
+	defer ckl.Unlock()
+	// A fenced incarnation's checkpoint covers jobs whose contributions were
+	// already reissued; persisting it would resurrect them on recovery.
+	if err := h.fencedCheck(cs.Site); err != nil {
+		return fmt.Errorf("head: rejecting checkpoint: %w", err)
 	}
 	h.mu.Lock()
 	if cs.Seq <= h.fs.ckptSeq[cs.Site] && h.fs.ckptSeq[cs.Site] != 0 {

@@ -55,7 +55,7 @@ func TestLeaseExpiryRequeuesInFlight(t *testing.T) {
 	if _, err := h.Register(protocol.Hello{Site: 1, Cluster: "b"}); err != nil {
 		t.Fatal(err)
 	}
-	js, _ := h.RequestJobs(0, 3)
+	js, _, _ := h.RequestJobs(0, 3)
 	if len(js) != 3 {
 		t.Fatalf("granted %d", len(js))
 	}
@@ -87,7 +87,7 @@ func TestHeartbeatKeepsLeaseAlive(t *testing.T) {
 	if _, err := h.Register(protocol.Hello{Site: 0, Cluster: "a"}); err != nil {
 		t.Fatal(err)
 	}
-	js, _ := h.RequestJobs(0, 2)
+	js, _, _ := h.RequestJobs(0, 2)
 	if len(js) != 2 {
 		t.Fatalf("granted %d", len(js))
 	}
@@ -106,7 +106,7 @@ func TestCheckpointSaveAndPrune(t *testing.T) {
 	if _, err := h.Register(protocol.Hello{Site: 0, Cluster: "a"}); err != nil {
 		t.Fatal(err)
 	}
-	js, _ := h.RequestJobs(0, 4)
+	js, _, _ := h.RequestJobs(0, 4)
 	if len(js) != 4 {
 		t.Fatalf("granted %d", len(js))
 	}
@@ -157,7 +157,7 @@ func TestReregistrationRecoversFromCheckpoint(t *testing.T) {
 	if _, err := h.Register(protocol.Hello{Site: 0, Cluster: "a"}); err != nil {
 		t.Fatal(err)
 	}
-	js, _ := h.RequestJobs(0, 4)
+	js, _, _ := h.RequestJobs(0, 4)
 	if _, err := h.CompleteJobs(0, js); err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +171,7 @@ func TestReregistrationRecoversFromCheckpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Site 0 is still holding two more jobs when it crashes and restarts.
-	more, _ := h.RequestJobs(0, 2)
+	more, _, _ := h.RequestJobs(0, 2)
 	if len(more) != 2 {
 		t.Fatalf("granted %d", len(more))
 	}
@@ -203,6 +203,111 @@ func TestFreshRegistrationStillLimited(t *testing.T) {
 	}
 }
 
+// TestFencedSiteRejectedUntilReregister drives the unfenced-straggler
+// double-count scenario end to end at the head: a site is declared failed
+// while still alive (a lease expiry beat its heartbeats), its
+// un-checkpointed work is recomputed elsewhere, and the "dead" incarnation
+// then tries to keep participating. Every such attempt — job requests,
+// commits, checkpoints, and the final result carrying the same folds the
+// survivor recomputed — must be fenced off until the site re-registers.
+func TestFencedSiteRejectedUntilReregister(t *testing.T) {
+	store := fault.NewMemStore()
+	h, pool := testFaultHead(t, 2, FaultConfig{Store: store, LeaseTTL: time.Hour})
+	if _, err := h.Register(protocol.Hello{Site: 0, Cluster: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Register(protocol.Hello{Site: 1, Cluster: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	js, _, _ := h.RequestJobs(0, 4)
+	if len(js) != 4 {
+		t.Fatalf("granted %d", len(js))
+	}
+	if _, err := h.CompleteJobs(0, js); err != nil {
+		t.Fatal(err)
+	}
+	// Failure detector fires while site 0 is in fact still alive: its 4
+	// un-checkpointed completions go back for recomputation.
+	h.FailSite(0)
+
+	if _, _, err := h.RequestJobs(0, 4); !fault.IsFenced(err) {
+		t.Errorf("RequestJobs from fenced site: err = %v, want fenced", err)
+	}
+	if _, err := h.CompleteJobs(0, js); !fault.IsFenced(err) {
+		t.Errorf("CompleteJobs from fenced site: err = %v, want fenced", err)
+	}
+	ck := fault.Checkpoint{Site: 0, Seq: 1, Object: encodeSum(7), Completed: []int{js[0].ID}}
+	if err := h.CheckpointSave(protocol.CheckpointSave{Site: 0, Seq: 1, Data: ck.Encode()}); !fault.IsFenced(err) {
+		t.Errorf("CheckpointSave from fenced site: err = %v, want fenced", err)
+	}
+	if _, err := store.Get(fault.Key("", 0)); err == nil {
+		t.Error("fenced checkpoint was persisted")
+	}
+	// Heartbeats must not un-fence: only re-registration revives the lease.
+	h.Heartbeat(0)
+	if _, _, err := h.RequestJobs(0, 1); !fault.IsFenced(err) {
+		t.Errorf("RequestJobs after heartbeat: err = %v, want still fenced", err)
+	}
+
+	// The survivor recomputes everything, including site 0's reissued jobs.
+	for {
+		got, wait, err := h.RequestJobs(1, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) == 0 {
+			if wait {
+				t.Fatal("empty grant with wait=true while survivor still working")
+			}
+			break
+		}
+		if _, err := h.CompleteJobs(1, got); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !pool.Drained() {
+		t.Fatal("pool not drained by survivor")
+	}
+
+	survivor := make(chan error, 1)
+	go func() {
+		_, err := h.SubmitResult(protocol.ReductionResult{Site: 1, Object: encodeSum(42)})
+		survivor <- err
+	}()
+	// The fenced incarnation's object holds the very folds the survivor
+	// recomputed; merging it would double-count them.
+	if _, err := h.SubmitResult(protocol.ReductionResult{Site: 0, Object: encodeSum(999)}); !fault.IsFenced(err) {
+		t.Fatalf("SubmitResult from fenced site: err = %v, want fenced", err)
+	}
+	select {
+	case err := <-survivor:
+		t.Fatalf("survivor released by fenced submit (err=%v)", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	// Re-registration revives the site; with no checkpoint it contributes
+	// nothing it hasn't re-earned — here, the identity object.
+	if _, err := h.Register(protocol.Hello{Site: 0, Cluster: "a"}); err != nil {
+		t.Fatalf("re-registration: %v", err)
+	}
+	if _, wait, err := h.RequestJobs(0, 4); err != nil || wait {
+		t.Fatalf("revived RequestJobs: wait=%v err=%v", wait, err)
+	}
+	if _, err := h.SubmitResult(protocol.ReductionResult{Site: 0, Object: encodeSum(0)}); err != nil {
+		t.Fatalf("revived submit: %v", err)
+	}
+	if err := <-survivor; err != nil {
+		t.Fatal(err)
+	}
+	obj, _, _, err := h.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := obj.(*sumObj).total; got != 42 {
+		t.Errorf("final = %d, want 42 (fenced contribution must not be double-counted)", got)
+	}
+}
+
 func TestSpeculationDuplicatesStragglers(t *testing.T) {
 	h, pool := testFaultHead(t, 2, FaultConfig{SpeculateAfter: 30 * time.Millisecond})
 	if _, err := h.Register(protocol.Hello{Site: 0, Cluster: "a"}); err != nil {
@@ -212,7 +317,7 @@ func TestSpeculationDuplicatesStragglers(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Site 0 takes the entire pool and then stalls on its last 2 jobs.
-	js, _ := h.RequestJobs(0, 10)
+	js, _, _ := h.RequestJobs(0, 10)
 	if len(js) != 10 {
 		t.Fatalf("granted %d", len(js))
 	}
@@ -220,13 +325,13 @@ func TestSpeculationDuplicatesStragglers(t *testing.T) {
 		t.Fatalf("completing head of pool: dups=%v err=%v", dups, err)
 	}
 	// An empty grant while stragglers are outstanding must say "poll again".
-	if got, wait := h.RequestJobs(1, 4); len(got) != 0 || !wait {
+	if got, wait, _ := h.RequestJobs(1, 4); len(got) != 0 || !wait {
 		t.Fatalf("grant = %d jobs, wait = %v; want empty+wait", len(got), wait)
 	}
 	// The watchdog speculates the 2 stragglers back into the pool.
 	var spec []jobs.Job
 	waitFor(t, "speculative copies", func() bool {
-		spec, _ = h.RequestJobs(1, 4)
+		spec, _, _ = h.RequestJobs(1, 4)
 		return len(spec) == 2
 	})
 	// Site 1's copies land first; the original site's commits become dups.

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/chunk"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/jobs"
 	"repro/internal/obs"
 	"repro/internal/protocol"
@@ -180,11 +181,28 @@ func (h *Head) Register(hello protocol.Hello) (protocol.JobSpec, error) {
 	return spec, nil
 }
 
+// fencedCheck rejects traffic from a site the head has declared failed. A
+// dead-marked site's lease is no longer tracked and its contributions were
+// handed out for recomputation, so granting it jobs or accepting its commits
+// would lose work or double-count it; the incarnation must re-register.
+func (h *Head) fencedCheck(site int) error {
+	if h.fs != nil && h.fs.leases.Dead(site) {
+		return fmt.Errorf("head: rejecting site %d: %w", site, fault.ErrFenced)
+	}
+	return nil
+}
+
 // RequestJobs assigns up to n jobs to the requesting site, local first then
 // stolen. An empty result with wait=false means the global pool is
 // exhausted for good; wait=true means recovery or speculation may yet
-// produce work, so the master should poll again instead of finishing.
-func (h *Head) RequestJobs(site, n int) (js []jobs.Job, wait bool) {
+// produce work, so the master should poll again instead of finishing. A
+// site the head has declared failed is fenced: it gets an error instead of
+// jobs (its lease is untracked, so work granted to it could be lost
+// silently) and must re-register to rejoin.
+func (h *Head) RequestJobs(site, n int) (js []jobs.Job, wait bool, err error) {
+	if err := h.fencedCheck(site); err != nil {
+		return nil, false, err
+	}
 	h.Heartbeat(site)
 	sp := h.tr.Begin(0, 0, "scheduling", "request-jobs")
 	js = h.cfg.Pool.Assign(site, n)
@@ -193,20 +211,26 @@ func (h *Head) RequestJobs(site, n int) (js []jobs.Job, wait bool) {
 		h.mGrants.Inc()
 		h.mJobsGranted.Add(int64(len(js)))
 		h.cfg.Logf("head: granted %d jobs to site %d (first %v)", len(js), site, js[0].Ref)
-		return js, false
+		return js, false, nil
 	}
 	h.mExhausted.Inc()
 	// With fault tolerance on, an empty grant is only final once every
 	// outstanding job has committed: until then a failure could requeue
 	// work this site must be able to pick up.
-	return nil, h.fs != nil && !h.cfg.Pool.Drained()
+	return nil, h.fs != nil && !h.cfg.Pool.Drained(), nil
 }
 
 // CompleteJobs commits finished jobs, releasing their contention
 // bookkeeping. It returns the IDs of duplicate completions — jobs whose
 // contribution another copy already supplied; the caller must not fold
-// those chunks into its reduction object.
+// those chunks into its reduction object. Commits from a fenced (dead-
+// marked) incarnation are refused wholesale: the head already reissued its
+// un-checkpointed work, so accepting them would steal credit from the
+// recomputing site and double-count the contribution.
 func (h *Head) CompleteJobs(site int, js []jobs.Job) ([]int, error) {
+	if err := h.fencedCheck(site); err != nil {
+		return nil, err
+	}
 	h.Heartbeat(site)
 	var dups []int
 	for _, j := range js {
@@ -231,7 +255,15 @@ func (h *Head) CompleteJobs(site int, js []jobs.Job) ([]int, error) {
 // into the global result, and blocks until every expected cluster has
 // reported; it then returns the final encoded object. The caller's blocked
 // time here is exactly the cluster's end-of-run sync time.
+//
+// A fenced incarnation's object is refused: it carries folds for jobs the
+// head reissued after declaring the site failed, so merging it would count
+// those contributions twice (once here, once from the recomputing cluster).
+// The fenced master re-registers and resubmits from its last checkpoint.
 func (h *Head) SubmitResult(res protocol.ReductionResult) ([]byte, error) {
+	if err := h.fencedCheck(res.Site); err != nil {
+		return nil, err
+	}
 	if h.fs != nil {
 		// The submitted object carries every contribution this site made, so
 		// from here on its failure is harmless: release the lease (the site
@@ -425,7 +457,11 @@ func (h *Head) HandleConn(c *transport.Conn) {
 				return
 			}
 		case protocol.JobRequest:
-			js, wait := h.RequestJobs(m.Site, m.N)
+			js, wait, err := h.RequestJobs(m.Site, m.N)
+			if err != nil {
+				_ = c.Send(protocol.ErrorReply{Err: err.Error()})
+				return
+			}
 			if err := c.Send(protocol.JobGrant{Jobs: js, Wait: wait}); err != nil {
 				return
 			}

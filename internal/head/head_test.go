@@ -154,7 +154,7 @@ func TestSubmitResultDecodeErrorFailsRun(t *testing.T) {
 
 func TestRequestAndCompleteJobs(t *testing.T) {
 	h := testHead(t, 1)
-	js, wait := h.RequestJobs(0, 3)
+	js, wait, _ := h.RequestJobs(0, 3)
 	if len(js) != 3 {
 		t.Fatalf("granted %d", len(js))
 	}

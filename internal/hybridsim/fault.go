@@ -187,6 +187,7 @@ func (s *sim) detect(c *simCluster) {
 		}
 	}
 	c.sinceCkpt = nil
+	c.trimSeq = c.commitSeq
 	if s.tr.Enabled() {
 		s.tr.InstantAt(0, 0, "fault", fmt.Sprintf("detect site %d", c.model.Site), s.clock.Now(),
 			obs.Args{"requeued": len(requeued), "reissued": reissued})
@@ -324,6 +325,7 @@ func (c *simCluster) beginCheckpoint() {
 	s := c.sim
 	c.checkpointing = true
 	covered := len(c.sinceCkpt)
+	coveredSeq := c.commitSeq // prefix of the commit sequence this checkpoint covers
 	epoch := c.epoch
 	start := s.clock.Now()
 	merge := time.Duration(0)
@@ -337,10 +339,19 @@ func (c *simCluster) beginCheckpoint() {
 		c.checkpointing = false
 		c.kickCores()
 		s.net.Start(s.cfg.App.RobjBytes, s.robjLatency(c), 0, s.robjResources(c), func() {
-			if c.epoch != epoch {
+			if c.epoch != epoch || c.fenced {
+				// Dead with the incarnation, or fenced: the head refuses a
+				// dead-marked site's checkpoint, so it never becomes durable.
 				return
 			}
-			c.sinceCkpt = append(c.sinceCkpt[:0:0], c.sinceCkpt[covered:]...)
+			// Cores resume as soon as the merge ends, so a later checkpoint
+			// can begin (and even land) while this object is still on the
+			// wire: trim only the commits this one covers beyond what
+			// earlier landings or a failure reissue already removed.
+			if drop := coveredSeq - c.trimSeq; drop > 0 {
+				c.sinceCkpt = append(c.sinceCkpt[:0:0], c.sinceCkpt[drop:]...)
+				c.trimSeq = coveredSeq
+			}
 			c.hasCkpt = true
 			c.ckptSeq++
 			s.fstats.Checkpoints++

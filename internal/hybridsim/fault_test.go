@@ -189,3 +189,24 @@ func TestSimFaultUnknownSiteRejected(t *testing.T) {
 		t.Fatal("plan targeting an unknown site was accepted")
 	}
 }
+
+// TestSimOverlappingCheckpointShips drives checkpoint ships that outlive the
+// checkpoint interval: a new checkpoint begins (the merge quiesce ends and
+// cores resume) while the previous object is still on the inter-cluster
+// pipe. Each landing must trim only the commits it covers beyond what
+// earlier landings already removed — a raw prefix-length trim walks off the
+// end of the shifted slice.
+func TestSimOverlappingCheckpointShips(t *testing.T) {
+	cfg := testConfig(t, 12, 6, 0.5)
+	cfg.App.RobjBytes = 64 << 20 // ~1.6 s per ship on the 40 MiB/s inter-cluster pipe
+	cfg.Faults = fault.Plan{
+		CheckpointEvery: 50 * time.Millisecond, // several ships in flight at once
+	}
+	res := mustRun(t, cfg)
+	if got, want := creditTotal(res), cfg.Index.NumChunks(); got != want {
+		t.Errorf("credited %d jobs, dataset has %d", got, want)
+	}
+	if res.Faults.Checkpoints < 2 {
+		t.Errorf("Checkpoints = %d, want overlapping ships", res.Faults.Checkpoints)
+	}
+}

@@ -199,8 +199,15 @@ type simCluster struct {
 	slowFactor    float64
 	deferred      []jobs.Job // completions awaiting a partition heal
 	sinceCkpt     []jobs.Job // committed but not yet durably checkpointed
-	hasCkpt       bool
-	ckptSeq       int
+	// commitSeq counts first-commits ever appended to sinceCkpt; trimSeq is
+	// the commitSeq position of sinceCkpt[0], advanced by landed checkpoints
+	// and by failure reissue. len(sinceCkpt) == commitSeq-trimSeq always, so
+	// overlapping checkpoint ships — each covering a prefix of the same
+	// commit sequence — trim only what earlier landings haven't.
+	commitSeq int
+	trimSeq   int
+	hasCkpt   bool
+	ckptSeq   int
 }
 
 type queuedChunk struct {
@@ -704,6 +711,7 @@ func (c *simCluster) commit(j jobs.Job) {
 	}
 	c.jobsAcct = accumulate(c.jobsAcct, j.Site != c.model.Site)
 	c.sinceCkpt = append(c.sinceCkpt, j)
+	c.commitSeq++
 }
 
 // maybeFinish detects end of the cluster's processing and starts its part
