@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check bench-obs
+.PHONY: build test vet race check bench-obs bench-dataplane bench-dataplane-short
 
 build:
 	$(GO) build ./...
@@ -22,3 +22,14 @@ check: vet race
 # (tracer disabled). The disabled delta must stay under 2%.
 bench-obs:
 	$(GO) test -run=NONE -bench 'BenchmarkFig3_KNN$$|BenchmarkFig3_KNN_Obs' -benchtime 50x -count 5 .
+
+# Data-plane numbers for PR 3: the wire-codec chunk roundtrip (gob vs
+# binary side by side, with the ≥2× throughput / ≥10× fewer-allocs
+# acceptance gates) plus Fig1 real-engine ns/op. Writes BENCH_3.json.
+bench-dataplane:
+	BENCH_DATAPLANE_OUT=BENCH_3.json $(GO) test -run TestEmitBenchDataplane -v .
+	$(GO) test -run=NONE -bench 'BenchmarkWire_ChunkRoundtrip' ./internal/transport
+
+# CI variant: same gates, skips the slower Fig1 engine benchmarks.
+bench-dataplane-short:
+	BENCH_DATAPLANE_OUT=BENCH_3.json $(GO) test -short -run TestEmitBenchDataplane -v .

@@ -26,6 +26,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/daemon"
 	"repro/internal/objstore"
+	"repro/internal/transport"
 )
 
 func main() {
@@ -35,9 +36,11 @@ func main() {
 		name      = flag.String("name", "cluster", "cluster name for logs and reports")
 		cores     = flag.Int("cores", 4, "processing threads")
 		retrieval = flag.Int("retrieval", 4, "retrieval threads")
+		prefetch  = flag.Int("prefetch", 0, "retrieval pipeline depth: chunks kept in flight ahead of processing (0 = retrieval threads)")
 		dataDir   = flag.String("data", "", "directory with site-0 data files (local storage node)")
 		s3Addr    = flag.String("s3", "", "object-store daemon address (site-1 data)")
 		s3Threads = flag.Int("s3-threads", 2, "parallel range fetches per remote chunk")
+		wireCodec = flag.String("wire-codec", "binary", "wire codec: binary, or gob for peers predating the binary codec")
 	)
 	var df daemon.Flags
 	df.Register(flag.CommandLine)
@@ -56,15 +59,29 @@ func main() {
 		os.Exit(1)
 	}
 
+	useGob := false
+	switch *wireCodec {
+	case "binary":
+	case "gob":
+		useGob = true
+	default:
+		fail("workernode: unknown -wire-codec %q (want binary or gob)", *wireCodec)
+	}
+
 	hc, err := cluster.DialHead("tcp", *headAddr)
 	if err != nil {
 		fail("workernode: %v", err)
 	}
+	hc.UseGob = useGob
 	defer hc.Close()
 
 	var osc *objstore.Client
 	if *s3Addr != "" {
-		osc = objstore.Dial("tcp", *s3Addr, *retrieval**s3Threads)
+		codec := transport.CodecBinary
+		if useGob {
+			codec = transport.CodecGob
+		}
+		osc = objstore.DialCodec("tcp", *s3Addr, *retrieval**s3Threads, codec)
 		defer osc.Close()
 	}
 
@@ -84,6 +101,7 @@ func main() {
 		Name:             *name,
 		Cores:            *cores,
 		RetrievalThreads: *retrieval,
+		PrefetchDepth:    *prefetch,
 		Head:             hc,
 		SourceBuilder: func(ix *chunk.Index) (map[int]chunk.Source, error) {
 			sources := make(map[int]chunk.Source)

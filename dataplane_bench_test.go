@@ -1,0 +1,168 @@
+package repro
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/bufpool"
+	"repro/internal/core"
+	"repro/internal/protocol"
+	"repro/internal/transport"
+)
+
+// PR 3's data-plane benchmark harness: the wire-codec chunk roundtrip (gob
+// vs binary side by side) plus the Fig1 real-engine ns/op after the kernel
+// and pooling work. `make bench-dataplane` runs TestEmitBenchDataplane with
+// BENCH_DATAPLANE_OUT set, which writes the numbers to BENCH_3.json and
+// asserts the PR's acceptance bars: ≥2× throughput and ≥10× fewer
+// allocs/op for binary vs gob on a 12.8 MB chunk.
+
+// dataplaneChunkBytes is the experiments' standard chunk size.
+const dataplaneChunkBytes = 12_800_000
+
+// benchCodecRoundTrip measures one 12.8 MB chunk echoed over an in-process
+// connection pair under the given codec (the same shape as
+// transport.BenchmarkWire_ChunkRoundtrip, reproduced here so the emitter
+// can run it via testing.Benchmark).
+func benchCodecRoundTrip(codec transport.Codec) testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		a, peer := transport.PipeWith(codec)
+		defer a.Close()
+		defer peer.Close()
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for {
+				m, err := peer.Recv()
+				if err != nil {
+					return
+				}
+				if err := peer.Send(m); err != nil {
+					return
+				}
+				if resp, ok := m.(protocol.GetResp); ok {
+					bufpool.Put(resp.Data)
+				}
+			}
+		}()
+		payload := bufpool.Get(dataplaneChunkBytes)
+		defer bufpool.Put(payload)
+		req := protocol.GetResp{Data: payload}
+		b.SetBytes(2 * dataplaneChunkBytes)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := a.Send(req); err != nil {
+				b.Fatal(err)
+			}
+			m, err := a.Recv()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if resp, ok := m.(protocol.GetResp); ok {
+				bufpool.Put(resp.Data)
+			}
+		}
+		b.StopTimer()
+		a.Close()
+		<-done
+	})
+}
+
+type codecNumbers struct {
+	NsPerOp     int64   `json:"ns_op"`
+	MBPerSec    float64 `json:"mb_s"`
+	AllocsPerOp int64   `json:"allocs_op"`
+	BytesPerOp  int64   `json:"bytes_op"`
+}
+
+func toNumbers(r testing.BenchmarkResult) codecNumbers {
+	mbs := 0.0
+	if r.NsPerOp() > 0 {
+		mbs = float64(r.Bytes) / float64(r.NsPerOp()) * 1e9 / 1e6
+	}
+	return codecNumbers{
+		NsPerOp:     r.NsPerOp(),
+		MBPerSec:    mbs,
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+// TestEmitBenchDataplane runs the data-plane benchmarks and writes
+// BENCH_3.json. It is a no-op unless BENCH_DATAPLANE_OUT names the output
+// file, so plain `go test ./...` stays fast.
+func TestEmitBenchDataplane(t *testing.T) {
+	out := os.Getenv("BENCH_DATAPLANE_OUT")
+	if out == "" {
+		t.Skip("BENCH_DATAPLANE_OUT not set; run via make bench-dataplane")
+	}
+
+	gob := benchCodecRoundTrip(transport.CodecGob)
+	bin := benchCodecRoundTrip(transport.CodecBinary)
+	gn, bn := toNumbers(gob), toNumbers(bin)
+	throughputRatio := float64(gn.NsPerOp) / float64(bn.NsPerOp)
+	allocsRatio := float64(gn.AllocsPerOp) / float64(bn.AllocsPerOp)
+	t.Logf("wire chunk roundtrip: gob %d ns/op %d allocs/op, binary %d ns/op %d allocs/op (throughput ×%.1f, allocs ×%.1f)",
+		gn.NsPerOp, gn.AllocsPerOp, bn.NsPerOp, bn.AllocsPerOp, throughputRatio, allocsRatio)
+
+	// Acceptance bars from the PR issue. Alloc counts are deterministic;
+	// the throughput ratio runs ~6× in practice, so 2× has wide margin.
+	if throughputRatio < 2 {
+		t.Errorf("binary codec is only %.2f× gob throughput, want ≥2×", throughputRatio)
+	}
+	if allocsRatio < 10 {
+		t.Errorf("binary codec has only %.2f× fewer allocs/op than gob, want ≥10×", allocsRatio)
+	}
+
+	report := map[string]any{
+		"bench": "dataplane",
+		"pr":    3,
+		"wire_chunk_roundtrip": map[string]any{
+			"payload_bytes":    dataplaneChunkBytes,
+			"gob":              gn,
+			"binary":           bn,
+			"throughput_ratio": throughputRatio,
+			"allocs_ratio":     allocsRatio,
+		},
+	}
+
+	// Fig1 real-engine ns/op over the optimized kernels (skipped in short
+	// mode: the wire numbers above are the gate; these are for the record).
+	if !testing.Short() {
+		engine := map[string]any{}
+		for _, app := range []string{"knn", "kmeans"} {
+			app := app
+			r := testing.Benchmark(func(b *testing.B) {
+				ix, src, knnP, kmP := fig1Points(b, 50_000, 8)
+				var red core.Reducer
+				var err error
+				if app == "knn" {
+					red, err = apps.NewKNNReducer(knnP)
+				} else {
+					red, err = apps.NewKMeansReducer(kmP)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				benchGR(b, red, ix, src)
+			})
+			engine[app+"_gr_ns_op"] = r.NsPerOp()
+			t.Logf("fig1 engine %s: %d ns/op", app, r.NsPerOp())
+		}
+		report["fig1_engine"] = engine
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", out)
+}

@@ -44,6 +44,11 @@ type KMeansObject struct {
 	Sums   [][]float64
 	Counts []int64
 	SSE    float64
+
+	// scratch holds the current point decoded to float64 — reduction objects
+	// are per-worker, so LocalReduce can decode each unit ONCE here instead
+	// of re-decoding it for every center inside the distance loop.
+	scratch []float64
 }
 
 // KMeansReducer implements core.Reducer for one k-means iteration.
@@ -89,12 +94,44 @@ func (r *KMeansReducer) Assign(unit []byte) (int, float64) {
 	return best, bestDist
 }
 
-// LocalReduce implements core.Reducer.
+// assignPoint is Assign over an already-decoded point: K×Dim multiply-adds
+// with hoisted bounds checks, accumulating in the same order as Assign so
+// the two produce bit-identical distances.
+func (r *KMeansReducer) assignPoint(pt []float64) (int, float64) {
+	best, bestDist := 0, math.MaxFloat64
+	for k, c := range r.Params.Centers {
+		c = c[:len(pt)] // one bounds check per center
+		var d float64
+		for i, p := range pt {
+			diff := p - c[i]
+			d += diff * diff
+		}
+		if d < bestDist {
+			best, bestDist = k, d
+		}
+	}
+	return best, bestDist
+}
+
+// LocalReduce implements core.Reducer. This is the kmeans hot loop: the unit
+// is decoded to float64 once (into the per-worker object's scratch) and the
+// decoded point feeds both the center search and the sum accumulation,
+// instead of re-decoding the unit K+1 times.
 func (r *KMeansReducer) LocalReduce(obj core.Object, unit []byte) error {
 	o := obj.(*KMeansObject)
-	k, d := r.Assign(unit)
-	for i := 0; i < r.Params.Dim; i++ {
-		o.Sums[k][i] += float64(core.Float32At(unit, 4*i))
+	dim := r.Params.Dim
+	if cap(o.scratch) < dim {
+		o.scratch = make([]float64, dim)
+	}
+	pt := o.scratch[:dim]
+	unit = unit[:4*dim] // one bounds check for the whole decode
+	for i := range pt {
+		pt[i] = float64(core.Float32At(unit, 4*i))
+	}
+	k, d := r.assignPoint(pt)
+	sums := o.Sums[k]
+	for i, p := range pt {
+		sums[i] += p
 	}
 	o.Counts[k]++
 	o.SSE += d

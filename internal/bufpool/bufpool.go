@@ -1,0 +1,147 @@
+// Package bufpool provides the size-classed buffer pool backing the data
+// plane. Chunk payloads (up to tens of megabytes) flow objstore client →
+// cluster slave → reduction engine; allocating a fresh buffer per retrieval
+// makes the garbage collector the bottleneck long before the network is.
+// Instead every stage borrows from this pool and the LAST owner returns the
+// buffer (see docs/PERFORMANCE.md for the ownership rules).
+//
+// Buffers are pooled in power-of-two size classes from 4 KiB to 32 MiB, one
+// sync.Pool per class. Get rounds the request up to the next class; Put only
+// accepts buffers whose capacity is exactly a class size, so foreign or
+// sub-sliced buffers are silently dropped rather than poisoning a class.
+package bufpool
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+const (
+	minClassBits = 12 // 4 KiB
+	maxClassBits = 25 // 32 MiB
+	numClasses   = maxClassBits - minClassBits + 1
+
+	// MaxPooled is the largest buffer the pool will manage; bigger requests
+	// fall through to plain allocation.
+	MaxPooled = 1 << maxClassBits
+)
+
+var classes [numClasses]sync.Pool
+
+// hdrs recycles the *[]byte slice headers the classes store, so a
+// steady-state Get/Put cycle allocates nothing: Get strips the header off a
+// pooled buffer and parks it here; Put picks one up instead of allocating a
+// fresh header for the escaping &b.
+var hdrs sync.Pool
+
+// Stats are process-wide: the pool is shared by every connection and engine
+// in the process, matching how the GC pressure it relieves is shared.
+var (
+	gets   atomic.Int64 // Get calls served from a class (hit or miss)
+	allocs atomic.Int64 // Get calls that had to allocate (pool miss or oversize)
+	puts   atomic.Int64 // Put calls that returned a buffer to a class
+	pooled atomic.Int64 // cumulative bytes handed back via Put
+)
+
+// counters mirrors the pool's stats into an obs.Registry when installed via
+// Register. Loaded via atomic pointer so Register is safe to call while
+// other goroutines Get/Put.
+type counters struct {
+	gets, allocs, puts *obs.Counter
+	bytesPooled        *obs.Counter
+}
+
+var hooks atomic.Pointer[counters]
+
+// Register mirrors pool activity into reg as bufpool_get_total,
+// bufpool_alloc_total, bufpool_put_total and bufpool_bytes_pooled_total.
+// A nil registry uninstalls nothing — obs counters are nil-safe — so callers
+// can pass cfg.Obs.Metrics() unconditionally.
+func Register(reg *obs.Registry) {
+	hooks.Store(&counters{
+		gets:        reg.Counter("bufpool_get_total"),
+		allocs:      reg.Counter("bufpool_alloc_total"),
+		puts:        reg.Counter("bufpool_put_total"),
+		bytesPooled: reg.Counter("bufpool_bytes_pooled_total"),
+	})
+}
+
+// classFor returns the index of the smallest class holding n bytes, or -1
+// when n exceeds MaxPooled.
+func classFor(n int) int {
+	if n > MaxPooled {
+		return -1
+	}
+	c := 0
+	for size := 1 << minClassBits; size < n; size <<= 1 {
+		c++
+	}
+	return c
+}
+
+// Get returns a buffer with len(b) == n, drawn from the pool when a class
+// fits. The contents are NOT zeroed — callers overwrite the full length.
+func Get(n int) []byte {
+	if n <= 0 {
+		return nil
+	}
+	gets.Add(1)
+	h := hooks.Load()
+	if h != nil {
+		h.gets.Inc()
+	}
+	c := classFor(n)
+	if c < 0 {
+		allocs.Add(1)
+		if h != nil {
+			h.allocs.Inc()
+		}
+		return make([]byte, n)
+	}
+	if v := classes[c].Get(); v != nil {
+		p := v.(*[]byte)
+		b := (*p)[:n]
+		*p = nil
+		hdrs.Put(p)
+		return b
+	}
+	allocs.Add(1)
+	if h != nil {
+		h.allocs.Inc()
+	}
+	return make([]byte, n, 1<<(minClassBits+c))
+}
+
+// Put returns a buffer obtained from Get to its class. Buffers whose
+// capacity is not an exact class size (foreign allocations, sub-slices) are
+// dropped. Put(nil) is a no-op. The caller must not touch b afterwards.
+func Put(b []byte) {
+	c := cap(b)
+	if c == 0 {
+		return
+	}
+	cls := classFor(c)
+	if cls < 0 || c != 1<<(minClassBits+cls) {
+		return
+	}
+	puts.Add(1)
+	pooled.Add(int64(c))
+	if h := hooks.Load(); h != nil {
+		h.puts.Inc()
+		h.bytesPooled.Add(int64(c))
+	}
+	p, _ := hdrs.Get().(*[]byte)
+	if p == nil {
+		p = new([]byte)
+	}
+	*p = b[:c]
+	classes[cls].Put(p)
+}
+
+// Stats reports cumulative pool activity: Get calls, Get calls that
+// allocated, Put calls that pooled, and total bytes pooled.
+func Stats() (getN, allocN, putN, bytesPooled int64) {
+	return gets.Load(), allocs.Load(), puts.Load(), pooled.Load()
+}

@@ -1,0 +1,117 @@
+package bufpool
+
+import (
+	"testing"
+)
+
+func TestGetSizes(t *testing.T) {
+	cases := []struct {
+		n       int
+		wantCap int
+	}{
+		{0, 0},
+		{-5, 0},
+		{1, 1 << minClassBits},
+		{4096, 4096},
+		{4097, 8192},
+		{12800, 16384},
+		{12_800_000, 16 << 20},
+		{MaxPooled, MaxPooled},
+		{MaxPooled + 1, MaxPooled + 1}, // beyond the largest class: exact alloc
+	}
+	for _, tc := range cases {
+		b := Get(tc.n)
+		if tc.n <= 0 {
+			if b != nil {
+				t.Errorf("Get(%d) = %d bytes, want nil", tc.n, len(b))
+			}
+			continue
+		}
+		if len(b) != tc.n {
+			t.Errorf("Get(%d) has len %d", tc.n, len(b))
+		}
+		if cap(b) != tc.wantCap {
+			t.Errorf("Get(%d) has cap %d, want %d", tc.n, cap(b), tc.wantCap)
+		}
+		Put(b)
+	}
+}
+
+func TestPutGetReuse(t *testing.T) {
+	// sync.Pool can drop entries under GC pressure, so this is best-effort:
+	// a put buffer marked with a sentinel should usually come back.
+	hits := 0
+	for i := 0; i < 100; i++ {
+		b := Get(1000)
+		b[0] = 0xA5
+		Put(b)
+		if c := Get(1000); c[0] == 0xA5 {
+			hits++
+		}
+	}
+	if hits == 0 {
+		t.Error("no pooled buffer was ever reused in 100 rounds")
+	}
+}
+
+func TestPutRejectsForeignBuffers(t *testing.T) {
+	// Non-class capacities (e.g. subslices or make()'d buffers) must be
+	// dropped, not pooled — pooling them would corrupt the size classes.
+	Put(make([]byte, 1000))            // cap 1000 is not a class size
+	Put(Get(8192)[:100][:100:100])     // re-sliced below class cap
+	Put(nil)                           // no-op
+	b := Get(1000)
+	if cap(b) != 1<<minClassBits {
+		t.Errorf("after foreign Puts, Get(1000) cap = %d, want %d", cap(b), 1<<minClassBits)
+	}
+	Put(b)
+}
+
+func TestPutResetsLength(t *testing.T) {
+	b := Get(8192)
+	Put(b[:10]) // caller may hand back a short slice of the class buffer
+	c := Get(8192)
+	if len(c) != 8192 {
+		t.Errorf("Get(8192) after short Put has len %d", len(c))
+	}
+	Put(c)
+}
+
+func TestStats(t *testing.T) {
+	g0, a0, p0, _ := Stats()
+	b := Get(4096)
+	Put(b)
+	g1, a1, p1, _ := Stats()
+	if g1 <= g0 {
+		t.Errorf("get counter did not advance: %d -> %d", g0, g1)
+	}
+	if a1 < a0 {
+		t.Errorf("alloc counter went backwards: %d -> %d", a0, a1)
+	}
+	if p1 <= p0 {
+		t.Errorf("put counter did not advance: %d -> %d", p0, p1)
+	}
+}
+
+func TestGetAllocsAmortized(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops 1/4 of Puts under the race detector")
+	}
+	// In steady state (every Get matched by a Put), the pool must not
+	// allocate fresh buffers every round. AllocsPerRun would be flaky here
+	// because sync.Pool sheds entries on GC, so assert via the pool's own
+	// counters instead: allocs must be a small fraction of gets.
+	g0, a0, _, _ := Stats()
+	for i := 0; i < 1000; i++ {
+		b := Get(12800)
+		Put(b)
+	}
+	g1, a1, _, _ := Stats()
+	gets, allocs := g1-g0, a1-a0
+	if gets != 1000 {
+		t.Fatalf("expected 1000 gets, counted %d", gets)
+	}
+	if allocs > gets/10 {
+		t.Errorf("%d of %d gets allocated fresh buffers; pooling is not effective", allocs, gets)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package bufpool
+
+// raceEnabled reports that this test binary runs under the race detector,
+// where sync.Pool intentionally drops a quarter of Puts and amortization
+// assertions would be meaningless.
+const raceEnabled = true

@@ -1,0 +1,41 @@
+package chunk
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestAppendUnitGroupsReuse pins the zero-allocation contract of the reuse
+// variant: once the destination slice has grown to steady-state capacity,
+// splitting a chunk must not allocate (the engine worker calls this for
+// every chunk it folds).
+func TestAppendUnitGroupsReuse(t *testing.T) {
+	data := make([]byte, 128*1024)
+	var groups [][]byte
+	groups = AppendUnitGroups(groups[:0], data, 64, 4096) // warm up capacity
+	allocs := testing.AllocsPerRun(100, func() {
+		groups = AppendUnitGroups(groups[:0], data, 64, 4096)
+	})
+	if allocs > 0 {
+		t.Errorf("AppendUnitGroups with warm dst: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestAppendUnitGroupsMatchesUnitGroups checks the reuse variant and the
+// allocating wrapper split identically, including the short tail group and
+// a dirty prefix already in dst.
+func TestAppendUnitGroupsMatchesUnitGroups(t *testing.T) {
+	data := make([]byte, 1000)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	want := UnitGroups(data, 10, 64)
+	prefix := [][]byte{data[:10]}
+	got := AppendUnitGroups(prefix, data, 10, 64)
+	if !reflect.DeepEqual(got[1:], want) {
+		t.Fatalf("AppendUnitGroups mismatch:\n got %d groups\nwant %d groups", len(got)-1, len(want))
+	}
+	if &got[0][0] != &data[0] {
+		t.Fatal("AppendUnitGroups clobbered the existing dst prefix")
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+
+	"repro/internal/bufpool"
 )
 
 // Source provides read access to a dataset's chunk payloads. Implementations
@@ -13,7 +15,10 @@ import (
 // internal/objstore (the S3 stand-in).
 type Source interface {
 	// ReadChunk returns the payload bytes of the chunk identified by ref.
-	// The returned slice is owned by the caller.
+	// The returned slice is owned by the caller. Implementations draw it
+	// from bufpool, so a caller that is done with the payload may hand it
+	// to bufpool.Put (the reduction engine's Release hook does); callers
+	// that retain payloads simply never Put them.
 	ReadChunk(ref Ref) ([]byte, error)
 }
 
@@ -47,8 +52,9 @@ func (s *DirSource) ReadChunk(ref Ref) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	buf := make([]byte, ref.Size)
+	buf := bufpool.Get(int(ref.Size))
 	if _, err := f.ReadAt(buf, ref.Offset); err != nil {
+		bufpool.Put(buf)
 		return nil, fmt.Errorf("chunk: read %v: %w", ref, err)
 	}
 	return buf, nil
@@ -118,7 +124,7 @@ func (s *MemSource) ReadChunk(ref Ref) ([]byte, error) {
 	if ref.Offset < 0 || ref.Offset+ref.Size > int64(len(data)) {
 		return nil, fmt.Errorf("%w: %v beyond file of %d bytes", ErrBounds, ref, len(data))
 	}
-	out := make([]byte, ref.Size)
+	out := bufpool.Get(int(ref.Size))
 	copy(out, data[ref.Offset:ref.Offset+ref.Size])
 	return out, nil
 }

@@ -50,9 +50,17 @@ func (c InProc) SubmitResult(res protocol.ReductionResult) ([]byte, error) {
 // is the only requester on the connection, and every request that expects a
 // reply is serialized under a mutex, so replies correlate by ordering.
 // Heartbeats are fire-and-forget (no reply), matching the head's handler.
+//
+// The session starts in gob (so any head can read the Hello) and advertises
+// the binary codec in Hello.Codec; when the head confirms it in
+// JobSpec.Codec, both directions upgrade for the rest of the session.
 type Remote struct {
 	mu   sync.Mutex
 	conn *transport.Conn
+	// UseGob disables the binary-codec advertisement, pinning the whole
+	// session to the gob compat fallback (for drills against old heads or
+	// for bisecting codec issues; see the workernode -wire-codec flag).
+	UseGob bool
 }
 
 // NewRemote wraps an established connection to the head node.
@@ -79,14 +87,25 @@ func (r *Remote) roundTrip(req protocol.Message) (protocol.Message, error) {
 	return r.conn.Recv()
 }
 
-// Register implements HeadClient.
+// Register implements HeadClient. It also performs the wire-codec
+// negotiation: the Hello advertises binary, and if the JobSpec confirms it
+// the connection upgrades both directions before the next message.
 func (r *Remote) Register(hello protocol.Hello) (protocol.JobSpec, error) {
+	if !r.UseGob {
+		hello.Codec = protocol.WireBinary
+	}
 	reply, err := r.roundTrip(hello)
 	if err != nil {
 		return protocol.JobSpec{}, err
 	}
 	switch m := reply.(type) {
 	case protocol.JobSpec:
+		if m.Codec == protocol.WireBinary {
+			// The head sent this JobSpec in the old codec and switches right
+			// after; mirror it for everything that follows.
+			r.conn.UpgradeSend(transport.CodecBinary)
+			r.conn.UpgradeRecv(transport.CodecBinary)
+		}
 		return m, nil
 	case protocol.ErrorReply:
 		return protocol.JobSpec{}, errors.New(m.Err)

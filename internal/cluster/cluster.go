@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/bufpool"
 	"repro/internal/chunk"
 	"repro/internal/core"
 	"repro/internal/fault"
@@ -68,6 +69,12 @@ type Config struct {
 	// RetrievalThreads is the number of concurrent chunk retrievals
 	// (each slave uses multiple retrieval threads). Defaults to 2.
 	RetrievalThreads int
+	// PrefetchDepth is the retrieval pipeline depth: how many chunks the
+	// slave keeps in flight (being fetched or queued) ahead of processing.
+	// It sets both the number of retrieval lanes and the engine's queue
+	// depth, so retrieval hides behind the fold whenever bandwidth allows.
+	// Defaults to RetrievalThreads (the paper's fixed 2-thread pull).
+	PrefetchDepth int
 	// Sources maps each site id to the Source this cluster uses to read
 	// data hosted there (its own storage node, the object store client, …).
 	// Either Sources or SourceBuilder is required.
@@ -162,6 +169,9 @@ func (c *Config) applyDefaults() error {
 	if c.RetrievalThreads <= 0 {
 		c.RetrievalThreads = 2
 	}
+	if c.PrefetchDepth <= 0 {
+		c.PrefetchDepth = c.RetrievalThreads
+	}
 	if c.RequestBatch <= 0 {
 		c.RequestBatch = c.Cores
 		if c.RequestBatch < 4 {
@@ -222,7 +232,11 @@ func Run(cfg Config) (*Report, error) {
 	pid := cfg.Site + 1
 	tr.NameProcess(pid, fmt.Sprintf("cluster-%s", cfg.Name))
 	tr.NameThread(pid, 0, "master")
-	for t := 0; t < cfg.RetrievalThreads; t++ {
+	// The prefetch pipeline: PrefetchDepth retrieval lanes keep that many
+	// chunks in flight ahead of the fold (the engine queue is sized to
+	// match, so a burst of completions never blocks the lanes needlessly).
+	lanes := cfg.PrefetchDepth
+	for t := 0; t < lanes; t++ {
 		tr.NameThread(pid, 1+t, fmt.Sprintf("retr-%d", t+1))
 	}
 	mLocal := reg.Counter("cluster_jobs_local_total")
@@ -231,6 +245,8 @@ func Run(cfg Config) (*Report, error) {
 	mDups := reg.Counter("cluster_dup_jobs_total")
 	mCkpts := reg.Counter("cluster_checkpoints_total")
 	gInflight := reg.Gauge("cluster_retrievals_inflight")
+	reg.Gauge("cluster_prefetch_depth").Set(int64(lanes))
+	bufpool.Register(reg)
 
 	collector := &stats.Collector{}
 	engine, err := core.NewEngine(core.EngineConfig{
@@ -238,7 +254,12 @@ func Run(cfg Config) (*Report, error) {
 		Workers:    cfg.Cores,
 		UnitSize:   spec.UnitSize,
 		GroupBytes: groupBytes,
+		QueueDepth: lanes,
 		Collector:  collector,
+		// Chunk buffers come from bufpool (sources and the objstore client
+		// read into pooled buffers); the engine is the last owner and
+		// returns each one after its units are folded.
+		Release: bufpool.Put,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("cluster %s: %w", cfg.Name, err)
@@ -403,7 +424,7 @@ func Run(cfg Config) (*Report, error) {
 		slaveMu.Unlock()
 		abortFeed()
 	}
-	for t := 0; t < cfg.RetrievalThreads; t++ {
+	for t := 0; t < lanes; t++ {
 		wg.Add(1)
 		go func(lane int) {
 			defer wg.Done()
@@ -436,10 +457,12 @@ func Run(cfg Config) (*Report, error) {
 				// exactly-once reduction is enforced here.
 				dups, err := cfg.Head.CompleteJobs(cfg.Site, []jobs.Job{j})
 				if err != nil {
+					bufpool.Put(data)
 					fail(err)
 					continue
 				}
 				if len(dups) > 0 {
+					bufpool.Put(data)
 					mDups.Inc()
 					continue
 				}
@@ -452,6 +475,9 @@ func Run(cfg Config) (*Report, error) {
 				}
 				ckptMu.RUnlock()
 				if err != nil {
+					// Not queued: the engine never saw the buffer, so the
+					// lane is still its owner.
+					bufpool.Put(data)
 					fail(err)
 					continue
 				}

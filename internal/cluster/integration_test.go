@@ -13,6 +13,7 @@ import (
 	"repro/internal/jobs"
 	"repro/internal/objstore"
 	"repro/internal/protocol"
+	"repro/internal/transport"
 )
 
 // sumReducer sums little-endian uint32 units.
@@ -305,5 +306,101 @@ func TestUnknownReducerInSpec(t *testing.T) {
 		Head:    InProc{Head: h},
 	}); err == nil {
 		t.Error("unknown reducer accepted")
+	}
+}
+
+// TestHybridOverSocketsCodecs runs the two-cluster hybrid deployment under
+// every wire-codec combination: both masters on the binary codec, both held
+// back on gob (compat mode), and mixed — one of each against the same head,
+// which is the gob↔binary Hello negotiation case. The final sum must be
+// identical in all three.
+func TestHybridOverSocketsCodecs(t *testing.T) {
+	cases := []struct {
+		name   string
+		useGob [2]bool
+	}{
+		{"both-binary", [2]bool{false, false}},
+		{"both-gob", [2]bool{true, true}},
+		{"mixed", [2]bool{true, false}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ix, src, want := buildDataset(t, 6000, 1000, 100)
+			placement := jobs.SplitByFraction(len(ix.Files), 0.5, 0, 1)
+			h := newHead(t, ix, placement, 2)
+
+			hl, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			go h.Serve(hl)
+			defer h.Close()
+
+			backend := objstore.NewMemBackend()
+			store := objstore.NewServer(backend)
+			sl, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			go store.Serve(sl)
+			defer store.Close()
+			up := objstore.Dial("tcp", sl.Addr().String(), 4)
+			if err := objstore.Upload(up, ix, src, ""); err != nil {
+				t.Fatal(err)
+			}
+			up.Close()
+
+			runCluster := func(site int, useGob bool) (*Report, error) {
+				hc, err := DialHead("tcp", hl.Addr().String())
+				if err != nil {
+					return nil, err
+				}
+				hc.UseGob = useGob
+				defer hc.Close()
+				codec := transport.CodecBinary
+				if useGob {
+					codec = transport.CodecGob
+				}
+				osc := objstore.DialCodec("tcp", sl.Addr().String(), 4, codec)
+				defer osc.Close()
+				return Run(Config{
+					Site:             site,
+					Name:             fmt.Sprintf("c%d", site),
+					Cores:            2,
+					RetrievalThreads: 2,
+					Head:             hc,
+					SourceBuilder: func(ix *chunk.Index) (map[int]chunk.Source, error) {
+						return map[int]chunk.Source{
+							0: src,
+							1: &objstore.Source{Client: osc, Index: ix, Threads: 2},
+						}, nil
+					},
+					SourceLabels: map[int]string{0: "local", 1: "s3"},
+				})
+			}
+
+			var wg sync.WaitGroup
+			errs := make([]error, 2)
+			for i, site := range []int{0, 1} {
+				wg.Add(1)
+				go func(i, site int) {
+					defer wg.Done()
+					_, errs[i] = runCluster(site, tc.useGob[i])
+				}(i, site)
+			}
+			wg.Wait()
+			for i, err := range errs {
+				if err != nil {
+					t.Fatalf("cluster %d: %v", i, err)
+				}
+			}
+			obj, _, _, err := h.Result()
+			if err != nil {
+				t.Fatalf("Result: %v", err)
+			}
+			if got := obj.(*sumObj).total; got != want {
+				t.Errorf("final sum = %d, want %d", got, want)
+			}
+		})
 	}
 }

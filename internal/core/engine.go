@@ -29,6 +29,11 @@ type EngineConfig struct {
 	QueueDepth int
 	// Collector, when non-nil, receives processing-time measurements.
 	Collector *stats.Collector
+	// Release, when non-nil, receives each submitted payload after it has
+	// been fully folded — the hand-off point where a pooled chunk buffer
+	// returns to its pool (bufpool.Put in the cluster runtime). Reducers
+	// must not retain unit slices beyond LocalReduce for this to be safe.
+	Release func([]byte)
 }
 
 func (c *EngineConfig) applyDefaults() error {
@@ -62,15 +67,20 @@ type Engine struct {
 	objs    []Object
 	errOnce sync.Once
 	err     error
-	done    bool
 
 	// Snapshot quiescence protocol: pending counts submitted-but-unfolded
 	// payloads; snapshotting pauses new submissions while a checkpoint
-	// merges the per-worker objects.
+	// merges the per-worker objects. done and inflight guard shutdown:
+	// done flips under qmu in Finish, and inflight counts Submit calls
+	// between their done-check and their queue send, so Finish can wait
+	// for them before closing the queue (closing it under a racing send
+	// would panic).
 	qmu          sync.Mutex
 	qcond        *sync.Cond
 	pending      int
+	inflight     int
 	snapshotting bool
+	done         bool
 }
 
 // NewEngine starts the worker goroutines and returns a running engine.
@@ -97,17 +107,19 @@ func (e *Engine) worker(id int) {
 	r := e.cfg.Reducer
 	group, isGroup := r.(GroupReducer)
 	obj := e.objs[id]
+	var groups [][]byte // per-worker scratch, reused across chunks
 	for data := range e.queue {
 		start := time.Now()
 		var err error
+		groups = chunk.AppendUnitGroups(groups[:0], data, e.cfg.UnitSize, e.cfg.GroupBytes)
 		if isGroup {
-			for _, g := range chunk.UnitGroups(data, e.cfg.UnitSize, e.cfg.GroupBytes) {
+			for _, g := range groups {
 				if err = group.LocalReduceGroup(obj, g, e.cfg.UnitSize); err != nil {
 					break
 				}
 			}
 		} else {
-			err = e.reduceUnits(obj, data)
+			err = e.reduceUnits(obj, groups)
 		}
 		if e.cfg.Collector != nil {
 			e.cfg.Collector.AddProcessing(time.Since(start))
@@ -122,13 +134,16 @@ func (e *Engine) worker(id int) {
 			e.qcond.Broadcast()
 		}
 		e.qmu.Unlock()
+		if e.cfg.Release != nil {
+			e.cfg.Release(data)
+		}
 	}
 }
 
-func (e *Engine) reduceUnits(obj Object, data []byte) error {
+func (e *Engine) reduceUnits(obj Object, groups [][]byte) error {
 	r := e.cfg.Reducer
 	us := e.cfg.UnitSize
-	for _, g := range chunk.UnitGroups(data, us, e.cfg.GroupBytes) {
+	for _, g := range groups {
 		for off := 0; off < len(g); off += us {
 			if err := r.LocalReduce(obj, g[off:off+us]); err != nil {
 				return err
@@ -146,9 +161,6 @@ func (e *Engine) fail(err error) {
 // length must be a multiple of the unit size. Submit blocks when the queue
 // is full, providing back-pressure against retrieval threads.
 func (e *Engine) Submit(data []byte) error {
-	if e.done {
-		return ErrFinished
-	}
 	if len(data)%e.cfg.UnitSize != 0 {
 		return fmt.Errorf("%w: %d bytes, unit size %d", ErrBadPayload, len(data), e.cfg.UnitSize)
 	}
@@ -156,9 +168,22 @@ func (e *Engine) Submit(data []byte) error {
 	for e.snapshotting {
 		e.qcond.Wait()
 	}
+	if e.done {
+		e.qmu.Unlock()
+		return ErrFinished
+	}
 	e.pending++
+	e.inflight++
 	e.qmu.Unlock()
+	// The queue send must happen outside qmu (workers take qmu to decrement
+	// pending); inflight keeps Finish from closing the queue under us.
 	e.queue <- data
+	e.qmu.Lock()
+	e.inflight--
+	if e.inflight == 0 {
+		e.qcond.Broadcast()
+	}
+	e.qmu.Unlock()
 	return nil
 }
 
@@ -170,13 +195,16 @@ func (e *Engine) Submit(data []byte) error {
 // the snapshot equal to what Finish would return if the input stopped here.
 // Submissions racing Snapshot block until the snapshot completes.
 func (e *Engine) Snapshot() (Object, error) {
+	e.qmu.Lock()
+	defer e.qmu.Unlock()
 	if e.done {
 		return nil, ErrFinished
 	}
-	e.qmu.Lock()
-	defer e.qmu.Unlock()
 	for e.snapshotting { // one snapshot at a time
 		e.qcond.Wait()
+	}
+	if e.done {
+		return nil, ErrFinished
 	}
 	e.snapshotting = true
 	for e.pending > 0 {
@@ -206,10 +234,19 @@ func (e *Engine) Snapshot() (Object, error) {
 // per-worker reduction objects into one. It returns the node-level reduction
 // object, or the first error encountered by any worker.
 func (e *Engine) Finish() (Object, error) {
+	e.qmu.Lock()
 	if e.done {
+		e.qmu.Unlock()
 		return nil, ErrFinished
 	}
 	e.done = true
+	// Wait out Submit calls that already passed their done-check and may be
+	// blocked on the queue send; closing the channel under them would panic.
+	// Workers keep draining, so these sends complete promptly.
+	for e.inflight > 0 {
+		e.qcond.Wait()
+	}
+	e.qmu.Unlock()
 	close(e.queue)
 	e.wg.Wait()
 	if e.err != nil {

@@ -453,8 +453,21 @@ func (h *Head) HandleConn(c *transport.Conn) {
 				_ = c.Send(protocol.ErrorReply{Err: err.Error()})
 				return
 			}
+			// Wire-codec negotiation: confirm the master's advertised codec
+			// in the JobSpec (which still travels in the codec the Hello
+			// arrived in), then upgrade both directions. A master predating
+			// the binary codec advertises nothing and the session stays on
+			// gob.
+			upgrade := m.Codec >= protocol.WireBinary
+			if upgrade {
+				spec.Codec = protocol.WireBinary
+			}
 			if err := c.Send(spec); err != nil {
 				return
+			}
+			if upgrade {
+				c.UpgradeSend(transport.CodecBinary)
+				c.UpgradeRecv(transport.CodecBinary)
 			}
 		case protocol.JobRequest:
 			js, wait, err := h.RequestJobs(m.Site, m.N)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/bufpool"
 	"repro/internal/chunk"
 	"repro/internal/protocol"
 	"repro/internal/transport"
@@ -13,8 +14,15 @@ import (
 // per retrieval thread, so concurrent range fetches proceed in parallel —
 // the paper's multi-threaded data retrieval, which is what lets compute
 // instances saturate the available bandwidth to S3.
+//
+// By default connections speak the binary wire codec (the server
+// auto-detects it per connection); DialCodec selects gob for peers that
+// predate the binary codec. Chunk payloads returned by Get/GetRange/
+// ReadChunk live in bufpool buffers — the caller owns them and should hand
+// them to bufpool.Put when done (see docs/PERFORMANCE.md).
 type Client struct {
 	network, addr string
+	codec         transport.Codec
 
 	mu    sync.Mutex
 	idle  []*transport.Conn
@@ -23,12 +31,18 @@ type Client struct {
 }
 
 // Dial returns a client for the server at addr with at most maxConns pooled
-// connections (≤0 defaults to 8).
+// connections (≤0 defaults to 8), speaking the binary wire codec.
 func Dial(network, addr string, maxConns int) *Client {
+	return DialCodec(network, addr, maxConns, transport.CodecBinary)
+}
+
+// DialCodec is Dial with an explicit wire codec — the gob compat fallback
+// for old servers, which mirror whatever codec the client sends.
+func DialCodec(network, addr string, maxConns int, codec transport.Codec) *Client {
 	if maxConns <= 0 {
 		maxConns = 8
 	}
-	return &Client{network: network, addr: addr, max: maxConns}
+	return &Client{network: network, addr: addr, max: maxConns, codec: codec}
 }
 
 func (c *Client) acquire() (*transport.Conn, error) {
@@ -41,7 +55,7 @@ func (c *Client) acquire() (*transport.Conn, error) {
 	}
 	c.total++
 	c.mu.Unlock()
-	conn, err := transport.Dial(c.network, c.addr)
+	conn, err := transport.DialWith(c.network, c.addr, c.codec)
 	if err != nil {
 		c.mu.Lock()
 		c.total--
@@ -130,8 +144,10 @@ func (c *Client) GetRange(key string, off, length int64) ([]byte, error) {
 	if length >= 0 && int64(len(resp.Data)) != length {
 		// A short range read: the server accepted the range, so the bytes
 		// exist — a retry should succeed.
+		n := len(resp.Data)
+		bufpool.Put(resp.Data)
 		return nil, &OpError{Op: "get", Key: key, Code: protocol.CodeTransient,
-			Msg: fmt.Sprintf("short range read: %d of %d bytes", len(resp.Data), length)}
+			Msg: fmt.Sprintf("short range read: %d of %d bytes", n, length)}
 	}
 	return resp.Data, nil
 }
@@ -194,7 +210,10 @@ func (s *Source) ReadChunk(ref chunk.Ref) ([]byte, error) {
 	if threads <= 1 || ref.Size < int64(threads) {
 		return s.Client.GetRange(key, ref.Offset, ref.Size)
 	}
-	buf := make([]byte, ref.Size)
+	// The chunk buffer and the per-thread sub-range buffers all come from
+	// the pool: sub-buffers are returned as soon as their bytes are copied
+	// into place, and the assembled chunk is owned by the caller.
+	buf := bufpool.Get(int(ref.Size))
 	part := (ref.Size + int64(threads) - 1) / int64(threads)
 	var wg sync.WaitGroup
 	errs := make([]error, threads)
@@ -216,11 +235,13 @@ func (s *Source) ReadChunk(ref chunk.Ref) ([]byte, error) {
 				return
 			}
 			copy(buf[start:end], data)
+			bufpool.Put(data)
 		}(t, start, end)
 	}
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
+			bufpool.Put(buf)
 			return nil, fmt.Errorf("objstore: chunk %v: %w", ref, err)
 		}
 	}

@@ -17,6 +17,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/bufpool"
 	"repro/internal/obs"
 	"repro/internal/protocol"
 	"repro/internal/transport"
@@ -28,11 +29,29 @@ var ErrNotFound = errors.New("objstore: key not found")
 // Backend stores object bytes. Implementations must be safe for concurrent
 // use.
 type Backend interface {
+	// Put stores data under key. Implementations must not retain data after
+	// returning: the server recycles the receive buffer.
 	Put(key string, data []byte) error
 	// Get returns length bytes starting at off; length < 0 means to the end.
 	Get(key string, off, length int64) ([]byte, error)
 	Stat(key string) (int64, error)
 	List(prefix string) ([]string, error)
+}
+
+// Slicer is an optional Backend fast path: GetSlice returns a slice ALIASING
+// the backend's storage — zero copies between the stored object and the
+// socket. The server sends such slices directly and never writes to or
+// pools them. Implementations must guarantee the returned slice stays valid
+// and immutable even if the key is overwritten concurrently (MemBackend
+// does: Put installs a fresh copy, leaving old slices intact for readers).
+type Slicer interface {
+	GetSlice(key string, off, length int64) ([]byte, error)
+}
+
+// Pooler is an optional Backend marker: Get returns buffers drawn from
+// bufpool that the server returns to the pool after the reply is flushed.
+type Pooler interface {
+	PooledGet()
 }
 
 // MemBackend keeps objects in memory.
@@ -65,6 +84,30 @@ func (b *MemBackend) Get(key string, off, length int64) ([]byte, error) {
 		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
 	}
 	return slice(data, off, length, key)
+}
+
+// GetSlice implements Slicer: the returned range aliases the stored object,
+// so range GETs are served with zero copies. Safe under concurrent Put —
+// Put installs a fresh buffer and never mutates the old one, which stays
+// alive for any reader still holding it.
+func (b *MemBackend) GetSlice(key string, off, length int64) ([]byte, error) {
+	b.mu.RLock()
+	data, ok := b.objs[key]
+	b.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	if off < 0 || off > int64(len(data)) {
+		return nil, fmt.Errorf("%w: offset %d for %q (%d bytes)", ErrBadRange, off, key, len(data))
+	}
+	end := int64(len(data))
+	if length >= 0 {
+		end = off + length
+		if end > int64(len(data)) {
+			return nil, fmt.Errorf("%w: %d+%d beyond %q (%d bytes)", ErrBadRange, off, length, key, len(data))
+		}
+	}
+	return data[off:end:end], nil
 }
 
 // Stat implements Backend.
@@ -150,12 +193,19 @@ func (b DirBackend) Get(key string, off, length int64) ([]byte, error) {
 		}
 		length = fi.Size() - off
 	}
-	buf := make([]byte, length)
+	// Pooled read buffer: the server returns it to bufpool once the reply
+	// has been flushed (DirBackend implements Pooler). Other callers simply
+	// let the GC take it.
+	buf := bufpool.Get(int(length))
 	if _, err := f.ReadAt(buf, off); err != nil && err != io.EOF {
+		bufpool.Put(buf)
 		return nil, err
 	}
 	return buf, nil
 }
+
+// PooledGet marks DirBackend.Get buffers as pool-returnable (Pooler).
+func (DirBackend) PooledGet() {}
 
 // Stat implements Backend.
 func (b DirBackend) Stat(key string) (int64, error) {
@@ -296,11 +346,23 @@ func (s *Server) handle(c *transport.Conn) {
 	m0 := s.metrics()
 	m0.gConns.Add(1)
 	defer m0.gConns.Add(-1)
+	slicer, _ := s.backend.(Slicer)
+	_, pooled := s.backend.(Pooler)
+	mirrored := false
 	for {
 		msg, err := c.Recv()
 		if err != nil {
 			return // connection closed
 		}
+		if !mirrored {
+			// Reply in whatever codec the client sent (detected from the
+			// connection preamble on the first Recv).
+			c.UpgradeSend(c.RecvCodec())
+			mirrored = true
+		}
+		// release, when non-nil, returns the reply's data buffer to bufpool
+		// after the reply bytes have been flushed to the socket.
+		var release []byte
 		var reply protocol.Message
 		switch m := msg.(type) {
 		case protocol.PutReq:
@@ -313,12 +375,26 @@ func (s *Server) handle(c *transport.Conn) {
 			} else {
 				m0.bytesIn.Add(int64(len(m.Data)))
 			}
+			// The backend copied (or wrote) the payload; the pooled receive
+			// buffer can go back.
+			bufpool.Put(m.Data)
 			m0.puts.Inc()
 			m0.hPut.Observe(m0.clk.Now() - start)
 			reply = resp
 		case protocol.GetReq:
 			start := m0.clk.Now()
-			data, err := s.backend.Get(m.Key, m.Off, m.Len)
+			var data []byte
+			var err error
+			if slicer != nil {
+				// Zero-copy: the reply aliases the backend's storage and is
+				// written straight to the socket.
+				data, err = slicer.GetSlice(m.Key, m.Off, m.Len)
+			} else {
+				data, err = s.backend.Get(m.Key, m.Off, m.Len)
+				if pooled {
+					release = data
+				}
+			}
 			resp := protocol.GetResp{Data: data}
 			if err != nil {
 				resp.Err = err.Error()
@@ -353,7 +429,11 @@ func (s *Server) handle(c *transport.Conn) {
 		default:
 			reply = protocol.ErrorReply{Err: fmt.Sprintf("objstore: unexpected message %T", msg)}
 		}
-		if err := c.Send(reply); err != nil {
+		err = c.Send(reply)
+		if release != nil {
+			bufpool.Put(release)
+		}
+		if err != nil {
 			if s.Logf != nil {
 				s.Logf("objstore: reply failed: %v", err)
 			}

@@ -1,0 +1,278 @@
+package protocol
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/chunk"
+	"repro/internal/jobs"
+)
+
+func sampleJobs(n int) []jobs.Job {
+	js := make([]jobs.Job, n)
+	for i := range js {
+		js[i] = jobs.Job{
+			ID:   i * 7,
+			Site: i % 3,
+			Ref: chunk.Ref{
+				File:   i % 5,
+				Seq:    i,
+				Offset: int64(i) * 12800,
+				Size:   12800,
+				Units:  128,
+			},
+		}
+	}
+	return js
+}
+
+// every message type with non-trivial field values, including negatives and
+// empty/nil payloads.
+func sampleMessages() []Message {
+	return []Message{
+		Hello{Site: 3, Cluster: "cloud", Cores: 16, Codec: WireBinary},
+		Hello{},
+		JobSpec{App: "knn", Params: []byte{1, 2, 3}, UnitSize: 4096, GroupBytes: 256 << 10,
+			Index: bytes.Repeat([]byte{0xAB}, 100), GroupSize: 8,
+			Checkpoint: []byte("ckpt"), HeartbeatEvery: 5e8, Codec: WireBinary},
+		JobSpec{App: "kmeans"},
+		JobRequest{Site: 1, N: 32},
+		JobGrant{Jobs: sampleJobs(5), Wait: true},
+		JobGrant{},
+		JobsDone{Site: 2, Jobs: sampleJobs(3)},
+		JobsDoneAck{Dup: []int{4, 9, 11}, Err: "partial"},
+		JobsDoneAck{},
+		Heartbeat{Site: 7},
+		CheckpointSave{Site: 1, Seq: 42, Data: []byte("checkpoint-bytes")},
+		CheckpointSave{Site: 0, Seq: 1},
+		CheckpointAck{Err: "stale seq"},
+		CheckpointAck{},
+		ReductionResult{Site: 2, Object: []byte{9, 8, 7}, Processing: 123, Retrieval: 456,
+			Sync: 789, LocalJobs: 10, StolenJobs: 3},
+		Finished{Object: bytes.Repeat([]byte{0xCD}, 50)},
+		Finished{},
+		ErrorReply{Err: "boom"},
+		PutReq{Key: "points0000.dat", Data: bytes.Repeat([]byte{1}, 1000)},
+		PutResp{Err: "disk full", Code: CodeTransient},
+		PutResp{},
+		GetReq{Key: "k", Off: 12800, Len: -1},
+		GetResp{Data: bytes.Repeat([]byte{2}, 64), Code: CodeOK},
+		GetResp{Err: "no such key", Code: CodeNotFound},
+		StatReq{Key: "x"},
+		StatResp{Size: 1 << 40, Err: "", Code: 0},
+		ListReq{Prefix: "points"},
+		ListResp{Keys: []string{"a", "bb", "ccc"}},
+		ListResp{},
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	for _, m := range sampleMessages() {
+		frame, err := AppendFrame(nil, m)
+		if err != nil {
+			t.Fatalf("AppendFrame(%T): %v", m, err)
+		}
+		got, n, err := DecodeFrame(frame)
+		if err != nil {
+			t.Fatalf("DecodeFrame(%T): %v", m, err)
+		}
+		if n != len(frame) {
+			t.Errorf("%T: consumed %d of %d bytes", m, n, len(frame))
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Errorf("%T round trip:\n got %#v\nwant %#v", m, got, m)
+		}
+	}
+}
+
+// TestBinaryRoundTripConcatenated checks frames are self-delimiting on a
+// stream.
+func TestBinaryRoundTripConcatenated(t *testing.T) {
+	msgs := sampleMessages()
+	var stream []byte
+	var err error
+	for _, m := range msgs {
+		if stream, err = AppendFrame(stream, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range msgs {
+		got, n, err := DecodeFrame(stream)
+		if err != nil {
+			t.Fatalf("decoding %T from stream: %v", want, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("stream decode: got %#v want %#v", got, want)
+		}
+		stream = stream[n:]
+	}
+	if len(stream) != 0 {
+		t.Fatalf("%d stream bytes left over", len(stream))
+	}
+}
+
+func TestDecodeFrameMalformed(t *testing.T) {
+	valid, err := AppendFrame(nil, JobGrant{Jobs: sampleJobs(2), Wait: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	validPayload, err := AppendFrame(nil, GetResp{Data: []byte("hello world")})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	frameLen := func(n uint32) []byte {
+		b := make([]byte, 4)
+		binary.LittleEndian.PutUint32(b, n)
+		return b
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty input", nil, ErrTruncatedFrame},
+		{"short length word", []byte{1, 2}, ErrTruncatedFrame},
+		{"zero-length frame", frameLen(0), ErrCorruptFrame},
+		{"oversized length word", frameLen(MaxFrameBytes + 1), ErrFrameTooBig},
+		{"huge length word", frameLen(0xFFFFFFFF), ErrFrameTooBig},
+		{"length beyond input", append(frameLen(100), 1, 2, 3), ErrTruncatedFrame},
+		{"unknown tag", append(frameLen(1), 0xEE), ErrUnknownType},
+		{"zero tag", append(frameLen(1), 0x00), ErrUnknownType},
+		{"truncated body", valid[:len(valid)-4], ErrTruncatedFrame},
+		{"trailing garbage inside frame",
+			func() []byte {
+				f := append([]byte(nil), valid...)
+				f = append(f, 0xAA, 0xBB)
+				binary.LittleEndian.PutUint32(f, uint32(len(f)-4))
+				return f
+			}(), ErrCorruptFrame},
+		{"job count exceeding frame",
+			func() []byte {
+				// JobGrant with Wait byte then a count claiming 1M jobs in a
+				// tiny frame: must be rejected before allocating.
+				body := []byte{byte(tagJobGrant), 0}
+				body = appendU32(body, 1<<20)
+				return append(frameLen(uint32(len(body))), body...)
+			}(), ErrCorruptFrame},
+		{"string length exceeding frame",
+			func() []byte {
+				body := []byte{byte(tagErrorReply)}
+				body = appendU32(body, 1<<30)
+				return append(frameLen(uint32(len(body))), body...)
+			}(), ErrCorruptFrame},
+		{"dup count exceeding frame",
+			func() []byte {
+				body := []byte{byte(tagJobsDoneAck)}
+				body = appendU32(body, 0)       // empty Err
+				body = appendU32(body, 1<<28)   // absurd dup count
+				return append(frameLen(uint32(len(body))), body...)
+			}(), ErrCorruptFrame},
+		{"payload frame truncated mid-meta", validPayload[:6], ErrTruncatedFrame},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m, _, err := DecodeFrame(tc.data)
+			if err == nil {
+				t.Fatalf("decoded %#v from malformed input", m)
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("got error %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestGobBinaryCrossFieldCompat pins the negotiation contract: a gob peer
+// without the Codec fields decodes to the zero value WireGob.
+func TestCodecConstants(t *testing.T) {
+	if WireGob != 0 {
+		t.Fatalf("WireGob must be the zero value, got %d", WireGob)
+	}
+	if WireBinary <= WireGob {
+		t.Fatalf("WireBinary (%d) must rank above WireGob", WireBinary)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Allocation-regression tests: encoding hot messages into a reused buffer
+// must not allocate; decoding must stay within a small constant.
+
+func TestEncodeAllocs(t *testing.T) {
+	grant := JobGrant{Jobs: sampleJobs(64)}
+	done := JobsDone{Site: 1, Jobs: sampleJobs(64)}
+	chunkMsg := GetResp{Data: bytes.Repeat([]byte{3}, 64<<10)}
+	buf := make([]byte, 0, 1<<20)
+	cases := []struct {
+		name string
+		m    Message
+	}{
+		{"JobGrant", grant},
+		{"JobsDone", done},
+		{"GetResp chunk", chunkMsg},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			allocs := testing.AllocsPerRun(100, func() {
+				meta, _, err := AppendBinary(buf[:0], tc.m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if cap(meta) > cap(buf) {
+					buf = meta
+				}
+			})
+			if allocs > 0 {
+				t.Errorf("encoding %s: %.1f allocs/op, want 0", tc.name, allocs)
+			}
+		})
+	}
+}
+
+func TestDecodeAllocs(t *testing.T) {
+	grant, err := AppendFrame(nil, JobGrant{Jobs: sampleJobs(64)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := AppendFrame(nil, JobsDone{Site: 1, Jobs: sampleJobs(64)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunkFrame, err := AppendFrame(nil, GetResp{Data: bytes.Repeat([]byte{3}, 64<<10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 64<<10)
+	alloc := func(n int) []byte { return payload[:n] } // stand-in for bufpool.Get
+
+	cases := []struct {
+		name  string
+		frame []byte
+		alloc func(int) []byte
+		max   float64
+	}{
+		// One allocation for the job slice, plus the bytes.Reader, the
+		// frameReader, and boxing the result into the Message interface.
+		{"JobGrant", grant, nil, 4},
+		{"JobsDone", done, nil, 4},
+		// The chunk payload lands in the pooled buffer: reader + frameReader
+		// + interface boxing only.
+		{"GetResp chunk pooled", chunkFrame, alloc, 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			allocs := testing.AllocsPerRun(100, func() {
+				body := tc.frame[5:]
+				if _, err := DecodeBinaryBody(tc.frame[4], len(body), bytes.NewReader(body), tc.alloc); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs > tc.max {
+				t.Errorf("decoding %s: %.1f allocs/op, want ≤ %.0f", tc.name, allocs, tc.max)
+			}
+		})
+	}
+}

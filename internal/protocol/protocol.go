@@ -1,8 +1,11 @@
 // Package protocol defines the messages exchanged between the framework's
 // node types: the HEAD node (global job assignment and final global
 // reduction), the per-cluster MASTER nodes (cluster-local job pools), and
-// the object-store daemons. Messages are gob-encoded and carried by
-// internal/transport.
+// the object-store daemons. Messages are carried by internal/transport in
+// one of two codecs: the hand-rolled length-prefixed binary format defined
+// in binary.go (the data-plane default — no reflection, no intermediate
+// copies) or the original gob envelope, retained one release as a compat
+// fallback and negotiated per session via Hello.Codec/JobSpec.Codec.
 package protocol
 
 import (
@@ -17,11 +20,24 @@ type Message interface{ protoMsg() }
 // ---------------------------------------------------------------------------
 // Head ↔ Master.
 
+// Wire codec identifiers carried in Hello/JobSpec for live negotiation.
+// Gob ignores unknown and missing struct fields, so a peer predating the
+// binary codec reads Codec as its zero value (WireGob) and the session
+// simply stays on gob.
+const (
+	WireGob    = 0 // reflection-driven gob envelope (compat fallback)
+	WireBinary = 1 // length-prefixed fixed-layout binary codec (binary.go)
+)
+
 // Hello registers a master with the head node.
 type Hello struct {
 	Site    int    // site id of the cluster's storage (matches the placement)
 	Cluster string // human-readable cluster name ("local", "cloud", …)
 	Cores   int    // processing threads the cluster contributes
+	// Codec is the best wire codec the master supports (WireGob/WireBinary).
+	// The head confirms the session codec in JobSpec.Codec; both sides
+	// upgrade their connection after that exchange.
+	Codec int
 }
 
 // JobSpec is the head's response to Hello: everything a cluster needs to
@@ -40,6 +56,10 @@ type JobSpec struct {
 	// Fault carries the head's recovery parameters so the cluster runtime
 	// can enable heartbeats and checkpointing without local configuration.
 	HeartbeatEvery int64 // nanoseconds between heartbeats; 0 disables
+	// Codec is the wire codec the head selected for the rest of the session:
+	// min(head's best, Hello.Codec). The JobSpec itself still travels in the
+	// codec the Hello arrived in; everything after is in the selected codec.
+	Codec int
 }
 
 // JobRequest asks the head for up to N more jobs for the requesting cluster.

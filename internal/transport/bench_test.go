@@ -3,6 +3,7 @@ package transport
 import (
 	"testing"
 
+	"repro/internal/bufpool"
 	"repro/internal/protocol"
 )
 
@@ -72,4 +73,62 @@ func BenchmarkSendOnly(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkWire_ChunkRoundtrip is the PR's acceptance benchmark: one
+// 12.8 MB chunk (the experiments' standard chunk size) echoed over a
+// connection pair, gob vs binary. The binary codec must deliver ≥2× the
+// throughput at ≥10× fewer allocations per op. Received payloads are
+// returned to bufpool on both ends, so the binary numbers reflect the
+// steady-state pooled data plane.
+func BenchmarkWire_ChunkRoundtrip(b *testing.B) {
+	const chunkBytes = 12_800_000
+	for _, codec := range []Codec{CodecGob, CodecBinary} {
+		b.Run(codec.String(), func(b *testing.B) {
+			benchChunkRoundTrip(b, codec, chunkBytes)
+		})
+	}
+}
+
+func benchChunkRoundTrip(b *testing.B, codec Codec, chunkBytes int) {
+	a, peer := PipeWith(codec)
+	defer a.Close()
+	defer peer.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			m, err := peer.Recv()
+			if err != nil {
+				return
+			}
+			if err := peer.Send(m); err != nil {
+				return
+			}
+			if resp, ok := m.(protocol.GetResp); ok {
+				bufpool.Put(resp.Data)
+			}
+		}
+	}()
+	payload := bufpool.Get(chunkBytes)
+	defer bufpool.Put(payload)
+	req := protocol.GetResp{Data: payload}
+	b.SetBytes(2 * int64(chunkBytes)) // the payload crosses the pipe twice
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.Send(req); err != nil {
+			b.Fatal(err)
+		}
+		m, err := a.Recv()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp, ok := m.(protocol.GetResp); ok {
+			bufpool.Put(resp.Data)
+		}
+	}
+	b.StopTimer()
+	a.Close()
+	<-done
 }

@@ -1,18 +1,58 @@
 // Package transport carries protocol messages over any net.Conn: real TCP
 // sockets between machines, loopback sockets in single-host deployments, or
-// net.Pipe pairs in tests. Frames are gob streams wrapped in an envelope so
-// any registered message type can travel on one connection.
+// net.Pipe pairs in tests. Two frame codecs are supported on every
+// connection:
+//
+//   - CodecBinary — the length-prefixed fixed-layout format from
+//     internal/protocol/binary.go. No reflection; bulk payloads are written
+//     straight from the caller's buffer and received into pooled buffers.
+//   - CodecGob — the original gob-envelope stream, retained one release as
+//     a compat fallback.
+//
+// The receive side never needs configuration: a connection that is binary
+// from its first byte announces itself with a 4-byte preamble
+// {0x00,'C','B','1'}, which can never begin a gob stream (gob's first byte
+// is a nonzero varint length), and Recv probes for it before the first
+// frame. Sessions that start in gob (head↔master) negotiate an upgrade via
+// protocol.Hello.Codec/JobSpec.Codec and switch both directions explicitly
+// with UpgradeSend/UpgradeRecv — no preamble is emitted mid-stream.
 package transport
 
 import (
 	"bufio"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 
+	"repro/internal/bufpool"
 	"repro/internal/protocol"
 )
+
+// Codec selects a frame encoding for one direction of a connection.
+type Codec uint8
+
+const (
+	// CodecGob is the reflection-driven gob envelope (compat fallback).
+	CodecGob Codec = iota
+	// CodecBinary is the hand-rolled length-prefixed binary codec.
+	CodecBinary
+)
+
+// String renders the codec for logs and flags.
+func (c Codec) String() string {
+	if c == CodecBinary {
+		return "binary"
+	}
+	return "gob"
+}
+
+// binaryPreamble announces a binary-from-the-start connection. 0x00 is
+// impossible as a gob stream's first byte, making receive-side detection
+// unambiguous.
+var binaryPreamble = [4]byte{0x00, 'C', 'B', '1'}
 
 // envelope lets gob carry the Message interface.
 type envelope struct {
@@ -25,38 +65,100 @@ type envelope struct {
 type Conn struct {
 	raw net.Conn
 
-	sendMu sync.Mutex
-	bw     *bufio.Writer
-	enc    *gob.Encoder
+	sendMu       sync.Mutex
+	bw           *bufio.Writer
+	enc          *gob.Encoder // lazily created; gob sends only
+	sendCodec    Codec
+	preamble     bool // emit binaryPreamble before the first frame
+	preambleSent bool
+	scratch      []byte // reused frame-meta buffer (guarded by sendMu)
 
-	recvMu sync.Mutex
-	dec    *gob.Decoder
+	recvMu    sync.Mutex
+	br        *bufio.Reader
+	dec       *gob.Decoder // lazily created; gob receives only
+	recvCodec Codec
+	probed    bool    // preamble probe done (or bypassed by UpgradeRecv)
+	rhdr      [4]byte // reused frame-header read buffer (guarded by recvMu)
+	bdec      protocol.BodyDecoder
 }
 
-// New wraps a net.Conn in a message connection.
-func New(c net.Conn) *Conn {
-	bw := bufio.NewWriter(c)
+// New wraps a net.Conn in a message connection sending gob (the compat
+// default for control-plane sessions, which upgrade via Hello). The receive
+// side auto-detects the peer's codec.
+func New(c net.Conn) *Conn { return NewWith(c, CodecGob) }
+
+// NewWith wraps a net.Conn sending the given codec from the first frame.
+// A binary sender emits the detection preamble so an auto-detecting peer
+// locks on, and expects binary replies in return (servers mirror the
+// detected codec, without re-emitting a preamble). A gob sender leaves its
+// receive side auto-detecting.
+func NewWith(c net.Conn, codec Codec) *Conn {
 	return &Conn{
-		raw: c,
-		bw:  bw,
-		enc: gob.NewEncoder(bw),
-		dec: gob.NewDecoder(bufio.NewReader(c)),
+		raw:       c,
+		bw:        bufio.NewWriter(c),
+		br:        bufio.NewReader(c),
+		sendCodec: codec,
+		preamble:  codec == CodecBinary,
+		// The receive side defaults to the send codec (replies mirror the
+		// request codec) but still probes the first bytes: a peer that is
+		// binary-from-the-start announces itself with the preamble, which
+		// can never open a gob stream (first byte 0x00) or a binary frame
+		// (it reads as a length word beyond MaxFrameBytes).
+		recvCodec: codec,
 	}
 }
 
-// Dial connects to a listening peer and wraps the socket.
+// Dial connects to a listening peer and wraps the socket (gob send side).
 func Dial(network, addr string) (*Conn, error) {
+	return DialWith(network, addr, CodecGob)
+}
+
+// DialWith connects to a listening peer sending the given codec.
+func DialWith(network, addr string, codec Codec) (*Conn, error) {
 	c, err := net.Dial(network, addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
-	return New(c), nil
+	return NewWith(c, codec), nil
+}
+
+// UpgradeSend switches the send side to codec for all subsequent frames.
+// Used after a Hello/JobSpec negotiation; emits no preamble (the peer
+// switches its receive side from the same exchange).
+func (c *Conn) UpgradeSend(codec Codec) {
+	c.sendMu.Lock()
+	c.sendCodec = codec
+	c.sendMu.Unlock()
+}
+
+// UpgradeRecv switches the receive side to codec for all subsequent frames
+// and disables preamble probing.
+func (c *Conn) UpgradeRecv(codec Codec) {
+	c.recvMu.Lock()
+	c.recvCodec = codec
+	c.probed = true
+	c.recvMu.Unlock()
+}
+
+// RecvCodec reports the receive-side codec. Before the first Recv (or
+// UpgradeRecv) it reports the provisional default; afterwards the detected
+// codec. Servers use it to mirror the client's codec onto their send side.
+func (c *Conn) RecvCodec() Codec {
+	c.recvMu.Lock()
+	defer c.recvMu.Unlock()
+	return c.recvCodec
 }
 
 // Send encodes and flushes one message.
 func (c *Conn) Send(m protocol.Message) error {
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
+	if c.sendCodec == CodecBinary {
+		return c.sendBinary(m)
+	}
+	if c.enc == nil {
+		c.enc = gob.NewEncoder(c.bw)
+	}
 	if err := c.enc.Encode(envelope{M: m}); err != nil {
 		return fmt.Errorf("transport: send: %w", err)
 	}
@@ -66,15 +168,110 @@ func (c *Conn) Send(m protocol.Message) error {
 	return nil
 }
 
-// Recv blocks for the next message.
+// sendBinary writes one binary frame: length word, then the reused meta
+// buffer (tag + fixed fields), then the bulk payload — which goes to the
+// bufio.Writer directly and, when larger than its buffer, straight to the
+// socket with no intermediate copy. Caller holds sendMu.
+func (c *Conn) sendBinary(m protocol.Message) error {
+	if c.preamble && !c.preambleSent {
+		if _, err := c.bw.Write(binaryPreamble[:]); err != nil {
+			return fmt.Errorf("transport: send preamble: %w", err)
+		}
+		c.preambleSent = true
+	}
+	// The frame header is built in the first 4 bytes of the reused scratch
+	// buffer so header+meta go out in one Write with zero allocations.
+	meta, payload, err := protocol.AppendBinary(append(c.scratch[:0], 0, 0, 0, 0), m)
+	if err != nil {
+		return fmt.Errorf("transport: send: %w", err)
+	}
+	c.scratch = meta[:0] // keep the grown buffer for the next frame
+	total := len(meta) - 4 + len(payload)
+	if total > protocol.MaxFrameBytes {
+		return fmt.Errorf("transport: send: %w: %d bytes", protocol.ErrFrameTooBig, total)
+	}
+	binary.LittleEndian.PutUint32(meta[:4], uint32(total))
+	if _, err := c.bw.Write(meta); err != nil {
+		return fmt.Errorf("transport: send: %w", err)
+	}
+	if len(payload) > 0 {
+		if _, err := c.bw.Write(payload); err != nil {
+			return fmt.Errorf("transport: send: %w", err)
+		}
+	}
+	if err := c.bw.Flush(); err != nil {
+		return fmt.Errorf("transport: flush: %w", err)
+	}
+	return nil
+}
+
+// Recv blocks for the next message. Bulk payloads of binary frames are read
+// into bufpool buffers; ownership passes to the caller (see
+// docs/PERFORMANCE.md for who releases them).
 func (c *Conn) Recv() (protocol.Message, error) {
 	c.recvMu.Lock()
 	defer c.recvMu.Unlock()
+	if !c.probed {
+		if err := c.probe(); err != nil {
+			return nil, err
+		}
+	}
+	if c.recvCodec == CodecBinary {
+		return c.recvBinary()
+	}
+	if c.dec == nil {
+		c.dec = gob.NewDecoder(c.br)
+	}
 	var env envelope
 	if err := c.dec.Decode(&env); err != nil {
 		return nil, err
 	}
 	return env.M, nil
+}
+
+// probe peeks at the connection's first bytes for the binary preamble.
+// Caller holds recvMu. A short or failed peek is returned as-is: whichever
+// codec was in effect would have failed on the same bytes.
+func (c *Conn) probe() error {
+	b, err := c.br.Peek(len(binaryPreamble))
+	if err != nil {
+		if len(b) > 0 && b[0] != binaryPreamble[0] {
+			// Definitely not a preamble; let the gob decoder report the
+			// stream error on these bytes instead of failing the peek.
+			c.probed = true
+			return nil
+		}
+		return err
+	}
+	c.probed = true
+	if [4]byte(b) == binaryPreamble {
+		c.br.Discard(len(binaryPreamble))
+		c.recvCodec = CodecBinary
+	}
+	return nil
+}
+
+// recvBinary reads one binary frame. Caller holds recvMu.
+func (c *Conn) recvBinary() (protocol.Message, error) {
+	if _, err := io.ReadFull(c.br, c.rhdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(c.rhdr[:])
+	if n > protocol.MaxFrameBytes {
+		return nil, fmt.Errorf("transport: recv: %w: length word %d", protocol.ErrFrameTooBig, n)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("transport: recv: %w: empty frame", protocol.ErrCorruptFrame)
+	}
+	tag, err := c.br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	m, err := c.bdec.Decode(tag, int(n)-1, c.br, bufpool.Get)
+	if err != nil {
+		return nil, fmt.Errorf("transport: recv: %w", err)
+	}
+	return m, nil
 }
 
 // Close closes the underlying connection.
@@ -83,9 +280,12 @@ func (c *Conn) Close() error { return c.raw.Close() }
 // RemoteAddr reports the peer address.
 func (c *Conn) RemoteAddr() net.Addr { return c.raw.RemoteAddr() }
 
-// Pipe returns a connected in-process pair, for tests and single-process
-// deployments.
-func Pipe() (*Conn, *Conn) {
+// Pipe returns a connected in-process pair (gob send sides, auto-detecting
+// receive sides), for tests and single-process deployments.
+func Pipe() (*Conn, *Conn) { return PipeWith(CodecGob) }
+
+// PipeWith returns a connected in-process pair sending the given codec.
+func PipeWith(codec Codec) (*Conn, *Conn) {
 	a, b := net.Pipe()
-	return New(a), New(b)
+	return NewWith(a, codec), NewWith(b, codec)
 }
