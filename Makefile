@@ -1,6 +1,16 @@
 GO ?= go
 
-.PHONY: build test vet race check bench-obs bench-dataplane bench-dataplane-short
+.PHONY: build test vet race check api-snapshot api-check bench-obs bench-dataplane bench-dataplane-short
+
+# Packages whose exported surface is frozen under docs/api/ — changing
+# their API requires regenerating the snapshot in the same change.
+API_PKGS := \
+	repro/internal/driver \
+	repro/internal/config \
+	repro/internal/head \
+	repro/internal/cluster \
+	repro/internal/jobs \
+	repro/internal/protocol
 
 build:
 	$(GO) build ./...
@@ -14,8 +24,29 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# The CI gate: static checks plus the full suite under the race detector.
-check: vet race
+# Regenerate the exported-API snapshots. Run after an intentional API
+# change and commit the diff alongside it.
+api-snapshot:
+	@mkdir -p docs/api
+	@for p in $(API_PKGS); do \
+		$(GO) doc -all $$p > docs/api/$$(basename $$p).txt || exit 1; \
+	done
+	@echo "api snapshots written to docs/api/"
+
+# Fail when any frozen package's `go doc -all` output drifts from its
+# snapshot: API changes must be explicit, reviewed diffs.
+api-check:
+	@fail=0; for p in $(API_PKGS); do \
+		snap=docs/api/$$(basename $$p).txt; \
+		if ! $(GO) doc -all $$p | diff -u $$snap - ; then \
+			echo "exported API of $$p drifted from $$snap (run 'make api-snapshot' and review)"; \
+			fail=1; \
+		fi; \
+	done; exit $$fail
+
+# The CI gate: static checks, the API freeze, and the full suite under
+# the race detector.
+check: vet api-check race
 
 # Guard the near-free-when-disabled observability promise: compare the
 # baseline Fig 3 benchmark against the same run with an Obs attached

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/appcfg"
 	"repro/internal/chunk"
+	"repro/internal/config"
 	"repro/internal/daemon"
 	"repro/internal/head"
 	"repro/internal/jobs"
@@ -33,9 +34,8 @@ func main() {
 		indexPath  = flag.String("index", "", "path to the dataset index (required)")
 		localFiles = flag.Int("local-files", 0, "number of leading files hosted at site 0 (rest at site 1)")
 		clusters   = flag.Int("clusters", 2, "clusters expected to register")
-		app        = flag.String("app", "knn", "application: knn, kmeans, pagerank")
-		groupBytes = flag.Int("group-bytes", 256<<10, "unit-group (cache) budget per reduction batch")
-		groupSize  = flag.Int("group-size", 0, "jobs per master request (0 = master default)")
+		app       = flag.String("app", "knn", "application: knn, kmeans, pagerank")
+		groupSize = flag.Int("group-size", 0, "jobs per master request (0 = master default)")
 
 		knnK  = flag.Int("knn-k", 10, "knn: neighbors")
 		dim   = flag.Int("dim", 8, "knn/kmeans: point dimensionality")
@@ -47,11 +47,16 @@ func main() {
 		nodes   = flag.Int("nodes", 0, "pagerank: node count")
 		damping = flag.Float64("damping", 0.85, "pagerank: damping factor")
 	)
+	var tn config.Tuning
+	tn.RegisterFlags(flag.CommandLine)
 	var df daemon.Flags
 	df.Register(flag.CommandLine)
 	flag.Parse()
 	if *indexPath == "" {
 		log.Fatal("headnode: -index is required")
+	}
+	if err := tn.Validate(); err != nil {
+		log.Fatalf("headnode: %v", err)
 	}
 	f, err := os.Open(*indexPath)
 	if err != nil {
@@ -92,11 +97,15 @@ func main() {
 	if err != nil {
 		fail("headnode: %v", err)
 	}
+	gb := tn.GroupBytes
+	if gb == 0 {
+		gb = 256 << 10 // default unit-group (cache) budget per reduction batch
+	}
 	spec := protocol.JobSpec{
 		App:        *app,
 		Params:     params,
 		UnitSize:   unitSize,
-		GroupBytes: *groupBytes,
+		GroupBytes: gb,
 		GroupSize:  *groupSize,
 	}
 	if err := head.EncodeIndexSpec(&spec, ix); err != nil {
@@ -109,6 +118,7 @@ func main() {
 		ExpectClusters: *clusters,
 		Logf:           log.Printf,
 		Obs:            rt.Obs,
+		Tuning:         tn,
 	})
 	if err != nil {
 		fail("headnode: %v", err)

@@ -24,6 +24,7 @@ import (
 	_ "repro/internal/apps" // register the built-in application reducers
 	"repro/internal/chunk"
 	"repro/internal/cluster"
+	"repro/internal/config"
 	"repro/internal/daemon"
 	"repro/internal/objstore"
 	"repro/internal/transport"
@@ -36,17 +37,20 @@ func main() {
 		name      = flag.String("name", "cluster", "cluster name for logs and reports")
 		cores     = flag.Int("cores", 4, "processing threads")
 		retrieval = flag.Int("retrieval", 4, "retrieval threads")
-		prefetch  = flag.Int("prefetch", 0, "retrieval pipeline depth: chunks kept in flight ahead of processing (0 = retrieval threads)")
 		dataDir   = flag.String("data", "", "directory with site-0 data files (local storage node)")
 		s3Addr    = flag.String("s3", "", "object-store daemon address (site-1 data)")
 		s3Threads = flag.Int("s3-threads", 2, "parallel range fetches per remote chunk")
-		wireCodec = flag.String("wire-codec", "binary", "wire codec: binary, or gob for peers predating the binary codec")
 	)
+	var tn config.Tuning
+	tn.RegisterFlags(flag.CommandLine)
 	var df daemon.Flags
 	df.Register(flag.CommandLine)
 	flag.Parse()
 	if *dataDir == "" && *s3Addr == "" {
 		log.Fatal("workernode: at least one of -data or -s3 is required")
+	}
+	if err := tn.Validate(); err != nil {
+		log.Fatalf("workernode: %v", err)
 	}
 
 	rt, err := daemon.Start("workernode", df, log.Printf)
@@ -59,14 +63,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	useGob := false
-	switch *wireCodec {
-	case "binary":
-	case "gob":
-		useGob = true
-	default:
-		fail("workernode: unknown -wire-codec %q (want binary or gob)", *wireCodec)
-	}
+	useGob := tn.UseGob()
 
 	hc, err := cluster.DialHead("tcp", *headAddr)
 	if err != nil {
@@ -85,6 +82,8 @@ func main() {
 		defer osc.Close()
 	}
 
+	sourceLabels := map[int]string{0: "local", 1: "s3"}
+
 	// Graceful shutdown: cluster.Run has no cancellation hook, so a signal
 	// closes the head and object-store connections, which errors the run
 	// out promptly; the deferred runtime close still flushes trace/metrics.
@@ -101,7 +100,7 @@ func main() {
 		Name:             *name,
 		Cores:            *cores,
 		RetrievalThreads: *retrieval,
-		PrefetchDepth:    *prefetch,
+		Tuning:           tn,
 		Head:             hc,
 		SourceBuilder: func(ix *chunk.Index) (map[int]chunk.Source, error) {
 			sources := make(map[int]chunk.Source)
@@ -109,11 +108,19 @@ func main() {
 				sources[0] = chunk.NewDirSource(*dataDir, ix)
 			}
 			if osc != nil {
-				sources[1] = &objstore.Source{Client: osc, Index: ix, Threads: *s3Threads}
+				s3src := &objstore.Source{Client: osc, Index: ix, Threads: *s3Threads}
+				sources[1] = s3src
+				// The object store holds the whole dataset, so a worker with
+				// no local copy (a cloud-burst cluster) still serves stolen
+				// site-0 jobs by reading them from the store.
+				if sources[0] == nil {
+					sources[0] = s3src
+					sourceLabels[0] = "s3"
+				}
 			}
 			return sources, nil
 		},
-		SourceLabels: map[int]string{0: "local", 1: "s3"},
+		SourceLabels: sourceLabels,
 		Logf:         log.Printf,
 		Obs:          rt.Obs,
 	})

@@ -1,0 +1,545 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/bufpool"
+	"repro/internal/chunk"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/head"
+	"repro/internal/jobs"
+	"repro/internal/obs"
+	"repro/internal/protocol"
+	"repro/internal/stats"
+)
+
+// AgentConfig parameterizes a long-lived multi-query cluster agent: one
+// registration and one head session serving every query the head admits,
+// with per-query reduction engines, stats and checkpoints kept isolated.
+type AgentConfig struct {
+	// Site is the storage site co-located with this cluster.
+	Site int
+	// Name labels the cluster in logs and reports.
+	Name string
+	// Cores is the number of processing threads per query engine. Required.
+	Cores int
+	// RetrievalThreads is the number of concurrent chunk retrievals used
+	// while working one query's grant batch. Defaults to 2.
+	RetrievalThreads int
+	// Tuning carries the shared knobs (GroupBytes override,
+	// CheckpointEveryJobs); see config.Tuning.
+	Tuning config.Tuning
+	// Sources maps site id → Source; used for every query whose index this
+	// agent serves. Either Sources or SourceBuilder is required.
+	Sources map[int]chunk.Source
+	// SourceBuilder constructs sources per query once its index is known.
+	SourceBuilder func(ix *chunk.Index) (map[int]chunk.Source, error)
+	// SourceLabels names sources for byte accounting; optional.
+	SourceLabels map[int]string
+	// Head connects to the head node. Required.
+	Head QueryClient
+	// RequestBatch is the job-group size per poll; defaults to max(Cores, 4).
+	RequestBatch int
+	// Retry is the retrieval fault-tolerance policy.
+	Retry Retry
+	// Logf receives diagnostics; nil silences them.
+	Logf func(format string, args ...any)
+	// Obs, when non-nil, collects agent-side metrics.
+	Obs *obs.Obs
+}
+
+func (c *AgentConfig) applyDefaults() error {
+	if c.Cores <= 0 {
+		return fmt.Errorf("cluster: Cores must be positive, got %d", c.Cores)
+	}
+	if c.Head == nil {
+		return errors.New("cluster: Head client is required")
+	}
+	if len(c.Sources) == 0 && c.SourceBuilder == nil {
+		return errors.New("cluster: Sources or SourceBuilder is required")
+	}
+	if c.RetrievalThreads <= 0 {
+		c.RetrievalThreads = 2
+	}
+	if c.RequestBatch <= 0 {
+		c.RequestBatch = c.Cores
+		if c.RequestBatch < 4 {
+			c.RequestBatch = 4
+		}
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return nil
+}
+
+// agentQuery is the agent-side state of one active query: its own reduction
+// engine, sources, stats collector and checkpoint bookkeeping, fully
+// isolated from every other query the agent serves.
+type agentQuery struct {
+	id        int
+	spec      protocol.JobSpec
+	reducer   core.Reducer
+	engine    *core.Engine
+	sources   map[int]chunk.Source
+	collector *stats.Collector
+
+	// Checkpoint state, mirroring cluster.Run's: folds hold ckptMu.RLock, a
+	// checkpoint holds the write lock while it quiesces the engine.
+	ckptMu    sync.RWMutex
+	idsMu     sync.Mutex
+	folded    []int
+	ckptSeq   int
+	foldedN   int64
+	resumeObj core.Object
+}
+
+// agentRun carries the per-RunAgent state shared across queries.
+type agentRun struct {
+	cfg      *AgentConfig
+	clk      obs.Clock
+	queries  map[int]*agentQuery
+	mLocal   *obs.Counter
+	mStolen  *obs.Counter
+	mDups    *obs.Counter
+	mCkpts   *obs.Counter
+	mRetries *obs.Counter
+}
+
+// RunAgent runs one cluster's multi-query agent until the head announces
+// shutdown (returns nil) or ctx is canceled (returns ctx.Err()). The agent
+// registers once, then interleaves jobs from every admitted query out of a
+// single poll loop: each query gets its own reduction engine and stats, each
+// drained query's object ships asynchronously (the agent keeps serving the
+// others), canceled queries are discarded on the head's Dropped notice, and
+// a fencing rejection triggers re-registration with all local query state
+// reset (the head already reissued anything not checkpointed).
+func RunAgent(ctx context.Context, cfg AgentConfig) error {
+	if err := cfg.applyDefaults(); err != nil {
+		return err
+	}
+	reg := cfg.Obs.Metrics()
+	a := &agentRun{
+		cfg:     &cfg,
+		clk:     cfg.Obs.ClockOrWall(),
+		queries: make(map[int]*agentQuery),
+		mLocal:   reg.Counter("cluster_jobs_local_total"),
+		mStolen:  reg.Counter("cluster_jobs_stolen_total"),
+		mDups:    reg.Counter("cluster_dup_jobs_total"),
+		mCkpts:   reg.Counter("cluster_checkpoints_total"),
+		mRetries: reg.Counter("cluster_retrieval_retries_total"),
+	}
+	bufpool.Register(reg)
+
+	siteSpec, err := cfg.Head.RegisterSite(protocol.Hello{
+		Site: cfg.Site, Cluster: cfg.Name, Cores: cfg.Cores, Proto: protocol.ProtoMulti,
+	})
+	if err != nil {
+		return fmt.Errorf("cluster %s: register: %w", cfg.Name, err)
+	}
+
+	// Heartbeats renew the agent's lease for the whole session; unlike the
+	// single-query master there is no terminal blocking submit to stop for.
+	stopHB := make(chan struct{})
+	var hbWG sync.WaitGroup
+	defer hbWG.Wait()
+	defer close(stopHB) // LIFO: stop the ticker goroutine, then join it
+	if hb := time.Duration(siteSpec.HeartbeatEvery); hb > 0 {
+		hbWG.Add(1)
+		go func() {
+			defer hbWG.Done()
+			t := time.NewTicker(hb)
+			defer t.Stop()
+			for {
+				select {
+				case <-stopHB:
+					return
+				case <-t.C:
+					_ = cfg.Head.Heartbeat(cfg.Site)
+				}
+			}
+		}()
+	}
+	defer a.discardAll()
+
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		rep, err := cfg.Head.Poll(cfg.Site, cfg.RequestBatch)
+		if err != nil {
+			if fault.IsFenced(err) {
+				if err := a.reregister(); err != nil {
+					return err
+				}
+				continue
+			}
+			return fmt.Errorf("cluster %s: poll: %w", cfg.Name, err)
+		}
+		worked := false
+		for _, qj := range rep.Queries {
+			q, err := a.ensure(qj.Query)
+			if err != nil {
+				if errors.Is(err, head.ErrQueryCanceled) || errors.Is(err, head.ErrUnknownQuery) {
+					// Canceled between assignment and the spec fetch; its
+					// grants need no commit — the pool left with the query.
+					continue
+				}
+				return err
+			}
+			if err := a.process(ctx, q, qj.Jobs); err != nil {
+				if fault.IsFenced(err) {
+					if err := a.reregister(); err != nil {
+						return err
+					}
+					break
+				}
+				return err
+			}
+			worked = true
+		}
+		for _, id := range rep.Done {
+			if err := a.finalize(id); err != nil {
+				return err
+			}
+			worked = true
+		}
+		for _, id := range rep.Dropped {
+			a.discard(id)
+			worked = true
+		}
+		if rep.Shutdown {
+			return nil
+		}
+		if !worked {
+			// Idle: nothing granted and nothing to finish. New queries may be
+			// admitted at any time, so the agent never exits on an empty
+			// grant — it backs off and polls again (Wait only distinguishes
+			// how soon recovery work could appear).
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(waitPoll):
+			}
+		}
+	}
+}
+
+// reregister re-opens the session after a fencing rejection. Local query
+// state is discarded wholesale: the head reissued every fold not covered by
+// a persisted checkpoint, and the checkpoint itself comes back through each
+// query's re-fetched spec.
+func (a *agentRun) reregister() error {
+	a.discardAll()
+	a.cfg.Logf("cluster %s: fenced; re-registering", a.cfg.Name)
+	_, err := a.cfg.Head.RegisterSite(protocol.Hello{
+		Site: a.cfg.Site, Cluster: a.cfg.Name, Cores: a.cfg.Cores, Proto: protocol.ProtoMulti,
+	})
+	if err != nil {
+		return fmt.Errorf("cluster %s: re-register: %w", a.cfg.Name, err)
+	}
+	return nil
+}
+
+// ensure returns the agent's state for query id, fetching the spec and
+// building the engine on first sight (or on the first sight after a
+// recovery, resuming from the spec's checkpoint).
+func (a *agentRun) ensure(id int) (*agentQuery, error) {
+	if q, ok := a.queries[id]; ok {
+		return q, nil
+	}
+	cfg := a.cfg
+	spec, err := cfg.Head.QuerySpec(cfg.Site, id)
+	if err != nil {
+		return nil, err
+	}
+	ix, err := chunk.ReadIndex(bytes.NewReader(spec.Index))
+	if err != nil {
+		return nil, fmt.Errorf("cluster %s: bad index in query %d spec: %w", cfg.Name, id, err)
+	}
+	sources := cfg.Sources
+	if len(sources) == 0 {
+		if sources, err = cfg.SourceBuilder(ix); err != nil {
+			return nil, fmt.Errorf("cluster %s: building sources for query %d: %w", cfg.Name, id, err)
+		}
+	}
+	if ix.HasChecksums() {
+		verified := make(map[int]chunk.Source, len(sources))
+		for site, src := range sources {
+			verified[site] = chunk.VerifyingSource{Source: src, Index: ix}
+		}
+		sources = verified
+	}
+	reducer, err := core.NewReducer(spec.App, spec.Params)
+	if err != nil {
+		return nil, fmt.Errorf("cluster %s: query %d: %w", cfg.Name, id, err)
+	}
+	groupBytes := spec.GroupBytes
+	if cfg.Tuning.GroupBytes > 0 {
+		groupBytes = cfg.Tuning.GroupBytes
+	}
+	collector := &stats.Collector{}
+	engine, err := core.NewEngine(core.EngineConfig{
+		Reducer:    reducer,
+		Workers:    cfg.Cores,
+		UnitSize:   spec.UnitSize,
+		GroupBytes: groupBytes,
+		QueueDepth: cfg.RetrievalThreads,
+		Collector:  collector,
+		Release:    bufpool.Put,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cluster %s: query %d: %w", cfg.Name, id, err)
+	}
+	q := &agentQuery{
+		id: id, spec: spec, reducer: reducer, engine: engine,
+		sources: sources, collector: collector,
+	}
+	if len(spec.Checkpoint) > 0 {
+		ck, err := fault.DecodeCheckpoint(spec.Checkpoint)
+		if err != nil {
+			return nil, fmt.Errorf("cluster %s: bad checkpoint in query %d spec: %w", cfg.Name, id, err)
+		}
+		if q.resumeObj, err = reducer.Decode(ck.Object); err != nil {
+			return nil, fmt.Errorf("cluster %s: decoding query %d checkpoint: %w", cfg.Name, id, err)
+		}
+		q.ckptSeq = ck.Seq
+		q.folded = append(q.folded, ck.Completed...)
+		cfg.Logf("cluster %s: query %d resumes from checkpoint seq %d (%d jobs covered)",
+			cfg.Name, id, ck.Seq, len(ck.Completed))
+	}
+	a.queries[id] = q
+	cfg.Logf("cluster %s: serving query %d (app %q)", cfg.Name, id, spec.App)
+	return q, nil
+}
+
+// process works one query's grant batch: retrieve, commit-before-fold, and
+// feed the query's engine, with RetrievalThreads jobs in flight at once. It
+// returns once the whole batch is folded (or discarded as duplicates), so a
+// Done notice in a later poll can never race this batch's folds.
+func (a *agentRun) process(ctx context.Context, q *agentQuery, js []jobs.Job) error {
+	cfg := a.cfg
+	lanes := cfg.RetrievalThreads
+	if lanes > len(js) {
+		lanes = len(js)
+	}
+	jobCh := make(chan jobs.Job)
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	for t := 0; t < lanes; t++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobCh {
+				if err := a.oneJob(q, j); err != nil {
+					fail(err)
+				}
+			}
+		}()
+	}
+	for _, j := range js {
+		select {
+		case <-ctx.Done():
+			fail(ctx.Err())
+		case jobCh <- j:
+			continue
+		}
+		break
+	}
+	close(jobCh)
+	wg.Wait()
+	return firstErr
+}
+
+// oneJob retrieves, commits and folds a single job for q.
+func (a *agentRun) oneJob(q *agentQuery, j jobs.Job) error {
+	cfg := a.cfg
+	src, ok := q.sources[j.Site]
+	if !ok {
+		return fmt.Errorf("cluster %s: no source for site %d", cfg.Name, j.Site)
+	}
+	label := sourceLabelFor(cfg.SourceLabels, cfg.Site, j.Site)
+	start := a.clk.Now()
+	data, err := retrieveWithRetry(&Config{Name: cfg.Name, Retry: cfg.Retry, Logf: cfg.Logf}, src, j, a.mRetries)
+	elapsed := a.clk.Now() - start
+	if err != nil {
+		return fmt.Errorf("cluster %s: retrieving %v: %w", cfg.Name, j.Ref, err)
+	}
+	q.collector.AddRetrieval(label, elapsed, int64(len(data)))
+	// Commit BEFORE folding: exactly-once reduction per query (duplicate
+	// completions — speculative copies, recovered re-executions, or commits
+	// for a canceled query — must not be folded).
+	dups, err := cfg.Head.CompleteJobs(q.id, cfg.Site, []jobs.Job{j})
+	if err != nil {
+		bufpool.Put(data)
+		return err
+	}
+	if len(dups) > 0 {
+		bufpool.Put(data)
+		a.mDups.Inc()
+		return nil
+	}
+	q.ckptMu.RLock()
+	err = q.engine.Submit(data)
+	if err == nil {
+		q.idsMu.Lock()
+		q.folded = append(q.folded, j.ID)
+		q.foldedN++
+		n := q.foldedN
+		q.idsMu.Unlock()
+		q.ckptMu.RUnlock()
+		if every := cfg.Tuning.CheckpointEveryJobs; every > 0 && n%int64(every) == 0 {
+			if err := a.checkpoint(q); err != nil {
+				cfg.Logf("cluster %s: query %d checkpoint failed: %v", cfg.Name, q.id, err)
+			}
+		}
+	} else {
+		q.ckptMu.RUnlock()
+		bufpool.Put(data)
+		return err
+	}
+	q.collector.CountJob(j.Site != cfg.Site)
+	if j.Site != cfg.Site {
+		a.mStolen.Inc()
+	} else {
+		a.mLocal.Inc()
+	}
+	return nil
+}
+
+// checkpoint quiesces one query's engine and ships its merged object plus
+// covered job IDs to the head, tagged with the query.
+func (a *agentRun) checkpoint(q *agentQuery) error {
+	cfg := a.cfg
+	q.ckptMu.Lock()
+	snap, err := q.engine.Snapshot()
+	if err == nil && q.resumeObj != nil {
+		err = q.reducer.GlobalReduce(snap, q.resumeObj)
+	}
+	var enc []byte
+	if err == nil {
+		enc, err = q.reducer.Encode(snap)
+	}
+	if err != nil {
+		q.ckptMu.Unlock()
+		return err
+	}
+	q.idsMu.Lock()
+	ids := make([]int, len(q.folded))
+	copy(ids, q.folded)
+	q.idsMu.Unlock()
+	sort.Ints(ids)
+	q.ckptSeq++
+	seq := q.ckptSeq
+	q.ckptMu.Unlock()
+	data := fault.Checkpoint{Site: cfg.Site, Seq: seq, Object: enc, Completed: ids}.Encode()
+	if err := cfg.Head.Checkpoint(protocol.CheckpointSave{
+		Site: cfg.Site, Seq: seq, Query: q.id, Data: data,
+	}); err != nil {
+		return err
+	}
+	a.mCkpts.Inc()
+	cfg.Logf("cluster %s: query %d checkpoint %d shipped (%d jobs, %d bytes)",
+		cfg.Name, q.id, seq, len(ids), len(data))
+	return nil
+}
+
+// finalize answers a Done notice for query id: local-merge the engine,
+// fold in any recovered checkpoint object, and ship the result. The head
+// expects a result even from a site that folded nothing for the query
+// (ExpectAll queries) — that site contributes the reducer's identity object.
+func (a *agentRun) finalize(id int) error {
+	cfg := a.cfg
+	q, ok := a.queries[id]
+	if !ok {
+		// Never saw a grant for this query (ExpectAll rule): contribute the
+		// identity object so the head's expected-results count closes.
+		var err error
+		if q, err = a.ensure(id); err != nil {
+			if errors.Is(err, head.ErrQueryCanceled) || errors.Is(err, head.ErrUnknownQuery) {
+				return nil
+			}
+			return err
+		}
+	}
+	delete(a.queries, id)
+	obj, err := q.engine.Finish()
+	if err != nil {
+		return fmt.Errorf("cluster %s: query %d local reduction: %w", cfg.Name, id, err)
+	}
+	if q.resumeObj != nil {
+		if err := q.reducer.GlobalReduce(obj, q.resumeObj); err != nil {
+			return fmt.Errorf("cluster %s: query %d merging recovered checkpoint: %w", cfg.Name, id, err)
+		}
+	}
+	encoded, err := q.reducer.Encode(obj)
+	if err != nil {
+		return fmt.Errorf("cluster %s: query %d encoding reduction object: %w", cfg.Name, id, err)
+	}
+	b := q.collector.Breakdown()
+	jacct := q.collector.Jobs()
+	err = cfg.Head.SubmitResult(protocol.ReductionResult{
+		Site:       cfg.Site,
+		Query:      id,
+		Object:     encoded,
+		Processing: int64(b.Processing),
+		Retrieval:  int64(b.Retrieval),
+		Sync:       int64(b.Sync),
+		LocalJobs:  jacct.Local,
+		StolenJobs: jacct.Stolen,
+	})
+	if err != nil {
+		if errors.Is(err, head.ErrQueryCanceled) || errors.Is(err, head.ErrUnknownQuery) {
+			return nil // canceled while we merged; nothing to keep
+		}
+		return fmt.Errorf("cluster %s: query %d submitting result: %w", cfg.Name, id, err)
+	}
+	cfg.Logf("cluster %s: query %d done (%v)", cfg.Name, id, b)
+	return nil
+}
+
+// discard drops all local state for a canceled query.
+func (a *agentRun) discard(id int) {
+	q, ok := a.queries[id]
+	if !ok {
+		return
+	}
+	delete(a.queries, id)
+	_, _ = q.engine.Finish() // stop the workers, release buffers
+	a.cfg.Logf("cluster %s: dropped query %d", a.cfg.Name, id)
+}
+
+// discardAll drops every active query's state (fencing recovery, teardown).
+func (a *agentRun) discardAll() {
+	for id := range a.queries {
+		a.discard(id)
+	}
+}
+
+func sourceLabelFor(labels map[int]string, own, site int) string {
+	if l, ok := labels[site]; ok {
+		return l
+	}
+	if site == own {
+		return "local"
+	}
+	return fmt.Sprintf("site%d", site)
+}

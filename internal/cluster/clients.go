@@ -1,7 +1,6 @@
 package cluster
 
 import (
-	"errors"
 	"fmt"
 	"sync"
 
@@ -20,9 +19,9 @@ func (c InProc) Register(hello protocol.Hello) (protocol.JobSpec, error) {
 	return c.Head.Register(hello)
 }
 
-// RequestJobs implements HeadClient.
-func (c InProc) RequestJobs(site, n int) ([]jobs.Job, bool, error) {
-	return c.Head.RequestJobs(site, n)
+// Poll implements HeadClient.
+func (c InProc) Poll(site, n int) (protocol.PollReply, error) {
+	return c.Head.Poll(site, n)
 }
 
 // CompleteJobs implements HeadClient.
@@ -108,25 +107,30 @@ func (r *Remote) Register(hello protocol.Hello) (protocol.JobSpec, error) {
 		}
 		return m, nil
 	case protocol.ErrorReply:
-		return protocol.JobSpec{}, errors.New(m.Err)
+		return protocol.JobSpec{}, head.CodeError(m.Code, m.Err)
 	default:
 		return protocol.JobSpec{}, fmt.Errorf("cluster: unexpected reply %T to Hello", reply)
 	}
 }
 
-// RequestJobs implements HeadClient.
-func (r *Remote) RequestJobs(site, n int) ([]jobs.Job, bool, error) {
+// Poll implements HeadClient over the single-query (proto 0) session: the
+// JobRequest/JobGrant exchange is translated into a one-query PollReply.
+func (r *Remote) Poll(site, n int) (protocol.PollReply, error) {
 	reply, err := r.roundTrip(protocol.JobRequest{Site: site, N: n})
 	if err != nil {
-		return nil, false, err
+		return protocol.PollReply{}, err
 	}
 	switch m := reply.(type) {
 	case protocol.JobGrant:
-		return m.Jobs, m.Wait, nil
+		rep := protocol.PollReply{Wait: m.Wait}
+		if len(m.Jobs) > 0 {
+			rep.Queries = []protocol.QueryJobs{{Query: 0, Jobs: m.Jobs}}
+		}
+		return rep, nil
 	case protocol.ErrorReply:
-		return nil, false, errors.New(m.Err)
+		return protocol.PollReply{}, head.CodeError(m.Code, m.Err)
 	default:
-		return nil, false, fmt.Errorf("cluster: unexpected reply %T to JobRequest", reply)
+		return protocol.PollReply{}, fmt.Errorf("cluster: unexpected reply %T to JobRequest", reply)
 	}
 }
 
@@ -140,11 +144,11 @@ func (r *Remote) CompleteJobs(site int, js []jobs.Job) ([]int, error) {
 	switch m := reply.(type) {
 	case protocol.JobsDoneAck:
 		if m.Err != "" {
-			return m.Dup, errors.New(m.Err)
+			return m.Dup, head.CodeError(m.Code, m.Err)
 		}
 		return m.Dup, nil
 	case protocol.ErrorReply:
-		return nil, errors.New(m.Err)
+		return nil, head.CodeError(m.Code, m.Err)
 	default:
 		return nil, fmt.Errorf("cluster: unexpected reply %T to JobsDone", reply)
 	}
@@ -166,11 +170,11 @@ func (r *Remote) Checkpoint(cs protocol.CheckpointSave) error {
 	switch m := reply.(type) {
 	case protocol.CheckpointAck:
 		if m.Err != "" {
-			return errors.New(m.Err)
+			return head.CodeError(m.Code, m.Err)
 		}
 		return nil
 	case protocol.ErrorReply:
-		return errors.New(m.Err)
+		return head.CodeError(m.Code, m.Err)
 	default:
 		return fmt.Errorf("cluster: unexpected reply %T to CheckpointSave", reply)
 	}
@@ -187,7 +191,7 @@ func (r *Remote) SubmitResult(res protocol.ReductionResult) ([]byte, error) {
 	case protocol.Finished:
 		return m.Object, nil
 	case protocol.ErrorReply:
-		return nil, errors.New(m.Err)
+		return nil, head.CodeError(m.Code, m.Err)
 	default:
 		return nil, fmt.Errorf("cluster: unexpected reply %T to ReductionResult", reply)
 	}

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/bufpool"
 	"repro/internal/chunk"
+	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/jobs"
@@ -37,10 +38,12 @@ import (
 type HeadClient interface {
 	// Register announces the cluster and retrieves the job specification.
 	Register(hello protocol.Hello) (protocol.JobSpec, error)
-	// RequestJobs asks for up to n jobs. An empty grant with wait=false
-	// means the pool is exhausted for good; wait=true means recovery or
-	// speculation may yet produce work, so poll again.
-	RequestJobs(site, n int) (js []jobs.Job, wait bool, err error)
+	// Poll asks for up to n jobs and returns the head's typed poll result:
+	// grants grouped per query, completion notices, and the Wait hint. An
+	// empty reply with Wait=false means the pool is exhausted for good;
+	// Wait=true means recovery or speculation may yet produce work, so poll
+	// again. Single-query masters see all grants under query 0.
+	Poll(site, n int) (protocol.PollReply, error)
 	// CompleteJobs commits finished jobs and returns the IDs the head
 	// deduplicated; their contribution must not be folded.
 	CompleteJobs(site int, js []jobs.Job) ([]int, error)
@@ -69,12 +72,13 @@ type Config struct {
 	// RetrievalThreads is the number of concurrent chunk retrievals
 	// (each slave uses multiple retrieval threads). Defaults to 2.
 	RetrievalThreads int
-	// PrefetchDepth is the retrieval pipeline depth: how many chunks the
-	// slave keeps in flight (being fetched or queued) ahead of processing.
-	// It sets both the number of retrieval lanes and the engine's queue
-	// depth, so retrieval hides behind the fold whenever bandwidth allows.
-	// Defaults to RetrievalThreads (the paper's fixed 2-thread pull).
-	PrefetchDepth int
+	// Tuning carries the knobs shared with the head and the driver —
+	// PrefetchDepth (retrieval pipeline depth; defaults to RetrievalThreads),
+	// GroupBytes (overrides the spec's unit-group budget when > 0), and
+	// CheckpointEveryJobs (snapshot the reduction engine and ship a
+	// checkpoint to the head every that many folded jobs; 0 disables).
+	// Defined once in config.Tuning so every layer agrees on defaults.
+	Tuning config.Tuning
 	// Sources maps each site id to the Source this cluster uses to read
 	// data hosted there (its own storage node, the object store client, …).
 	// Either Sources or SourceBuilder is required.
@@ -90,16 +94,9 @@ type Config struct {
 	// RequestBatch is the job-group size per head request; defaults to
 	// max(Cores, 4).
 	RequestBatch int
-	// GroupBytes overrides the spec's unit-group budget when > 0.
-	GroupBytes int
 	// Retry controls fault tolerance for transient retrieval failures
 	// (dropped object-store connections, storage-node hiccups).
 	Retry Retry
-	// CheckpointEveryJobs, when > 0, snapshots the reduction engine and
-	// ships a checkpoint (merged reduction object + completed-job list) to
-	// the head every that many folded jobs, bounding recomputation after a
-	// crash to at most that many jobs.
-	CheckpointEveryJobs int
 	// Logf receives diagnostics; nil silences them.
 	Logf func(format string, args ...any)
 	// Obs, when non-nil, collects cluster-side metrics (job counters,
@@ -169,8 +166,8 @@ func (c *Config) applyDefaults() error {
 	if c.RetrievalThreads <= 0 {
 		c.RetrievalThreads = 2
 	}
-	if c.PrefetchDepth <= 0 {
-		c.PrefetchDepth = c.RetrievalThreads
+	if c.Tuning.PrefetchDepth <= 0 {
+		c.Tuning.PrefetchDepth = c.RetrievalThreads
 	}
 	if c.RequestBatch <= 0 {
 		c.RequestBatch = c.Cores
@@ -218,8 +215,8 @@ func Run(cfg Config) (*Report, error) {
 		return nil, fmt.Errorf("cluster %s: %w", cfg.Name, err)
 	}
 	groupBytes := spec.GroupBytes
-	if cfg.GroupBytes > 0 {
-		groupBytes = cfg.GroupBytes
+	if cfg.Tuning.GroupBytes > 0 {
+		groupBytes = cfg.Tuning.GroupBytes
 	}
 	batch := cfg.RequestBatch
 	if spec.GroupSize > 0 {
@@ -235,7 +232,7 @@ func Run(cfg Config) (*Report, error) {
 	// The prefetch pipeline: PrefetchDepth retrieval lanes keep that many
 	// chunks in flight ahead of the fold (the engine queue is sized to
 	// match, so a burst of completions never blocks the lanes needlessly).
-	lanes := cfg.PrefetchDepth
+	lanes := cfg.Tuning.PrefetchDepth
 	for t := 0; t < lanes; t++ {
 		tr.NameThread(pid, 1+t, fmt.Sprintf("retr-%d", t+1))
 	}
@@ -379,13 +376,17 @@ func Run(cfg Config) (*Report, error) {
 				return
 			default:
 			}
-			granted, wait, err := cfg.Head.RequestJobs(cfg.Site, batch)
+			rep, err := cfg.Head.Poll(cfg.Site, batch)
 			if err != nil {
 				feedErr <- fmt.Errorf("cluster %s: job request: %w", cfg.Name, err)
 				return
 			}
+			var granted []jobs.Job
+			for _, qj := range rep.Queries {
+				granted = append(granted, qj.Jobs...)
+			}
 			if len(granted) == 0 {
-				if !wait {
+				if !rep.Wait {
 					feedErr <- nil
 					return
 				}
@@ -487,7 +488,7 @@ func Run(cfg Config) (*Report, error) {
 				} else {
 					mLocal.Inc()
 				}
-				if every := cfg.CheckpointEveryJobs; every > 0 {
+				if every := cfg.Tuning.CheckpointEveryJobs; every > 0 {
 					if n := foldedN.Add(1); n%int64(every) == 0 {
 						if err := checkpoint(); err != nil {
 							// Checkpointing is best-effort: a failed write

@@ -7,14 +7,16 @@ import (
 	"time"
 
 	"repro/internal/chunk"
+	"repro/internal/config"
 	"repro/internal/fault"
 	"repro/internal/head"
 	"repro/internal/jobs"
 	"repro/internal/protocol"
 )
 
-// newFaultHead is newHead plus a fault configuration.
-func newFaultHead(t *testing.T, ix *chunk.Index, placement jobs.Placement, clusters int, fc head.FaultConfig) *head.Head {
+// newFaultHead is newHead plus a fault configuration: a checkpoint store and
+// the lease TTL (zero disables expiry-driven failure detection).
+func newFaultHead(t *testing.T, ix *chunk.Index, placement jobs.Placement, clusters int, store fault.Store, ttl time.Duration) *head.Head {
 	t.Helper()
 	pool, err := jobs.NewPool(ix, placement, jobs.Options{})
 	if err != nil {
@@ -30,7 +32,8 @@ func newFaultHead(t *testing.T, ix *chunk.Index, placement jobs.Placement, clust
 		Spec:           spec,
 		ExpectClusters: clusters,
 		Logf:           t.Logf,
-		Fault:          fc,
+		Tuning:         config.Tuning{LeaseTTL: ttl},
+		Fault:          head.FaultConfig{Store: store},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -59,15 +62,15 @@ func TestWorkerCrashRecoveryByteIdentical(t *testing.T) {
 	}
 
 	// Faulty run: the data path dies after 12 successful chunk reads.
-	h := newFaultHead(t, ix, placement, 1, head.FaultConfig{Store: fault.NewMemStore()})
+	h := newFaultHead(t, ix, placement, 1, fault.NewMemStore(), 0)
 	inj := &fault.Injector{Source: src, KillAfter: 12}
 	cfg := Config{
 		Site: 0, Name: "doomed", Cores: 2,
-		Sources:             map[int]chunk.Source{0: inj},
-		Head:                InProc{Head: h},
-		CheckpointEveryJobs: 5,
-		Retry:               Retry{Attempts: 2, Backoff: time.Millisecond},
-		Logf:                t.Logf,
+		Sources: map[int]chunk.Source{0: inj},
+		Head:    InProc{Head: h},
+		Tuning:  config.Tuning{CheckpointEveryJobs: 5},
+		Retry:   Retry{Attempts: 2, Backoff: time.Millisecond},
+		Logf:    t.Logf,
 	}
 	if _, err := Run(cfg); err == nil {
 		t.Fatal("killed worker's run succeeded")
@@ -125,17 +128,15 @@ func (f *fencingSource) ReadChunk(ref chunk.Ref) ([]byte, error) {
 func TestFencedMasterFailsFastAndRejoins(t *testing.T) {
 	ix, src, want := buildDataset(t, 4000, 1000, 100) // 40 jobs
 	placement := jobs.SplitByFraction(len(ix.Files), 1, 0, 1)
-	h := newFaultHead(t, ix, placement, 1, head.FaultConfig{
-		Store:    fault.NewMemStore(),
-		LeaseTTL: time.Hour, // expiry never fires on its own; the test fences explicitly
-	})
+	// Expiry never fires on its own (1h TTL); the test fences explicitly.
+	h := newFaultHead(t, ix, placement, 1, fault.NewMemStore(), time.Hour)
 	fsrc := &fencingSource{Source: src, after: 12, fence: func() { h.FailSite(0) }}
 	cfg := Config{
 		Site: 0, Name: "straggler", Cores: 2,
-		Sources:             map[int]chunk.Source{0: fsrc},
-		Head:                InProc{Head: h},
-		CheckpointEveryJobs: 5,
-		Logf:                t.Logf,
+		Sources: map[int]chunk.Source{0: fsrc},
+		Head:    InProc{Head: h},
+		Tuning:  config.Tuning{CheckpointEveryJobs: 5},
+		Logf:    t.Logf,
 	}
 	done := make(chan error, 1)
 	go func() {
@@ -177,18 +178,15 @@ func TestCrashRestartWithTwoClusters(t *testing.T) {
 	ix, src, want := buildDataset(t, 8000, 1000, 100) // 8 files × 10 chunks
 	placement := jobs.SplitByFraction(len(ix.Files), 0.5, 0, 1)
 
-	h := newFaultHead(t, ix, placement, 2, head.FaultConfig{
-		Store:    fault.NewMemStore(),
-		LeaseTTL: 200 * time.Millisecond,
-	})
+	h := newFaultHead(t, ix, placement, 2, fault.NewMemStore(), 200*time.Millisecond)
 	sources := map[int]chunk.Source{0: src, 1: src}
 	inj := &fault.Injector{Source: src, KillAfter: 8}
 	doomed := Config{
 		Site: 0, Name: "doomed", Cores: 2,
-		Sources:             map[int]chunk.Source{0: inj, 1: inj},
-		Head:                InProc{Head: h},
-		CheckpointEveryJobs: 4,
-		Retry:               Retry{Attempts: 2, Backoff: time.Millisecond},
+		Sources: map[int]chunk.Source{0: inj, 1: inj},
+		Head:    InProc{Head: h},
+		Tuning:  config.Tuning{CheckpointEveryJobs: 4},
+		Retry:   Retry{Attempts: 2, Backoff: time.Millisecond},
 	}
 	healthy := Config{
 		Site: 1, Name: "healthy", Cores: 2,

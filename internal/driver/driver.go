@@ -1,27 +1,32 @@
-// Package driver runs iterative generalized-reduction jobs (k-means lloyd
-// rounds, PageRank power iterations) over a hybrid deployment. Each round
-// is one full framework run — job pool, on-demand assignment, stealing,
-// local and global reduction — and between rounds only the application
-// parameters (derived from the previous round's reduction object) change.
-// The data never moves.
+// Package driver is the public client surface for running generalized-
+// reduction queries over a hybrid deployment. A Deployment describes the
+// fixed wiring — dataset layout, placement, clusters; a Client opens
+// Sessions over it; a Session accepts concurrent queries (Submit → Query →
+// Wait/Cancel) that share the deployed clusters under the head's weighted
+// fair-share scheduler.
 //
-// The driver deploys clusters in-process against any chunk.Source wiring
-// (local memory, directories, object-store clients behind emulated WANs);
-// multi-process deployments script the same loop with the cmd/headnode and
+// The original round-at-a-time entry points remain as thin wrappers:
+// Deployment.RunOnce submits one query over a fresh session and waits;
+// Deployment.Iterate runs dependent rounds (k-means lloyd iterations,
+// PageRank power steps) over one session, re-using the clusters'
+// registrations across rounds. The data never moves.
+//
+// Multi-process deployments script the same loop with the cmd/headnode and
 // cmd/workernode daemons.
 package driver
 
 import (
+	"context"
 	"errors"
 	"fmt"
-	"sync"
 
 	"repro/internal/chunk"
 	"repro/internal/cluster"
+	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/head"
 	"repro/internal/jobs"
-	"repro/internal/protocol"
+	"repro/internal/obs"
 )
 
 // ClusterSpec describes one participating cluster.
@@ -39,23 +44,36 @@ type ClusterSpec struct {
 }
 
 // Deployment is a reusable hybrid deployment: dataset layout, placement and
-// cluster wiring that stay fixed across rounds.
+// cluster wiring that stay fixed across queries.
 type Deployment struct {
-	Index      *chunk.Index
-	Placement  jobs.Placement
-	Clusters   []ClusterSpec
-	PoolOpts   jobs.Options
-	GroupBytes int
+	Index     *chunk.Index
+	Placement jobs.Placement
+	Clusters  []ClusterSpec
+	PoolOpts  jobs.Options
+	// Tuning carries the shared knobs (GroupBytes, PrefetchDepth,
+	// CheckpointEveryJobs, lease/heartbeat cadence, …) applied to both the
+	// session's head and its cluster agents. See config.Tuning.
+	Tuning config.Tuning
+	// Obs, when non-nil, receives head- and cluster-side metrics and traces.
+	Obs *obs.Obs
 	// Logf receives diagnostics; nil silences them.
 	Logf func(format string, args ...any)
 }
 
-// Step is one round's job: the registered application and its parameters,
+// Step is one query's job: the registered application and its parameters,
 // plus the head-side reducer used for decoding and the global reduction.
 type Step struct {
 	App     string
 	Params  []byte
 	Reducer core.Reducer
+	// Weight is the query's fair-share weight under contention (default 1).
+	Weight int
+	// Placement overrides the deployment's placement for this query; nil
+	// uses the deployment default.
+	Placement jobs.Placement
+	// PoolOpts overrides the deployment's pool options for this query; nil
+	// uses the deployment default.
+	PoolOpts *jobs.Options
 }
 
 // RoundReport is what one round produced.
@@ -86,104 +104,34 @@ func (d *Deployment) validate() error {
 	return nil
 }
 
-// RunOnce executes a single round and returns the merged reduction object
-// with the per-cluster reports.
+// RunOnce executes a single query over a fresh session and returns the
+// merged reduction object with the per-cluster reports. Thin wrapper over
+// Session.Submit + Query.Wait; use a Session directly to run queries
+// concurrently or to amortize cluster registration across calls.
 func (d *Deployment) RunOnce(s Step) (core.Object, []head.ClusterReport, error) {
-	if err := d.validate(); err != nil {
-		return nil, nil, err
-	}
-	if s.Reducer == nil {
-		return nil, nil, errors.New("driver: Step.Reducer is required")
-	}
-	pool, err := jobs.NewPool(d.Index, d.Placement, d.PoolOpts)
+	sess, err := NewSession(d)
 	if err != nil {
 		return nil, nil, err
 	}
-	spec := protocol.JobSpec{
-		App:        s.App,
-		Params:     s.Params,
-		UnitSize:   d.Index.UnitSize,
-		GroupBytes: d.GroupBytes,
-	}
-	if err := head.EncodeIndexSpec(&spec, d.Index); err != nil {
-		return nil, nil, err
-	}
-	logf := d.Logf
-	if logf == nil {
-		logf = func(string, ...any) {}
-	}
-	h, err := head.New(head.Config{
-		Pool:           pool,
-		Reducer:        s.Reducer,
-		Spec:           spec,
-		ExpectClusters: len(d.Clusters),
-		Logf:           logf,
-	})
+	defer sess.Close()
+	q, err := sess.Submit(s)
 	if err != nil {
 		return nil, nil, err
 	}
-	var wg sync.WaitGroup
-	errs := make([]error, len(d.Clusters))
-	for i, cs := range d.Clusters {
-		wg.Add(1)
-		go func(i int, cs ClusterSpec) {
-			defer wg.Done()
-			_, errs[i] = cluster.Run(cluster.Config{
-				Site:             cs.Site,
-				Name:             cs.Name,
-				Cores:            cs.Cores,
-				RetrievalThreads: cs.RetrievalThreads,
-				Sources:          cs.Sources,
-				SourceLabels:     cs.SourceLabels,
-				Head:             cluster.InProc{Head: h},
-				GroupBytes:       d.GroupBytes,
-				Retry:            cs.Retry,
-				Logf:             logf,
-			})
-		}(i, cs)
-	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, nil, fmt.Errorf("driver: cluster %d (%s): %w", i, d.Clusters[i].Name, err)
-		}
-	}
-	obj, reports, _, err := h.Result()
-	if err != nil {
-		return nil, nil, err
-	}
-	return obj, reports, nil
+	return q.Wait(context.Background())
 }
 
 // Iterate runs rounds until next returns a nil Step or maxRounds is
 // reached. next receives the previous round's reduction object (nil on the
 // first round) and derives the next round's parameters. It returns the last
-// object, the per-round reports, and the number of rounds executed.
+// object, the per-round reports, and the number of rounds executed. Thin
+// wrapper over Session.Iterate with a background context; the clusters
+// register once for the whole sequence.
 func (d *Deployment) Iterate(maxRounds int, next func(round int, prev core.Object) (*Step, error)) (core.Object, []RoundReport, error) {
-	if maxRounds <= 0 {
-		return nil, nil, fmt.Errorf("driver: maxRounds must be positive, got %d", maxRounds)
+	sess, err := NewSession(d)
+	if err != nil {
+		return nil, nil, err
 	}
-	var (
-		prev    core.Object
-		reports []RoundReport
-	)
-	for round := 0; round < maxRounds; round++ {
-		step, err := next(round, prev)
-		if err != nil {
-			return nil, reports, err
-		}
-		if step == nil {
-			break
-		}
-		obj, clusterReports, err := d.RunOnce(*step)
-		if err != nil {
-			return nil, reports, fmt.Errorf("driver: round %d: %w", round, err)
-		}
-		prev = obj
-		reports = append(reports, RoundReport{Round: round, Object: obj, Reports: clusterReports})
-	}
-	if prev == nil {
-		return nil, nil, errors.New("driver: no rounds executed")
-	}
-	return prev, reports, nil
+	defer sess.Close()
+	return sess.Iterate(context.Background(), maxRounds, next)
 }

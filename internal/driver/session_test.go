@@ -1,0 +1,411 @@
+package driver
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/chunk"
+	"repro/internal/core"
+	"repro/internal/head"
+	"repro/internal/jobs"
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// mixedSteps builds one Step per application over dim-2 points, with fresh
+// reducers per call (reducers accumulate state and must not be shared
+// between runs). The returned encoders re-encode a final object for
+// byte-level comparison.
+func mixedSteps(t *testing.T) ([]Step, []func(core.Object) []byte) {
+	t.Helper()
+	var steps []Step
+	var encs []func(core.Object) []byte
+
+	hp := apps.HistogramParams{Bins: 8, Dim: 2}
+	hparams, err := apps.EncodeHistogramParams(hp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr, err := apps.NewHistogramReducer(hp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps = append(steps, Step{App: apps.HistogramReducerName, Params: hparams, Reducer: hr})
+	encs = append(encs, func(o core.Object) []byte {
+		b, err := hr.Encode(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	})
+
+	kp := apps.KNNParams{K: 10, Dim: 2, Query: []float64{0.5, 0.5}}
+	kparams, err := apps.EncodeKNNParams(kp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kr, err := apps.NewKNNReducer(kp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps = append(steps, Step{App: apps.KNNReducerName, Params: kparams, Reducer: kr})
+	encs = append(encs, func(o core.Object) []byte {
+		b, err := kr.Encode(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	})
+
+	mp := apps.KMeansParams{K: 3, Dim: 2, Centers: [][]float64{{0.2, 0.2}, {0.5, 0.5}, {0.8, 0.8}}}
+	mparams, err := apps.EncodeKMeansParams(mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr, err := apps.NewKMeansReducer(mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps = append(steps, Step{App: apps.KMeansReducerName, Params: mparams, Reducer: mr})
+	encs = append(encs, func(o core.Object) []byte {
+		b, err := mr.Encode(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	})
+	return steps, encs
+}
+
+// TestConcurrentMixedQueriesBitIdentical is the tentpole acceptance drill:
+// three queries of three different applications run concurrently over ONE
+// live session — one head, one registration and wire session per cluster —
+// and each produces the same result as its own sequential RunOnce over the
+// same deployment, with per-query reports and metrics fully isolated.
+//
+// Histogram (integer counts) and kNN (min-k selection) are
+// partition-invariant, so their results are compared byte-for-byte. K-means
+// accumulates float sums, whose bit pattern legitimately depends on fold
+// order even between two sequential runs; its counts are compared exactly
+// and its sums within floating-point slack.
+func TestConcurrentMixedQueriesBitIdentical(t *testing.T) {
+	gen := workload.ClusteredPoints{Seed: 42, Dim: 2, K: 3, Spread: 0.05}
+	d, _ := buildPointDeployment(t, gen, 1500)
+
+	// Sequential reference: one query at a time, each over a fresh session.
+	seqSteps, seqEncs := mixedSteps(t)
+	refs := make([][]byte, len(seqSteps))
+	refObjs := make([]core.Object, len(seqSteps))
+	for i, s := range seqSteps {
+		obj, reports, err := d.RunOnce(s)
+		if err != nil {
+			t.Fatalf("sequential %s: %v", s.App, err)
+		}
+		if len(reports) != 2 {
+			t.Fatalf("sequential %s reports = %d, want 2", s.App, len(reports))
+		}
+		refs[i] = seqEncs[i](obj)
+		refObjs[i] = obj
+	}
+
+	// Concurrent: all three admitted into one session, racing for the same
+	// two clusters under fair share.
+	d.Obs = obs.New(nil)
+	sess, err := NewSession(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	conSteps, conEncs := mixedSteps(t)
+	queries := make([]*Query, len(conSteps))
+	for i, s := range conSteps {
+		if queries[i], err = sess.Submit(s); err != nil {
+			t.Fatalf("submit %s: %v", s.App, err)
+		}
+	}
+	var wg sync.WaitGroup
+	objs := make([]core.Object, len(queries))
+	allReports := make([][]head.ClusterReport, len(queries))
+	errs := make([]error, len(queries))
+	for i, q := range queries {
+		wg.Add(1)
+		go func(i int, q *Query) {
+			defer wg.Done()
+			objs[i], allReports[i], errs[i] = q.Wait(context.Background())
+		}(i, q)
+	}
+	wg.Wait()
+	for i, s := range conSteps {
+		if errs[i] != nil {
+			t.Fatalf("concurrent %s: %v", s.App, errs[i])
+		}
+		// Per-query stats isolation: every query saw both clusters and
+		// exactly the full job count — no cross-query bleed.
+		if len(allReports[i]) != 2 {
+			t.Errorf("%s reports = %d, want 2", s.App, len(allReports[i]))
+		}
+		jobsTotal := 0
+		for _, r := range allReports[i] {
+			jobsTotal += r.Jobs.Total()
+		}
+		if jobsTotal != d.Index.NumChunks() {
+			t.Errorf("%s processed %d jobs, want %d", s.App, jobsTotal, d.Index.NumChunks())
+		}
+	}
+
+	// Bit-identity for the partition-invariant apps.
+	for _, i := range []int{0, 1} {
+		if got := conEncs[i](objs[i]); !bytes.Equal(got, refs[i]) {
+			t.Errorf("%s: concurrent result differs from sequential (%d vs %d bytes)",
+				conSteps[i].App, len(got), len(refs[i]))
+		}
+	}
+	// K-means: exact counts, near-exact sums.
+	ref := refObjs[2].(*apps.KMeansObject)
+	got := objs[2].(*apps.KMeansObject)
+	for c := range ref.Counts {
+		if got.Counts[c] != ref.Counts[c] {
+			t.Errorf("kmeans center %d count = %d, want %d", c, got.Counts[c], ref.Counts[c])
+		}
+		for j := range ref.Sums[c] {
+			if diff := math.Abs(got.Sums[c][j] - ref.Sums[c][j]); diff > 1e-9*math.Abs(ref.Sums[c][j]) {
+				t.Errorf("kmeans sum[%d][%d] = %v, want %v", c, j, got.Sums[c][j], ref.Sums[c][j])
+			}
+		}
+	}
+
+	// Per-query metrics isolation: each query's own counters carry exactly
+	// its jobs and its two cluster results.
+	snap := d.Obs.Registry.Snapshot()
+	for i := range queries {
+		id := queries[i].ID()
+		if n := snap[fmt.Sprintf("head_query_%d_jobs_granted_total", id)]; n != int64(d.Index.NumChunks()) {
+			t.Errorf("query %d granted metric = %d, want %d", id, n, d.Index.NumChunks())
+		}
+		if n := snap[fmt.Sprintf("head_query_%d_results_total", id)]; n != 2 {
+			t.Errorf("query %d results metric = %d, want 2", id, n)
+		}
+	}
+	if err := sess.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+}
+
+// slowSource delays every read, giving cancellation something to interrupt.
+type slowSource struct {
+	inner chunk.Source
+	delay time.Duration
+}
+
+func (s slowSource) ReadChunk(ref chunk.Ref) ([]byte, error) {
+	time.Sleep(s.delay)
+	return s.inner.ReadChunk(ref)
+}
+
+// TestIterateCancelMidRound: Session.Iterate honors context cancellation
+// during a round — the in-flight query is withdrawn, its leases and engines
+// released, and the session stays usable for the next query. Close joins
+// every agent goroutine, so a leak would hang the test.
+func TestIterateCancelMidRound(t *testing.T) {
+	gen := workload.ClusteredPoints{Seed: 5, Dim: 2, K: 2, Spread: 0.1}
+	d, src := buildPointDeployment(t, gen, 1000)
+	slow := slowSource{inner: src, delay: 2 * time.Millisecond}
+	for i := range d.Clusters {
+		d.Clusters[i].Sources = map[int]chunk.Source{0: slow, 1: slow}
+	}
+	sess, err := NewSession(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	p := apps.HistogramParams{Bins: 4, Dim: 2}
+	params, err := apps.EncodeHistogramParams(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := func() *Step {
+		r, err := apps.NewHistogramReducer(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &Step{App: apps.HistogramReducerName, Params: params, Reducer: r}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(15 * time.Millisecond) // mid-round: ~40 jobs × 2ms/read
+		cancel()
+	}()
+	_, _, err = sess.Iterate(ctx, 50, func(round int, prev core.Object) (*Step, error) {
+		return step(), nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Iterate = %v, want context.Canceled", err)
+	}
+
+	// The canceled round released its jobs: a fresh query over the same
+	// session runs to completion (leaked leases or a wedged agent would
+	// starve or hang it).
+	q, err := sess.Submit(*step())
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, _, err := q.Wait(context.Background())
+	if err != nil {
+		t.Fatalf("query after cancel: %v", err)
+	}
+	if got := obj.(*apps.HistogramObject).Total(); got != d.Index.TotalUnits() {
+		t.Errorf("total after cancel = %d, want %d", got, d.Index.TotalUnits())
+	}
+	if err := sess.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+}
+
+// TestIterateCancelBetweenRounds: a context canceled at a round boundary
+// stops before submitting the next round.
+func TestIterateCancelBetweenRounds(t *testing.T) {
+	gen := workload.ClusteredPoints{Seed: 6, Dim: 2, K: 2, Spread: 0.1}
+	d, _ := buildPointDeployment(t, gen, 500)
+	sess, err := NewSession(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	p := apps.HistogramParams{Bins: 4, Dim: 2}
+	params, _ := apps.EncodeHistogramParams(p)
+	rounds := 0
+	_, _, err = sess.Iterate(ctx, 10, func(round int, prev core.Object) (*Step, error) {
+		rounds++
+		if round == 1 {
+			cancel() // cancel after round 0 completed; round 1's step still runs
+		}
+		r, err := apps.NewHistogramReducer(p)
+		if err != nil {
+			return nil, err
+		}
+		return &Step{App: apps.HistogramReducerName, Params: params, Reducer: r}, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Iterate = %v, want context.Canceled", err)
+	}
+	if rounds > 2 {
+		t.Errorf("next called %d times after cancel", rounds)
+	}
+}
+
+// TestSubmitAfterCloseRejected: a closed session refuses new queries with a
+// clear error instead of deadlocking.
+func TestSubmitAfterCloseRejected(t *testing.T) {
+	gen := workload.ClusteredPoints{Seed: 7, Dim: 2, K: 2, Spread: 0.1}
+	d, _ := buildPointDeployment(t, gen, 500)
+	sess, err := NewSession(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	p := apps.HistogramParams{Bins: 4, Dim: 2}
+	params, _ := apps.EncodeHistogramParams(p)
+	r, err := apps.NewHistogramReducer(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Submit(Step{App: apps.HistogramReducerName, Params: params, Reducer: r}); err == nil {
+		t.Error("Submit on closed session accepted")
+	}
+}
+
+// TestQueryCancelReleasesOthers: canceling one of two concurrent queries
+// leaves the other to finish with the full dataset.
+func TestQueryCancelReleasesOthers(t *testing.T) {
+	gen := workload.ClusteredPoints{Seed: 9, Dim: 2, K: 2, Spread: 0.1}
+	d, src := buildPointDeployment(t, gen, 1000)
+	slow := slowSource{inner: src, delay: time.Millisecond}
+	for i := range d.Clusters {
+		d.Clusters[i].Sources = map[int]chunk.Source{0: slow, 1: slow}
+	}
+	sess, err := NewSession(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	p := apps.HistogramParams{Bins: 4, Dim: 2}
+	params, _ := apps.EncodeHistogramParams(p)
+	newStep := func() Step {
+		r, err := apps.NewHistogramReducer(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Step{App: apps.HistogramReducerName, Params: params, Reducer: r}
+	}
+	victim, err := sess.Submit(newStep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	survivor, err := sess.Submit(newStep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim.Cancel()
+	if _, _, err := victim.Wait(context.Background()); !errors.Is(err, head.ErrQueryCanceled) {
+		t.Errorf("victim Wait = %v, want ErrQueryCanceled", err)
+	}
+	obj, _, err := survivor.Wait(context.Background())
+	if err != nil {
+		t.Fatalf("survivor: %v", err)
+	}
+	if got := obj.(*apps.HistogramObject).Total(); got != d.Index.TotalUnits() {
+		t.Errorf("survivor total = %d, want %d", got, d.Index.TotalUnits())
+	}
+}
+
+// TestSubmitWeightValidation exercises the façade's pool override plumbing.
+func TestSubmitOverrides(t *testing.T) {
+	gen := workload.ClusteredPoints{Seed: 11, Dim: 2, K: 2, Spread: 0.1}
+	d, _ := buildPointDeployment(t, gen, 600)
+	sess, err := NewSession(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	p := apps.HistogramParams{Bins: 4, Dim: 2}
+	params, _ := apps.EncodeHistogramParams(p)
+	r, err := apps.NewHistogramReducer(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-step placement: everything at site 0, stealing off — only the
+	// site-0 cluster reports folds.
+	placement := make(jobs.Placement, len(d.Index.Files))
+	q, err := sess.Submit(Step{
+		App: apps.HistogramReducerName, Params: params, Reducer: r,
+		Placement: placement,
+		PoolOpts:  &jobs.Options{DisableStealing: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, reports, err := q.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := obj.(*apps.HistogramObject).Total(); got != d.Index.TotalUnits() {
+		t.Errorf("total = %d, want %d", got, d.Index.TotalUnits())
+	}
+	for _, rep := range reports {
+		if rep.Site == 1 && rep.Jobs.Total() != 0 {
+			t.Errorf("site 1 processed %d jobs despite site-0 placement with stealing off", rep.Jobs.Total())
+		}
+	}
+}

@@ -94,6 +94,19 @@ func Key(prefix string, site int) string {
 	return fmt.Sprintf("%s/site-%d", prefix, site)
 }
 
+// QueryKey returns the object-store key for a (query, site) checkpoint in a
+// multi-query head. Query 0 maps to the legacy single-query Key so a head
+// upgraded in place keeps finding checkpoints written before the upgrade.
+func QueryKey(prefix string, query, site int) string {
+	if query == 0 {
+		return Key(prefix, site)
+	}
+	if prefix == "" {
+		prefix = "ckpt"
+	}
+	return fmt.Sprintf("%s/q%d/site-%d", prefix, query, site)
+}
+
 // Store is the persistence interface checkpoints are written through. The
 // objstore client and MemStore satisfy it.
 type Store interface {

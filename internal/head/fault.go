@@ -1,82 +1,48 @@
 package head
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
 	"repro/internal/fault"
-	"repro/internal/jobs"
 	"repro/internal/obs"
 	"repro/internal/protocol"
 )
 
-// FaultConfig enables the head's fault-tolerance machinery. The zero value
-// disables everything, preserving the original fail-fast behaviour (any
-// lost master aborts the run).
+// FaultConfig enables the head's checkpoint persistence. The timing knobs
+// that used to live here — lease TTL, heartbeat cadence, speculation delay —
+// moved to the shared config.Tuning (Config.Tuning); this struct keeps only
+// what is genuinely head-local. The zero value of both disables everything,
+// preserving the original fail-fast behaviour (any lost master aborts the
+// run).
 type FaultConfig struct {
-	// LeaseTTL is each site's liveness lease: a site silent for longer is
-	// declared failed, its in-flight jobs are requeued, and its
-	// un-checkpointed completions are reissued. 0 disables lease expiry.
-	//
-	// Size LeaseTTL above the worst-case checkpoint round-trip: a master's
-	// control connection serializes heartbeats behind the in-flight
-	// checkpoint ship, so while a large reduction object is on the wire no
-	// explicit heartbeat can arrive. The head renews the lease the moment
-	// the CheckpointSave message lands (like any other message from the
-	// site), but a transfer longer than the TTL still reads as silence and
-	// fences a healthy site.
-	LeaseTTL time.Duration
-	// HeartbeatEvery is pushed to clusters in the JobSpec so they renew
-	// their leases; defaults to LeaseTTL/3 when leases are enabled.
-	HeartbeatEvery time.Duration
 	// Store persists reduction-object checkpoints (the objstore client in
 	// deployments, fault.MemStore in tests). nil disables checkpointing.
 	Store fault.Store
 	// CheckpointPrefix namespaces checkpoint keys in Store ("ckpt" if "").
 	CheckpointPrefix string
-	// SpeculateAfter re-adds stragglers' outstanding jobs to the pool once
-	// the pool has been empty-but-undrained for this long. 0 disables
-	// speculative re-execution.
-	SpeculateAfter time.Duration
 }
 
-// enabled reports whether any fault machinery is on; it switches the head
-// from fail-fast to recover-and-continue on lost masters.
-func (f FaultConfig) enabled() bool {
-	return f.LeaseTTL > 0 || f.Store != nil || f.SpeculateAfter > 0
+// faultEnabled reports whether any fault machinery is on; it switches the
+// head from fail-fast to recover-and-continue on lost masters.
+func (h *Head) faultEnabled() bool {
+	return h.cfg.Tuning.LeaseTTL > 0 || h.cfg.Fault.Store != nil || h.cfg.Tuning.SpeculateAfter > 0
 }
 
-func (f FaultConfig) heartbeatEvery() time.Duration {
-	if f.HeartbeatEvery > 0 {
-		return f.HeartbeatEvery
-	}
-	if f.LeaseTTL > 0 {
-		return f.LeaseTTL / 3
-	}
-	return 0
-}
-
-// faultState is the head's recovery bookkeeping.
+// faultState is the head's recovery bookkeeping. The per-query pieces —
+// un-checkpointed commits, checkpoint sequences, straggler timers — live on
+// each Query; this holds what is genuinely per-site.
 type faultState struct {
 	leases *fault.Leases
-	// sinceCkpt[site] lists jobs the site committed after its last
-	// persisted checkpoint: exactly the contributions that die with the
-	// site's memory and must be reissued on failure.
-	sinceCkpt map[int][]jobs.Job
-	// ckptSeq[site] is the last accepted checkpoint sequence number, so a
-	// stale checkpoint racing a restart cannot roll state back.
-	ckptSeq map[int]int
 	// ckptLocks[site] serializes a site's checkpoint persistence (stale-seq
 	// check + Store.Put + reissue-boundary trim) against concurrent saves
-	// and against FailSite's reissue, so the persisted blob and the reissue
-	// boundary can never disagree. Guarded by Head.mu for map access only;
-	// the per-site mutex itself is held across the store write.
+	// and against FailSite's reissue, so the persisted blobs and the reissue
+	// boundaries can never disagree — across every query the site serves.
+	// Guarded by Head.mu for map access only; the per-site mutex itself is
+	// held across the store write.
 	ckptLocks map[int]*sync.Mutex
-	// emptySince marks when the pool first went empty-but-undrained, for
-	// straggler speculation; zero means not currently empty.
-	emptySince time.Duration
-	speculated bool // speculation already fired for this empty episode
 
 	mFailures    *obs.Counter
 	mRecoveries  *obs.Counter
@@ -92,14 +58,12 @@ var checkpointSizeBounds = []time.Duration{
 }
 
 func (h *Head) initFault() {
-	if !h.cfg.Fault.enabled() {
+	if !h.faultEnabled() {
 		return
 	}
 	reg := h.cfg.Obs.Metrics()
 	h.fs = &faultState{
-		leases:       fault.NewLeases(h.cfg.Fault.LeaseTTL),
-		sinceCkpt:    make(map[int][]jobs.Job),
-		ckptSeq:      make(map[int]int),
+		leases:       fault.NewLeases(h.cfg.Tuning.LeaseTTL),
 		ckptLocks:    make(map[int]*sync.Mutex),
 		mFailures:    reg.Counter("head_site_failures_total"),
 		mRecoveries:  reg.Counter("head_site_recoveries_total"),
@@ -107,17 +71,17 @@ func (h *Head) initFault() {
 		mHeartbeats:  reg.Counter("head_heartbeats_total"),
 		hCkptBytes:   reg.Histogram("head_checkpoint_bytes", checkpointSizeBounds),
 	}
-	if h.cfg.Fault.LeaseTTL > 0 || h.cfg.Fault.SpeculateAfter > 0 {
+	if h.cfg.Tuning.LeaseTTL > 0 || h.cfg.Tuning.SpeculateAfter > 0 {
 		go h.monitor()
 	}
 }
 
 // monitor is the head's wall-clock failure detector and straggler watchdog.
 func (h *Head) monitor() {
-	tick := h.cfg.Fault.LeaseTTL / 4
-	if tick <= 0 || (h.cfg.Fault.SpeculateAfter > 0 && h.cfg.Fault.SpeculateAfter/4 < tick) {
-		if h.cfg.Fault.SpeculateAfter > 0 {
-			tick = h.cfg.Fault.SpeculateAfter / 4
+	tick := h.cfg.Tuning.LeaseTTL / 4
+	if tick <= 0 || (h.cfg.Tuning.SpeculateAfter > 0 && h.cfg.Tuning.SpeculateAfter/4 < tick) {
+		if h.cfg.Tuning.SpeculateAfter > 0 {
+			tick = h.cfg.Tuning.SpeculateAfter / 4
 		}
 	}
 	if tick <= 0 {
@@ -140,36 +104,40 @@ func (h *Head) monitor() {
 	}
 }
 
-// checkStragglers fires speculative re-execution when the pool has been
-// empty but undrained for longer than SpeculateAfter.
+// checkStragglers fires speculative re-execution, per query, when a query's
+// pool has been empty but undrained for longer than SpeculateAfter. Each
+// query tracks its own empty episode so one slow query cannot mask another's
+// stragglers.
 func (h *Head) checkStragglers(now time.Duration) {
-	if h.cfg.Fault.SpeculateAfter <= 0 {
+	if h.cfg.Tuning.SpeculateAfter <= 0 {
 		return
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if h.finished {
-		return
-	}
-	pool := h.cfg.Pool
-	if pool.Remaining() > 0 || pool.Outstanding() == 0 {
-		h.fs.emptySince = 0
-		h.fs.speculated = false
-		return
-	}
-	if h.fs.emptySince == 0 {
-		h.fs.emptySince = now
-		return
-	}
-	if h.fs.speculated || now-h.fs.emptySince < h.cfg.Fault.SpeculateAfter {
-		return
-	}
-	spec := pool.SpeculateOutstanding()
-	h.fs.speculated = true
-	if len(spec) > 0 {
-		h.cfg.Logf("head: speculating %d straggler jobs", len(spec))
-		if h.tr.Enabled() {
-			h.tr.Instant(0, 0, "fault", "speculate", obs.Args{"jobs": len(spec)})
+	for _, id := range h.order {
+		q := h.queries[id]
+		if q.finished || q.canceled {
+			continue
+		}
+		if q.pool.Remaining() > 0 || q.pool.Outstanding() == 0 {
+			q.emptySince = 0
+			q.speculated = false
+			continue
+		}
+		if q.emptySince == 0 {
+			q.emptySince = now
+			continue
+		}
+		if q.speculated || now-q.emptySince < h.cfg.Tuning.SpeculateAfter {
+			continue
+		}
+		spec := q.pool.SpeculateOutstanding()
+		q.speculated = true
+		if len(spec) > 0 {
+			h.cfg.Logf("head: speculating %d straggler jobs for query %d", len(spec), id)
+			if h.tr.Enabled() {
+				h.tr.Instant(0, 0, "fault", "speculate", obs.Args{"jobs": len(spec), "query": id})
+			}
 		}
 	}
 }
@@ -197,13 +165,16 @@ func (h *Head) siteCkptLock(site int) *sync.Mutex {
 }
 
 // FailSite declares site failed: its lease is revoked, its in-flight jobs
-// return to the pool, and completions not covered by its last persisted
-// checkpoint are reissued for recomputation. From the MarkDead onwards the
-// site is FENCED: RequestJobs, CompleteJobs, CheckpointSave and
-// SubmitResult all refuse its traffic until it re-registers, so a
-// dead-marked-but-alive straggler cannot double-count work handed out for
-// recomputation here. Idempotent per failure episode (a site already marked
-// dead is skipped until it revives).
+// return to every query's pool, and completions not covered by each query's
+// last persisted checkpoint are reissued for recomputation. From the
+// MarkDead onwards the site is FENCED: Poll, CompleteQueryJobs,
+// CheckpointSave and SubmitQueryResult all refuse its traffic until it
+// re-registers, so a dead-marked-but-alive straggler cannot double-count
+// work handed out for recomputation here. A query the site never actually
+// contributed to (no surviving folds: nothing checkpointed, nothing
+// reported) drops the site from its expected reporters, so killing one
+// query's master does not stall the queries it never touched. Idempotent
+// per failure episode.
 func (h *Head) FailSite(site int) {
 	if h.fs == nil {
 		return
@@ -215,45 +186,77 @@ func (h *Head) FailSite(site int) {
 	if h.tr.Enabled() {
 		h.tr.Instant(0, 0, "fault", fmt.Sprintf("detect-failure site %d", site), obs.Args{"site": site})
 	}
-	requeued := h.cfg.Pool.FailSite(site)
-	// The per-site checkpoint lock orders this reissue against an in-flight
+	h.mu.Lock()
+	actives := make([]*Query, 0, len(h.order))
+	for _, id := range h.order {
+		if q := h.queries[id]; !q.finished && !q.canceled {
+			actives = append(actives, q)
+		}
+	}
+	h.mu.Unlock()
+	// The per-site checkpoint lock orders the reissues against an in-flight
 	// CheckpointSave: either the save finished (its covered jobs are already
 	// trimmed from sinceCkpt and stay credited to the persisted checkpoint)
 	// or it will be rejected as fenced — the reissue boundary and the stored
-	// blob always agree.
+	// blob always agree, for every query.
 	ckl := h.siteCkptLock(site)
 	ckl.Lock()
-	h.mu.Lock()
-	lost := h.fs.sinceCkpt[site]
-	h.fs.sinceCkpt[site] = nil
-	h.mu.Unlock()
-	reissued := h.cfg.Pool.Reissue(lost)
-	ckl.Unlock()
-	h.cfg.Logf("head: site %d failed: requeued %d in-flight, reissued %d un-checkpointed jobs",
-		site, len(requeued), reissued)
-	if h.tr.Enabled() {
-		h.tr.Instant(0, 0, "fault", fmt.Sprintf("reassign site %d", site),
-			obs.Args{"requeued": len(requeued), "reissued": reissued})
+	for _, q := range actives {
+		requeued := q.pool.FailSite(site)
+		h.mu.Lock()
+		lost := q.sinceCkpt[site]
+		q.sinceCkpt[site] = nil
+		hasCkpt := q.ckptSeq[site] != 0
+		h.mu.Unlock()
+		reissued := q.pool.Reissue(lost)
+		h.mu.Lock()
+		if !hasCkpt && !q.reported[site] {
+			// Nothing this site folded for q survives; it owes no report.
+			delete(q.contrib, site)
+			if q.completeLocked() {
+				q.finalizeLocked()
+				h.fair.Remove(q.id)
+			}
+		}
+		h.mu.Unlock()
+		if len(requeued) > 0 || reissued > 0 {
+			h.cfg.Logf("head: site %d failed: query %d requeued %d in-flight, reissued %d un-checkpointed jobs",
+				site, q.id, len(requeued), reissued)
+		}
+		if h.tr.Enabled() {
+			h.tr.Instant(0, 0, "fault", fmt.Sprintf("reassign site %d", site),
+				obs.Args{"query": q.id, "requeued": len(requeued), "reissued": reissued})
+		}
 	}
+	ckl.Unlock()
 }
 
-// CheckpointSave persists a cluster's reduction-object checkpoint and
-// advances the reissue boundary: jobs covered by the checkpoint no longer
-// need recomputation if the site dies. Receipt renews the site's lease —
-// the master's control connection is busy shipping the (possibly large)
-// object, so this message IS its heartbeat for the duration. The whole
-// stale-check → Store.Put → boundary-trim sequence runs under a per-site
-// mutex, ordered against FailSite's reissue, so two racing saves (or a save
-// racing failure detection) cannot leave the stored blob and the reissue
-// boundary disagreeing.
+// CheckpointSave persists a cluster's reduction-object checkpoint for one
+// query and advances that query's reissue boundary: jobs covered by the
+// checkpoint no longer need recomputation if the site dies. Receipt renews
+// the site's lease — the master's control connection is busy shipping the
+// (possibly large) object, so this message IS its heartbeat for the
+// duration. The whole stale-check → Store.Put → boundary-trim sequence runs
+// under a per-site mutex, ordered against FailSite's reissue, so two racing
+// saves (or a save racing failure detection) cannot leave the stored blob
+// and the reissue boundary disagreeing.
 func (h *Head) CheckpointSave(cs protocol.CheckpointSave) error {
 	if h.fs == nil || h.cfg.Fault.Store == nil {
-		return fmt.Errorf("head: checkpointing not enabled")
+		return opErr("checkpoint", cs.Site, cs.Query, errors.New("checkpointing not enabled"))
 	}
 	h.Heartbeat(cs.Site)
+	h.mu.Lock()
+	q := h.queries[cs.Query]
+	h.mu.Unlock()
+	if q == nil {
+		return opErr("checkpoint", cs.Site, cs.Query, ErrUnknownQuery)
+	}
+	if q.canceled {
+		return opErr("checkpoint", cs.Site, cs.Query, ErrQueryCanceled)
+	}
 	ck, err := fault.DecodeCheckpoint(cs.Data)
 	if err != nil {
-		return fmt.Errorf("head: rejecting checkpoint from site %d: %w", cs.Site, err)
+		return opErr("checkpoint", cs.Site, cs.Query, err)
 	}
 	ckl := h.siteCkptLock(cs.Site)
 	ckl.Lock()
@@ -261,46 +264,48 @@ func (h *Head) CheckpointSave(cs protocol.CheckpointSave) error {
 	// A fenced incarnation's checkpoint covers jobs whose contributions were
 	// already reissued; persisting it would resurrect them on recovery.
 	if err := h.fencedCheck(cs.Site); err != nil {
-		return fmt.Errorf("head: rejecting checkpoint: %w", err)
+		return opErr("checkpoint", cs.Site, cs.Query, err)
 	}
 	h.mu.Lock()
-	if cs.Seq <= h.fs.ckptSeq[cs.Site] && h.fs.ckptSeq[cs.Site] != 0 {
+	if cs.Seq <= q.ckptSeq[cs.Site] && q.ckptSeq[cs.Site] != 0 {
+		have := q.ckptSeq[cs.Site]
 		h.mu.Unlock()
-		return fmt.Errorf("head: stale checkpoint seq %d for site %d (have %d)",
-			cs.Seq, cs.Site, h.fs.ckptSeq[cs.Site])
+		return opErr("checkpoint", cs.Site, cs.Query,
+			fmt.Errorf("seq %d, have %d: %w", cs.Seq, have, ErrStaleCheckpoint))
 	}
 	h.mu.Unlock()
-	key := fault.Key(h.cfg.Fault.CheckpointPrefix, cs.Site)
+	key := fault.QueryKey(h.cfg.Fault.CheckpointPrefix, cs.Query, cs.Site)
 	if err := h.cfg.Fault.Store.Put(key, cs.Data); err != nil {
-		return fmt.Errorf("head: persisting checkpoint for site %d: %w", cs.Site, err)
+		return opErr("checkpoint", cs.Site, cs.Query, fmt.Errorf("persisting: %w", err))
 	}
 	covered := make(map[int]bool, len(ck.Completed))
 	for _, id := range ck.Completed {
 		covered[id] = true
 	}
 	h.mu.Lock()
-	h.fs.ckptSeq[cs.Site] = cs.Seq
-	kept := h.fs.sinceCkpt[cs.Site][:0]
-	for _, j := range h.fs.sinceCkpt[cs.Site] {
+	q.ckptSeq[cs.Site] = cs.Seq
+	kept := q.sinceCkpt[cs.Site][:0]
+	for _, j := range q.sinceCkpt[cs.Site] {
 		if !covered[j.ID] {
 			kept = append(kept, j)
 		}
 	}
-	h.fs.sinceCkpt[cs.Site] = kept
+	q.sinceCkpt[cs.Site] = kept
 	h.mu.Unlock()
 	h.fs.mCheckpoints.Inc()
 	h.fs.hCkptBytes.Observe(time.Duration(len(cs.Data)))
-	h.cfg.Logf("head: checkpoint %d from site %d (%d jobs, %d bytes)",
-		cs.Seq, cs.Site, len(ck.Completed), len(cs.Data))
+	h.cfg.Logf("head: checkpoint %d from site %d for query %d (%d jobs, %d bytes)",
+		cs.Seq, cs.Site, cs.Query, len(ck.Completed), len(cs.Data))
 	return nil
 }
 
-// recoverSpec loads site's last checkpoint for a re-registering cluster.
-func (h *Head) recoverSpec(site int) []byte {
+// recoverSpec loads the (query, site) checkpoint for a re-registering
+// cluster; nil when checkpointing is off or nothing was persisted.
+func (h *Head) recoverSpec(query, site int) []byte {
 	if h.fs == nil || h.cfg.Fault.Store == nil {
 		return nil
 	}
-	data, err := h.cfg.Fault.Store.Get(fault.Key(h.cfg.Fault.CheckpointPrefix, site))
+	data, err := h.cfg.Fault.Store.Get(fault.QueryKey(h.cfg.Fault.CheckpointPrefix, query, site))
 	if err != nil {
 		return nil // no checkpoint yet: resume from scratch
 	}

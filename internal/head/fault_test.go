@@ -5,12 +5,21 @@ import (
 	"time"
 
 	"repro/internal/chunk"
+	"repro/internal/config"
 	"repro/internal/fault"
 	"repro/internal/jobs"
 	"repro/internal/protocol"
 )
 
-func testFaultHead(t *testing.T, clusters int, fc FaultConfig) (*Head, *jobs.Pool) {
+// faultOpts bundles the knobs the fault tests vary; timing lives in the
+// shared config.Tuning now, so the helper splits them for Config.
+type faultOpts struct {
+	LeaseTTL       time.Duration
+	SpeculateAfter time.Duration
+	Store          fault.Store
+}
+
+func testFaultHead(t *testing.T, clusters int, fo faultOpts) (*Head, *jobs.Pool) {
 	t.Helper()
 	ix, err := chunk.Layout("h", 100, 4, 50, 10)
 	if err != nil {
@@ -26,7 +35,9 @@ func testFaultHead(t *testing.T, clusters int, fc FaultConfig) (*Head, *jobs.Poo
 	}
 	h, err := New(Config{
 		Pool: pool, Reducer: sumReducer{}, Spec: spec,
-		ExpectClusters: clusters, Logf: t.Logf, Fault: fc,
+		ExpectClusters: clusters, Logf: t.Logf,
+		Tuning: config.Tuning{LeaseTTL: fo.LeaseTTL, SpeculateAfter: fo.SpeculateAfter},
+		Fault:  FaultConfig{Store: fo.Store},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -48,14 +59,14 @@ func waitFor(t *testing.T, what string, cond func() bool) {
 }
 
 func TestLeaseExpiryRequeuesInFlight(t *testing.T) {
-	h, pool := testFaultHead(t, 2, FaultConfig{LeaseTTL: 40 * time.Millisecond})
+	h, pool := testFaultHead(t, 2, faultOpts{LeaseTTL: 40 * time.Millisecond})
 	if _, err := h.Register(protocol.Hello{Site: 0, Cluster: "a"}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := h.Register(protocol.Hello{Site: 1, Cluster: "b"}); err != nil {
 		t.Fatal(err)
 	}
-	js, _, _ := h.RequestJobs(0, 3)
+	js, _, _ := reqJobs(h, 0, 3)
 	if len(js) != 3 {
 		t.Fatalf("granted %d", len(js))
 	}
@@ -83,11 +94,11 @@ func TestLeaseExpiryRequeuesInFlight(t *testing.T) {
 }
 
 func TestHeartbeatKeepsLeaseAlive(t *testing.T) {
-	h, pool := testFaultHead(t, 1, FaultConfig{LeaseTTL: 60 * time.Millisecond})
+	h, pool := testFaultHead(t, 1, faultOpts{LeaseTTL: 60 * time.Millisecond})
 	if _, err := h.Register(protocol.Hello{Site: 0, Cluster: "a"}); err != nil {
 		t.Fatal(err)
 	}
-	js, _, _ := h.RequestJobs(0, 2)
+	js, _, _ := reqJobs(h, 0, 2)
 	if len(js) != 2 {
 		t.Fatalf("granted %d", len(js))
 	}
@@ -102,11 +113,11 @@ func TestHeartbeatKeepsLeaseAlive(t *testing.T) {
 
 func TestCheckpointSaveAndPrune(t *testing.T) {
 	store := fault.NewMemStore()
-	h, pool := testFaultHead(t, 1, FaultConfig{Store: store})
+	h, pool := testFaultHead(t, 1, faultOpts{Store: store})
 	if _, err := h.Register(protocol.Hello{Site: 0, Cluster: "a"}); err != nil {
 		t.Fatal(err)
 	}
-	js, _, _ := h.RequestJobs(0, 4)
+	js, _, _ := reqJobs(h, 0, 4)
 	if len(js) != 4 {
 		t.Fatalf("granted %d", len(js))
 	}
@@ -145,7 +156,7 @@ func TestCheckpointSaveAndPrune(t *testing.T) {
 }
 
 func TestCheckpointWithoutStoreRejected(t *testing.T) {
-	h, _ := testFaultHead(t, 1, FaultConfig{LeaseTTL: time.Hour})
+	h, _ := testFaultHead(t, 1, faultOpts{LeaseTTL: time.Hour})
 	if err := h.CheckpointSave(protocol.CheckpointSave{Site: 0, Seq: 1}); err == nil {
 		t.Error("checkpoint accepted with no store configured")
 	}
@@ -153,11 +164,11 @@ func TestCheckpointWithoutStoreRejected(t *testing.T) {
 
 func TestReregistrationRecoversFromCheckpoint(t *testing.T) {
 	store := fault.NewMemStore()
-	h, pool := testFaultHead(t, 1, FaultConfig{Store: store, LeaseTTL: time.Hour})
+	h, pool := testFaultHead(t, 1, faultOpts{Store: store, LeaseTTL: time.Hour})
 	if _, err := h.Register(protocol.Hello{Site: 0, Cluster: "a"}); err != nil {
 		t.Fatal(err)
 	}
-	js, _, _ := h.RequestJobs(0, 4)
+	js, _, _ := reqJobs(h, 0, 4)
 	if _, err := h.CompleteJobs(0, js); err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +182,7 @@ func TestReregistrationRecoversFromCheckpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Site 0 is still holding two more jobs when it crashes and restarts.
-	more, _, _ := h.RequestJobs(0, 2)
+	more, _, _ := reqJobs(h, 0, 2)
 	if len(more) != 2 {
 		t.Fatalf("granted %d", len(more))
 	}
@@ -193,7 +204,7 @@ func TestReregistrationRecoversFromCheckpoint(t *testing.T) {
 }
 
 func TestFreshRegistrationStillLimited(t *testing.T) {
-	h, _ := testFaultHead(t, 1, FaultConfig{LeaseTTL: time.Hour})
+	h, _ := testFaultHead(t, 1, faultOpts{LeaseTTL: time.Hour})
 	if _, err := h.Register(protocol.Hello{Site: 0, Cluster: "a"}); err != nil {
 		t.Fatal(err)
 	}
@@ -212,14 +223,14 @@ func TestFreshRegistrationStillLimited(t *testing.T) {
 // survivor recomputed — must be fenced off until the site re-registers.
 func TestFencedSiteRejectedUntilReregister(t *testing.T) {
 	store := fault.NewMemStore()
-	h, pool := testFaultHead(t, 2, FaultConfig{Store: store, LeaseTTL: time.Hour})
+	h, pool := testFaultHead(t, 2, faultOpts{Store: store, LeaseTTL: time.Hour})
 	if _, err := h.Register(protocol.Hello{Site: 0, Cluster: "a"}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := h.Register(protocol.Hello{Site: 1, Cluster: "b"}); err != nil {
 		t.Fatal(err)
 	}
-	js, _, _ := h.RequestJobs(0, 4)
+	js, _, _ := reqJobs(h, 0, 4)
 	if len(js) != 4 {
 		t.Fatalf("granted %d", len(js))
 	}
@@ -230,7 +241,7 @@ func TestFencedSiteRejectedUntilReregister(t *testing.T) {
 	// un-checkpointed completions go back for recomputation.
 	h.FailSite(0)
 
-	if _, _, err := h.RequestJobs(0, 4); !fault.IsFenced(err) {
+	if _, _, err := reqJobs(h, 0, 4); !fault.IsFenced(err) {
 		t.Errorf("RequestJobs from fenced site: err = %v, want fenced", err)
 	}
 	if _, err := h.CompleteJobs(0, js); !fault.IsFenced(err) {
@@ -245,13 +256,13 @@ func TestFencedSiteRejectedUntilReregister(t *testing.T) {
 	}
 	// Heartbeats must not un-fence: only re-registration revives the lease.
 	h.Heartbeat(0)
-	if _, _, err := h.RequestJobs(0, 1); !fault.IsFenced(err) {
+	if _, _, err := reqJobs(h, 0, 1); !fault.IsFenced(err) {
 		t.Errorf("RequestJobs after heartbeat: err = %v, want still fenced", err)
 	}
 
 	// The survivor recomputes everything, including site 0's reissued jobs.
 	for {
-		got, wait, err := h.RequestJobs(1, 100)
+		got, wait, err := reqJobs(h, 1, 100)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -290,7 +301,7 @@ func TestFencedSiteRejectedUntilReregister(t *testing.T) {
 	if _, err := h.Register(protocol.Hello{Site: 0, Cluster: "a"}); err != nil {
 		t.Fatalf("re-registration: %v", err)
 	}
-	if _, wait, err := h.RequestJobs(0, 4); err != nil || wait {
+	if _, wait, err := reqJobs(h, 0, 4); err != nil || wait {
 		t.Fatalf("revived RequestJobs: wait=%v err=%v", wait, err)
 	}
 	if _, err := h.SubmitResult(protocol.ReductionResult{Site: 0, Object: encodeSum(0)}); err != nil {
@@ -309,7 +320,7 @@ func TestFencedSiteRejectedUntilReregister(t *testing.T) {
 }
 
 func TestSpeculationDuplicatesStragglers(t *testing.T) {
-	h, pool := testFaultHead(t, 2, FaultConfig{SpeculateAfter: 30 * time.Millisecond})
+	h, pool := testFaultHead(t, 2, faultOpts{SpeculateAfter: 30 * time.Millisecond})
 	if _, err := h.Register(protocol.Hello{Site: 0, Cluster: "a"}); err != nil {
 		t.Fatal(err)
 	}
@@ -317,7 +328,7 @@ func TestSpeculationDuplicatesStragglers(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Site 0 takes the entire pool and then stalls on its last 2 jobs.
-	js, _, _ := h.RequestJobs(0, 10)
+	js, _, _ := reqJobs(h, 0, 10)
 	if len(js) != 10 {
 		t.Fatalf("granted %d", len(js))
 	}
@@ -325,13 +336,13 @@ func TestSpeculationDuplicatesStragglers(t *testing.T) {
 		t.Fatalf("completing head of pool: dups=%v err=%v", dups, err)
 	}
 	// An empty grant while stragglers are outstanding must say "poll again".
-	if got, wait, _ := h.RequestJobs(1, 4); len(got) != 0 || !wait {
+	if got, wait, _ := reqJobs(h, 1, 4); len(got) != 0 || !wait {
 		t.Fatalf("grant = %d jobs, wait = %v; want empty+wait", len(got), wait)
 	}
 	// The watchdog speculates the 2 stragglers back into the pool.
 	var spec []jobs.Job
 	waitFor(t, "speculative copies", func() bool {
-		spec, _, _ = h.RequestJobs(1, 4)
+		spec, _, _ = reqJobs(h, 1, 4)
 		return len(spec) == 2
 	})
 	// Site 1's copies land first; the original site's commits become dups.

@@ -1,13 +1,20 @@
-// Package head implements the framework's head node. The head owns the
-// global job pool generated from the dataset index, assigns job groups to
-// requesting cluster masters (local jobs first, then stolen remote jobs),
-// and — once every cluster has processed its share — collects the
-// per-cluster reduction objects and combines them into the final result
-// (the global reduction phase).
+// Package head implements the framework's head node: a long-lived
+// multi-query scheduler. Each admitted query brings its own job pool
+// (index × placement) and reducer; the head hands jobs from every active
+// query to requesting cluster masters by weighted fair share (local jobs
+// first, then stolen remote jobs), keeps per-query reduction state
+// isolated, and — as each query's last expected cluster reports — combines
+// that query's reduction objects into its final result.
+//
+// Masters register once and hold one wire session while interleaving jobs
+// from many queries. The original single-query surface (Config.Pool +
+// Register/SubmitResult/Result) remains as a thin layer over an
+// auto-admitted query 0.
 package head
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -15,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/chunk"
+	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/jobs"
@@ -24,9 +32,9 @@ import (
 	"repro/internal/transport"
 )
 
-// ClusterReport is what the head learns about one cluster's run: its
-// measured time decomposition and job accounting, as delivered with the
-// cluster's reduction object.
+// ClusterReport is what the head learns about one cluster's part in a
+// query: its measured time decomposition and job accounting, as delivered
+// with the cluster's reduction object.
 type ClusterReport struct {
 	Site      int
 	Cluster   string
@@ -37,16 +45,18 @@ type ClusterReport struct {
 
 // Config parameterizes a head node.
 type Config struct {
-	// Pool is the global job pool (index × placement). Required.
+	// Pool, when set, auto-admits the legacy single query (query 0) with
+	// this pool, Reducer and Spec; the Register/SubmitResult/Result surface
+	// then behaves exactly as before the multi-query head. Leave nil for a
+	// pure multi-query head fed through Admit.
 	Pool *jobs.Pool
-	// Reducer performs the final global reduction and decodes cluster
-	// objects. Required.
+	// Reducer for the legacy query. Required when Pool is set.
 	Reducer core.Reducer
-	// Spec is pushed to each master after registration. Required fields:
-	// App, UnitSize, Index.
+	// Spec for the legacy query, pushed to each master after registration.
 	Spec protocol.JobSpec
-	// ExpectClusters is how many masters must register and report before
-	// the run completes. Required.
+	// ExpectClusters is how many masters may register; legacy-rule queries
+	// (QueryConfig.ExpectAll) also wait for this many reduction results.
+	// Required.
 	ExpectClusters int
 	// Logf receives diagnostics; nil silences them.
 	Logf func(format string, args ...any)
@@ -55,32 +65,40 @@ type Config struct {
 	// events on trace pid 0. The head also reads its Clock for grTime, so a
 	// simulator-supplied virtual clock keeps all reported times consistent.
 	Obs *obs.Obs
-	// Fault enables lease-based failure recovery, checkpoint intake, and
-	// speculative re-execution; the zero value keeps the original
-	// fail-fast behaviour.
+	// Tuning holds the knobs shared with the cluster runtimes and the
+	// driver: lease TTL, heartbeat cadence, speculation delay (the fault
+	// knobs that used to live on FaultConfig), wire codec, and so on.
+	Tuning config.Tuning
+	// Fault enables checkpoint intake and recovery persistence. Lease
+	// expiry and speculation are governed by Tuning; the zero value of both
+	// keeps the original fail-fast behaviour.
 	Fault FaultConfig
 }
 
-// Head coordinates one run. Create with New, expose it to masters either
-// over sockets (Serve) or in-process (the Register/RequestJobs/... methods),
-// then call Result.
+// Head schedules admitted queries over registered masters. Create with New,
+// expose it to masters either over sockets (Serve) or in-process (the
+// RegisterSite/Poll/... methods), admit queries with Admit (or implicitly
+// via Config.Pool), then wait on each Query.
 type Head struct {
 	cfg Config
 
 	mu        sync.Mutex
 	clusters  map[int]string // site -> cluster name (registered)
-	reports   []ClusterReport
-	finalObj  core.Object
-	grTime    time.Duration // time spent merging reduction objects
-	collected int
-	encoded   []byte
-	waiters   []chan struct{}
-	finishErr error
-	finished  bool
+	queries   map[int]*Query
+	order     []int // admission order, for deterministic iteration
+	nextQuery int
+	shutdown  bool
 
-	done chan struct{}
+	fair   *jobs.FairShare
+	legacy *Query // query 0 when cfg.Pool was set
 
-	// fs is the fault-recovery state; nil when Config.Fault is disabled.
+	// done closes when the head stops serving: legacy mode when query 0
+	// ends, multi mode on Shutdown or a fatal failure. It stops Serve and
+	// the failure monitor.
+	done     chan struct{}
+	doneOnce sync.Once
+
+	// fs is the fault-recovery state; nil when fault tolerance is off.
 	fs *faultState
 
 	lnMu     sync.Mutex
@@ -100,14 +118,14 @@ type Head struct {
 
 // New validates cfg and returns a head node ready to serve masters.
 func New(cfg Config) (*Head, error) {
-	if cfg.Pool == nil {
-		return nil, errors.New("head: Config.Pool is required")
-	}
-	if cfg.Reducer == nil {
-		return nil, errors.New("head: Config.Reducer is required")
+	if cfg.Pool != nil && cfg.Reducer == nil {
+		return nil, errors.New("head: Config.Reducer is required with Config.Pool")
 	}
 	if cfg.ExpectClusters <= 0 {
 		return nil, fmt.Errorf("head: ExpectClusters must be positive, got %d", cfg.ExpectClusters)
+	}
+	if err := cfg.Tuning.Validate(); err != nil {
+		return nil, fmt.Errorf("head: %w", err)
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
@@ -116,6 +134,8 @@ func New(cfg Config) (*Head, error) {
 	h := &Head{
 		cfg:          cfg,
 		clusters:     make(map[int]string),
+		queries:      make(map[int]*Query),
+		fair:         jobs.NewFairShare(),
 		done:         make(chan struct{}),
 		clk:          cfg.Obs.ClockOrWall(),
 		tr:           cfg.Obs.Trace(),
@@ -128,46 +148,57 @@ func New(cfg Config) (*Head, error) {
 	h.tr.NameProcess(0, "head")
 	h.tr.NameThread(0, 0, "global-reduction")
 	h.initFault()
+	if cfg.Pool != nil {
+		q, err := h.Admit(QueryConfig{
+			Pool:      cfg.Pool,
+			Reducer:   cfg.Reducer,
+			Spec:      cfg.Spec,
+			ExpectAll: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		h.legacy = q
+	}
 	return h, nil
 }
 
-// Register records a master's Hello and returns the job specification.
-// With fault tolerance enabled, a site re-registering after a failure is a
-// RECOVERY: the head requeues whatever the dead incarnation still held
-// (if lease expiry hadn't already), revives the lease, and hands the new
-// incarnation its last persisted checkpoint to resume from.
-func (h *Head) Register(hello protocol.Hello) (protocol.JobSpec, error) {
+// markDone closes the head's lifetime channel exactly once.
+func (h *Head) markDone() {
+	h.doneOnce.Do(func() { close(h.done) })
+}
+
+// registerSite records a master's Hello, handling the recovery side effects
+// of a re-registration. It reports whether the site was already known.
+func (h *Head) registerSite(hello protocol.Hello) (known bool, err error) {
 	h.mu.Lock()
-	_, known := h.clusters[hello.Site]
+	_, known = h.clusters[hello.Site]
 	if !known && len(h.clusters) >= h.cfg.ExpectClusters {
 		h.mu.Unlock()
-		return protocol.JobSpec{}, fmt.Errorf("head: already have %d clusters", h.cfg.ExpectClusters)
+		return false, opErr("register", hello.Site, -1,
+			fmt.Errorf("already have %d clusters: %w", h.cfg.ExpectClusters, ErrTooManyClusters))
 	}
 	if known && h.fs == nil {
 		h.mu.Unlock()
-		return protocol.JobSpec{}, fmt.Errorf("head: site %d already registered", hello.Site)
+		return false, opErr("register", hello.Site, -1, ErrAlreadyRegistered)
 	}
 	h.clusters[hello.Site] = hello.Cluster
 	nClusters := len(h.clusters)
 	h.mu.Unlock()
 
-	spec := h.cfg.Spec
-	spec.HeartbeatEvery = int64(h.cfg.Fault.heartbeatEvery())
 	if known {
 		// Re-registration: make sure the dead incarnation's work went back
-		// to the pool (a restart can beat the failure detector), then
-		// resume the new incarnation from the last checkpoint.
+		// to the pools (a restart can beat the failure detector), then
+		// revive the lease for the new incarnation.
 		h.FailSite(hello.Site)
-		spec.Checkpoint = h.recoverSpec(hello.Site)
 		h.fs.leases.Revive(hello.Site, h.clk.Now())
 		h.fs.mRecoveries.Inc()
-		h.cfg.Logf("head: cluster %q re-registered (site %d, checkpoint %d bytes)",
-			hello.Cluster, hello.Site, len(spec.Checkpoint))
+		h.cfg.Logf("head: cluster %q re-registered (site %d)", hello.Cluster, hello.Site)
 		if h.tr.Enabled() {
 			h.tr.Instant(0, 0, "fault", fmt.Sprintf("recover site %d", hello.Site),
-				obs.Args{"site": hello.Site, "checkpoint_bytes": len(spec.Checkpoint)})
+				obs.Args{"site": hello.Site})
 		}
-		return spec, nil
+		return true, nil
 	}
 	if h.fs != nil {
 		h.fs.leases.Renew(hello.Site, h.clk.Now())
@@ -178,6 +209,44 @@ func (h *Head) Register(hello protocol.Hello) (protocol.JobSpec, error) {
 		h.tr.Instant(0, 0, "lifecycle", fmt.Sprintf("register %s", hello.Cluster),
 			obs.Args{"site": hello.Site, "cores": hello.Cores})
 	}
+	return false, nil
+}
+
+// RegisterSite opens a multi-query session for a master: one registration
+// covering every admitted query. Per-query specs are fetched with QuerySpec
+// as queries first appear in a PollReply. With fault tolerance enabled, a
+// site re-registering after a failure is a recovery: the head requeues
+// whatever the dead incarnation still held and revives the lease; the new
+// incarnation resumes each query from its last persisted checkpoint
+// (carried in the QuerySpec it re-fetches).
+func (h *Head) RegisterSite(hello protocol.Hello) (protocol.SiteSpec, error) {
+	if _, err := h.registerSite(hello); err != nil {
+		return protocol.SiteSpec{}, err
+	}
+	return protocol.SiteSpec{
+		HeartbeatEvery: int64(h.cfg.Tuning.HeartbeatInterval()),
+	}, nil
+}
+
+// Register records a master's Hello for a legacy single-query session and
+// returns the legacy query's job specification. With fault tolerance
+// enabled, a re-registering site gets its last persisted checkpoint to
+// resume from.
+func (h *Head) Register(hello protocol.Hello) (protocol.JobSpec, error) {
+	if h.legacy == nil {
+		return protocol.JobSpec{}, opErr("register", hello.Site, -1,
+			errors.New("no single-query config; use RegisterSite/Admit"))
+	}
+	known, err := h.registerSite(hello)
+	if err != nil {
+		return protocol.JobSpec{}, err
+	}
+	spec := h.legacy.spec
+	spec.HeartbeatEvery = int64(h.cfg.Tuning.HeartbeatInterval())
+	if known {
+		spec.Checkpoint = h.recoverSpec(h.legacy.id, hello.Site)
+		h.cfg.Logf("head: site %d resumes with %d checkpoint bytes", hello.Site, len(spec.Checkpoint))
+	}
 	return spec, nil
 }
 
@@ -187,192 +256,111 @@ func (h *Head) Register(hello protocol.Hello) (protocol.JobSpec, error) {
 // would lose work or double-count it; the incarnation must re-register.
 func (h *Head) fencedCheck(site int) error {
 	if h.fs != nil && h.fs.leases.Dead(site) {
-		return fmt.Errorf("head: rejecting site %d: %w", site, fault.ErrFenced)
+		return fmt.Errorf("rejecting site %d: %w", site, fault.ErrFenced)
 	}
 	return nil
 }
 
-// RequestJobs assigns up to n jobs to the requesting site, local first then
-// stolen. An empty result with wait=false means the global pool is
-// exhausted for good; wait=true means recovery or speculation may yet
-// produce work, so the master should poll again instead of finishing. A
-// site the head has declared failed is fenced: it gets an error instead of
-// jobs (its lease is untracked, so work granted to it could be lost
-// silently) and must re-register to rejoin.
-func (h *Head) RequestJobs(site, n int) (js []jobs.Job, wait bool, err error) {
-	if err := h.fencedCheck(site); err != nil {
-		return nil, false, err
-	}
-	h.Heartbeat(site)
-	sp := h.tr.Begin(0, 0, "scheduling", "request-jobs")
-	js = h.cfg.Pool.Assign(site, n)
-	sp.End(obs.Args{"site": site, "asked": n, "granted": len(js)})
-	if len(js) > 0 {
-		h.mGrants.Inc()
-		h.mJobsGranted.Add(int64(len(js)))
-		h.cfg.Logf("head: granted %d jobs to site %d (first %v)", len(js), site, js[0].Ref)
-		return js, false, nil
-	}
-	h.mExhausted.Inc()
-	// With fault tolerance on, an empty grant is only final once every
-	// outstanding job has committed: until then a failure could requeue
-	// work this site must be able to pick up.
-	return nil, h.fs != nil && !h.cfg.Pool.Drained(), nil
-}
-
-// CompleteJobs commits finished jobs, releasing their contention
-// bookkeeping. It returns the IDs of duplicate completions — jobs whose
-// contribution another copy already supplied; the caller must not fold
-// those chunks into its reduction object. Commits from a fenced (dead-
-// marked) incarnation are refused wholesale: the head already reissued its
-// un-checkpointed work, so accepting them would steal credit from the
-// recomputing site and double-count the contribution.
+// CompleteJobs commits finished jobs for the legacy query. It returns the
+// IDs of duplicate completions — jobs whose contribution another copy
+// already supplied; the caller must not fold those chunks.
 func (h *Head) CompleteJobs(site int, js []jobs.Job) ([]int, error) {
-	if err := h.fencedCheck(site); err != nil {
-		return nil, err
+	if h.legacy == nil {
+		return nil, opErr("complete", site, -1, errors.New("no single-query config"))
 	}
-	h.Heartbeat(site)
-	var dups []int
-	for _, j := range js {
-		dup, err := h.cfg.Pool.Commit(site, j)
-		if err != nil {
-			return dups, err
-		}
-		if dup {
-			dups = append(dups, j.ID)
-			continue
-		}
-		if h.fs != nil {
-			h.mu.Lock()
-			h.fs.sinceCkpt[site] = append(h.fs.sinceCkpt[site], j)
-			h.mu.Unlock()
-		}
-	}
-	return dups, nil
+	return h.CompleteQueryJobs(h.legacy.id, site, js)
 }
 
-// SubmitResult accepts one cluster's encoded reduction object, merges it
-// into the global result, and blocks until every expected cluster has
-// reported; it then returns the final encoded object. The caller's blocked
-// time here is exactly the cluster's end-of-run sync time.
-//
-// A fenced incarnation's object is refused: it carries folds for jobs the
-// head reissued after declaring the site failed, so merging it would count
-// those contributions twice (once here, once from the recomputing cluster).
-// The fenced master re-registers and resubmits from its last checkpoint.
+// SubmitResult accepts one cluster's encoded reduction object for the
+// legacy query, merges it into the global result, and blocks until every
+// expected cluster has reported; it then returns the final encoded object.
+// The caller's blocked time here is exactly the cluster's end-of-run sync
+// time. Any merge failure aborts the whole run, preserving the original
+// single-query fail-fast contract.
 func (h *Head) SubmitResult(res protocol.ReductionResult) ([]byte, error) {
+	if h.legacy == nil {
+		return nil, opErr("submit", res.Site, -1, errors.New("no single-query config"))
+	}
 	if err := h.fencedCheck(res.Site); err != nil {
-		return nil, err
+		return nil, opErr("submit", res.Site, h.legacy.id, err)
 	}
+	q := h.legacy
 	if h.fs != nil {
-		// The submitted object carries every contribution this site made, so
-		// from here on its failure is harmless: release the lease (the site
-		// goes silent during the global-reduction wait) and drop its reissue
-		// bookkeeping.
+		// The submitted object carries every contribution this site made,
+		// so from here on its failure is harmless: release the lease (the
+		// site goes silent during the global-reduction wait).
 		h.fs.leases.Release(res.Site)
-		h.mu.Lock()
-		h.fs.sinceCkpt[res.Site] = nil
-		h.mu.Unlock()
 	}
-	obj, err := h.cfg.Reducer.Decode(res.Object)
-	if err != nil {
-		h.fail(fmt.Errorf("head: decoding reduction object from site %d: %w", res.Site, err))
-		return nil, err
-	}
-
+	res.Query = q.id
 	h.mu.Lock()
-	if h.finished {
-		err := h.finishErr
-		enc := h.encoded
+	if q.finished {
+		enc, err := q.encoded, q.finishErr
 		h.mu.Unlock()
 		return enc, err
 	}
-	sp := h.tr.Begin(0, 0, "sync", "merge-robj")
-	start := h.clk.Now()
-	if h.finalObj == nil {
-		h.finalObj = obj
-	} else if err := h.cfg.Reducer.GlobalReduce(h.finalObj, obj); err != nil {
-		h.mu.Unlock()
-		h.fail(fmt.Errorf("head: global reduction: %w", err))
+	h.mu.Unlock()
+	if err := h.submit(q, res); err != nil {
+		h.fail(err)
 		return nil, err
 	}
-	merge := h.clk.Now() - start
-	h.grTime += merge
-	sp.End(obs.Args{"site": res.Site})
-	h.hGlobalRed.Observe(merge)
-	h.mResults.Inc()
-	h.collected++
-	h.reports = append(h.reports, ClusterReport{
-		Site:    res.Site,
-		Cluster: h.clusters[res.Site],
-		Breakdown: stats.Breakdown{
-			Processing: time.Duration(res.Processing),
-			Retrieval:  time.Duration(res.Retrieval),
-			Sync:       time.Duration(res.Sync),
-		},
-		Jobs: stats.JobAccounting{Local: res.LocalJobs, Stolen: res.StolenJobs},
-	})
-	if h.collected < h.cfg.ExpectClusters {
+	h.mu.Lock()
+	if !q.finished {
 		ch := make(chan struct{})
-		h.waiters = append(h.waiters, ch)
+		q.waiters = append(q.waiters, ch)
 		h.mu.Unlock()
-		select {
-		case <-ch:
-		case <-h.done:
-		}
+		<-ch
 		h.mu.Lock()
-		enc, err := h.encoded, h.finishErr
-		h.mu.Unlock()
-		return enc, err
 	}
-	// Last cluster in: finalize.
-	enc, err := h.cfg.Reducer.Encode(h.finalObj)
-	h.encoded, h.finishErr = enc, err
-	h.finished = true
-	for _, ch := range h.waiters {
-		close(ch)
-	}
-	h.waiters = nil
+	enc, err := q.encoded, q.finishErr
 	h.mu.Unlock()
-	close(h.done)
-	h.cfg.Logf("head: global reduction complete (%d clusters)", h.cfg.ExpectClusters)
 	return enc, err
 }
 
-// fail aborts the run with err, releasing all waiters.
-func (h *Head) fail(err error) {
-	h.mu.Lock()
-	if h.finished {
-		h.mu.Unlock()
+// SiteLost reports that a master's session ended unexpectedly. With fault
+// tolerance on, the site's work is requeued and the queries live on for a
+// restarted replacement; without it, every active query fails (the original
+// fail-fast contract). After the head has stopped it is a no-op.
+func (h *Head) SiteLost(site int, err error) {
+	select {
+	case <-h.done:
+		return
+	default:
+	}
+	if h.fs != nil {
+		h.cfg.Logf("head: lost master for site %d: %v", site, err)
+		h.FailSite(site)
 		return
 	}
-	h.finished = true
-	h.finishErr = err
-	for _, ch := range h.waiters {
-		close(ch)
-	}
-	h.waiters = nil
-	h.mu.Unlock()
-	close(h.done)
+	h.fail(opErr("session", site, -1, fmt.Errorf("lost master: %w", err)))
 }
 
-// Result blocks until the run completes and returns the final reduction
-// object, the per-cluster reports, and the head's own global-reduction time.
-func (h *Head) Result() (core.Object, []ClusterReport, time.Duration, error) {
-	<-h.done
+// fail aborts every active query with err and stops the head.
+func (h *Head) fail(err error) {
 	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.finishErr != nil {
-		return nil, nil, 0, h.finishErr
+	for _, id := range h.order {
+		if q := h.queries[id]; !q.finished {
+			q.failLocked(err)
+		}
 	}
-	return h.finalObj, h.reports, h.grTime, nil
+	h.mu.Unlock()
+	h.markDone()
+}
+
+// Result blocks until the legacy query completes and returns its final
+// reduction object, the per-cluster reports, and the head's own
+// global-reduction time.
+func (h *Head) Result() (core.Object, []ClusterReport, time.Duration, error) {
+	if h.legacy == nil {
+		return nil, nil, 0, errors.New("head: no single-query config; use Admit and Query.Wait")
+	}
+	return h.legacy.Wait(context.Background())
 }
 
 // ---------------------------------------------------------------------------
 // Socket service.
 
-// Serve accepts master connections on l until the run completes or Close is
-// called. It blocks; run it in a goroutine alongside Result.
+// Serve accepts master connections on l until the head stops or Close is
+// called. It blocks; run it in a goroutine.
 func (h *Head) Serve(l net.Listener) error {
 	h.lnMu.Lock()
 	if h.closed {
@@ -419,71 +407,111 @@ func (h *Head) Close() error {
 	return err
 }
 
-// HandleConn speaks the master protocol on one connection: Hello → JobSpec,
-// then JobRequest/JobsDone until ReductionResult, answered with Finished
-// after the global reduction. Exported so in-process deployments can drive
-// a head over transport.Pipe.
+// HandleConn speaks the master protocol on one connection. A ProtoSingle
+// Hello binds the session to the legacy query: Hello → JobSpec, then
+// JobRequest/JobsDone until ReductionResult, answered with Finished after
+// the global reduction. A ProtoMulti Hello opens a shared session: Hello →
+// SiteSpec, then PollRequest/QuerySpecRequest/JobsDone/CheckpointSave
+// interleaved across queries, with each ReductionResult acknowledged by a
+// ResultAck so the master keeps serving its remaining queries. Exported so
+// in-process deployments can drive a head over transport.Pipe.
 func (h *Head) HandleConn(c *transport.Conn) {
 	defer c.Close()
 	site := -1
+	multi := false
+	upgraded := false
 	for {
 		msg, err := c.Recv()
 		if err != nil {
 			if site >= 0 {
-				select {
-				case <-h.done: // normal teardown after Finished
-				default:
-					if h.fs != nil {
-						// Recoverable: requeue the site's work and keep the
-						// run alive for its restarted replacement.
-						h.cfg.Logf("head: lost master for site %d: %v", site, err)
-						h.FailSite(site)
-					} else {
-						h.fail(fmt.Errorf("head: lost master for site %d: %w", site, err))
-					}
-				}
+				h.SiteLost(site, err)
 			}
 			return
 		}
 		switch m := msg.(type) {
 		case protocol.Hello:
 			site = m.Site
-			spec, err := h.Register(m)
-			if err != nil {
-				_ = c.Send(protocol.ErrorReply{Err: err.Error()})
-				return
-			}
 			// Wire-codec negotiation: confirm the master's advertised codec
-			// in the JobSpec (which still travels in the codec the Hello
+			// in the reply (which still travels in the codec the Hello
 			// arrived in), then upgrade both directions. A master predating
 			// the binary codec advertises nothing and the session stays on
-			// gob.
-			upgrade := m.Codec >= protocol.WireBinary
-			if upgrade {
-				spec.Codec = protocol.WireBinary
-			}
-			if err := c.Send(spec); err != nil {
-				return
+			// gob. A fenced master may re-Hello on the same session to
+			// recover; the codec stays whatever was negotiated first.
+			upgrade := m.Codec >= protocol.WireBinary && !upgraded
+			if m.Proto >= protocol.ProtoMulti {
+				multi = true
+				spec, err := h.RegisterSite(m)
+				if err != nil {
+					_ = c.Send(protocol.ErrorReply{Err: err.Error(), Code: ErrCode(err)})
+					return
+				}
+				if upgrade {
+					spec.Codec = protocol.WireBinary
+				}
+				if err := c.Send(spec); err != nil {
+					return
+				}
+			} else {
+				spec, err := h.Register(m)
+				if err != nil {
+					_ = c.Send(protocol.ErrorReply{Err: err.Error(), Code: ErrCode(err)})
+					return
+				}
+				if upgrade {
+					spec.Codec = protocol.WireBinary
+				}
+				if err := c.Send(spec); err != nil {
+					return
+				}
 			}
 			if upgrade {
 				c.UpgradeSend(transport.CodecBinary)
 				c.UpgradeRecv(transport.CodecBinary)
+				upgraded = true
 			}
-		case protocol.JobRequest:
-			js, wait, err := h.RequestJobs(m.Site, m.N)
+		case protocol.JobRequest: // legacy sessions only
+			rep, err := h.Poll(m.Site, m.N)
 			if err != nil {
-				_ = c.Send(protocol.ErrorReply{Err: err.Error()})
+				_ = c.Send(protocol.ErrorReply{Err: err.Error(), Code: ErrCode(err)})
 				return
 			}
-			if err := c.Send(protocol.JobGrant{Jobs: js, Wait: wait}); err != nil {
+			var flat []jobs.Job
+			for _, qj := range rep.Queries {
+				flat = append(flat, qj.Jobs...)
+			}
+			if err := c.Send(protocol.JobGrant{Jobs: flat, Wait: rep.Wait}); err != nil {
+				return
+			}
+		case protocol.PollRequest:
+			rep, err := h.Poll(m.Site, m.N)
+			if err != nil {
+				_ = c.Send(protocol.ErrorReply{Err: err.Error(), Code: ErrCode(err)})
+				continue // query- and fence-scoped; the master decides
+			}
+			if err := c.Send(rep); err != nil {
+				return
+			}
+		case protocol.QuerySpecRequest:
+			spec, err := h.QuerySpec(m.Site, m.Query)
+			if err != nil {
+				_ = c.Send(protocol.ErrorReply{Err: err.Error(), Code: ErrCode(err)})
+				continue
+			}
+			if err := c.Send(spec); err != nil {
 				return
 			}
 		case protocol.JobsDone:
-			dups, err := h.CompleteJobs(m.Site, m.Jobs)
+			var dups []int
+			if multi {
+				dups, err = h.CompleteQueryJobs(m.Query, m.Site, m.Jobs)
+			} else {
+				dups, err = h.CompleteJobs(m.Site, m.Jobs)
+			}
 			ack := protocol.JobsDoneAck{Dup: dups}
 			if err != nil {
 				h.cfg.Logf("head: completion error from site %d: %v", m.Site, err)
 				ack.Err = err.Error()
+				ack.Code = ErrCode(err)
 			}
 			if err := c.Send(ack); err != nil {
 				return
@@ -494,14 +522,26 @@ func (h *Head) HandleConn(c *transport.Conn) {
 			ack := protocol.CheckpointAck{}
 			if err := h.CheckpointSave(m); err != nil {
 				ack.Err = err.Error()
+				ack.Code = ErrCode(err)
 			}
 			if err := c.Send(ack); err != nil {
 				return
 			}
 		case protocol.ReductionResult:
+			if multi {
+				ack := protocol.ResultAck{}
+				if err := h.SubmitQueryResult(m); err != nil {
+					ack.Err = err.Error()
+					ack.Code = ErrCode(err)
+				}
+				if err := c.Send(ack); err != nil {
+					return
+				}
+				continue
+			}
 			final, err := h.SubmitResult(m)
 			if err != nil {
-				_ = c.Send(protocol.ErrorReply{Err: err.Error()})
+				_ = c.Send(protocol.ErrorReply{Err: err.Error(), Code: ErrCode(err)})
 				return
 			}
 			_ = c.Send(protocol.Finished{Object: final})
@@ -513,7 +553,7 @@ func (h *Head) HandleConn(c *transport.Conn) {
 	}
 }
 
-// EncodeIndexSpec is a helper for building a Config.Spec: it serializes ix
+// EncodeIndexSpec is a helper for building a job spec: it serializes ix
 // into spec.Index.
 func EncodeIndexSpec(spec *protocol.JobSpec, ix *chunk.Index) error {
 	var buf bytes.Buffer

@@ -62,11 +62,26 @@ func testHead(t *testing.T, clusters int) *Head {
 	return h
 }
 
+// reqJobs adapts the typed Poll reply back to the old (jobs, wait, err)
+// triple the single-query tests were written against.
+func reqJobs(h *Head, site, n int) ([]jobs.Job, bool, error) {
+	rep, err := h.Poll(site, n)
+	if err != nil {
+		return nil, false, err
+	}
+	var js []jobs.Job
+	for _, qj := range rep.Queries {
+		js = append(js, qj.Jobs...)
+	}
+	return js, rep.Wait, nil
+}
+
 func TestNewValidation(t *testing.T) {
 	ix, _ := chunk.Layout("h", 10, 4, 10, 5)
 	pool, _ := jobs.NewPool(ix, jobs.Placement{0}, jobs.Options{})
-	if _, err := New(Config{Reducer: sumReducer{}, ExpectClusters: 1}); err == nil {
-		t.Error("nil pool accepted")
+	// A head without a pool is a valid multi-query head awaiting Admit.
+	if _, err := New(Config{Reducer: sumReducer{}, ExpectClusters: 1, Logf: func(string, ...any) {}}); err != nil {
+		t.Errorf("pool-less multi-query head rejected: %v", err)
 	}
 	if _, err := New(Config{Pool: pool, ExpectClusters: 1}); err == nil {
 		t.Error("nil reducer accepted")
@@ -154,7 +169,7 @@ func TestSubmitResultDecodeErrorFailsRun(t *testing.T) {
 
 func TestRequestAndCompleteJobs(t *testing.T) {
 	h := testHead(t, 1)
-	js, wait, _ := h.RequestJobs(0, 3)
+	js, wait, _ := reqJobs(h, 0, 3)
 	if len(js) != 3 {
 		t.Fatalf("granted %d", len(js))
 	}

@@ -1,0 +1,491 @@
+package head
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/jobs"
+	"repro/internal/obs"
+	"repro/internal/protocol"
+	"repro/internal/stats"
+)
+
+// QueryConfig describes one query to admit into a running head.
+type QueryConfig struct {
+	// Pool is the query's job pool (index × placement). Required.
+	Pool *jobs.Pool
+	// Reducer decodes cluster objects and performs this query's global
+	// reduction. Required.
+	Reducer core.Reducer
+	// Spec is handed to masters that fetch this query's job specification.
+	// Required fields: App, UnitSize, Index.
+	Spec protocol.JobSpec
+	// Weight is the query's fair-share weight (default 1): under
+	// contention, job grants converge to the weight ratios.
+	Weight int
+	// ExpectAll, when set, requires a reduction result from every one of
+	// the head's ExpectClusters masters (the legacy completion rule). When
+	// unset, only sites that actually contributed folds to the query must
+	// report, so a query whose placement confines it to some sites
+	// completes without involving the others.
+	ExpectAll bool
+}
+
+// Query is one admitted query's state at the head. All mutable fields are
+// guarded by Head.mu.
+type Query struct {
+	id int
+	h  *Head
+
+	pool      *jobs.Pool
+	reducer   core.Reducer
+	spec      protocol.JobSpec
+	weight    int
+	expectAll bool
+
+	// contrib marks sites whose folds are credited to this query: a site
+	// joins on its first non-duplicate commit and leaves (in FailSite) only
+	// if nothing it folded survives — no persisted checkpoint and no merged
+	// result. Completion for non-ExpectAll queries is "pool drained and
+	// every contributor has reported".
+	contrib  map[int]bool
+	reported map[int]bool
+	// dropNotified marks sites already told (via PollReply.Dropped) to
+	// discard their state for this canceled query.
+	dropNotified map[int]bool
+
+	reports   []ClusterReport
+	finalObj  core.Object
+	grTime    time.Duration
+	collected int
+	encoded   []byte
+	waiters   []chan struct{}
+	finishErr error
+	finished  bool
+	canceled  bool
+	done      chan struct{}
+
+	// Fault bookkeeping, per site (meaningful only when h.fs != nil).
+	sinceCkpt  map[int][]jobs.Job
+	ckptSeq    map[int]int
+	emptySince time.Duration
+	speculated bool
+
+	mJobsGranted *obs.Counter
+	mResults     *obs.Counter
+}
+
+// Admit registers a new query with the head: its jobs join the fair-share
+// scheduler immediately and start flowing to registered masters in the next
+// polls, interleaved with every other admitted query's.
+func (h *Head) Admit(qc QueryConfig) (*Query, error) {
+	if qc.Pool == nil {
+		return nil, opErr("admit", -1, -1, errors.New("QueryConfig.Pool is required"))
+	}
+	if qc.Reducer == nil {
+		return nil, opErr("admit", -1, -1, errors.New("QueryConfig.Reducer is required"))
+	}
+	if qc.Weight < 1 {
+		qc.Weight = 1
+	}
+	h.mu.Lock()
+	if h.shutdown {
+		h.mu.Unlock()
+		return nil, opErr("admit", -1, -1, ErrShutdown)
+	}
+	id := h.nextQuery
+	h.nextQuery++
+	reg := h.cfg.Obs.Metrics()
+	q := &Query{
+		id:           id,
+		h:            h,
+		pool:         qc.Pool,
+		reducer:      qc.Reducer,
+		spec:         qc.Spec,
+		weight:       qc.Weight,
+		expectAll:    qc.ExpectAll,
+		contrib:      make(map[int]bool),
+		reported:     make(map[int]bool),
+		dropNotified: make(map[int]bool),
+		sinceCkpt:    make(map[int][]jobs.Job),
+		ckptSeq:      make(map[int]int),
+		done:         make(chan struct{}),
+		mJobsGranted: reg.Counter(fmt.Sprintf("head_query_%d_jobs_granted_total", id)),
+		mResults:     reg.Counter(fmt.Sprintf("head_query_%d_results_total", id)),
+	}
+	q.spec.Query = id
+	h.queries[id] = q
+	h.order = append(h.order, id)
+	h.mu.Unlock()
+	if err := h.fair.Add(id, qc.Pool, qc.Weight); err != nil {
+		h.mu.Lock()
+		delete(h.queries, id)
+		h.order = h.order[:len(h.order)-1]
+		h.mu.Unlock()
+		return nil, opErr("admit", -1, id, err)
+	}
+	h.cfg.Logf("head: admitted query %d (app %q, weight %d, %d jobs)",
+		id, qc.Spec.App, qc.Weight, qc.Pool.Remaining())
+	if h.tr.Enabled() {
+		h.tr.Instant(0, 0, "lifecycle", fmt.Sprintf("admit query %d", id),
+			obs.Args{"query": id, "weight": qc.Weight})
+	}
+	return q, nil
+}
+
+// ID returns the query's head-assigned identifier.
+func (q *Query) ID() int { return q.id }
+
+// Done returns a channel closed when the query finishes (successfully or
+// not); select on it alongside other channels, then call Wait for the
+// outcome.
+func (q *Query) Done() <-chan struct{} { return q.done }
+
+// Wait blocks until the query completes, is canceled, or ctx expires, and
+// returns the final reduction object with the per-cluster reports and the
+// head's merge time for this query.
+func (q *Query) Wait(ctx context.Context) (core.Object, []ClusterReport, time.Duration, error) {
+	select {
+	case <-ctx.Done():
+		return nil, nil, 0, ctx.Err()
+	case <-q.done:
+	}
+	q.h.mu.Lock()
+	defer q.h.mu.Unlock()
+	if q.finishErr != nil {
+		return nil, nil, 0, q.finishErr
+	}
+	return q.finalObj, q.reports, q.grTime, nil
+}
+
+// Cancel withdraws the query: no further jobs are granted, masters are told
+// to discard its state via PollReply.Dropped, and Wait returns
+// ErrQueryCanceled. Jobs already granted are quietly absorbed — late
+// commits for a canceled query read as duplicates, so masters drop the
+// folds without error. Canceling a finished query is a no-op.
+func (q *Query) Cancel() {
+	h := q.h
+	h.mu.Lock()
+	if q.finished {
+		h.mu.Unlock()
+		return
+	}
+	q.canceled = true
+	q.failLocked(opErr("cancel", -1, q.id, ErrQueryCanceled))
+	h.mu.Unlock()
+	h.fair.Remove(q.id)
+	h.cfg.Logf("head: canceled query %d", q.id)
+	if h.tr.Enabled() {
+		h.tr.Instant(0, 0, "lifecycle", fmt.Sprintf("cancel query %d", q.id), obs.Args{"query": q.id})
+	}
+}
+
+// failLocked ends the query with err. Caller holds h.mu.
+func (q *Query) failLocked(err error) {
+	if q.finished {
+		return
+	}
+	q.finished = true
+	q.finishErr = err
+	for _, ch := range q.waiters {
+		close(ch)
+	}
+	q.waiters = nil
+	close(q.done)
+	if q == q.h.legacy {
+		q.h.markDone()
+	}
+}
+
+// finalizeLocked encodes the final object and releases everyone waiting on
+// the query. Caller holds h.mu.
+func (q *Query) finalizeLocked() {
+	enc, err := q.reducer.Encode(q.finalObj)
+	q.encoded, q.finishErr = enc, err
+	q.finished = true
+	for _, ch := range q.waiters {
+		close(ch)
+	}
+	q.waiters = nil
+	close(q.done)
+	if q == q.h.legacy {
+		q.h.markDone()
+	}
+	q.h.cfg.Logf("head: query %d complete (%d cluster results)", q.id, q.collected)
+}
+
+// completeLocked reports whether every expected reduction result is in.
+// Caller holds h.mu.
+func (q *Query) completeLocked() bool {
+	if q.finished {
+		return false
+	}
+	if q.expectAll {
+		// The all-masters rule: complete when every expected cluster has
+		// submitted. A master only submits once the head stops granting it
+		// jobs, so the pool is drained by construction here — the seed's
+		// single-query contract, preserved without re-checking drain.
+		return q.collected >= q.h.cfg.ExpectClusters
+	}
+	if !q.pool.Drained() || len(q.contrib) == 0 || q.collected == 0 {
+		return false
+	}
+	for site := range q.contrib {
+		if !q.reported[site] {
+			return false
+		}
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Site-facing scheduling surface.
+
+// Poll is the typed replacement for the old RequestJobs (js, wait, err)
+// triple: it assigns up to n jobs runnable at site, drawn from every
+// admitted query by weighted fair share, and reports the per-query lifecycle
+// transitions the site must act on — queries now expecting its reduction
+// result (Done), canceled queries to discard (Dropped), whether an empty
+// grant is final or worth polling again (Wait), and head shutdown. A fenced
+// site gets an *OpError wrapping fault.ErrFenced and must re-register.
+//
+// A ProtoSingle session may use Poll only on a head whose sole query is the
+// legacy query 0; grants for other queries would be stranded (committed by
+// nobody) until lease recovery reclaimed them.
+func (h *Head) Poll(site, n int) (protocol.PollReply, error) {
+	if err := h.fencedCheck(site); err != nil {
+		return protocol.PollReply{}, opErr("poll", site, -1, err)
+	}
+	h.Heartbeat(site)
+	sp := h.tr.Begin(0, 0, "scheduling", "request-jobs")
+	tagged := h.fair.Assign(site, n)
+	sp.End(obs.Args{"site": site, "asked": n, "granted": len(tagged)})
+
+	var rep protocol.PollReply
+	idx := make(map[int]int)
+	for _, tg := range tagged {
+		i, ok := idx[tg.Query]
+		if !ok {
+			i = len(rep.Queries)
+			idx[tg.Query] = i
+			rep.Queries = append(rep.Queries, protocol.QueryJobs{Query: tg.Query})
+		}
+		rep.Queries[i].Jobs = append(rep.Queries[i].Jobs, tg.Job)
+	}
+
+	h.mu.Lock()
+	rep.Shutdown = h.shutdown
+	anyUndrained := false
+	for _, id := range h.order {
+		q := h.queries[id]
+		if n, ok := idx[id]; ok {
+			q.mJobsGranted.Add(int64(len(rep.Queries[n].Jobs)))
+		}
+		if q.canceled {
+			if !q.dropNotified[site] {
+				q.dropNotified[site] = true
+				rep.Dropped = append(rep.Dropped, id)
+			}
+			continue
+		}
+		if q.finished {
+			continue
+		}
+		if !q.pool.Drained() {
+			anyUndrained = true
+		} else if !q.reported[site] && (q.expectAll || q.contrib[site]) {
+			rep.Done = append(rep.Done, id)
+		}
+	}
+	h.mu.Unlock()
+
+	if len(tagged) > 0 {
+		h.mGrants.Inc()
+		h.mJobsGranted.Add(int64(len(tagged)))
+		h.cfg.Logf("head: granted %d jobs to site %d (%d queries)", len(tagged), site, len(rep.Queries))
+	} else {
+		h.mExhausted.Inc()
+		// An empty grant is only final once every outstanding job has
+		// committed; with fault machinery on, a failure could still requeue
+		// work this site must be able to pick up.
+		rep.Wait = h.fs != nil && anyUndrained
+	}
+	return rep, nil
+}
+
+// QuerySpec returns the job specification a master needs to start (or,
+// after re-registration, resume) processing one query: the admitted spec
+// plus the site's last persisted checkpoint for that query, if any.
+func (h *Head) QuerySpec(site, query int) (protocol.JobSpec, error) {
+	if err := h.fencedCheck(site); err != nil {
+		return protocol.JobSpec{}, opErr("spec", site, query, err)
+	}
+	h.mu.Lock()
+	q := h.queries[query]
+	h.mu.Unlock()
+	if q == nil {
+		return protocol.JobSpec{}, opErr("spec", site, query, ErrUnknownQuery)
+	}
+	if q.canceled {
+		return protocol.JobSpec{}, opErr("spec", site, query, ErrQueryCanceled)
+	}
+	spec := q.spec
+	spec.HeartbeatEvery = int64(h.cfg.Tuning.HeartbeatInterval())
+	spec.Checkpoint = h.recoverSpec(query, site)
+	return spec, nil
+}
+
+// CompleteQueryJobs commits finished jobs for one query, returning the IDs
+// whose contribution another copy already supplied (the caller must not
+// fold those chunks). Commits for a canceled or finished query are answered
+// with every ID marked duplicate — the master discards the folds and moves
+// on. Commits from a fenced incarnation are refused wholesale.
+func (h *Head) CompleteQueryJobs(query, site int, js []jobs.Job) ([]int, error) {
+	if err := h.fencedCheck(site); err != nil {
+		return nil, opErr("complete", site, query, err)
+	}
+	h.Heartbeat(site)
+	h.mu.Lock()
+	q := h.queries[query]
+	if q == nil {
+		h.mu.Unlock()
+		return nil, opErr("complete", site, query, ErrUnknownQuery)
+	}
+	if q.canceled || q.finished {
+		h.mu.Unlock()
+		dups := make([]int, len(js))
+		for i, j := range js {
+			dups[i] = j.ID
+		}
+		return dups, nil
+	}
+	h.mu.Unlock()
+	var dups []int
+	for _, j := range js {
+		dup, err := q.pool.Commit(site, j)
+		if err != nil {
+			return dups, opErr("complete", site, query, err)
+		}
+		if dup {
+			dups = append(dups, j.ID)
+			continue
+		}
+		h.mu.Lock()
+		q.contrib[site] = true
+		if h.fs != nil {
+			q.sinceCkpt[site] = append(q.sinceCkpt[site], j)
+		}
+		h.mu.Unlock()
+	}
+	return dups, nil
+}
+
+// SubmitQueryResult accepts one cluster's encoded reduction object for one
+// query and merges it into that query's global result. Unlike the legacy
+// SubmitResult it does not block for the rest of the query: the master
+// keeps polling and serving other queries. Submissions for canceled or
+// already-finished queries are refused with typed errors the master treats
+// as "discard and move on".
+func (h *Head) SubmitQueryResult(res protocol.ReductionResult) error {
+	if err := h.fencedCheck(res.Site); err != nil {
+		return opErr("submit", res.Site, res.Query, err)
+	}
+	h.Heartbeat(res.Site)
+	h.mu.Lock()
+	q := h.queries[res.Query]
+	h.mu.Unlock()
+	if q == nil {
+		return opErr("submit", res.Site, res.Query, ErrUnknownQuery)
+	}
+	return h.submit(q, res)
+}
+
+// submit decodes, merges and records one cluster's result for q, finalizing
+// the query when the last expected result lands.
+func (h *Head) submit(q *Query, res protocol.ReductionResult) error {
+	if h.fs != nil {
+		// The submitted object carries every fold this site made for q, so
+		// its un-checkpointed commits no longer need reissue on failure.
+		h.mu.Lock()
+		q.sinceCkpt[res.Site] = nil
+		h.mu.Unlock()
+	}
+	obj, err := q.reducer.Decode(res.Object)
+	if err != nil {
+		err = opErr("submit", res.Site, q.id, fmt.Errorf("decoding reduction object: %w", err))
+		h.mu.Lock()
+		q.failLocked(err)
+		h.mu.Unlock()
+		h.fair.Remove(q.id)
+		return err
+	}
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if q.canceled {
+		return opErr("submit", res.Site, q.id, ErrQueryCanceled)
+	}
+	if q.finished || q.reported[res.Site] {
+		// Late or duplicate result: the query's object is already sealed
+		// (or this site already counted); drop it without error.
+		return nil
+	}
+	sp := h.tr.Begin(0, 0, "sync", "merge-robj")
+	start := h.clk.Now()
+	if q.finalObj == nil {
+		q.finalObj = obj
+	} else if err := q.reducer.GlobalReduce(q.finalObj, obj); err != nil {
+		err = opErr("submit", res.Site, q.id, fmt.Errorf("global reduction: %w", err))
+		q.failLocked(err)
+		return err
+	}
+	merge := h.clk.Now() - start
+	q.grTime += merge
+	sp.End(obs.Args{"site": res.Site, "query": q.id})
+	h.hGlobalRed.Observe(merge)
+	h.mResults.Inc()
+	q.mResults.Inc()
+	q.collected++
+	q.reported[res.Site] = true
+	q.contrib[res.Site] = true
+	q.reports = append(q.reports, ClusterReport{
+		Site:    res.Site,
+		Cluster: h.clusters[res.Site],
+		Breakdown: stats.Breakdown{
+			Processing: time.Duration(res.Processing),
+			Retrieval:  time.Duration(res.Retrieval),
+			Sync:       time.Duration(res.Sync),
+		},
+		Jobs: stats.JobAccounting{Local: res.LocalJobs, Stolen: res.StolenJobs},
+	})
+	if q.completeLocked() {
+		q.finalizeLocked()
+		h.fair.Remove(q.id)
+	}
+	return nil
+}
+
+// Shutdown ends the head's multi-query service: still-active queries fail
+// with ErrShutdown, masters see PollReply.Shutdown on their next poll, and
+// the failure monitor stops. Idempotent.
+func (h *Head) Shutdown() {
+	h.mu.Lock()
+	if h.shutdown {
+		h.mu.Unlock()
+		return
+	}
+	h.shutdown = true
+	for _, id := range h.order {
+		q := h.queries[id]
+		if !q.finished {
+			q.failLocked(opErr("shutdown", -1, id, ErrShutdown))
+		}
+		h.fair.Remove(id)
+	}
+	h.mu.Unlock()
+	h.markDone()
+	h.cfg.Logf("head: shutdown")
+}

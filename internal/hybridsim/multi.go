@@ -1,0 +1,448 @@
+package hybridsim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/chunk"
+	"repro/internal/jobs"
+	"repro/internal/simtime"
+	"repro/internal/stats"
+)
+
+// MultiQuery is one concurrent query in a multi-query simulation: its own
+// dataset view, placement, pool policy, application cost shape and
+// fair-share weight — mirroring head.QueryConfig.
+type MultiQuery struct {
+	Name      string
+	App       AppModel
+	Index     *chunk.Index
+	Placement jobs.Placement
+	PoolOpts  jobs.Options
+	// Weight is the query's fair-share weight (default 1).
+	Weight int
+}
+
+// MultiConfig is a simulated multi-query experiment: N queries admitted at
+// t=0 over one shared deployment, with the head handing out jobs by the same
+// weighted stride scheduler the live head uses (jobs.FairShare). The
+// single-query simulator (Run) is untouched; this is a separate machine
+// sharing the Network/Resource substrate.
+type MultiConfig struct {
+	Queries  []MultiQuery
+	Topology Topology
+	// RequestBatch is the job-group size masters request per poll; defaults
+	// to max(RetrievalThreads/2, 4) per cluster, like the live master.
+	RequestBatch int
+	// Seed drives the deterministic jitter stream.
+	Seed uint64
+}
+
+// QueryResult reports one query's simulated outcome.
+type QueryResult struct {
+	Name string
+	// Finish is when the head merged the query's last reduction object.
+	Finish time.Duration
+	// Granted counts jobs handed to masters for this query.
+	Granted int
+	// Jobs is the per-cluster accounting, indexed like Topology.Clusters.
+	Jobs []stats.JobAccounting
+}
+
+// MultiResult reports the whole multi-query experiment.
+type MultiResult struct {
+	// Total is the virtual makespan: until the last query's final merge
+	// plus the Finished broadcast.
+	Total time.Duration
+	// Queries holds per-query results in MultiConfig order.
+	Queries []QueryResult
+	// Seeks counts non-sequential fetches across all sites.
+	Seeks int
+}
+
+// mqChunk is one retrieved-but-unprocessed chunk, tagged with its query.
+type mqChunk struct {
+	tg    jobs.Tagged
+	bytes int64
+}
+
+// mqCluster is one cluster's agent in the multi-query simulation: a single
+// master/poll loop interleaving every query's jobs, like cluster.RunAgent.
+type mqCluster struct {
+	s     *multiSim
+	model ClusterModel
+	index int
+
+	queue      []jobs.Tagged
+	requesting bool
+	exhausted  bool
+
+	freeLanes []int
+	inFlight  int
+	ready     []mqChunk
+	idleCores []int
+	busyCores int
+
+	jobsByQuery map[int]stats.JobAccounting
+}
+
+type multiSim struct {
+	cfg      MultiConfig
+	clock    *simtime.Clock
+	net      *Network
+	fair     *jobs.FairShare
+	pools    []*jobs.Pool
+	clusters []*mqCluster
+	egress   map[int]*Resource
+	paths    map[[2]int]*Resource
+	interRes *Resource
+
+	nextSeq  map[int]int
+	lastFile map[int]int
+	seeks    int
+
+	granted    []int
+	drained    []bool
+	expect     []int // reduction objects the head still awaits, per query
+	finish     []time.Duration
+	headBusyAt time.Duration
+	finished   int
+	err        error
+}
+
+// RunMulti executes a multi-query simulated experiment: every query is
+// admitted at t=0, masters poll one shared head whose grants follow the
+// weighted fair share, and each query performs its own global reduction as
+// soon as its pool drains — while the other queries keep running.
+func RunMulti(cfg MultiConfig) (*MultiResult, error) {
+	if len(cfg.Queries) == 0 {
+		return nil, fmt.Errorf("hybridsim: at least one query is required")
+	}
+	if len(cfg.Topology.Clusters) == 0 {
+		return nil, fmt.Errorf("hybridsim: at least one cluster is required")
+	}
+	s := &multiSim{
+		cfg:      cfg,
+		clock:    &simtime.Clock{},
+		fair:     jobs.NewFairShare(),
+		egress:   make(map[int]*Resource),
+		paths:    make(map[[2]int]*Resource),
+		nextSeq:  make(map[int]int),
+		lastFile: make(map[int]int),
+		granted:  make([]int, len(cfg.Queries)),
+		drained:  make([]bool, len(cfg.Queries)),
+		expect:   make([]int, len(cfg.Queries)),
+		finish:   make([]time.Duration, len(cfg.Queries)),
+	}
+	s.net = NewNetwork(s.clock)
+	for qi, q := range cfg.Queries {
+		if q.Index == nil {
+			return nil, fmt.Errorf("hybridsim: query %d (%s) has no index", qi, q.Name)
+		}
+		if q.App.ComputeBytesPerSec <= 0 {
+			return nil, fmt.Errorf("hybridsim: query %d (%s): App.ComputeBytesPerSec must be positive", qi, q.Name)
+		}
+		pool, err := jobs.NewPool(q.Index, q.Placement, q.PoolOpts)
+		if err != nil {
+			return nil, fmt.Errorf("hybridsim: query %d (%s): %w", qi, q.Name, err)
+		}
+		s.pools = append(s.pools, pool)
+		if err := s.fair.Add(qi, pool, q.Weight); err != nil {
+			return nil, err
+		}
+	}
+	for site := range cfg.Topology.SeekPenalty {
+		s.lastFile[site] = -1
+	}
+	for site, cap := range cfg.Topology.SourceEgress {
+		s.egress[site] = &Resource{Name: fmt.Sprintf("egress-site%d", site), Capacity: cap}
+	}
+	if cfg.Topology.InterClusterBandwidth > 0 {
+		s.interRes = &Resource{Name: "inter-cluster", Capacity: cfg.Topology.InterClusterBandwidth}
+	}
+	for key, p := range cfg.Topology.Paths {
+		s.paths[key] = &Resource{Name: fmt.Sprintf("path-c%d-s%d", key[0], key[1]), Capacity: p.Bandwidth}
+	}
+	for i, cm := range cfg.Topology.Clusters {
+		if cm.Cores <= 0 {
+			return nil, fmt.Errorf("hybridsim: cluster %q has %d cores", cm.Name, cm.Cores)
+		}
+		if cm.CoreSpeed <= 0 {
+			cm.CoreSpeed = 1
+		}
+		if cm.RetrievalThreads <= 0 {
+			cm.RetrievalThreads = 2
+		}
+		if cm.QueueDepth <= 0 {
+			cm.QueueDepth = 2 * cm.Cores
+		}
+		c := &mqCluster{s: s, model: cm, index: i, jobsByQuery: make(map[int]stats.JobAccounting)}
+		for lane := cm.RetrievalThreads; lane >= 1; lane-- {
+			c.freeLanes = append(c.freeLanes, lane)
+		}
+		for id := 0; id < cm.Cores; id++ {
+			c.idleCores = append(c.idleCores, id)
+		}
+		s.clusters = append(s.clusters, c)
+	}
+	for _, c := range s.clusters {
+		c.poll()
+	}
+	s.clock.Run()
+	if s.err != nil {
+		return nil, s.err
+	}
+	if s.finished < len(cfg.Queries) {
+		return nil, fmt.Errorf("hybridsim: multi-query simulation stalled (%d/%d queries finished)",
+			s.finished, len(cfg.Queries))
+	}
+	res := &MultiResult{Seeks: s.seeks}
+	for qi, q := range cfg.Queries {
+		qr := QueryResult{Name: q.Name, Finish: s.finish[qi], Granted: s.granted[qi]}
+		for _, c := range s.clusters {
+			qr.Jobs = append(qr.Jobs, c.jobsByQuery[qi])
+		}
+		res.Queries = append(res.Queries, qr)
+		if s.finish[qi] > res.Total {
+			res.Total = s.finish[qi]
+		}
+	}
+	res.Total += cfg.Topology.ControlLatency // Finished broadcast
+	return res, nil
+}
+
+func (s *multiSim) allDrained() bool {
+	for _, d := range s.drained {
+		if !d {
+			return false
+		}
+	}
+	return true
+}
+
+// pollEvery is the masters' back-off between empty grants while some query
+// is still undrained (jobs outstanding on other clusters).
+func (s *multiSim) mqPollEvery() time.Duration {
+	if d := 2 * s.cfg.Topology.ControlLatency; d > 0 {
+		return d
+	}
+	return time.Millisecond
+}
+
+func (c *mqCluster) batch() int {
+	if c.s.cfg.RequestBatch > 0 {
+		return c.s.cfg.RequestBatch
+	}
+	b := c.model.RetrievalThreads / 2
+	if b < 4 {
+		b = 4
+	}
+	return b
+}
+
+// poll is the agent's shared master loop: one request serves every query,
+// the head answering with a fair-share-interleaved grant.
+func (c *mqCluster) poll() {
+	if c.requesting || c.exhausted {
+		return
+	}
+	if len(c.queue) >= c.batch() {
+		return
+	}
+	c.requesting = true
+	s := c.s
+	rtt := 2 * s.cfg.Topology.ControlLatency
+	s.clock.After(rtt, func() {
+		c.requesting = false
+		tagged := s.fair.Assign(c.model.Site, c.batch())
+		if len(tagged) == 0 {
+			if s.allDrained() {
+				c.exhausted = true
+				return
+			}
+			// Empty but undrained somewhere: poll again (the live PollReply's
+			// Wait hint). New grants can appear when another cluster drains a
+			// shared pool or a weight rotation comes around.
+			s.clock.After(s.mqPollEvery(), func() { c.poll() })
+			return
+		}
+		for _, tg := range tagged {
+			s.granted[tg.Query]++
+		}
+		c.queue = append(c.queue, tagged...)
+		c.kickRetrievers()
+	})
+}
+
+func (c *mqCluster) kickRetrievers() {
+	for len(c.freeLanes) > 0 {
+		lane := c.freeLanes[len(c.freeLanes)-1]
+		if !c.startFetch(lane) {
+			break
+		}
+		c.freeLanes = c.freeLanes[:len(c.freeLanes)-1]
+	}
+}
+
+// startFetch begins one chunk transfer, charging the same egress, path and
+// seek resources as the single-query simulator.
+func (c *mqCluster) startFetch(lane int) bool {
+	if len(c.ready)+c.inFlight >= c.model.QueueDepth {
+		return false
+	}
+	if len(c.queue) == 0 {
+		c.poll()
+		return false
+	}
+	tg := c.queue[0]
+	c.queue = c.queue[1:]
+	c.poll() // queue diminished; maybe request more
+	s := c.s
+	j := tg.Job
+	var resources []*Resource
+	if r, ok := s.egress[j.Site]; ok && r.Capacity > 0 {
+		resources = append(resources, r)
+	}
+	var latency time.Duration
+	var perStream float64
+	if pm, ok := s.cfg.Topology.Paths[[2]int{c.index, j.Site}]; ok {
+		if r := s.paths[[2]int{c.index, j.Site}]; r != nil && r.Capacity > 0 {
+			resources = append(resources, r)
+		}
+		latency = pm.Latency
+		perStream = pm.PerStream
+	}
+	if pen, ok := s.cfg.Topology.SeekPenalty[j.Site]; ok && pen > 0 {
+		// Sequence tracking is per (query, file): two queries interleaving
+		// over the same files look like two readers to the storage site.
+		key := tg.Query<<20 | j.Ref.File
+		if s.lastFile[j.Site] != key || s.nextSeq[key] != j.Ref.Seq {
+			latency += pen
+			s.seeks++
+		}
+		s.lastFile[j.Site] = key
+		s.nextSeq[key] = j.Ref.Seq + 1
+	}
+	c.inFlight++
+	s.net.Start(j.Ref.Size, latency, perStream, resources, func() {
+		c.inFlight--
+		c.ready = append(c.ready, mqChunk{tg: tg, bytes: j.Ref.Size})
+		c.kickCores()
+		if c.startFetch(lane) {
+			return
+		}
+		c.freeLanes = append(c.freeLanes, lane)
+	})
+	return true
+}
+
+func (c *mqCluster) kickCores() {
+	for len(c.idleCores) > 0 && len(c.ready) > 0 {
+		core := c.idleCores[len(c.idleCores)-1]
+		c.idleCores = c.idleCores[:len(c.idleCores)-1]
+		qc := c.ready[0]
+		c.ready = c.ready[1:]
+		c.busyCores++
+		c.kickRetrievers()
+		c.process(core, qc)
+	}
+}
+
+// process models one core crunching one chunk at the owning query's rate.
+func (c *mqCluster) process(core int, qc mqChunk) {
+	s := c.s
+	app := s.cfg.Queries[qc.tg.Query].App
+	h := splitmix64(s.cfg.Seed ^ uint64(c.index)<<32 ^ uint64(qc.tg.Job.ID) ^ uint64(qc.tg.Query)<<48)
+	jit := 1.0
+	if c.model.Jitter > 0 {
+		u := float64(h>>11) / float64(1<<53)
+		jit = 1 - c.model.Jitter + 2*c.model.Jitter*u
+	}
+	rate := app.ComputeBytesPerSec * c.model.CoreSpeed * jit
+	d := time.Duration(float64(qc.bytes) / rate * float64(time.Second))
+	s.clock.After(d, func() {
+		c.busyCores--
+		c.idleCores = append(c.idleCores, core)
+		c.complete(qc.tg)
+		c.kickCores()
+		c.kickRetrievers()
+	})
+}
+
+// complete records one processed chunk against its query and, when that
+// drains the query's pool, starts the query's own global reduction while
+// every other query keeps running.
+func (c *mqCluster) complete(tg jobs.Tagged) {
+	s := c.s
+	if s.err != nil {
+		return
+	}
+	pool := s.pools[tg.Query]
+	if err := pool.Complete(tg.Job); err != nil {
+		s.err = err
+		return
+	}
+	acct := c.jobsByQuery[tg.Query]
+	if tg.Job.Site != c.model.Site {
+		acct.Stolen++
+	} else {
+		acct.Local++
+	}
+	c.jobsByQuery[tg.Query] = acct
+	if !s.drained[tg.Query] && pool.Drained() {
+		s.drained[tg.Query] = true
+		s.fair.Remove(tg.Query)
+		s.startGlobalReduction(tg.Query)
+	}
+}
+
+// startGlobalReduction ships every contributing cluster's reduction object
+// for one query to the head (the head cluster's is free) and merges them
+// serially on the shared head pipeline.
+func (s *multiSim) startGlobalReduction(qi int) {
+	t := s.cfg.Topology
+	app := s.cfg.Queries[qi].App
+	contributors := 0
+	for _, c := range s.clusters {
+		if c.jobsByQuery[qi].Local+c.jobsByQuery[qi].Stolen == 0 {
+			continue
+		}
+		contributors++
+		if c.index == t.HeadCluster {
+			s.robjMerged(qi, app)
+			continue
+		}
+		var res []*Resource
+		if s.interRes != nil {
+			res = append(res, s.interRes)
+		}
+		s.net.Start(app.RobjBytes, t.InterClusterLatency, 0, res, func() {
+			s.robjMerged(qi, app)
+		})
+	}
+	s.expect[qi] = contributors
+	if contributors == 0 {
+		s.err = fmt.Errorf("hybridsim: query %d drained with no contributors", qi)
+	}
+}
+
+// robjMerged serializes one reduction-object merge on the head and finishes
+// the query when its last object lands.
+func (s *multiSim) robjMerged(qi int, app AppModel) {
+	mergeStart := s.clock.Now()
+	if mergeStart < s.headBusyAt {
+		mergeStart = s.headBusyAt
+	}
+	merge := time.Duration(0)
+	if app.MergeBytesPerSec > 0 {
+		merge = time.Duration(float64(app.RobjBytes) / app.MergeBytesPerSec * float64(time.Second))
+	}
+	s.headBusyAt = mergeStart + merge
+	s.clock.At(s.headBusyAt, func() {
+		s.expect[qi]--
+		if s.expect[qi] == 0 {
+			s.finish[qi] = s.clock.Now()
+			s.finished++
+		}
+	})
+}

@@ -50,6 +50,11 @@ const (
 	tagStatResp
 	tagListReq
 	tagListResp
+	tagSiteSpec
+	tagPollRequest
+	tagPollReply
+	tagQuerySpecRequest
+	tagResultAck
 )
 
 // MaxFrameBytes caps a frame's length word. A hostile or corrupt length is
@@ -127,6 +132,7 @@ func AppendBinary(dst []byte, m Message) (meta, payload []byte, err error) {
 		dst = appendStr(dst, m.Cluster)
 		dst = appendInt(dst, m.Cores)
 		dst = appendInt(dst, m.Codec)
+		dst = appendInt(dst, m.Proto)
 	case JobSpec:
 		dst = append(dst, tagJobSpec)
 		dst = appendStr(dst, m.App)
@@ -138,6 +144,7 @@ func AppendBinary(dst []byte, m Message) (meta, payload []byte, err error) {
 		dst = appendBytes(dst, m.Checkpoint)
 		dst = appendI64(dst, m.HeartbeatEvery)
 		dst = appendInt(dst, m.Codec)
+		dst = appendInt(dst, m.Query)
 	case JobRequest:
 		dst = append(dst, tagJobRequest)
 		dst = appendInt(dst, m.Site)
@@ -153,10 +160,12 @@ func AppendBinary(dst []byte, m Message) (meta, payload []byte, err error) {
 	case JobsDone:
 		dst = append(dst, tagJobsDone)
 		dst = appendInt(dst, m.Site)
+		dst = appendInt(dst, m.Query)
 		dst = appendJobs(dst, m.Jobs)
 	case JobsDoneAck:
 		dst = append(dst, tagJobsDoneAck)
 		dst = appendStr(dst, m.Err)
+		dst = appendU32(dst, uint32(m.Code))
 		dst = appendU32(dst, uint32(len(m.Dup)))
 		for _, id := range m.Dup {
 			dst = appendInt(dst, id)
@@ -168,13 +177,16 @@ func AppendBinary(dst []byte, m Message) (meta, payload []byte, err error) {
 		dst = append(dst, tagCheckpointSave)
 		dst = appendInt(dst, m.Site)
 		dst = appendInt(dst, m.Seq)
+		dst = appendInt(dst, m.Query)
 		return dst, m.Data, nil
 	case CheckpointAck:
 		dst = append(dst, tagCheckpointAck)
 		dst = appendStr(dst, m.Err)
+		dst = appendU32(dst, uint32(m.Code))
 	case ReductionResult:
 		dst = append(dst, tagReductionResult)
 		dst = appendInt(dst, m.Site)
+		dst = appendInt(dst, m.Query)
 		dst = appendI64(dst, m.Processing)
 		dst = appendI64(dst, m.Retrieval)
 		dst = appendI64(dst, m.Sync)
@@ -187,6 +199,46 @@ func AppendBinary(dst []byte, m Message) (meta, payload []byte, err error) {
 	case ErrorReply:
 		dst = append(dst, tagErrorReply)
 		dst = appendStr(dst, m.Err)
+		dst = appendU32(dst, uint32(m.Code))
+	case SiteSpec:
+		dst = append(dst, tagSiteSpec)
+		dst = appendI64(dst, m.HeartbeatEvery)
+		dst = appendInt(dst, m.Codec)
+	case PollRequest:
+		dst = append(dst, tagPollRequest)
+		dst = appendInt(dst, m.Site)
+		dst = appendInt(dst, m.N)
+	case PollReply:
+		dst = append(dst, tagPollReply)
+		var flags byte
+		if m.Wait {
+			flags |= 1
+		}
+		if m.Shutdown {
+			flags |= 2
+		}
+		dst = append(dst, flags)
+		dst = appendU32(dst, uint32(len(m.Queries)))
+		for _, q := range m.Queries {
+			dst = appendInt(dst, q.Query)
+			dst = appendJobs(dst, q.Jobs)
+		}
+		dst = appendU32(dst, uint32(len(m.Done)))
+		for _, q := range m.Done {
+			dst = appendInt(dst, q)
+		}
+		dst = appendU32(dst, uint32(len(m.Dropped)))
+		for _, q := range m.Dropped {
+			dst = appendInt(dst, q)
+		}
+	case QuerySpecRequest:
+		dst = append(dst, tagQuerySpecRequest)
+		dst = appendInt(dst, m.Site)
+		dst = appendInt(dst, m.Query)
+	case ResultAck:
+		dst = append(dst, tagResultAck)
+		dst = appendStr(dst, m.Err)
+		dst = appendU32(dst, uint32(m.Code))
 	case PutReq:
 		dst = append(dst, tagPutReq)
 		dst = appendStr(dst, m.Key)
@@ -338,6 +390,24 @@ func (f *frameReader) tail(alloc func(int) []byte) ([]byte, error) {
 	return b, nil
 }
 
+// ints reads a u32 count followed by that many u64-encoded ints.
+func (f *frameReader) ints() ([]int, error) {
+	n, err := f.count(8)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		if out[i], err = f.int(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
 func (f *frameReader) jobs() ([]jobs.Job, error) {
 	n, err := f.count(jobWire)
 	if err != nil {
@@ -442,6 +512,9 @@ func decodeBody(tag byte, f *frameReader, alloc func(int) []byte) (Message, erro
 		if m.Codec, err = f.int(); err != nil {
 			return nil, err
 		}
+		if m.Proto, err = f.int(); err != nil {
+			return nil, err
+		}
 		return m, nil
 	case tagJobSpec:
 		var m JobSpec
@@ -473,6 +546,9 @@ func decodeBody(tag byte, f *frameReader, alloc func(int) []byte) (Message, erro
 		if m.Codec, err = f.int(); err != nil {
 			return nil, err
 		}
+		if m.Query, err = f.int(); err != nil {
+			return nil, err
+		}
 		return m, nil
 	case tagJobRequest:
 		var m JobRequest
@@ -501,6 +577,9 @@ func decodeBody(tag byte, f *frameReader, alloc func(int) []byte) (Message, erro
 		if m.Site, err = f.int(); err != nil {
 			return nil, err
 		}
+		if m.Query, err = f.int(); err != nil {
+			return nil, err
+		}
 		if m.Jobs, err = f.jobs(); err != nil {
 			return nil, err
 		}
@@ -511,6 +590,11 @@ func decodeBody(tag byte, f *frameReader, alloc func(int) []byte) (Message, erro
 		if m.Err, err = f.str(); err != nil {
 			return nil, err
 		}
+		code, err := f.u32()
+		if err != nil {
+			return nil, err
+		}
+		m.Code = int(int32(code))
 		n, err := f.count(8)
 		if err != nil {
 			return nil, err
@@ -540,6 +624,9 @@ func decodeBody(tag byte, f *frameReader, alloc func(int) []byte) (Message, erro
 		if m.Seq, err = f.int(); err != nil {
 			return nil, err
 		}
+		if m.Query, err = f.int(); err != nil {
+			return nil, err
+		}
 		if m.Data, err = f.tail(alloc); err != nil {
 			return nil, err
 		}
@@ -550,11 +637,19 @@ func decodeBody(tag byte, f *frameReader, alloc func(int) []byte) (Message, erro
 		if m.Err, err = f.str(); err != nil {
 			return nil, err
 		}
+		code, err := f.u32()
+		if err != nil {
+			return nil, err
+		}
+		m.Code = int(int32(code))
 		return m, nil
 	case tagReductionResult:
 		var m ReductionResult
 		var err error
 		if m.Site, err = f.int(); err != nil {
+			return nil, err
+		}
+		if m.Query, err = f.int(); err != nil {
 			return nil, err
 		}
 		if m.Processing, err = f.i64(); err != nil {
@@ -589,6 +684,84 @@ func decodeBody(tag byte, f *frameReader, alloc func(int) []byte) (Message, erro
 		if m.Err, err = f.str(); err != nil {
 			return nil, err
 		}
+		code, err := f.u32()
+		if err != nil {
+			return nil, err
+		}
+		m.Code = int(int32(code))
+		return m, nil
+	case tagSiteSpec:
+		var m SiteSpec
+		var err error
+		if m.HeartbeatEvery, err = f.i64(); err != nil {
+			return nil, err
+		}
+		if m.Codec, err = f.int(); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case tagPollRequest:
+		var m PollRequest
+		var err error
+		if m.Site, err = f.int(); err != nil {
+			return nil, err
+		}
+		if m.N, err = f.int(); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case tagPollReply:
+		var m PollReply
+		flags, err := f.u8()
+		if err != nil {
+			return nil, err
+		}
+		m.Wait = flags&1 != 0
+		m.Shutdown = flags&2 != 0
+		// Each query entry costs at least its ID plus a jobs count word.
+		nq, err := f.count(8 + 4)
+		if err != nil {
+			return nil, err
+		}
+		if nq > 0 {
+			m.Queries = make([]QueryJobs, nq)
+			for i := range m.Queries {
+				if m.Queries[i].Query, err = f.int(); err != nil {
+					return nil, err
+				}
+				if m.Queries[i].Jobs, err = f.jobs(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if m.Done, err = f.ints(); err != nil {
+			return nil, err
+		}
+		if m.Dropped, err = f.ints(); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case tagQuerySpecRequest:
+		var m QuerySpecRequest
+		var err error
+		if m.Site, err = f.int(); err != nil {
+			return nil, err
+		}
+		if m.Query, err = f.int(); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case tagResultAck:
+		var m ResultAck
+		var err error
+		if m.Err, err = f.str(); err != nil {
+			return nil, err
+		}
+		code, err := f.u32()
+		if err != nil {
+			return nil, err
+		}
+		m.Code = int(int32(code))
 		return m, nil
 	case tagPutReq:
 		var m PutReq

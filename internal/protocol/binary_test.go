@@ -45,11 +45,13 @@ func sampleMessages() []Message {
 		JobsDone{Site: 2, Jobs: sampleJobs(3)},
 		JobsDoneAck{Dup: []int{4, 9, 11}, Err: "partial"},
 		JobsDoneAck{},
+		JobsDoneAck{Err: "fenced", Code: CodeFenced},
 		Heartbeat{Site: 7},
 		CheckpointSave{Site: 1, Seq: 42, Data: []byte("checkpoint-bytes")},
 		CheckpointSave{Site: 0, Seq: 1},
 		CheckpointAck{Err: "stale seq"},
 		CheckpointAck{},
+		CheckpointAck{Err: "stale seq", Code: CodeStale},
 		ReductionResult{Site: 2, Object: []byte{9, 8, 7}, Processing: 123, Retrieval: 456,
 			Sync: 789, LocalJobs: 10, StolenJobs: 3},
 		Finished{Object: bytes.Repeat([]byte{0xCD}, 50)},
@@ -66,6 +68,29 @@ func sampleMessages() []Message {
 		ListReq{Prefix: "points"},
 		ListResp{Keys: []string{"a", "bb", "ccc"}},
 		ListResp{},
+		Hello{Site: 2, Cluster: "shared", Cores: 8, Codec: WireBinary, Proto: ProtoMulti},
+		JobSpec{App: "histogram", Query: 7, Codec: WireBinary},
+		JobsDone{Site: 1, Query: 3, Jobs: []jobs.Job{{ID: 12, Site: 1}}},
+		CheckpointSave{Site: 0, Seq: 2, Query: 5, Data: []byte("q5")},
+		ReductionResult{Site: 1, Query: 4, Object: []byte{1}, Processing: 2, Retrieval: 3, Sync: 4, LocalJobs: 5, StolenJobs: 6},
+		ErrorReply{Err: "fenced", Code: CodeFenced},
+		SiteSpec{HeartbeatEvery: 25e7, Codec: WireBinary},
+		SiteSpec{},
+		PollRequest{Site: 3, N: 9},
+		PollReply{
+			Queries: []QueryJobs{
+				{Query: 1, Jobs: []jobs.Job{{ID: 1, Site: 0}, {ID: 2, Site: 1}}},
+				{Query: 2},
+			},
+			Done:    []int{3, 4},
+			Dropped: []int{5},
+			Wait:    true,
+		},
+		PollReply{Shutdown: true},
+		PollReply{},
+		QuerySpecRequest{Site: 2, Query: 6},
+		ResultAck{Err: "unknown query", Code: CodeUnknownQuery},
+		ResultAck{},
 	}
 }
 
@@ -168,6 +193,7 @@ func TestDecodeFrameMalformed(t *testing.T) {
 			func() []byte {
 				body := []byte{byte(tagJobsDoneAck)}
 				body = appendU32(body, 0)       // empty Err
+				body = appendU32(body, 0)       // Code OK
 				body = appendU32(body, 1<<28)   // absurd dup count
 				return append(frameLen(uint32(len(body))), body...)
 			}(), ErrCorruptFrame},

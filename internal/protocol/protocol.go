@@ -29,15 +29,26 @@ const (
 	WireBinary = 1 // length-prefixed fixed-layout binary codec (binary.go)
 )
 
+// Session protocol versions carried in Hello.Proto. A legacy master binds
+// its whole session to one query; a multi-query master registers once and
+// interleaves jobs from every admitted query over the same connection.
+const (
+	ProtoSingle = 0 // one query per session; head replies with that query's JobSpec
+	ProtoMulti  = 1 // shared session; head replies with SiteSpec, specs fetched per query
+)
+
 // Hello registers a master with the head node.
 type Hello struct {
 	Site    int    // site id of the cluster's storage (matches the placement)
 	Cluster string // human-readable cluster name ("local", "cloud", …)
 	Cores   int    // processing threads the cluster contributes
 	// Codec is the best wire codec the master supports (WireGob/WireBinary).
-	// The head confirms the session codec in JobSpec.Codec; both sides
-	// upgrade their connection after that exchange.
+	// The head confirms the session codec in JobSpec.Codec (ProtoSingle) or
+	// SiteSpec.Codec (ProtoMulti); both sides upgrade after that exchange.
 	Codec int
+	// Proto selects the session shape (ProtoSingle/ProtoMulti). Old masters
+	// send no field and read as ProtoSingle.
+	Proto int
 }
 
 // JobSpec is the head's response to Hello: everything a cluster needs to
@@ -60,6 +71,9 @@ type JobSpec struct {
 	// min(head's best, Hello.Codec). The JobSpec itself still travels in the
 	// codec the Hello arrived in; everything after is in the selected codec.
 	Codec int
+	// Query identifies which admitted query this spec belongs to. Single-query
+	// sessions always see query 0.
+	Query int
 }
 
 // JobRequest asks the head for up to N more jobs for the requesting cluster.
@@ -80,16 +94,18 @@ type JobGrant struct {
 // JobsDone reports completed jobs back to the head so it can maintain the
 // per-file contention counters that drive the stealing heuristic.
 type JobsDone struct {
-	Site int
-	Jobs []jobs.Job
+	Site  int
+	Query int // owning query (0 in single-query sessions)
+	Jobs  []jobs.Job
 }
 
 // JobsDoneAck is the head's commit response: Dup lists the job IDs (from
 // the JobsDone batch) whose contributions were already supplied by another
 // copy — the cluster must NOT fold those chunks.
 type JobsDoneAck struct {
-	Dup []int
-	Err string
+	Dup  []int
+	Err  string
+	Code int // typed error code (Code* constants) when Err != ""
 }
 
 // Heartbeat renews a cluster's liveness lease. Fire-and-forget; the head
@@ -101,14 +117,16 @@ type Heartbeat struct {
 // CheckpointSave asks the head to persist a cluster's reduction-object
 // checkpoint (an encoded fault.Checkpoint) in the configured store.
 type CheckpointSave struct {
-	Site int
-	Seq  int
-	Data []byte
+	Site  int
+	Seq   int
+	Query int // owning query (0 in single-query sessions)
+	Data  []byte
 }
 
 // CheckpointAck acknowledges a CheckpointSave.
 type CheckpointAck struct {
-	Err string
+	Err  string
+	Code int // typed error code (Code* constants) when Err != ""
 }
 
 // ReductionResult delivers a cluster's encoded reduction object to the head
@@ -116,6 +134,7 @@ type CheckpointAck struct {
 // cluster's measured time decomposition (for the experiment reports).
 type ReductionResult struct {
 	Site       int
+	Query      int // owning query (0 in single-query sessions)
 	Object     []byte
 	Processing int64 // nanoseconds
 	Retrieval  int64
@@ -130,9 +149,68 @@ type Finished struct {
 	Object []byte // final encoded reduction object
 }
 
-// ErrorReply reports a failure for the preceding request.
+// ErrorReply reports a failure for the preceding request. Code classifies
+// the failure (CodeFenced, CodeUnknownQuery, …) so clients can rebuild the
+// head's typed errors across the wire; 0 means unclassified.
 type ErrorReply struct {
-	Err string
+	Err  string
+	Code int
+}
+
+// ---------------------------------------------------------------------------
+// Head ↔ Master, multi-query sessions (Hello.Proto == ProtoMulti).
+
+// SiteSpec is the head's reply to a multi-query Hello: session-level
+// parameters only. Per-query JobSpecs are fetched with QuerySpecRequest as
+// queries first appear in a PollReply.
+type SiteSpec struct {
+	HeartbeatEvery int64 // nanoseconds between heartbeats; 0 disables
+	Codec          int   // session codec: min(head's best, Hello.Codec)
+}
+
+// PollRequest asks the head for up to N more jobs for the site, drawn from
+// every admitted query by weighted fair share.
+type PollRequest struct {
+	Site int
+	N    int
+}
+
+// QueryJobs is one query's slice of a poll grant.
+type QueryJobs struct {
+	Query int
+	Jobs  []jobs.Job
+}
+
+// PollReply answers a PollRequest. Queries carries the granted jobs grouped
+// by query. Done lists queries whose pools drained and now expect this
+// site's reduction result; Dropped lists canceled queries whose state the
+// master should discard without submitting. Wait set with no grants means
+// the pools are momentarily empty but recovery/speculation/admission may
+// still produce work — poll again. Shutdown means the head is closing and
+// the master should finalize what it has and exit.
+type PollReply struct {
+	Queries  []QueryJobs
+	Done     []int
+	Dropped  []int
+	Wait     bool
+	Shutdown bool
+}
+
+// QuerySpecRequest fetches the JobSpec for one admitted query — sent the
+// first time a multi-query master sees the query in a PollReply, and again
+// after re-registration (the spec then carries the recovery checkpoint).
+type QuerySpecRequest struct {
+	Site  int
+	Query int
+}
+
+// ResultAck acknowledges a ReductionResult in a multi-query session. Unlike
+// the legacy Finished broadcast it does not block for the global reduction:
+// the master keeps serving other queries and learns nothing of the final
+// object (the submitting client reads it from the head).
+type ResultAck struct {
+	Err  string
+	Code int
 }
 
 // ---------------------------------------------------------------------------
@@ -146,6 +224,18 @@ const (
 	CodeTransient = 1 // retryable: connection trouble, transient backend error
 	CodeNotFound  = 2 // permanent: no such object
 	CodeBadRange  = 3 // permanent: byte range outside the object
+)
+
+// Error codes classifying head failures, carried by ErrorReply.Code and
+// ResultAck.Code so clients can reconstruct the head's typed errors
+// (head.OpError sentinels, fault.ErrFenced) across the wire. Disjoint from
+// the object-store codes above so a misrouted reply cannot be misread.
+const (
+	CodeFenced       = 10 // site's lease expired; re-register to resume
+	CodeUnknownQuery = 11 // query ID never admitted at this head
+	CodeCanceled     = 12 // query was canceled
+	CodeStale        = 13 // stale checkpoint sequence or superseded request
+	CodeShutdown     = 14 // head is shutting down
 )
 
 // PutReq stores an object.
@@ -207,8 +297,13 @@ func (Heartbeat) protoMsg()       {}
 func (CheckpointSave) protoMsg()  {}
 func (CheckpointAck) protoMsg()   {}
 func (ReductionResult) protoMsg() {}
-func (Finished) protoMsg()        {}
-func (ErrorReply) protoMsg()      {}
+func (Finished) protoMsg()         {}
+func (ErrorReply) protoMsg()       {}
+func (SiteSpec) protoMsg()         {}
+func (PollRequest) protoMsg()      {}
+func (PollReply) protoMsg()        {}
+func (QuerySpecRequest) protoMsg() {}
+func (ResultAck) protoMsg()        {}
 func (PutReq) protoMsg()          {}
 func (PutResp) protoMsg()         {}
 func (GetReq) protoMsg()          {}
@@ -231,6 +326,11 @@ func init() {
 	gob.Register(ReductionResult{})
 	gob.Register(Finished{})
 	gob.Register(ErrorReply{})
+	gob.Register(SiteSpec{})
+	gob.Register(PollRequest{})
+	gob.Register(PollReply{})
+	gob.Register(QuerySpecRequest{})
+	gob.Register(ResultAck{})
 	gob.Register(PutReq{})
 	gob.Register(PutResp{})
 	gob.Register(GetReq{})
