@@ -16,7 +16,10 @@ package repro
 
 import (
 	"fmt"
+	"os"
+	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/apps"
 	"repro/internal/chunk"
@@ -403,4 +406,56 @@ func BenchmarkAblation_IntermediateMemory_MR(b *testing.B) {
 		b.Fatal(err)
 	}
 	benchMR(b, job, ix, src)
+}
+
+// TestObsOverheadGate is the automated half of `make bench-obs`: it runs
+// the Figure-3 KNN sweep bare and with a disabled-tracer Obs attached and
+// fails when the disabled-observability overhead exceeds 2%. The asserted
+// quantities are heap allocations (count and bytes) — deterministic, and
+// the only mechanism by which the nil-safe fast path could grow a real
+// cost — because shared CI runners jitter wall-clock far beyond the
+// budget itself (we observed ±50% on loaded machines); elapsed time is
+// measured and logged for humans but never asserted. Opt-in via
+// BENCH_OBS_GATE=1 so the default unit run stays timing-free.
+func TestObsOverheadGate(t *testing.T) {
+	if os.Getenv("BENCH_OBS_GATE") == "" {
+		t.Skip("set BENCH_OBS_GATE=1 to run the observability overhead gate")
+	}
+	sweep := func(o *obs.Obs) {
+		for _, env := range experiments.Envs {
+			if _, err := hybridsim.Run(experiments.Config(experiments.KNN, env,
+				experiments.SimOptions{Obs: o})); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	const rounds = 10
+	measure := func(mk func() *obs.Obs) (allocs, bytes uint64, elapsed time.Duration) {
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		for i := 0; i < rounds; i++ {
+			sweep(mk())
+		}
+		elapsed = time.Since(start)
+		runtime.ReadMemStats(&after)
+		return after.Mallocs - before.Mallocs, after.TotalAlloc - before.TotalAlloc, elapsed
+	}
+	sweep(nil) // warm-up
+	bareN, bareB, bareT := measure(func() *obs.Obs { return nil })
+	obsN, obsB, obsT := measure(func() *obs.Obs { return obs.New(nil) }) // metrics on, tracer off
+
+	pct := func(with, without uint64) float64 {
+		return 100 * (float64(with) - float64(without)) / float64(without)
+	}
+	t.Logf("allocs %d → %d (%+.2f%%), bytes %d → %d (%+.2f%%), time %v → %v (%+.2f%%)",
+		bareN, obsN, pct(obsN, bareN), bareB, obsB, pct(obsB, bareB),
+		bareT, obsT, pct(uint64(obsT), uint64(bareT)))
+	if d := pct(obsN, bareN); d > 2 {
+		t.Errorf("disabled-observability alloc-count overhead %.2f%% exceeds the 2%% budget", d)
+	}
+	if d := pct(obsB, bareB); d > 2 {
+		t.Errorf("disabled-observability alloc-bytes overhead %.2f%% exceeds the 2%% budget", d)
+	}
 }

@@ -9,6 +9,7 @@
 //	cloudburst table2 [-app knn]        slowdown decomposition (Table II)
 //	cloudburst fig4  [-app knn]         scalability (Figure 4)
 //	cloudburst trace fig3 [-app knn]    per-job event traces (Chrome/Perfetto JSON)
+//	cloudburst trace multi              merged multi-query trace, all apps concurrently
 //	cloudburst headline                 the paper's summary numbers
 //	cloudburst ablations                design-choice ablation studies
 //	cloudburst faults [-app knn]        fault tolerance: makespan vs checkpoint interval
@@ -25,6 +26,7 @@ import (
 
 	"repro/internal/costmodel"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -42,8 +44,20 @@ func main() {
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	appFlag := fs.String("app", "", "application: knn, kmeans, pagerank (default: all)")
 	outFlag := fs.String("out", "trace", "trace: output file prefix")
+	debugFlag := fs.String("debug-addr", "", "serve /debug/pprof/ on this address while the run executes (e.g. :6060)")
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
+	}
+	if *debugFlag != "" {
+		// Profiling endpoints for long experiment runs. The traced
+		// experiments each use a private Obs bundle, so only the
+		// process-wide pprof surface is meaningful here.
+		_, addr, err := obs.ServeDebug(*debugFlag, nil, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cloudburst:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "cloudburst: debug endpoints on http://%s/debug/pprof/\n", addr)
 	}
 	apps := experiments.Apps
 	if *appFlag != "" {
@@ -96,6 +110,10 @@ func main() {
 			return nil
 		})
 	case "trace":
+		if traceFigure == "multi" {
+			err = runTraceMulti(*outFlag)
+			break
+		}
 		err = forEachApp(apps, func(app experiments.App) error {
 			return runTrace(traceFigure, app, *outFlag)
 		})
@@ -259,7 +277,7 @@ func runTrace(figure string, app experiments.App, outPrefix string) error {
 	case "fig4":
 		runs, err = experiments.RunFig4Traced(app)
 	default:
-		return fmt.Errorf("trace: unknown figure %q (want fig3 or fig4)", figure)
+		return fmt.Errorf("trace: unknown figure %q (want fig3, fig4 or multi)", figure)
 	}
 	if err != nil {
 		return err
@@ -297,6 +315,48 @@ func runTrace(figure string, app experiments.App, outPrefix string) error {
 	return nil
 }
 
+// runTraceMulti runs all three applications as one concurrent multi-query
+// workload over each hybrid environment and writes one MERGED trace per
+// environment: head grant spans on pid 0, per-cluster job spans on pid i+1,
+// every span tagged with the owning query's trace id.
+func runTraceMulti(outPrefix string) error {
+	for _, env := range experiments.HybridEnvs {
+		run, err := experiments.RunMultiTraced(env)
+		if err != nil {
+			return err
+		}
+		tracePath := fmt.Sprintf("%s-%s.trace.json", outPrefix, run.Label)
+		metricsPath := fmt.Sprintf("%s-%s.metrics.txt", outPrefix, run.Label)
+		tf, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := run.Obs.Tracer.WriteJSON(tf); err != nil {
+			tf.Close()
+			return err
+		}
+		if err := tf.Close(); err != nil {
+			return err
+		}
+		mf, err := os.Create(metricsPath)
+		if err != nil {
+			return err
+		}
+		if err := run.Obs.Registry.WriteText(mf); err != nil {
+			mf.Close()
+			return err
+		}
+		if err := mf.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("%-22s total=%8.1fs  queries=%d  events=%6d  -> %s\n",
+			run.Label, run.Sim.Total.Seconds(), len(run.Sim.Queries),
+			run.Obs.Tracer.Len(), tracePath)
+	}
+	fmt.Println("load the .trace.json files at https://ui.perfetto.dev (or chrome://tracing)")
+	return nil
+}
+
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: cloudburst <subcommand> [-app knn|kmeans|pagerank]
 
@@ -306,7 +366,7 @@ subcommands:
   table1      job assignment (Table I)
   table2      slowdown decomposition (Table II)
   fig4        scalability (Figure 4)
-  trace       per-job event traces: cloudburst trace <fig3|fig4> [-app knn] [-out prefix]
+  trace       per-job event traces: cloudburst trace <fig3|fig4|multi> [-app knn] [-out prefix]
   headline    the paper's summary numbers
   ablations   design-choice ablation studies
   faults      fault tolerance: makespan vs checkpoint interval at 0/1/4 failures

@@ -6,7 +6,9 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bufpool"
@@ -100,6 +102,10 @@ type agentQuery struct {
 	ckptSeq   int
 	foldedN   int64
 	resumeObj core.Object
+
+	// mFolded counts this query's folds with query/site labels
+	// (cluster_jobs_folded_total{query,site}).
+	mFolded *obs.Counter
 }
 
 // agentRun carries the per-RunAgent state shared across queries.
@@ -112,6 +118,48 @@ type agentRun struct {
 	mDups    *obs.Counter
 	mCkpts   *obs.Counter
 	mRetries *obs.Counter
+
+	// Distributed-trace state. traceOn flips when the head's SiteSpec
+	// confirms the Hello's trace advert; only then do spans accumulate and
+	// completion messages carry TraceContexts, so a session with an
+	// untracing head stays bit-identical to the pre-trace wire protocol.
+	traceOn  bool
+	nextSpan atomic.Uint64
+	spanMu   sync.Mutex
+	spans    []protocol.WireSpan
+}
+
+// Agent-side trace thread IDs within the site's merged-trace process
+// (pid site+1 at the head): job processing and chunk retrieval.
+const (
+	agentTIDJobs = 1
+	agentTIDRetr = 2
+)
+
+// addSpan buffers one completed span for shipment on the next poll.
+func (a *agentRun) addSpan(s protocol.WireSpan) {
+	a.spanMu.Lock()
+	a.spans = append(a.spans, s)
+	a.spanMu.Unlock()
+}
+
+// takeSpans drains the span buffer for a poll shipment.
+func (a *agentRun) takeSpans() []protocol.WireSpan {
+	a.spanMu.Lock()
+	defer a.spanMu.Unlock()
+	s := a.spans
+	a.spans = nil
+	return s
+}
+
+// queryTrace returns the TraceContext to stamp on messages and spans for q:
+// the query's confirmed TraceID with a fresh agent-local span ID, or zero
+// when the session is untraced.
+func (a *agentRun) queryTrace(q *agentQuery) protocol.TraceContext {
+	if !a.traceOn || q.spec.Trace.Zero() {
+		return protocol.TraceContext{}
+	}
+	return protocol.TraceContext{TraceID: q.spec.Trace.TraceID, SpanID: a.nextSpan.Add(1)}
 }
 
 // RunAgent runs one cluster's multi-query agent until the head announces
@@ -128,9 +176,9 @@ func RunAgent(ctx context.Context, cfg AgentConfig) error {
 	}
 	reg := cfg.Obs.Metrics()
 	a := &agentRun{
-		cfg:     &cfg,
-		clk:     cfg.Obs.ClockOrWall(),
-		queries: make(map[int]*agentQuery),
+		cfg:      &cfg,
+		clk:      cfg.Obs.ClockOrWall(),
+		queries:  make(map[int]*agentQuery),
 		mLocal:   reg.Counter("cluster_jobs_local_total"),
 		mStolen:  reg.Counter("cluster_jobs_stolen_total"),
 		mDups:    reg.Counter("cluster_dup_jobs_total"),
@@ -139,12 +187,16 @@ func RunAgent(ctx context.Context, cfg AgentConfig) error {
 	}
 	bufpool.Register(reg)
 
+	// The non-zero Hello.Trace adverts trace-propagation capability; the
+	// head confirms with a non-zero SiteSpec.Trace iff its tracer is live.
 	siteSpec, err := cfg.Head.RegisterSite(protocol.Hello{
 		Site: cfg.Site, Cluster: cfg.Name, Cores: cfg.Cores, Proto: protocol.ProtoMulti,
+		Trace: protocol.TraceContext{SpanID: uint64(cfg.Site) + 1},
 	})
 	if err != nil {
 		return fmt.Errorf("cluster %s: register: %w", cfg.Name, err)
 	}
+	a.traceOn = !siteSpec.Trace.Zero()
 
 	// Heartbeats renew the agent's lease for the whole session; unlike the
 	// single-query master there is no terminal blocking submit to stop for.
@@ -174,8 +226,20 @@ func RunAgent(ctx context.Context, cfg AgentConfig) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		rep, err := cfg.Head.Poll(cfg.Site, cfg.RequestBatch)
+		req := protocol.PollRequest{Site: cfg.Site, N: cfg.RequestBatch}
+		if a.traceOn {
+			req.Spans = a.takeSpans()
+			req.NowNS = int64(a.clk.Now())
+		}
+		rep, err := cfg.Head.Poll(req)
 		if err != nil {
+			if len(req.Spans) > 0 {
+				// Keep the spans for the next attempt (order within the merged
+				// trace comes from timestamps, not shipment order).
+				a.spanMu.Lock()
+				a.spans = append(req.Spans, a.spans...)
+				a.spanMu.Unlock()
+			}
 			if fault.IsFenced(err) {
 				if err := a.reregister(); err != nil {
 					return err
@@ -240,12 +304,14 @@ func RunAgent(ctx context.Context, cfg AgentConfig) error {
 func (a *agentRun) reregister() error {
 	a.discardAll()
 	a.cfg.Logf("cluster %s: fenced; re-registering", a.cfg.Name)
-	_, err := a.cfg.Head.RegisterSite(protocol.Hello{
+	spec, err := a.cfg.Head.RegisterSite(protocol.Hello{
 		Site: a.cfg.Site, Cluster: a.cfg.Name, Cores: a.cfg.Cores, Proto: protocol.ProtoMulti,
+		Trace: protocol.TraceContext{SpanID: uint64(a.cfg.Site) + 1},
 	})
 	if err != nil {
 		return fmt.Errorf("cluster %s: re-register: %w", a.cfg.Name, err)
 	}
+	a.traceOn = !spec.Trace.Zero()
 	return nil
 }
 
@@ -302,6 +368,8 @@ func (a *agentRun) ensure(id int) (*agentQuery, error) {
 	q := &agentQuery{
 		id: id, spec: spec, reducer: reducer, engine: engine,
 		sources: sources, collector: collector,
+		mFolded: cfg.Obs.Metrics().Counter("cluster_jobs_folded_total",
+			"query", strconv.Itoa(id), "site", strconv.Itoa(cfg.Site)),
 	}
 	if len(spec.Checkpoint) > 0 {
 		ck, err := fault.DecodeCheckpoint(spec.Checkpoint)
@@ -369,7 +437,9 @@ func (a *agentRun) process(ctx context.Context, q *agentQuery, js []jobs.Job) er
 	return firstErr
 }
 
-// oneJob retrieves, commits and folds a single job for q.
+// oneJob retrieves, commits and folds a single job for q. On a traced
+// session the job's retrieval and whole-job processing are buffered as wire
+// spans carrying the query's TraceID, shipped on the next poll.
 func (a *agentRun) oneJob(q *agentQuery, j jobs.Job) error {
 	cfg := a.cfg
 	src, ok := q.sources[j.Site]
@@ -384,10 +454,26 @@ func (a *agentRun) oneJob(q *agentQuery, j jobs.Job) error {
 		return fmt.Errorf("cluster %s: retrieving %v: %w", cfg.Name, j.Ref, err)
 	}
 	q.collector.AddRetrieval(label, elapsed, int64(len(data)))
+	if tc := a.queryTrace(q); !tc.Zero() {
+		a.addSpan(protocol.WireSpan{
+			Trace: tc, Name: "retrieve", Cat: "retrieval", TID: agentTIDRetr,
+			Query: q.id, Job: j.ID, Start: int64(start), Dur: int64(elapsed),
+		})
+		defer func() {
+			end := a.clk.Now()
+			a.addSpan(protocol.WireSpan{
+				Trace: protocol.TraceContext{TraceID: tc.TraceID, SpanID: a.nextSpan.Add(1)},
+				Name:  "process", Cat: "job", TID: agentTIDJobs,
+				Query: q.id, Job: j.ID, Start: int64(start), Dur: int64(end - start),
+			})
+		}()
+	}
 	// Commit BEFORE folding: exactly-once reduction per query (duplicate
 	// completions — speculative copies, recovered re-executions, or commits
 	// for a canceled query — must not be folded).
-	dups, err := cfg.Head.CompleteJobs(q.id, cfg.Site, []jobs.Job{j})
+	dups, err := cfg.Head.CompleteJobs(protocol.JobsDone{
+		Site: cfg.Site, Query: q.id, Jobs: []jobs.Job{j}, Trace: a.queryTrace(q),
+	})
 	if err != nil {
 		bufpool.Put(data)
 		return err
@@ -417,6 +503,7 @@ func (a *agentRun) oneJob(q *agentQuery, j jobs.Job) error {
 		return err
 	}
 	q.collector.CountJob(j.Site != cfg.Site)
+	q.mFolded.Inc()
 	if j.Site != cfg.Site {
 		a.mStolen.Inc()
 	} else {
@@ -452,7 +539,7 @@ func (a *agentRun) checkpoint(q *agentQuery) error {
 	q.ckptMu.Unlock()
 	data := fault.Checkpoint{Site: cfg.Site, Seq: seq, Object: enc, Completed: ids}.Encode()
 	if err := cfg.Head.Checkpoint(protocol.CheckpointSave{
-		Site: cfg.Site, Seq: seq, Query: q.id, Data: data,
+		Site: cfg.Site, Seq: seq, Query: q.id, Data: data, Trace: a.queryTrace(q),
 	}); err != nil {
 		return err
 	}
@@ -499,6 +586,7 @@ func (a *agentRun) finalize(id int) error {
 	err = cfg.Head.SubmitResult(protocol.ReductionResult{
 		Site:       cfg.Site,
 		Query:      id,
+		Trace:      a.queryTrace(q),
 		Object:     encoded,
 		Processing: int64(b.Processing),
 		Retrieval:  int64(b.Retrieval),

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/head"
-	"repro/internal/jobs"
 	"repro/internal/protocol"
 	"repro/internal/transport"
 )
@@ -20,11 +19,13 @@ type QueryClient interface {
 	// QuerySpec fetches one query's job specification (plus this site's
 	// recovery checkpoint for it, if any).
 	QuerySpec(site, query int) (protocol.JobSpec, error)
-	// Poll asks for up to n jobs across all queries; see head.Poll.
-	Poll(site, n int) (protocol.PollReply, error)
+	// Poll asks for up to req.N jobs across all queries; see head.PollFrom.
+	// The full request travels so completed trace spans (and the clock
+	// sample that aligns them) piggyback on the poll.
+	Poll(req protocol.PollRequest) (protocol.PollReply, error)
 	// CompleteJobs commits finished jobs for one query and returns the IDs
 	// the head deduplicated; their contribution must not be folded.
-	CompleteJobs(query, site int, js []jobs.Job) ([]int, error)
+	CompleteJobs(done protocol.JobsDone) ([]int, error)
 	// Heartbeat renews the site's liveness lease (fire-and-forget).
 	Heartbeat(site int) error
 	// Checkpoint persists a per-query reduction-object checkpoint.
@@ -49,13 +50,13 @@ func (c InProcAgent) QuerySpec(site, query int) (protocol.JobSpec, error) {
 }
 
 // Poll implements QueryClient.
-func (c InProcAgent) Poll(site, n int) (protocol.PollReply, error) {
-	return c.Head.Poll(site, n)
+func (c InProcAgent) Poll(req protocol.PollRequest) (protocol.PollReply, error) {
+	return c.Head.PollFrom(req)
 }
 
 // CompleteJobs implements QueryClient.
-func (c InProcAgent) CompleteJobs(query, site int, js []jobs.Job) ([]int, error) {
-	return c.Head.CompleteQueryJobs(query, site, js)
+func (c InProcAgent) CompleteJobs(done protocol.JobsDone) ([]int, error) {
+	return c.Head.CompleteQueryJobs(done.Query, done.Site, done.Jobs)
 }
 
 // Heartbeat implements QueryClient.
@@ -144,8 +145,8 @@ func (r *RemoteAgent) QuerySpec(site, query int) (protocol.JobSpec, error) {
 }
 
 // Poll implements QueryClient.
-func (r *RemoteAgent) Poll(site, n int) (protocol.PollReply, error) {
-	reply, err := r.remote.roundTrip(protocol.PollRequest{Site: site, N: n})
+func (r *RemoteAgent) Poll(req protocol.PollRequest) (protocol.PollReply, error) {
+	reply, err := r.remote.roundTrip(req)
 	if err != nil {
 		return protocol.PollReply{}, err
 	}
@@ -160,8 +161,8 @@ func (r *RemoteAgent) Poll(site, n int) (protocol.PollReply, error) {
 }
 
 // CompleteJobs implements QueryClient.
-func (r *RemoteAgent) CompleteJobs(query, site int, js []jobs.Job) ([]int, error) {
-	reply, err := r.remote.roundTrip(protocol.JobsDone{Site: site, Query: query, Jobs: js})
+func (r *RemoteAgent) CompleteJobs(done protocol.JobsDone) ([]int, error) {
+	reply, err := r.remote.roundTrip(done)
 	if err != nil {
 		return nil, err
 	}

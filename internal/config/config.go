@@ -50,6 +50,40 @@ type Tuning struct {
 	// a query's pool has been empty-but-undrained for this long. 0 disables
 	// speculative re-execution.
 	SpeculateAfter time.Duration
+	// StragglerFactor drives the head's latency watchdog: a site whose p99
+	// job latency for a query exceeds this multiple of the cluster-wide
+	// median is flagged as a straggler and its outstanding jobs speculated.
+	// 0 uses the default (DefaultStragglerFactor); < 0 disables the
+	// latency watchdog. The watchdog only runs when SpeculateAfter > 0.
+	StragglerFactor float64
+	// WatchdogMinSamples is the minimum number of completed jobs a
+	// (query, site) pair must have before the latency watchdog will judge
+	// it, avoiding flags off one slow first job. 0 uses the default
+	// (DefaultWatchdogMinSamples).
+	WatchdogMinSamples int
+}
+
+// Latency-watchdog defaults applied when the corresponding Tuning field is 0.
+const (
+	DefaultStragglerFactor    = 3.0
+	DefaultWatchdogMinSamples = 4
+)
+
+// EffectiveStragglerFactor resolves the watchdog threshold: the explicit
+// knob, else DefaultStragglerFactor; <= 0 after resolution means disabled.
+func (t Tuning) EffectiveStragglerFactor() float64 {
+	if t.StragglerFactor == 0 {
+		return DefaultStragglerFactor
+	}
+	return t.StragglerFactor
+}
+
+// EffectiveWatchdogMinSamples resolves the watchdog's minimum sample count.
+func (t Tuning) EffectiveWatchdogMinSamples() int {
+	if t.WatchdogMinSamples <= 0 {
+		return DefaultWatchdogMinSamples
+	}
+	return t.WatchdogMinSamples
 }
 
 // Validate rejects unknown codec names.
@@ -94,4 +128,8 @@ func (t *Tuning) RegisterFlags(fs *flag.FlagSet) {
 		"ship a reduction-object checkpoint every N folded jobs (0 = off)")
 	fs.DurationVar(&t.SpeculateAfter, "speculate-after", 0,
 		"re-add stragglers' outstanding jobs after the pool idles this long (0 = off)")
+	fs.Float64Var(&t.StragglerFactor, "straggler-factor", 0,
+		"flag a site when its p99 job latency exceeds this multiple of the cluster median (0 = default, <0 = off)")
+	fs.IntVar(&t.WatchdogMinSamples, "watchdog-min-samples", 0,
+		"completed jobs required per (query, site) before the latency watchdog judges it (0 = default)")
 }

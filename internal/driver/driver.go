@@ -56,6 +56,12 @@ type Deployment struct {
 	Tuning config.Tuning
 	// Obs, when non-nil, receives head- and cluster-side metrics and traces.
 	Obs *obs.Obs
+	// DebugAddr, when non-empty, serves the observability debug surface for
+	// each session's lifetime on this TCP address (":0" for an ephemeral
+	// port; see Session.DebugAddr): /healthz, /metrics, /debug/metrics
+	// (Prometheus text), /debug/vars, /debug/trace and /debug/pprof/. The
+	// metrics and trace endpoints read the deployment's Obs bundle.
+	DebugAddr string
 	// Logf receives diagnostics; nil silences them.
 	Logf func(format string, args ...any)
 }

@@ -4,12 +4,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net"
+	"net/http"
 	"sync"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/head"
 	"repro/internal/jobs"
+	"repro/internal/obs"
 	"repro/internal/protocol"
 )
 
@@ -41,16 +44,23 @@ func (c *Client) Open() (*Session, error) {
 // admits a query and returns immediately; each Query is waited on (or
 // canceled) independently. Sessions are safe for concurrent use.
 type Session struct {
-	dep    *Deployment
-	h      *head.Head
-	logf   func(string, ...any)
-	cancel context.CancelFunc
-	agents sync.WaitGroup
+	dep       *Deployment
+	h         *head.Head
+	logf      func(string, ...any)
+	cancel    context.CancelFunc
+	agents    sync.WaitGroup
+	debug     *http.Server
+	debugAddr net.Addr
 
 	mu       sync.Mutex
 	agentErr error
 	closed   bool
 }
+
+// DebugAddr returns the bound address of the session's debug HTTP server,
+// or nil when the deployment did not set Deployment.DebugAddr. With
+// Deployment.DebugAddr ":0" this is how callers discover the chosen port.
+func (s *Session) DebugAddr() net.Addr { return s.debugAddr }
 
 // NewSession validates d and opens a live session over it; shorthand for
 // NewClient(d) followed by Open.
@@ -78,6 +88,16 @@ func newSession(d *Deployment) (*Session, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Session{dep: d, h: h, logf: logf, cancel: cancel}
+	if d.DebugAddr != "" {
+		srv, addr, err := obs.ServeDebug(d.DebugAddr, d.Obs.Metrics(), d.Obs.Trace())
+		if err != nil {
+			h.Shutdown()
+			cancel()
+			return nil, err
+		}
+		s.debug, s.debugAddr = srv, addr
+		logf("driver: debug endpoints on http://%s/debug/", addr)
+	}
 	for _, cs := range d.Clusters {
 		s.agents.Add(1)
 		go func(cs ClusterSpec) {
@@ -217,6 +237,9 @@ func (s *Session) Close() error {
 	}
 	s.closed = true
 	s.mu.Unlock()
+	if s.debug != nil {
+		_ = s.debug.Close()
+	}
 	s.h.Shutdown()
 	s.cancel()
 	s.agents.Wait()
@@ -231,8 +254,8 @@ type Query struct {
 	q *head.Query
 }
 
-// ID returns the head-assigned query identifier (also the key for the
-// head's per-query head_query_<id>_* metrics).
+// ID returns the head-assigned query identifier (also the value of the
+// query="<id>" label on the head's per-query metric series).
 func (q *Query) ID() int { return q.q.ID() }
 
 // Wait blocks until the query completes, fails, is canceled, or ctx

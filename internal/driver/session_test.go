@@ -3,15 +3,23 @@ package driver
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/apps"
 	"repro/internal/chunk"
+	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/head"
 	"repro/internal/jobs"
@@ -186,10 +194,10 @@ func TestConcurrentMixedQueriesBitIdentical(t *testing.T) {
 	snap := d.Obs.Registry.Snapshot()
 	for i := range queries {
 		id := queries[i].ID()
-		if n := snap[fmt.Sprintf("head_query_%d_jobs_granted_total", id)]; n != int64(d.Index.NumChunks()) {
+		if n := snap[fmt.Sprintf(`head_query_jobs_granted_total{query="%d"}`, id)]; n != int64(d.Index.NumChunks()) {
 			t.Errorf("query %d granted metric = %d, want %d", id, n, d.Index.NumChunks())
 		}
-		if n := snap[fmt.Sprintf("head_query_%d_results_total", id)]; n != 2 {
+		if n := snap[fmt.Sprintf(`head_query_results_total{query="%d"}`, id)]; n != 2 {
 			t.Errorf("query %d results metric = %d, want 2", id, n)
 		}
 	}
@@ -408,4 +416,252 @@ func TestSubmitOverrides(t *testing.T) {
 			t.Errorf("site 1 processed %d jobs despite site-0 placement with stealing off", rep.Jobs.Total())
 		}
 	}
+}
+
+// TestLiveMergedTraceAndDebugMetrics is the observability acceptance drill:
+// three queries run concurrently over two live sites with tracing on and the
+// debug HTTP surface bound to an ephemeral port. Afterwards, (a) the
+// Prometheus exposition at /debug/metrics carries query/site-labeled
+// jobs-done counters agreeing exactly with the per-query cluster reports,
+// and (b) the merged trace holds, for every completed job, a head-side
+// grant span and a master-side process span sharing the query's TraceID.
+func TestLiveMergedTraceAndDebugMetrics(t *testing.T) {
+	gen := workload.ClusteredPoints{Seed: 9, Dim: 2, K: 3, Spread: 0.05}
+	d, _ := buildPointDeployment(t, gen, 1500)
+	d.Obs = obs.New(nil)
+	d.Obs.Tracer.Enable()
+	d.DebugAddr = "127.0.0.1:0"
+	defer func() { dumpTraceOnFailure(t, d.Obs) }()
+
+	sess, err := NewSession(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	steps, _ := mixedSteps(t)
+	queries := make([]*Query, len(steps))
+	for i, s := range steps {
+		if queries[i], err = sess.Submit(s); err != nil {
+			t.Fatalf("submit %s: %v", s.App, err)
+		}
+	}
+	allReports := make([][]head.ClusterReport, len(queries))
+	for i, q := range queries {
+		if _, allReports[i], err = q.Wait(context.Background()); err != nil {
+			t.Fatalf("%s: %v", steps[i].App, err)
+		}
+	}
+
+	// (a) Scrape the live Prometheus endpoint and reconcile the labeled
+	// counters against what each query's reports claim per site.
+	resp, err := http.Get("http://" + sess.DebugAddr().String() + "/debug/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	promText, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	promDone := map[string]int64{} // full sample line key → value
+	for _, line := range strings.Split(string(promText), "\n") {
+		if !strings.HasPrefix(line, "head_jobs_done_total{") {
+			continue
+		}
+		key, val, ok := strings.Cut(line, "} ")
+		if !ok {
+			t.Fatalf("unparseable sample %q", line)
+		}
+		n, err := strconv.ParseInt(strings.TrimSpace(val), 10, 64)
+		if err != nil {
+			t.Fatalf("sample %q: %v", line, err)
+		}
+		promDone[key+"}"] = n
+	}
+	for i, reports := range allReports {
+		for _, r := range reports {
+			key := fmt.Sprintf(`head_jobs_done_total{query="%d",site="%d"}`, queries[i].ID(), r.Site)
+			if got := promDone[key]; got != int64(r.Jobs.Total()) {
+				t.Errorf("%s = %d, want %d (report for site %d)", key, got, r.Jobs.Total(), r.Site)
+			}
+		}
+	}
+
+	// (b) Every completed job appears in the merged trace twice under its
+	// query's TraceID: once in a pid-0 grant span, once in a master-side
+	// process span from the site that ran it.
+	var buf bytes.Buffer
+	if err := d.Obs.Tracer.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			PID  int            `json:"pid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid merged trace: %v", err)
+	}
+	type tj struct {
+		trace float64
+		job   int
+	}
+	granted := map[tj]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Name != "grant" {
+			continue
+		}
+		if ev.PID != 0 {
+			t.Fatalf("grant span on pid %d, want head pid 0", ev.PID)
+		}
+		tid, _ := ev.Args["trace"].(float64)
+		ids, _ := ev.Args["jobs"].([]any)
+		for _, id := range ids {
+			granted[tj{tid, int(id.(float64))}] = true
+		}
+	}
+	processed := map[float64]map[int]bool{} // trace id → job set
+	for _, ev := range doc.TraceEvents {
+		if ev.Name != "process" {
+			continue
+		}
+		tid, _ := ev.Args["trace"].(float64)
+		job := int(ev.Args["job"].(float64))
+		site := int(ev.Args["site"].(float64))
+		if ev.PID != site+1 {
+			t.Errorf("process span for site %d on pid %d, want %d", site, ev.PID, site+1)
+		}
+		if !granted[tj{tid, job}] {
+			t.Errorf("process span (trace %v, job %d) has no grant span sharing its TraceID", tid, job)
+		}
+		if processed[tid] == nil {
+			processed[tid] = map[int]bool{}
+		}
+		processed[tid][job] = true
+	}
+	for i, q := range queries {
+		tid := float64(q.ID() + 1) // live TraceID = query id + 1
+		if got := len(processed[tid]); got != d.Index.NumChunks() {
+			t.Errorf("%s: %d distinct jobs carry process spans under trace %v, want %d",
+				steps[i].App, got, tid, d.Index.NumChunks())
+		}
+	}
+}
+
+// TestLiveWatchdogFlagsSlowSite injects a retrieval tarpit at one site of a
+// live two-site session; the head's latency watchdog must flag that site —
+// visible as a labeled straggler counter — and speculate its in-flight jobs
+// without corrupting the query result.
+func TestLiveWatchdogFlagsSlowSite(t *testing.T) {
+	gen := workload.ClusteredPoints{Seed: 13, Dim: 2, K: 3, Spread: 0.05}
+
+	step := func() Step {
+		p := apps.HistogramParams{Bins: 8, Dim: 2}
+		params, err := apps.EncodeHistogramParams(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := apps.NewHistogramReducer(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Step{App: apps.HistogramReducerName, Params: params, Reducer: r}
+	}
+
+	// Reference result on a healthy deployment.
+	ref, _ := buildPointDeployment(t, gen, 1500)
+	refObj, _, err := ref.RunOnce(step())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d, src := buildPointDeployment(t, gen, 1500)
+	slow := map[int]chunk.Source{
+		0: slowSource{inner: src, delay: 25 * time.Millisecond},
+		1: slowSource{inner: src, delay: 25 * time.Millisecond},
+	}
+	d.Clusters[1].Sources = slow
+	d.Obs = obs.New(nil)
+	d.Obs.Tracer.Enable()
+	defer func() { dumpTraceOnFailure(t, d.Obs) }()
+	d.Tuning = config.Tuning{
+		// Arm speculation but park the empty-pool timer: only the latency
+		// watchdog can flag within this run.
+		SpeculateAfter:  time.Hour,
+		StragglerFactor: 3,
+		// The tarpit site's two cores commit in pairs, so demand two
+		// samples: the flag window is the gap between its first and second
+		// wave, which the healthy site's polls straddle.
+		WatchdogMinSamples: 2,
+	}
+	obj, reports, err := d.RunOnce(step())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Exactly-once reduction despite racing copies: the histogram is
+	// partition-invariant, so the result matches the healthy run exactly.
+	if got, want := obj.(*apps.HistogramObject).Total(), refObj.(*apps.HistogramObject).Total(); got != want {
+		t.Errorf("slowed-run total = %d, want %d", got, want)
+	}
+	jobsTotal := 0
+	for _, r := range reports {
+		jobsTotal += r.Jobs.Total()
+	}
+	if jobsTotal != d.Index.NumChunks() {
+		t.Errorf("folded %d jobs, want %d", jobsTotal, d.Index.NumChunks())
+	}
+
+	// The tarpit site was flagged (the healthy site may or may not trip the
+	// threshold; the slow one must).
+	snap := d.Obs.Registry.Snapshot()
+	var flagged int64
+	for k, v := range snap {
+		if strings.HasPrefix(k, "head_straggler_flagged_total{") && strings.Contains(k, `site="1"`) {
+			flagged += v
+		}
+	}
+	if flagged == 0 {
+		t.Errorf("slow site never flagged; straggler counters: %v", filterPrefix(snap, "head_straggler_flagged_total"))
+	}
+}
+
+// dumpTraceOnFailure writes the session's merged trace into
+// $TRACE_ARTIFACT_DIR when the test has failed, so CI can upload it as an
+// artifact for span-level inspection. A no-op outside CI.
+func dumpTraceOnFailure(t *testing.T, o *obs.Obs) {
+	dir := os.Getenv("TRACE_ARTIFACT_DIR")
+	if dir == "" || !t.Failed() || o == nil {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Logf("trace artifact dir: %v", err)
+		return
+	}
+	var buf bytes.Buffer
+	if err := o.Tracer.WriteJSON(&buf); err != nil {
+		t.Logf("rendering trace artifact: %v", err)
+		return
+	}
+	path := filepath.Join(dir, t.Name()+".trace.json")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Logf("writing trace artifact: %v", err)
+		return
+	}
+	t.Logf("merged trace written to %s", path)
+}
+
+// filterPrefix returns the snapshot entries whose key starts with prefix
+// (for failure messages).
+func filterPrefix(snap map[string]int64, prefix string) map[string]int64 {
+	out := map[string]int64{}
+	for k, v := range snap {
+		if strings.HasPrefix(k, prefix) {
+			out[k] = v
+		}
+	}
+	return out
 }

@@ -39,6 +39,50 @@ func runTraced(label string, cfg func(*obs.Obs) hybridsim.Config) (TracedRun, er
 	return TracedRun{Label: label, Sim: sim, Obs: o}, nil
 }
 
+// TracedMultiRun is one multi-query simulator execution captured with
+// tracing enabled: all queries share one deployment and one Obs, so the
+// trace file is the merged multi-site, multi-query view.
+type TracedMultiRun struct {
+	Label string
+	Sim   *hybridsim.MultiResult
+	Obs   *obs.Obs
+}
+
+// RunMultiTraced runs every evaluation application as one concurrent
+// multi-query workload over env's shared hybrid deployment with tracing
+// enabled. The result is a single merged virtual-time trace in which
+// head-side grant spans (pid 0) and cluster-side retrieval/processing spans
+// carry the owning query's trace id — the simulated twin of the live head's
+// merged multi-site trace, rendered on the simulator's clock.
+func RunMultiTraced(env Env) (TracedMultiRun, error) {
+	o := obs.New(nil)
+	o.Tracer.Enable()
+	mc := hybridsim.MultiConfig{Seed: 1, Obs: o}
+	for i, app := range Apps {
+		cfg := Config(app, env, SimOptions{})
+		if i == 0 {
+			// One shared deployment for all queries: the first app's
+			// calibrated core counts (a multi-query head serves every query
+			// from the same clusters, unlike the per-app single-query runs).
+			mc.Topology = cfg.Topology
+		}
+		mc.Queries = append(mc.Queries, hybridsim.MultiQuery{
+			Name:      string(app),
+			App:       cfg.App,
+			Index:     cfg.Index,
+			Placement: cfg.Placement,
+			PoolOpts:  cfg.PoolOpts,
+			Weight:    1,
+		})
+	}
+	label := "multi-" + strings.ReplaceAll(strings.TrimPrefix(string(env), "env-"), "/", "-")
+	sim, err := hybridsim.RunMulti(mc)
+	if err != nil {
+		return TracedMultiRun{}, fmt.Errorf("experiments: traced multi run %s: %w", label, err)
+	}
+	return TracedMultiRun{Label: label, Sim: sim, Obs: o}, nil
+}
+
 // RunFig3Traced runs every Figure-3 environment for app with per-job event
 // tracing enabled, returning one TracedRun per environment.
 func RunFig3Traced(app App) ([]TracedRun, error) {

@@ -137,11 +137,52 @@ type Plan struct {
 	// speculative copies once the pool has been empty-but-undrained for
 	// this long; 0 disables speculative re-execution.
 	SpeculateAfter time.Duration
+	// StragglerFactor tunes the latency watchdog that runs alongside
+	// speculation: a site is flagged as a straggler when its p99
+	// grant-to-commit job latency exceeds this multiple of the cluster-wide
+	// median. 0 means DefaultStragglerFactor; negative disables the
+	// watchdog. The watchdog is only armed when SpeculateAfter > 0.
+	// Mirrors config.Tuning.StragglerFactor for the live head.
+	StragglerFactor float64
+	// WatchdogMinSamples is the minimum number of completed jobs a site
+	// must have before the latency watchdog will judge it; 0 or negative
+	// means DefaultWatchdogMinSamples. Mirrors
+	// config.Tuning.WatchdogMinSamples for the live head.
+	WatchdogMinSamples int
 }
 
 // DefaultRestartAfter is the crash-to-restart delay when the plan does not
 // specify one.
 const DefaultRestartAfter = 10 * time.Second
+
+// DefaultStragglerFactor and DefaultWatchdogMinSamples are the latency
+// watchdog defaults; they deliberately match the config package's values so
+// simulated and live runs judge stragglers the same way.
+const (
+	DefaultStragglerFactor    = 3.0
+	DefaultWatchdogMinSamples = 4
+)
+
+// EffectiveStragglerFactor resolves StragglerFactor: 0 becomes the default,
+// negative values report 0 (watchdog off).
+func (p Plan) EffectiveStragglerFactor() float64 {
+	if p.StragglerFactor < 0 {
+		return 0
+	}
+	if p.StragglerFactor == 0 {
+		return DefaultStragglerFactor
+	}
+	return p.StragglerFactor
+}
+
+// EffectiveWatchdogMinSamples resolves WatchdogMinSamples, applying the
+// default when unset.
+func (p Plan) EffectiveWatchdogMinSamples() int {
+	if p.WatchdogMinSamples <= 0 {
+		return DefaultWatchdogMinSamples
+	}
+	return p.WatchdogMinSamples
+}
 
 // Active reports whether the plan changes anything at all: any events or
 // any recovery machinery (checkpointing, leases, speculation) enabled.

@@ -3,6 +3,7 @@ package head
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
@@ -101,6 +102,76 @@ func (h *Head) monitor() {
 			h.FailSite(site)
 		}
 		h.checkStragglers(now)
+		h.checkLatencyStragglers()
+	}
+}
+
+// watchdogOn reports whether the latency watchdog runs: speculation must be
+// enabled and the straggler factor not explicitly negative.
+func (h *Head) watchdogOn() bool {
+	return h.fs != nil && h.cfg.Tuning.SpeculateAfter > 0 &&
+		h.cfg.Tuning.EffectiveStragglerFactor() > 0
+}
+
+// checkLatencyStragglers is the head's live straggler watchdog: for every
+// active query it compares each site's p99 grant→commit latency against the
+// query's cluster-wide median, and a site exceeding StragglerFactor× the
+// median (with at least WatchdogMinSamples commits and work still in
+// flight) is flagged once — its outstanding jobs for the query re-enter the
+// pool as speculative copies, a head_straggler_flagged_total{query,site}
+// counter ticks, and a trace instant marks the decision. It runs on every
+// poll and on the monitor tick, so a slowdown is flagged within one poll
+// round of the latencies that reveal it.
+func (h *Head) checkLatencyStragglers() {
+	if !h.watchdogOn() {
+		return
+	}
+	factor := h.cfg.Tuning.EffectiveStragglerFactor()
+	minSamples := int64(h.cfg.Tuning.EffectiveWatchdogMinSamples())
+	type flagged struct {
+		q        *Query
+		site     int
+		p99, med time.Duration
+	}
+	var flags []flagged
+	h.mu.Lock()
+	for _, id := range h.order {
+		q := h.queries[id]
+		if q.finished || q.canceled {
+			continue
+		}
+		med := q.latAll.Quantile(0.5)
+		if med <= 0 {
+			continue
+		}
+		for site, hist := range q.latBySite {
+			if q.flagged[site] || hist.Count() < minSamples {
+				continue
+			}
+			if len(q.grantAt[site]) == 0 {
+				continue // nothing in flight there: nothing to speculate
+			}
+			p99 := hist.Quantile(0.99)
+			if float64(p99) > factor*float64(med) {
+				q.flagged[site] = true
+				flags = append(flags, flagged{q, site, p99, med})
+			}
+		}
+	}
+	h.mu.Unlock()
+	for _, f := range flags {
+		spec := f.q.pool.SpeculateSite(f.site)
+		h.cfg.Obs.Metrics().Counter("head_straggler_flagged_total",
+			"query", strconv.Itoa(f.q.id), "site", strconv.Itoa(f.site)).Inc()
+		h.cfg.Logf("head: watchdog flagged site %d on query %d (p99 %v > %.2g× median %v), speculated %d jobs",
+			f.site, f.q.id, f.p99, factor, f.med, len(spec))
+		if h.tr.Enabled() {
+			h.tr.Instant(0, 0, "fault", fmt.Sprintf("straggler site %d", f.site), obs.Args{
+				"query": f.q.id, "site": f.site,
+				"p99_us": f.p99.Microseconds(), "median_us": f.med.Microseconds(),
+				"speculated": len(spec),
+			})
+		}
 	}
 }
 
@@ -206,6 +277,10 @@ func (h *Head) FailSite(site int) {
 		h.mu.Lock()
 		lost := q.sinceCkpt[site]
 		q.sinceCkpt[site] = nil
+		// The site's watchdog state dies with it: pending grants can never
+		// commit, and a recovered incarnation earns a fresh verdict.
+		delete(q.grantAt, site)
+		delete(q.flagged, site)
 		hasCkpt := q.ckptSeq[site] != 0
 		h.mu.Unlock()
 		reissued := q.pool.Reissue(lost)

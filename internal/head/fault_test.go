@@ -1,6 +1,7 @@
 package head
 
 import (
+	"strings"
 	"testing"
 	"time"
 
@@ -8,15 +9,19 @@ import (
 	"repro/internal/config"
 	"repro/internal/fault"
 	"repro/internal/jobs"
+	"repro/internal/obs"
 	"repro/internal/protocol"
 )
 
 // faultOpts bundles the knobs the fault tests vary; timing lives in the
 // shared config.Tuning now, so the helper splits them for Config.
 type faultOpts struct {
-	LeaseTTL       time.Duration
-	SpeculateAfter time.Duration
-	Store          fault.Store
+	LeaseTTL           time.Duration
+	SpeculateAfter     time.Duration
+	StragglerFactor    float64
+	WatchdogMinSamples int
+	Store              fault.Store
+	Obs                *obs.Obs
 }
 
 func testFaultHead(t *testing.T, clusters int, fo faultOpts) (*Head, *jobs.Pool) {
@@ -36,8 +41,10 @@ func testFaultHead(t *testing.T, clusters int, fo faultOpts) (*Head, *jobs.Pool)
 	h, err := New(Config{
 		Pool: pool, Reducer: sumReducer{}, Spec: spec,
 		ExpectClusters: clusters, Logf: t.Logf,
-		Tuning: config.Tuning{LeaseTTL: fo.LeaseTTL, SpeculateAfter: fo.SpeculateAfter},
-		Fault:  FaultConfig{Store: fo.Store},
+		Tuning: config.Tuning{LeaseTTL: fo.LeaseTTL, SpeculateAfter: fo.SpeculateAfter,
+			StragglerFactor: fo.StragglerFactor, WatchdogMinSamples: fo.WatchdogMinSamples},
+		Fault: FaultConfig{Store: fo.Store},
+		Obs:   fo.Obs,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -359,4 +366,106 @@ func TestSpeculationDuplicatesStragglers(t *testing.T) {
 	if !pool.Drained() {
 		t.Error("pool not drained after speculation resolved")
 	}
+}
+
+// TestLatencyWatchdogFlagsSlowSite: the live watchdog compares each site's
+// p99 grant→commit latency against the query's median and, on the first poll
+// after the evidence accumulates, flags the slow site exactly once —
+// speculating its in-flight jobs, ticking the labeled counter, and emitting
+// a trace instant.
+func TestLatencyWatchdogFlagsSlowSite(t *testing.T) {
+	o := obs.New(nil)
+	o.Tracer.Enable()
+	h, pool := testFaultHead(t, 2, faultOpts{
+		// SpeculateAfter arms the speculation machinery; a huge value keeps
+		// the empty-pool timer out of the picture so only the latency
+		// watchdog can speculate.
+		SpeculateAfter:     time.Hour,
+		StragglerFactor:    2,
+		WatchdogMinSamples: 2,
+		Obs:                o,
+	})
+	if _, err := h.Register(protocol.Hello{Site: 0, Cluster: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Register(protocol.Hello{Site: 1, Cluster: "b"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The healthy site establishes the cluster median with quick commits.
+	for i := 0; i < 2; i++ {
+		js, _, err := reqJobs(h, 1, 2)
+		if err != nil || len(js) == 0 {
+			t.Fatalf("healthy grant: %d jobs, err=%v", len(js), err)
+		}
+		if _, err := h.CompleteJobs(1, js); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The slow site takes four jobs and commits half of them only after a
+	// long stall, leaving the rest in flight.
+	slow, _, err := reqJobs(h, 0, 4)
+	if err != nil || len(slow) != 4 {
+		t.Fatalf("slow grant: %d jobs, err=%v", len(slow), err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	if _, err := h.CompleteJobs(0, slow[:2]); err != nil {
+		t.Fatal(err)
+	}
+
+	// The next poll — any site's — runs the watchdog: the slow site is
+	// flagged and its two in-flight jobs re-enter the pool as copies the
+	// healthy site can pick up on its following poll.
+	if _, _, err := reqJobs(h, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	copies, _, err := reqJobs(h, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := map[int]bool{slow[2].ID: true, slow[3].ID: true}
+	ncopies := 0
+	for _, j := range copies {
+		if ids[j.ID] {
+			ncopies++
+		}
+	}
+	if ncopies != 2 {
+		t.Fatalf("speculative copies granted = %d of %v, want 2", ncopies, copies)
+	}
+
+	snap := o.Registry.Snapshot()
+	var flaggedKey string
+	for k := range snap {
+		if strings.HasPrefix(k, "head_straggler_flagged_total") {
+			flaggedKey = k
+		}
+	}
+	if flaggedKey == "" || !strings.Contains(flaggedKey, `site="0"`) || snap[flaggedKey] != 1 {
+		t.Errorf("head_straggler_flagged_total: key=%q snap=%v", flaggedKey, snap[flaggedKey])
+	}
+
+	// Flagged once: further slow commits and polls must not re-flag.
+	if _, err := h.CompleteJobs(0, slow[2:]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.CompleteJobs(1, copies); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := reqJobs(h, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := o.Registry.Snapshot()[flaggedKey]; got != 1 {
+		t.Errorf("site re-flagged: counter = %d, want 1", got)
+	}
+
+	var sb strings.Builder
+	if err := o.Tracer.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "straggler site 0") {
+		t.Error("trace missing the watchdog's straggler instant")
+	}
+	_ = pool
 }

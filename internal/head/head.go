@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/chunk"
@@ -114,7 +115,13 @@ type Head struct {
 	mExhausted   *obs.Counter
 	mResults     *obs.Counter
 	hGlobalRed   *obs.Histogram
+
+	// nextSpan mints head-side span IDs for grant TraceContexts.
+	nextSpan atomic.Uint64
 }
+
+// nextSpanID returns a fresh non-zero span ID.
+func (h *Head) nextSpanID() uint64 { return h.nextSpan.Add(1) }
 
 // New validates cfg and returns a head node ready to serve masters.
 func New(cfg Config) (*Head, error) {
@@ -185,6 +192,12 @@ func (h *Head) registerSite(hello protocol.Hello) (known bool, err error) {
 	h.clusters[hello.Site] = hello.Cluster
 	nClusters := len(h.clusters)
 	h.mu.Unlock()
+	// Merged-trace convention: the head is pid 0 and site s's shipped spans
+	// land on pid s+1, jobs on tid 1 and retrievals on tid 2 (the agent's
+	// WireSpan TIDs). Naming is setup, recorded even while disabled.
+	h.tr.NameProcess(hello.Site+1, fmt.Sprintf("site %d (%s)", hello.Site, hello.Cluster))
+	h.tr.NameThread(hello.Site+1, 1, "jobs")
+	h.tr.NameThread(hello.Site+1, 2, "retrieval")
 
 	if known {
 		// Re-registration: make sure the dead incarnation's work went back
@@ -223,9 +236,18 @@ func (h *Head) RegisterSite(hello protocol.Hello) (protocol.SiteSpec, error) {
 	if _, err := h.registerSite(hello); err != nil {
 		return protocol.SiteSpec{}, err
 	}
-	return protocol.SiteSpec{
+	spec := protocol.SiteSpec{
 		HeartbeatEvery: int64(h.cfg.Tuning.HeartbeatInterval()),
-	}, nil
+	}
+	// Trace negotiation: a master that can propagate trace context adverts a
+	// non-zero Hello.Trace; the head confirms with a non-zero SiteSpec.Trace
+	// iff its tracer is live. Only after this exchange does either side put
+	// trace data on the wire, so sessions with an old peer stay bit-identical
+	// to the pre-trace protocol.
+	if h.tr.Enabled() && !hello.Trace.Zero() {
+		spec.Trace = protocol.TraceContext{TraceID: uint64(hello.Site) + 1, SpanID: 1}
+	}
+	return spec, nil
 }
 
 // Register records a master's Hello for a legacy single-query session and
@@ -469,6 +491,11 @@ func (h *Head) HandleConn(c *transport.Conn) {
 				c.UpgradeRecv(transport.CodecBinary)
 				upgraded = true
 			}
+			codec := config.CodecGob
+			if upgraded {
+				codec = config.CodecBinary
+			}
+			h.cfg.Obs.Metrics().Counter("head_sessions_total", "codec", codec).Inc()
 		case protocol.JobRequest: // legacy sessions only
 			rep, err := h.Poll(m.Site, m.N)
 			if err != nil {
@@ -483,7 +510,7 @@ func (h *Head) HandleConn(c *transport.Conn) {
 				return
 			}
 		case protocol.PollRequest:
-			rep, err := h.Poll(m.Site, m.N)
+			rep, err := h.PollFrom(m)
 			if err != nil {
 				_ = c.Send(protocol.ErrorReply{Err: err.Error(), Code: ErrCode(err)})
 				continue // query- and fence-scoped; the master decides

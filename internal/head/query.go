@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"time"
 
 	"repro/internal/core"
@@ -74,8 +75,38 @@ type Query struct {
 	emptySince time.Duration
 	speculated bool
 
+	// Latency-watchdog bookkeeping (populated only when h.watchdogOn()).
+	// grantAt[site][jobID] is the head-clock instant the job was granted;
+	// commits turn entries into grant→commit latency observations. flagged
+	// marks sites already speculated against for this query.
+	grantAt map[int]map[int]time.Duration
+	flagged map[int]bool
+	// latAll aggregates every site's grant→commit latency for this query
+	// (the watchdog's cluster-wide median); latBySite splits it per site
+	// (the watchdog's p99 source). Built with NewHistogram when metrics are
+	// off, so the watchdog works without an observability registry.
+	latAll    *obs.Histogram
+	latBySite map[int]*obs.Histogram
+
+	// traceID correlates every span of this query's lifecycle across the
+	// head and the masters (deterministic: query id + 1, so 0 stays "no
+	// trace" on the wire).
+	traceID uint64
+
 	mJobsGranted *obs.Counter
 	mResults     *obs.Counter
+	mJobsDone    map[int]*obs.Counter // per-site head_jobs_done_total handles
+}
+
+// jobLatencyBounds bucket grant→commit job latencies for the watchdog's
+// per-(query, site) histograms: sub-millisecond control-plane tests through
+// multi-minute cloud chunks.
+var jobLatencyBounds = []time.Duration{
+	100 * time.Microsecond, 300 * time.Microsecond,
+	time.Millisecond, 3 * time.Millisecond, 10 * time.Millisecond,
+	30 * time.Millisecond, 100 * time.Millisecond, 300 * time.Millisecond,
+	time.Second, 3 * time.Second, 10 * time.Second, 30 * time.Second,
+	2 * time.Minute,
 }
 
 // Admit registers a new query with the head: its jobs join the fair-share
@@ -113,8 +144,17 @@ func (h *Head) Admit(qc QueryConfig) (*Query, error) {
 		sinceCkpt:    make(map[int][]jobs.Job),
 		ckptSeq:      make(map[int]int),
 		done:         make(chan struct{}),
-		mJobsGranted: reg.Counter(fmt.Sprintf("head_query_%d_jobs_granted_total", id)),
-		mResults:     reg.Counter(fmt.Sprintf("head_query_%d_results_total", id)),
+		grantAt:      make(map[int]map[int]time.Duration),
+		flagged:      make(map[int]bool),
+		latBySite:    make(map[int]*obs.Histogram),
+		traceID:      uint64(id) + 1,
+		mJobsGranted: reg.Counter("head_query_jobs_granted_total", "query", strconv.Itoa(id)),
+		mResults:     reg.Counter("head_query_results_total", "query", strconv.Itoa(id)),
+		mJobsDone:    make(map[int]*obs.Counter),
+	}
+	q.latAll = reg.Histogram("head_job_latency_seconds", jobLatencyBounds, "query", strconv.Itoa(id))
+	if q.latAll == nil {
+		q.latAll = obs.NewHistogram(jobLatencyBounds)
 	}
 	q.spec.Query = id
 	h.queries[id] = q
@@ -256,10 +296,22 @@ func (q *Query) completeLocked() bool {
 // legacy query 0; grants for other queries would be stranded (committed by
 // nobody) until lease recovery reclaimed them.
 func (h *Head) Poll(site, n int) (protocol.PollReply, error) {
+	return h.PollFrom(protocol.PollRequest{Site: site, N: n})
+}
+
+// PollFrom is Poll taking the full wire request: shipped master-side spans
+// are merged into the head's trace (aligned by the clock offset NowNS
+// implies), each grant is stamped with its query's TraceContext and recorded
+// as a head-side grant span, and the latency watchdog runs once per poll so
+// an emerging straggler is flagged within one poll round.
+func (h *Head) PollFrom(req protocol.PollRequest) (protocol.PollReply, error) {
+	site, n := req.Site, req.N
 	if err := h.fencedCheck(site); err != nil {
 		return protocol.PollReply{}, opErr("poll", site, -1, err)
 	}
 	h.Heartbeat(site)
+	h.absorbSpans(req)
+	grantStart := h.clk.Now()
 	sp := h.tr.Begin(0, 0, "scheduling", "request-jobs")
 	tagged := h.fair.Assign(site, n)
 	sp.End(obs.Args{"site": site, "asked": n, "granted": len(tagged)})
@@ -276,13 +328,32 @@ func (h *Head) Poll(site, n int) (protocol.PollReply, error) {
 		rep.Queries[i].Jobs = append(rep.Queries[i].Jobs, tg.Job)
 	}
 
+	now := h.clk.Now()
+	traced := h.tr.Enabled()
+	watch := h.watchdogOn()
 	h.mu.Lock()
 	rep.Shutdown = h.shutdown
 	anyUndrained := false
 	for _, id := range h.order {
 		q := h.queries[id]
-		if n, ok := idx[id]; ok {
-			q.mJobsGranted.Add(int64(len(rep.Queries[n].Jobs)))
+		if i, ok := idx[id]; ok {
+			granted := rep.Queries[i].Jobs
+			q.mJobsGranted.Add(int64(len(granted)))
+			if traced {
+				rep.Queries[i].Trace = protocol.TraceContext{
+					TraceID: q.traceID, SpanID: h.nextSpanID(),
+				}
+			}
+			if watch {
+				at := q.grantAt[site]
+				if at == nil {
+					at = make(map[int]time.Duration)
+					q.grantAt[site] = at
+				}
+				for _, j := range granted {
+					at[j.ID] = now
+				}
+			}
 		}
 		if q.canceled {
 			if !q.dropNotified[site] {
@@ -302,6 +373,22 @@ func (h *Head) Poll(site, n int) (protocol.PollReply, error) {
 	}
 	h.mu.Unlock()
 
+	if traced {
+		// One grant span per (query, grant): carries the query's TraceID and
+		// the granted job IDs, so every master-side process span has a
+		// head-side counterpart sharing its TraceID.
+		for _, qj := range rep.Queries {
+			ids := make([]int, len(qj.Jobs))
+			for i, j := range qj.Jobs {
+				ids[i] = j.ID
+			}
+			h.tr.Complete(0, 0, "scheduling", "grant", grantStart, now, obs.Args{
+				"trace": qj.Trace.TraceID, "span": qj.Trace.SpanID,
+				"query": qj.Query, "site": site, "jobs": ids,
+			})
+		}
+	}
+
 	if len(tagged) > 0 {
 		h.mGrants.Inc()
 		h.mJobsGranted.Add(int64(len(tagged)))
@@ -313,7 +400,31 @@ func (h *Head) Poll(site, n int) (protocol.PollReply, error) {
 		// work this site must be able to pick up.
 		rep.Wait = h.fs != nil && anyUndrained
 	}
+	h.checkLatencyStragglers()
 	return rep, nil
+}
+
+// absorbSpans merges the master-side spans shipped on a poll into the
+// head's trace, shifting their timestamps by the clock offset between the
+// two processes (req.NowNS is the master's clock at send time; the
+// one-way latency left in the estimate is far below span durations). Spans
+// land on pid site+1, named by registerSite.
+func (h *Head) absorbSpans(req protocol.PollRequest) {
+	if !h.tr.Enabled() || len(req.Spans) == 0 {
+		return
+	}
+	var offset time.Duration
+	if req.NowNS != 0 {
+		offset = h.clk.Now() - time.Duration(req.NowNS)
+	}
+	pid := req.Site + 1
+	for _, s := range req.Spans {
+		start := time.Duration(s.Start) + offset
+		h.tr.Complete(pid, s.TID, s.Cat, s.Name, start, start+time.Duration(s.Dur), obs.Args{
+			"trace": s.Trace.TraceID, "span": s.Trace.SpanID,
+			"query": s.Query, "job": s.Job, "site": req.Site,
+		})
+	}
 }
 
 // QuerySpec returns the job specification a master needs to start (or,
@@ -335,6 +446,11 @@ func (h *Head) QuerySpec(site, query int) (protocol.JobSpec, error) {
 	spec := q.spec
 	spec.HeartbeatEvery = int64(h.cfg.Tuning.HeartbeatInterval())
 	spec.Checkpoint = h.recoverSpec(query, site)
+	if h.tr.Enabled() {
+		// Confirms trace propagation for this query: the master stamps this
+		// TraceID on its spans and completion messages.
+		spec.Trace = protocol.TraceContext{TraceID: q.traceID}
+	}
 	return spec, nil
 }
 
@@ -363,24 +479,63 @@ func (h *Head) CompleteQueryJobs(query, site int, js []jobs.Job) ([]int, error) 
 		return dups, nil
 	}
 	h.mu.Unlock()
+	now := h.clk.Now()
 	var dups []int
 	for _, j := range js {
 		dup, err := q.pool.Commit(site, j)
 		if err != nil {
 			return dups, opErr("complete", site, query, err)
 		}
+		h.mu.Lock()
+		if at := q.grantAt[site]; at != nil {
+			// Grant→commit latency feeds the watchdog even for duplicate
+			// commits — a straggler's late copies are exactly the signal.
+			if t0, ok := at[j.ID]; ok {
+				delete(at, j.ID)
+				q.observeLatencyLocked(site, now-t0)
+			}
+		}
 		if dup {
+			h.mu.Unlock()
 			dups = append(dups, j.ID)
 			continue
 		}
-		h.mu.Lock()
 		q.contrib[site] = true
 		if h.fs != nil {
 			q.sinceCkpt[site] = append(q.sinceCkpt[site], j)
 		}
+		q.jobsDoneLocked(site).Inc()
 		h.mu.Unlock()
 	}
 	return dups, nil
+}
+
+// observeLatencyLocked records one grant→commit latency into the query's
+// cluster-wide and per-site watchdog histograms. Caller holds h.mu.
+func (q *Query) observeLatencyLocked(site int, lat time.Duration) {
+	q.latAll.Observe(lat)
+	hist := q.latBySite[site]
+	if hist == nil {
+		hist = q.h.cfg.Obs.Metrics().Histogram("head_job_latency_seconds", jobLatencyBounds,
+			"query", strconv.Itoa(q.id), "site", strconv.Itoa(site))
+		if hist == nil {
+			hist = obs.NewHistogram(jobLatencyBounds)
+		}
+		q.latBySite[site] = hist
+	}
+	hist.Observe(lat)
+}
+
+// jobsDoneLocked returns the site's head_jobs_done_total{query,site} handle,
+// resolving it on first commit. Caller holds h.mu.
+func (q *Query) jobsDoneLocked(site int) *obs.Counter {
+	c, ok := q.mJobsDone[site]
+	if !ok {
+		c = q.h.cfg.Obs.Metrics().Counter("head_jobs_done_total",
+			"query", strconv.Itoa(q.id), "site", strconv.Itoa(site))
+		q.mJobsDone[site] = c
+	}
+	return c
 }
 
 // SubmitQueryResult accepts one cluster's encoded reduction object for one

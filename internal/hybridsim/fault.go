@@ -46,6 +46,10 @@ type FaultStats struct {
 	// post-partition duplicates); Speculated counts speculative copies issued
 	// against stragglers.
 	DupCommits, Speculated int
+	// LatencyFlags counts clusters the latency watchdog flagged as
+	// stragglers (p99 grant-to-commit latency above
+	// Plan.EffectiveStragglerFactor() times the run-wide median).
+	LatencyFlags int
 }
 
 // pollEvery is the virtual-time retry interval a master uses after an
@@ -188,6 +192,13 @@ func (s *sim) detect(c *simCluster) {
 	}
 	c.sinceCkpt = nil
 	c.trimSeq = c.commitSeq
+	// The head forgets the failed site's watchdog state alongside its
+	// in-flight grants (mirrors FailSite in internal/head/fault.go): the
+	// replacement incarnation is judged afresh.
+	if c.grantAt != nil {
+		c.grantAt = make(map[int]time.Duration)
+	}
+	c.wdFlagged = false
 	if s.tr.Enabled() {
 		s.tr.InstantAt(0, 0, "fault", fmt.Sprintf("detect site %d", c.model.Site), s.clock.Now(),
 			obs.Args{"requeued": len(requeued), "reissued": reissued})
@@ -280,6 +291,60 @@ func (s *sim) recoverCluster(c *simCluster) {
 	c.kickRetrievers()
 	c.kickCores()
 	c.maybeFinish()
+}
+
+// watchdogLatencyBounds mirror the live head's job-latency histogram
+// buckets so a simulated watchdog judges p99-vs-median on the same grid.
+var watchdogLatencyBounds = []time.Duration{
+	100 * time.Microsecond, 300 * time.Microsecond,
+	time.Millisecond, 3 * time.Millisecond, 10 * time.Millisecond,
+	30 * time.Millisecond, 100 * time.Millisecond, 300 * time.Millisecond,
+	time.Second, 3 * time.Second, 10 * time.Second, 30 * time.Second,
+	2 * time.Minute,
+}
+
+// watchdogOn reports whether the plan arms the latency watchdog: it rides on
+// speculation (SpeculateAfter > 0) and can be vetoed with a negative
+// StragglerFactor, exactly like the live head's config.Tuning gate.
+func (s *sim) watchdogOn() bool {
+	return s.factive && s.cfg.Faults.SpeculateAfter > 0 && s.cfg.Faults.EffectiveStragglerFactor() > 0
+}
+
+// checkLatencyStragglers is the simulated twin of the head's latency
+// watchdog. It runs on every poll round: a cluster still holding granted
+// jobs whose p99 grant-to-commit latency exceeds StragglerFactor times the
+// run-wide median is flagged once, and its outstanding jobs are re-added to
+// the pool as speculative copies for healthy clusters to steal.
+func (s *sim) checkLatencyStragglers() {
+	if s.latAll == nil {
+		return
+	}
+	med := s.latAll.Quantile(0.5)
+	if med <= 0 {
+		return
+	}
+	factor := s.cfg.Faults.EffectiveStragglerFactor()
+	minSamples := int64(s.cfg.Faults.EffectiveWatchdogMinSamples())
+	for _, c := range s.clusters {
+		if c.wdFlagged || c.down || c.finished || len(c.grantAt) == 0 {
+			continue
+		}
+		if c.latHist.Count() < minSamples {
+			continue
+		}
+		p99 := c.latHist.Quantile(0.99)
+		if float64(p99) <= factor*float64(med) {
+			continue
+		}
+		c.wdFlagged = true
+		js := s.pool.SpeculateSite(c.model.Site)
+		s.fstats.Speculated += len(js)
+		s.fstats.LatencyFlags++
+		if s.tr.Enabled() {
+			s.tr.InstantAt(0, 0, "fault", fmt.Sprintf("straggler site %d", c.model.Site), s.clock.Now(),
+				obs.Args{"p99_us": p99.Microseconds(), "median_us": med.Microseconds(), "speculated": len(js)})
+		}
+	}
 }
 
 // noteEmptyGrant starts (at most one) straggler watchdog per

@@ -210,3 +210,59 @@ func TestSimOverlappingCheckpointShips(t *testing.T) {
 		t.Errorf("Checkpoints = %d, want overlapping ships", res.Faults.Checkpoints)
 	}
 }
+
+// TestSimLatencyWatchdogFlagsSlowdown: the latency watchdog — not the
+// empty-pool timer, which is parked at an hour — notices a slowed cluster's
+// p99 grant→commit latency crossing StragglerFactor× the run median and
+// speculates its in-flight jobs, which the healthy cluster then wins at
+// commit time. A negative factor disables the watchdog entirely.
+func TestSimLatencyWatchdogFlagsSlowdown(t *testing.T) {
+	cfg := testConfig(t, 8, 4, 0.5)
+	cfg.Faults = fault.Plan{
+		Events:         []fault.Event{{At: 100 * time.Millisecond, Site: 1, Kind: fault.Slowdown, Factor: 50}},
+		SpeculateAfter: time.Hour,
+		// The healthy cluster's own batch queueing puts its p99 a few×
+		// above the median; 5× clears that while the 50× slowdown (p99
+		// ~33× median) still trips it.
+		StragglerFactor:    5,
+		WatchdogMinSamples: 2,
+	}
+	res := mustRun(t, cfg)
+	if got, want := creditTotal(res), cfg.Index.NumChunks(); got != want {
+		t.Errorf("credited %d jobs, want %d", got, want)
+	}
+	if res.Faults.LatencyFlags != 1 {
+		t.Errorf("LatencyFlags = %d, want exactly 1 (the slowed cluster, no false positives)", res.Faults.LatencyFlags)
+	}
+	if res.Faults.Speculated == 0 {
+		t.Error("flag produced no speculative copies")
+	}
+
+	// Replayable: a second run of the same plan is byte-identical.
+	if again := mustRun(t, cfg); !reflect.DeepEqual(res, again) {
+		t.Error("watchdog run is not deterministic")
+	}
+
+	// The healthy cluster raced the straggler for the speculated jobs and
+	// won some: its stolen-commit count is exactly the work it rescued, and
+	// every losing copy surfaced as a deduplicated commit.
+	if res.Clusters[0].Jobs.Stolen == 0 {
+		t.Error("healthy cluster committed none of the speculated jobs")
+	}
+	if res.Faults.DupCommits == 0 {
+		t.Error("no commit was deduplicated — copies never raced")
+	}
+
+	// Negative factor: watchdog off, nothing is flagged or speculated.
+	cfg.Faults.StragglerFactor = -1
+	off := mustRun(t, cfg)
+	if off.Faults.LatencyFlags != 0 || off.Faults.Speculated != 0 {
+		t.Errorf("disabled watchdog still acted: %+v", off.Faults)
+	}
+	if got, want := creditTotal(off), cfg.Index.NumChunks(); got != want {
+		t.Errorf("disabled-watchdog run credited %d jobs, want %d", got, want)
+	}
+	if off.Clusters[0].Jobs.Stolen != 0 {
+		t.Errorf("disabled-watchdog run still duplicated work: %+v", off.Clusters[0].Jobs)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/chunk"
 	"repro/internal/jobs"
+	"repro/internal/obs"
 	"repro/internal/simtime"
 	"repro/internal/stats"
 )
@@ -36,6 +37,12 @@ type MultiConfig struct {
 	RequestBatch int
 	// Seed drives the deterministic jitter stream.
 	Seed uint64
+	// Obs attaches observability. A non-nil tracer produces the same merged
+	// multi-site trace shape the live head emits — head-side grant spans on
+	// pid 0, per-cluster retrieval and processing spans on pid i+1, every
+	// span carrying the owning query's trace id (query+1) — but on virtual
+	// time, so live and simulated runs are visually comparable side by side.
+	Obs *obs.Obs
 }
 
 // QueryResult reports one query's simulated outcome.
@@ -108,7 +115,21 @@ type multiSim struct {
 	headBusyAt time.Duration
 	finished   int
 	err        error
+
+	tr *obs.Tracer
 }
+
+// Trace layout mirrors the live merged trace: pid 0 is the head, pid i+1 is
+// cluster i; within a cluster tid 0 is the master, 1..R the retrieval lanes
+// and R+1..R+cores the processing cores.
+func (c *mqCluster) pid() int { return c.index + 1 }
+func (c *mqCluster) coreTid(id int) int {
+	return 1 + c.model.RetrievalThreads + id
+}
+
+// mqTraceID is the deterministic per-query trace id, matching the live
+// head's convention (query+1; 0 stays "no trace").
+func mqTraceID(query int) uint64 { return uint64(query) + 1 }
 
 // RunMulti executes a multi-query simulated experiment: every query is
 // admitted at t=0, masters poll one shared head whose grants follow the
@@ -135,6 +156,13 @@ func RunMulti(cfg MultiConfig) (*MultiResult, error) {
 		finish:   make([]time.Duration, len(cfg.Queries)),
 	}
 	s.net = NewNetwork(s.clock)
+	s.tr = cfg.Obs.Trace()
+	s.tr.SetClock(obs.ClockFunc(s.clock.Now))
+	if cfg.Obs != nil {
+		cfg.Obs.Clock = obs.ClockFunc(s.clock.Now)
+	}
+	s.tr.NameProcess(0, "head")
+	s.tr.NameThread(0, 0, "scheduler")
 	for qi, q := range cfg.Queries {
 		if q.Index == nil {
 			return nil, fmt.Errorf("hybridsim: query %d (%s) has no index", qi, q.Name)
@@ -184,6 +212,14 @@ func RunMulti(cfg MultiConfig) (*MultiResult, error) {
 			c.idleCores = append(c.idleCores, id)
 		}
 		s.clusters = append(s.clusters, c)
+		s.tr.NameProcess(c.pid(), fmt.Sprintf("cluster %s (site %d)", cm.Name, cm.Site))
+		s.tr.NameThread(c.pid(), 0, "master")
+		for lane := 1; lane <= cm.RetrievalThreads; lane++ {
+			s.tr.NameThread(c.pid(), lane, fmt.Sprintf("retr-%d", lane))
+		}
+		for id := 0; id < cm.Cores; id++ {
+			s.tr.NameThread(c.pid(), c.coreTid(id), fmt.Sprintf("core-%d", id))
+		}
 	}
 	for _, c := range s.clusters {
 		c.poll()
@@ -269,6 +305,28 @@ func (c *mqCluster) poll() {
 		for _, tg := range tagged {
 			s.granted[tg.Query]++
 		}
+		if s.tr.Enabled() {
+			// One head-side grant span per (poll, query), stamped at the
+			// virtual instant the head issued the grant (half an RTT ago).
+			// Grouping preserves first-seen order so traces stay
+			// byte-identical run to run.
+			grantT := s.clock.Now() - s.cfg.Topology.ControlLatency
+			if grantT < 0 {
+				grantT = 0
+			}
+			var qs []int
+			jobsBy := make(map[int][]int)
+			for _, tg := range tagged {
+				if _, ok := jobsBy[tg.Query]; !ok {
+					qs = append(qs, tg.Query)
+				}
+				jobsBy[tg.Query] = append(jobsBy[tg.Query], tg.Job.ID)
+			}
+			for _, qi := range qs {
+				s.tr.Complete(0, 0, "scheduling", "grant", grantT, grantT, obs.Args{
+					"trace": mqTraceID(qi), "query": qi, "site": c.model.Site, "jobs": jobsBy[qi]})
+			}
+		}
 		c.queue = append(c.queue, tagged...)
 		c.kickRetrievers()
 	})
@@ -324,8 +382,14 @@ func (c *mqCluster) startFetch(lane int) bool {
 		s.nextSeq[key] = j.Ref.Seq + 1
 	}
 	c.inFlight++
+	start := s.clock.Now()
 	s.net.Start(j.Ref.Size, latency, perStream, resources, func() {
 		c.inFlight--
+		if s.tr.Enabled() {
+			s.tr.Complete(c.pid(), lane, "retrieval", fmt.Sprintf("job %d", j.ID), start, s.clock.Now(),
+				obs.Args{"trace": mqTraceID(tg.Query), "query": tg.Query, "file": j.Ref.File,
+					"seq": j.Ref.Seq, "site": j.Site, "bytes": j.Ref.Size})
+		}
 		c.ready = append(c.ready, mqChunk{tg: tg, bytes: j.Ref.Size})
 		c.kickCores()
 		if c.startFetch(lane) {
@@ -360,9 +424,15 @@ func (c *mqCluster) process(core int, qc mqChunk) {
 	}
 	rate := app.ComputeBytesPerSec * c.model.CoreSpeed * jit
 	d := time.Duration(float64(qc.bytes) / rate * float64(time.Second))
+	start := s.clock.Now()
 	s.clock.After(d, func() {
 		c.busyCores--
 		c.idleCores = append(c.idleCores, core)
+		if s.tr.Enabled() {
+			s.tr.Complete(c.pid(), c.coreTid(core), "processing", fmt.Sprintf("job %d", qc.tg.Job.ID),
+				start, s.clock.Now(), obs.Args{"trace": mqTraceID(qc.tg.Query), "query": qc.tg.Query,
+					"bytes": qc.bytes, "stolen": qc.tg.Job.Site != c.model.Site})
+		}
 		c.complete(qc.tg)
 		c.kickCores()
 		c.kickRetrievers()
@@ -439,10 +509,18 @@ func (s *multiSim) robjMerged(qi int, app AppModel) {
 	}
 	s.headBusyAt = mergeStart + merge
 	s.clock.At(s.headBusyAt, func() {
+		if s.tr.Enabled() {
+			s.tr.Complete(0, 0, "reduction", "merge robj", mergeStart, s.clock.Now(),
+				obs.Args{"trace": mqTraceID(qi), "query": qi})
+		}
 		s.expect[qi]--
 		if s.expect[qi] == 0 {
 			s.finish[qi] = s.clock.Now()
 			s.finished++
+			if s.tr.Enabled() {
+				s.tr.InstantAt(0, 0, "run", fmt.Sprintf("query %d finished", qi), s.clock.Now(),
+					obs.Args{"trace": mqTraceID(qi), "query": qi})
+			}
 		}
 	})
 }

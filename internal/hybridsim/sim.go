@@ -208,6 +208,15 @@ type simCluster struct {
 	trimSeq   int
 	hasCkpt   bool
 	ckptSeq   int
+
+	// Latency-watchdog state (see checkLatencyStragglers in fault.go): the
+	// virtual grant time of each job this cluster currently holds, the
+	// grant-to-commit latency histogram, and whether the watchdog already
+	// flagged this cluster as a straggler. All nil/false unless the plan
+	// arms the watchdog.
+	grantAt   map[int]time.Duration
+	latHist   *obs.Histogram
+	wdFlagged bool
 }
 
 type queuedChunk struct {
@@ -244,7 +253,8 @@ type sim struct {
 	// Fault-plan state (see fault.go).
 	factive    bool
 	fstats     FaultStats
-	emptySince time.Duration // start of the current empty-but-undrained episode; -1 when none
+	emptySince time.Duration  // start of the current empty-but-undrained episode; -1 when none
+	latAll     *obs.Histogram // run-wide grant→commit latency; the watchdog's median baseline
 
 	// Observability (all nil-safe; see Config.Obs). The event loop is
 	// single-threaded, so per-fetch latencies accumulate in an unsynchronized
@@ -368,6 +378,13 @@ func Run(cfg Config) (*Result, error) {
 		if err := s.scheduleFaults(); err != nil {
 			return nil, err
 		}
+		if s.watchdogOn() {
+			s.latAll = obs.NewHistogram(watchdogLatencyBounds)
+			for _, c := range s.clusters {
+				c.grantAt = make(map[int]time.Duration)
+				c.latHist = obs.NewHistogram(watchdogLatencyBounds)
+			}
+		}
 	}
 	// Kick every master at t=0.
 	for _, c := range s.clusters {
@@ -422,6 +439,8 @@ func Run(cfg Config) (*Result, error) {
 			reg.Counter("sim_fault_reissued_total").Add(int64(s.fstats.Reissued))
 			reg.Counter("sim_checkpoints_total").Add(int64(s.fstats.Checkpoints))
 			reg.Counter("sim_dup_commits_total").Add(int64(s.fstats.DupCommits))
+			reg.Counter("sim_speculated_total").Add(int64(s.fstats.Speculated))
+			reg.Counter("sim_straggler_flagged_total").Add(int64(s.fstats.LatencyFlags))
 		}
 	}
 	if s.tr.Enabled() {
@@ -485,6 +504,9 @@ func (c *simCluster) ensureJobs() {
 		if s.factive && c.partitioned {
 			return // reply cut off; re-request after the partition heals
 		}
+		// The head runs its latency watchdog on every poll, so a freshly
+		// flagged straggler's speculative copies can land in this very grant.
+		s.checkLatencyStragglers()
 		granted := s.pool.Assign(c.model.Site, c.batch())
 		if len(granted) == 0 {
 			if s.factive && !s.pool.Drained() {
@@ -508,6 +530,12 @@ func (c *simCluster) ensureJobs() {
 		}
 		if s.factive {
 			s.emptySince = -1 // a grant landed; the straggler episode is over
+		}
+		if c.grantAt != nil {
+			now := s.clock.Now()
+			for _, j := range granted {
+				c.grantAt[j.ID] = now
+			}
 		}
 		if s.tr.Enabled() {
 			stolen := 0
@@ -699,6 +727,14 @@ func (c *simCluster) commit(j jobs.Job) {
 	s := c.sim
 	if s.err != nil {
 		return
+	}
+	// Grant→commit latency feeds the watchdog; duplicates count too — a
+	// straggler's late copies are exactly the signal (mirrors the head).
+	if t0, ok := c.grantAt[j.ID]; ok {
+		delete(c.grantAt, j.ID)
+		lat := s.clock.Now() - t0
+		c.latHist.Observe(lat)
+		s.latAll.Observe(lat)
 	}
 	dup, err := s.pool.Commit(c.model.Site, j)
 	if err != nil {

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/jobs"
 	"repro/internal/obs"
 )
 
@@ -226,5 +227,122 @@ func TestSimMetrics(t *testing.T) {
 	}
 	if n := reg.Histogram("sim_retrieval_seconds", nil).Count(); n != local+stolen {
 		t.Errorf("retrieval histogram count = %d, want %d", n, local+stolen)
+	}
+}
+
+// multiTracedConfig is a small 2-cluster, 2-query experiment with tracing
+// attached.
+func multiTracedConfig(t *testing.T) MultiConfig {
+	t.Helper()
+	cfg := MultiConfig{Topology: multiTopology(), Seed: 3}
+	for _, sp := range []struct {
+		name  string
+		files int
+		rate  float64
+	}{
+		{"histogram", 4, 16 << 20},
+		{"knn", 3, 8 << 20},
+	} {
+		ix := multiIndex(t, sp.name, sp.files, 2)
+		cfg.Queries = append(cfg.Queries, MultiQuery{
+			Name:      sp.name,
+			App:       multiApp(sp.name, sp.rate),
+			Index:     ix,
+			Placement: jobs.SplitByFraction(sp.files, 0.5, 0, 1),
+		})
+	}
+	return cfg
+}
+
+// TestMultiTraceMergedView: the multi-query simulator renders one merged
+// trace — head grants on pid 0, every cluster on its own pid — where each
+// processing span's trace id matches a head-side grant span of the same
+// query, and the whole rendering is replay-deterministic.
+func TestMultiTraceMergedView(t *testing.T) {
+	render := func() ([]byte, *MultiResult) {
+		cfg := multiTracedConfig(t)
+		o := obs.New(nil)
+		o.Tracer.Enable()
+		cfg.Obs = o
+		res, err := RunMulti(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := o.Tracer.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes(), res
+	}
+	raw, res := render()
+
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			PID  int            `json:"pid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("invalid trace JSON: %v", err)
+	}
+
+	// Collect the trace ids the head granted under, per query, and check
+	// every master-side span cites one for its own query.
+	grantIDs := map[float64]float64{} // trace id → query
+	nGrant := 0
+	for _, ev := range doc.TraceEvents {
+		if ev.PID == 0 && ev.Name == "grant" {
+			nGrant++
+			tid, ok1 := ev.Args["trace"].(float64)
+			q, ok2 := ev.Args["query"].(float64)
+			if !ok1 || !ok2 {
+				t.Fatalf("grant span without trace/query args: %+v", ev.Args)
+			}
+			if want := q + 1; tid != want {
+				t.Errorf("grant trace id = %v for query %v, want %v", tid, q, want)
+			}
+			grantIDs[tid] = q
+		}
+	}
+	if nGrant == 0 {
+		t.Fatal("no head-side grant spans in merged trace")
+	}
+	nProc := 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Cat != "processing" && ev.Cat != "retrieval" {
+			continue
+		}
+		if ev.PID == 0 {
+			t.Errorf("%s span on the head pid", ev.Cat)
+		}
+		nProc++
+		tid, ok := ev.Args["trace"].(float64)
+		if !ok {
+			t.Fatalf("%s span without trace arg: %+v", ev.Cat, ev.Args)
+		}
+		q, ok := grantIDs[tid]
+		if !ok {
+			t.Errorf("%s span cites trace id %v that no grant carries", ev.Cat, tid)
+		} else if evq, _ := ev.Args["query"].(float64); evq != q {
+			t.Errorf("%s span query %v under trace id %v granted to query %v", ev.Cat, evq, tid, q)
+		}
+	}
+	// One processing and one retrieval span per executed job (copies
+	// included), across both queries.
+	committed := 0
+	for _, qr := range res.Queries {
+		for _, acct := range qr.Jobs {
+			committed += acct.Total()
+		}
+	}
+	if nProc < 2*committed {
+		t.Errorf("%d retrieval+processing spans for %d committed jobs", nProc, committed)
+	}
+
+	if again, _ := render(); !bytes.Equal(raw, again) {
+		t.Error("merged multi-query trace is not byte-identical across replays")
 	}
 }

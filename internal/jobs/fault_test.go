@@ -327,3 +327,78 @@ func TestPoolConservationUnderRandomFaults(t *testing.T) {
 		}
 	}
 }
+
+func TestSpeculateSiteTargetsOnlyThatSite(t *testing.T) {
+	p := poolFixture(t, 4, 4)
+	slow := p.Assign(0, 3)
+	healthy := p.Assign(1, 3)
+	if len(slow) != 3 || len(healthy) != 3 {
+		t.Fatalf("Assign = %d/%d jobs", len(slow), len(healthy))
+	}
+	// One of the slow site's jobs completes before the watchdog fires: it
+	// must not be duplicated.
+	if err := p.Complete(slow[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	got := p.SpeculateSite(0)
+	if len(got) != 2 {
+		t.Fatalf("SpeculateSite(0) = %v, want the 2 outstanding slow-site jobs", got)
+	}
+	want := map[int]bool{slow[1].ID: true, slow[2].ID: true}
+	for i, j := range got {
+		if !want[j.ID] {
+			t.Errorf("SpeculateSite(0) returned job %d, not held by site 0", j.ID)
+		}
+		if i > 0 && got[i].ID <= got[i-1].ID {
+			t.Error("SpeculateSite result not sorted by ID")
+		}
+	}
+	// The healthy site's in-flight work stays single-copy.
+	for _, j := range healthy {
+		if want[j.ID] {
+			t.Errorf("job %d held by both sites before any steal", j.ID)
+		}
+	}
+
+	// Idempotent while the copies sit in the pending queue.
+	if again := p.SpeculateSite(0); len(again) != 0 {
+		t.Fatalf("second SpeculateSite(0) = %v, want none", again)
+	}
+
+	// The healthy site steals the copies; either commit wins, the other is
+	// deduplicated, and the pool still drains exactly once per job.
+	for _, j := range healthy {
+		if _, err := p.Commit(1, j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, j := range p.Assign(1, 100) {
+		if _, err := p.Commit(1, j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, j := range slow[1:] {
+		dup, err := p.Commit(0, j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !dup {
+			t.Errorf("slow-site commit of job %d not flagged as duplicate", j.ID)
+		}
+	}
+	for {
+		js := p.Assign(0, 100)
+		if len(js) == 0 {
+			break
+		}
+		for _, j := range js {
+			if _, err := p.Commit(0, j); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if !p.Drained() {
+		t.Fatalf("pool not drained: remaining=%d outstanding=%d", p.Remaining(), p.Outstanding())
+	}
+}

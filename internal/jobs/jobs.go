@@ -221,7 +221,10 @@ func (p *Pool) Drained() bool {
 // Assign hands out up to n jobs to the requesting site. Site-local jobs are
 // preferred and delivered as consecutive runs from a single file; once the
 // site's own jobs are gone, remote jobs are stolen per the configured
-// policy. It returns nil when no jobs remain anywhere.
+// policy. A site is never granted a copy of a job it already holds live:
+// after speculation the duplicates go to OTHER sites, since handing a
+// straggler a second copy of its own job only slows it further. It
+// returns nil when no jobs remain anywhere.
 func (p *Pool) Assign(site, n int) []Job {
 	if n <= 0 {
 		return nil
@@ -279,7 +282,14 @@ func (p *Pool) assignConsecutive(site, n int) []Job {
 			break
 		}
 		fi := local[cur]
-		out = append(out, p.takeFrom(fi, n-len(out))...)
+		took := p.takeFrom(site, fi, n-len(out))
+		if len(took) == 0 {
+			// Everything left pending in this file is a copy the site
+			// already holds; step past it so the loop terminates.
+			p.cursor[site] = cur + 1
+			continue
+		}
+		out = append(out, took...)
 	}
 	return out
 }
@@ -296,8 +306,10 @@ func (p *Pool) assignScattered(site, n int) []Job {
 				break
 			}
 			if len(p.files[fi].pending) > 0 {
-				out = append(out, p.takeFrom(fi, 1)...)
-				took = true
+				if js := p.takeFrom(site, fi, 1); len(js) > 0 {
+					out = append(out, js...)
+					took = true
+				}
 			}
 		}
 		if !took {
@@ -317,7 +329,9 @@ func (p *Pool) steal(site, n int) []Job {
 			p.rrCursor++
 			fs := &p.files[fi]
 			if fs.site != site && len(fs.pending) > 0 {
-				return p.takeFrom(fi, n)
+				if js := p.takeFrom(site, fi, n); len(js) > 0 {
+					return js
+				}
 			}
 		}
 		return nil
@@ -335,22 +349,32 @@ func (p *Pool) steal(site, n int) []Job {
 		if best == -1 {
 			return nil
 		}
-		return p.takeFrom(best, n)
+		return p.takeFrom(site, best, n)
 	}
 }
 
-// takeFrom removes up to n consecutive pending jobs from file fi and bumps
-// its reader count.
-func (p *Pool) takeFrom(fi, n int) []Job {
+// takeFrom removes up to n pending jobs from file fi for the requesting
+// site and bumps the file's reader count. Jobs the site already holds a
+// live copy of (speculative re-insertions of its own in-flight work) are
+// skipped — handing a straggler a duplicate of its own job only slows it
+// further; those copies stay pending for some other site to pick up, or
+// are dropped when the original commits.
+func (p *Pool) takeFrom(site, fi, n int) []Job {
 	fs := &p.files[fi]
-	if n > len(fs.pending) {
-		n = len(fs.pending)
+	var out []Job
+	kept := fs.pending[:0]
+	for _, j := range fs.pending {
+		if len(out) < n {
+			if a := p.assigned[j.ID]; a == nil || a.copies[site] == 0 {
+				out = append(out, j)
+				continue
+			}
+		}
+		kept = append(kept, j)
 	}
-	out := make([]Job, n)
-	copy(out, fs.pending[:n])
-	fs.pending = fs.pending[n:]
-	fs.readers += n
-	p.remaining -= n
+	fs.pending = kept
+	fs.readers += len(out)
+	p.remaining -= len(out)
 	for _, j := range out {
 		delete(p.inPending, j.ID)
 	}
@@ -558,6 +582,35 @@ func (p *Pool) SpeculateOutstanding() []Job {
 	ids := make([]int, 0, len(p.assigned))
 	for id := range p.assigned {
 		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var out []Job
+	for _, id := range ids {
+		if p.completed[id] || p.inPending[id] {
+			continue
+		}
+		j := p.assigned[id].job
+		p.insertPendingLocked(j)
+		p.mSpeculated.Inc()
+		out = append(out, j)
+	}
+	p.gRemaining.Set(int64(p.remaining))
+	return out
+}
+
+// SpeculateSite re-adds the outstanding jobs held by one site to the pool
+// as speculative copies — the targeted form of SpeculateOutstanding used by
+// the head's latency watchdog when it has identified WHICH site is slow, so
+// healthy sites' in-flight work is not needlessly duplicated. Returns the
+// speculated jobs sorted by ID.
+func (p *Pool) SpeculateSite(site int) []Job {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ids := make([]int, 0, len(p.assigned))
+	for id, a := range p.assigned {
+		if a.copies[site] > 0 {
+			ids = append(ids, id)
+		}
 	}
 	sort.Ints(ids)
 	var out []Job

@@ -13,6 +13,7 @@ import (
 //
 //	/healthz        liveness probe ("ok")
 //	/metrics        plain-text registry snapshot
+//	/debug/metrics  Prometheus text exposition (labeled series, histograms)
 //	/debug/vars     expvar-style JSON of every scalar metric
 //	/debug/trace    current trace buffer as Chrome trace_event JSON
 //	/debug/pprof/   the standard Go profiling endpoints
@@ -26,6 +27,10 @@ func NewDebugMux(reg *Registry, tr *Tracer) *http.ServeMux {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_ = reg.WriteText(w)
+	})
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
 	})
 	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")

@@ -67,6 +67,39 @@ func TestDebugMux(t *testing.T) {
 	}
 }
 
+// TestDebugMuxPprofAndPrometheus: the profiling index, a live profile dump
+// and the Prometheus exposition are all served from the same mux.
+func TestDebugMuxPprofAndPrometheus(t *testing.T) {
+	o := New(nil)
+	o.Registry.Counter("head_jobs_done_total", "query", "1", "site", "0").Add(9)
+
+	srv := httptest.NewServer(NewDebugMux(o.Registry, o.Tracer))
+	defer srv.Close()
+
+	if code, body := get(t, srv, "/debug/pprof/"); code != 200 || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ index = %d %q", code, body)
+	}
+	if code, body := get(t, srv, "/debug/pprof/heap?debug=1"); code != 200 || !strings.Contains(body, "heap profile") {
+		t.Errorf("/debug/pprof/heap = %d (len %d)", code, len(body))
+	}
+
+	resp, err := http.Get(srv.URL + "/debug/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("/debug/metrics Content-Type = %q, want Prometheus text 0.0.4", ct)
+	}
+	if want := `head_jobs_done_total{query="1",site="0"} 9`; !strings.Contains(string(body), want) {
+		t.Errorf("/debug/metrics missing %q:\n%s", want, body)
+	}
+	if !strings.Contains(string(body), "# TYPE head_jobs_done_total counter") {
+		t.Errorf("/debug/metrics missing TYPE header:\n%s", body)
+	}
+}
+
 func TestServeDebugAndShutdown(t *testing.T) {
 	o := New(nil)
 	srv, addr, err := ServeDebug("127.0.0.1:0", o.Registry, o.Tracer)

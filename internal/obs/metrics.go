@@ -3,7 +3,10 @@ package obs
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -140,9 +143,19 @@ func (h *Histogram) Max() time.Duration {
 	return time.Duration(h.max.Load())
 }
 
-// Quantile returns an upper-bound estimate of the q-quantile (0 < q ≤ 1):
-// the upper bound of the bucket where the cumulative count crosses q·n.
-// Observations beyond the last bound report Max.
+// Quantile returns an upper-bound estimate of the q-quantile: the upper
+// bound of the bucket where the cumulative count crosses q·n.
+//
+// Edge behavior is pinned down (and tested in metrics_test.go):
+//
+//   - nil receiver or empty histogram → 0, like every other nil-safe read.
+//   - q ≤ 0 (and NaN) clamps to rank 1 — the upper bound of the first
+//     non-empty bucket, i.e. the tightest bound on the minimum observation.
+//   - q ≥ 1 clamps to rank n — the upper bound of the last non-empty
+//     bucket, never beyond.
+//   - When the crossing bucket is the implicit +Inf overflow bucket the
+//     bounds carry no information, so the exact Max observation is returned
+//     instead (Max is tracked separately and is always a real observation).
 func (h *Histogram) Quantile(q float64) time.Duration {
 	if h == nil {
 		return 0
@@ -151,9 +164,20 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	if n == 0 {
 		return 0
 	}
-	rank := int64(q*float64(n) + 0.5)
-	if rank < 1 {
+	var rank int64
+	switch {
+	case math.IsNaN(q) || q <= 0:
 		rank = 1
+	case q >= 1:
+		rank = n
+	default:
+		rank = int64(q*float64(n) + 0.5)
+		if rank < 1 {
+			rank = 1
+		}
+		if rank > n {
+			rank = n
+		}
 	}
 	var cum int64
 	for i := range h.bounds {
@@ -163,6 +187,20 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 		}
 	}
 	return h.Max()
+}
+
+// Buckets returns a point-in-time copy of the histogram's upper bounds and
+// per-bucket counts. The counts slice has one extra entry — the implicit
+// +Inf overflow bucket. Nil-safe (returns nil slices).
+func (h *Histogram) Buckets() ([]time.Duration, []int64) {
+	if h == nil {
+		return nil, nil
+	}
+	counts := make([]int64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return h.bounds, counts
 }
 
 // LocalHistogram is an unsynchronized histogram for a single-threaded
@@ -254,11 +292,50 @@ func (h *Histogram) Merge(src *LocalHistogram) {
 // mutex; the returned handles are cached by callers and updated with plain
 // atomics, so the steady-state hot path never touches the lock. All lookup
 // methods are nil-safe and return nil handles (whose methods are no-ops).
+//
+// Metrics may carry labels: lookup methods take an optional trailing list of
+// alternating label keys and values, and each distinct (name, labels) pair
+// is an independent series. Labels exist only at lookup time — the returned
+// handles are the same zero-alloc atomics as unlabeled metrics, so labeling
+// costs nothing on the hot path as long as handles are cached per series.
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	ids      map[string]metricID // series key → (name, labels), for exposition
+}
+
+// metricID is a series' identity: base name plus alternating label
+// key/value pairs, kept so exposition formats can render labels natively.
+type metricID struct {
+	name   string
+	labels []string
+}
+
+// seriesKey renders a metric identity in Prometheus series notation —
+// `name` or `name{k="v",k2="v2"}`. It doubles as the registry map key and
+// as the identity used by WriteText and Snapshot, so labeled series read
+// the same everywhere. A trailing key with no value is dropped.
+func seriesKey(name string, labels []string) string {
+	if len(labels) < 2 {
+		return name
+	}
+	var b strings.Builder
+	b.Grow(len(name) + 8*len(labels))
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(labels[i])
+		b.WriteString(`="`)
+		b.WriteString(labels[i+1])
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
 }
 
 // NewRegistry returns an empty registry.
@@ -267,52 +344,69 @@ func NewRegistry() *Registry {
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
+		ids:      make(map[string]metricID),
 	}
 }
 
-// Counter returns the named counter, creating it on first use.
-func (r *Registry) Counter(name string) *Counter {
+// idLocked records a series' identity for exposition. Caller holds r.mu.
+func (r *Registry) idLocked(key, name string, labels []string) {
+	if _, ok := r.ids[key]; ok {
+		return
+	}
+	r.ids[key] = metricID{name: name, labels: append([]string(nil), labels...)}
+}
+
+// Counter returns the counter for (name, labels), creating it on first use.
+// Labels are alternating key/value pairs: Counter("jobs_done", "query", "1",
+// "site", "0").
+func (r *Registry) Counter(name string, labels ...string) *Counter {
 	if r == nil {
 		return nil
 	}
+	key := seriesKey(name, labels)
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	c, ok := r.counters[name]
+	c, ok := r.counters[key]
 	if !ok {
 		c = &Counter{}
-		r.counters[name] = c
+		r.counters[key] = c
+		r.idLocked(key, name, labels)
 	}
 	return c
 }
 
-// Gauge returns the named gauge, creating it on first use.
-func (r *Registry) Gauge(name string) *Gauge {
+// Gauge returns the gauge for (name, labels), creating it on first use.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
 	if r == nil {
 		return nil
 	}
+	key := seriesKey(name, labels)
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	g, ok := r.gauges[name]
+	g, ok := r.gauges[key]
 	if !ok {
 		g = &Gauge{}
-		r.gauges[name] = g
+		r.gauges[key] = g
+		r.idLocked(key, name, labels)
 	}
 	return g
 }
 
-// Histogram returns the named histogram, creating it with bounds on first
-// use (DefaultLatencyBuckets when bounds is empty). Later calls ignore
-// bounds.
-func (r *Registry) Histogram(name string, bounds []time.Duration) *Histogram {
+// Histogram returns the histogram for (name, labels), creating it with
+// bounds on first use (DefaultLatencyBuckets when bounds is empty). Later
+// calls ignore bounds.
+func (r *Registry) Histogram(name string, bounds []time.Duration, labels ...string) *Histogram {
 	if r == nil {
 		return nil
 	}
+	key := seriesKey(name, labels)
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	h, ok := r.hists[name]
+	h, ok := r.hists[key]
 	if !ok {
 		h = NewHistogram(bounds)
-		r.hists[name] = h
+		r.hists[key] = h
+		r.idLocked(key, name, labels)
 	}
 	return h
 }
@@ -387,6 +481,107 @@ func (r *Registry) Snapshot() map[string]int64 {
 		out[name+".sum_ns"] = int64(h.Sum())
 	}
 	return out
+}
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format (version 0.0.4) — the payload of /debug/metrics. Counters and
+// gauges emit one sample per series; histograms emit the conventional
+// cumulative `_bucket{le="…"}` series (bounds in seconds) plus `_sum` and
+// `_count`. Series sharing a base name are grouped under one # TYPE line.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		_, err := fmt.Fprintln(w, "# no metrics registry")
+		return err
+	}
+	type sample struct {
+		key string
+		id  metricID
+		c   *Counter
+		g   *Gauge
+		h   *Histogram
+	}
+	r.mu.Lock()
+	samples := make([]sample, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for key, c := range r.counters {
+		samples = append(samples, sample{key: key, id: r.ids[key], c: c})
+	}
+	for key, g := range r.gauges {
+		samples = append(samples, sample{key: key, id: r.ids[key], g: g})
+	}
+	for key, h := range r.hists {
+		samples = append(samples, sample{key: key, id: r.ids[key], h: h})
+	}
+	r.mu.Unlock()
+
+	// Group by base name so each # TYPE header appears once, with the
+	// series under it in deterministic (key-sorted) order.
+	sort.Slice(samples, func(i, j int) bool {
+		if samples[i].id.name != samples[j].id.name {
+			return samples[i].id.name < samples[j].id.name
+		}
+		return samples[i].key < samples[j].key
+	})
+	lastName := ""
+	for _, s := range samples {
+		kind := "counter"
+		if s.g != nil {
+			kind = "gauge"
+		} else if s.h != nil {
+			kind = "histogram"
+		}
+		if s.id.name != lastName {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.id.name, kind); err != nil {
+				return err
+			}
+			lastName = s.id.name
+		}
+		switch {
+		case s.c != nil:
+			if _, err := fmt.Fprintf(w, "%s %d\n", s.key, s.c.Value()); err != nil {
+				return err
+			}
+		case s.g != nil:
+			if _, err := fmt.Fprintf(w, "%s %d\n", s.key, s.g.Value()); err != nil {
+				return err
+			}
+		default:
+			if err := writePromHistogram(w, s.id, s.h); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writePromHistogram emits one histogram series' _bucket/_sum/_count lines.
+func writePromHistogram(w io.Writer, id metricID, h *Histogram) error {
+	bounds, counts := h.Buckets()
+	var cum int64
+	for i, b := range bounds {
+		cum += counts[i]
+		key := seriesKey(id.name+"_bucket", append(append([]string(nil), id.labels...), "le", formatSeconds(b.Seconds())))
+		if _, err := fmt.Fprintf(w, "%s %d\n", key, cum); err != nil {
+			return err
+		}
+	}
+	cum += counts[len(counts)-1]
+	infKey := seriesKey(id.name+"_bucket", append(append([]string(nil), id.labels...), "le", "+Inf"))
+	if _, err := fmt.Fprintf(w, "%s %d\n", infKey, cum); err != nil {
+		return err
+	}
+	sumKey := seriesKey(id.name+"_sum", id.labels)
+	if _, err := fmt.Fprintf(w, "%s %g\n", sumKey, h.Sum().Seconds()); err != nil {
+		return err
+	}
+	countKey := seriesKey(id.name+"_count", id.labels)
+	_, err := fmt.Fprintf(w, "%s %d\n", countKey, h.Count())
+	return err
+}
+
+// formatSeconds renders a bucket bound the way Prometheus clients do:
+// shortest decimal that round-trips.
+func formatSeconds(s float64) string {
+	return strconv.FormatFloat(s, 'g', -1, 64)
 }
 
 func avgSeconds(h *Histogram) float64 {

@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLabeledSeries(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("jobs_done_total", "query", "1", "site", "0")
+	b := r.Counter("jobs_done_total", "query", "1", "site", "1")
+	plain := r.Counter("jobs_done_total")
+	a.Add(3)
+	b.Add(5)
+	plain.Inc()
+
+	if again := r.Counter("jobs_done_total", "query", "1", "site", "0"); again != a {
+		t.Error("same (name, labels) must return the same handle")
+	}
+	if a == b || a == plain {
+		t.Error("distinct labels must be distinct series")
+	}
+
+	snap := r.Snapshot()
+	if snap[`jobs_done_total{query="1",site="0"}`] != 3 {
+		t.Errorf("labeled snapshot = %v", snap)
+	}
+	if snap[`jobs_done_total{query="1",site="1"}`] != 5 {
+		t.Errorf("labeled snapshot = %v", snap)
+	}
+	if snap["jobs_done_total"] != 1 {
+		t.Errorf("unlabeled series clobbered: %v", snap)
+	}
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `counter jobs_done_total{query="1",site="0"} 3`) {
+		t.Errorf("WriteText missing labeled series:\n%s", sb.String())
+	}
+}
+
+func TestLabeledSeriesTrailingKeyDropped(t *testing.T) {
+	r := NewRegistry()
+	// A dangling key with no value must not corrupt the series key.
+	c := r.Counter("x_total", "query")
+	c.Inc()
+	if got := r.Snapshot()["x_total"]; got != 1 {
+		t.Errorf("dangling label key: snapshot = %v", r.Snapshot())
+	}
+}
+
+func TestLabeledHistogramBounds(t *testing.T) {
+	r := NewRegistry()
+	bounds := []time.Duration{time.Millisecond, time.Second}
+	h := r.Histogram("lat_seconds", bounds, "query", "2")
+	got, _ := h.Buckets()
+	if len(got) != 2 || got[0] != time.Millisecond || got[1] != time.Second {
+		t.Errorf("bounds = %v", got)
+	}
+	// Later lookups return the same series and ignore their bounds argument.
+	if again := r.Histogram("lat_seconds", nil, "query", "2"); again != h {
+		t.Error("same labeled histogram must be returned")
+	}
+}
+
+func TestNilRegistryLabeled(t *testing.T) {
+	var r *Registry
+	r.Counter("c", "k", "v").Inc()
+	r.Gauge("g", "k", "v").Set(1)
+	r.Histogram("h", nil, "k", "v").Observe(time.Second)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "no metrics registry") {
+		t.Errorf("nil registry exposition = %q", sb.String())
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("head_jobs_done_total", "query", "0", "site", "1").Add(7)
+	r.Counter("head_jobs_done_total", "query", "0", "site", "0").Add(2)
+	r.Gauge("head_active_queries").Set(3)
+	h := r.Histogram("head_job_latency_seconds", []time.Duration{10 * time.Millisecond, time.Second}, "query", "0")
+	h.Observe(5 * time.Millisecond)
+	h.Observe(20 * time.Millisecond)
+	h.Observe(5 * time.Second) // overflow bucket
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	for _, want := range []string{
+		"# TYPE head_jobs_done_total counter",
+		`head_jobs_done_total{query="0",site="0"} 2`,
+		`head_jobs_done_total{query="0",site="1"} 7`,
+		"# TYPE head_active_queries gauge",
+		"head_active_queries 3",
+		"# TYPE head_job_latency_seconds histogram",
+		`head_job_latency_seconds_bucket{query="0",le="0.01"} 1`,
+		`head_job_latency_seconds_bucket{query="0",le="1"} 2`,
+		`head_job_latency_seconds_bucket{query="0",le="+Inf"} 3`,
+		`head_job_latency_seconds_count{query="0"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WritePrometheus missing %q in:\n%s", want, out)
+		}
+	}
+	// One # TYPE header per base name, even with multiple labeled series.
+	if n := strings.Count(out, "# TYPE head_jobs_done_total"); n != 1 {
+		t.Errorf("want exactly one TYPE header for grouped series, got %d:\n%s", n, out)
+	}
+}
+
+func TestQuantileEdges(t *testing.T) {
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Errorf("nil histogram quantile = %v", got)
+	}
+	h := NewHistogram([]time.Duration{10 * time.Millisecond, 100 * time.Millisecond, time.Second})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %v", got)
+	}
+
+	h.Observe(50 * time.Millisecond) // bucket le=100ms
+	h.Observe(60 * time.Millisecond) // bucket le=100ms
+	h.Observe(700 * time.Millisecond)
+
+	// q<=0 and NaN clamp to the first non-empty bucket's bound.
+	for _, q := range []float64{0, -3, math.NaN()} {
+		if got := h.Quantile(q); got != 100*time.Millisecond {
+			t.Errorf("Quantile(%v) = %v, want 100ms", q, got)
+		}
+	}
+	// q>=1 clamps to the last non-empty bucket's bound, never beyond.
+	for _, q := range []float64{1, 2} {
+		if got := h.Quantile(q); got != time.Second {
+			t.Errorf("Quantile(%v) = %v, want 1s", q, got)
+		}
+	}
+	if got := h.Quantile(0.5); got != 100*time.Millisecond {
+		t.Errorf("median = %v, want 100ms", got)
+	}
+
+	// When the crossing bucket is the +Inf overflow, the exact max is
+	// returned instead of an uninformative bound.
+	h.Observe(42 * time.Second)
+	h.Observe(43 * time.Second)
+	h.Observe(44 * time.Second)
+	if got := h.Quantile(0.99); got != 44*time.Second {
+		t.Errorf("overflow quantile = %v, want the exact max 44s", got)
+	}
+}
+
+func TestBucketsCopy(t *testing.T) {
+	var nilH *Histogram
+	if b, c := nilH.Buckets(); b != nil || c != nil {
+		t.Error("nil histogram Buckets must return nil slices")
+	}
+	h := NewHistogram([]time.Duration{time.Millisecond})
+	h.Observe(time.Microsecond)
+	h.Observe(time.Minute)
+	bounds, counts := h.Buckets()
+	if len(bounds) != 1 || len(counts) != 2 {
+		t.Fatalf("Buckets() = %v %v", bounds, counts)
+	}
+	if counts[0] != 1 || counts[1] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+	counts[0] = 99 // a copy: mutating it must not touch the histogram
+	if _, again := h.Buckets(); again[0] != 1 {
+		t.Error("Buckets must return a copy of the counts")
+	}
+}

@@ -29,6 +29,20 @@ import (
 // so encoders write the payload bytes directly after the fixed meta and
 // decoders read them straight into a caller-supplied (pooled) buffer. No
 // reflection, no intermediate copies.
+//
+// Trace propagation (negotiated via Hello.Trace/SiteSpec.Trace) extends the
+// format in two backward-compatible ways:
+//
+//   - Messages WITHOUT a payload tail (Hello, JobSpec, SiteSpec, JobsDone,
+//     PollRequest, PollReply) append OPTIONAL TRAILING trace fields, emitted
+//     only when non-zero. Decoders read them only when frame bytes remain,
+//     so a zero context encodes bit-identically to the pre-trace format and
+//     an old frame decodes to zero values.
+//   - Tail-payload messages (CheckpointSave, ReductionResult) cannot grow a
+//     tail, so a non-zero context selects a TRACED TAG variant
+//     (tagCheckpointSaveTraced/tagReductionResultTraced) that inserts the
+//     context before the payload. The traced tags are only sent after both
+//     sides negotiated tracing, so old peers never see them.
 const (
 	tagHello byte = 1 + iota
 	tagJobSpec
@@ -55,6 +69,17 @@ const (
 	tagPollReply
 	tagQuerySpecRequest
 	tagResultAck
+	// Traced variants of the tail-payload messages (see the trace-propagation
+	// note above). New tags MUST be appended here, never inserted.
+	tagCheckpointSaveTraced
+	tagReductionResultTraced
+)
+
+// traceWire is the fixed encoded size of one TraceContext (two u64 words);
+// wireSpanMin is the minimum encoded size of one WireSpan (empty strings).
+const (
+	traceWire   = 8 + 8
+	wireSpanMin = traceWire + 4 + 4 + 4 + 4 + 8 + 8 + 8
 )
 
 // MaxFrameBytes caps a frame's length word. A hostile or corrupt length is
@@ -105,6 +130,11 @@ func appendBytes(b, p []byte) []byte {
 	return append(b, p...)
 }
 
+func appendTrace(b []byte, t TraceContext) []byte {
+	b = appendU64(b, t.TraceID)
+	return appendU64(b, t.SpanID)
+}
+
 func appendJobs(b []byte, js []jobs.Job) []byte {
 	b = appendU32(b, uint32(len(js)))
 	for _, j := range js {
@@ -133,6 +163,9 @@ func AppendBinary(dst []byte, m Message) (meta, payload []byte, err error) {
 		dst = appendInt(dst, m.Cores)
 		dst = appendInt(dst, m.Codec)
 		dst = appendInt(dst, m.Proto)
+		if !m.Trace.Zero() {
+			dst = appendTrace(dst, m.Trace)
+		}
 	case JobSpec:
 		dst = append(dst, tagJobSpec)
 		dst = appendStr(dst, m.App)
@@ -145,6 +178,9 @@ func AppendBinary(dst []byte, m Message) (meta, payload []byte, err error) {
 		dst = appendI64(dst, m.HeartbeatEvery)
 		dst = appendInt(dst, m.Codec)
 		dst = appendInt(dst, m.Query)
+		if !m.Trace.Zero() {
+			dst = appendTrace(dst, m.Trace)
+		}
 	case JobRequest:
 		dst = append(dst, tagJobRequest)
 		dst = appendInt(dst, m.Site)
@@ -162,6 +198,9 @@ func AppendBinary(dst []byte, m Message) (meta, payload []byte, err error) {
 		dst = appendInt(dst, m.Site)
 		dst = appendInt(dst, m.Query)
 		dst = appendJobs(dst, m.Jobs)
+		if !m.Trace.Zero() {
+			dst = appendTrace(dst, m.Trace)
+		}
 	case JobsDoneAck:
 		dst = append(dst, tagJobsDoneAck)
 		dst = appendStr(dst, m.Err)
@@ -174,17 +213,28 @@ func AppendBinary(dst []byte, m Message) (meta, payload []byte, err error) {
 		dst = append(dst, tagHeartbeat)
 		dst = appendInt(dst, m.Site)
 	case CheckpointSave:
-		dst = append(dst, tagCheckpointSave)
+		if m.Trace.Zero() {
+			dst = append(dst, tagCheckpointSave)
+		} else {
+			dst = append(dst, tagCheckpointSaveTraced)
+		}
 		dst = appendInt(dst, m.Site)
 		dst = appendInt(dst, m.Seq)
 		dst = appendInt(dst, m.Query)
+		if !m.Trace.Zero() {
+			dst = appendTrace(dst, m.Trace)
+		}
 		return dst, m.Data, nil
 	case CheckpointAck:
 		dst = append(dst, tagCheckpointAck)
 		dst = appendStr(dst, m.Err)
 		dst = appendU32(dst, uint32(m.Code))
 	case ReductionResult:
-		dst = append(dst, tagReductionResult)
+		if m.Trace.Zero() {
+			dst = append(dst, tagReductionResult)
+		} else {
+			dst = append(dst, tagReductionResultTraced)
+		}
 		dst = appendInt(dst, m.Site)
 		dst = appendInt(dst, m.Query)
 		dst = appendI64(dst, m.Processing)
@@ -192,6 +242,9 @@ func AppendBinary(dst []byte, m Message) (meta, payload []byte, err error) {
 		dst = appendI64(dst, m.Sync)
 		dst = appendInt(dst, m.LocalJobs)
 		dst = appendInt(dst, m.StolenJobs)
+		if !m.Trace.Zero() {
+			dst = appendTrace(dst, m.Trace)
+		}
 		return dst, m.Object, nil
 	case Finished:
 		dst = append(dst, tagFinished)
@@ -204,10 +257,27 @@ func AppendBinary(dst []byte, m Message) (meta, payload []byte, err error) {
 		dst = append(dst, tagSiteSpec)
 		dst = appendI64(dst, m.HeartbeatEvery)
 		dst = appendInt(dst, m.Codec)
+		if !m.Trace.Zero() {
+			dst = appendTrace(dst, m.Trace)
+		}
 	case PollRequest:
 		dst = append(dst, tagPollRequest)
 		dst = appendInt(dst, m.Site)
 		dst = appendInt(dst, m.N)
+		if m.NowNS != 0 || len(m.Spans) > 0 {
+			dst = appendI64(dst, m.NowNS)
+			dst = appendU32(dst, uint32(len(m.Spans)))
+			for _, s := range m.Spans {
+				dst = appendTrace(dst, s.Trace)
+				dst = appendStr(dst, s.Name)
+				dst = appendStr(dst, s.Cat)
+				dst = appendU32(dst, uint32(s.TID))
+				dst = appendU32(dst, uint32(s.Query))
+				dst = appendInt(dst, s.Job)
+				dst = appendI64(dst, s.Start)
+				dst = appendI64(dst, s.Dur)
+			}
+		}
 	case PollReply:
 		dst = append(dst, tagPollReply)
 		var flags byte
@@ -230,6 +300,24 @@ func AppendBinary(dst []byte, m Message) (meta, payload []byte, err error) {
 		dst = appendU32(dst, uint32(len(m.Dropped)))
 		for _, q := range m.Dropped {
 			dst = appendInt(dst, q)
+		}
+		// Optional trailing grant-trace section: one (query, context) entry
+		// per traced grant. Untraced replies omit it entirely.
+		traced := 0
+		for _, q := range m.Queries {
+			if !q.Trace.Zero() {
+				traced++
+			}
+		}
+		if traced > 0 {
+			dst = appendU32(dst, uint32(traced))
+			for _, q := range m.Queries {
+				if q.Trace.Zero() {
+					continue
+				}
+				dst = appendInt(dst, q.Query)
+				dst = appendTrace(dst, q.Trace)
+			}
 		}
 	case QuerySpecRequest:
 		dst = append(dst, tagQuerySpecRequest)
@@ -390,6 +478,26 @@ func (f *frameReader) tail(alloc func(int) []byte) ([]byte, error) {
 	return b, nil
 }
 
+// trace reads one TraceContext (two u64 words).
+func (f *frameReader) trace() (TraceContext, error) {
+	var t TraceContext
+	var err error
+	if t.TraceID, err = f.u64(); err != nil {
+		return t, err
+	}
+	t.SpanID, err = f.u64()
+	return t, err
+}
+
+// optTrace reads a trailing optional TraceContext: zero when the frame has
+// no bytes left (an untraced or pre-trace peer), the context otherwise.
+func (f *frameReader) optTrace() (TraceContext, error) {
+	if f.n == 0 {
+		return TraceContext{}, nil
+	}
+	return f.trace()
+}
+
 // ints reads a u32 count followed by that many u64-encoded ints.
 func (f *frameReader) ints() ([]int, error) {
 	n, err := f.count(8)
@@ -515,6 +623,9 @@ func decodeBody(tag byte, f *frameReader, alloc func(int) []byte) (Message, erro
 		if m.Proto, err = f.int(); err != nil {
 			return nil, err
 		}
+		if m.Trace, err = f.optTrace(); err != nil {
+			return nil, err
+		}
 		return m, nil
 	case tagJobSpec:
 		var m JobSpec
@@ -547,6 +658,9 @@ func decodeBody(tag byte, f *frameReader, alloc func(int) []byte) (Message, erro
 			return nil, err
 		}
 		if m.Query, err = f.int(); err != nil {
+			return nil, err
+		}
+		if m.Trace, err = f.optTrace(); err != nil {
 			return nil, err
 		}
 		return m, nil
@@ -583,6 +697,9 @@ func decodeBody(tag byte, f *frameReader, alloc func(int) []byte) (Message, erro
 		if m.Jobs, err = f.jobs(); err != nil {
 			return nil, err
 		}
+		if m.Trace, err = f.optTrace(); err != nil {
+			return nil, err
+		}
 		return m, nil
 	case tagJobsDoneAck:
 		var m JobsDoneAck
@@ -615,7 +732,7 @@ func decodeBody(tag byte, f *frameReader, alloc func(int) []byte) (Message, erro
 			return nil, err
 		}
 		return m, nil
-	case tagCheckpointSave:
+	case tagCheckpointSave, tagCheckpointSaveTraced:
 		var m CheckpointSave
 		var err error
 		if m.Site, err = f.int(); err != nil {
@@ -626,6 +743,11 @@ func decodeBody(tag byte, f *frameReader, alloc func(int) []byte) (Message, erro
 		}
 		if m.Query, err = f.int(); err != nil {
 			return nil, err
+		}
+		if tag == tagCheckpointSaveTraced {
+			if m.Trace, err = f.trace(); err != nil {
+				return nil, err
+			}
 		}
 		if m.Data, err = f.tail(alloc); err != nil {
 			return nil, err
@@ -643,7 +765,7 @@ func decodeBody(tag byte, f *frameReader, alloc func(int) []byte) (Message, erro
 		}
 		m.Code = int(int32(code))
 		return m, nil
-	case tagReductionResult:
+	case tagReductionResult, tagReductionResultTraced:
 		var m ReductionResult
 		var err error
 		if m.Site, err = f.int(); err != nil {
@@ -666,6 +788,11 @@ func decodeBody(tag byte, f *frameReader, alloc func(int) []byte) (Message, erro
 		}
 		if m.StolenJobs, err = f.int(); err != nil {
 			return nil, err
+		}
+		if tag == tagReductionResultTraced {
+			if m.Trace, err = f.trace(); err != nil {
+				return nil, err
+			}
 		}
 		if m.Object, err = f.tail(alloc); err != nil {
 			return nil, err
@@ -699,6 +826,9 @@ func decodeBody(tag byte, f *frameReader, alloc func(int) []byte) (Message, erro
 		if m.Codec, err = f.int(); err != nil {
 			return nil, err
 		}
+		if m.Trace, err = f.optTrace(); err != nil {
+			return nil, err
+		}
 		return m, nil
 	case tagPollRequest:
 		var m PollRequest
@@ -708,6 +838,49 @@ func decodeBody(tag byte, f *frameReader, alloc func(int) []byte) (Message, erro
 		}
 		if m.N, err = f.int(); err != nil {
 			return nil, err
+		}
+		if f.n > 0 {
+			if m.NowNS, err = f.i64(); err != nil {
+				return nil, err
+			}
+			ns, err := f.count(wireSpanMin)
+			if err != nil {
+				return nil, err
+			}
+			if ns > 0 {
+				m.Spans = make([]WireSpan, ns)
+				for i := range m.Spans {
+					s := &m.Spans[i]
+					if s.Trace, err = f.trace(); err != nil {
+						return nil, err
+					}
+					if s.Name, err = f.str(); err != nil {
+						return nil, err
+					}
+					if s.Cat, err = f.str(); err != nil {
+						return nil, err
+					}
+					tid, err := f.u32()
+					if err != nil {
+						return nil, err
+					}
+					s.TID = int(int32(tid))
+					q, err := f.u32()
+					if err != nil {
+						return nil, err
+					}
+					s.Query = int(int32(q))
+					if s.Job, err = f.int(); err != nil {
+						return nil, err
+					}
+					if s.Start, err = f.i64(); err != nil {
+						return nil, err
+					}
+					if s.Dur, err = f.i64(); err != nil {
+						return nil, err
+					}
+				}
+			}
 		}
 		return m, nil
 	case tagPollReply:
@@ -739,6 +912,29 @@ func decodeBody(tag byte, f *frameReader, alloc func(int) []byte) (Message, erro
 		}
 		if m.Dropped, err = f.ints(); err != nil {
 			return nil, err
+		}
+		if f.n > 0 {
+			// Trailing grant-trace section (traced sessions only).
+			nt, err := f.count(8 + traceWire)
+			if err != nil {
+				return nil, err
+			}
+			for i := 0; i < nt; i++ {
+				q, err := f.int()
+				if err != nil {
+					return nil, err
+				}
+				tc, err := f.trace()
+				if err != nil {
+					return nil, err
+				}
+				for j := range m.Queries {
+					if m.Queries[j].Query == q {
+						m.Queries[j].Trace = tc
+						break
+					}
+				}
+			}
 		}
 		return m, nil
 	case tagQuerySpecRequest:

@@ -91,6 +91,24 @@ func sampleMessages() []Message {
 		QuerySpecRequest{Site: 2, Query: 6},
 		ResultAck{Err: "unknown query", Code: CodeUnknownQuery},
 		ResultAck{},
+		// Traced variants: optional trailing contexts, span piggybacking and
+		// the traced tail-payload tags.
+		Hello{Site: 4, Cluster: "edge", Cores: 2, Proto: ProtoMulti, Trace: TraceContext{SpanID: 5}},
+		JobSpec{App: "knn", Query: 2, Codec: WireBinary, Trace: TraceContext{TraceID: 3}},
+		JobsDone{Site: 1, Query: 3, Jobs: sampleJobs(2), Trace: TraceContext{TraceID: 4, SpanID: 9}},
+		CheckpointSave{Site: 1, Seq: 7, Query: 5, Data: []byte("q5-traced"), Trace: TraceContext{TraceID: 6, SpanID: 2}},
+		ReductionResult{Site: 0, Query: 1, Object: []byte{1, 2}, Processing: 3,
+			Trace: TraceContext{TraceID: 2, SpanID: 8}},
+		SiteSpec{HeartbeatEvery: 1e9, Codec: WireBinary, Trace: TraceContext{TraceID: 4, SpanID: 1}},
+		PollRequest{Site: 2, N: 8, NowNS: 123456789, Spans: []WireSpan{
+			{Trace: TraceContext{TraceID: 1, SpanID: 2}, Name: "job 3", Cat: "job", TID: 1, Job: 3, Start: 10, Dur: 20},
+			{Trace: TraceContext{TraceID: 2, SpanID: 3}, Name: "retrieve", Cat: "retrieval", TID: 2, Query: 1, Job: 4, Start: 30, Dur: 40},
+		}},
+		PollRequest{Site: 0, N: 1, NowNS: 42}, // clock sample, no spans
+		PollReply{Queries: []QueryJobs{
+			{Query: 1, Jobs: sampleJobs(2), Trace: TraceContext{TraceID: 2, SpanID: 11}},
+			{Query: 2}, // untraced grant alongside a traced one
+		}, Wait: true},
 	}
 }
 
@@ -192,9 +210,9 @@ func TestDecodeFrameMalformed(t *testing.T) {
 		{"dup count exceeding frame",
 			func() []byte {
 				body := []byte{byte(tagJobsDoneAck)}
-				body = appendU32(body, 0)       // empty Err
-				body = appendU32(body, 0)       // Code OK
-				body = appendU32(body, 1<<28)   // absurd dup count
+				body = appendU32(body, 0)     // empty Err
+				body = appendU32(body, 0)     // Code OK
+				body = appendU32(body, 1<<28) // absurd dup count
 				return append(frameLen(uint32(len(body))), body...)
 			}(), ErrCorruptFrame},
 		{"payload frame truncated mid-meta", validPayload[:6], ErrTruncatedFrame},

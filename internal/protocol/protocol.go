@@ -17,6 +17,35 @@ import (
 // Message is the marker interface for every wire message.
 type Message interface{ protoMsg() }
 
+// TraceContext correlates the events of one query (and one exchange within
+// it) across processes: the head assigns each admitted query a TraceID, and
+// individual grants or submissions carry a SpanID under it. The zero value
+// means "no trace" — peers predating trace propagation read (and send) zero
+// values in both codecs, and senders omit the fields entirely on the wire
+// when zero, so untraced sessions are bit-identical to the old format.
+type TraceContext struct {
+	TraceID uint64
+	SpanID  uint64
+}
+
+// Zero reports whether t carries no trace correlation.
+func (t TraceContext) Zero() bool { return t.TraceID == 0 && t.SpanID == 0 }
+
+// WireSpan is one completed master-side span shipped to the head,
+// piggybacked on PollRequest. Timestamps are on the MASTER's clock; the
+// head aligns them using the clock offset derived from PollRequest.NowNS
+// before merging the span into its own trace buffer.
+type WireSpan struct {
+	Trace TraceContext
+	Name  string
+	Cat   string
+	TID   int   // master-side thread (processing lane)
+	Query int   // owning query
+	Job   int   // job the span covers (-1 for non-job spans)
+	Start int64 // span start, nanoseconds on the master's clock
+	Dur   int64 // span length, nanoseconds
+}
+
 // ---------------------------------------------------------------------------
 // Head ↔ Master.
 
@@ -49,6 +78,12 @@ type Hello struct {
 	// Proto selects the session shape (ProtoSingle/ProtoMulti). Old masters
 	// send no field and read as ProtoSingle.
 	Proto int
+	// Trace advertises trace propagation: a master that can record and ship
+	// spans sends a non-zero SpanID (its session span). The head confirms
+	// with a non-zero SiteSpec.Trace/JobSpec.Trace iff its tracer is live;
+	// only after that exchange do frames carry trace data. Old peers read
+	// the zero value and the session stays untraced.
+	Trace TraceContext
 }
 
 // JobSpec is the head's response to Hello: everything a cluster needs to
@@ -74,6 +109,10 @@ type JobSpec struct {
 	// Query identifies which admitted query this spec belongs to. Single-query
 	// sessions always see query 0.
 	Query int
+	// Trace is the query's trace context (TraceID assigned at admission),
+	// non-zero only when the head's tracer is live and the master advertised
+	// trace support in Hello.Trace.
+	Trace TraceContext
 }
 
 // JobRequest asks the head for up to N more jobs for the requesting cluster.
@@ -97,6 +136,9 @@ type JobsDone struct {
 	Site  int
 	Query int // owning query (0 in single-query sessions)
 	Jobs  []jobs.Job
+	// Trace echoes the grant's trace context so the head can correlate the
+	// commit with the grant span. Zero on untraced sessions.
+	Trace TraceContext
 }
 
 // JobsDoneAck is the head's commit response: Dup lists the job IDs (from
@@ -120,6 +162,11 @@ type CheckpointSave struct {
 	Site  int
 	Seq   int
 	Query int // owning query (0 in single-query sessions)
+	// Trace carries the owning query's trace context. In the binary codec a
+	// non-zero context selects the traced frame tag (the payload tail leaves
+	// no room for optional trailing fields); zero contexts encode with the
+	// original tag, bit-identical to old frames.
+	Trace TraceContext
 	Data  []byte
 }
 
@@ -141,6 +188,9 @@ type ReductionResult struct {
 	Sync       int64
 	LocalJobs  int
 	StolenJobs int
+	// Trace carries the owning query's trace context (see CheckpointSave for
+	// the binary-codec encoding rule).
+	Trace TraceContext
 }
 
 // Finished is the head's broadcast after the final global reduction: the
@@ -166,6 +216,11 @@ type ErrorReply struct {
 type SiteSpec struct {
 	HeartbeatEvery int64 // nanoseconds between heartbeats; 0 disables
 	Codec          int   // session codec: min(head's best, Hello.Codec)
+	// Trace confirms trace propagation for the session: non-zero (the head's
+	// session trace context) iff the head's tracer is live and the master
+	// advertised support in Hello.Trace. The master ships spans and stamps
+	// its frames only after seeing a non-zero value here.
+	Trace TraceContext
 }
 
 // PollRequest asks the head for up to N more jobs for the site, drawn from
@@ -173,12 +228,23 @@ type SiteSpec struct {
 type PollRequest struct {
 	Site int
 	N    int
+	// NowNS is the master's clock reading when the request was built,
+	// letting the head compute a per-site clock offset and align shipped
+	// span timestamps onto its own timeline. Zero on untraced sessions.
+	NowNS int64
+	// Spans carries master-side spans completed since the last poll —
+	// trace shipping piggybacks on poll traffic rather than adding RPCs.
+	Spans []WireSpan
 }
 
 // QueryJobs is one query's slice of a poll grant.
 type QueryJobs struct {
 	Query int
 	Jobs  []jobs.Job
+	// Trace is the grant's trace context: TraceID identifies the query,
+	// SpanID the head-side grant span covering this batch. Masters stamp
+	// the process spans they record for these jobs with the same TraceID.
+	Trace TraceContext
 }
 
 // PollReply answers a PollRequest. Queries carries the granted jobs grouped
@@ -287,16 +353,16 @@ type ListResp struct {
 	Keys []string
 }
 
-func (Hello) protoMsg()           {}
-func (JobSpec) protoMsg()         {}
-func (JobRequest) protoMsg()      {}
-func (JobGrant) protoMsg()        {}
-func (JobsDone) protoMsg()        {}
-func (JobsDoneAck) protoMsg()     {}
-func (Heartbeat) protoMsg()       {}
-func (CheckpointSave) protoMsg()  {}
-func (CheckpointAck) protoMsg()   {}
-func (ReductionResult) protoMsg() {}
+func (Hello) protoMsg()            {}
+func (JobSpec) protoMsg()          {}
+func (JobRequest) protoMsg()       {}
+func (JobGrant) protoMsg()         {}
+func (JobsDone) protoMsg()         {}
+func (JobsDoneAck) protoMsg()      {}
+func (Heartbeat) protoMsg()        {}
+func (CheckpointSave) protoMsg()   {}
+func (CheckpointAck) protoMsg()    {}
+func (ReductionResult) protoMsg()  {}
 func (Finished) protoMsg()         {}
 func (ErrorReply) protoMsg()       {}
 func (SiteSpec) protoMsg()         {}
@@ -304,14 +370,14 @@ func (PollRequest) protoMsg()      {}
 func (PollReply) protoMsg()        {}
 func (QuerySpecRequest) protoMsg() {}
 func (ResultAck) protoMsg()        {}
-func (PutReq) protoMsg()          {}
-func (PutResp) protoMsg()         {}
-func (GetReq) protoMsg()          {}
-func (GetResp) protoMsg()         {}
-func (StatReq) protoMsg()         {}
-func (StatResp) protoMsg()        {}
-func (ListReq) protoMsg()         {}
-func (ListResp) protoMsg()        {}
+func (PutReq) protoMsg()           {}
+func (PutResp) protoMsg()          {}
+func (GetReq) protoMsg()           {}
+func (GetResp) protoMsg()          {}
+func (StatReq) protoMsg()          {}
+func (StatResp) protoMsg()         {}
+func (ListReq) protoMsg()          {}
+func (ListResp) protoMsg()         {}
 
 func init() {
 	gob.Register(Hello{})

@@ -1,0 +1,220 @@
+package protocol
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"testing"
+
+	"repro/internal/jobs"
+)
+
+// buildFrame wraps a hand-encoded body in the u32 length prefix, exactly as
+// a pre-trace peer would put it on the wire.
+func buildFrame(body []byte) []byte {
+	return append(appendU32(nil, uint32(len(body))), body...)
+}
+
+// legacyFrames hand-builds the PRE-TRACE binary layout of every message that
+// grew optional trailing trace fields, paired with the message a modern
+// encoder would produce it from (all trace fields zero). The layouts follow
+// the documented field order and must never change: they are the compat
+// contract with already-deployed peers.
+func legacyFrames() []struct {
+	name  string
+	msg   Message
+	frame []byte
+} {
+	js := sampleJobs(2)
+
+	hello := []byte{tagHello}
+	hello = appendInt(hello, 3)
+	hello = appendStr(hello, "cloud")
+	hello = appendInt(hello, 16)
+	hello = appendInt(hello, WireBinary)
+	hello = appendInt(hello, ProtoMulti)
+
+	done := []byte{tagJobsDone}
+	done = appendInt(done, 1)
+	done = appendInt(done, 3)
+	done = appendJobs(done, js)
+
+	spec := []byte{tagSiteSpec}
+	spec = appendI64(spec, 25e7)
+	spec = appendInt(spec, WireBinary)
+
+	poll := []byte{tagPollRequest}
+	poll = appendInt(poll, 2)
+	poll = appendInt(poll, 9)
+
+	reply := []byte{tagPollReply}
+	reply = append(reply, 1) // flags: Wait
+	reply = appendU32(reply, 1)
+	reply = appendInt(reply, 1)
+	reply = appendJobs(reply, js)
+	reply = appendU32(reply, 2) // Done
+	reply = appendInt(reply, 3)
+	reply = appendInt(reply, 4)
+	reply = appendU32(reply, 0) // Dropped
+
+	ckpt := []byte{tagCheckpointSave}
+	ckpt = appendInt(ckpt, 1)
+	ckpt = appendInt(ckpt, 42)
+	ckpt = appendInt(ckpt, 0)
+	ckpt = append(ckpt, []byte("checkpoint-bytes")...)
+
+	robj := []byte{tagReductionResult}
+	robj = appendInt(robj, 2)
+	robj = appendInt(robj, 4)
+	robj = appendI64(robj, 123)
+	robj = appendI64(robj, 456)
+	robj = appendI64(robj, 789)
+	robj = appendInt(robj, 10)
+	robj = appendInt(robj, 3)
+	robj = append(robj, 9, 8, 7)
+
+	return []struct {
+		name  string
+		msg   Message
+		frame []byte
+	}{
+		{"Hello", Hello{Site: 3, Cluster: "cloud", Cores: 16, Codec: WireBinary, Proto: ProtoMulti}, buildFrame(hello)},
+		{"JobsDone", JobsDone{Site: 1, Query: 3, Jobs: js}, buildFrame(done)},
+		{"SiteSpec", SiteSpec{HeartbeatEvery: 25e7, Codec: WireBinary}, buildFrame(spec)},
+		{"PollRequest", PollRequest{Site: 2, N: 9}, buildFrame(poll)},
+		{"PollReply", PollReply{Queries: []QueryJobs{{Query: 1, Jobs: js}}, Done: []int{3, 4}, Wait: true}, buildFrame(reply)},
+		{"CheckpointSave", CheckpointSave{Site: 1, Seq: 42, Data: []byte("checkpoint-bytes")}, buildFrame(ckpt)},
+		{"ReductionResult", ReductionResult{Site: 2, Query: 4, Object: []byte{9, 8, 7}, Processing: 123,
+			Retrieval: 456, Sync: 789, LocalJobs: 10, StolenJobs: 3}, buildFrame(robj)},
+	}
+}
+
+// TestZeroTraceEncodesBitIdentical: a modern encoder given zero trace fields
+// must emit frames byte-identical to the pre-trace layout, so an old peer's
+// session is indistinguishable on the wire.
+func TestZeroTraceEncodesBitIdentical(t *testing.T) {
+	for _, tc := range legacyFrames() {
+		got, err := AppendFrame(nil, tc.msg)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !bytes.Equal(got, tc.frame) {
+			t.Errorf("%s: zero-trace frame differs from legacy layout:\n got %x\nwant %x", tc.name, got, tc.frame)
+		}
+	}
+}
+
+// TestLegacyFramesDecodeToZeroTrace: frames from a pre-trace peer decode
+// cleanly, with every trace field at its zero value.
+func TestLegacyFramesDecodeToZeroTrace(t *testing.T) {
+	for _, tc := range legacyFrames() {
+		got, n, err := DecodeFrame(tc.frame)
+		if err != nil {
+			t.Fatalf("%s: decode legacy frame: %v", tc.name, err)
+		}
+		if n != len(tc.frame) {
+			t.Errorf("%s: consumed %d of %d bytes", tc.name, n, len(tc.frame))
+		}
+		if !reflect.DeepEqual(got, tc.msg) {
+			t.Errorf("%s: legacy decode:\n got %#v\nwant %#v", tc.name, got, tc.msg)
+		}
+	}
+}
+
+// Pre-trace shapes of the gob messages, exactly as an old binary would
+// declare them. Gob matches struct fields by name, so these stand in for a
+// peer compiled before the trace fields existed.
+type (
+	oldHello struct {
+		Site    int
+		Cluster string
+		Cores   int
+		Codec   int
+		Proto   int
+	}
+	oldPollRequest struct {
+		Site int
+		N    int
+	}
+	oldJobsDone struct {
+		Site  int
+		Query int
+		Jobs  []jobs.Job
+	}
+)
+
+// TestGobOldPeerCompat: gob sessions interoperate in both directions — an
+// old peer's stream decodes with zero trace fields, and a new peer's stream
+// (trace fields present but zero-valued are omitted; non-zero are ignored)
+// decodes on the old shape.
+func TestGobOldPeerCompat(t *testing.T) {
+	// Old → new: unknown-to-the-sender fields come out zero.
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(oldHello{Site: 3, Cluster: "cloud", Cores: 16}); err != nil {
+		t.Fatal(err)
+	}
+	var h Hello
+	if err := gob.NewDecoder(&buf).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Site != 3 || h.Cluster != "cloud" || !h.Trace.Zero() {
+		t.Errorf("old→new Hello = %+v", h)
+	}
+
+	// New → old: the old shape ignores the trace fields it never declared.
+	buf.Reset()
+	in := PollRequest{Site: 2, N: 8, NowNS: 99, Spans: []WireSpan{{Name: "job 1", Cat: "job"}}}
+	if err := gob.NewEncoder(&buf).Encode(in); err != nil {
+		t.Fatal(err)
+	}
+	var old oldPollRequest
+	if err := gob.NewDecoder(&buf).Decode(&old); err != nil {
+		t.Fatal(err)
+	}
+	if old.Site != 2 || old.N != 8 {
+		t.Errorf("new→old PollRequest = %+v", old)
+	}
+
+	// And with a traced JobsDone carrying jobs.
+	buf.Reset()
+	jd := JobsDone{Site: 1, Query: 3, Jobs: sampleJobs(2), Trace: TraceContext{TraceID: 7, SpanID: 1}}
+	if err := gob.NewEncoder(&buf).Encode(jd); err != nil {
+		t.Fatal(err)
+	}
+	var oldJD oldJobsDone
+	if err := gob.NewDecoder(&buf).Decode(&oldJD); err != nil {
+		t.Fatal(err)
+	}
+	if oldJD.Site != 1 || oldJD.Query != 3 || len(oldJD.Jobs) != 2 {
+		t.Errorf("new→old JobsDone = %+v", oldJD)
+	}
+}
+
+// TestTracedMessagesGobRegistered: the traced fields survive the
+// interface-typed envelope the transport actually uses.
+func TestTracedMessagesGobRegistered(t *testing.T) {
+	msgs := []Message{
+		Hello{Site: 4, Trace: TraceContext{SpanID: 5}},
+		JobSpec{App: "knn", Query: 2, Trace: TraceContext{TraceID: 3}},
+		JobsDone{Site: 1, Query: 3, Trace: TraceContext{TraceID: 4, SpanID: 9}},
+		CheckpointSave{Site: 1, Seq: 7, Trace: TraceContext{TraceID: 6, SpanID: 2}},
+		ReductionResult{Site: 0, Query: 1, Trace: TraceContext{TraceID: 2, SpanID: 8}},
+		SiteSpec{Trace: TraceContext{TraceID: 4, SpanID: 1}},
+		PollRequest{Site: 2, N: 8, NowNS: 123, Spans: []WireSpan{
+			{Trace: TraceContext{TraceID: 1, SpanID: 2}, Name: "job 3", Cat: "job", TID: 1, Job: 3, Start: 10, Dur: 20}}},
+		PollReply{Queries: []QueryJobs{{Query: 1, Trace: TraceContext{TraceID: 2, SpanID: 11}}}},
+	}
+	for _, m := range msgs {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(envelope{M: m}); err != nil {
+			t.Fatalf("%T: encode: %v", m, err)
+		}
+		var out envelope
+		if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+			t.Fatalf("%T: decode: %v", m, err)
+		}
+		if !reflect.DeepEqual(out.M, m) {
+			t.Errorf("%T: traced gob round trip:\n got %#v\nwant %#v", m, out.M, m)
+		}
+	}
+}
