@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check api-snapshot api-check bench-obs bench-dataplane bench-dataplane-short
+.PHONY: build test vet race check api-snapshot api-check bench-obs bench-dataplane bench-dataplane-short bench-elastic
 
 # Packages whose exported surface is frozen under docs/api/ — changing
 # their API requires regenerating the snapshot in the same change.
@@ -66,3 +66,13 @@ bench-dataplane:
 # CI variant: same gates, skips the slower Fig1 engine benchmarks.
 bench-dataplane-short:
 	BENCH_DATAPLANE_OUT=BENCH_3.json $(GO) test -short -run TestEmitBenchDataplane -v .
+
+# Elasticity must be free when off: TestElasticOverheadGate asserts an inert
+# controller hook adds <2% heap allocations to the Fig 3 KNN workload. Then
+# the deadline×budget sweep regenerates the cost-vs-makespan frontier on the
+# compute-bound app; the CSV lands at ELASTIC_SWEEP_OUT (default
+# elastic_sweep.csv) so CI can archive it when the frontier gates fail.
+ELASTIC_SWEEP_OUT ?= elastic_sweep.csv
+bench-elastic:
+	BENCH_ELASTIC_GATE=1 $(GO) test -count=1 -run TestElasticOverheadGate -v .
+	$(GO) run ./cmd/cloudburst elastic -app kmeans -short -csv $(ELASTIC_SWEEP_OUT)

@@ -459,3 +459,67 @@ func TestObsOverheadGate(t *testing.T) {
 		t.Errorf("disabled-observability alloc-bytes overhead %.2f%% exceeds the 2%% budget", d)
 	}
 }
+
+// TestElasticOverheadGate is the automated half of `make bench-elastic`: the
+// elasticity-must-be-free-when-off promise. It runs the Figure-3 KNN workload
+// through the multi-query engine twice — once with no elastic hook at all and
+// once with the hook attached but inert (a controller that never scales, so
+// only the engine-side plumbing runs: the virtual-clock tick and the per-site
+// remaining-bytes snapshot handed to Decide) — and fails when the disabled
+// controller costs more than 2% extra heap allocations. As with
+// TestObsOverheadGate, allocations are the asserted quantity because they are
+// deterministic; wall-clock is logged for humans but never asserted. Opt-in
+// via BENCH_ELASTIC_GATE=1.
+func TestElasticOverheadGate(t *testing.T) {
+	if os.Getenv("BENCH_ELASTIC_GATE") == "" {
+		t.Skip("set BENCH_ELASTIC_GATE=1 to run the elastic overhead gate")
+	}
+	sweep := func(hook bool) {
+		for _, env := range experiments.Envs {
+			cfg := experiments.Config(experiments.KNN, env, experiments.SimOptions{})
+			mc := hybridsim.MultiConfig{
+				Topology: cfg.Topology, Seed: cfg.Seed,
+				Queries: []hybridsim.MultiQuery{{Name: "knn", App: cfg.App,
+					Index: cfg.Index, Placement: cfg.Placement, PoolOpts: cfg.PoolOpts}},
+			}
+			if hook {
+				mc.Elastic = &hybridsim.ElasticSim{Interval: 5 * time.Second,
+					Decide: func(time.Duration, map[int]int64, []int) hybridsim.ElasticDecision {
+						return hybridsim.ElasticDecision{}
+					}}
+			}
+			if _, err := hybridsim.RunMulti(mc); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	const rounds = 10
+	measure := func(hook bool) (allocs, bytes uint64, elapsed time.Duration) {
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		for i := 0; i < rounds; i++ {
+			sweep(hook)
+		}
+		elapsed = time.Since(start)
+		runtime.ReadMemStats(&after)
+		return after.Mallocs - before.Mallocs, after.TotalAlloc - before.TotalAlloc, elapsed
+	}
+	sweep(false) // warm-up
+	offN, offB, offT := measure(false)
+	onN, onB, onT := measure(true)
+
+	pct := func(with, without uint64) float64 {
+		return 100 * (float64(with) - float64(without)) / float64(without)
+	}
+	t.Logf("allocs %d → %d (%+.2f%%), bytes %d → %d (%+.2f%%), time %v → %v (%+.2f%%)",
+		offN, onN, pct(onN, offN), offB, onB, pct(onB, offB),
+		offT, onT, pct(uint64(onT), uint64(offT)))
+	if d := pct(onN, offN); d > 2 {
+		t.Errorf("disabled-controller alloc-count overhead %.2f%% exceeds the 2%% budget", d)
+	}
+	if d := pct(onB, offB); d > 2 {
+		t.Errorf("disabled-controller alloc-bytes overhead %.2f%% exceeds the 2%% budget", d)
+	}
+}

@@ -44,6 +44,8 @@ func main() {
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	appFlag := fs.String("app", "", "application: knn, kmeans, pagerank (default: all)")
 	outFlag := fs.String("out", "trace", "trace: output file prefix")
+	csvFlag := fs.String("csv", "", "elastic: also write the frontier as CSV to this file")
+	shortFlag := fs.Bool("short", false, "elastic: smaller deadline×budget grid (for CI)")
 	debugFlag := fs.String("debug-addr", "", "serve /debug/pprof/ on this address while the run executes (e.g. :6060)")
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
@@ -157,6 +159,10 @@ func main() {
 			}
 			fmt.Printf("%s: %s\n", app, plan.Format(deadline))
 			return nil
+		})
+	case "elastic":
+		err = forEachApp(apps, func(app experiments.App) error {
+			return runElasticSweep(app, *csvFlag, *shortFlag)
 		})
 	case "all":
 		if err = runFig1(); err != nil {
@@ -357,6 +363,35 @@ func runTraceMulti(outPrefix string) error {
 	return nil
 }
 
+// runElasticSweep runs the burst controller inside the simulator over a
+// deadline × budget grid and prints the dynamic cost-vs-makespan frontier
+// next to the static provisioning baseline. Per-second billing
+// (DefaultPricingCurrent) so scale-down pays off within a run.
+func runElasticSweep(app experiments.App, csvPath string, short bool) error {
+	deadlines := experiments.DefaultElasticDeadlines
+	budgets := experiments.DefaultElasticBudgets
+	if short {
+		deadlines = deadlines[:1]
+		budgets = budgets[:1]
+	}
+	sw, err := experiments.RunElasticSweep(app, costmodel.DefaultPricingCurrent(), deadlines, budgets)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.FormatElasticSweep(sw))
+	if csvPath != "" {
+		path := csvPath
+		if app != "" && strings.Contains(path, "%s") {
+			path = fmt.Sprintf(path, app)
+		}
+		if err := os.WriteFile(path, []byte(experiments.ElasticSweepCSV(sw)), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "cloudburst: wrote %s\n", path)
+	}
+	return nil
+}
+
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: cloudburst <subcommand> [-app knn|kmeans|pagerank]
 
@@ -373,6 +408,8 @@ subcommands:
   estimate    performance-estimate validation
   cost        cloud cost table
   provision   deadline-driven provisioning plan
+  elastic     dynamic provisioning sweep: cost-vs-makespan frontier vs static
+              baseline, [-csv file] [-short]
   all         everything above
   help        this message
 

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -23,6 +24,7 @@ import (
 	"repro/internal/chunk"
 	"repro/internal/config"
 	"repro/internal/daemon"
+	"repro/internal/elastic"
 	"repro/internal/head"
 	"repro/internal/jobs"
 	"repro/internal/protocol"
@@ -51,6 +53,8 @@ func main() {
 	tn.RegisterFlags(flag.CommandLine)
 	var df daemon.Flags
 	df.Register(flag.CommandLine)
+	var ef daemon.ElasticFlags
+	ef.Register(flag.CommandLine)
 	flag.Parse()
 	if *indexPath == "" {
 		log.Fatal("headnode: -index is required")
@@ -119,9 +123,13 @@ func main() {
 		Logf:           log.Printf,
 		Obs:            rt.Obs,
 		Tuning:         tn,
+		DynamicSites:   ef.Elastic,
 	})
 	if err != nil {
 		fail("headnode: %v", err)
+	}
+	if ef.Elastic {
+		go runElasticAdvisor(rt.Context(), h, pool, ef, log.Printf)
 	}
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -166,4 +174,77 @@ func main() {
 	}
 	_ = h.Close()
 	_ = rt.Close()
+}
+
+// runElasticAdvisor is the multi-process deployment's elasticity loop. The
+// headnode cannot launch worker processes itself, so scale-up decisions are
+// logged as advisories (an operator — or an external autoscaler tailing the
+// log — starts more workernode processes, which register as dynamic sites);
+// scale-down decisions are executed directly through the head's graceful
+// drain. The estimator is observed throughput (the analytic model needs a
+// calibrated topology the daemon does not have), so the controller runs on
+// the same Step code as the driver with a different est() source.
+func runElasticAdvisor(ctx context.Context, h *head.Head, pool *jobs.Pool,
+	ef daemon.ElasticFlags, logf func(string, ...any)) {
+	pol := elastic.Policy{
+		Deadline:   ef.Deadline,
+		Budget:     ef.Budget,
+		MaxWorkers: ef.MaxWorkers,
+	}
+	ctrl, err := elastic.New(pol, nil)
+	if err != nil {
+		logf("headnode: elastic controller disabled: %v", err)
+		return
+	}
+	te := &elastic.ThroughputEstimator{}
+	known := make(map[int]bool)
+	start := time.Now()
+	t := time.NewTicker(pol.EffectiveInterval())
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		now := time.Since(start)
+		// Reconcile billing episodes with dynamic registrations: sites at or
+		// above the burst base appear when an operator launches a worker and
+		// vanish when a drain completes.
+		current := make(map[int]bool)
+		for _, site := range h.Sites() {
+			if site >= elastic.DefaultWorkerSiteBase {
+				current[site] = true
+				if !known[site] {
+					known[site] = true
+					ctrl.WorkerLaunched(now, site)
+					logf("headnode: elastic worker registered at site %d", site)
+				}
+			}
+		}
+		for site := range known {
+			if !current[site] {
+				delete(known, site)
+				ctrl.WorkerStopped(now, site)
+			}
+		}
+		var total int64
+		for _, b := range pool.RemainingBytesBySite() {
+			total += b
+		}
+		te.Observe(now, total, len(ctrl.ActiveSites()))
+		dec := ctrl.StepWith(now, te.Est(total))
+		switch dec.Action {
+		case elastic.ScaleUp:
+			logf("headnode: elastic advisory: launch %d more worker(s) — %s", dec.Delta, dec.Reason)
+		case elastic.ScaleDown:
+			for _, site := range dec.Sites {
+				if _, err := h.DrainSite(site); err != nil {
+					logf("headnode: elastic drain of site %d: %v", site, err)
+				} else {
+					logf("headnode: elastic scale-down: draining site %d — %s", site, dec.Reason)
+				}
+			}
+		}
+	}
 }

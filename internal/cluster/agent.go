@@ -280,6 +280,13 @@ func RunAgent(ctx context.Context, cfg AgentConfig) error {
 			a.discard(id)
 			worked = true
 		}
+		if rep.Drain {
+			// Decommissioned: every obligation is settled (the head only sets
+			// Drain once this site holds no jobs and has submitted every owed
+			// reduction object, and the Done loop above ran before this check).
+			cfg.Logf("cluster %s: drained; exiting", cfg.Name)
+			return nil
+		}
 		if rep.Shutdown {
 			return nil
 		}

@@ -51,6 +51,26 @@ func DefaultPricing2011() Pricing {
 	}
 }
 
+// DefaultPricingCurrent is current-generation on-demand pricing (c-family
+// compute instances, us-east): per-SECOND billing, $0.17/h for a 2-vCPU
+// instance, $0.09/GB out with free ingress, $0.004 per 10k GETs,
+// $0.023/GB-month standard object storage. The headline difference from
+// DefaultPricing2011 for elastic scale-down is the billing quantum: with
+// per-second billing a drained worker stops costing money immediately, so
+// the controller decommissions far more aggressively than under whole-hour
+// billing, where a worker's remaining paid-for hour is free to keep.
+func DefaultPricingCurrent() Pricing {
+	return Pricing{
+		InstancePerHour:   0.17,
+		CoresPerInstance:  2,
+		BillingQuantum:    time.Second,
+		TransferOutPerGB:  0.09,
+		TransferInPerGB:   0,
+		RequestPer10K:     0.004,
+		StoragePerGBMonth: 0.023,
+	}
+}
+
 // Validate checks the pricing structure.
 func (p Pricing) Validate() error {
 	if p.CoresPerInstance <= 0 {

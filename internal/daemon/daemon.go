@@ -39,6 +39,29 @@ func (f *Flags) Register(fs *flag.FlagSet) {
 		"write a plain-text metrics snapshot here on exit")
 }
 
+// ElasticFlags holds the elastic-provisioning flags shared by head-side
+// daemons: turn the controller on, and bound it with a deadline, a budget
+// and a fleet cap.
+type ElasticFlags struct {
+	Elastic    bool
+	Deadline   time.Duration
+	Budget     float64
+	MaxWorkers int
+}
+
+// Register adds the -elastic, -deadline, -budget and -elastic-max-workers
+// flags to fs.
+func (f *ElasticFlags) Register(fs *flag.FlagSet) {
+	fs.BoolVar(&f.Elastic, "elastic", false,
+		"admit dynamically provisioned worker sites and run the elastic burst controller")
+	fs.DurationVar(&f.Deadline, "deadline", 0,
+		"elastic: target completion time from startup (0 = none; the controller then only scales down)")
+	fs.Float64Var(&f.Budget, "budget", 0,
+		"elastic: hard cap on projected instance spend in dollars (0 = unlimited)")
+	fs.IntVar(&f.MaxWorkers, "elastic-max-workers", 8,
+		"elastic: maximum burst workers")
+}
+
 // Runtime is one daemon's running observability scaffold.
 type Runtime struct {
 	Name string

@@ -24,6 +24,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/elastic"
 	"repro/internal/head"
 	"repro/internal/jobs"
 	"repro/internal/obs"
@@ -62,8 +63,30 @@ type Deployment struct {
 	// (Prometheus text), /debug/vars, /debug/trace and /debug/pprof/. The
 	// metrics and trace endpoints read the deployment's Obs bundle.
 	DebugAddr string
+	// Elastic, when non-nil, enables dynamic provisioning: queries submitted
+	// with Step.Elastic run under a burst controller that launches and drains
+	// cloud workers mid-query. Sessions over an elastic deployment admit
+	// sites beyond the static cluster set (head.Config.DynamicSites).
+	Elastic *ElasticConfig
 	// Logf receives diagnostics; nil silences them.
 	Logf func(format string, args ...any)
+}
+
+// ElasticConfig wires the elastic burst controller into a deployment.
+type ElasticConfig struct {
+	// Env models the static topology plus what one more burst worker buys —
+	// the controller's estimator input (see elastic.Env).
+	Env elastic.Env
+	// Worker is the template for live burst workers: its Sources must cover
+	// every data site (burst workers host no data of their own). Site and
+	// Name are overridden per launch.
+	Worker ClusterSpec
+	// Launcher overrides the worker actuator; nil launches in-process agents
+	// from Worker, wired to the session's head.
+	Launcher cluster.Launcher
+	// SiteBase is the first burst site ID (elastic.DefaultWorkerSiteBase
+	// when 0); burst IDs grow monotonically and are never reused.
+	SiteBase int
 }
 
 // Step is one query's job: the registered application and its parameters,
@@ -80,6 +103,11 @@ type Step struct {
 	// PoolOpts overrides the deployment's pool options for this query; nil
 	// uses the deployment default.
 	PoolOpts *jobs.Options
+	// Elastic, when non-nil, runs this query under the deployment's burst
+	// controller with the given deadline/budget policy. Requires
+	// Deployment.Elastic. Elastic queries complete on the contributor rule
+	// (not ExpectAll), so workers drained mid-query do not stall completion.
+	Elastic *elastic.Policy
 }
 
 // RoundReport is what one round produced.
@@ -105,6 +133,14 @@ func (d *Deployment) validate() error {
 		}
 		if len(c.Sources) == 0 {
 			return fmt.Errorf("driver: cluster %d (%s) has no sources", i, c.Name)
+		}
+	}
+	if e := d.Elastic; e != nil && e.Launcher == nil {
+		if e.Worker.Cores <= 0 {
+			return fmt.Errorf("driver: ElasticConfig.Worker has %d cores", e.Worker.Cores)
+		}
+		if len(e.Worker.Sources) == 0 {
+			return errors.New("driver: ElasticConfig.Worker has no sources")
 		}
 	}
 	return nil

@@ -1,0 +1,205 @@
+package driver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/elastic"
+	"repro/internal/head"
+	"repro/internal/jobs"
+	"repro/internal/obs"
+)
+
+// finalDrainGrace bounds the wait for burst workers to depart after their
+// query completes, when the policy sets no ScaleDownDrainTimeout. A healthy
+// worker settles within two polls; a wedged one is declared failed so the
+// session can close.
+const finalDrainGrace = 30 * time.Second
+
+// allocBurstSite hands out the next burst-worker site ID. IDs grow
+// monotonically across the session and are never reused, so a zombie
+// incarnation of a departed worker can never collide with a live one.
+func (s *Session) allocBurstSite() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	site := s.nextBurstSite
+	s.nextBurstSite++
+	return site
+}
+
+// runElastic is one elastic query's executor: it ticks the controller with
+// (elapsed, remaining-work) snapshots and acts on its decisions — launching
+// burst workers through the deployment's Launcher and draining them through
+// the head's graceful decommission. The loop exits when the query finishes
+// (after draining every remaining burst worker) or the session closes.
+func (s *Session) runElastic(q *head.Query, pool *jobs.Pool, ctrl *elastic.Controller) {
+	d := s.dep
+	reg := d.Obs.Metrics()
+	tr := d.Obs.Trace()
+	pol := ctrl.Policy()
+	qlabel := strconv.Itoa(q.ID())
+	gWorkers := reg.Gauge("elastic_workers", "query", qlabel)
+	cUp := reg.Counter("elastic_scale_events_total", "query", qlabel, "dir", "up")
+	cDown := reg.Counter("elastic_scale_events_total", "query", qlabel, "dir", "down")
+	gCost := reg.FloatGauge("elastic_cost_dollars", "query", qlabel)
+
+	clk := d.Obs.ClockOrWall()
+	start := clk.Now()
+	since := func() time.Duration { return clk.Now() - start }
+
+	ticker := time.NewTicker(pol.EffectiveInterval())
+	defer ticker.Stop()
+	workers := make(map[int]*cluster.Worker)
+
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case <-q.Done():
+			s.finishElastic(q, ctrl, workers, pol, since)
+			gWorkers.Set(0)
+			gCost.Set(ctrl.InstanceCost(since()))
+			return
+		case <-ticker.C:
+		}
+		dec := ctrl.Step(since(), pool.RemainingBytesBySite())
+		switch dec.Action {
+		case elastic.ScaleUp:
+			for i := 0; i < dec.Delta; i++ {
+				site := s.allocBurstSite()
+				name := fmt.Sprintf("burst-%d", site)
+				w, err := s.launcher.Launch(s.ctx, site, name)
+				if err != nil {
+					s.logf("driver: elastic launch of %s failed: %v", name, err)
+					continue
+				}
+				ctrl.WorkerLaunched(since(), site)
+				workers[site] = w
+				cUp.Inc()
+				reg.Gauge("elastic_workers", "query", qlabel, "cluster", name).Set(1)
+				s.logf("driver: elastic scale-up: launched %s (%s)", name, dec.Reason)
+				if tr.Enabled() {
+					tr.Instant(0, 0, "elastic", fmt.Sprintf("scale-up site %d", site),
+						obs.Args{"site": site, "query": q.ID()})
+				}
+				go s.watchWorker(q.ID(), w, ctrl, clk, start)
+			}
+		case elastic.ScaleDown:
+			for _, site := range dec.Sites {
+				s.logf("driver: elastic scale-down: draining site %d (%s)", site, dec.Reason)
+				s.drainBurstWorker(site, pol.ScaleDownDrainTimeout, ctrl, since)
+				cDown.Inc()
+			}
+		}
+		gWorkers.Set(int64(dec.Workers))
+		gCost.Set(ctrl.InstanceCost(since()))
+	}
+}
+
+// watchWorker ends a burst worker's billing episode when its agent loop
+// returns, and reports a crash to the head so the site's work is recovered.
+func (s *Session) watchWorker(query int, w *cluster.Worker, ctrl *elastic.Controller,
+	clk obs.Clock, start time.Duration) {
+	<-w.Done()
+	ctrl.WorkerStopped(clk.Now()-start, w.Site())
+	s.dep.Obs.Metrics().Gauge("elastic_workers",
+		"query", strconv.Itoa(query), "cluster", fmt.Sprintf("burst-%d", w.Site())).Set(0)
+	if err := w.Err(); err != nil && !errors.Is(err, context.Canceled) {
+		s.logf("driver: burst worker %d failed: %v", w.Site(), err)
+		s.h.SiteLost(w.Site(), err)
+	}
+}
+
+// drainBurstWorker starts a graceful drain and escalates to FailSite if it
+// outlives timeout (requeue + reissue then recover the work; requires the
+// deployment's fault machinery). The worker's billing episode ends when the
+// departure completes.
+func (s *Session) drainBurstWorker(site int, timeout time.Duration,
+	ctrl *elastic.Controller, since func() time.Duration) {
+	ch, err := s.h.DrainSite(site)
+	if err != nil {
+		s.logf("driver: drain of site %d: %v", site, err)
+		return
+	}
+	go func() {
+		if timeout > 0 {
+			t := time.NewTimer(timeout)
+			defer t.Stop()
+			select {
+			case <-ch:
+			case <-s.ctx.Done():
+				return
+			case <-t.C:
+				s.logf("driver: drain of site %d exceeded %v; declaring it failed", site, timeout)
+				s.h.FailSite(site)
+			}
+		}
+		select {
+		case <-ch:
+			ctrl.WorkerStopped(since(), site)
+		case <-s.ctx.Done():
+		}
+	}()
+}
+
+// finishElastic decommissions every remaining burst worker once the query is
+// over: each is drained (it owes nothing — the query's final fold is in), and
+// one that fails to depart within the policy's drain timeout (or
+// finalDrainGrace) is declared failed so session close cannot hang.
+func (s *Session) finishElastic(q *head.Query, ctrl *elastic.Controller,
+	workers map[int]*cluster.Worker, pol elastic.Policy, since func() time.Duration) {
+	grace := pol.ScaleDownDrainTimeout
+	if grace <= 0 {
+		grace = finalDrainGrace
+	}
+	type pending struct {
+		site int
+		ch   <-chan struct{}
+	}
+	var waits []pending
+	for site := range workers {
+		ch, err := s.h.DrainSite(site)
+		if err != nil {
+			continue // already departed (or failed away)
+		}
+		waits = append(waits, pending{site: site, ch: ch})
+	}
+	deadline := time.NewTimer(grace)
+	defer deadline.Stop()
+	for _, p := range waits {
+		select {
+		case <-p.ch:
+			ctrl.WorkerStopped(since(), p.site)
+		case <-s.ctx.Done():
+			return
+		case <-deadline.C:
+			s.logf("driver: burst worker %d did not drain after query %d; declaring it failed", p.site, q.ID())
+			s.h.FailSite(p.site)
+			select {
+			case <-p.ch:
+				ctrl.WorkerStopped(since(), p.site)
+			case <-s.ctx.Done():
+				return
+			case <-time.After(time.Second):
+			}
+		}
+	}
+	// Join the agent goroutines so Close cannot race their final polls, and
+	// zero each per-cluster gauge here rather than leaving it to the async
+	// watchWorker goroutine — a scrape right after the query must see 0.
+	for site, w := range workers {
+		select {
+		case <-w.Done():
+			s.dep.Obs.Metrics().Gauge("elastic_workers", "query", strconv.Itoa(q.ID()),
+				"cluster", fmt.Sprintf("burst-%d", site)).Set(0)
+		case <-s.ctx.Done():
+			return
+		case <-time.After(grace):
+			return
+		}
+	}
+}

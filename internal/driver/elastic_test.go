@@ -1,0 +1,199 @@
+package driver
+
+import (
+	"bytes"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/chunk"
+	"repro/internal/costmodel"
+	"repro/internal/elastic"
+	"repro/internal/hybridsim"
+	"repro/internal/jobs"
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// slowAfter wraps a Source: once `after` chunks have been read, every
+// further read stalls for `delay` — the live analogue of the simulator's
+// injected mid-run slowdown (a degrading disk array under the static
+// clusters). Burst workers get the unwrapped source: they read in-region.
+type slowAfter struct {
+	inner chunk.Source
+	after int64
+	delay time.Duration
+	reads atomic.Int64
+}
+
+func (s *slowAfter) ReadChunk(ref chunk.Ref) ([]byte, error) {
+	if s.reads.Add(1) > s.after {
+		time.Sleep(s.delay)
+	}
+	return s.inner.ReadChunk(ref)
+}
+
+// TestElasticLiveScaleUpMeetsDeadline is the live end-to-end drill: a
+// two-cluster deployment whose sources degrade mid-run, once with the static
+// topology and once under the burst controller with a deadline the static
+// run cannot make. The elastic run must scale up mid-query through the
+// in-process AgentLauncher, beat the static run (and its deadline), drain
+// every burst worker, and produce a byte-identical reduction object with
+// every data unit folded exactly once.
+func TestElasticLiveScaleUpMeetsDeadline(t *testing.T) {
+	gen := workload.ClusteredPoints{Seed: 9, Dim: 2, K: 2, Spread: 0.05}
+	ix, err := chunk.Layout("els", 2400, gen.UnitSize(), 200, 25) // 96 chunks
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := chunk.NewMemSource(ix)
+	if err := workload.Build(ix, gen, src); err != nil {
+		t.Fatal(err)
+	}
+	hp := apps.HistogramParams{Bins: 8, Dim: 2}
+	params, err := apps.EncodeHistogramParams(hp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := func() Step {
+		r, err := apps.NewHistogramReducer(hp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Step{App: apps.HistogramReducerName, Params: params, Reducer: r}
+	}
+	deploy := func(o *obs.Obs, ec *ElasticConfig) *Deployment {
+		slow := &slowAfter{inner: src, after: 8, delay: 25 * time.Millisecond}
+		sources := map[int]chunk.Source{0: slow, 1: slow}
+		return &Deployment{
+			Index:     ix,
+			Placement: jobs.SplitByFraction(len(ix.Files), 0.5, 0, 1),
+			Clusters: []ClusterSpec{
+				{Site: 0, Name: "local", Cores: 2, Sources: sources},
+				{Site: 1, Name: "cloud", Cores: 2, Sources: sources},
+			},
+			Obs:     o,
+			Elastic: ec,
+			Logf:    t.Logf,
+		}
+	}
+
+	// Static baseline: the pre-sized topology rides out the slowdown.
+	s := step()
+	start := time.Now()
+	staticObj, staticReports, err := deploy(nil, nil).RunOnce(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	staticDur := time.Since(start)
+	staticBytes, err := s.Reducer.Encode(staticObj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	staticJobs := 0
+	for _, r := range staticReports {
+		staticJobs += r.Jobs.Local + r.Jobs.Stolen
+	}
+	if staticJobs != ix.NumChunks() {
+		t.Fatalf("static run committed %d jobs, want %d", staticJobs, ix.NumChunks())
+	}
+
+	// Controller environment, calibrated so the nominal model reproduces the
+	// static runtime: est(0 extra workers) ≈ staticDur, and each 2-core burst
+	// worker adds half the static capacity.
+	totalBytes := float64(ix.TotalUnits() * int64(gen.UnitSize()))
+	perCore := totalBytes / staticDur.Seconds() / 4
+	env := elastic.Env{
+		Base: hybridsim.Config{
+			App: hybridsim.AppModel{Name: "hist-live", ComputeBytesPerSec: perCore,
+				RobjBytes: 1 << 10, MergeBytesPerSec: 1 << 40},
+			Topology: hybridsim.Topology{Clusters: []hybridsim.ClusterModel{
+				{Name: "local", Site: 0, Cores: 2, RetrievalThreads: 2},
+				{Name: "cloud", Site: 1, Cores: 2, RetrievalThreads: 2},
+			}},
+		},
+		Worker: hybridsim.ClusterModel{Cores: 2, RetrievalThreads: 2},
+	}
+	o := obs.New(nil)
+	ec := &ElasticConfig{
+		Env: env,
+		// Burst workers read the pristine source directly — the in-region
+		// path the slowdown does not touch.
+		Worker: ClusterSpec{Cores: 2, Sources: map[int]chunk.Source{0: src, 1: src}},
+	}
+	deadline := staticDur * 3 / 5
+	s = step()
+	s.Elastic = &elastic.Policy{
+		Deadline:              deadline,
+		MaxWorkers:            3,
+		Interval:              40 * time.Millisecond,
+		ScaleUpCooldown:       120 * time.Millisecond,
+		ScaleDownDrainTimeout: 5 * time.Second,
+		Pricing:               costmodel.DefaultPricingCurrent(),
+	}
+	start = time.Now()
+	elasticObj, elasticReports, err := deploy(o, ec).RunOnce(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elasticDur := time.Since(start)
+
+	// Conservation: every chunk committed exactly once across static AND
+	// burst sites, every unit folded exactly once.
+	elasticJobs, burstSites := 0, 0
+	for _, r := range elasticReports {
+		elasticJobs += r.Jobs.Local + r.Jobs.Stolen
+		if r.Site >= elastic.DefaultWorkerSiteBase {
+			burstSites++
+		}
+	}
+	if elasticJobs != ix.NumChunks() {
+		t.Errorf("elastic run committed %d jobs, want %d", elasticJobs, ix.NumChunks())
+	}
+	if got := elasticObj.(*apps.HistogramObject).Total(); got != ix.TotalUnits() {
+		t.Errorf("elastic run folded %d units, want %d", got, ix.TotalUnits())
+	}
+
+	// Byte-identical result (histogram counts are partition-invariant).
+	elasticBytes, err := s.Reducer.Encode(elasticObj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(elasticBytes, staticBytes) {
+		t.Errorf("elastic reduction object differs from static run")
+	}
+
+	// The controller must have actually scaled up mid-query, and every burst
+	// worker must be gone by the end.
+	snap := o.Registry.Snapshot()
+	ups, workersLeft := int64(0), int64(0)
+	for k, v := range snap {
+		if strings.HasPrefix(k, "elastic_scale_events_total") && strings.Contains(k, `dir="up"`) {
+			ups += v
+		}
+		if strings.HasPrefix(k, "elastic_workers") {
+			workersLeft += v
+		}
+	}
+	if ups == 0 {
+		t.Errorf("no scale-up events recorded: %v", filterPrefix(snap, "elastic_"))
+	}
+	if workersLeft != 0 {
+		t.Errorf("elastic_workers gauges nonzero after the run: %v", filterPrefix(snap, "elastic_workers"))
+	}
+	if burstSites == 0 {
+		t.Errorf("no burst worker contributed a reduction object")
+	}
+
+	t.Logf("static %.0fms vs elastic %.0fms (deadline %.0fms), %d burst contributors",
+		float64(staticDur.Milliseconds()), float64(elasticDur.Milliseconds()),
+		float64(deadline.Milliseconds()), burstSites)
+	if elasticDur >= staticDur {
+		t.Errorf("elastic run (%v) not faster than the static run (%v) it bursts past", elasticDur, staticDur)
+	}
+	if elasticDur > deadline {
+		t.Errorf("elastic run %v missed the %v deadline the controller was steering at", elasticDur, deadline)
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/elastic"
 	"repro/internal/head"
 	"repro/internal/jobs"
 	"repro/internal/obs"
@@ -47,14 +48,20 @@ type Session struct {
 	dep       *Deployment
 	h         *head.Head
 	logf      func(string, ...any)
+	ctx       context.Context
 	cancel    context.CancelFunc
 	agents    sync.WaitGroup
 	debug     *http.Server
 	debugAddr net.Addr
 
-	mu       sync.Mutex
-	agentErr error
-	closed   bool
+	// Elastic state (set only when Deployment.Elastic is non-nil).
+	launcher cluster.Launcher
+	elastics sync.WaitGroup
+
+	mu            sync.Mutex
+	agentErr      error
+	closed        bool
+	nextBurstSite int
 }
 
 // DebugAddr returns the bound address of the session's debug HTTP server,
@@ -82,12 +89,34 @@ func newSession(d *Deployment) (*Session, error) {
 		Logf:           logf,
 		Obs:            d.Obs,
 		Tuning:         d.Tuning,
+		DynamicSites:   d.Elastic != nil,
 	})
 	if err != nil {
 		return nil, err
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	s := &Session{dep: d, h: h, logf: logf, cancel: cancel}
+	s := &Session{dep: d, h: h, logf: logf, cancel: cancel, ctx: ctx}
+	if d.Elastic != nil {
+		s.nextBurstSite = d.Elastic.SiteBase
+		if s.nextBurstSite <= 0 {
+			s.nextBurstSite = elastic.DefaultWorkerSiteBase
+		}
+		s.launcher = d.Elastic.Launcher
+		if s.launcher == nil {
+			w := d.Elastic.Worker
+			s.launcher = &cluster.AgentLauncher{Template: cluster.AgentConfig{
+				Cores:            w.Cores,
+				RetrievalThreads: w.RetrievalThreads,
+				Tuning:           d.Tuning,
+				Sources:          w.Sources,
+				SourceLabels:     w.SourceLabels,
+				Head:             cluster.InProcAgent{Head: h},
+				Retry:            w.Retry,
+				Logf:             logf,
+				Obs:              d.Obs,
+			}}
+		}
+	}
 	if d.DebugAddr != "" {
 		srv, addr, err := obs.ServeDebug(d.DebugAddr, d.Obs.Metrics(), d.Obs.Trace())
 		if err != nil {
@@ -166,17 +195,36 @@ func (s *Session) Submit(step Step) (*Query, error) {
 	if err := head.EncodeIndexSpec(&spec, d.Index); err != nil {
 		return nil, err
 	}
+	var ctrl *elastic.Controller
+	if step.Elastic != nil {
+		if d.Elastic == nil {
+			return nil, errors.New("driver: Step.Elastic requires Deployment.Elastic")
+		}
+		if ctrl, err = elastic.New(*step.Elastic, &d.Elastic.Env); err != nil {
+			return nil, err
+		}
+	}
 	hq, err := s.h.Admit(head.QueryConfig{
 		Pool:    pool,
 		Reducer: step.Reducer,
 		Spec:    spec,
 		Weight:  step.Weight,
 		// Every cluster reports each query (possibly an identity object), so
-		// RunOnce-parity report counts hold for every submitted query.
-		ExpectAll: true,
+		// RunOnce-parity report counts hold for every submitted query —
+		// except under elasticity, where completion must not wait on workers
+		// that were drained away mid-query (the contributor rule covers the
+		// survivors).
+		ExpectAll: step.Elastic == nil,
 	})
 	if err != nil {
 		return nil, err
+	}
+	if ctrl != nil {
+		s.elastics.Add(1)
+		go func() {
+			defer s.elastics.Done()
+			s.runElastic(hq, pool, ctrl)
+		}()
 	}
 	return &Query{s: s, q: hq}, nil
 }
@@ -241,6 +289,11 @@ func (s *Session) Close() error {
 		_ = s.debug.Close()
 	}
 	s.h.Shutdown()
+	// Let the elastic executors finish their graceful teardown (drain burst
+	// workers, settle gauges) before pulling the context: Shutdown fails any
+	// active query, which releases runElastic via q.Done(), and finishElastic
+	// bounds every wait with the drain grace timer.
+	s.elastics.Wait()
 	s.cancel()
 	s.agents.Wait()
 	s.mu.Lock()

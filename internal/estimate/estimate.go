@@ -43,15 +43,41 @@ func Makespan(cfg hybridsim.Config) (Estimate, error) {
 	if cfg.Index == nil || len(cfg.Topology.Clusters) == 0 {
 		return Estimate{}, fmt.Errorf("estimate: incomplete config")
 	}
-	if cfg.App.ComputeBytesPerSec <= 0 {
-		return Estimate{}, fmt.Errorf("estimate: App.ComputeBytesPerSec must be positive")
-	}
 	// Bytes hosted per site.
 	demand := map[int]float64{}
 	for fi, site := range cfg.Placement {
 		demand[site] += float64(cfg.Index.Files[fi].Size)
 	}
-	m := buildModel(cfg)
+	return makespan(cfg, demand)
+}
+
+// MakespanRemaining predicts the makespan of draining only the given
+// remaining work (bytes left to process, keyed by hosting site) on cfg's
+// topology — the elastic controller's re-estimation entry point, fed from
+// jobs.Pool.RemainingBytesBySite mid-run. Like Makespan it is a deliberate
+// lower bound: it assumes the remaining bytes flow as a fluid from a cold
+// start, ignoring in-flight partial jobs and end-game imbalance. Sites with
+// zero (or negative) remaining bytes are dropped from the demand.
+func MakespanRemaining(cfg hybridsim.Config, remaining map[int]int64) (Estimate, error) {
+	if len(cfg.Topology.Clusters) == 0 {
+		return Estimate{}, fmt.Errorf("estimate: incomplete config")
+	}
+	demand := map[int]float64{}
+	for site, b := range remaining {
+		if b > 0 {
+			demand[site] += float64(b)
+		}
+	}
+	return makespan(cfg, demand)
+}
+
+// makespan is the shared core: binary-search the smallest horizon whose
+// max-flow drains demand (bytes per site), then add the reduction tail.
+func makespan(cfg hybridsim.Config, demand map[int]float64) (Estimate, error) {
+	if cfg.App.ComputeBytesPerSec <= 0 {
+		return Estimate{}, fmt.Errorf("estimate: App.ComputeBytesPerSec must be positive")
+	}
+	m := buildModel(cfg, demand)
 
 	// Binary search the horizon. Upper bound: serve everything through the
 	// single slowest positive capacity.
@@ -141,7 +167,7 @@ type model struct {
 	edges    []edge
 }
 
-func buildModel(cfg hybridsim.Config) *model {
+func buildModel(cfg hybridsim.Config, demand map[int]float64) *model {
 	m := &model{egress: map[int]float64{}}
 	for site, cap := range cfg.Topology.SourceEgress {
 		if cap > 0 {
@@ -149,7 +175,7 @@ func buildModel(cfg hybridsim.Config) *model {
 		}
 	}
 	sites := map[int]bool{}
-	for _, site := range cfg.Placement {
+	for site := range demand {
 		sites[site] = true
 	}
 	for ci, c := range cfg.Topology.Clusters {

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"repro/internal/chunk"
 	"repro/internal/estimate"
@@ -137,5 +138,77 @@ func randomConfig(t *testing.T, seed uint64, compute, perStream, wan, frac float
 			HeadCluster:           0,
 		},
 		Seed: seed,
+	}
+}
+
+// TestMakespanRemainingLowerBoundMidRun validates the remaining-work
+// estimator — the elastic controller's decision input — against the
+// simulator at mid-run snapshots: at any instant, MakespanRemaining over the
+// uncommitted work must not exceed the time the simulator actually still
+// needed. The bound is checked with a small tolerance because the snapshot's
+// "remaining" includes in-flight jobs the simulator has already partially
+// retrieved or computed, a head start the from-scratch estimate cannot see.
+func TestMakespanRemainingLowerBoundMidRun(t *testing.T) {
+	for _, app := range experiments.Apps {
+		cfg := experiments.Config(app, experiments.Env5050, experiments.SimOptions{})
+		type snap struct {
+			at        time.Duration
+			remaining map[int]int64
+		}
+		var snaps []snap
+		mc := hybridsim.MultiConfig{
+			Topology: cfg.Topology,
+			Seed:     cfg.Seed,
+			Queries: []hybridsim.MultiQuery{{
+				Name: string(app), App: cfg.App,
+				Index: cfg.Index, Placement: cfg.Placement, PoolOpts: cfg.PoolOpts,
+			}},
+			// A passive elasticity hook: never scales, only snapshots the
+			// controller's exact input every tick.
+			Elastic: &hybridsim.ElasticSim{
+				Interval: 5 * time.Second,
+				Decide: func(now time.Duration, remaining map[int]int64, workers []int) hybridsim.ElasticDecision {
+					cp := make(map[int]int64, len(remaining))
+					for s, b := range remaining {
+						cp[s] = b
+					}
+					snaps = append(snaps, snap{at: now, remaining: cp})
+					return hybridsim.ElasticDecision{}
+				},
+			},
+		}
+		res, err := hybridsim.RunMulti(mc)
+		if err != nil {
+			t.Fatalf("%s: sim: %v", app, err)
+		}
+		var totalBytes int64
+		for _, f := range cfg.Index.Files {
+			totalBytes += f.Size
+		}
+		checked := 0
+		for _, s := range snaps {
+			var rem int64
+			for _, b := range s.remaining {
+				rem += b
+			}
+			// Skip the tail: once little work is left, in-flight head starts
+			// dominate and the snapshot bound is not meaningful.
+			if rem < totalBytes/10 {
+				continue
+			}
+			est, err := estimate.MakespanRemaining(cfg, s.remaining)
+			if err != nil {
+				t.Fatalf("%s at %v: %v", app, s.at, err)
+			}
+			actual := res.Total - s.at
+			if ratio := actual.Seconds() / est.Total().Seconds(); ratio < 0.95 {
+				t.Errorf("%s at %v: estimate %.1fs exceeds actual remaining %.1fs (ratio %.2f) — not a lower bound",
+					app, s.at, est.Total().Seconds(), actual.Seconds(), ratio)
+			}
+			checked++
+		}
+		if checked < 3 {
+			t.Fatalf("%s: only %d mid-run snapshots checked — run too short for the test to mean anything", app, checked)
+		}
 	}
 }

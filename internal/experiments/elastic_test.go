@@ -1,0 +1,212 @@
+package experiments
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/costmodel"
+	"repro/internal/elastic"
+	"repro/internal/hybridsim"
+)
+
+// kmeansSweep runs the standard kmeans sweep once and shares it between the
+// gate tests (the determinism test re-runs it independently).
+var kmeansSweep = sync.OnceValues(func() (*ElasticSweep, error) {
+	return RunElasticSweep(KMeans, costmodel.DefaultPricingCurrent(),
+		DefaultElasticDeadlines, DefaultElasticBudgets)
+})
+
+// TestElasticSweepKMeansFrontier is the sweep's acceptance gate on the
+// compute-bound app, where dynamic provisioning genuinely pays:
+//   - no elastic point is dominated (higher cost AND higher makespan) by any
+//     static candidate realized under the same injected slowdown;
+//   - the unlimited-budget cells with feasible deadlines meet them, while
+//     the static no-burst topology misses every deadline in the grid.
+func TestElasticSweepKMeansFrontier(t *testing.T) {
+	sw, err := kmeansSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var static0 costmodel.Candidate
+	for _, c := range sw.Static {
+		if c.CloudCores == 0 {
+			static0 = c
+		}
+	}
+	for _, p := range sw.Points {
+		if c, dom := sw.Dominated(p); dom {
+			t.Errorf("point (deadline=%v budget=%.2f): makespan %.1fs / $%.4f dominated by static %d cores (%.1fs / $%.4f)",
+				p.Deadline, p.Budget, p.Makespan.Seconds(), p.Cost.Total(),
+				c.CloudCores, c.Makespan.Seconds(), c.Cost.Total())
+		}
+		if p.Deadline >= 150*time.Second && p.Budget == 0 && !p.MetDeadline {
+			t.Errorf("deadline %v (unlimited budget) missed: makespan %.1fs", p.Deadline, p.Makespan.Seconds())
+		}
+		if p.Deadline > 0 && static0.Makespan <= p.Deadline {
+			t.Errorf("static no-burst topology meets deadline %v (%.1fs) — the scenario no longer needs elasticity",
+				p.Deadline, static0.Makespan.Seconds())
+		}
+		if p.MetDeadline && p.ScaleUps == 0 {
+			t.Errorf("deadline %v met without any scale-up — slowdown not biting", p.Deadline)
+		}
+	}
+}
+
+// TestElasticCostMatchesRealizedUsage is the cost-exactness gate: the
+// reported instance cost (the controller's own episode accounting, what
+// elastic_cost_dollars exports) must match an independent recomputation from
+// the SIMULATOR's realized burst-worker lifetimes under the same pricing —
+// two separate bookkeepers agreeing on the bill. Transfer and request costs
+// must likewise equal costmodel's pricing of the realized traffic.
+func TestElasticCostMatchesRealizedUsage(t *testing.T) {
+	sw, err := kmeansSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := sw.Pricing
+	cfg := elasticEnv(KMeans).Base
+	for _, p := range sw.Points {
+		var instances float64
+		for _, c := range p.Clusters {
+			if !c.Burst {
+				continue
+			}
+			end := c.Drained
+			if end == 0 {
+				end = p.Makespan // ran to the end of the simulation
+			}
+			life := end - c.Launched
+			q := pr.BillingQuantum
+			if life <= 0 {
+				life = q
+			} else {
+				life = ((life + q - 1) / q) * q
+			}
+			n := (c.Cores + pr.CoresPerInstance - 1) / pr.CoresPerInstance
+			instances += float64(n) * life.Hours() * pr.InstancePerHour
+		}
+		if math.Abs(instances-p.Cost.Instances) > 1e-9 {
+			t.Errorf("point (deadline=%v budget=%.2f): controller billed $%.6f instances, realized lifetimes price to $%.6f",
+				p.Deadline, p.Budget, p.Cost.Instances, instances)
+		}
+		// Transfer and requests: price the realized footprint afresh.
+		want, err := pr.Price(trafficUsage(cfg, &hybridsim.MultiResult{Clusters: p.Clusters}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(want.Transfer-p.Cost.Transfer) > 1e-9 || math.Abs(want.Requests-p.Cost.Requests) > 1e-9 {
+			t.Errorf("point (deadline=%v budget=%.2f): transfer/requests $%.6f/$%.6f, repriced $%.6f/$%.6f",
+				p.Deadline, p.Budget, p.Cost.Transfer, p.Cost.Requests, want.Transfer, want.Requests)
+		}
+	}
+}
+
+// TestElasticSweepDeterministic re-runs the whole sweep and demands
+// byte-identical human and CSV renderings — virtual clock, fixed seeds, and
+// a pure-policy controller leave nothing to drift.
+func TestElasticSweepDeterministic(t *testing.T) {
+	sw1, err := kmeansSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw2, err := RunElasticSweep(KMeans, costmodel.DefaultPricingCurrent(),
+		DefaultElasticDeadlines, DefaultElasticBudgets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := FormatElasticSweep(sw1), FormatElasticSweep(sw2); a != b {
+		t.Errorf("sweep rendering differs across reruns:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+	}
+	if a, b := ElasticSweepCSV(sw1), ElasticSweepCSV(sw2); a != b {
+		t.Errorf("sweep CSV differs across reruns:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+	}
+}
+
+// TestElasticDecisionParityReplay pins the sim↔live parity contract: the
+// controller is a pure function of its input stream. The simulated run's
+// inputs — every tick's (now, remaining) snapshot and every worker
+// launch/drain event — are recorded and replayed into a FRESH controller,
+// which must reproduce the decision log byte for byte. A live executor
+// feeding the same snapshots therefore scales identically.
+func TestElasticDecisionParityReplay(t *testing.T) {
+	policy := elastic.Policy{
+		Deadline: 150 * time.Second, MaxWorkers: 8,
+		Interval: 5 * time.Second, ScaleUpCooldown: 15 * time.Second,
+		Pricing: costmodel.DefaultPricingCurrent(),
+	}
+	env := elasticEnv(KMeans)
+	ctrl, err := elastic.New(policy, &env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type event struct {
+		kind      int // 0 tick, 1 launch, 2 drained
+		now       time.Duration
+		site      int
+		remaining map[int]int64
+	}
+	var events []event
+	mc := singleQueryMulti(KMeans, env.Base)
+	es := ctrl.SimElastic(0)
+	decide, launch, drained := es.Decide, es.OnLaunch, es.OnDrained
+	es.Decide = func(now time.Duration, remaining map[int]int64, workers []int) hybridsim.ElasticDecision {
+		cp := make(map[int]int64, len(remaining))
+		for s, b := range remaining {
+			cp[s] = b
+		}
+		events = append(events, event{kind: 0, now: now, remaining: cp})
+		return decide(now, remaining, workers)
+	}
+	es.OnLaunch = func(now time.Duration, site int) {
+		events = append(events, event{kind: 1, now: now, site: site})
+		launch(now, site)
+	}
+	es.OnDrained = func(now time.Duration, site int) {
+		events = append(events, event{kind: 2, now: now, site: site})
+		drained(now, site)
+	}
+	mc.Elastic = es
+	if _, err := hybridsim.RunMulti(mc); err != nil {
+		t.Fatal(err)
+	}
+
+	env2 := elasticEnv(KMeans)
+	replay, err := elastic.New(policy, &env2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events {
+		switch ev.kind {
+		case 0:
+			replay.Step(ev.now, ev.remaining)
+		case 1:
+			replay.WorkerLaunched(ev.now, ev.site)
+		case 2:
+			replay.WorkerStopped(ev.now, ev.site)
+		}
+	}
+	a := elastic.FormatDecisions(ctrl.Decisions())
+	b := elastic.FormatDecisions(replay.Decisions())
+	if a == "" {
+		t.Fatal("simulated run produced no scaling decisions")
+	}
+	if a != b {
+		t.Errorf("replayed decisions diverge:\n--- simulated ---\n%s\n--- replayed ---\n%s", a, b)
+	}
+}
+
+// TestElasticSlowdownSelection pins the per-app perturbation choice: the
+// retrieval-bound app degrades at the source, the compute-bound apps at the
+// cluster.
+func TestElasticSlowdownSelection(t *testing.T) {
+	if s := elasticSlowdown(KNN); !s.Source || s.Site != siteLocal {
+		t.Errorf("knn slowdown = %+v, want source degradation at the local site", s)
+	}
+	for _, app := range []App{KMeans, PageRank} {
+		if s := elasticSlowdown(app); s.Source || s.Cluster != 0 {
+			t.Errorf("%s slowdown = %+v, want compute degradation on cluster 0", app, s)
+		}
+	}
+}

@@ -304,6 +304,15 @@ func (h *Head) FailSite(site int) {
 		}
 	}
 	ckl.Unlock()
+	// A draining site that dies (lease expiry, or the driver forcing a stuck
+	// drain) was leaving anyway: complete the departure so drain waiters
+	// unblock. The dead mark outlives the departure — Release only stops
+	// lease tracking — so a zombie incarnation stays fenced.
+	h.mu.Lock()
+	if _, ok := h.draining[site]; ok {
+		h.departLocked(site)
+	}
+	h.mu.Unlock()
 }
 
 // CheckpointSave persists a cluster's reduction-object checkpoint for one

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -74,6 +75,12 @@ type Config struct {
 	// expiry and speculation are governed by Tuning; the zero value of both
 	// keeps the original fail-fast behaviour.
 	Fault FaultConfig
+	// DynamicSites lifts the ExpectClusters registration cap so elastically
+	// provisioned burst workers can join a live session. ExpectClusters then
+	// only sizes legacy ExpectAll completion; dynamic sites must be admitted
+	// into queries' contributor sets by doing work (committing jobs), and are
+	// removed with DrainSite.
+	DynamicSites bool
 }
 
 // Head schedules admitted queries over registered masters. Create with New,
@@ -85,6 +92,8 @@ type Head struct {
 
 	mu        sync.Mutex
 	clusters  map[int]string // site -> cluster name (registered)
+	draining  map[int]chan struct{}
+	departed  map[int]bool // sites that completed a graceful drain (terminal)
 	queries   map[int]*Query
 	order     []int // admission order, for deterministic iteration
 	nextQuery int
@@ -141,6 +150,8 @@ func New(cfg Config) (*Head, error) {
 	h := &Head{
 		cfg:          cfg,
 		clusters:     make(map[int]string),
+		draining:     make(map[int]chan struct{}),
+		departed:     make(map[int]bool),
 		queries:      make(map[int]*Query),
 		fair:         jobs.NewFairShare(),
 		done:         make(chan struct{}),
@@ -180,7 +191,7 @@ func (h *Head) markDone() {
 func (h *Head) registerSite(hello protocol.Hello) (known bool, err error) {
 	h.mu.Lock()
 	_, known = h.clusters[hello.Site]
-	if !known && len(h.clusters) >= h.cfg.ExpectClusters {
+	if !known && len(h.clusters) >= h.cfg.ExpectClusters && !h.cfg.DynamicSites {
 		h.mu.Unlock()
 		return false, opErr("register", hello.Site, -1,
 			fmt.Errorf("already have %d clusters: %w", h.cfg.ExpectClusters, ErrTooManyClusters))
@@ -190,6 +201,9 @@ func (h *Head) registerSite(hello protocol.Hello) (known bool, err error) {
 		return false, opErr("register", hello.Site, -1, ErrAlreadyRegistered)
 	}
 	h.clusters[hello.Site] = hello.Cluster
+	// An explicit re-registration readmits the site ID: the departure fence
+	// only guards against a zombie incarnation that never said Hello again.
+	delete(h.departed, hello.Site)
 	nClusters := len(h.clusters)
 	h.mu.Unlock()
 	// Merged-trace convention: the head is pid 0 and site s's shipped spans
@@ -280,6 +294,15 @@ func (h *Head) fencedCheck(site int) error {
 	if h.fs != nil && h.fs.leases.Dead(site) {
 		return fmt.Errorf("rejecting site %d: %w", site, fault.ErrFenced)
 	}
+	// A drained site's departure is just as terminal: its lease is released
+	// and burst site IDs are never reused, so a zombie incarnation polling
+	// after departure must not be granted work.
+	h.mu.Lock()
+	gone := h.departed[site]
+	h.mu.Unlock()
+	if gone {
+		return fmt.Errorf("rejecting site %d: departed after drain", site)
+	}
 	return nil
 }
 
@@ -325,6 +348,14 @@ func (h *Head) SubmitResult(res protocol.ReductionResult) ([]byte, error) {
 		h.fail(err)
 		return nil, err
 	}
+	// A draining legacy master never polls again after this blocking submit,
+	// so its submitted result completes the departure here rather than on a
+	// PollReply.Drain it would never see.
+	h.mu.Lock()
+	if _, ok := h.draining[res.Site]; ok {
+		h.departLocked(res.Site)
+	}
+	h.mu.Unlock()
 	h.mu.Lock()
 	if !q.finished {
 		ch := make(chan struct{})
@@ -354,6 +385,64 @@ func (h *Head) SiteLost(site int, err error) {
 		return
 	}
 	h.fail(opErr("session", site, -1, fmt.Errorf("lost master: %w", err)))
+}
+
+// Sites returns the currently registered site IDs, sorted — departed
+// (drained) sites are absent. External elasticity advisors use it to track
+// dynamic registrations.
+func (h *Head) Sites() []int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]int, 0, len(h.clusters))
+	for site := range h.clusters {
+		out = append(out, site)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// DrainSite starts a graceful decommission of a registered site. The head
+// stops granting the site jobs; on its subsequent polls the site finishes
+// whatever it already holds, submits its reduction object for every query it
+// contributed to, and is then told to leave (PollReply.Drain). The returned
+// channel closes when the departure completes — the site's final folds are
+// in, its lease is released, and the registration is gone. Draining is
+// idempotent: a second call returns the same channel.
+func (h *Head) DrainSite(site int) (<-chan struct{}, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.clusters[site]; !ok {
+		return nil, opErr("drain", site, -1, errors.New("site not registered"))
+	}
+	if ch, ok := h.draining[site]; ok {
+		return ch, nil
+	}
+	ch := make(chan struct{})
+	h.draining[site] = ch
+	h.cfg.Logf("head: draining site %d", site)
+	if h.tr.Enabled() {
+		h.tr.Instant(0, 0, "elastic", fmt.Sprintf("drain site %d", site), obs.Args{"site": site})
+	}
+	return ch, nil
+}
+
+// departLocked completes a drain: the site's registration and lease go away
+// and drain waiters are released. Caller holds h.mu.
+func (h *Head) departLocked(site int) {
+	delete(h.clusters, site)
+	h.departed[site] = true
+	if ch, ok := h.draining[site]; ok {
+		close(ch)
+		delete(h.draining, site)
+	}
+	if h.fs != nil {
+		h.fs.leases.Release(site)
+	}
+	h.cfg.Obs.Metrics().Gauge("head_clusters_registered").Set(int64(len(h.clusters)))
+	h.cfg.Logf("head: site %d departed", site)
+	if h.tr.Enabled() {
+		h.tr.Instant(0, 0, "elastic", fmt.Sprintf("depart site %d", site), obs.Args{"site": site})
+	}
 }
 
 // fail aborts every active query with err and stops the head.

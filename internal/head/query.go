@@ -268,7 +268,18 @@ func (q *Query) completeLocked() bool {
 		// submitted. A master only submits once the head stops granting it
 		// jobs, so the pool is drained by construction here — the seed's
 		// single-query contract, preserved without re-checking drain.
-		return q.collected >= q.h.cfg.ExpectClusters
+		if q.collected < q.h.cfg.ExpectClusters {
+			return false
+		}
+		// With dynamic sites, contributors beyond ExpectClusters may exist;
+		// their folds travel in their reduction objects, so the query cannot
+		// seal until every contributor has reported.
+		for site := range q.contrib {
+			if !q.reported[site] {
+				return false
+			}
+		}
+		return true
 	}
 	if !q.pool.Drained() || len(q.contrib) == 0 || q.collected == 0 {
 		return false
@@ -311,6 +322,12 @@ func (h *Head) PollFrom(req protocol.PollRequest) (protocol.PollReply, error) {
 	}
 	h.Heartbeat(site)
 	h.absorbSpans(req)
+	h.mu.Lock()
+	_, draining := h.draining[site]
+	h.mu.Unlock()
+	if draining {
+		return h.pollDraining(site)
+	}
 	grantStart := h.clk.Now()
 	sp := h.tr.Begin(0, 0, "scheduling", "request-jobs")
 	tagged := h.fair.Assign(site, n)
@@ -401,6 +418,52 @@ func (h *Head) PollFrom(req protocol.PollRequest) (protocol.PollReply, error) {
 		rep.Wait = h.fs != nil && anyUndrained
 	}
 	h.checkLatencyStragglers()
+	return rep, nil
+}
+
+// pollDraining answers a poll from a site being decommissioned. No new jobs
+// are granted; the site first commits whatever it still holds (outstanding
+// copies keep it polling with Wait), then submits its reduction object for
+// every query expecting one (Done), and on the poll after its last
+// obligation clears it is told to leave (Drain) and departs.
+func (h *Head) pollDraining(site int) (protocol.PollReply, error) {
+	var rep protocol.PollReply
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	rep.Shutdown = h.shutdown
+	outstanding, owes := 0, 0
+	for _, id := range h.order {
+		q := h.queries[id]
+		if q.canceled {
+			if !q.dropNotified[site] {
+				q.dropNotified[site] = true
+				rep.Dropped = append(rep.Dropped, id)
+			}
+			continue
+		}
+		if q.finished {
+			continue
+		}
+		if n := q.pool.OutstandingAt(site); n > 0 {
+			// Copies this site still holds: let it finish and commit them
+			// rather than requeue — the graceful half of the drain protocol.
+			outstanding += n
+			continue
+		}
+		if !q.reported[site] && (q.expectAll || q.contrib[site]) {
+			owes++
+			rep.Done = append(rep.Done, id)
+		}
+	}
+	if outstanding == 0 && owes == 0 {
+		rep.Drain = true
+		h.departLocked(site)
+	} else {
+		// Wait only while held jobs are still committing. Once they are in,
+		// an empty non-Wait grant is the submit signal for a legacy master
+		// (which ignores Done), while a multi-query agent acts on Done.
+		rep.Wait = outstanding > 0
+	}
 	return rep, nil
 }
 

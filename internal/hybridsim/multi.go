@@ -43,6 +43,27 @@ type MultiConfig struct {
 	// span carrying the owning query's trace id (query+1) — but on virtual
 	// time, so live and simulated runs are visually comparable side by side.
 	Obs *obs.Obs
+	// Elastic, when non-nil, enables mid-run cluster add/remove driven by
+	// the Decide hook on the virtual clock (see ElasticSim).
+	Elastic *ElasticSim
+	// Slowdowns injects unanticipated mid-run degradation. The elasticity
+	// experiments use these as the perturbation a static, pre-sized
+	// provisioning plan cannot absorb.
+	Slowdowns []MultiSlowdown
+}
+
+// MultiSlowdown is one injected mid-run degradation. A compute slowdown
+// (Source false) makes cluster Cluster (an index into Topology.Clusters)
+// process at 1/Factor of its modelled rate from At on. A source slowdown
+// (Source true) divides storage site Site's egress capacity by Factor — a
+// degraded disk array or an overloaded store, which is what bites
+// retrieval-bound applications.
+type MultiSlowdown struct {
+	At      time.Duration
+	Cluster int
+	Factor  float64
+	Source  bool
+	Site    int
 }
 
 // QueryResult reports one query's simulated outcome.
@@ -65,6 +86,27 @@ type MultiResult struct {
 	Queries []QueryResult
 	// Seeks counts non-sequential fetches across all sites.
 	Seeks int
+	// Clusters describes every cluster that took part — the static ones in
+	// Topology order followed by burst workers in launch order — with the
+	// realized usage cost accounting needs.
+	Clusters []MultiClusterResult
+}
+
+// MultiClusterResult is one cluster's realized footprint over the run.
+type MultiClusterResult struct {
+	Name  string
+	Site  int
+	Cores int
+	// Burst marks a worker added mid-run by the elasticity hook.
+	Burst bool
+	// Launched and Drained bound a burst worker's lifetime on the virtual
+	// clock; Drained is 0 when the worker ran to the end of the simulation.
+	Launched time.Duration
+	Drained  time.Duration
+	// Jobs totals the cluster's work across all queries.
+	Jobs stats.JobAccounting
+	// BytesBySite counts bytes the cluster retrieved from each hosting site.
+	BytesBySite map[int]int64
 }
 
 // mqChunk is one retrieved-but-unprocessed chunk, tagged with its query.
@@ -84,6 +126,17 @@ type mqCluster struct {
 	requesting bool
 	exhausted  bool
 
+	// burst workers are added mid-run by the elasticity hook; draining ones
+	// stop requesting, finish what they hold, then are gone.
+	burst     bool
+	draining  bool
+	gone      bool
+	launched  time.Duration
+	drainedAt time.Duration
+
+	// slowFactor divides the compute rate once a MultiSlowdown lands.
+	slowFactor float64
+
 	freeLanes []int
 	inFlight  int
 	ready     []mqChunk
@@ -91,6 +144,7 @@ type mqCluster struct {
 	busyCores int
 
 	jobsByQuery map[int]stats.JobAccounting
+	bytesBySite map[int]int64
 }
 
 type multiSim struct {
@@ -107,6 +161,8 @@ type multiSim struct {
 	nextSeq  map[int]int
 	lastFile map[int]int
 	seeks    int
+
+	workerSeq int // burst workers launched so far
 
 	granted    []int
 	drained    []bool
@@ -204,7 +260,8 @@ func RunMulti(cfg MultiConfig) (*MultiResult, error) {
 		if cm.QueueDepth <= 0 {
 			cm.QueueDepth = 2 * cm.Cores
 		}
-		c := &mqCluster{s: s, model: cm, index: i, jobsByQuery: make(map[int]stats.JobAccounting)}
+		c := &mqCluster{s: s, model: cm, index: i, slowFactor: 1,
+			jobsByQuery: make(map[int]stats.JobAccounting), bytesBySite: make(map[int]int64)}
 		for lane := cm.RetrievalThreads; lane >= 1; lane-- {
 			c.freeLanes = append(c.freeLanes, lane)
 		}
@@ -220,6 +277,51 @@ func RunMulti(cfg MultiConfig) (*MultiResult, error) {
 		for id := 0; id < cm.Cores; id++ {
 			s.tr.NameThread(c.pid(), c.coreTid(id), fmt.Sprintf("core-%d", id))
 		}
+	}
+	if cfg.Elastic != nil {
+		if cfg.Elastic.Decide == nil {
+			return nil, fmt.Errorf("hybridsim: Elastic.Decide is required")
+		}
+		// Burst workers splice paths into the topology's map mid-run; clone
+		// it so the caller's config is never mutated.
+		paths := make(map[[2]int]PathModel, len(s.cfg.Topology.Paths))
+		for k, v := range s.cfg.Topology.Paths {
+			paths[k] = v
+		}
+		s.cfg.Topology.Paths = paths
+		s.clock.After(cfg.Elastic.interval(), func() { s.elasticTick() })
+	}
+	for _, ev := range cfg.Slowdowns {
+		ev := ev
+		if ev.Factor <= 1 {
+			continue
+		}
+		if ev.Source {
+			if r, ok := s.egress[ev.Site]; ok && r.Capacity > 0 {
+				s.clock.After(ev.At, func() {
+					// Bank progress at the old rates before the capacity
+					// changes, then reshare among the active transfers.
+					s.net.advance()
+					r.Capacity /= ev.Factor
+					s.net.recompute()
+					if s.tr.Enabled() {
+						s.tr.Instant(0, 0, "fault", "source slowdown",
+							obs.Args{"site": ev.Site, "factor": ev.Factor})
+					}
+				})
+			}
+			continue
+		}
+		if ev.Cluster < 0 || ev.Cluster >= len(s.clusters) {
+			continue
+		}
+		s.clock.After(ev.At, func() {
+			c := s.clusters[ev.Cluster]
+			c.slowFactor = ev.Factor
+			if s.tr.Enabled() {
+				s.tr.Instant(c.pid(), 0, "fault", "slowdown", obs.Args{"factor": ev.Factor})
+			}
+		})
 	}
 	for _, c := range s.clusters {
 		c.poll()
@@ -242,6 +344,23 @@ func RunMulti(cfg MultiConfig) (*MultiResult, error) {
 		if s.finish[qi] > res.Total {
 			res.Total = s.finish[qi]
 		}
+	}
+	for _, c := range s.clusters {
+		var total stats.JobAccounting
+		for _, acct := range c.jobsByQuery {
+			total.Local += acct.Local
+			total.Stolen += acct.Stolen
+		}
+		res.Clusters = append(res.Clusters, MultiClusterResult{
+			Name:        c.model.Name,
+			Site:        c.model.Site,
+			Cores:       c.model.Cores,
+			Burst:       c.burst,
+			Launched:    c.launched,
+			Drained:     c.drainedAt,
+			Jobs:        total,
+			BytesBySite: c.bytesBySite,
+		})
 	}
 	res.Total += cfg.Topology.ControlLatency // Finished broadcast
 	return res, nil
@@ -279,7 +398,7 @@ func (c *mqCluster) batch() int {
 // poll is the agent's shared master loop: one request serves every query,
 // the head answering with a fair-share-interleaved grant.
 func (c *mqCluster) poll() {
-	if c.requesting || c.exhausted {
+	if c.requesting || c.exhausted || c.draining || c.gone {
 		return
 	}
 	if len(c.queue) >= c.batch() {
@@ -290,6 +409,12 @@ func (c *mqCluster) poll() {
 	rtt := 2 * s.cfg.Topology.ControlLatency
 	s.clock.After(rtt, func() {
 		c.requesting = false
+		if c.draining || c.gone {
+			// The drain raced an in-flight poll: the head stops granting
+			// to a draining site.
+			s.maybeDrained(c)
+			return
+		}
 		tagged := s.fair.Assign(c.model.Site, c.batch())
 		if len(tagged) == 0 {
 			if s.allDrained() {
@@ -385,6 +510,7 @@ func (c *mqCluster) startFetch(lane int) bool {
 	start := s.clock.Now()
 	s.net.Start(j.Ref.Size, latency, perStream, resources, func() {
 		c.inFlight--
+		c.bytesBySite[j.Site] += j.Ref.Size
 		if s.tr.Enabled() {
 			s.tr.Complete(c.pid(), lane, "retrieval", fmt.Sprintf("job %d", j.ID), start, s.clock.Now(),
 				obs.Args{"trace": mqTraceID(tg.Query), "query": tg.Query, "file": j.Ref.File,
@@ -423,6 +549,9 @@ func (c *mqCluster) process(core int, qc mqChunk) {
 		jit = 1 - c.model.Jitter + 2*c.model.Jitter*u
 	}
 	rate := app.ComputeBytesPerSec * c.model.CoreSpeed * jit
+	if c.slowFactor > 1 {
+		rate /= c.slowFactor // an injected mid-run degradation
+	}
 	d := time.Duration(float64(qc.bytes) / rate * float64(time.Second))
 	start := s.clock.Now()
 	s.clock.After(d, func() {
@@ -436,6 +565,9 @@ func (c *mqCluster) process(core int, qc mqChunk) {
 		c.complete(qc.tg)
 		c.kickCores()
 		c.kickRetrievers()
+		if c.draining {
+			s.maybeDrained(c)
+		}
 	})
 }
 

@@ -627,6 +627,46 @@ func (p *Pool) SpeculateSite(site int) []Job {
 	return out
 }
 
+// OutstandingAt reports how many outstanding jobs the given site currently
+// holds at least one live copy of. The head's drain protocol polls this to
+// decide when a departing site has finished (or handed back) all its work.
+func (p *Pool) OutstandingAt(site int) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, a := range p.assigned {
+		if a.copies[site] > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// RemainingBytesBySite returns the bytes of work not yet committed, keyed by
+// the site HOSTING the data (not the site processing it): pending jobs plus
+// outstanding-but-uncommitted ones. This is the remaining-work snapshot the
+// elastic controller feeds to estimate.MakespanRemaining — demand is located
+// where the bytes must be read from, regardless of which cluster will do the
+// reading.
+func (p *Pool) RemainingBytesBySite() map[int]int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[int]int64)
+	for fi := range p.files {
+		fs := &p.files[fi]
+		for _, j := range fs.pending {
+			out[fs.site] += j.Ref.Size
+		}
+	}
+	for id, a := range p.assigned {
+		if p.completed[id] || p.inPending[id] {
+			continue // a dup copy of committed/speculated work, not new demand
+		}
+		out[a.job.Site] += a.job.Ref.Size
+	}
+	return out
+}
+
 // OutstandingJobs returns the currently outstanding jobs sorted by ID (a
 // snapshot, for diagnostics and straggler detection).
 func (p *Pool) OutstandingJobs() []Job {

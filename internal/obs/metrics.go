@@ -68,6 +68,29 @@ func (g *Gauge) Value() int64 {
 	return g.v.Load()
 }
 
+// FloatGauge is a gauge holding a float64 (dollar costs, ratios) — values
+// the int64 Gauge cannot represent without losing the fraction. Nil-safe
+// like Gauge; stored as IEEE-754 bits in one atomic word.
+type FloatGauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *FloatGauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the current value (zero for nil).
+func (g *FloatGauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
 // DefaultLatencyBuckets covers 1 ms … 60 s in roughly 1-2-5 steps — wide
 // enough for both local-disk fetches and WAN-shaped S3 retrievals.
 var DefaultLatencyBuckets = []time.Duration{
@@ -302,6 +325,7 @@ type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
+	fgauges  map[string]*FloatGauge
 	hists    map[string]*Histogram
 	ids      map[string]metricID // series key → (name, labels), for exposition
 }
@@ -343,6 +367,7 @@ func NewRegistry() *Registry {
 	return &Registry{
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
+		fgauges:  make(map[string]*FloatGauge),
 		hists:    make(map[string]*Histogram),
 		ids:      make(map[string]metricID),
 	}
@@ -392,6 +417,25 @@ func (r *Registry) Gauge(name string, labels ...string) *Gauge {
 	return g
 }
 
+// FloatGauge returns the float gauge for (name, labels), creating it on
+// first use. Float gauges appear in WriteText and WritePrometheus (rendered
+// %g); they are omitted from the int64 Snapshot map.
+func (r *Registry) FloatGauge(name string, labels ...string) *FloatGauge {
+	if r == nil {
+		return nil
+	}
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.fgauges[key]
+	if !ok {
+		g = &FloatGauge{}
+		r.fgauges[key] = g
+		r.idLocked(key, name, labels)
+	}
+	return g
+}
+
 // Histogram returns the histogram for (name, labels), creating it with
 // bounds on first use (DefaultLatencyBuckets when bounds is empty). Later
 // calls ignore bounds.
@@ -432,6 +476,10 @@ func (r *Registry) WriteText(w io.Writer) error {
 	for name, g := range r.gauges {
 		gauges[name] = g.Value()
 	}
+	fgauges := make(map[string]float64, len(r.fgauges))
+	for name, g := range r.fgauges {
+		fgauges[name] = g.Value()
+	}
 	hists := make([]hsnap, 0, len(r.hists))
 	for name, h := range r.hists {
 		hists = append(hists, hsnap{name, h})
@@ -445,6 +493,16 @@ func (r *Registry) WriteText(w io.Writer) error {
 	}
 	for _, name := range sortedKeys(gauges) {
 		if _, err := fmt.Fprintf(w, "gauge %s %d\n", name, gauges[name]); err != nil {
+			return err
+		}
+	}
+	fgNames := make([]string, 0, len(fgauges))
+	for name := range fgauges {
+		fgNames = append(fgNames, name)
+	}
+	sort.Strings(fgNames)
+	for _, name := range fgNames {
+		if _, err := fmt.Fprintf(w, "gauge %s %g\n", name, fgauges[name]); err != nil {
 			return err
 		}
 	}
@@ -498,15 +556,19 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		id  metricID
 		c   *Counter
 		g   *Gauge
+		fg  *FloatGauge
 		h   *Histogram
 	}
 	r.mu.Lock()
-	samples := make([]sample, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	samples := make([]sample, 0, len(r.counters)+len(r.gauges)+len(r.fgauges)+len(r.hists))
 	for key, c := range r.counters {
 		samples = append(samples, sample{key: key, id: r.ids[key], c: c})
 	}
 	for key, g := range r.gauges {
 		samples = append(samples, sample{key: key, id: r.ids[key], g: g})
+	}
+	for key, g := range r.fgauges {
+		samples = append(samples, sample{key: key, id: r.ids[key], fg: g})
 	}
 	for key, h := range r.hists {
 		samples = append(samples, sample{key: key, id: r.ids[key], h: h})
@@ -524,7 +586,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	lastName := ""
 	for _, s := range samples {
 		kind := "counter"
-		if s.g != nil {
+		if s.g != nil || s.fg != nil {
 			kind = "gauge"
 		} else if s.h != nil {
 			kind = "histogram"
@@ -542,6 +604,10 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			}
 		case s.g != nil:
 			if _, err := fmt.Fprintf(w, "%s %d\n", s.key, s.g.Value()); err != nil {
+				return err
+			}
+		case s.fg != nil:
+			if _, err := fmt.Fprintf(w, "%s %g\n", s.key, s.fg.Value()); err != nil {
 				return err
 			}
 		default:

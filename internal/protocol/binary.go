@@ -287,6 +287,9 @@ func AppendBinary(dst []byte, m Message) (meta, payload []byte, err error) {
 		if m.Shutdown {
 			flags |= 2
 		}
+		if m.Drain {
+			flags |= 4
+		}
 		dst = append(dst, flags)
 		dst = appendU32(dst, uint32(len(m.Queries)))
 		for _, q := range m.Queries {
@@ -891,6 +894,7 @@ func decodeBody(tag byte, f *frameReader, alloc func(int) []byte) (Message, erro
 		}
 		m.Wait = flags&1 != 0
 		m.Shutdown = flags&2 != 0
+		m.Drain = flags&4 != 0
 		// Each query entry costs at least its ID plus a jobs count word.
 		nq, err := f.count(8 + 4)
 		if err != nil {

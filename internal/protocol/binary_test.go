@@ -87,6 +87,7 @@ func sampleMessages() []Message {
 			Wait:    true,
 		},
 		PollReply{Shutdown: true},
+		PollReply{Done: []int{2}, Drain: true},
 		PollReply{},
 		QuerySpecRequest{Site: 2, Query: 6},
 		ResultAck{Err: "unknown query", Code: CodeUnknownQuery},

@@ -253,13 +253,17 @@ type QueryJobs struct {
 // master should discard without submitting. Wait set with no grants means
 // the pools are momentarily empty but recovery/speculation/admission may
 // still produce work — poll again. Shutdown means the head is closing and
-// the master should finalize what it has and exit.
+// the master should finalize what it has and exit. Drain means the head has
+// decommissioned this site: every obligation is settled (all held jobs
+// committed, all owed reduction objects submitted) and the master should
+// exit cleanly.
 type PollReply struct {
 	Queries  []QueryJobs
 	Done     []int
 	Dropped  []int
 	Wait     bool
 	Shutdown bool
+	Drain    bool
 }
 
 // QuerySpecRequest fetches the JobSpec for one admitted query — sent the
