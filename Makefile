@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check api-snapshot api-check bench-obs bench-dataplane bench-dataplane-short bench-elastic
+.PHONY: build test vet race check api-snapshot api-check bench-obs bench-dataplane bench-dataplane-short bench-elastic bench-cache
 
 # Packages whose exported surface is frozen under docs/api/ — changing
 # their API requires regenerating the snapshot in the same change.
@@ -76,3 +76,10 @@ ELASTIC_SWEEP_OUT ?= elastic_sweep.csv
 bench-elastic:
 	BENCH_ELASTIC_GATE=1 $(GO) test -count=1 -run TestElasticOverheadGate -v .
 	$(GO) run ./cmd/cloudburst elastic -app kmeans -short -csv $(ELASTIC_SWEEP_OUT)
+
+# Cache-tier numbers for PR 8: the burst-side partition cache's sim warm
+# speedup (≥3× vs an uncached cold pass), warm-pass hit rate, and the
+# <2% live-data-plane overhead when the cache is disabled or inert.
+# Writes BENCH_8.json.
+bench-cache:
+	BENCH_CACHE_OUT=BENCH_8.json $(GO) test -count=1 -run TestEmitBenchCache -v .

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/apps"
+	"repro/internal/bufpool"
 	"repro/internal/chunk"
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -29,6 +30,7 @@ import (
 	"repro/internal/jobs"
 	"repro/internal/mapreduce"
 	"repro/internal/obs"
+	"repro/internal/stagecache"
 	"repro/internal/workload"
 )
 
@@ -457,6 +459,55 @@ func TestObsOverheadGate(t *testing.T) {
 	}
 	if d := pct(obsB, bareB); d > 2 {
 		t.Errorf("disabled-observability alloc-bytes overhead %.2f%% exceeds the 2%% budget", d)
+	}
+
+	// Stage-cache metrics leg: the cache pre-resolves its counters at
+	// construction, so steady-state hits with a registry attached must cost
+	// the same heap allocations as with metrics disabled (nil registry).
+	ix, err := chunk.Layout("obs-cache", 4096, 16, 1024, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := chunk.NewMemSource(ix)
+	for _, f := range ix.Files {
+		if err := src.WriteFile(f.Name, make([]byte, f.Size)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	refs := ix.AllRefs()
+	cacheSweep := func(wrapped chunk.Source) {
+		for _, ref := range refs {
+			data, err := wrapped.ReadChunk(ref)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bufpool.Put(data)
+		}
+	}
+	measureCache := func(reg *obs.Registry) (allocs uint64) {
+		c := stagecache.New(stagecache.Config{CapacityBytes: ix.TotalBytes() * 2}, reg)
+		defer c.Close()
+		wrapped := c.Wrap(1, src)
+		cacheSweep(wrapped) // populate the memory tier
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		for i := 0; i < rounds; i++ {
+			cacheSweep(wrapped)
+		}
+		runtime.ReadMemStats(&after)
+		if reg != nil {
+			if snap := reg.Snapshot(); snap["stagecache_hits_total"] == 0 {
+				t.Error("registry recorded no stagecache hits — metrics not wired")
+			}
+		}
+		return after.Mallocs - before.Mallocs
+	}
+	cacheBareN := measureCache(nil)
+	cacheRegN := measureCache(obs.NewRegistry())
+	t.Logf("stagecache hit allocs %d → %d (%+.2f%%)", cacheBareN, cacheRegN, pct(cacheRegN, cacheBareN))
+	if d := pct(cacheRegN, cacheBareN); d > 2 {
+		t.Errorf("stagecache metrics alloc-count overhead %.2f%% exceeds the 2%% budget", d)
 	}
 }
 

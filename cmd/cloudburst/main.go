@@ -13,12 +13,21 @@
 //	cloudburst headline                 the paper's summary numbers
 //	cloudburst ablations                design-choice ablation studies
 //	cloudburst faults [-app knn]        fault tolerance: makespan vs checkpoint interval
+//	cloudburst estimate [-app knn]      analytic makespan model vs simulator
+//	cloudburst cost [-app knn]          pay-as-you-go bills per environment
+//	cloudburst provision [-app knn]     cheapest configuration meeting a deadline
+//	cloudburst elastic [-app kmeans] [-stage] [-iterations n] [-launch-delay d]
+//	                                    deadline×budget sweep of the burst
+//	                                    controller vs static provisioning,
+//	                                    optionally with burst-side pre-staging
 //	cloudburst all                      everything above
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"slices"
 	"strings"
@@ -41,13 +50,24 @@ func main() {
 	if cmd == "trace" && len(args) > 0 && !strings.HasPrefix(args[0], "-") {
 		traceFigure, args = args[0], args[1:]
 	}
-	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	fs.SetOutput(io.Discard) // we print our own one-line errors
 	appFlag := fs.String("app", "", "application: knn, kmeans, pagerank (default: all)")
 	outFlag := fs.String("out", "trace", "trace: output file prefix")
 	csvFlag := fs.String("csv", "", "elastic: also write the frontier as CSV to this file")
 	shortFlag := fs.Bool("short", false, "elastic: smaller deadline×budget grid (for CI)")
+	stageFlag := fs.Bool("stage", false, "elastic: enable the burst-side partition cache (pre-staged replica at the cloud site)")
+	stageCapFlag := fs.Int64("stage-cap", 0, "elastic: stage cache capacity in MiB (0 = calibrated default, 16 GiB)")
+	itersFlag := fs.Int("iterations", 1, "elastic: dataset passes per query (>1 exercises the cache's warm iterations)")
+	launchFlag := fs.Duration("launch-delay", 0, "elastic: simulated worker boot time; the controller provisions ahead by the same lead time")
 	debugFlag := fs.String("debug-addr", "", "serve /debug/pprof/ on this address while the run executes (e.g. :6060)")
 	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			usage()
+			flagHelp(fs)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "cloudburst %s: %v (run 'cloudburst help' for usage)\n", cmd, err)
 		os.Exit(2)
 	}
 	if *debugFlag != "" {
@@ -161,8 +181,14 @@ func main() {
 			return nil
 		})
 	case "elastic":
+		opts := experiments.ElasticOptions{
+			Staged:             *stageFlag,
+			Iterations:         *itersFlag,
+			LaunchDelay:        *launchFlag,
+			StageCapacityBytes: *stageCapFlag << 20,
+		}
 		err = forEachApp(apps, func(app experiments.App) error {
-			return runElasticSweep(app, *csvFlag, *shortFlag)
+			return runElasticSweep(app, *csvFlag, *shortFlag, opts)
 		})
 	case "all":
 		if err = runFig1(); err != nil {
@@ -366,15 +392,17 @@ func runTraceMulti(outPrefix string) error {
 // runElasticSweep runs the burst controller inside the simulator over a
 // deadline × budget grid and prints the dynamic cost-vs-makespan frontier
 // next to the static provisioning baseline. Per-second billing
-// (DefaultPricingCurrent) so scale-down pays off within a run.
-func runElasticSweep(app experiments.App, csvPath string, short bool) error {
+// (DefaultPricingCurrent) so scale-down pays off within a run. With -stage
+// the burst-side partition cache is modelled for the elastic points and the
+// static baseline alike.
+func runElasticSweep(app experiments.App, csvPath string, short bool, opts experiments.ElasticOptions) error {
 	deadlines := experiments.DefaultElasticDeadlines
 	budgets := experiments.DefaultElasticBudgets
 	if short {
 		deadlines = deadlines[:1]
 		budgets = budgets[:1]
 	}
-	sw, err := experiments.RunElasticSweep(app, costmodel.DefaultPricingCurrent(), deadlines, budgets)
+	sw, err := experiments.RunElasticSweepWith(app, costmodel.DefaultPricingCurrent(), deadlines, budgets, opts)
 	if err != nil {
 		return err
 	}
@@ -409,9 +437,23 @@ subcommands:
   cost        cloud cost table
   provision   deadline-driven provisioning plan
   elastic     dynamic provisioning sweep: cost-vs-makespan frontier vs static
-              baseline, [-csv file] [-short]
+              baseline, [-csv file] [-short] [-stage] [-stage-cap mib]
+              [-iterations n] [-launch-delay d]
   all         everything above
   help        this message
 
-apps (-app): knn, kmeans, pagerank (default: all)`)
+apps (-app): knn, kmeans, pagerank (default: all)
+
+cache flags (elastic): -stage models the burst-side partition cache
+(pre-staged cloud replica; retrieval-bound apps become burst-worthy),
+-stage-cap caps the replica in MiB, -iterations re-scans the dataset so warm
+passes hit the cache, -launch-delay adds worker boot time plus the matching
+controller lead time.`)
+}
+
+// flagHelp prints the flag listing for -h/--help after the usage text.
+func flagHelp(fs *flag.FlagSet) {
+	fmt.Fprintln(os.Stderr, "\nflags:")
+	fs.SetOutput(os.Stderr)
+	fs.PrintDefaults()
 }

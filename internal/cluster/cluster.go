@@ -30,6 +30,7 @@ import (
 	"repro/internal/jobs"
 	"repro/internal/obs"
 	"repro/internal/protocol"
+	"repro/internal/stagecache"
 	"repro/internal/stats"
 )
 
@@ -89,6 +90,12 @@ type Config struct {
 	SourceBuilder func(ix *chunk.Index) (map[int]chunk.Source, error)
 	// SourceLabels names sources for byte accounting; optional.
 	SourceLabels map[int]string
+	// Cache, when non-nil, interposes the burst-side partition cache on
+	// every remote-site source: reads go memory tier → replica → origin,
+	// fresh origin reads spill asynchronously to the replica, and the
+	// master pre-stages each granted remote chunk in grant order. Reads of
+	// the cluster's own site bypass the cache; nil disables it entirely.
+	Cache *stagecache.Cache
 	// Head connects to the head node. Required.
 	Head HeadClient
 	// RequestBatch is the job-group size per head request; defaults to
@@ -200,6 +207,21 @@ func Run(cfg Config) (*Report, error) {
 		if cfg.Sources, err = cfg.SourceBuilder(ix); err != nil {
 			return nil, fmt.Errorf("cluster %s: building sources: %w", cfg.Name, err)
 		}
+	}
+	// rawSources keeps the unwrapped per-site sources for the pre-stager,
+	// which must not loop through the cache it feeds. The cache wraps only
+	// remote-site reads; checksum verification (below) stays outermost, so
+	// replica-served bytes are verified exactly like origin bytes.
+	rawSources := cfg.Sources
+	if cfg.Cache != nil {
+		cached := make(map[int]chunk.Source, len(cfg.Sources))
+		for site, src := range cfg.Sources {
+			if site != cfg.Site {
+				src = cfg.Cache.Wrap(site, src)
+			}
+			cached[site] = src
+		}
+		cfg.Sources = cached
 	}
 	if ix.HasChecksums() {
 		// The index carries per-chunk CRCs: verify every retrieval
@@ -384,6 +406,24 @@ func Run(cfg Config) (*Report, error) {
 			var granted []jobs.Job
 			for _, qj := range rep.Queries {
 				granted = append(granted, qj.Jobs...)
+			}
+			if cfg.Cache != nil {
+				// Push each granted remote chunk toward the replica in grant
+				// order; the stager skips anything a read-through already
+				// cached, so the overlap with the slaves is cheap.
+				var bySite map[int][]chunk.Ref
+				for _, j := range granted {
+					if j.Site == cfg.Site {
+						continue
+					}
+					if bySite == nil {
+						bySite = make(map[int][]chunk.Ref)
+					}
+					bySite[j.Site] = append(bySite[j.Site], j.Ref)
+				}
+				for site, refs := range bySite {
+					cfg.Cache.Prestage(site, rawSources[site], refs)
+				}
 			}
 			if len(granted) == 0 {
 				if !rep.Wait {

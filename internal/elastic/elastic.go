@@ -64,6 +64,12 @@ type Policy struct {
 	// work). The controller itself does not time drains — this is executor
 	// configuration carried with the policy.
 	ScaleDownDrainTimeout time.Duration
+	// LaunchLeadTime is the expected instance boot time. Newly requested
+	// workers contribute nothing for this long, so the deadline test for a
+	// grown fleet is now + LaunchLeadTime + est(w'), and best-effort growth
+	// must beat the current estimate even after paying the boot. 0 keeps the
+	// instant-boot behavior.
+	LaunchLeadTime time.Duration
 	// Interval is the controller tick period (DefaultInterval when 0).
 	Interval time.Duration
 	// Pricing prices instance time for budget projections and realized-cost
@@ -89,6 +95,9 @@ func (p Policy) Validate() error {
 	}
 	if p.Deadline < 0 || p.Budget < 0 {
 		return fmt.Errorf("elastic: negative deadline or budget")
+	}
+	if p.LaunchLeadTime < 0 {
+		return fmt.Errorf("elastic: negative LaunchLeadTime")
 	}
 	return nil
 }
@@ -488,13 +497,17 @@ func (c *Controller) scaleUpLocked(d *Decision, now, estNow time.Duration, est f
 		d.Reason = "deadline at risk but inside scale-up cooldown"
 		return
 	}
+	// New workers boot for LaunchLeadTime before contributing: a grown
+	// fleet's finish is pushed out by the boot, so the controller provisions
+	// ahead of need instead of discovering the boot cost after the deadline.
+	lead := c.policy.LaunchLeadTime
 	target, targetEst := -1, time.Duration(0)
 	for ww := w + 1; ww <= c.policy.MaxWorkers; ww++ {
 		e, ok := est(ww)
 		if !ok {
 			continue
 		}
-		if now+e <= targetDeadline(deadline) && c.affordableLocked(now, now+e, ww-w) {
+		if now+lead+e <= targetDeadline(deadline) && c.affordableLocked(now, now+lead+e, ww-w) {
 			target, targetEst = ww, e
 			break
 		}
@@ -502,13 +515,14 @@ func (c *Controller) scaleUpLocked(d *Decision, now, estNow time.Duration, est f
 	reason := "meets deadline"
 	if target == -1 {
 		// No fleet meets the deadline: grow best-effort to the largest
-		// affordable size that still improves the estimate.
+		// affordable size that still improves the estimate — net of the boot
+		// time the new workers spend contributing nothing.
 		for ww := c.policy.MaxWorkers; ww > w; ww-- {
 			e, ok := est(ww)
 			if !ok {
 				continue
 			}
-			if e < estNow && c.affordableLocked(now, now+e, ww-w) {
+			if lead+e < estNow && c.affordableLocked(now, now+lead+e, ww-w) {
 				target, targetEst = ww, e
 				reason = "best effort (no affordable fleet meets deadline)"
 				break
@@ -522,8 +536,8 @@ func (c *Controller) scaleUpLocked(d *Decision, now, estNow time.Duration, est f
 	d.Action = ScaleUp
 	d.Delta = target - w
 	d.Workers = target
-	d.Estimate = targetEst
-	d.ProjectedCost = c.projectedLocked(now, now+targetEst, d.Delta)
+	d.Estimate = lead + targetEst
+	d.ProjectedCost = c.projectedLocked(now, now+lead+targetEst, d.Delta)
 	d.Reason = fmt.Sprintf("scale %d→%d workers: est %v %s",
 		w, target, targetEst.Round(time.Millisecond), reason)
 	c.lastUp = now

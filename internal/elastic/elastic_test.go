@@ -97,6 +97,50 @@ func TestScaleUpPicksSmallestFleetMeetingDeadline(t *testing.T) {
 	}
 }
 
+// TestLaunchLeadTimeProvisionsAhead: with est(w) = 240s/(1+w) and a 100s
+// deadline (target 87.5s), boot time shifts the fleet the controller must
+// buy — the deadline test charges every new worker its lead before it
+// contributes.
+func TestLaunchLeadTimeProvisionsAhead(t *testing.T) {
+	cases := []struct {
+		name       string
+		lead       time.Duration
+		estBase    time.Duration
+		wantAction Action
+		wantFleet  int
+	}{
+		// No lead: w=2 gives 80s ≤ 87.5s.
+		{"instant boot picks 2", 0, 240 * time.Second, ScaleUp, 2},
+		// 10s lead: w=2 gives 10+80 = 90s > 87.5s; w=3 gives 10+60 = 70s.
+		{"10s boot needs 3", 10 * time.Second, 240 * time.Second, ScaleUp, 3},
+		// 30s lead: w=3 gives 30+60 = 90s > 87.5s; w=4 gives 30+48 = 78s.
+		{"30s boot needs 4", 30 * time.Second, 240 * time.Second, ScaleUp, 4},
+		// 110s lead on a 120s job: no fleet meets the deadline, and even
+		// est(8) = 13.3s cannot beat estNow = 120s once the boot is charged
+		// (110+13.3 > 120), so best-effort growth is pointless too.
+		{"boot longer than any improvement holds", 110 * time.Second, 120 * time.Second, Hold, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ctrl := mustNew(t, Policy{Deadline: 100 * time.Second, MaxWorkers: 8,
+				LaunchLeadTime: tc.lead})
+			dec := ctrl.StepWith(0, flatEst(tc.estBase))
+			if dec.Action != tc.wantAction {
+				t.Fatalf("action = %v (%s), want %v", dec.Action, dec.Reason, tc.wantAction)
+			}
+			if tc.wantAction == ScaleUp && dec.Workers != tc.wantFleet {
+				t.Errorf("fleet = %d (%s), want %d", dec.Workers, dec.Reason, tc.wantFleet)
+			}
+			if tc.wantAction == ScaleUp && dec.Estimate < tc.lead {
+				t.Errorf("estimate %v does not include the %v boot", dec.Estimate, tc.lead)
+			}
+		})
+	}
+	if _, err := New(Policy{MaxWorkers: 1, LaunchLeadTime: -time.Second}, nil); err == nil {
+		t.Error("negative LaunchLeadTime accepted")
+	}
+}
+
 func TestScaleUpCooldown(t *testing.T) {
 	ctrl := mustNew(t, Policy{Deadline: 100 * time.Second, MaxWorkers: 8,
 		ScaleUpCooldown: 30 * time.Second})

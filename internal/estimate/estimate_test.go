@@ -104,6 +104,79 @@ func TestGlobalReductionTail(t *testing.T) {
 	}
 }
 
+// stagedConfig: a cloud cluster (site 1) draining 64 MiB hosted at site 0
+// through a 4 MiB/s origin egress, with a burst-side replica at site 1.
+func stagedConfig(t *testing.T, hitRate float64) hybridsim.Config {
+	t.Helper()
+	cfg := simpleConfig(t, 1<<30, 2<<20, 4<<20)
+	cfg.Topology.Clusters[0].Site = 1
+	cfg.Topology.Stage = &hybridsim.StageModel{
+		Site:      1,
+		ServeRate: 1 << 30,
+		HitRate:   hitRate,
+	}
+	return cfg
+}
+
+func TestStagedEffectiveEgressExact(t *testing.T) {
+	// No replica hits: unchanged egress bound, 64 MiB / 4 MiB/s = 16 s.
+	e, err := Makespan(stagedConfig(t, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := e.Processing.Seconds(), 16.0; math.Abs(got-want) > 0.01 {
+		t.Errorf("hit-rate-0 T = %.3f s, want %.3f", got, want)
+	}
+	// Half the reads served by the replica: origin only carries (1-h), so
+	// effective egress doubles to 8 MiB/s — but so must the cluster's path
+	// edge (4 streams × 2 MiB/s blended the same way): T = 8 s.
+	e, err = Makespan(stagedConfig(t, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := e.Processing.Seconds(), 8.0; math.Abs(got-want) > 0.01 {
+		t.Errorf("hit-rate-0.5 T = %.3f s, want %.3f", got, want)
+	}
+	// A claimed perfect cache clamps to 95%: egress 4/(0.05) = 80 MiB/s,
+	// T = 64/80 = 0.8 s — finite, never free.
+	e, err = Makespan(stagedConfig(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := e.Processing.Seconds(), 0.8; math.Abs(got-want) > 0.01 {
+		t.Errorf("hit-rate-1 (clamped) T = %.3f s, want %.3f", got, want)
+	}
+}
+
+func TestStagedBlendSkipsReplicaSiteAndLocalReads(t *testing.T) {
+	// Data hosted AT the replica site is never cached: the blend must not
+	// inflate its egress. Same egress-bound config, data moved to site 1.
+	cfg := stagedConfig(t, 0.9)
+	cfg.Placement = jobs.SplitByFraction(len(cfg.Index.Files), 1, 1, 0)
+	cfg.Topology.SourceEgress = map[int]float64{1: 4 << 20}
+	cfg.Topology.Paths = map[[2]int]hybridsim.PathModel{{0, 1}: {PerStream: 100 << 20}}
+	e, err := Makespan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := e.Processing.Seconds(), 16.0; math.Abs(got-want) > 0.01 {
+		t.Errorf("replica-site data T = %.3f s, want %.3f (no blend)", got, want)
+	}
+	// A cluster co-located with the origin reads locally, not through the
+	// replica: its edge must stay unblended even when a stage is configured.
+	cfg = stagedConfig(t, 0.9)
+	cfg.Topology.Clusters[0].Site = 0
+	cfg.Topology.SourceEgress = map[int]float64{0: 1 << 30} // ample egress
+	e, err = Makespan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bound by the local path 4 × 2 MiB/s = 8 MiB/s: T = 8 s, not 8/(1-h).
+	if got, want := e.Processing.Seconds(), 8.0; math.Abs(got-want) > 0.01 {
+		t.Errorf("local-read T = %.3f s, want %.3f (no blend)", got, want)
+	}
+}
+
 func TestMaxFlowBasics(t *testing.T) {
 	g := newFlowGraph(4)
 	g.addEdge(0, 1, 3)

@@ -52,6 +52,75 @@ func elasticEnv(app App) elastic.Env {
 	}
 }
 
+// Stage-cache calibration: the burst-side replica lives next to S3 and
+// serves at S3 rates; the staging path is the same shared campus↔AWS pipe
+// the workers would otherwise pull through, but as StageStreams bulk
+// sequential streams with no per-chunk seek penalty. StagedHitRate is the
+// effective-egress belief handed to the controller's estimator — deliberately
+// modest, so the estimator stays a lower bound while the realized run
+// (pre-staged in grant order ahead of the workers) usually does better.
+const (
+	stageCapacityBytes = int64(16) << 30
+	stageStreams       = 16
+	StagedHitRate      = 0.5
+)
+
+// StageModel returns the calibrated burst-side partition cache model.
+func StageModel() *hybridsim.StageModel {
+	return &hybridsim.StageModel{
+		Site:           siteCloud,
+		CapacityBytes:  stageCapacityBytes,
+		ServeRate:      s3Egress,
+		ServePerStream: s3PerStream,
+		ServeLatency:   s3Latency,
+		StagePath:      hybridsim.PathModel{Bandwidth: wanPipe, PerStream: wanPerStream, Latency: wanLatency},
+		StageStreams:   stageStreams,
+		HitRate:        StagedHitRate,
+	}
+}
+
+// ElasticOptions selects the data-plane extensions of an elastic run.
+type ElasticOptions struct {
+	// Staged enables the burst-side partition cache: campus-hosted chunks
+	// are pre-staged into a cloud-local replica in grant order, burst
+	// workers read repeat/staged chunks at S3 rates, and the controller's
+	// estimator blends StagedHitRate into the effective origin egress.
+	// Staged burst workers are modelled at the cloud site (they prefer
+	// cloud-hosted and staged data over pulling the WAN).
+	Staged bool
+	// LaunchDelay is the simulated worker boot time: a scale-up decision
+	// bills immediately, but the worker only starts pulling jobs
+	// LaunchDelay later. The sweep feeds the same value to the policy's
+	// LaunchLeadTime so the controller provisions ahead of it.
+	LaunchDelay time.Duration
+	// Iterations > 1 runs the iterative variant of the app (pagerank and
+	// kmeans re-scan the dataset every pass; the cache tier serves passes
+	// after the first at cloud-local rates).
+	Iterations int
+	// StageCapacityBytes overrides the staged replica's capacity
+	// (0 keeps the calibrated default).
+	StageCapacityBytes int64
+}
+
+// stageModelFor is StageModel with the options' overrides applied.
+func stageModelFor(opts ElasticOptions) *hybridsim.StageModel {
+	m := StageModel()
+	if opts.StageCapacityBytes > 0 {
+		m.CapacityBytes = opts.StageCapacityBytes
+	}
+	return m
+}
+
+// elasticEnvWith is elasticEnv plus the selected extensions.
+func elasticEnvWith(app App, opts ElasticOptions) elastic.Env {
+	env := elasticEnv(app)
+	if opts.Staged {
+		env.Base.Topology.Stage = stageModelFor(opts)
+		env.Worker.Site = siteCloud
+	}
+	return env
+}
+
 // ElasticPoint is one (deadline, budget) cell of the sweep.
 type ElasticPoint struct {
 	Deadline time.Duration
@@ -72,6 +141,8 @@ type ElasticPoint struct {
 	Decisions []elastic.Decision
 	// Clusters is the simulator's realized per-cluster footprint.
 	Clusters []hybridsim.MultiClusterResult
+	// Stage is the realized cache activity of a staged run; nil otherwise.
+	Stage *hybridsim.StageStats
 }
 
 // ElasticSweep is the full deadline × budget sweep with its static baseline.
@@ -89,14 +160,21 @@ type ElasticSweep struct {
 // standard slowdown injected, and prices it. Deterministic: fixed seed,
 // virtual clock, and a pure-policy controller.
 func RunElasticPoint(app App, policy elastic.Policy) (ElasticPoint, error) {
-	env := elasticEnv(app)
+	return RunElasticPointWith(app, policy, ElasticOptions{})
+}
+
+// RunElasticPointWith is RunElasticPoint under the selected extensions.
+func RunElasticPointWith(app App, policy elastic.Policy, opts ElasticOptions) (ElasticPoint, error) {
+	env := elasticEnvWith(app, opts)
 	ctrl, err := elastic.New(policy, &env)
 	if err != nil {
 		return ElasticPoint{}, err
 	}
 	cfg := env.Base
-	mc := singleQueryMulti(app, cfg)
-	mc.Elastic = ctrl.SimElastic(0)
+	mc := singleQueryMultiIter(app, cfg, opts.Iterations)
+	es := ctrl.SimElastic(0)
+	es.LaunchDelay = opts.LaunchDelay
+	mc.Elastic = es
 	res, err := hybridsim.RunMulti(mc)
 	if err != nil {
 		return ElasticPoint{}, fmt.Errorf("experiments: elastic %s: %w", app, err)
@@ -108,6 +186,7 @@ func RunElasticPoint(app App, policy elastic.Policy) (ElasticPoint, error) {
 		MetDeadline: policy.Deadline <= 0 || res.Total <= policy.Deadline,
 		Decisions:   ctrl.Decisions(),
 		Clusters:    res.Clusters,
+		Stage:       res.Stage,
 	}
 	fleet := 0
 	for _, d := range p.Decisions {
@@ -138,12 +217,19 @@ func RunElasticPoint(app App, policy elastic.Policy) (ElasticPoint, error) {
 // singleQueryMulti wraps cfg as a one-query multi-sim run with the standard
 // slowdown injected on the local cluster (index 0).
 func singleQueryMulti(app App, cfg hybridsim.Config) hybridsim.MultiConfig {
+	return singleQueryMultiIter(app, cfg, 0)
+}
+
+// singleQueryMultiIter is singleQueryMulti with an iteration count (≤ 1 is
+// the ordinary single pass).
+func singleQueryMultiIter(app App, cfg hybridsim.Config, iterations int) hybridsim.MultiConfig {
 	return hybridsim.MultiConfig{
 		Topology: cfg.Topology,
 		Seed:     cfg.Seed,
 		Queries: []hybridsim.MultiQuery{{
 			Name: string(app), App: cfg.App,
 			Index: cfg.Index, Placement: cfg.Placement, PoolOpts: cfg.PoolOpts,
+			Iterations: iterations,
 		}},
 		Slowdowns: []hybridsim.MultiSlowdown{elasticSlowdown(app)},
 	}
@@ -186,11 +272,23 @@ func trafficUsage(cfg hybridsim.Config, res *hybridsim.MultiResult) costmodel.Us
 					u.BytesIn += n
 				}
 			}
+			// Replica reads are in-cloud GETs: no boundary transfer.
+			u.Requests += gets(c.StageReadBytes)
 			u.BytesOut += cfg.App.RobjBytes
 		} else if n, ok := c.BytesBySite[siteCloud]; ok {
 			u.BytesOut += n
 			u.Requests += gets(n)
 		}
+	}
+	if st := res.Stage; st != nil {
+		// Pre-staged bytes pulled from outside the cloud are ingress; every
+		// staged chunk is one PUT into the replica store.
+		for site, n := range st.PrestagedBySite {
+			if site != siteCloud {
+				u.BytesIn += n
+			}
+		}
+		u.Requests += int64(st.PrestagedChunks)
 	}
 	return u
 }
@@ -208,12 +306,42 @@ func avgChunkBytes(cfg hybridsim.Config) int64 {
 	return total / n
 }
 
+// NominalStaticMakespan simulates a pre-committed allocation WITHOUT the
+// injected slowdown: the makespan a capacity planner trusting the nominal
+// model would predict, and therefore the basis on which a static allocation
+// gets picked before the run. The staged elastic gate compares the realized
+// sweep against this choice — the plan that looked right on paper.
+func NominalStaticMakespan(app App, cloudCores int, opts ElasticOptions) (time.Duration, error) {
+	cfg := ConfigWithCores(app, Env5050, 16, cloudCores, SimOptions{})
+	if opts.Staged && cloudCores > 0 {
+		cfg.Topology.Stage = stageModelFor(opts)
+	}
+	mc := singleQueryMultiIter(app, cfg, opts.Iterations)
+	mc.Slowdowns = nil
+	res, err := hybridsim.RunMulti(mc)
+	if err != nil {
+		return 0, fmt.Errorf("experiments: nominal static %s/%d: %w", app, cloudCores, err)
+	}
+	return res.Total, nil
+}
+
 // RunStaticCandidate realizes one pre-committed cloud allocation under the
 // injected slowdown: cloudCores fixed for the whole run, billed for the full
 // realized makespan.
 func RunStaticCandidate(app App, pricing costmodel.Pricing, cloudCores int) (costmodel.Candidate, error) {
+	return RunStaticCandidateWith(app, pricing, cloudCores, ElasticOptions{})
+}
+
+// RunStaticCandidateWith realizes a static allocation under the same
+// extensions as the elastic points, so the baseline never fights the
+// frontier with one hand tied: a staged sweep stages for the static cloud
+// cluster too.
+func RunStaticCandidateWith(app App, pricing costmodel.Pricing, cloudCores int, opts ElasticOptions) (costmodel.Candidate, error) {
 	cfg := ConfigWithCores(app, Env5050, 16, cloudCores, SimOptions{})
-	res, err := hybridsim.RunMulti(singleQueryMulti(app, cfg))
+	if opts.Staged && cloudCores > 0 {
+		cfg.Topology.Stage = stageModelFor(opts)
+	}
+	res, err := hybridsim.RunMulti(singleQueryMultiIter(app, cfg, opts.Iterations))
 	if err != nil {
 		return costmodel.Candidate{}, fmt.Errorf("experiments: static %s/%d: %w", app, cloudCores, err)
 	}
@@ -244,18 +372,26 @@ var (
 // under the same slowdown and pricing.
 func RunElasticSweep(app App, pricing costmodel.Pricing,
 	deadlines []time.Duration, budgets []float64) (*ElasticSweep, error) {
+	return RunElasticSweepWith(app, pricing, deadlines, budgets, ElasticOptions{})
+}
+
+// RunElasticSweepWith is RunElasticSweep under the selected extensions,
+// applied to the elastic points AND the static baseline alike.
+func RunElasticSweepWith(app App, pricing costmodel.Pricing,
+	deadlines []time.Duration, budgets []float64, opts ElasticOptions) (*ElasticSweep, error) {
 	sw := &ElasticSweep{App: app, Pricing: pricing}
 	interval := 5 * time.Second
 	for _, d := range deadlines {
 		for _, b := range budgets {
-			p, err := RunElasticPoint(app, elastic.Policy{
+			p, err := RunElasticPointWith(app, elastic.Policy{
 				Deadline:        d,
 				Budget:          b,
 				MaxWorkers:      8,
 				Interval:        interval,
 				ScaleUpCooldown: 3 * interval,
+				LaunchLeadTime:  opts.LaunchDelay,
 				Pricing:         pricing,
-			})
+			}, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -263,7 +399,7 @@ func RunElasticSweep(app App, pricing costmodel.Pricing,
 		}
 	}
 	for _, cores := range ElasticStaticCores {
-		c, err := RunStaticCandidate(app, pricing, cores)
+		c, err := RunStaticCandidateWith(app, pricing, cores, opts)
 		if err != nil {
 			return nil, err
 		}

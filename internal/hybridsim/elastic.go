@@ -48,6 +48,12 @@ type ElasticSim struct {
 	// WorkerPaths maps each data site to the path model new workers use to
 	// reach it.
 	WorkerPaths map[int]PathModel
+	// LaunchDelay models instance boot time: a launched worker appears in
+	// the Decide hook's worker list immediately (so the policy never
+	// double-provisions) and is billed from the launch instant (OnLaunch
+	// fires at request time, like a cloud provider does), but it only
+	// starts polling for work LaunchDelay later.
+	LaunchDelay time.Duration
 	// OnLaunch and OnDrained report lifecycle events on the virtual clock —
 	// the controller's billing hooks.
 	OnLaunch  func(now time.Duration, site int)
@@ -159,6 +165,10 @@ func (s *multiSim) addWorker() {
 	}
 	if e.OnLaunch != nil {
 		e.OnLaunch(s.clock.Now(), site)
+	}
+	if e.LaunchDelay > 0 {
+		s.clock.After(e.LaunchDelay, func() { c.poll() })
+		return
 	}
 	c.poll()
 }

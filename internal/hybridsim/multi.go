@@ -22,6 +22,11 @@ type MultiQuery struct {
 	PoolOpts  jobs.Options
 	// Weight is the query's fair-share weight (default 1).
 	Weight int
+	// Iterations makes the query re-read its whole dataset that many times
+	// (iterative Generalized Reduction: kmeans, pagerank). Each pass drains
+	// the pool, performs its own global reduction, then the pool is rebuilt
+	// for the next pass. ≤1 means a single pass.
+	Iterations int
 }
 
 // MultiConfig is a simulated multi-query experiment: N queries admitted at
@@ -71,6 +76,10 @@ type QueryResult struct {
 	Name string
 	// Finish is when the head merged the query's last reduction object.
 	Finish time.Duration
+	// IterFinish records when each pass's global reduction completed; only
+	// populated when the query runs more than one iteration (the last entry
+	// equals Finish).
+	IterFinish []time.Duration
 	// Granted counts jobs handed to masters for this query.
 	Granted int
 	// Jobs is the per-cluster accounting, indexed like Topology.Clusters.
@@ -90,6 +99,9 @@ type MultiResult struct {
 	// Topology order followed by burst workers in launch order — with the
 	// realized usage cost accounting needs.
 	Clusters []MultiClusterResult
+	// Stage reports the burst-side replica's realized behavior; nil when
+	// Topology.Stage is unset.
+	Stage *StageStats
 }
 
 // MultiClusterResult is one cluster's realized footprint over the run.
@@ -107,6 +119,10 @@ type MultiClusterResult struct {
 	Jobs stats.JobAccounting
 	// BytesBySite counts bytes the cluster retrieved from each hosting site.
 	BytesBySite map[int]int64
+	// StageReadBytes counts bytes this cluster read from the burst-side
+	// replica instead of an origin site (excluded from BytesBySite so
+	// transfer-cost accounting never double-charges a cached read).
+	StageReadBytes int64
 }
 
 // mqChunk is one retrieved-but-unprocessed chunk, tagged with its query.
@@ -143,8 +159,9 @@ type mqCluster struct {
 	idleCores []int
 	busyCores int
 
-	jobsByQuery map[int]stats.JobAccounting
-	bytesBySite map[int]int64
+	jobsByQuery    map[int]stats.JobAccounting
+	bytesBySite    map[int]int64
+	stageReadBytes int64
 }
 
 type multiSim struct {
@@ -166,11 +183,16 @@ type multiSim struct {
 
 	granted    []int
 	drained    []bool
+	reducing   []bool // a pass's global reduction is in flight
+	iter       []int  // completed passes, per query
+	iterFinish [][]time.Duration
 	expect     []int // reduction objects the head still awaits, per query
 	finish     []time.Duration
 	headBusyAt time.Duration
 	finished   int
 	err        error
+
+	stage *stageState
 
 	tr *obs.Tracer
 }
@@ -206,10 +228,13 @@ func RunMulti(cfg MultiConfig) (*MultiResult, error) {
 		paths:    make(map[[2]int]*Resource),
 		nextSeq:  make(map[int]int),
 		lastFile: make(map[int]int),
-		granted:  make([]int, len(cfg.Queries)),
-		drained:  make([]bool, len(cfg.Queries)),
-		expect:   make([]int, len(cfg.Queries)),
-		finish:   make([]time.Duration, len(cfg.Queries)),
+		granted:    make([]int, len(cfg.Queries)),
+		drained:    make([]bool, len(cfg.Queries)),
+		reducing:   make([]bool, len(cfg.Queries)),
+		iter:       make([]int, len(cfg.Queries)),
+		iterFinish: make([][]time.Duration, len(cfg.Queries)),
+		expect:     make([]int, len(cfg.Queries)),
+		finish:     make([]time.Duration, len(cfg.Queries)),
 	}
 	s.net = NewNetwork(s.clock)
 	s.tr = cfg.Obs.Trace()
@@ -323,6 +348,10 @@ func RunMulti(cfg MultiConfig) (*MultiResult, error) {
 			}
 		})
 	}
+	if cfg.Topology.Stage != nil {
+		s.stage = newStageState(s, *cfg.Topology.Stage)
+		s.stage.start()
+	}
 	for _, c := range s.clusters {
 		c.poll()
 	}
@@ -335,8 +364,12 @@ func RunMulti(cfg MultiConfig) (*MultiResult, error) {
 			s.finished, len(cfg.Queries))
 	}
 	res := &MultiResult{Seeks: s.seeks}
+	if s.stage != nil {
+		res.Stage = s.stage.snapshot()
+	}
 	for qi, q := range cfg.Queries {
-		qr := QueryResult{Name: q.Name, Finish: s.finish[qi], Granted: s.granted[qi]}
+		qr := QueryResult{Name: q.Name, Finish: s.finish[qi], Granted: s.granted[qi],
+			IterFinish: s.iterFinish[qi]}
 		for _, c := range s.clusters {
 			qr.Jobs = append(qr.Jobs, c.jobsByQuery[qi])
 		}
@@ -352,14 +385,15 @@ func RunMulti(cfg MultiConfig) (*MultiResult, error) {
 			total.Stolen += acct.Stolen
 		}
 		res.Clusters = append(res.Clusters, MultiClusterResult{
-			Name:        c.model.Name,
-			Site:        c.model.Site,
-			Cores:       c.model.Cores,
-			Burst:       c.burst,
-			Launched:    c.launched,
-			Drained:     c.drainedAt,
-			Jobs:        total,
-			BytesBySite: c.bytesBySite,
+			Name:           c.model.Name,
+			Site:           c.model.Site,
+			Cores:          c.model.Cores,
+			Burst:          c.burst,
+			Launched:       c.launched,
+			Drained:        c.drainedAt,
+			Jobs:           total,
+			BytesBySite:    c.bytesBySite,
+			StageReadBytes: c.stageReadBytes,
 		})
 	}
 	res.Total += cfg.Topology.ControlLatency // Finished broadcast
@@ -483,38 +517,71 @@ func (c *mqCluster) startFetch(lane int) bool {
 	s := c.s
 	j := tg.Job
 	var resources []*Resource
-	if r, ok := s.egress[j.Site]; ok && r.Capacity > 0 {
-		resources = append(resources, r)
-	}
 	var latency time.Duration
 	var perStream float64
-	if pm, ok := s.cfg.Topology.Paths[[2]int{c.index, j.Site}]; ok {
-		if r := s.paths[[2]int{c.index, j.Site}]; r != nil && r.Capacity > 0 {
+	// A cache-eligible read checks the burst-side replica first: a hit is
+	// served at the replica's cloud-local rates instead of drawing origin
+	// egress across the WAN; a miss travels the normal path and deposits the
+	// chunk in the replica on the way past (read-through).
+	var sKey stageKey
+	cached := s.stage != nil && s.stage.eligible(c) && s.stage.cacheable(j.Site)
+	stageHit := false
+	if cached {
+		sKey = stageKey{query: tg.Query, site: j.Site, file: j.Ref.File, seq: j.Ref.Seq}
+		_, stageHit = s.stage.resident[sKey]
+		s.stage.recordRead(s.iter[tg.Query], stageHit, j.Ref.Size)
+	}
+	if stageHit {
+		if s.stage.serveRes != nil {
+			resources = append(resources, s.stage.serveRes)
+		}
+		latency = s.stage.model.ServeLatency
+		perStream = s.stage.model.ServePerStream
+	} else {
+		if r, ok := s.egress[j.Site]; ok && r.Capacity > 0 {
 			resources = append(resources, r)
 		}
-		latency = pm.Latency
-		perStream = pm.PerStream
-	}
-	if pen, ok := s.cfg.Topology.SeekPenalty[j.Site]; ok && pen > 0 {
-		// Sequence tracking is per (query, file): two queries interleaving
-		// over the same files look like two readers to the storage site.
-		key := tg.Query<<20 | j.Ref.File
-		if s.lastFile[j.Site] != key || s.nextSeq[key] != j.Ref.Seq {
-			latency += pen
-			s.seeks++
+		if pm, ok := s.cfg.Topology.Paths[[2]int{c.index, j.Site}]; ok {
+			if r := s.paths[[2]int{c.index, j.Site}]; r != nil && r.Capacity > 0 {
+				resources = append(resources, r)
+			}
+			latency = pm.Latency
+			perStream = pm.PerStream
 		}
-		s.lastFile[j.Site] = key
-		s.nextSeq[key] = j.Ref.Seq + 1
+		if pen, ok := s.cfg.Topology.SeekPenalty[j.Site]; ok && pen > 0 {
+			// Sequence tracking is per (query, file): two queries interleaving
+			// over the same files look like two readers to the storage site.
+			key := tg.Query<<20 | j.Ref.File
+			if s.lastFile[j.Site] != key || s.nextSeq[key] != j.Ref.Seq {
+				latency += pen
+				s.seeks++
+			}
+			s.lastFile[j.Site] = key
+			s.nextSeq[key] = j.Ref.Seq + 1
+		}
 	}
 	c.inFlight++
 	start := s.clock.Now()
 	s.net.Start(j.Ref.Size, latency, perStream, resources, func() {
 		c.inFlight--
-		c.bytesBySite[j.Site] += j.Ref.Size
+		if stageHit {
+			c.stageReadBytes += j.Ref.Size
+		} else {
+			c.bytesBySite[j.Site] += j.Ref.Size
+			if cached {
+				s.stage.insert(sKey, j.Ref.Size)
+			}
+		}
+		if s.stage != nil && s.stage.cacheable(j.Site) {
+			s.stage.retrieved[stageKey{query: tg.Query, site: j.Site, file: j.Ref.File, seq: j.Ref.Seq}] = true
+		}
 		if s.tr.Enabled() {
-			s.tr.Complete(c.pid(), lane, "retrieval", fmt.Sprintf("job %d", j.ID), start, s.clock.Now(),
-				obs.Args{"trace": mqTraceID(tg.Query), "query": tg.Query, "file": j.Ref.File,
-					"seq": j.Ref.Seq, "site": j.Site, "bytes": j.Ref.Size})
+			args := obs.Args{"trace": mqTraceID(tg.Query), "query": tg.Query, "file": j.Ref.File,
+				"seq": j.Ref.Seq, "site": j.Site, "bytes": j.Ref.Size}
+			if stageHit {
+				args["staged"] = true
+			}
+			s.tr.Complete(c.pid(), lane, "retrieval", fmt.Sprintf("job %d", j.ID), start, s.clock.Now(), args)
 		}
 		c.ready = append(c.ready, mqChunk{tg: tg, bytes: j.Ref.Size})
 		c.kickCores()
@@ -591,11 +658,22 @@ func (c *mqCluster) complete(tg jobs.Tagged) {
 		acct.Local++
 	}
 	c.jobsByQuery[tg.Query] = acct
-	if !s.drained[tg.Query] && pool.Drained() {
-		s.drained[tg.Query] = true
+	if !s.drained[tg.Query] && !s.reducing[tg.Query] && pool.Drained() {
+		s.reducing[tg.Query] = true
+		if !s.queryHasMorePasses(tg.Query) {
+			// Final pass: the query leaves the fair share for good and the
+			// masters may exhaust once every query has done the same.
+			s.drained[tg.Query] = true
+		}
 		s.fair.Remove(tg.Query)
 		s.startGlobalReduction(tg.Query)
 	}
+}
+
+// queryHasMorePasses reports whether the query re-reads its dataset again
+// after the pass currently in flight.
+func (s *multiSim) queryHasMorePasses(q int) bool {
+	return s.iter[q]+1 < s.cfg.Queries[q].Iterations
 }
 
 // startGlobalReduction ships every contributing cluster's reduction object
@@ -647,6 +725,32 @@ func (s *multiSim) robjMerged(qi int, app AppModel) {
 		}
 		s.expect[qi]--
 		if s.expect[qi] == 0 {
+			q := s.cfg.Queries[qi]
+			s.iter[qi]++
+			if q.Iterations > 1 {
+				s.iterFinish[qi] = append(s.iterFinish[qi], s.clock.Now())
+			}
+			if s.iter[qi] < q.Iterations {
+				// Another pass: rebuild the pool over the same dataset and
+				// rejoin the fair share; the polling masters pick the new
+				// grants up on their next round trip.
+				pool, err := jobs.NewPool(q.Index, q.Placement, q.PoolOpts)
+				if err != nil {
+					s.err = err
+					return
+				}
+				s.pools[qi] = pool
+				s.reducing[qi] = false
+				if err := s.fair.Add(qi, pool, q.Weight); err != nil {
+					s.err = err
+					return
+				}
+				if s.tr.Enabled() {
+					s.tr.InstantAt(0, 0, "run", fmt.Sprintf("query %d pass %d done", qi, s.iter[qi]),
+						s.clock.Now(), obs.Args{"trace": mqTraceID(qi), "query": qi})
+				}
+				return
+			}
 			s.finish[qi] = s.clock.Now()
 			s.finished++
 			if s.tr.Enabled() {

@@ -86,6 +86,10 @@ type Topology struct {
 	// inter-cluster link (the paper runs the head inside the local
 	// cluster, so only the cloud pays the WAN exchange).
 	HeadCluster int
+	// Stage, when non-nil, adds a burst-side partition replica (pre-staging
+	// cache) at Stage.Site. Only the multi-query simulator (RunMulti)
+	// models it; the single-query Run ignores it.
+	Stage *StageModel
 }
 
 // Config is a full simulated experiment.
