@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check api-snapshot api-check bench-obs bench-dataplane bench-dataplane-short bench-elastic bench-cache
+.PHONY: build test vet race check api-snapshot api-check bench-obs bench-dataplane bench-dataplane-short bench-elastic bench-elastic-multi bench-cache
 
 # Packages whose exported surface is frozen under docs/api/ — changing
 # their API requires regenerating the snapshot in the same change.
@@ -76,6 +76,12 @@ ELASTIC_SWEEP_OUT ?= elastic_sweep.csv
 bench-elastic:
 	BENCH_ELASTIC_GATE=1 $(GO) test -count=1 -run TestElasticOverheadGate -v .
 	$(GO) run ./cmd/cloudburst elastic -app kmeans -short -csv $(ELASTIC_SWEEP_OUT)
+
+# Multi-query arbiter numbers for PR 9: the mixed-policy 3-query workload
+# under one session-wide fleet, with the arbiter-vs-simulator cost-agreement
+# and deterministic-rerun gates. Writes BENCH_9.json.
+bench-elastic-multi:
+	BENCH_ELASTIC_MULTI_OUT=BENCH_9.json $(GO) test -count=1 -run TestEmitBenchElasticMulti -v .
 
 # Cache-tier numbers for PR 8: the burst-side partition cache's sim warm
 # speedup (≥3× vs an uncached cold pass), warm-pass hit rate, and the

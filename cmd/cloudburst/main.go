@@ -20,6 +20,9 @@
 //	                                    deadline×budget sweep of the burst
 //	                                    controller vs static provisioning,
 //	                                    optionally with burst-side pre-staging
+//	cloudburst elastic -query app=knn,deadline=120s,budget=0.10 -query app=kmeans
+//	                                    mixed-policy multi-query workload under
+//	                                    the session-wide arbiter (repeatable)
 //	cloudburst all                      everything above
 package main
 
@@ -30,13 +33,96 @@ import (
 	"io"
 	"os"
 	"slices"
+	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/costmodel"
+	"repro/internal/elastic"
 	"repro/internal/experiments"
 	"repro/internal/obs"
 )
+
+// queryFlags collects repeated -query flags, each describing one query of a
+// mixed-policy multi-query workload for `cloudburst elastic`:
+//
+//	-query app=knn,deadline=120s,budget=0.10
+//	-query app=kmeans,weight=2 -query app=pagerank
+//
+// Recognized keys: app, name, weight, deadline, budget, min, max (min/max
+// bound the query's burst-worker ask). Any policy key present attaches an
+// elastic.Policy; a bare app= rides along unpolicied on fair share.
+type queryFlags []experiments.MultiPolicyQuery
+
+func (q *queryFlags) String() string {
+	parts := make([]string, len(*q))
+	for i, mq := range *q {
+		parts[i] = mq.Name
+	}
+	return strings.Join(parts, " ")
+}
+
+func (q *queryFlags) Set(s string) error {
+	mq := experiments.MultiPolicyQuery{Weight: 1}
+	var pol elastic.Policy
+	havePol := false
+	for _, kv := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok || v == "" {
+			return fmt.Errorf("bad -query field %q (want key=value)", kv)
+		}
+		switch k {
+		case "app":
+			app := experiments.App(v)
+			if !slices.Contains(experiments.Apps, app) {
+				return fmt.Errorf("-query: unknown app %q (want knn, kmeans, or pagerank)", v)
+			}
+			mq.App = app
+		case "name":
+			mq.Name = v
+		case "weight":
+			w, err := strconv.Atoi(v)
+			if err != nil || w < 1 {
+				return fmt.Errorf("-query: bad weight %q (want integer ≥ 1)", v)
+			}
+			mq.Weight = w
+		case "deadline":
+			d, err := time.ParseDuration(v)
+			if err != nil || d <= 0 {
+				return fmt.Errorf("-query: bad deadline %q (want a positive duration like 120s)", v)
+			}
+			pol.Deadline, havePol = d, true
+		case "budget":
+			b, err := strconv.ParseFloat(v, 64)
+			if err != nil || b <= 0 {
+				return fmt.Errorf("-query: bad budget %q (want dollars > 0 like 0.10)", v)
+			}
+			pol.Budget, havePol = b, true
+		case "min":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				return fmt.Errorf("-query: bad min %q (want integer ≥ 0)", v)
+			}
+			pol.MinWorkers, havePol = n, true
+		case "max":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 {
+				return fmt.Errorf("-query: bad max %q (want integer ≥ 1)", v)
+			}
+			pol.MaxWorkers, havePol = n, true
+		default:
+			return fmt.Errorf("-query: unknown key %q (want app, name, weight, deadline, budget, min, max)", k)
+		}
+	}
+	if havePol {
+		if err := elastic.ValidateQueryPolicy(pol); err != nil {
+			return fmt.Errorf("-query: %w", err)
+		}
+		mq.Policy = &pol
+	}
+	*q = append(*q, mq)
+	return nil
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -60,6 +146,8 @@ func main() {
 	stageCapFlag := fs.Int64("stage-cap", 0, "elastic: stage cache capacity in MiB (0 = calibrated default, 16 GiB)")
 	itersFlag := fs.Int("iterations", 1, "elastic: dataset passes per query (>1 exercises the cache's warm iterations)")
 	launchFlag := fs.Duration("launch-delay", 0, "elastic: simulated worker boot time; the controller provisions ahead by the same lead time")
+	var queryFlag queryFlags
+	fs.Var(&queryFlag, "query", "elastic: one query of a mixed-policy multi-query workload under the session arbiter, repeatable: -query app=knn,deadline=120s,budget=0.10 (keys: app, name, weight, deadline, budget, min, max)")
 	debugFlag := fs.String("debug-addr", "", "serve /debug/pprof/ on this address while the run executes (e.g. :6060)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -181,6 +269,19 @@ func main() {
 			return nil
 		})
 	case "elastic":
+		if len(queryFlag) > 0 {
+			// Mixed-policy multi-query mode: every -query shares one
+			// arbiter-sized fleet. -app picks the base deployment calibration
+			// (default: the first query's app, else kmeans).
+			base := experiments.KMeans
+			if *appFlag != "" {
+				base = apps[0]
+			} else if queryFlag[0].App != "" {
+				base = queryFlag[0].App
+			}
+			err = runElasticMulti(base, queryFlag, *csvFlag)
+			break
+		}
 		opts := experiments.ElasticOptions{
 			Staged:             *stageFlag,
 			Iterations:         *itersFlag,
@@ -420,6 +521,41 @@ func runElasticSweep(app experiments.App, csvPath string, short bool, opts exper
 	return nil
 }
 
+// runElasticMulti simulates the -query workload — several concurrent
+// queries, each with its own deadline/budget policy, sharing one burst fleet
+// sized by the session-wide arbiter — over baseApp's calibrated deployment,
+// and prints per-query outcomes next to the arbiter's decision log.
+func runElasticMulti(baseApp experiments.App, queries []experiments.MultiPolicyQuery, csvPath string) error {
+	// Default display names: the query's app, suffixed on repeats.
+	seen := make(map[string]int)
+	for i := range queries {
+		if queries[i].Name == "" {
+			name := string(queries[i].App)
+			if name == "" {
+				name = string(baseApp)
+			}
+			if n := seen[name]; n > 0 {
+				queries[i].Name = fmt.Sprintf("%s-%d", name, n+1)
+			} else {
+				queries[i].Name = name
+			}
+			seen[name]++
+		}
+	}
+	p, err := experiments.RunElasticMultiPoint(baseApp, costmodel.DefaultPricingCurrent(), queries)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.FormatElasticMulti(&p))
+	if csvPath != "" {
+		if err := os.WriteFile(csvPath, []byte(experiments.ElasticMultiCSV(&p)), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "cloudburst: wrote %s\n", csvPath)
+	}
+	return nil
+}
+
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: cloudburst <subcommand> [-app knn|kmeans|pagerank]
 
@@ -438,7 +574,8 @@ subcommands:
   provision   deadline-driven provisioning plan
   elastic     dynamic provisioning sweep: cost-vs-makespan frontier vs static
               baseline, [-csv file] [-short] [-stage] [-stage-cap mib]
-              [-iterations n] [-launch-delay d]
+              [-iterations n] [-launch-delay d]; or a mixed-policy
+              multi-query run under the session arbiter via repeated -query
   all         everything above
   help        this message
 
@@ -448,7 +585,15 @@ cache flags (elastic): -stage models the burst-side partition cache
 (pre-staged cloud replica; retrieval-bound apps become burst-worthy),
 -stage-cap caps the replica in MiB, -iterations re-scans the dataset so warm
 passes hit the cache, -launch-delay adds worker boot time plus the matching
-controller lead time.`)
+controller lead time.
+
+multi-query mode (elastic): each repeated -query admits one query with its
+own policy into ONE shared arbiter-sized fleet, e.g.
+  cloudburst elastic -query app=knn,deadline=120s,budget=0.10 \
+                     -query app=kmeans,weight=2 -query app=pagerank
+keys: app, name, weight, deadline (e.g. 120s), budget (dollars), min, max
+(burst-worker bounds). Omitting every policy key makes the query ride along
+unpolicied; -csv writes the per-query outcomes.`)
 }
 
 // flagHelp prints the flag listing for -h/--help after the usage text.

@@ -124,6 +124,7 @@ func main() {
 		Obs:            rt.Obs,
 		Tuning:         tn,
 		DynamicSites:   ef.Elastic,
+		DefaultPolicy:  ef.SessionDefaultPolicy(log.Printf),
 	})
 	if err != nil {
 		fail("headnode: %v", err)

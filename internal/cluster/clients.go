@@ -45,14 +45,20 @@ func (c InProc) SubmitResult(res protocol.ReductionResult) ([]byte, error) {
 	return c.Head.SubmitResult(res)
 }
 
-// Remote speaks the head protocol over one transport connection. The master
-// is the only requester on the connection, and every request that expects a
-// reply is serialized under a mutex, so replies correlate by ordering.
-// Heartbeats are fire-and-forget (no reply), matching the head's handler.
+// Remote speaks the head protocol over one transport connection, presenting
+// the single-query HeadClient surface on top of the multi-query wire
+// dialect (the only one heads still serve): registration is Hello →
+// SiteSpec → QuerySpecRequest for query 0, polling is PollRequest, and the
+// final result is fetched with ResultRequest after the ReductionResult is
+// acknowledged. The master is the only requester on the connection, and
+// every request that expects a reply is serialized under a mutex, so
+// replies correlate by ordering. Heartbeats are fire-and-forget (no reply),
+// matching the head's handler.
 //
-// The session starts in gob (so any head can read the Hello) and advertises
-// the binary codec in Hello.Codec; when the head confirms it in
-// JobSpec.Codec, both directions upgrade for the rest of the session.
+// The session starts in gob (so the Hello is readable regardless of
+// negotiation state) and advertises the binary codec in Hello.Codec; when
+// the head confirms it in SiteSpec.Codec, both directions upgrade for the
+// rest of the session.
 type Remote struct {
 	mu   sync.Mutex
 	conn *transport.Conn
@@ -86,10 +92,13 @@ func (r *Remote) roundTrip(req protocol.Message) (protocol.Message, error) {
 	return r.conn.Recv()
 }
 
-// Register implements HeadClient. It also performs the wire-codec
-// negotiation: the Hello advertises binary, and if the JobSpec confirms it
-// the connection upgrades both directions before the next message.
+// Register implements HeadClient: Hello → SiteSpec, then a
+// QuerySpecRequest for query 0 whose JobSpec (including any recovery
+// checkpoint) is returned. The Hello also performs the wire-codec
+// negotiation: it advertises binary, and if the SiteSpec confirms it the
+// connection upgrades both directions before the next message.
 func (r *Remote) Register(hello protocol.Hello) (protocol.JobSpec, error) {
+	hello.Proto = protocol.ProtoMulti
 	if !r.UseGob {
 		hello.Codec = protocol.WireBinary
 	}
@@ -98,46 +107,52 @@ func (r *Remote) Register(hello protocol.Hello) (protocol.JobSpec, error) {
 		return protocol.JobSpec{}, err
 	}
 	switch m := reply.(type) {
-	case protocol.JobSpec:
+	case protocol.SiteSpec:
 		if m.Codec == protocol.WireBinary {
-			// The head sent this JobSpec in the old codec and switches right
+			// The head sent this SiteSpec in the old codec and switches right
 			// after; mirror it for everything that follows.
 			r.conn.UpgradeSend(transport.CodecBinary)
 			r.conn.UpgradeRecv(transport.CodecBinary)
 		}
-		return m, nil
 	case protocol.ErrorReply:
 		return protocol.JobSpec{}, head.CodeError(m.Code, m.Err)
 	default:
 		return protocol.JobSpec{}, fmt.Errorf("cluster: unexpected reply %T to Hello", reply)
 	}
+	reply, err = r.roundTrip(protocol.QuerySpecRequest{Site: hello.Site, Query: 0})
+	if err != nil {
+		return protocol.JobSpec{}, err
+	}
+	switch m := reply.(type) {
+	case protocol.JobSpec:
+		return m, nil
+	case protocol.ErrorReply:
+		return protocol.JobSpec{}, head.CodeError(m.Code, m.Err)
+	default:
+		return protocol.JobSpec{}, fmt.Errorf("cluster: unexpected reply %T to QuerySpecRequest", reply)
+	}
 }
 
-// Poll implements HeadClient over the single-query (proto 0) session: the
-// JobRequest/JobGrant exchange is translated into a one-query PollReply.
+// Poll implements HeadClient with the typed PollRequest/PollReply exchange.
 func (r *Remote) Poll(site, n int) (protocol.PollReply, error) {
-	reply, err := r.roundTrip(protocol.JobRequest{Site: site, N: n})
+	reply, err := r.roundTrip(protocol.PollRequest{Site: site, N: n})
 	if err != nil {
 		return protocol.PollReply{}, err
 	}
 	switch m := reply.(type) {
-	case protocol.JobGrant:
-		rep := protocol.PollReply{Wait: m.Wait}
-		if len(m.Jobs) > 0 {
-			rep.Queries = []protocol.QueryJobs{{Query: 0, Jobs: m.Jobs}}
-		}
-		return rep, nil
+	case protocol.PollReply:
+		return m, nil
 	case protocol.ErrorReply:
 		return protocol.PollReply{}, head.CodeError(m.Code, m.Err)
 	default:
-		return protocol.PollReply{}, fmt.Errorf("cluster: unexpected reply %T to JobRequest", reply)
+		return protocol.PollReply{}, fmt.Errorf("cluster: unexpected reply %T to PollRequest", reply)
 	}
 }
 
 // CompleteJobs implements HeadClient. The ack carries the IDs the head
 // deduplicated; their contribution must not be folded.
 func (r *Remote) CompleteJobs(site int, js []jobs.Job) ([]int, error) {
-	reply, err := r.roundTrip(protocol.JobsDone{Site: site, Jobs: js})
+	reply, err := r.roundTrip(protocol.JobsDone{Site: site, Query: 0, Jobs: js})
 	if err != nil {
 		return nil, err
 	}
@@ -180,10 +195,27 @@ func (r *Remote) Checkpoint(cs protocol.CheckpointSave) error {
 	}
 }
 
-// SubmitResult implements HeadClient; blocks until the head broadcasts
-// Finished.
+// SubmitResult implements HeadClient: the reduction object is submitted
+// (acked immediately), then a ResultRequest blocks until the head has the
+// query's final object and returns it — the two-step multi-dialect
+// equivalent of the old blocking submit.
 func (r *Remote) SubmitResult(res protocol.ReductionResult) ([]byte, error) {
+	res.Query = 0
 	reply, err := r.roundTrip(res)
+	if err != nil {
+		return nil, err
+	}
+	switch m := reply.(type) {
+	case protocol.ResultAck:
+		if m.Err != "" {
+			return nil, head.CodeError(m.Code, m.Err)
+		}
+	case protocol.ErrorReply:
+		return nil, head.CodeError(m.Code, m.Err)
+	default:
+		return nil, fmt.Errorf("cluster: unexpected reply %T to ReductionResult", reply)
+	}
+	reply, err = r.roundTrip(protocol.ResultRequest{Site: res.Site, Query: 0})
 	if err != nil {
 		return nil, err
 	}
@@ -193,7 +225,7 @@ func (r *Remote) SubmitResult(res protocol.ReductionResult) ([]byte, error) {
 	case protocol.ErrorReply:
 		return nil, head.CodeError(m.Code, m.Err)
 	default:
-		return nil, fmt.Errorf("cluster: unexpected reply %T to ReductionResult", reply)
+		return nil, fmt.Errorf("cluster: unexpected reply %T to ResultRequest", reply)
 	}
 }
 

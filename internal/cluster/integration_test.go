@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/chunk"
+	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/head"
 	"repro/internal/jobs"
@@ -71,6 +72,10 @@ func buildDataset(t *testing.T, units int64, fileUnits, chunkUnits int) (*chunk.
 }
 
 func newHead(t *testing.T, ix *chunk.Index, placement jobs.Placement, clusters int) *head.Head {
+	return newHeadTuned(t, ix, placement, clusters, config.Tuning{})
+}
+
+func newHeadTuned(t *testing.T, ix *chunk.Index, placement jobs.Placement, clusters int, tn config.Tuning) *head.Head {
 	t.Helper()
 	pool, err := jobs.NewPool(ix, placement, jobs.Options{})
 	if err != nil {
@@ -85,6 +90,7 @@ func newHead(t *testing.T, ix *chunk.Index, placement jobs.Placement, clusters i
 		Reducer:        sumReducer{},
 		Spec:           spec,
 		ExpectClusters: clusters,
+		Tuning:         tn,
 		Logf:           t.Logf,
 	})
 	if err != nil {
@@ -310,24 +316,28 @@ func TestUnknownReducerInSpec(t *testing.T) {
 }
 
 // TestHybridOverSocketsCodecs runs the two-cluster hybrid deployment under
-// every wire-codec combination: both masters on the binary codec, both held
-// back on gob (compat mode), and mixed — one of each against the same head,
-// which is the gob↔binary Hello negotiation case. The final sum must be
-// identical in all three.
+// the supported wire-codec combinations: both masters on the default binary
+// codec against a default head; both pinned to gob against a head that
+// opted in with -wire-codec=gob; and mixed — a binary-advertising master on
+// the gob-pinned head, which must be accepted but held on gob (an opted-in
+// head never upgrades anyone). The final sum must be identical in all
+// three.
 func TestHybridOverSocketsCodecs(t *testing.T) {
+	gobHead := config.Tuning{WireCodec: config.CodecGob}
 	cases := []struct {
 		name   string
 		useGob [2]bool
+		tuning config.Tuning
 	}{
-		{"both-binary", [2]bool{false, false}},
-		{"both-gob", [2]bool{true, true}},
-		{"mixed", [2]bool{true, false}},
+		{"both-binary", [2]bool{false, false}, config.Tuning{}},
+		{"both-gob", [2]bool{true, true}, gobHead},
+		{"mixed", [2]bool{true, false}, gobHead},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			ix, src, want := buildDataset(t, 6000, 1000, 100)
 			placement := jobs.SplitByFraction(len(ix.Files), 0.5, 0, 1)
-			h := newHead(t, ix, placement, 2)
+			h := newHeadTuned(t, ix, placement, 2, tc.tuning)
 
 			hl, err := net.Listen("tcp", "127.0.0.1:0")
 			if err != nil {

@@ -17,10 +17,12 @@ import (
 )
 
 // Wire codec names carried by Tuning.WireCodec. The empty string means
-// CodecBinary (the data-plane default since the binary codec landed).
+// CodecBinary (the data-plane default since the binary codec landed). Gob
+// finished its deprecation window as a silently-accepted fallback: a head
+// refuses gob sessions unless ITS tuning also opted in with -wire-codec=gob.
 const (
 	CodecBinary = "binary"
-	CodecGob    = "gob" // compat fallback for peers predating the binary codec
+	CodecGob    = "gob" // explicit-opt-in compat codec for peers predating the binary codec
 )
 
 // Tuning is the single definition of every knob shared by the head, the
@@ -28,7 +30,9 @@ const (
 // each component applied before the collapse.
 type Tuning struct {
 	// WireCodec selects the session codec masters negotiate with the head
-	// and the object store: CodecBinary (default) or CodecGob.
+	// and the object store: CodecBinary (default) or CodecGob. Gob is an
+	// explicit opt-in on both ends — a binary-default head answers a gob
+	// advert with a refusal naming this knob.
 	WireCodec string
 	// PrefetchDepth is the retrieval pipeline depth: chunks kept in flight
 	// (being fetched or queued) ahead of processing. 0 = retrieval threads.
@@ -115,7 +119,7 @@ func (t Tuning) HeartbeatInterval() time.Duration {
 // headnode and workernode declare them once and identically.
 func (t *Tuning) RegisterFlags(fs *flag.FlagSet) {
 	fs.StringVar(&t.WireCodec, "wire-codec", CodecBinary,
-		"wire codec: binary, or gob for peers predating the binary codec")
+		"wire codec: binary, or gob to opt in to the compat codec for peers predating binary (both sides must opt in; heads refuse gob sessions otherwise)")
 	fs.IntVar(&t.PrefetchDepth, "prefetch", 0,
 		"retrieval pipeline depth: chunks kept in flight ahead of processing (0 = retrieval threads)")
 	fs.IntVar(&t.GroupBytes, "group-bytes", 0,

@@ -18,6 +18,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/elastic"
 	"repro/internal/obs"
 )
 
@@ -40,8 +41,15 @@ func (f *Flags) Register(fs *flag.FlagSet) {
 }
 
 // ElasticFlags holds the elastic-provisioning flags shared by head-side
-// daemons: turn the controller on, and bound it with a deadline, a budget
-// and a fleet cap.
+// daemons: turn the arbiter on, cap the fleet, and (deprecated) seed a
+// process-wide session-default deadline/budget.
+//
+// Deadline and Budget are per-QUERY concerns since the session-wide arbiter
+// redesign: queries carry their own policy (driver Step.Elastic, or the
+// admission RPC's policy payload over the wire). The -deadline/-budget flags
+// are kept for one release as session-default fallbacks — they become the
+// head's default policy, inherited only by queries that do not bring their
+// own — and will be removed next release.
 type ElasticFlags struct {
 	Elastic    bool
 	Deadline   time.Duration
@@ -55,11 +63,25 @@ func (f *ElasticFlags) Register(fs *flag.FlagSet) {
 	fs.BoolVar(&f.Elastic, "elastic", false,
 		"admit dynamically provisioned worker sites and run the elastic burst controller")
 	fs.DurationVar(&f.Deadline, "deadline", 0,
-		"elastic: target completion time from startup (0 = none; the controller then only scales down)")
+		"DEPRECATED session-default query deadline, inherited by queries without their own policy; prefer per-query policies (0 = none)")
 	fs.Float64Var(&f.Budget, "budget", 0,
-		"elastic: hard cap on projected instance spend in dollars (0 = unlimited)")
+		"DEPRECATED session-default query budget in dollars, inherited by queries without their own policy; prefer per-query policies (0 = unlimited)")
 	fs.IntVar(&f.MaxWorkers, "elastic-max-workers", 8,
 		"elastic: maximum burst workers")
+}
+
+// SessionDefaultPolicy returns the deprecated process-wide fallback policy
+// the flags describe, or nil when neither -deadline nor -budget was set. The
+// caller seeds head.Config.DefaultPolicy with it so policy-free queries
+// inherit the old behavior during the deprecation window.
+func (f *ElasticFlags) SessionDefaultPolicy(logf func(format string, args ...any)) *elastic.Policy {
+	if f.Deadline <= 0 && f.Budget <= 0 {
+		return nil
+	}
+	if logf != nil {
+		logf("warning: -deadline/-budget are deprecated process-wide fallbacks; they now seed the session-default policy, inherited only by queries without their own — supply per-query policies instead (removed next release)")
+	}
+	return &elastic.Policy{Deadline: f.Deadline, Budget: f.Budget, MaxWorkers: f.MaxWorkers}
 }
 
 // Runtime is one daemon's running observability scaffold.

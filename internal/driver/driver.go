@@ -72,10 +72,14 @@ type Deployment struct {
 	Logf func(format string, args ...any)
 }
 
-// ElasticConfig wires the elastic burst controller into a deployment.
+// ElasticConfig wires the session-wide elastic arbiter into a deployment:
+// every session over the deployment runs one arbiter loop that sizes a
+// single shared burst fleet against the aggregate remaining work of all
+// admitted queries, weighing each query's own deadline/budget policy
+// (Step.Elastic) by its fair-share weight.
 type ElasticConfig struct {
 	// Env models the static topology plus what one more burst worker buys —
-	// the controller's estimator input (see elastic.Env).
+	// the arbiter's estimator input (see elastic.Env).
 	Env elastic.Env
 	// Worker is the template for live burst workers: its Sources must cover
 	// every data site (burst workers host no data of their own). Site and
@@ -87,6 +91,10 @@ type ElasticConfig struct {
 	// SiteBase is the first burst site ID (elastic.DefaultWorkerSiteBase
 	// when 0); burst IDs grow monotonically and are never reused.
 	SiteBase int
+	// Arbiter tunes the session-wide loop: tick interval, scale-up
+	// cooldown, drain timeout, launch lead time, the fleet-wide worker cap,
+	// and pricing. Zero values take the elastic package defaults.
+	Arbiter elastic.ArbiterConfig
 }
 
 // Step is one query's job: the registered application and its parameters,
@@ -103,10 +111,13 @@ type Step struct {
 	// PoolOpts overrides the deployment's pool options for this query; nil
 	// uses the deployment default.
 	PoolOpts *jobs.Options
-	// Elastic, when non-nil, runs this query under the deployment's burst
-	// controller with the given deadline/budget policy. Requires
-	// Deployment.Elastic. Elastic queries complete on the contributor rule
-	// (not ExpectAll), so workers drained mid-query do not stall completion.
+	// Elastic is this query's deadline/budget policy, weighed by the
+	// session-wide arbiter against every other admitted query's when sizing
+	// the shared burst fleet (only Deadline, Budget, MinWorkers and
+	// MaxWorkers are consulted). Requires Deployment.Elastic. Nil inherits
+	// the head's session default policy, if any; in an elastic deployment
+	// queries complete on the contributor rule (not ExpectAll), so workers
+	// drained mid-query do not stall completion.
 	Elastic *elastic.Policy
 }
 

@@ -9,13 +9,11 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/elastic"
-	"repro/internal/head"
-	"repro/internal/jobs"
 	"repro/internal/obs"
 )
 
-// finalDrainGrace bounds the wait for burst workers to depart after their
-// query completes, when the policy sets no ScaleDownDrainTimeout. A healthy
+// finalDrainGrace bounds the wait for burst workers to depart at session
+// close, when the arbiter config sets no ScaleDownDrainTimeout. A healthy
 // worker settles within two polls; a wedged one is declared failed so the
 // session can close.
 const finalDrainGrace = 30 * time.Second
@@ -31,42 +29,51 @@ func (s *Session) allocBurstSite() int {
 	return site
 }
 
-// runElastic is one elastic query's executor: it ticks the controller with
-// (elapsed, remaining-work) snapshots and acts on its decisions — launching
-// burst workers through the deployment's Launcher and draining them through
-// the head's graceful decommission. The loop exits when the query finishes
-// (after draining every remaining burst worker) or the session closes.
-func (s *Session) runElastic(q *head.Query, pool *jobs.Pool, ctrl *elastic.Controller) {
+// runArbiter is the session's one elasticity executor: every tick it
+// snapshots each active query's remaining work from the head (with weight
+// and policy) and feeds the aggregate to the arbiter, then acts on the one
+// fleet-sizing decision — launching burst workers through the deployment's
+// Launcher and draining them through the head's graceful decommission. The
+// shared fleet serves every admitted query at once (the head's fair share
+// splits the grants); the loop runs for the whole session and exits via
+// arbStop after the head has shut down, decommissioning whatever is left.
+func (s *Session) runArbiter() {
+	defer close(s.arbDone)
 	d := s.dep
 	reg := d.Obs.Metrics()
 	tr := d.Obs.Trace()
-	pol := ctrl.Policy()
-	qlabel := strconv.Itoa(q.ID())
-	gWorkers := reg.Gauge("elastic_workers", "query", qlabel)
-	cUp := reg.Counter("elastic_scale_events_total", "query", qlabel, "dir", "up")
-	cDown := reg.Counter("elastic_scale_events_total", "query", qlabel, "dir", "down")
-	gCost := reg.FloatGauge("elastic_cost_dollars", "query", qlabel)
+	cfg := s.arb.Config()
+	gFleet := reg.Gauge("elastic_workers")
+	cUp := reg.Counter("elastic_scale_events_total", "dir", "up")
+	cDown := reg.Counter("elastic_scale_events_total", "dir", "down")
+	gCost := reg.FloatGauge("elastic_cost_dollars")
 
 	clk := d.Obs.ClockOrWall()
 	start := clk.Now()
 	since := func() time.Duration { return clk.Now() - start }
 
-	ticker := time.NewTicker(pol.EffectiveInterval())
+	ticker := time.NewTicker(cfg.EffectiveInterval())
 	defer ticker.Stop()
 	workers := make(map[int]*cluster.Worker)
 
+	settle := func() {
+		gCost.Set(s.arb.InstanceCost(since()))
+		for id, c := range s.arb.CostByQuery() {
+			reg.FloatGauge("elastic_cost_dollars", "query", strconv.Itoa(id)).Set(c)
+		}
+	}
 	for {
 		select {
 		case <-s.ctx.Done():
 			return
-		case <-q.Done():
-			s.finishElastic(q, ctrl, workers, pol, since)
-			gWorkers.Set(0)
-			gCost.Set(ctrl.InstanceCost(since()))
+		case <-s.arbStop:
+			s.finishArbiter(workers, cfg, since)
+			gFleet.Set(0)
+			settle()
 			return
 		case <-ticker.C:
 		}
-		dec := ctrl.Step(since(), pool.RemainingBytesBySite())
+		dec := s.arb.Step(since(), s.h.QueryLoads())
 		switch dec.Action {
 		case elastic.ScaleUp:
 			for i := 0; i < dec.Delta; i++ {
@@ -77,37 +84,36 @@ func (s *Session) runElastic(q *head.Query, pool *jobs.Pool, ctrl *elastic.Contr
 					s.logf("driver: elastic launch of %s failed: %v", name, err)
 					continue
 				}
-				ctrl.WorkerLaunched(since(), site)
+				s.arb.WorkerLaunched(since(), site)
 				workers[site] = w
 				cUp.Inc()
-				reg.Gauge("elastic_workers", "query", qlabel, "cluster", name).Set(1)
+				reg.Gauge("elastic_workers", "cluster", name).Set(1)
 				s.logf("driver: elastic scale-up: launched %s (%s)", name, dec.Reason)
 				if tr.Enabled() {
 					tr.Instant(0, 0, "elastic", fmt.Sprintf("scale-up site %d", site),
-						obs.Args{"site": site, "query": q.ID()})
+						obs.Args{"site": site})
 				}
-				go s.watchWorker(q.ID(), w, ctrl, clk, start)
+				go s.watchWorker(w, clk, start)
 			}
 		case elastic.ScaleDown:
 			for _, site := range dec.Sites {
 				s.logf("driver: elastic scale-down: draining site %d (%s)", site, dec.Reason)
-				s.drainBurstWorker(site, pol.ScaleDownDrainTimeout, ctrl, since)
+				s.drainBurstWorker(site, cfg.ScaleDownDrainTimeout, since)
 				cDown.Inc()
 			}
 		}
-		gWorkers.Set(int64(dec.Workers))
-		gCost.Set(ctrl.InstanceCost(since()))
+		gFleet.Set(int64(dec.Workers))
+		settle()
 	}
 }
 
 // watchWorker ends a burst worker's billing episode when its agent loop
 // returns, and reports a crash to the head so the site's work is recovered.
-func (s *Session) watchWorker(query int, w *cluster.Worker, ctrl *elastic.Controller,
-	clk obs.Clock, start time.Duration) {
+func (s *Session) watchWorker(w *cluster.Worker, clk obs.Clock, start time.Duration) {
 	<-w.Done()
-	ctrl.WorkerStopped(clk.Now()-start, w.Site())
+	s.arb.WorkerStopped(clk.Now()-start, w.Site())
 	s.dep.Obs.Metrics().Gauge("elastic_workers",
-		"query", strconv.Itoa(query), "cluster", fmt.Sprintf("burst-%d", w.Site())).Set(0)
+		"cluster", fmt.Sprintf("burst-%d", w.Site())).Set(0)
 	if err := w.Err(); err != nil && !errors.Is(err, context.Canceled) {
 		s.logf("driver: burst worker %d failed: %v", w.Site(), err)
 		s.h.SiteLost(w.Site(), err)
@@ -118,8 +124,7 @@ func (s *Session) watchWorker(query int, w *cluster.Worker, ctrl *elastic.Contro
 // outlives timeout (requeue + reissue then recover the work; requires the
 // deployment's fault machinery). The worker's billing episode ends when the
 // departure completes.
-func (s *Session) drainBurstWorker(site int, timeout time.Duration,
-	ctrl *elastic.Controller, since func() time.Duration) {
+func (s *Session) drainBurstWorker(site int, timeout time.Duration, since func() time.Duration) {
 	ch, err := s.h.DrainSite(site)
 	if err != nil {
 		s.logf("driver: drain of site %d: %v", site, err)
@@ -140,19 +145,19 @@ func (s *Session) drainBurstWorker(site int, timeout time.Duration,
 		}
 		select {
 		case <-ch:
-			ctrl.WorkerStopped(since(), site)
+			s.arb.WorkerStopped(since(), site)
 		case <-s.ctx.Done():
 		}
 	}()
 }
 
-// finishElastic decommissions every remaining burst worker once the query is
-// over: each is drained (it owes nothing — the query's final fold is in), and
-// one that fails to depart within the policy's drain timeout (or
-// finalDrainGrace) is declared failed so session close cannot hang.
-func (s *Session) finishElastic(q *head.Query, ctrl *elastic.Controller,
-	workers map[int]*cluster.Worker, pol elastic.Policy, since func() time.Duration) {
-	grace := pol.ScaleDownDrainTimeout
+// finishArbiter decommissions every remaining burst worker at session close:
+// each is drained (the head has shut down, so nothing is owed), and one that
+// fails to depart within the configured drain timeout (or finalDrainGrace)
+// is declared failed so session close cannot hang.
+func (s *Session) finishArbiter(workers map[int]*cluster.Worker,
+	cfg elastic.ArbiterConfig, since func() time.Duration) {
+	grace := cfg.ScaleDownDrainTimeout
 	if grace <= 0 {
 		grace = finalDrainGrace
 	}
@@ -173,15 +178,15 @@ func (s *Session) finishElastic(q *head.Query, ctrl *elastic.Controller,
 	for _, p := range waits {
 		select {
 		case <-p.ch:
-			ctrl.WorkerStopped(since(), p.site)
+			s.arb.WorkerStopped(since(), p.site)
 		case <-s.ctx.Done():
 			return
 		case <-deadline.C:
-			s.logf("driver: burst worker %d did not drain after query %d; declaring it failed", p.site, q.ID())
+			s.logf("driver: burst worker %d did not drain at session close; declaring it failed", p.site)
 			s.h.FailSite(p.site)
 			select {
 			case <-p.ch:
-				ctrl.WorkerStopped(since(), p.site)
+				s.arb.WorkerStopped(since(), p.site)
 			case <-s.ctx.Done():
 				return
 			case <-time.After(time.Second):
@@ -190,11 +195,11 @@ func (s *Session) finishElastic(q *head.Query, ctrl *elastic.Controller,
 	}
 	// Join the agent goroutines so Close cannot race their final polls, and
 	// zero each per-cluster gauge here rather than leaving it to the async
-	// watchWorker goroutine — a scrape right after the query must see 0.
+	// watchWorker goroutine — a scrape right after close must see 0.
 	for site, w := range workers {
 		select {
 		case <-w.Done():
-			s.dep.Obs.Metrics().Gauge("elastic_workers", "query", strconv.Itoa(q.ID()),
+			s.dep.Obs.Metrics().Gauge("elastic_workers",
 				"cluster", fmt.Sprintf("burst-%d", site)).Set(0)
 		case <-s.ctx.Done():
 			return

@@ -2,15 +2,19 @@ package driver
 
 import (
 	"bytes"
+	"context"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/apps"
 	"repro/internal/chunk"
+	"repro/internal/core"
 	"repro/internal/costmodel"
 	"repro/internal/elastic"
+	"repro/internal/head"
 	"repro/internal/hybridsim"
 	"repro/internal/jobs"
 	"repro/internal/obs"
@@ -35,14 +39,15 @@ func (s *slowAfter) ReadChunk(ref chunk.Ref) ([]byte, error) {
 	return s.inner.ReadChunk(ref)
 }
 
-// TestElasticLiveScaleUpMeetsDeadline is the live end-to-end drill: a
-// two-cluster deployment whose sources degrade mid-run, once with the static
-// topology and once under the burst controller with a deadline the static
-// run cannot make. The elastic run must scale up mid-query through the
-// in-process AgentLauncher, beat the static run (and its deadline), drain
-// every burst worker, and produce a byte-identical reduction object with
-// every data unit folded exactly once.
-func TestElasticLiveScaleUpMeetsDeadline(t *testing.T) {
+// TestArbiterLiveTwoQueryDeadlines is the live end-to-end drill for the
+// session-wide arbiter: TWO concurrent queries, each with its own policy,
+// over a deployment whose sources degrade mid-run. One arbiter sizes one
+// shared burst fleet for the aggregate; the tight-deadline query must meet
+// a deadline the static topology demonstrably misses (measured by a static
+// concurrent baseline), the lax query must stay within its budget, every
+// burst worker must be gone by the end, and both reduction objects must be
+// byte-identical to sequential static runs.
+func TestArbiterLiveTwoQueryDeadlines(t *testing.T) {
 	gen := workload.ClusteredPoints{Seed: 9, Dim: 2, K: 2, Spread: 0.05}
 	ix, err := chunk.Layout("els", 2400, gen.UnitSize(), 200, 25) // 96 chunks
 	if err != nil {
@@ -52,12 +57,14 @@ func TestElasticLiveScaleUpMeetsDeadline(t *testing.T) {
 	if err := workload.Build(ix, gen, src); err != nil {
 		t.Fatal(err)
 	}
-	hp := apps.HistogramParams{Bins: 8, Dim: 2}
-	params, err := apps.EncodeHistogramParams(hp)
-	if err != nil {
-		t.Fatal(err)
-	}
-	step := func() Step {
+	// Two distinguishable queries over the same scan: 8-bin and 16-bin
+	// histograms, so each byte-identity check has its own baseline.
+	mkStep := func(bins int) Step {
+		hp := apps.HistogramParams{Bins: bins, Dim: 2}
+		params, err := apps.EncodeHistogramParams(hp)
+		if err != nil {
+			t.Fatal(err)
+		}
 		r, err := apps.NewHistogramReducer(hp)
 		if err != nil {
 			t.Fatal(err)
@@ -79,30 +86,100 @@ func TestElasticLiveScaleUpMeetsDeadline(t *testing.T) {
 			Logf:    t.Logf,
 		}
 	}
+	encode := func(s Step, obj core.Object) []byte {
+		b, err := s.Reducer.Encode(obj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	countJobs := func(reports []head.ClusterReport) (jobs, burst int) {
+		for _, r := range reports {
+			jobs += r.Jobs.Local + r.Jobs.Stolen
+			if r.Site >= elastic.DefaultWorkerSiteBase {
+				burst++
+			}
+		}
+		return
+	}
+	type queryRun struct {
+		obj     core.Object
+		reports []head.ClusterReport
+		dur     time.Duration
+		err     error
+	}
+	waitBoth := func(start time.Time, a, b *Query) (ra, rb queryRun) {
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			ra.obj, ra.reports, ra.err = a.Wait(context.Background())
+			ra.dur = time.Since(start)
+		}()
+		go func() {
+			defer wg.Done()
+			rb.obj, rb.reports, rb.err = b.Wait(context.Background())
+			rb.dur = time.Since(start)
+		}()
+		wg.Wait()
+		return
+	}
 
-	// Static baseline: the pre-sized topology rides out the slowdown.
-	s := step()
+	// Sequential static runs: byte-identity baselines, and the calibration
+	// point for the arbiter's analytic model.
+	sT := mkStep(8)
 	start := time.Now()
-	staticObj, staticReports, err := deploy(nil, nil).RunOnce(s)
+	staticTightObj, staticTightReports, err := deploy(nil, nil).RunOnce(sT)
 	if err != nil {
 		t.Fatal(err)
 	}
 	staticDur := time.Since(start)
-	staticBytes, err := s.Reducer.Encode(staticObj)
+	staticTightBytes := encode(sT, staticTightObj)
+	if jobs, _ := countJobs(staticTightReports); jobs != ix.NumChunks() {
+		t.Fatalf("static run committed %d jobs, want %d", jobs, ix.NumChunks())
+	}
+	sL := mkStep(16)
+	staticLaxObj, _, err := deploy(nil, nil).RunOnce(sL)
 	if err != nil {
 		t.Fatal(err)
 	}
-	staticJobs := 0
-	for _, r := range staticReports {
-		staticJobs += r.Jobs.Local + r.Jobs.Stolen
+	staticLaxBytes := encode(sL, staticLaxObj)
+
+	// Static CONCURRENT baseline: both queries compete for the fixed
+	// topology, so the tight query's completion time here is what its
+	// deadline must beat — "a deadline static misses".
+	concSess, err := NewSession(deploy(nil, nil))
+	if err != nil {
+		t.Fatal(err)
 	}
-	if staticJobs != ix.NumChunks() {
-		t.Fatalf("static run committed %d jobs, want %d", staticJobs, ix.NumChunks())
+	concStart := time.Now()
+	cT, err := concSess.Submit(mkStep(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cL, err := concSess.Submit(mkStep(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	concTight, concLax := waitBoth(concStart, cT, cL)
+	if concTight.err != nil || concLax.err != nil {
+		t.Fatal(concTight.err, concLax.err)
+	}
+	if err := concSess.Close(); err != nil {
+		t.Fatal(err)
 	}
 
-	// Controller environment, calibrated so the nominal model reproduces the
-	// static runtime: est(0 extra workers) ≈ staticDur, and each 2-core burst
-	// worker adds half the static capacity.
+	// The tight deadline sits between the single-query static runtime and
+	// the static concurrent runtime: infeasible for the shared static
+	// topology (double the work, same capacity), feasible with burst.
+	deadline := staticDur * 5 / 4
+	if concTight.dur <= deadline {
+		t.Fatalf("static concurrent run finished the tight query in %v, inside the %v deadline — baseline not discriminating", concTight.dur, deadline)
+	}
+
+	// Arbiter environment, calibrated so the nominal model reproduces the
+	// static runtime: est(0 extra workers) ≈ staticDur for one query, and
+	// each 2-core burst worker adds half the static capacity.
 	totalBytes := float64(ix.TotalUnits() * int64(gen.UnitSize()))
 	perCore := totalBytes / staticDur.Seconds() / 4
 	env := elastic.Env{
@@ -122,51 +199,72 @@ func TestElasticLiveScaleUpMeetsDeadline(t *testing.T) {
 		// Burst workers read the pristine source directly — the in-region
 		// path the slowdown does not touch.
 		Worker: ClusterSpec{Cores: 2, Sources: map[int]chunk.Source{0: src, 1: src}},
+		// Session-wide knobs live on the arbiter; per-query deadline/budget
+		// travel with each Step below.
+		Arbiter: elastic.ArbiterConfig{
+			Interval:              40 * time.Millisecond,
+			ScaleUpCooldown:       120 * time.Millisecond,
+			ScaleDownDrainTimeout: 5 * time.Second,
+			MaxWorkers:            4,
+			Pricing:               costmodel.DefaultPricingCurrent(),
+		},
 	}
-	deadline := staticDur * 3 / 5
-	s = step()
-	s.Elastic = &elastic.Policy{
-		Deadline:              deadline,
-		MaxWorkers:            3,
-		Interval:              40 * time.Millisecond,
-		ScaleUpCooldown:       120 * time.Millisecond,
-		ScaleDownDrainTimeout: 5 * time.Second,
-		Pricing:               costmodel.DefaultPricingCurrent(),
-	}
-	start = time.Now()
-	elasticObj, elasticReports, err := deploy(o, ec).RunOnce(s)
+	const laxBudget = 0.02 // dollars; generous at per-second billing, but a real cap
+	eT := mkStep(8)
+	eT.Elastic = &elastic.Policy{Deadline: deadline}
+	eL := mkStep(16)
+	eL.Elastic = &elastic.Policy{Deadline: 4 * staticDur, Budget: laxBudget}
+
+	sess, err := NewSession(deploy(o, ec))
 	if err != nil {
 		t.Fatal(err)
 	}
-	elasticDur := time.Since(start)
+	elasticStart := time.Now()
+	qT, err := sess.Submit(eT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qL, err := sess.Submit(eL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	laxID := qL.ID()
+	elTight, elLax := waitBoth(elasticStart, qT, qL)
+	if elTight.err != nil || elLax.err != nil {
+		t.Fatal(elTight.err, elLax.err)
+	}
+	costs := sess.arb.CostByQuery()
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
 
-	// Conservation: every chunk committed exactly once across static AND
-	// burst sites, every unit folded exactly once.
-	elasticJobs, burstSites := 0, 0
-	for _, r := range elasticReports {
-		elasticJobs += r.Jobs.Local + r.Jobs.Stolen
-		if r.Site >= elastic.DefaultWorkerSiteBase {
-			burstSites++
+	// Conservation per query: every chunk committed exactly once across
+	// static AND burst sites, every unit folded exactly once.
+	tightJobs, tightBurst := countJobs(elTight.reports)
+	laxJobs, laxBurst := countJobs(elLax.reports)
+	if tightJobs != ix.NumChunks() {
+		t.Errorf("tight query committed %d jobs, want %d", tightJobs, ix.NumChunks())
+	}
+	if laxJobs != ix.NumChunks() {
+		t.Errorf("lax query committed %d jobs, want %d", laxJobs, ix.NumChunks())
+	}
+	for _, r := range []queryRun{elTight, elLax} {
+		if got := r.obj.(*apps.HistogramObject).Total(); got != ix.TotalUnits() {
+			t.Errorf("elastic query folded %d units, want %d", got, ix.TotalUnits())
 		}
 	}
-	if elasticJobs != ix.NumChunks() {
-		t.Errorf("elastic run committed %d jobs, want %d", elasticJobs, ix.NumChunks())
+
+	// Byte-identical results against the sequential static runs.
+	if !bytes.Equal(encode(eT, elTight.obj), staticTightBytes) {
+		t.Errorf("tight query's reduction object differs from its sequential static run")
 	}
-	if got := elasticObj.(*apps.HistogramObject).Total(); got != ix.TotalUnits() {
-		t.Errorf("elastic run folded %d units, want %d", got, ix.TotalUnits())
+	if !bytes.Equal(encode(eL, elLax.obj), staticLaxBytes) {
+		t.Errorf("lax query's reduction object differs from its sequential static run")
 	}
 
-	// Byte-identical result (histogram counts are partition-invariant).
-	elasticBytes, err := s.Reducer.Encode(elasticObj)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !bytes.Equal(elasticBytes, staticBytes) {
-		t.Errorf("elastic reduction object differs from static run")
-	}
-
-	// The controller must have actually scaled up mid-query, and every burst
-	// worker must be gone by the end.
+	// One shared fleet served both queries: the arbiter scaled up at least
+	// once, burst workers contributed to BOTH queries' reductions, and the
+	// fleet was fully drained by session close.
 	snap := o.Registry.Snapshot()
 	ups, workersLeft := int64(0), int64(0)
 	for k, v := range snap {
@@ -183,17 +281,24 @@ func TestElasticLiveScaleUpMeetsDeadline(t *testing.T) {
 	if workersLeft != 0 {
 		t.Errorf("elastic_workers gauges nonzero after the run: %v", filterPrefix(snap, "elastic_workers"))
 	}
-	if burstSites == 0 {
-		t.Errorf("no burst worker contributed a reduction object")
+	if tightBurst == 0 {
+		t.Errorf("no burst worker contributed to the tight query")
+	}
+	if laxBurst == 0 {
+		t.Errorf("no burst worker contributed to the lax query")
 	}
 
-	t.Logf("static %.0fms vs elastic %.0fms (deadline %.0fms), %d burst contributors",
-		float64(staticDur.Milliseconds()), float64(elasticDur.Milliseconds()),
-		float64(deadline.Milliseconds()), burstSites)
-	if elasticDur >= staticDur {
-		t.Errorf("elastic run (%v) not faster than the static run (%v) it bursts past", elasticDur, staticDur)
+	// Policy outcomes: the tight query met the deadline the static
+	// concurrent baseline missed; the lax query stayed within its budget.
+	if elTight.dur > deadline {
+		t.Errorf("tight query took %v, missing the %v deadline the arbiter was steering at", elTight.dur, deadline)
 	}
-	if elasticDur > deadline {
-		t.Errorf("elastic run %v missed the %v deadline the controller was steering at", elasticDur, deadline)
+	if costs[laxID] > laxBudget {
+		t.Errorf("lax query's attributed cost $%.6f exceeds its $%.2f budget", costs[laxID], laxBudget)
 	}
+
+	t.Logf("static %.0fms, static-concurrent tight %.0fms vs elastic tight %.0fms (deadline %.0fms); lax %.0fms at $%.6f; %d+%d burst contributors",
+		float64(staticDur.Milliseconds()), float64(concTight.dur.Milliseconds()),
+		float64(elTight.dur.Milliseconds()), float64(deadline.Milliseconds()),
+		float64(elLax.dur.Milliseconds()), costs[laxID], tightBurst, laxBurst)
 }

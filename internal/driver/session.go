@@ -54,9 +54,14 @@ type Session struct {
 	debug     *http.Server
 	debugAddr net.Addr
 
-	// Elastic state (set only when Deployment.Elastic is non-nil).
+	// Elastic state (set only when Deployment.Elastic is non-nil): one
+	// session-wide arbiter sizes the shared burst fleet for every admitted
+	// query; arbStop asks its loop to decommission the fleet and exit, and
+	// arbDone closes when it has.
 	launcher cluster.Launcher
-	elastics sync.WaitGroup
+	arb      *elastic.Arbiter
+	arbStop  chan struct{}
+	arbDone  chan struct{}
 
 	mu            sync.Mutex
 	agentErr      error
@@ -116,6 +121,16 @@ func newSession(d *Deployment) (*Session, error) {
 				Obs:              d.Obs,
 			}}
 		}
+		arb, err := elastic.NewArbiter(d.Elastic.Arbiter, &d.Elastic.Env)
+		if err != nil {
+			h.Shutdown()
+			cancel()
+			return nil, err
+		}
+		s.arb = arb
+		s.arbStop = make(chan struct{})
+		s.arbDone = make(chan struct{})
+		go s.runArbiter()
 	}
 	if d.DebugAddr != "" {
 		srv, addr, err := obs.ServeDebug(d.DebugAddr, d.Obs.Metrics(), d.Obs.Trace())
@@ -195,13 +210,9 @@ func (s *Session) Submit(step Step) (*Query, error) {
 	if err := head.EncodeIndexSpec(&spec, d.Index); err != nil {
 		return nil, err
 	}
-	var ctrl *elastic.Controller
 	if step.Elastic != nil {
 		if d.Elastic == nil {
 			return nil, errors.New("driver: Step.Elastic requires Deployment.Elastic")
-		}
-		if ctrl, err = elastic.New(*step.Elastic, &d.Elastic.Env); err != nil {
-			return nil, err
 		}
 	}
 	hq, err := s.h.Admit(head.QueryConfig{
@@ -209,22 +220,17 @@ func (s *Session) Submit(step Step) (*Query, error) {
 		Reducer: step.Reducer,
 		Spec:    spec,
 		Weight:  step.Weight,
+		Policy:  step.Elastic,
 		// Every cluster reports each query (possibly an identity object), so
 		// RunOnce-parity report counts hold for every submitted query —
-		// except under elasticity, where completion must not wait on workers
-		// that were drained away mid-query (the contributor rule covers the
-		// survivors).
-		ExpectAll: step.Elastic == nil,
+		// except in elastic deployments, where the shared burst fleet may
+		// contribute to (and be drained away from) any query, so completion
+		// must not wait on workers that already departed (the contributor
+		// rule covers the survivors).
+		ExpectAll: d.Elastic == nil,
 	})
 	if err != nil {
 		return nil, err
-	}
-	if ctrl != nil {
-		s.elastics.Add(1)
-		go func() {
-			defer s.elastics.Done()
-			s.runElastic(hq, pool, ctrl)
-		}()
 	}
 	return &Query{s: s, q: hq}, nil
 }
@@ -289,11 +295,14 @@ func (s *Session) Close() error {
 		_ = s.debug.Close()
 	}
 	s.h.Shutdown()
-	// Let the elastic executors finish their graceful teardown (drain burst
-	// workers, settle gauges) before pulling the context: Shutdown fails any
-	// active query, which releases runElastic via q.Done(), and finishElastic
-	// bounds every wait with the drain grace timer.
-	s.elastics.Wait()
+	// Let the arbiter loop finish its graceful teardown (drain the burst
+	// fleet, settle gauges) before pulling the context: arbStop tells it the
+	// session is over, and finishArbiter bounds every wait with the drain
+	// grace timer.
+	if s.arb != nil {
+		close(s.arbStop)
+		<-s.arbDone
+	}
 	s.cancel()
 	s.agents.Wait()
 	s.mu.Lock()
@@ -310,6 +319,10 @@ type Query struct {
 // ID returns the head-assigned query identifier (also the value of the
 // query="<id>" label on the head's per-query metric series).
 func (q *Query) ID() int { return q.q.ID() }
+
+// Policy returns a copy of the elasticity policy this query runs under
+// (after session-default inheritance), or nil for a policy-free query.
+func (q *Query) Policy() *elastic.Policy { return q.q.Policy() }
 
 // Wait blocks until the query completes, fails, is canceled, or ctx
 // expires, and returns the final reduction object with per-cluster reports.

@@ -1,0 +1,303 @@
+package elastic
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/costmodel"
+)
+
+// arbEst is a synthetic estimator for StepWith: total remaining bytes at
+// `rate` bytes/sec per worker-equivalent (so est halves when the fleet
+// doubles, and share-scaled maps take proportionally longer).
+func arbEst(rate float64) func(rem map[int]int64, workers int) (time.Duration, bool) {
+	return func(rem map[int]int64, workers int) (time.Duration, bool) {
+		var total int64
+		for _, b := range rem {
+			total += b
+		}
+		if total <= 0 {
+			return 0, true
+		}
+		return time.Duration(float64(total) / (rate * float64(1+workers)) * float64(time.Second)), true
+	}
+}
+
+func mustArbiter(t *testing.T, cfg ArbiterConfig) *Arbiter {
+	t.Helper()
+	a, err := NewArbiter(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestValidateQueryPolicy(t *testing.T) {
+	bad := []Policy{
+		{Deadline: -time.Second},
+		{Budget: -0.01},
+		{MinWorkers: -1},
+		{MaxWorkers: -2},
+		{MinWorkers: 5, MaxWorkers: 4},
+	}
+	for i, p := range bad {
+		if err := ValidateQueryPolicy(p); err == nil {
+			t.Errorf("policy %d accepted: %+v", i, p)
+		}
+	}
+	// Unlike Policy.Validate, MaxWorkers 0 (= arbiter session cap) is fine,
+	// and so is a fully zero policy.
+	for i, p := range []Policy{{}, {Deadline: time.Minute, MinWorkers: 2}} {
+		if err := ValidateQueryPolicy(p); err != nil {
+			t.Errorf("good policy %d rejected: %v", i, err)
+		}
+	}
+}
+
+// TestArbiterScalesForTightestDeadline: two queries, one lax and one tight;
+// the single fleet decision must be sized by the tight query's share-scaled
+// estimate, not the aggregate alone.
+func TestArbiterScalesForTightestDeadline(t *testing.T) {
+	a := mustArbiter(t, ArbiterConfig{MaxWorkers: 8})
+	loads := []QueryLoad{
+		{Query: 0, Weight: 1, Policy: &Policy{Deadline: 100 * time.Second},
+			Remaining: map[int]int64{1: 120}},
+		{Query: 1, Weight: 1, Policy: &Policy{Deadline: 10 * time.Minute},
+			Remaining: map[int]int64{1: 120}},
+	}
+	// rate 1 B/s per worker-equivalent. Aggregate = 240 B → est(w)=240/(1+w).
+	// Query 0 share-scaled = 240 B too (weight 1 of 2), target 87.5s:
+	// w=2 → 80s meets it; the lax query (target 525s) is met trivially.
+	dec := a.StepWith(0, loads, arbEst(1))
+	if dec.Action != ScaleUp || dec.Workers != 2 {
+		t.Fatalf("decision = %+v (%s), want scale-up to 2", dec, dec.Reason)
+	}
+	if !strings.Contains(dec.Reason, "meets all deadlines") {
+		t.Errorf("reason = %q", dec.Reason)
+	}
+}
+
+// TestArbiterInfeasibleDeadlineDropsOut: a deadline no fleet under the cap
+// can meet must stop constraining the search; the feasible query still gets
+// a fleet sized for it.
+func TestArbiterInfeasibleDeadlineDropsOut(t *testing.T) {
+	a := mustArbiter(t, ArbiterConfig{MaxWorkers: 4})
+	loads := []QueryLoad{
+		// Share-scaled remaining 240 B; even w=4 gives 48s > target 0.875s.
+		{Query: 0, Weight: 1, Policy: &Policy{Deadline: time.Second},
+			Remaining: map[int]int64{1: 120}},
+		// Share-scaled 240 B, target 175s: w=1 gives 120s, met.
+		{Query: 1, Weight: 1, Policy: &Policy{Deadline: 200 * time.Second},
+			Remaining: map[int]int64{1: 120}},
+	}
+	dec := a.StepWith(0, loads, arbEst(1))
+	if dec.Action != ScaleUp {
+		t.Fatalf("decision = %+v (%s), want scale-up", dec, dec.Reason)
+	}
+	if !strings.Contains(dec.Reason, "infeasible") {
+		t.Errorf("reason = %q, want infeasible-deadline note", dec.Reason)
+	}
+	if dec.Workers != 1 {
+		t.Errorf("fleet = %d, want 1 (sized for the feasible query only)", dec.Workers)
+	}
+}
+
+// TestArbiterMinWorkersFloor: a query's MinWorkers is provisioned even with
+// no deadline pressure, and the fleet never drains below it while the query
+// is active.
+func TestArbiterMinWorkersFloor(t *testing.T) {
+	a := mustArbiter(t, ArbiterConfig{MaxWorkers: 8})
+	loads := []QueryLoad{{Query: 0, Weight: 1,
+		Policy:    &Policy{MinWorkers: 2},
+		Remaining: map[int]int64{1: 10}}}
+	dec := a.StepWith(0, loads, arbEst(1000))
+	if dec.Action != ScaleUp || dec.Delta != 2 {
+		t.Fatalf("decision = %+v (%s), want +2 to the floor", dec, dec.Reason)
+	}
+	a.WorkerLaunched(0, 1000)
+	a.WorkerLaunched(0, 1001)
+	// Massive surplus, but the floor holds.
+	dec = a.StepWith(10*time.Second, loads, arbEst(1000))
+	if dec.Action != Hold || !strings.Contains(dec.Reason, "floor") {
+		t.Fatalf("decision = %+v (%s), want hold at floor", dec, dec.Reason)
+	}
+}
+
+// TestArbiterAggregateBudgetForcesDrain: with every policied query budgeted,
+// a projection over the summed budgets forces a drain even though each
+// deadline is still at risk.
+func TestArbiterAggregateBudgetForcesDrain(t *testing.T) {
+	a := mustArbiter(t, ArbiterConfig{MaxWorkers: 8,
+		Pricing: costmodel.DefaultPricing2011()}) // $0.10 per instance-hour
+	for site := 1000; site < 1004; site++ {
+		a.WorkerLaunched(0, site)
+	}
+	loads := []QueryLoad{
+		{Query: 0, Weight: 1, Policy: &Policy{Deadline: time.Minute, Budget: 0.05},
+			Remaining: map[int]int64{1: 1 << 30}},
+		{Query: 1, Weight: 1, Policy: &Policy{Deadline: time.Minute, Budget: 0.05},
+			Remaining: map[int]int64{1: 1 << 30}},
+	}
+	// Four instance-hours of projection dwarfs the summed $0.10.
+	dec := a.StepWith(30*time.Second, loads, arbEst(1000))
+	if dec.Action != ScaleDown || dec.Delta != -1 {
+		t.Fatalf("decision = %+v (%s), want forced single-site drain", dec, dec.Reason)
+	}
+	if !strings.Contains(dec.Reason, "budget") {
+		t.Errorf("reason = %q, want budget explanation", dec.Reason)
+	}
+}
+
+// TestArbiterPerQueryBudgetBindsAlone: one unlimited query lifts the
+// aggregate cap, but the budgeted query's own attributed share still forces
+// the drain.
+func TestArbiterPerQueryBudgetBindsAlone(t *testing.T) {
+	a := mustArbiter(t, ArbiterConfig{MaxWorkers: 8,
+		Pricing: costmodel.DefaultPricing2011()})
+	for site := 1000; site < 1004; site++ {
+		a.WorkerLaunched(0, site)
+	}
+	loads := []QueryLoad{
+		{Query: 0, Weight: 1, Policy: &Policy{Budget: 0.01},
+			Remaining: map[int]int64{1: 1 << 30}},
+		{Query: 1, Weight: 1, Policy: &Policy{}, // unlimited
+			Remaining: map[int]int64{1: 1 << 30}},
+	}
+	dec := a.StepWith(30*time.Second, loads, arbEst(1000))
+	if dec.Action != ScaleDown {
+		t.Fatalf("decision = %+v (%s), want drain on query 0's budget", dec, dec.Reason)
+	}
+	if !strings.Contains(dec.Reason, "query 0") {
+		t.Errorf("reason = %q, want per-query attribution", dec.Reason)
+	}
+}
+
+// TestArbiterIdleDrainsWholeFleet: once every query has drained (empty
+// loads), one forced decision releases the entire fleet — the zero-estimate
+// renewal filter must not strand workers.
+func TestArbiterIdleDrainsWholeFleet(t *testing.T) {
+	a := mustArbiter(t, ArbiterConfig{MaxWorkers: 8})
+	for site := 1000; site < 1003; site++ {
+		a.WorkerLaunched(0, site)
+	}
+	dec := a.StepWith(time.Minute, nil, arbEst(1))
+	if dec.Action != ScaleDown || dec.Delta != -3 {
+		t.Fatalf("decision = %+v (%s), want drain of all 3", dec, dec.Reason)
+	}
+	if len(dec.Sites) != 3 {
+		t.Errorf("sites = %v, want all three", dec.Sites)
+	}
+	// Workers gone: subsequent idle ticks hold.
+	for _, s := range dec.Sites {
+		a.WorkerStopped(time.Minute+time.Second, s)
+	}
+	dec = a.StepWith(2*time.Minute, nil, arbEst(1))
+	if dec.Action != Hold {
+		t.Errorf("idle empty-fleet decision = %+v", dec)
+	}
+}
+
+// TestArbiterCostAttributionByWeight: realized spend splits over the active
+// queries proportionally to fair-share weight, and sums to the realized
+// total while queries remain active.
+func TestArbiterCostAttributionByWeight(t *testing.T) {
+	a := mustArbiter(t, ArbiterConfig{MaxWorkers: 8,
+		Pricing: costmodel.DefaultPricingCurrent()})
+	a.WorkerLaunched(0, 1000)
+	loads := []QueryLoad{
+		{Query: 0, Weight: 3, Remaining: map[int]int64{1: 100}},
+		{Query: 1, Weight: 1, Remaining: map[int]int64{1: 100}},
+	}
+	a.StepWith(10*time.Minute, loads, arbEst(0.001))
+	by := a.CostByQuery()
+	total := a.InstanceCost(10 * time.Minute)
+	if total <= 0 {
+		t.Fatal("no realized cost after 10 minutes")
+	}
+	sum := by[0] + by[1]
+	if diff := sum - total; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("attributed %v sums to %g, realized %g", by, sum, total)
+	}
+	if ratio := by[0] / by[1]; ratio < 2.99 || ratio > 3.01 {
+		t.Errorf("attribution ratio = %g, want 3 (weights 3:1)", ratio)
+	}
+}
+
+// TestArbiterScaleUpCooldown: a second scale-up inside the cooldown window
+// is suppressed with the same reason contract as the Controller.
+func TestArbiterScaleUpCooldown(t *testing.T) {
+	a := mustArbiter(t, ArbiterConfig{MaxWorkers: 8, ScaleUpCooldown: time.Minute})
+	loads := []QueryLoad{{Query: 0, Weight: 1,
+		Policy:    &Policy{Deadline: 100 * time.Second},
+		Remaining: map[int]int64{1: 240}}}
+	dec := a.StepWith(0, loads, arbEst(1))
+	if dec.Action != ScaleUp {
+		t.Fatalf("first decision = %+v (%s)", dec, dec.Reason)
+	}
+	dec = a.StepWith(10*time.Second, loads, arbEst(1))
+	if dec.Action != Hold || !strings.Contains(dec.Reason, "cooldown") {
+		t.Fatalf("second decision = %+v (%s), want cooldown hold", dec, dec.Reason)
+	}
+}
+
+// TestArbiterDrainHysteresisProtectsDeadlines: a renewal-due surplus worker
+// is kept when draining it would put a deadline's doubled estimate past the
+// target.
+func TestArbiterDrainHysteresisProtectsDeadlines(t *testing.T) {
+	a := mustArbiter(t, ArbiterConfig{MaxWorkers: 8,
+		Pricing: costmodel.DefaultPricingCurrent()}) // per-second renewals
+	a.WorkerLaunched(0, 1000)
+	a.WorkerLaunched(0, 1001)
+	// est(2 workers) = 300/(1+2) = 100s ≤ target 105s: deadline met, no
+	// scale-up. est(1 worker) = 150s; doubled = 300s > 105s remaining →
+	// hysteresis keeps the worker despite its renewal being due.
+	loads := []QueryLoad{{Query: 0, Weight: 1,
+		Policy:    &Policy{Deadline: 120 * time.Second},
+		Remaining: map[int]int64{1: 300}}}
+	dec := a.StepWith(0, loads, arbEst(1))
+	if dec.Action != Hold || !strings.Contains(dec.Reason, "risk a deadline") {
+		t.Fatalf("decision = %+v (%s), want hysteresis hold", dec, dec.Reason)
+	}
+}
+
+// TestArbiterDecisionLogDeterministic: identical input streams produce
+// byte-identical formatted decision logs — the replay parity contract the
+// simulator gate relies on.
+func TestArbiterDecisionLogDeterministic(t *testing.T) {
+	run := func() string {
+		a := mustArbiter(t, ArbiterConfig{MaxWorkers: 4,
+			Pricing: costmodel.DefaultPricingCurrent()})
+		rem := int64(600)
+		site := 1000
+		for tick := 0; tick < 20 && rem > 0; tick++ {
+			now := time.Duration(tick) * 2 * time.Second
+			loads := []QueryLoad{
+				{Query: 0, Weight: 2, Policy: &Policy{Deadline: 90 * time.Second},
+					Remaining: map[int]int64{1: rem}},
+				{Query: 1, Weight: 1, Remaining: map[int]int64{2: rem / 2}},
+			}
+			dec := a.StepWith(now, loads, arbEst(1))
+			if dec.Action == ScaleUp {
+				for i := 0; i < dec.Delta; i++ {
+					a.WorkerLaunched(now, site)
+					site++
+				}
+			}
+			for _, s := range dec.Sites {
+				a.WorkerStopped(now+time.Second, s)
+			}
+			rem -= int64(10 * (1 + len(a.ActiveSites())))
+		}
+		return FormatDecisions(a.Decisions())
+	}
+	first := run()
+	if first == "" {
+		t.Fatal("no non-hold decisions exercised")
+	}
+	for i := 0; i < 3; i++ {
+		if got := run(); got != first {
+			t.Fatalf("run %d diverged:\n%s\nvs\n%s", i, got, first)
+		}
+	}
+}

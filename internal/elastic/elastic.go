@@ -285,26 +285,23 @@ func (c *Controller) Decisions() []Decision {
 	return append([]Decision(nil), c.decisions...)
 }
 
-// instancesPerWorker maps one worker to billable instances.
-func (c *Controller) instancesPerWorker() int {
-	cores := 0
-	if c.env != nil {
-		cores = c.env.Worker.Cores
+// instancesForWorker maps one worker of workerCores cores to billable
+// instances under pricing (≥ 1).
+func instancesForWorker(pricing costmodel.Pricing, workerCores int) int {
+	if workerCores <= 0 {
+		workerCores = pricing.CoresPerInstance
 	}
-	if cores <= 0 {
-		cores = c.policy.Pricing.CoresPerInstance
-	}
-	n := (cores + c.policy.Pricing.CoresPerInstance - 1) / c.policy.Pricing.CoresPerInstance
+	n := (workerCores + pricing.CoresPerInstance - 1) / pricing.CoresPerInstance
 	if n < 1 {
 		n = 1
 	}
 	return n
 }
 
-// billed rounds a runtime up to the billing quantum (minimum one quantum —
-// an instance that launched bills at least once).
-func (c *Controller) billed(d time.Duration) time.Duration {
-	q := c.policy.Pricing.BillingQuantum
+// billedDur rounds a runtime up to the billing quantum (minimum one quantum
+// — an instance that launched bills at least once).
+func billedDur(pricing costmodel.Pricing, d time.Duration) time.Duration {
+	q := pricing.BillingQuantum
 	if q <= 0 {
 		return d
 	}
@@ -315,9 +312,63 @@ func (c *Controller) billed(d time.Duration) time.Duration {
 	return n * q
 }
 
+// episodeCostFor prices one episode of the given runtime for a worker of
+// `instances` billable instances.
+func episodeCostFor(pricing costmodel.Pricing, instances int, d time.Duration) float64 {
+	return float64(instances) * billedDur(pricing, d).Hours() * pricing.InstancePerHour
+}
+
+// realizedEpisodes prices all episodes with running ones billed through
+// horizon (draining ones through now — they are about to stop).
+func realizedEpisodes(pricing costmodel.Pricing, instances int, eps []episode, now, horizon time.Duration) float64 {
+	var total float64
+	for _, ep := range eps {
+		end := horizon
+		switch {
+		case ep.stopped:
+			end = ep.stoppedAt
+		case ep.draining:
+			end = now
+		}
+		if end < ep.launched {
+			end = ep.launched
+		}
+		total += episodeCostFor(pricing, instances, end-ep.launched)
+	}
+	return total
+}
+
+// renewalAt returns when the episode's current paid-for quantum runs out:
+// keeping the worker past that instant costs another quantum.
+func renewalAt(pricing costmodel.Pricing, ep episode, now time.Duration) time.Duration {
+	q := pricing.BillingQuantum
+	if q <= 0 {
+		return now // metered continuously: every instant is a renewal
+	}
+	elapsed := now - ep.launched
+	if elapsed < 0 {
+		elapsed = 0
+	}
+	n := (elapsed + q - 1) / q
+	nr := ep.launched + n*q
+	if nr <= now {
+		nr += q
+	}
+	return nr
+}
+
+// instancesPerWorker maps one worker to billable instances.
+func (c *Controller) instancesPerWorker() int {
+	cores := 0
+	if c.env != nil {
+		cores = c.env.Worker.Cores
+	}
+	return instancesForWorker(c.policy.Pricing, cores)
+}
+
 // episodeCost prices one episode of the given runtime.
 func (c *Controller) episodeCost(d time.Duration) float64 {
-	return float64(c.instancesPerWorker()) * c.billed(d).Hours() * c.policy.Pricing.InstancePerHour
+	return episodeCostFor(c.policy.Pricing, c.instancesPerWorker(), d)
 }
 
 // InstanceCost returns the realized instance spend so far: every episode
@@ -331,21 +382,7 @@ func (c *Controller) InstanceCost(now time.Duration) float64 {
 // realizedLocked prices all episodes with running ones billed through
 // horizon (draining ones through now — they are about to stop).
 func (c *Controller) realizedLocked(now, horizon time.Duration) float64 {
-	var total float64
-	for _, ep := range c.episodes {
-		end := horizon
-		switch {
-		case ep.stopped:
-			end = ep.stoppedAt
-		case ep.draining:
-			end = now
-		}
-		if end < ep.launched {
-			end = ep.launched
-		}
-		total += c.episodeCost(end - ep.launched)
-	}
-	return total
+	return realizedEpisodes(c.policy.Pricing, c.instancesPerWorker(), c.episodes, now, horizon)
 }
 
 // projectedLocked is the budget projection: realized episodes plus the
@@ -362,20 +399,7 @@ func (c *Controller) projectedLocked(now, finish time.Duration, add int) float64
 // nextRenewal returns when the episode's current paid-for quantum runs out:
 // keeping the worker past that instant costs another quantum.
 func (c *Controller) nextRenewal(ep episode, now time.Duration) time.Duration {
-	q := c.policy.Pricing.BillingQuantum
-	if q <= 0 {
-		return now // metered continuously: every instant is a renewal
-	}
-	elapsed := now - ep.launched
-	if elapsed < 0 {
-		elapsed = 0
-	}
-	n := (elapsed + q - 1) / q
-	nr := ep.launched + n*q
-	if nr <= now {
-		nr += q
-	}
-	return nr
+	return renewalAt(c.policy.Pricing, ep, now)
 }
 
 // Step runs one controller tick with the model-based estimator: est(w) =

@@ -71,6 +71,26 @@ func MakespanRemaining(cfg hybridsim.Config, remaining map[int]int64) (Estimate,
 	return makespan(cfg, demand)
 }
 
+// ShareScaledRemaining inflates one query's remaining bytes by the inverse
+// of its weighted fair share: under jobs.FairShare a query holding weight of
+// totalWeight receives that fraction of the fleet's throughput, so its drain
+// time at full-fleet rates is its demand scaled by totalWeight/weight. The
+// session-wide elastic arbiter feeds the scaled map to MakespanRemaining to
+// get a per-query finish estimate that accounts for the competing queries.
+// Returns a fresh map; degenerate weights (weight ≤ 0, or weight ≥
+// totalWeight, i.e. the query has the fleet to itself) apply no scaling.
+func ShareScaledRemaining(remaining map[int]int64, weight, totalWeight int) map[int]int64 {
+	out := make(map[int]int64, len(remaining))
+	scale := weight > 0 && totalWeight > weight
+	for site, b := range remaining {
+		if scale && b > 0 {
+			b = (b*int64(totalWeight) + int64(weight) - 1) / int64(weight)
+		}
+		out[site] = b
+	}
+	return out
+}
+
 // makespan is the shared core: binary-search the smallest horizon whose
 // max-flow drains demand (bytes per site), then add the reduction tail.
 func makespan(cfg hybridsim.Config, demand map[int]float64) (Estimate, error) {

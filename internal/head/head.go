@@ -26,6 +26,7 @@ import (
 	"repro/internal/chunk"
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/elastic"
 	"repro/internal/fault"
 	"repro/internal/jobs"
 	"repro/internal/obs"
@@ -81,6 +82,12 @@ type Config struct {
 	// into queries' contributor sets by doing work (committing jobs), and are
 	// removed with DrainSite.
 	DynamicSites bool
+	// DefaultPolicy is the session-default elasticity policy inherited by
+	// queries admitted without one (QueryConfig.Policy nil). When unset, the
+	// head adopts the policy carried by the first Hello that has one — the
+	// over-the-wire equivalent for remote masters configured with
+	// -deadline/-budget.
+	DefaultPolicy *elastic.Policy
 }
 
 // Head schedules admitted queries over registered masters. Create with New,
@@ -101,6 +108,11 @@ type Head struct {
 
 	fair   *jobs.FairShare
 	legacy *Query // query 0 when cfg.Pool was set
+
+	// defaultPolicy seeds QueryConfig.Policy for queries admitted without
+	// one: Config.DefaultPolicy, or the first Hello.Policy seen when the
+	// config left it nil. Guarded by mu.
+	defaultPolicy *elastic.Policy
 
 	// done closes when the head stops serving: legacy mode when query 0
 	// ends, multi mode on Shutdown or a fatal failure. It stops Serve and
@@ -166,6 +178,13 @@ func New(cfg Config) (*Head, error) {
 	h.tr.NameProcess(0, "head")
 	h.tr.NameThread(0, 0, "global-reduction")
 	h.initFault()
+	if cfg.DefaultPolicy != nil {
+		if err := elastic.ValidateQueryPolicy(*cfg.DefaultPolicy); err != nil {
+			return nil, fmt.Errorf("head: DefaultPolicy: %w", err)
+		}
+		p := *cfg.DefaultPolicy
+		h.defaultPolicy = &p
+	}
 	if cfg.Pool != nil {
 		q, err := h.Admit(QueryConfig{
 			Pool:      cfg.Pool,
@@ -204,6 +223,21 @@ func (h *Head) registerSite(hello protocol.Hello) (known bool, err error) {
 	// An explicit re-registration readmits the site ID: the departure fence
 	// only guards against a zombie incarnation that never said Hello again.
 	delete(h.departed, hello.Site)
+	if h.defaultPolicy == nil && !hello.Policy.Zero() {
+		// First policied Hello on a head with no configured default: adopt it
+		// as the session default so later policy-free admissions inherit it.
+		p := elastic.Policy{
+			Deadline:   hello.Policy.Deadline,
+			Budget:     hello.Policy.Budget,
+			MinWorkers: hello.Policy.MinWorkers,
+			MaxWorkers: hello.Policy.MaxWorkers,
+		}
+		if elastic.ValidateQueryPolicy(p) == nil {
+			h.defaultPolicy = &p
+			h.cfg.Logf("head: adopted session-default policy from site %d (deadline %v, budget $%.4f)",
+				hello.Site, p.Deadline, p.Budget)
+		}
+	}
 	nClusters := len(h.clusters)
 	h.mu.Unlock()
 	// Merged-trace convention: the head is pid 0 and site s's shipped spans
@@ -401,6 +435,35 @@ func (h *Head) Sites() []int {
 	return out
 }
 
+// QueryLoads snapshots every active query's share of the remaining work in
+// the arbiter's input shape: query ID, fair-share weight, the policy it was
+// admitted under, and its uncommitted bytes keyed by hosting site. Queries
+// with nothing left (or finished/canceled ones) are omitted, mirroring the
+// simulator's per-tick load slice, so the same arbiter drives both.
+func (h *Head) QueryLoads() []elastic.QueryLoad {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var loads []elastic.QueryLoad
+	for _, id := range h.order {
+		q := h.queries[id]
+		if q.finished || q.canceled {
+			continue
+		}
+		rem := q.pool.RemainingBytesBySite()
+		var total int64
+		for _, b := range rem {
+			total += b
+		}
+		if total <= 0 {
+			continue
+		}
+		loads = append(loads, elastic.QueryLoad{
+			Query: id, Weight: q.weight, Policy: q.Policy(), Remaining: rem,
+		})
+	}
+	return loads
+}
+
 // DrainSite starts a graceful decommission of a registered site. The head
 // stops granting the site jobs; on its subsequent polls the site finishes
 // whatever it already holds, submits its reduction object for every query it
@@ -455,6 +518,23 @@ func (h *Head) fail(err error) {
 	}
 	h.mu.Unlock()
 	h.markDone()
+}
+
+// WaitResult blocks until the given query completes and returns its final
+// encoded reduction object. It backs the wire ResultRequest — the reply a
+// master waits on after submitting its own reduction object when it wants
+// the query's global result.
+func (h *Head) WaitResult(query int) ([]byte, error) {
+	h.mu.Lock()
+	q := h.queries[query]
+	h.mu.Unlock()
+	if q == nil {
+		return nil, opErr("result", -1, query, ErrUnknownQuery)
+	}
+	<-q.done
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return q.encoded, q.finishErr
 }
 
 // Result blocks until the legacy query completes and returns its final
@@ -518,18 +598,20 @@ func (h *Head) Close() error {
 	return err
 }
 
-// HandleConn speaks the master protocol on one connection. A ProtoSingle
-// Hello binds the session to the legacy query: Hello → JobSpec, then
-// JobRequest/JobsDone until ReductionResult, answered with Finished after
-// the global reduction. A ProtoMulti Hello opens a shared session: Hello →
+// HandleConn speaks the master protocol on one connection: Hello →
 // SiteSpec, then PollRequest/QuerySpecRequest/JobsDone/CheckpointSave
 // interleaved across queries, with each ReductionResult acknowledged by a
-// ResultAck so the master keeps serving its remaining queries. Exported so
-// in-process deployments can drive a head over transport.Pipe.
+// ResultAck so the master keeps serving its remaining queries; a master
+// that wants a query's global result sends ResultRequest and blocks for
+// the Finished reply. Only ProtoMulti sessions are accepted — the
+// ProtoSingle wire dialect (JobRequest/JobGrant, blocking ReductionResult)
+// was removed after its deprecation window; old masters are answered with
+// an ErrorReply naming the upgrade. Sessions default to the binary codec: a
+// gob Hello is refused unless this head was started with -wire-codec=gob.
+// Exported so in-process deployments can drive a head over transport.Pipe.
 func (h *Head) HandleConn(c *transport.Conn) {
 	defer c.Close()
 	site := -1
-	multi := false
 	upgraded := false
 	for {
 		msg, err := c.Recv()
@@ -541,39 +623,36 @@ func (h *Head) HandleConn(c *transport.Conn) {
 		}
 		switch m := msg.(type) {
 		case protocol.Hello:
+			if m.Proto < protocol.ProtoMulti {
+				_ = c.Send(protocol.ErrorReply{Err: "head: single-query wire sessions were retired; " +
+					"upgrade the master to the multi-query protocol (ProtoMulti)"})
+				return
+			}
+			// Wire-codec negotiation. The binary codec is the default: a
+			// master advertising it is upgraded after the SiteSpec reply
+			// (which still travels in the codec the Hello arrived in). Gob
+			// is opt-in — a Hello without the binary advert is refused
+			// unless this head itself was pinned to gob (-wire-codec=gob),
+			// and a gob-pinned head never upgrades anyone. A fenced master
+			// may re-Hello on the same session to recover; the codec stays
+			// whatever was negotiated first.
+			if m.Codec < protocol.WireBinary && !upgraded && !h.cfg.Tuning.UseGob() {
+				_ = c.Send(protocol.ErrorReply{Err: "head: gob wire sessions are opt-in; " +
+					"start both peers with -wire-codec=gob or upgrade the master to the binary codec"})
+				return
+			}
+			upgrade := m.Codec >= protocol.WireBinary && !upgraded && !h.cfg.Tuning.UseGob()
 			site = m.Site
-			// Wire-codec negotiation: confirm the master's advertised codec
-			// in the reply (which still travels in the codec the Hello
-			// arrived in), then upgrade both directions. A master predating
-			// the binary codec advertises nothing and the session stays on
-			// gob. A fenced master may re-Hello on the same session to
-			// recover; the codec stays whatever was negotiated first.
-			upgrade := m.Codec >= protocol.WireBinary && !upgraded
-			if m.Proto >= protocol.ProtoMulti {
-				multi = true
-				spec, err := h.RegisterSite(m)
-				if err != nil {
-					_ = c.Send(protocol.ErrorReply{Err: err.Error(), Code: ErrCode(err)})
-					return
-				}
-				if upgrade {
-					spec.Codec = protocol.WireBinary
-				}
-				if err := c.Send(spec); err != nil {
-					return
-				}
-			} else {
-				spec, err := h.Register(m)
-				if err != nil {
-					_ = c.Send(protocol.ErrorReply{Err: err.Error(), Code: ErrCode(err)})
-					return
-				}
-				if upgrade {
-					spec.Codec = protocol.WireBinary
-				}
-				if err := c.Send(spec); err != nil {
-					return
-				}
+			spec, err := h.RegisterSite(m)
+			if err != nil {
+				_ = c.Send(protocol.ErrorReply{Err: err.Error(), Code: ErrCode(err)})
+				return
+			}
+			if upgrade {
+				spec.Codec = protocol.WireBinary
+			}
+			if err := c.Send(spec); err != nil {
+				return
 			}
 			if upgrade {
 				c.UpgradeSend(transport.CodecBinary)
@@ -585,19 +664,6 @@ func (h *Head) HandleConn(c *transport.Conn) {
 				codec = config.CodecBinary
 			}
 			h.cfg.Obs.Metrics().Counter("head_sessions_total", "codec", codec).Inc()
-		case protocol.JobRequest: // legacy sessions only
-			rep, err := h.Poll(m.Site, m.N)
-			if err != nil {
-				_ = c.Send(protocol.ErrorReply{Err: err.Error(), Code: ErrCode(err)})
-				return
-			}
-			var flat []jobs.Job
-			for _, qj := range rep.Queries {
-				flat = append(flat, qj.Jobs...)
-			}
-			if err := c.Send(protocol.JobGrant{Jobs: flat, Wait: rep.Wait}); err != nil {
-				return
-			}
 		case protocol.PollRequest:
 			rep, err := h.PollFrom(m)
 			if err != nil {
@@ -617,12 +683,7 @@ func (h *Head) HandleConn(c *transport.Conn) {
 				return
 			}
 		case protocol.JobsDone:
-			var dups []int
-			if multi {
-				dups, err = h.CompleteQueryJobs(m.Query, m.Site, m.Jobs)
-			} else {
-				dups, err = h.CompleteJobs(m.Site, m.Jobs)
-			}
+			dups, err := h.CompleteQueryJobs(m.Query, m.Site, m.Jobs)
 			ack := protocol.JobsDoneAck{Dup: dups}
 			if err != nil {
 				h.cfg.Logf("head: completion error from site %d: %v", m.Site, err)
@@ -644,24 +705,32 @@ func (h *Head) HandleConn(c *transport.Conn) {
 				return
 			}
 		case protocol.ReductionResult:
-			if multi {
-				ack := protocol.ResultAck{}
-				if err := h.SubmitQueryResult(m); err != nil {
-					ack.Err = err.Error()
-					ack.Code = ErrCode(err)
-				}
-				if err := c.Send(ack); err != nil {
-					return
-				}
-				continue
+			ack := protocol.ResultAck{}
+			if err := h.SubmitQueryResult(m); err != nil {
+				ack.Err = err.Error()
+				ack.Code = ErrCode(err)
 			}
-			final, err := h.SubmitResult(m)
-			if err != nil {
-				_ = c.Send(protocol.ErrorReply{Err: err.Error(), Code: ErrCode(err)})
+			if err := c.Send(ack); err != nil {
 				return
 			}
-			_ = c.Send(protocol.Finished{Object: final})
-			return
+		case protocol.ResultRequest:
+			final, err := h.WaitResult(m.Query)
+			if err != nil {
+				_ = c.Send(protocol.ErrorReply{Err: err.Error(), Code: ErrCode(err)})
+				continue
+			}
+			if err := c.Send(protocol.Finished{Object: final}); err != nil {
+				return
+			}
+			// A single-query master asking for the final object has no
+			// further obligations: if it was draining, the Finished reply is
+			// its last exchange, so complete the departure here rather than
+			// on a poll it will never make.
+			h.mu.Lock()
+			if _, ok := h.draining[m.Site]; ok {
+				h.departLocked(m.Site)
+			}
+			h.mu.Unlock()
 		default:
 			_ = c.Send(protocol.ErrorReply{Err: fmt.Sprintf("head: unexpected message %T", msg)})
 			return

@@ -4,11 +4,13 @@ import (
 	"encoding/binary"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/chunk"
+	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/jobs"
 	"repro/internal/protocol"
@@ -55,7 +57,11 @@ func testHead(t *testing.T, clusters int) *Head {
 	if err := EncodeIndexSpec(&spec, ix); err != nil {
 		t.Fatal(err)
 	}
-	h, err := New(Config{Pool: pool, Reducer: sumReducer{}, Spec: spec, ExpectClusters: clusters, Logf: t.Logf})
+	// The pipe- and TCP-based protocol tests speak gob (the transport
+	// default), which is opt-in since the binary codec became the default:
+	// the test head opts in explicitly.
+	h, err := New(Config{Pool: pool, Reducer: sumReducer{}, Spec: spec, ExpectClusters: clusters,
+		Tuning: config.Tuning{WireCodec: config.CodecGob}, Logf: t.Logf})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,61 +201,90 @@ func TestRequestAndCompleteJobs(t *testing.T) {
 }
 
 // TestHandleConnProtocol drives a full master session over an in-process
-// pipe.
+// pipe: Hello → SiteSpec, QuerySpecRequest → JobSpec, PollRequest/JobsDone
+// until the query appears in Done, then ReductionResult → ResultAck and
+// ResultRequest → Finished.
 func TestHandleConnProtocol(t *testing.T) {
 	h := testHead(t, 1)
 	a, b := transport.Pipe()
 	go h.HandleConn(b)
 	defer a.Close()
 
-	if err := a.Send(protocol.Hello{Site: 0, Cluster: "pipe", Cores: 2}); err != nil {
+	if err := a.Send(protocol.Hello{Site: 0, Cluster: "pipe", Cores: 2, Proto: protocol.ProtoMulti}); err != nil {
 		t.Fatal(err)
 	}
 	reply, err := a.Recv()
 	if err != nil {
 		t.Fatal(err)
 	}
+	if _, ok := reply.(protocol.SiteSpec); !ok {
+		t.Fatalf("Hello reply = %T", reply)
+	}
+	if err := a.Send(protocol.QuerySpecRequest{Site: 0, Query: 0}); err != nil {
+		t.Fatal(err)
+	}
+	reply, err = a.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
 	spec, ok := reply.(protocol.JobSpec)
 	if !ok {
-		t.Fatalf("reply = %T", reply)
+		t.Fatalf("QuerySpecRequest reply = %T", reply)
 	}
 	if spec.App != "sum" {
 		t.Errorf("spec = %+v", spec)
 	}
-	// Drain the pool.
+	// Drain the pool, then wait for the query to show up in Done.
 	granted := 0
-	for {
-		if err := a.Send(protocol.JobRequest{Site: 0, N: 4}); err != nil {
+	for done := false; !done; {
+		if err := a.Send(protocol.PollRequest{Site: 0, N: 4}); err != nil {
 			t.Fatal(err)
 		}
 		reply, err := a.Recv()
 		if err != nil {
 			t.Fatal(err)
 		}
-		g := reply.(protocol.JobGrant)
-		if len(g.Jobs) == 0 {
-			break
-		}
-		granted += len(g.Jobs)
-		if err := a.Send(protocol.JobsDone{Site: 0, Jobs: g.Jobs}); err != nil {
-			t.Fatal(err)
-		}
-		reply, err = a.Recv()
-		if err != nil {
-			t.Fatal(err)
-		}
-		ack, ok := reply.(protocol.JobsDoneAck)
+		rep, ok := reply.(protocol.PollReply)
 		if !ok {
-			t.Fatalf("JobsDone reply = %T", reply)
+			t.Fatalf("PollRequest reply = %T", reply)
 		}
-		if ack.Err != "" || len(ack.Dup) != 0 {
-			t.Fatalf("ack = %+v", ack)
+		for _, id := range rep.Done {
+			if id == 0 {
+				done = true
+			}
+		}
+		for _, qj := range rep.Queries {
+			granted += len(qj.Jobs)
+			if err := a.Send(protocol.JobsDone{Site: 0, Query: qj.Query, Jobs: qj.Jobs}); err != nil {
+				t.Fatal(err)
+			}
+			reply, err = a.Recv()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ack, ok := reply.(protocol.JobsDoneAck)
+			if !ok {
+				t.Fatalf("JobsDone reply = %T", reply)
+			}
+			if ack.Err != "" || len(ack.Dup) != 0 {
+				t.Fatalf("ack = %+v", ack)
+			}
 		}
 	}
 	if granted != 10 {
 		t.Errorf("granted %d jobs, want 10", granted)
 	}
-	if err := a.Send(protocol.ReductionResult{Site: 0, Object: encodeSum(7)}); err != nil {
+	if err := a.Send(protocol.ReductionResult{Site: 0, Query: 0, Object: encodeSum(7)}); err != nil {
+		t.Fatal(err)
+	}
+	reply, err = a.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack, ok := reply.(protocol.ResultAck); !ok || ack.Err != "" {
+		t.Fatalf("ReductionResult reply = %#v", reply)
+	}
+	if err := a.Send(protocol.ResultRequest{Site: 0, Query: 0}); err != nil {
 		t.Fatal(err)
 	}
 	reply, err = a.Recv()
@@ -269,6 +304,119 @@ func TestHandleConnProtocol(t *testing.T) {
 	}
 	if obj.(*sumObj).total != 7 {
 		t.Errorf("total = %d", obj.(*sumObj).total)
+	}
+}
+
+// TestHandleConnRejectsProtoSingle pins the deprecation window's close: a
+// ProtoSingle Hello on the wire is answered with an ErrorReply naming the
+// required upgrade, not a JobSpec.
+func TestHandleConnRejectsProtoSingle(t *testing.T) {
+	h := testHead(t, 1)
+	a, b := transport.Pipe()
+	done := make(chan struct{})
+	go func() { h.HandleConn(b); close(done) }()
+	defer a.Close()
+	if err := a.Send(protocol.Hello{Site: 0, Cluster: "old"}); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := a.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	er, ok := reply.(protocol.ErrorReply)
+	if !ok {
+		t.Fatalf("reply = %T, want ErrorReply", reply)
+	}
+	if want := "retired"; !strings.Contains(er.Err, want) {
+		t.Errorf("error %q does not mention %q", er.Err, want)
+	}
+	<-done
+	// The rejected master must not have been registered: a ProtoMulti
+	// session can still claim the head's single slot.
+	if _, err := h.RegisterSite(protocol.Hello{Site: 0, Cluster: "new", Proto: protocol.ProtoMulti}); err != nil {
+		t.Errorf("multi registration after rejected single Hello: %v", err)
+	}
+}
+
+// TestHandleConnGobOptIn pins the codec demotion: a head on the default
+// binary codec refuses a gob session (Hello without the binary advert) with
+// a one-line ErrorReply, while a head started with -wire-codec=gob accepts
+// it and never upgrades.
+func TestHandleConnGobOptIn(t *testing.T) {
+	ix, err := chunk.Layout("h", 100, 4, 50, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := jobs.NewPool(ix, jobs.Placement{0, 1}, jobs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := New(Config{Pool: pool, Reducer: sumReducer{}, Spec: protocol.JobSpec{App: "sum", UnitSize: 4},
+		ExpectClusters: 1, Logf: t.Logf}) // default tuning: binary
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Shutdown()
+	a, b := transport.Pipe()
+	done := make(chan struct{})
+	go func() { h.HandleConn(b); close(done) }()
+	defer a.Close()
+	if err := a.Send(protocol.Hello{Site: 0, Cluster: "gob", Proto: protocol.ProtoMulti}); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := a.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	er, ok := reply.(protocol.ErrorReply)
+	if !ok {
+		t.Fatalf("reply = %T, want ErrorReply", reply)
+	}
+	if want := "-wire-codec=gob"; !strings.Contains(er.Err, want) {
+		t.Errorf("error %q does not mention %q", er.Err, want)
+	}
+	<-done
+
+	// Opted-in head: the same Hello gets a SiteSpec with no codec upgrade.
+	h2 := testHead(t, 2)
+	defer h2.Shutdown()
+	a2, b2 := transport.Pipe()
+	go h2.HandleConn(b2)
+	defer a2.Close()
+	if err := a2.Send(protocol.Hello{Site: 0, Cluster: "gob", Proto: protocol.ProtoMulti}); err != nil {
+		t.Fatal(err)
+	}
+	reply, err = a2.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, ok := reply.(protocol.SiteSpec)
+	if !ok {
+		t.Fatalf("reply = %T, want SiteSpec", reply)
+	}
+	if spec.Codec != 0 {
+		t.Errorf("gob-pinned head offered codec upgrade %d", spec.Codec)
+	}
+
+	// A gob-pinned head must not upgrade a binary-advertising master either:
+	// both directions of its sessions stay gob.
+	a3, b3 := transport.Pipe()
+	go h2.HandleConn(b3)
+	defer a3.Close()
+	if err := a3.Send(protocol.Hello{Site: 1, Cluster: "bin", Proto: protocol.ProtoMulti,
+		Codec: protocol.WireBinary}); err != nil {
+		t.Fatal(err)
+	}
+	reply, err = a3.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, ok = reply.(protocol.SiteSpec)
+	if !ok {
+		t.Fatalf("reply = %T, want SiteSpec", reply)
+	}
+	if spec.Codec != 0 {
+		t.Errorf("gob-pinned head confirmed binary upgrade %d", spec.Codec)
 	}
 }
 
@@ -295,7 +443,7 @@ func TestLostMasterFailsRun(t *testing.T) {
 	h := testHead(t, 2)
 	a, b := transport.Pipe()
 	go h.HandleConn(b)
-	if err := a.Send(protocol.Hello{Site: 0, Cluster: "doomed"}); err != nil {
+	if err := a.Send(protocol.Hello{Site: 0, Cluster: "doomed", Proto: protocol.ProtoMulti}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := a.Recv(); err != nil {
@@ -322,44 +470,72 @@ func TestServeOverTCP(t *testing.T) {
 			return err
 		}
 		defer c.Close()
-		if err := c.Send(protocol.Hello{Site: site, Cluster: fmt.Sprint(site)}); err != nil {
-			return err
-		}
-		if _, err := c.Recv(); err != nil {
-			return err
-		}
-		for {
-			if err := c.Send(protocol.JobRequest{Site: site, N: 2}); err != nil {
-				return err
-			}
-			reply, err := c.Recv()
-			if err != nil {
-				return err
-			}
-			g := reply.(protocol.JobGrant)
-			if len(g.Jobs) == 0 {
-				break
-			}
-			if err := c.Send(protocol.JobsDone{Site: site, Jobs: g.Jobs}); err != nil {
-				return err
-			}
-			reply, err = c.Recv()
-			if err != nil {
-				return err
-			}
-			if ack, ok := reply.(protocol.JobsDoneAck); !ok || ack.Err != "" {
-				return fmt.Errorf("JobsDone reply = %#v", reply)
-			}
-		}
-		if err := c.Send(protocol.ReductionResult{Site: site, Object: encodeSum(amount)}); err != nil {
+		if err := c.Send(protocol.Hello{Site: site, Cluster: fmt.Sprint(site), Proto: protocol.ProtoMulti}); err != nil {
 			return err
 		}
 		reply, err := c.Recv()
 		if err != nil {
 			return err
 		}
-		if _, ok := reply.(protocol.Finished); !ok {
-			return fmt.Errorf("reply = %T", reply)
+		if _, ok := reply.(protocol.SiteSpec); !ok {
+			return fmt.Errorf("Hello reply = %T", reply)
+		}
+		for done := false; !done; {
+			if err := c.Send(protocol.PollRequest{Site: site, N: 2}); err != nil {
+				return err
+			}
+			reply, err := c.Recv()
+			if err != nil {
+				return err
+			}
+			rep, ok := reply.(protocol.PollReply)
+			if !ok {
+				return fmt.Errorf("PollRequest reply = %T", reply)
+			}
+			for _, id := range rep.Done {
+				if id == 0 {
+					done = true
+				}
+			}
+			for _, qj := range rep.Queries {
+				if err := c.Send(protocol.JobsDone{Site: site, Query: qj.Query, Jobs: qj.Jobs}); err != nil {
+					return err
+				}
+				reply, err = c.Recv()
+				if err != nil {
+					return err
+				}
+				if ack, ok := reply.(protocol.JobsDoneAck); !ok || ack.Err != "" {
+					return fmt.Errorf("JobsDone reply = %#v", reply)
+				}
+			}
+			if len(rep.Queries) == 0 && !done {
+				time.Sleep(time.Millisecond) // the other master is still committing
+			}
+		}
+		if err := c.Send(protocol.ReductionResult{Site: site, Query: 0, Object: encodeSum(amount)}); err != nil {
+			return err
+		}
+		reply, err = c.Recv()
+		if err != nil {
+			return err
+		}
+		if ack, ok := reply.(protocol.ResultAck); !ok || ack.Err != "" {
+			return fmt.Errorf("ReductionResult reply = %#v", reply)
+		}
+		if err := c.Send(protocol.ResultRequest{Site: site, Query: 0}); err != nil {
+			return err
+		}
+		reply, err = c.Recv()
+		if err != nil {
+			return err
+		}
+		fin, ok := reply.(protocol.Finished)
+		if !ok {
+			return fmt.Errorf("ResultRequest reply = %T", reply)
+		}
+		if string(fin.Object) != string(encodeSum(30)) {
+			return fmt.Errorf("final object = %v", fin.Object)
 		}
 		return nil
 	}

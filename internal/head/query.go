@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/elastic"
 	"repro/internal/jobs"
 	"repro/internal/obs"
 	"repro/internal/protocol"
@@ -33,6 +34,14 @@ type QueryConfig struct {
 	// report, so a query whose placement confines it to some sites
 	// completes without involving the others.
 	ExpectAll bool
+	// Policy is the query's elasticity policy — deadline, budget, and
+	// worker-count bounds — weighed by the session-wide arbiter against
+	// every other admitted query's. Nil inherits the head's default policy
+	// (Config.DefaultPolicy, or the first Hello that carried one); a query
+	// ends up policy-free only when neither exists. Only Deadline, Budget,
+	// MinWorkers and MaxWorkers are consulted; the arbiter supplies its own
+	// cadence and pricing.
+	Policy *elastic.Policy
 }
 
 // Query is one admitted query's state at the head. All mutable fields are
@@ -46,6 +55,7 @@ type Query struct {
 	spec      protocol.JobSpec
 	weight    int
 	expectAll bool
+	policy    *elastic.Policy
 
 	// contrib marks sites whose folds are credited to this query: a site
 	// joins on its first non-duplicate commit and leaves (in FailSite) only
@@ -122,7 +132,18 @@ func (h *Head) Admit(qc QueryConfig) (*Query, error) {
 	if qc.Weight < 1 {
 		qc.Weight = 1
 	}
+	if qc.Policy != nil {
+		if err := elastic.ValidateQueryPolicy(*qc.Policy); err != nil {
+			return nil, opErr("admit", -1, -1, err)
+		}
+		p := *qc.Policy
+		qc.Policy = &p
+	}
 	h.mu.Lock()
+	if qc.Policy == nil && h.defaultPolicy != nil {
+		p := *h.defaultPolicy
+		qc.Policy = &p
+	}
 	if h.shutdown {
 		h.mu.Unlock()
 		return nil, opErr("admit", -1, -1, ErrShutdown)
@@ -138,6 +159,7 @@ func (h *Head) Admit(qc QueryConfig) (*Query, error) {
 		spec:         qc.Spec,
 		weight:       qc.Weight,
 		expectAll:    qc.ExpectAll,
+		policy:       qc.Policy,
 		contrib:      make(map[int]bool),
 		reported:     make(map[int]bool),
 		dropNotified: make(map[int]bool),
@@ -157,6 +179,16 @@ func (h *Head) Admit(qc QueryConfig) (*Query, error) {
 		q.latAll = obs.NewHistogram(jobLatencyBounds)
 	}
 	q.spec.Query = id
+	if q.policy != nil {
+		// Stamp the wire form so masters (and their own advisors) can see
+		// the deadline/budget this query runs under.
+		q.spec.Policy = protocol.ElasticPolicy{
+			Deadline:   q.policy.Deadline,
+			Budget:     q.policy.Budget,
+			MinWorkers: q.policy.MinWorkers,
+			MaxWorkers: q.policy.MaxWorkers,
+		}
+	}
 	h.queries[id] = q
 	h.order = append(h.order, id)
 	h.mu.Unlock()
@@ -178,6 +210,16 @@ func (h *Head) Admit(qc QueryConfig) (*Query, error) {
 
 // ID returns the query's head-assigned identifier.
 func (q *Query) ID() int { return q.id }
+
+// Policy returns a copy of the elasticity policy the query was admitted
+// with (after default inheritance), or nil for a policy-free query.
+func (q *Query) Policy() *elastic.Policy {
+	if q.policy == nil {
+		return nil
+	}
+	p := *q.policy
+	return &p
+}
 
 // Done returns a channel closed when the query finishes (successfully or
 // not); select on it alongside other channels, then call Wait for the

@@ -17,6 +17,17 @@ type ElasticDecision struct {
 	Drain []int
 }
 
+// ElasticLoad is one query's share of the remaining work, as the multi-query
+// elasticity hook sees it: the query's index in MultiConfig.Queries, its
+// fair-share weight (defaulted to 1 like the scheduler does), and its
+// uncommitted bytes keyed by hosting site. Only queries with work left
+// appear in a tick's load slice.
+type ElasticLoad struct {
+	Query     int
+	Weight    int
+	Remaining map[int]int64
+}
+
 // ElasticSim adds mid-run cluster add/remove to a multi-query simulation.
 // The hooks are deliberately generic — plain funcs over (now, remaining
 // bytes, worker sites) — so the policy lives outside this package (the
@@ -38,8 +49,14 @@ type ElasticSim struct {
 	Interval time.Duration
 	// Decide is consulted every tick. remaining maps hosting site → bytes
 	// of uncommitted work; workers lists active (non-draining) burst sites
-	// in launch order.
+	// in launch order. Ignored when DecideMulti is set.
 	Decide func(now time.Duration, remaining map[int]int64, workers []int) ElasticDecision
+	// DecideMulti, when set, replaces Decide with a per-query view: the
+	// remaining work arrives split by query (with fair-share weights) so a
+	// session-wide arbiter can weigh each query's policy against its share
+	// of the fleet. The elastic.Arbiter binds itself here via
+	// Arbiter.SimElastic.
+	DecideMulti func(now time.Duration, loads []ElasticLoad, workers []int) ElasticDecision
 	// Worker is the cluster-model template for one burst worker; Site and
 	// Name are overridden per launch.
 	Worker ClusterModel
@@ -82,19 +99,40 @@ func (s *multiSim) elasticTick() {
 	}
 	e := s.cfg.Elastic
 	now := s.clock.Now()
-	remaining := make(map[int]int64)
-	for _, pool := range s.pools {
-		for site, b := range pool.RemainingBytesBySite() {
-			remaining[site] += b
-		}
-	}
 	var workers []int
 	for _, c := range s.clusters {
 		if c.burst && !c.draining && !c.gone {
 			workers = append(workers, c.model.Site)
 		}
 	}
-	dec := e.Decide(now, remaining, workers)
+	var dec ElasticDecision
+	if e.DecideMulti != nil {
+		var loads []ElasticLoad
+		for qi, pool := range s.pools {
+			rem := pool.RemainingBytesBySite()
+			var total int64
+			for _, b := range rem {
+				total += b
+			}
+			if total <= 0 {
+				continue
+			}
+			w := s.cfg.Queries[qi].Weight
+			if w < 1 {
+				w = 1
+			}
+			loads = append(loads, ElasticLoad{Query: qi, Weight: w, Remaining: rem})
+		}
+		dec = e.DecideMulti(now, loads, workers)
+	} else {
+		remaining := make(map[int]int64)
+		for _, pool := range s.pools {
+			for site, b := range pool.RemainingBytesBySite() {
+				remaining[site] += b
+			}
+		}
+		dec = e.Decide(now, remaining, workers)
+	}
 	for i := 0; i < dec.Add; i++ {
 		s.addWorker()
 	}

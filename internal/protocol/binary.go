@@ -6,6 +6,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
+	"time"
 
 	"repro/internal/chunk"
 	"repro/internal/jobs"
@@ -43,6 +45,14 @@ import (
 //     (tagCheckpointSaveTraced/tagReductionResultTraced) that inserts the
 //     context before the payload. The traced tags are only sent after both
 //     sides negotiated tracing, so old peers never see them.
+//
+// Per-query elastic policies (ElasticPolicy on Hello and JobSpec) extend the
+// format the same trailing-field way: an optional 32-byte policy block
+// (Deadline i64 ns | Budget f64 bits | MinWorkers | MaxWorkers) AFTER the
+// optional trace context, emitted only when the policy is non-zero. Because
+// the policy trails the trace, a non-zero policy forces the trace fields onto
+// the wire too (zeros if untraced) so decoders can position both; zero-policy
+// frames stay bit-identical to the pre-policy format.
 const (
 	tagHello byte = 1 + iota
 	tagJobSpec
@@ -73,6 +83,7 @@ const (
 	// note above). New tags MUST be appended here, never inserted.
 	tagCheckpointSaveTraced
 	tagReductionResultTraced
+	tagResultRequest
 )
 
 // traceWire is the fixed encoded size of one TraceContext (two u64 words);
@@ -135,6 +146,27 @@ func appendTrace(b []byte, t TraceContext) []byte {
 	return appendU64(b, t.SpanID)
 }
 
+func appendPolicy(b []byte, p ElasticPolicy) []byte {
+	b = appendI64(b, int64(p.Deadline))
+	b = appendU64(b, math.Float64bits(p.Budget))
+	b = appendInt(b, p.MinWorkers)
+	return appendInt(b, p.MaxWorkers)
+}
+
+// appendTracePolicy emits the optional trailing trace-then-policy block of
+// Hello/JobSpec: nothing when both are zero, trace alone when only it is
+// set, and trace (zeros if need be) followed by the policy otherwise.
+func appendTracePolicy(b []byte, t TraceContext, p ElasticPolicy) []byte {
+	if t.Zero() && p.Zero() {
+		return b
+	}
+	b = appendTrace(b, t)
+	if !p.Zero() {
+		b = appendPolicy(b, p)
+	}
+	return b
+}
+
 func appendJobs(b []byte, js []jobs.Job) []byte {
 	b = appendU32(b, uint32(len(js)))
 	for _, j := range js {
@@ -163,9 +195,7 @@ func AppendBinary(dst []byte, m Message) (meta, payload []byte, err error) {
 		dst = appendInt(dst, m.Cores)
 		dst = appendInt(dst, m.Codec)
 		dst = appendInt(dst, m.Proto)
-		if !m.Trace.Zero() {
-			dst = appendTrace(dst, m.Trace)
-		}
+		dst = appendTracePolicy(dst, m.Trace, m.Policy)
 	case JobSpec:
 		dst = append(dst, tagJobSpec)
 		dst = appendStr(dst, m.App)
@@ -178,9 +208,7 @@ func AppendBinary(dst []byte, m Message) (meta, payload []byte, err error) {
 		dst = appendI64(dst, m.HeartbeatEvery)
 		dst = appendInt(dst, m.Codec)
 		dst = appendInt(dst, m.Query)
-		if !m.Trace.Zero() {
-			dst = appendTrace(dst, m.Trace)
-		}
+		dst = appendTracePolicy(dst, m.Trace, m.Policy)
 	case JobRequest:
 		dst = append(dst, tagJobRequest)
 		dst = appendInt(dst, m.Site)
@@ -330,6 +358,10 @@ func AppendBinary(dst []byte, m Message) (meta, payload []byte, err error) {
 		dst = append(dst, tagResultAck)
 		dst = appendStr(dst, m.Err)
 		dst = appendU32(dst, uint32(m.Code))
+	case ResultRequest:
+		dst = append(dst, tagResultRequest)
+		dst = appendInt(dst, m.Site)
+		dst = appendInt(dst, m.Query)
 	case PutReq:
 		dst = append(dst, tagPutReq)
 		dst = appendStr(dst, m.Key)
@@ -501,6 +533,31 @@ func (f *frameReader) optTrace() (TraceContext, error) {
 	return f.trace()
 }
 
+// optPolicy reads a trailing optional ElasticPolicy: zero when the frame
+// has no bytes left (a policy-free or pre-policy peer), the 32-byte policy
+// block otherwise.
+func (f *frameReader) optPolicy() (ElasticPolicy, error) {
+	var p ElasticPolicy
+	if f.n == 0 {
+		return p, nil
+	}
+	d, err := f.i64()
+	if err != nil {
+		return p, err
+	}
+	p.Deadline = time.Duration(d)
+	bits, err := f.u64()
+	if err != nil {
+		return p, err
+	}
+	p.Budget = math.Float64frombits(bits)
+	if p.MinWorkers, err = f.int(); err != nil {
+		return p, err
+	}
+	p.MaxWorkers, err = f.int()
+	return p, err
+}
+
 // ints reads a u32 count followed by that many u64-encoded ints.
 func (f *frameReader) ints() ([]int, error) {
 	n, err := f.count(8)
@@ -629,6 +686,9 @@ func decodeBody(tag byte, f *frameReader, alloc func(int) []byte) (Message, erro
 		if m.Trace, err = f.optTrace(); err != nil {
 			return nil, err
 		}
+		if m.Policy, err = f.optPolicy(); err != nil {
+			return nil, err
+		}
 		return m, nil
 	case tagJobSpec:
 		var m JobSpec
@@ -664,6 +724,9 @@ func decodeBody(tag byte, f *frameReader, alloc func(int) []byte) (Message, erro
 			return nil, err
 		}
 		if m.Trace, err = f.optTrace(); err != nil {
+			return nil, err
+		}
+		if m.Policy, err = f.optPolicy(); err != nil {
 			return nil, err
 		}
 		return m, nil
@@ -962,6 +1025,16 @@ func decodeBody(tag byte, f *frameReader, alloc func(int) []byte) (Message, erro
 			return nil, err
 		}
 		m.Code = int(int32(code))
+		return m, nil
+	case tagResultRequest:
+		var m ResultRequest
+		var err error
+		if m.Site, err = f.int(); err != nil {
+			return nil, err
+		}
+		if m.Query, err = f.int(); err != nil {
+			return nil, err
+		}
 		return m, nil
 	case tagPutReq:
 		var m PutReq

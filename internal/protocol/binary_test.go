@@ -110,6 +110,20 @@ func sampleMessages() []Message {
 			{Query: 1, Jobs: sampleJobs(2), Trace: TraceContext{TraceID: 2, SpanID: 11}},
 			{Query: 2}, // untraced grant alongside a traced one
 		}, Wait: true},
+		// Per-query elastic policies: optional trailing block after the
+		// (possibly zero) trace context, plus the result-fetch message.
+		Hello{Site: 5, Cluster: "client", Cores: 4, Proto: ProtoMulti,
+			Policy: ElasticPolicy{Deadline: 120e9, Budget: 0.10, MaxWorkers: 8}},
+		Hello{Site: 6, Cluster: "client", Cores: 4, Proto: ProtoMulti,
+			Trace:  TraceContext{SpanID: 3},
+			Policy: ElasticPolicy{Deadline: 90e9, MinWorkers: 1, MaxWorkers: 4}},
+		JobSpec{App: "knn", Query: 3, Codec: WireBinary,
+			Policy: ElasticPolicy{Budget: 0.25, MaxWorkers: 16}},
+		JobSpec{App: "kmeans", Query: 4, Codec: WireBinary,
+			Trace:  TraceContext{TraceID: 5},
+			Policy: ElasticPolicy{Deadline: 240e9, Budget: 0.12, MinWorkers: 2, MaxWorkers: 6}},
+		ResultRequest{Site: 2, Query: 6},
+		ResultRequest{},
 	}
 }
 

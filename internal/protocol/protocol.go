@@ -4,12 +4,14 @@
 // the object-store daemons. Messages are carried by internal/transport in
 // one of two codecs: the hand-rolled length-prefixed binary format defined
 // in binary.go (the data-plane default — no reflection, no intermediate
-// copies) or the original gob envelope, retained one release as a compat
-// fallback and negotiated per session via Hello.Codec/JobSpec.Codec.
+// copies) or the original gob envelope, now explicitly opt-in
+// (-wire-codec=gob on BOTH peers) and negotiated per session via
+// Hello.Codec/JobSpec.Codec.
 package protocol
 
 import (
 	"encoding/gob"
+	"time"
 
 	"repro/internal/jobs"
 )
@@ -30,6 +32,25 @@ type TraceContext struct {
 
 // Zero reports whether t carries no trace correlation.
 func (t TraceContext) Zero() bool { return t.TraceID == 0 && t.SpanID == 0 }
+
+// ElasticPolicy is a per-query elastic provisioning policy carried on the
+// admission path: a submitting peer proposes a session default in
+// Hello.Policy, and the head round-trips each query's resolved policy in
+// JobSpec.Policy (fetched via QuerySpecRequest). The zero value means "no
+// policy" — peers predating per-query policies read (and send) zero values
+// in both codecs, and senders omit the fields entirely on the wire when
+// zero, so policy-free sessions are bit-identical to the old format.
+type ElasticPolicy struct {
+	Deadline   time.Duration // target completion time from admission (0 = none)
+	Budget     float64       // hard cap on attributed instance spend in dollars (0 = unlimited)
+	MinWorkers int           // floor on the burst fleet while the query is active
+	MaxWorkers int           // ceiling this query will ever ask the arbiter for (0 = arbiter default)
+}
+
+// Zero reports whether p carries no elastic policy.
+func (p ElasticPolicy) Zero() bool {
+	return p.Deadline == 0 && p.Budget == 0 && p.MinWorkers == 0 && p.MaxWorkers == 0
+}
 
 // WireSpan is one completed master-side span shipped to the head,
 // piggybacked on PollRequest. Timestamps are on the MASTER's clock; the
@@ -58,11 +79,14 @@ const (
 	WireBinary = 1 // length-prefixed fixed-layout binary codec (binary.go)
 )
 
-// Session protocol versions carried in Hello.Proto. A legacy master binds
-// its whole session to one query; a multi-query master registers once and
-// interleaves jobs from every admitted query over the same connection.
+// Session protocol versions carried in Hello.Proto. A multi-query master
+// registers once and interleaves jobs from every admitted query over the
+// same connection. ProtoSingle — one query bound per session — completed
+// its deprecation window: the head now rejects ProtoSingle Hellos with a
+// typed ErrorReply, and the identifier remains only so old peers get a
+// clear error instead of a hang.
 const (
-	ProtoSingle = 0 // one query per session; head replies with that query's JobSpec
+	ProtoSingle = 0 // retired: rejected by current heads with an ErrorReply
 	ProtoMulti  = 1 // shared session; head replies with SiteSpec, specs fetched per query
 )
 
@@ -84,6 +108,11 @@ type Hello struct {
 	// only after that exchange do frames carry trace data. Old peers read
 	// the zero value and the session stays untraced.
 	Trace TraceContext
+	// Policy proposes a session-default elastic policy: the head adopts it
+	// as its default (applied to queries admitted without their own policy)
+	// when it has none configured. Zero means no proposal; old peers read
+	// the zero value.
+	Policy ElasticPolicy
 }
 
 // JobSpec is the head's response to Hello: everything a cluster needs to
@@ -113,9 +142,17 @@ type JobSpec struct {
 	// non-zero only when the head's tracer is live and the master advertised
 	// trace support in Hello.Trace.
 	Trace TraceContext
+	// Policy is the query's resolved elastic policy (deadline, budget,
+	// min/max workers) as the head's arbiter sees it. Informational for
+	// masters; zero when the query has none.
+	Policy ElasticPolicy
 }
 
 // JobRequest asks the head for up to N more jobs for the requesting cluster.
+//
+// Deprecated: part of the retired ProtoSingle session shape; current heads
+// no longer serve it. The type remains for codec compatibility tests and so
+// old frames still decode. Use PollRequest.
 type JobRequest struct {
 	Site int
 	N    int
@@ -125,6 +162,9 @@ type JobRequest struct {
 // means the global pool is exhausted and the cluster should finish its
 // local reduction; Wait true means the pool is momentarily empty but
 // recovery or speculation may still produce work — poll again.
+//
+// Deprecated: part of the retired ProtoSingle session shape; current heads
+// no longer send it. Use PollReply.
 type JobGrant struct {
 	Jobs []jobs.Job
 	Wait bool
@@ -283,6 +323,17 @@ type ResultAck struct {
 	Code int
 }
 
+// ResultRequest asks the head for one query's final global reduction
+// object. The head blocks the session until the query finishes, then
+// replies with Finished (or ErrorReply if the query failed or was
+// canceled). This is how a client that wants the final object waits for it
+// over the wire now that ProtoSingle's blocking ReductionResult→Finished
+// exchange is retired.
+type ResultRequest struct {
+	Site  int
+	Query int
+}
+
 // ---------------------------------------------------------------------------
 // Object store (S3 stand-in).
 
@@ -374,6 +425,7 @@ func (PollRequest) protoMsg()      {}
 func (PollReply) protoMsg()        {}
 func (QuerySpecRequest) protoMsg() {}
 func (ResultAck) protoMsg()        {}
+func (ResultRequest) protoMsg()    {}
 func (PutReq) protoMsg()           {}
 func (PutResp) protoMsg()          {}
 func (GetReq) protoMsg()           {}
@@ -401,6 +453,7 @@ func init() {
 	gob.Register(PollReply{})
 	gob.Register(QuerySpecRequest{})
 	gob.Register(ResultAck{})
+	gob.Register(ResultRequest{})
 	gob.Register(PutReq{})
 	gob.Register(PutResp{})
 	gob.Register(GetReq{})

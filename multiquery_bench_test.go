@@ -1,0 +1,120 @@
+package repro
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/experiments"
+)
+
+// PR 9's multi-query arbiter benchmark harness. `make bench-elastic-multi`
+// runs TestEmitBenchElasticMulti with BENCH_ELASTIC_MULTI_OUT set, which
+// writes BENCH_9.json and asserts the PR's acceptance bars on the standard
+// mixed-policy 3-query workload (a double-weight tight-deadline query, a
+// budget-capped lax query, and an unpolicied rideshare query sharing one
+// arbiter-sized burst fleet under the injected mid-run slowdown):
+//
+//   - every feasible per-query deadline is met and the budgeted query's
+//     attributed spend stays within its cap;
+//   - arbiter-vs-simulator cost agreement: the arbiter's own per-episode,
+//     quantum-billed instance accounting matches an independent repricing of
+//     the simulator's realized burst-worker lifetimes to 1e-9;
+//   - deterministic rerun: a second run renders byte-identically (virtual
+//     clock, fixed seed, pure-policy arbiter).
+
+// TestEmitBenchElasticMulti runs the mixed-policy arbiter benchmarks and
+// writes BENCH_9.json. No-op unless BENCH_ELASTIC_MULTI_OUT names the output
+// file, so plain `go test ./...` stays fast.
+func TestEmitBenchElasticMulti(t *testing.T) {
+	out := os.Getenv("BENCH_ELASTIC_MULTI_OUT")
+	if out == "" {
+		t.Skip("BENCH_ELASTIC_MULTI_OUT not set; run via make bench-elastic-multi")
+	}
+	pricing := costmodel.DefaultPricingCurrent()
+	queries := experiments.DefaultMultiPolicyQueries()
+	p, err := experiments.RunElasticMultiPoint(experiments.KMeans, pricing, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", experiments.FormatElasticMulti(&p))
+
+	// Policy gates: the shared fleet satisfied every query's own policy.
+	if p.ScaleUps == 0 {
+		t.Error("arbiter never scaled up — slowdown not biting")
+	}
+	for _, q := range p.Queries {
+		if !q.MetDeadline {
+			t.Errorf("query %s missed its %v deadline (finish %.1fs)",
+				q.Name, q.Policy.Deadline, q.Finish.Seconds())
+		}
+		if q.Policy != nil && q.Policy.Budget > 0 && q.AttributedCost > q.Policy.Budget {
+			t.Errorf("query %s attributed $%.4f exceeds its $%.2f budget",
+				q.Name, q.AttributedCost, q.Policy.Budget)
+		}
+	}
+
+	// Cost-agreement gate: two independent bookkeepers, one bill.
+	realized := experiments.RealizedInstanceCost(pricing, p.Clusters, p.Makespan)
+	costDelta := math.Abs(realized - p.Cost.Instances)
+	if costDelta > 1e-9 {
+		t.Errorf("arbiter billed $%.6f instances, realized lifetimes price to $%.6f",
+			p.Cost.Instances, realized)
+	}
+
+	// Deterministic-rerun gate: byte-identical renderings.
+	p2, err := experiments.RunElasticMultiPoint(experiments.KMeans, pricing, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deterministic := experiments.FormatElasticMulti(&p) == experiments.FormatElasticMulti(&p2) &&
+		experiments.ElasticMultiCSV(&p) == experiments.ElasticMultiCSV(&p2)
+	if !deterministic {
+		t.Errorf("mixed-policy run renders differently across reruns:\n--- first ---\n%s\n--- second ---\n%s",
+			experiments.FormatElasticMulti(&p), experiments.FormatElasticMulti(&p2))
+	}
+
+	var outcomes []map[string]any
+	for _, q := range p.Queries {
+		o := map[string]any{
+			"query":           q.Name,
+			"weight":          q.Weight,
+			"finish_s":        q.Finish.Seconds(),
+			"met_deadline":    q.MetDeadline,
+			"attributed_cost": q.AttributedCost,
+			"granted":         q.Granted,
+		}
+		if q.Policy != nil {
+			o["deadline_s"] = q.Policy.Deadline.Seconds()
+			o["budget"] = q.Policy.Budget
+		}
+		outcomes = append(outcomes, o)
+	}
+	report := map[string]any{
+		"bench": "elastic-multi",
+		"pr":    9,
+		"fleet": map[string]any{
+			"makespan_s":    p.Makespan.Seconds(),
+			"peak_workers":  p.PeakWorkers,
+			"scale_ups":     p.ScaleUps,
+			"scale_downs":   p.ScaleDowns,
+			"instance_cost": p.Cost.Instances,
+			"total_cost":    p.Cost.Total(),
+		},
+		"queries": outcomes,
+		"gates": map[string]any{
+			"cost_agreement_delta": costDelta,
+			"deterministic_rerun":  deterministic,
+		},
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+}
